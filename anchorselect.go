@@ -1,0 +1,107 @@
+package crossfield
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/diff"
+	"repro/internal/metrics"
+)
+
+// Anchor selection — the paper's stated future work ("develop a solution
+// capable of automatically selecting anchor fields for a given dataset",
+// Section IV-C). This implementation ranks candidates by the rank
+// correlation between their backward-difference fields and the target's:
+// exactly the signal CFNN consumes, cheap enough to run on every field
+// pair, and robust to the nonlinear (but monotone-in-the-small) couplings
+// the paper highlights.
+
+// AnchorScore is one candidate's relevance to a target field.
+type AnchorScore struct {
+	Name string
+	// Score is the mean |Spearman| correlation between the candidate's and
+	// the target's backward differences across axes, in [0, 1].
+	Score float64
+}
+
+// RankAnchors scores every candidate (excluding the target itself) for
+// cross-field prediction of target. Differences are subsampled to keep the
+// rank correlation cheap on large fields.
+func RankAnchors(target *Field, candidates []*Field) ([]AnchorScore, error) {
+	tDiffs, err := diff.AllBackward(target.t)
+	if err != nil {
+		return nil, err
+	}
+	const maxSamples = 60000
+	stride := target.Len()/maxSamples + 1
+	sampled := func(d []float32) []float32 {
+		out := make([]float32, 0, len(d)/stride+1)
+		for i := 0; i < len(d); i += stride {
+			out = append(out, d[i])
+		}
+		return out
+	}
+	tSamp := make([][]float32, len(tDiffs))
+	for a, d := range tDiffs {
+		tSamp[a] = sampled(d.Data())
+	}
+	var scores []AnchorScore
+	for _, c := range candidates {
+		if c.Name == target.Name {
+			continue
+		}
+		if !c.t.SameShape(target.t) {
+			return nil, fmt.Errorf("crossfield: candidate %q shape %v != target %v", c.Name, c.Dims(), target.Dims())
+		}
+		cDiffs, err := diff.AllBackward(c.t)
+		if err != nil {
+			return nil, err
+		}
+		total := 0.0
+		n := 0
+		for a := range tDiffs {
+			r, err := metrics.Spearman(tSamp[a], sampled(cDiffs[a].Data()))
+			if err != nil {
+				continue // constant channel: contributes nothing
+			}
+			if r < 0 {
+				r = -r
+			}
+			total += r
+			n++
+		}
+		score := 0.0
+		if n > 0 {
+			score = total / float64(n)
+		}
+		scores = append(scores, AnchorScore{Name: c.Name, Score: score})
+	}
+	sort.Slice(scores, func(i, j int) bool {
+		if scores[i].Score != scores[j].Score {
+			return scores[i].Score > scores[j].Score
+		}
+		return scores[i].Name < scores[j].Name
+	})
+	return scores, nil
+}
+
+// SelectAnchors returns the k best-correlated candidate fields for
+// predicting target (fewer if fewer candidates exist).
+func SelectAnchors(target *Field, candidates []*Field, k int) ([]*Field, error) {
+	scores, err := RankAnchors(target, candidates)
+	if err != nil {
+		return nil, err
+	}
+	if k > len(scores) {
+		k = len(scores)
+	}
+	byName := make(map[string]*Field, len(candidates))
+	for _, c := range candidates {
+		byName[c.Name] = c
+	}
+	out := make([]*Field, 0, k)
+	for _, s := range scores[:k] {
+		out = append(out, byName[s.Name])
+	}
+	return out, nil
+}

@@ -1,0 +1,98 @@
+package crossfield
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRankAnchorsPrefersCorrelatedFields(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 48
+	mk := func(name string, f func(i, j int) float32) *Field {
+		data := make([]float32, n*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				data[i*n+j] = f(i, j)
+			}
+		}
+		return MustNewField(name, data, n, n)
+	}
+	base := mk("target", func(i, j int) float32 {
+		return float32(i*i)/50 - float32(j)/3
+	})
+	correlated := mk("good", func(i, j int) float32 {
+		return 2*(float32(i*i)/50-float32(j)/3) + rng.Float32()*0.01
+	})
+	noise := mk("noise", func(i, j int) float32 { return rng.Float32() * 100 })
+
+	scores, err := RankAnchors(base, []*Field{noise, correlated, base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 2 {
+		t.Fatalf("scores = %v (target must be excluded)", scores)
+	}
+	if scores[0].Name != "good" {
+		t.Fatalf("best anchor = %s, want good (%v)", scores[0].Name, scores)
+	}
+	if !(scores[0].Score > scores[1].Score) {
+		t.Fatalf("scores not ordered: %v", scores)
+	}
+}
+
+func TestSelectAnchorsTopK(t *testing.T) {
+	ds, err := GenerateHurricane(6, 32, 32, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := ds.MustField("Wf")
+	selected, err := SelectAnchors(target, ds.Fields, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(selected) != 3 {
+		t.Fatalf("selected %d anchors", len(selected))
+	}
+	for _, s := range selected {
+		if s.Name == "Wf" {
+			t.Fatal("target selected as its own anchor")
+		}
+	}
+	// Asking for more than available returns all candidates.
+	all, err := SelectAnchors(target, ds.Fields, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(ds.Fields)-1 {
+		t.Fatalf("selected %d of %d", len(all), len(ds.Fields)-1)
+	}
+}
+
+func TestRankAnchorsShapeMismatch(t *testing.T) {
+	a := MustNewField("a", make([]float32, 16), 4, 4)
+	b := MustNewField("b", make([]float32, 25), 5, 5)
+	if _, err := RankAnchors(a, []*Field{b}); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+// The automatic selector should rediscover (most of) the paper's hand-picked
+// physics-guided anchors on the synthetic data.
+func TestSelectAnchorsMatchesPhysics(t *testing.T) {
+	ds, err := GenerateCESM(64, 96, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := ds.MustField("FLUT")
+	scores, err := RankAnchors(target, ds.Fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FLNT = FLUT + smooth offset: it must rank first by a clear margin.
+	if scores[0].Name != "FLNT" {
+		t.Fatalf("best anchor for FLUT = %s (%v), want FLNT", scores[0].Name, scores)
+	}
+	if scores[0].Score < 0.8 {
+		t.Fatalf("FLNT score %v, want > 0.8", scores[0].Score)
+	}
+}

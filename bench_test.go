@@ -1,0 +1,266 @@
+package crossfield_test
+
+// One benchmark per table and figure of the paper's evaluation section,
+// each delegating to internal/experiments at the reduced "Small" preset so
+// `go test -bench=. -benchmem` finishes in minutes on one CPU. The full
+// paper-scale regeneration is `go run ./cmd/cfbench` (see EXPERIMENTS.md).
+//
+// Micro-benchmarks of the pipeline stages follow the experiment benches.
+
+import (
+	"io"
+	"testing"
+
+	crossfield "repro"
+	"repro/internal/experiments"
+)
+
+func benchSizes() experiments.Sizes { return experiments.Small() }
+
+// BenchmarkTableI_DatasetGen regenerates Table I (dataset inventory +
+// synthetic generation).
+func BenchmarkTableI_DatasetGen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.TableI(io.Discard, benchSizes()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableII_CompressionRatio regenerates Table II (baseline vs ours
+// across the five error bounds on all six fields).
+func BenchmarkTableII_CompressionRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableII(io.Discard, benchSizes()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableIII_ModelSizes regenerates Table III (anchor configuration
+// and model parameter counts, paper-parity presets).
+func BenchmarkTableIII_ModelSizes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableIII(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1_CrossFieldCorrelation regenerates Figure 1 (U/V/W slice
+// correlations).
+func BenchmarkFig1_CrossFieldCorrelation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.FigI(io.Discard, benchSizes(), ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5_TrainingLoss regenerates Figure 5 (CFNN + hybrid training
+// loss curves).
+func BenchmarkFig5_TrainingLoss(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.FigV(io.Discard, benchSizes()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6_PredictionQuality regenerates Figure 6 (cross-field vs
+// Lorenzo vs hybrid prediction accuracy on Hurricane Wf).
+func BenchmarkFig6_PredictionQuality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.FigVI(io.Discard, benchSizes(), ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7_ZoomRegion regenerates Figure 7 (the zoom-region MAE
+// comparison, produced by the Figure 6 harness).
+func BenchmarkFig7_ZoomRegion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.FigVI(io.Discard, benchSizes(), ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8_RateDistortion regenerates Figure 8 (PSNR vs bit-rate
+// series for all six fields).
+func BenchmarkFig8_RateDistortion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.FigVIII(io.Discard, benchSizes()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9_FixedRatioArtifacts regenerates Figure 9 (CLDTOT quality at
+// a fixed ~17x ratio).
+func BenchmarkFig9_FixedRatioArtifacts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.FigIX(io.Discard, benchSizes(), ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Benchmark_AblationPredictors compares residual entropy across predictors
+// (Lorenzo / regression / interpolation / cross-only / hybrid).
+func Benchmark_AblationPredictors(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.AblationPredictors(io.Discard, benchSizes()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Benchmark_AblationHybridFit compares least-squares vs gradient-descent
+// hybrid training.
+func Benchmark_AblationHybridFit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.AblationHybridFit(io.Discard, benchSizes()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Benchmark_AblationAttention compares CFNN with/without channel attention.
+func Benchmark_AblationAttention(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.AblationAttention(io.Discard, benchSizes()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Benchmark_AblationDirectValue compares difference-based vs direct-value
+// cross-field prediction.
+func Benchmark_AblationDirectValue(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.AblationDirectValue(io.Discard, benchSizes()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Benchmark_AblationBlockwiseHybrid compares global vs block-local hybrid
+// weights (the paper's "refine the hybrid model" future work).
+func Benchmark_AblationBlockwiseHybrid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.AblationBlockwiseHybrid(io.Discard, benchSizes()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Benchmark_ExtAnchorSelection runs the automatic anchor-selection
+// extension.
+func Benchmark_ExtAnchorSelection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.AnchorSelection(io.Discard, benchSizes()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Benchmark_ExtThroughput measures pipeline throughput.
+func Benchmark_ExtThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Throughput(io.Discard, benchSizes()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- pipeline micro-benchmarks ---
+
+func benchDataset(b *testing.B) (*crossfield.Dataset, *crossfield.Field, []*crossfield.Field) {
+	b.Helper()
+	ds, err := crossfield.GenerateHurricane(8, 48, 48, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	target := ds.MustField("Wf")
+	anchors, err := ds.Fieldset("Uf", "Vf", "Pf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds, target, anchors
+}
+
+// BenchmarkCompressBaseline3D measures the Lorenzo + dual-quant + Huffman +
+// flate pipeline on a 3D field.
+func BenchmarkCompressBaseline3D(b *testing.B) {
+	_, target, _ := benchDataset(b)
+	bound := crossfield.Rel(1e-3)
+	b.SetBytes(int64(target.Len() * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := crossfield.CompressBaseline(target, bound); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecompressBaseline3D measures sequential Lorenzo reconstruction.
+func BenchmarkDecompressBaseline3D(b *testing.B) {
+	_, target, _ := benchDataset(b)
+	res, err := crossfield.CompressBaseline(target, crossfield.Rel(1e-3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(target.Len() * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := crossfield.Decompress("Wf", res.Blob, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompressHybrid3D measures the full cross-field pipeline
+// (CFNN inference + hybrid fit + encode) with a pre-trained codec.
+func BenchmarkCompressHybrid3D(b *testing.B) {
+	_, target, anchors := benchDataset(b)
+	codec, err := crossfield.Train(target, anchors, crossfield.Training{
+		Features: 6, Epochs: 2, StepsPerEpoch: 4, Batch: 1, Seed: 10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bound := crossfield.Rel(1e-3)
+	var anchorsDec []*crossfield.Field
+	for _, a := range anchors {
+		comp, err := crossfield.CompressBaseline(a, bound)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dec, err := crossfield.Decompress(a.Name, comp.Blob, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		anchorsDec = append(anchorsDec, dec)
+	}
+	b.SetBytes(int64(target.Len() * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.Compress(target, anchorsDec, bound); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainCFNN measures one small CFNN training run.
+func BenchmarkTrainCFNN(b *testing.B) {
+	_, target, anchors := benchDataset(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := crossfield.Train(target, anchors, crossfield.Training{
+			Features: 6, Epochs: 2, StepsPerEpoch: 4, Batch: 1, Seed: 11,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

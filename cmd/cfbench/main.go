@@ -1,0 +1,93 @@
+// Command cfbench regenerates every table and figure of the paper's
+// evaluation on the synthetic datasets, plus the ablation studies.
+//
+// Usage:
+//
+//	cfbench                      # full suite at default (scaled) sizes
+//	cfbench -exp tab2,fig8       # selected experiments
+//	cfbench -small               # reduced sizes (seconds instead of minutes)
+//	cfbench -out results/        # also write PGM figure renderings
+//
+// Experiments: tab1 tab2 tab3 fig1 fig5 fig6 fig8 fig9 ablation
+// (fig7 is produced by fig6; both names are accepted).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		expFlag = flag.String("exp", "all", "comma-separated experiments (tab1,tab2,tab3,fig1,fig5,fig6,fig7,fig8,fig9,ablation,anchorsel,throughput) or 'all'")
+		small   = flag.Bool("small", false, "use reduced grid sizes (quick smoke run)")
+		outDir  = flag.String("out", "", "directory for PGM figure renderings (optional)")
+		seed    = flag.Int64("seed", 42, "dataset/training seed")
+	)
+	flag.Parse()
+
+	sizes := experiments.Default()
+	if *small {
+		sizes = experiments.Small()
+	}
+	sizes.Seed = *seed
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expFlag, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	run := func(name string, fn func() error) {
+		if !all && !want[name] && !(name == "fig6" && want["fig7"]) {
+			return
+		}
+		start := time.Now()
+		if err := fn(); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Printf("[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	w := os.Stdout
+	run("tab1", func() error { return experiments.TableI(w, sizes) })
+	run("fig1", func() error { return experiments.FigI(w, sizes, *outDir) })
+	run("tab3", func() error { _, err := experiments.TableIII(w); return err })
+	run("fig5", func() error { return experiments.FigV(w, sizes) })
+	run("fig6", func() error { return experiments.FigVI(w, sizes, *outDir) })
+	run("tab2", func() error { _, err := experiments.TableII(w, sizes); return err })
+	run("fig8", func() error { _, err := experiments.FigVIII(w, sizes); return err })
+	run("fig9", func() error { return experiments.FigIX(w, sizes, *outDir) })
+	run("ablation", func() error {
+		if err := experiments.AblationPredictors(w, sizes); err != nil {
+			return err
+		}
+		if err := experiments.AblationHybridFit(w, sizes); err != nil {
+			return err
+		}
+		if err := experiments.AblationAttention(w, sizes); err != nil {
+			return err
+		}
+		if err := experiments.AblationBlockwiseHybrid(w, sizes); err != nil {
+			return err
+		}
+		return experiments.AblationDirectValue(w, sizes)
+	})
+	run("anchorsel", func() error { return experiments.AnchorSelection(w, sizes) })
+	run("throughput", func() error { return experiments.Throughput(w, sizes) })
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cfbench:", err)
+	os.Exit(1)
+}

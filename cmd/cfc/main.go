@@ -1,0 +1,269 @@
+// Command cfc compresses, decompresses, and verifies scientific fields.
+//
+// Compress (baseline):
+//
+//	cfc -c -data data/hurricane -field Wf -rel 1e-3 -o wf.cfc
+//
+// Compress (cross-field hybrid; anchors are baseline-compressed and
+// decompressed at the same bound automatically):
+//
+//	cfc -c -data data/hurricane -field Wf -rel 1e-3 \
+//	    -model wf.cfnn -anchors Uf,Vf,Pf -o wf.cfc
+//
+// Decompress (hybrid blobs need -data and -anchors to rebuild the anchor
+// reconstructions):
+//
+//	cfc -d -in wf.cfc [-data data/hurricane -anchors Uf,Vf,Pf] -o wf_out.f32
+//
+// Verify a reconstruction against the original:
+//
+//	cfc -verify -data data/hurricane -field Wf -in wf.cfc [-anchors ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cfnn"
+	"repro/internal/core"
+	"repro/internal/quant"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+)
+
+func main() {
+	var (
+		doC     = flag.Bool("c", false, "compress")
+		doD     = flag.Bool("d", false, "decompress")
+		doV     = flag.Bool("verify", false, "decompress and verify against the original field")
+		doS     = flag.Bool("stats", false, "print a blob's header without decompressing")
+		dataDir = flag.String("data", "", "dataset directory (cfgen format)")
+		field   = flag.String("field", "", "field name to compress/verify")
+		inPath  = flag.String("in", "", "input .cfc blob (for -d/-verify)")
+		outPath = flag.String("o", "", "output path")
+		relEB   = flag.Float64("rel", 0, "relative error bound (fraction of value range)")
+		absEB   = flag.Float64("abs", 0, "absolute error bound")
+		model   = flag.String("model", "", "trained CFNN model (enables cross-field compression)")
+		anchors = flag.String("anchors", "", "comma-separated anchor field names")
+	)
+	flag.Parse()
+
+	switch {
+	case *doC:
+		compress(*dataDir, *field, *outPath, *relEB, *absEB, *model, *anchors)
+	case *doD:
+		decompress(*inPath, *dataDir, *anchors, *outPath)
+	case *doV:
+		verify(*inPath, *dataDir, *field, *anchors)
+	case *doS:
+		stats(*inPath)
+	default:
+		fatal(fmt.Errorf("one of -c, -d, -verify, -stats is required"))
+	}
+}
+
+func stats(inPath string) {
+	if inPath == "" {
+		fatal(fmt.Errorf("stats needs -in"))
+	}
+	blob, err := os.ReadFile(inPath)
+	if err != nil {
+		fatal(err)
+	}
+	hdr, err := core.PeekStats(blob)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("method:      %v\n", hdr.Method)
+	fmt.Printf("dims:        %v (%d points)\n", hdr.Dims, hdr.NumPoints())
+	fmt.Printf("bound:       mode=%d value=%g (abs eb %g)\n", hdr.BoundMode, hdr.BoundValue, hdr.AbsEB)
+	fmt.Printf("anchors:     %v\n", hdr.Anchors)
+	fmt.Printf("sections:    model %d B | table %d B | payload %d B (raw %d B)\n",
+		len(hdr.Model), len(hdr.Table), len(hdr.Payload), hdr.PayloadRaw)
+	fmt.Printf("total blob:  %d B (ratio %.2fx vs float32)\n",
+		len(blob), float64(hdr.NumPoints()*4)/float64(len(blob)))
+	if len(hdr.Hybrid) > 0 {
+		fmt.Printf("hybrid:      %v\n", hdr.Hybrid)
+	}
+}
+
+func bound(rel, abs float64) quant.Bound {
+	if rel > 0 {
+		return quant.RelBound(rel)
+	}
+	return quant.AbsBound(abs)
+}
+
+func loadAnchors(dataDir, anchors string, b quant.Bound) ([]*tensor.Tensor, []string, error) {
+	ds, err := sim.LoadDataset(dataDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var (
+		out   []*tensor.Tensor
+		names []string
+	)
+	for _, name := range strings.Split(anchors, ",") {
+		name = strings.TrimSpace(name)
+		a, err := ds.Field(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Round-trip through the baseline codec: compressor and
+		// decompressor must see identical anchor data.
+		res, err := core.CompressBaseline(a, core.Options{Bound: b})
+		if err != nil {
+			return nil, nil, err
+		}
+		dec, err := core.Decompress(res.Blob, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, dec)
+		names = append(names, name)
+	}
+	return out, names, nil
+}
+
+func compress(dataDir, field, outPath string, rel, abs float64, modelPath, anchors string) {
+	if dataDir == "" || field == "" || outPath == "" || (rel <= 0 && abs <= 0) {
+		fatal(fmt.Errorf("compress needs -data -field -o and -rel or -abs"))
+	}
+	ds, err := sim.LoadDataset(dataDir)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := ds.Field(field)
+	if err != nil {
+		fatal(err)
+	}
+	b := bound(rel, abs)
+	var res *core.Result
+	if modelPath == "" {
+		res, err = core.CompressBaseline(f, core.Options{Bound: b})
+	} else {
+		if anchors == "" {
+			fatal(fmt.Errorf("-model requires -anchors"))
+		}
+		mf, merr := os.Open(modelPath)
+		if merr != nil {
+			fatal(merr)
+		}
+		m, merr := cfnn.Load(mf)
+		mf.Close()
+		if merr != nil {
+			fatal(merr)
+		}
+		anchorTensors, names, aerr := loadAnchors(dataDir, anchors, b)
+		if aerr != nil {
+			fatal(aerr)
+		}
+		res, err = core.CompressHybrid(f, m, anchorTensors, core.Options{Bound: b, AnchorNames: names})
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(outPath, res.Blob, 0o644); err != nil {
+		fatal(err)
+	}
+	st := res.Stats
+	fmt.Printf("%s: %d -> %d bytes (ratio %.2fx, %.3f bits/val, eb %s=%g abs=%g, method %v)\n",
+		field, st.OriginalBytes, st.CompressedBytes, st.Ratio, st.BitRate, b.Mode, b.Value, st.AbsEB, st.Method)
+	if st.ModelBytes > 0 {
+		fmt.Printf("  model %d B, table %d B, payload %d B\n", st.ModelBytes, st.TableBytes, st.PayloadBytes)
+	}
+}
+
+func decompress(inPath, dataDir, anchors, outPath string) {
+	if inPath == "" || outPath == "" {
+		fatal(fmt.Errorf("decompress needs -in and -o"))
+	}
+	blob, err := os.ReadFile(inPath)
+	if err != nil {
+		fatal(err)
+	}
+	recon, err := decodeBlob(blob, dataDir, anchors)
+	if err != nil {
+		fatal(err)
+	}
+	out, err := os.Create(outPath)
+	if err != nil {
+		fatal(err)
+	}
+	err = sim.WriteRaw(out, recon)
+	if cerr := out.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %v float32 values to %s\n", recon.Shape(), outPath)
+}
+
+func decodeBlob(blob []byte, dataDir, anchors string) (*tensor.Tensor, error) {
+	hdr, err := core.PeekStats(blob)
+	if err != nil {
+		return nil, err
+	}
+	var anchorTensors []*tensor.Tensor
+	if len(hdr.Hybrid) > 0 {
+		names := anchors
+		if names == "" {
+			names = strings.Join(hdr.Anchors, ",")
+		}
+		if dataDir == "" || names == "" {
+			return nil, fmt.Errorf("blob needs anchors %v: pass -data and -anchors", hdr.Anchors)
+		}
+		b := quant.Bound{Mode: quant.Mode(hdr.BoundMode), Value: hdr.BoundValue}
+		anchorTensors, _, err = loadAnchors(dataDir, names, b)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return core.Decompress(blob, anchorTensors)
+}
+
+func verify(inPath, dataDir, field, anchors string) {
+	if inPath == "" || dataDir == "" || field == "" {
+		fatal(fmt.Errorf("verify needs -in -data -field"))
+	}
+	blob, err := os.ReadFile(inPath)
+	if err != nil {
+		fatal(err)
+	}
+	hdr, err := core.PeekStats(blob)
+	if err != nil {
+		fatal(err)
+	}
+	recon, err := decodeBlob(blob, dataDir, anchors)
+	if err != nil {
+		fatal(err)
+	}
+	ds, err := sim.LoadDataset(dataDir)
+	if err != nil {
+		fatal(err)
+	}
+	orig, err := ds.Field(field)
+	if err != nil {
+		fatal(err)
+	}
+	maxErr, ok, err := core.VerifyBound(orig, recon, hdr.AbsEB)
+	if err != nil {
+		fatal(err)
+	}
+	status := "OK"
+	if !ok {
+		status = "VIOLATED"
+	}
+	fmt.Printf("max |orig-recon| = %g vs abs eb %g: %s\n", maxErr, hdr.AbsEB, status)
+	if !ok {
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cfc:", err)
+	os.Exit(1)
+}

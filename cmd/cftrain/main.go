@@ -1,0 +1,99 @@
+// Command cftrain trains a CFNN for one target field of a dataset written
+// by cfgen and saves the model blob cfc uses for cross-field compression.
+//
+// Usage:
+//
+//	cftrain -data data/hurricane -target Wf -anchors Uf,Vf,Pf -o wf.cfnn
+//	cftrain -data data/cesm -target LWCF -anchors FLUTC,FLNT \
+//	        -features 20 -epochs 10 -o lwcf.cfnn
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/cfnn"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+)
+
+func main() {
+	var (
+		dataDir  = flag.String("data", "", "dataset directory written by cfgen (required)")
+		target   = flag.String("target", "", "target field name (required)")
+		anchors  = flag.String("anchors", "", "comma-separated anchor field names (required)")
+		outPath  = flag.String("o", "", "output model path (required)")
+		features = flag.Int("features", 0, "CFNN width (0 = fast default)")
+		epochs   = flag.Int("epochs", 8, "training epochs")
+		steps    = flag.Int("steps", 10, "steps per epoch")
+		batch    = flag.Int("batch", 2, "patches per step")
+		lr       = flag.Float64("lr", 0, "Adam learning rate (0 = default)")
+		seed     = flag.Int64("seed", 1, "training seed")
+	)
+	flag.Parse()
+	if *dataDir == "" || *target == "" || *anchors == "" || *outPath == "" {
+		fatal(fmt.Errorf("required flags: -data -target -anchors -o"))
+	}
+
+	ds, err := sim.LoadDataset(*dataDir)
+	if err != nil {
+		fatal(err)
+	}
+	tf, err := ds.Field(*target)
+	if err != nil {
+		fatal(err)
+	}
+	var anchorTensors []*tensor.Tensor
+	anchorNames := strings.Split(*anchors, ",")
+	for _, a := range anchorNames {
+		at, err := ds.Field(strings.TrimSpace(a))
+		if err != nil {
+			fatal(err)
+		}
+		anchorTensors = append(anchorTensors, at)
+	}
+
+	cfg := cfnn.FastConfig(tf.Rank(), len(anchorTensors))
+	if *features > 0 {
+		cfg.Features = *features
+	}
+	cfg.Seed = *seed
+	model, err := cfnn.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("training CFNN: rank %d, %d anchors, %d features, %d parameters\n",
+		cfg.SpatialRank, cfg.NumAnchors, cfg.Features, model.ParamCount())
+	start := time.Now()
+	losses, err := model.Train(anchorTensors, tf, cfnn.TrainConfig{
+		Epochs: *epochs, StepsPerEpoch: *steps, Batch: *batch, LR: *lr, Seed: *seed + 1,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for e, l := range losses {
+		fmt.Printf("  epoch %2d: loss %.4f\n", e+1, l)
+	}
+	fmt.Printf("trained in %v\n", time.Since(start).Round(time.Millisecond))
+
+	f, err := os.Create(*outPath)
+	if err != nil {
+		fatal(err)
+	}
+	err = model.Save(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("saved model (%d bytes) to %s\n", model.SizeBytes(), *outPath)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cftrain:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,221 @@
+// Package crossfield is a Go implementation of cross-field-enhanced
+// error-bounded lossy compression for scientific data, reproducing
+// "Enhancing Lossy Compression Through Cross-Field Information for
+// Scientific Applications" (SC 2024, arXiv:2409.18295).
+//
+// The package compresses floating-point scientific fields with a strict
+// (absolute or value-range-relative) error bound. Two pipelines are
+// provided:
+//
+//   - Baseline: SZ3-style Lorenzo prediction with dual quantization,
+//     canonical Huffman coding, and a DEFLATE lossless stage.
+//   - Cross-field hybrid: a compact CNN (CFNN) predicts the target field's
+//     first-order backward differences from correlated anchor fields; a
+//     learned hybrid model fuses those with the Lorenzo prediction,
+//     concentrating the quantization-code distribution and improving the
+//     compression ratio at the same error bound.
+//
+// Quickstart:
+//
+//	target := crossfield.MustNewField("W", wData, 32, 192, 192)
+//	anchors := []*crossfield.Field{u, v, pres}
+//	codec, _ := crossfield.Train(target, anchors, crossfield.DefaultTraining())
+//	res, _ := codec.Compress(target, anchors, crossfield.Rel(1e-3))
+//	back, _ := codec.Decompress(res.Blob, anchors)
+//
+// Anchors must be available at decompression time; compress them first with
+// CompressBaseline at the same bound and feed the *decompressed* anchors to
+// both Compress and Decompress (see examples/climate3d).
+package crossfield
+
+import (
+	"fmt"
+
+	"repro/internal/cfnn"
+	"repro/internal/core"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// Field is a named scientific variable: a dense row-major float32 array
+// with 1-3 dimensions (slowest axis first, SDRBench convention).
+type Field struct {
+	Name string
+	t    *tensor.Tensor
+}
+
+// NewField wraps data (not copied) with the given dimensions.
+func NewField(name string, data []float32, dims ...int) (*Field, error) {
+	t, err := tensor.FromSlice(data, dims...)
+	if err != nil {
+		return nil, err
+	}
+	return &Field{Name: name, t: t}, nil
+}
+
+// MustNewField is NewField panicking on error, for statically-correct
+// shapes.
+func MustNewField(name string, data []float32, dims ...int) *Field {
+	f, err := NewField(name, data, dims...)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Dims returns the field's dimensions.
+func (f *Field) Dims() []int { return f.t.Shape() }
+
+// Data returns the underlying values (shared, not copied).
+func (f *Field) Data() []float32 { return f.t.Data() }
+
+// Len returns the number of values.
+func (f *Field) Len() int { return f.t.Len() }
+
+// Tensor exposes the underlying tensor for intra-module use (examples,
+// benches).
+func (f *Field) Tensor() *tensor.Tensor { return f.t }
+
+// ErrorBound is a user-facing error bound.
+type ErrorBound = quant.Bound
+
+// Abs returns an absolute error bound.
+func Abs(v float64) ErrorBound { return quant.AbsBound(v) }
+
+// Rel returns a value-range-relative error bound (e.g. 1e-3, as in the
+// paper's Table II).
+func Rel(v float64) ErrorBound { return quant.RelBound(v) }
+
+// Compressed is the outcome of a compression: the self-contained blob and
+// its statistics.
+type Compressed struct {
+	Blob  []byte
+	Stats core.Stats
+}
+
+// CompressBaseline compresses a field with the Lorenzo + dual-quantization
+// baseline (no anchors needed to decompress).
+func CompressBaseline(f *Field, bound ErrorBound) (*Compressed, error) {
+	res, err := core.CompressBaseline(f.t, core.Options{Bound: bound})
+	if err != nil {
+		return nil, err
+	}
+	return &Compressed{Blob: res.Blob, Stats: res.Stats}, nil
+}
+
+// Decompress reconstructs a field from a blob. Baseline blobs take nil
+// anchors; cross-field blobs need the same decompressed anchors used at
+// compression time, in the same order.
+func Decompress(name string, blob []byte, anchors []*Field) (*Field, error) {
+	t, err := core.Decompress(blob, fieldTensors(anchors))
+	if err != nil {
+		return nil, err
+	}
+	return &Field{Name: name, t: t}, nil
+}
+
+// Training configures CFNN training.
+type Training struct {
+	// Features is the CFNN width; 0 picks a fast single-CPU default.
+	Features int
+	// Epochs / StepsPerEpoch / Batch control the training budget.
+	Epochs, StepsPerEpoch, Batch int
+	// Patch dims (PatchD ignored for 2D fields).
+	PatchD, PatchH, PatchW int
+	// LR is the Adam learning rate (0 = default).
+	LR float64
+	// Seed makes training deterministic.
+	Seed int64
+}
+
+// DefaultTraining returns a budget suitable for single-CPU runs.
+func DefaultTraining() Training { return Training{} }
+
+// Codec is a trained cross-field compressor for one target field family.
+type Codec struct {
+	model  *cfnn.Model
+	rank   int
+	names  []string
+	losses []float64
+}
+
+// Train fits a CFNN for predicting target from anchors (all fields must
+// share a 2D or 3D shape). Training uses the original field values, so one
+// codec serves every error bound.
+func Train(target *Field, anchors []*Field, tr Training) (*Codec, error) {
+	if len(anchors) == 0 {
+		return nil, fmt.Errorf("crossfield: need at least one anchor")
+	}
+	rank := target.t.Rank()
+	cfg := cfnn.FastConfig(rank, len(anchors))
+	if tr.Features > 0 {
+		cfg.Features = tr.Features
+	}
+	cfg.Seed = tr.Seed
+	m, err := cfnn.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	losses, err := m.Train(fieldTensors(anchors), target.t, cfnn.TrainConfig{
+		Epochs: tr.Epochs, StepsPerEpoch: tr.StepsPerEpoch, Batch: tr.Batch,
+		PatchD: tr.PatchD, PatchH: tr.PatchH, PatchW: tr.PatchW,
+		LR: tr.LR, Seed: tr.Seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(anchors))
+	for i, a := range anchors {
+		names[i] = a.Name
+	}
+	return &Codec{model: m, rank: rank, names: names, losses: losses}, nil
+}
+
+// TrainingLosses returns the per-epoch CFNN training losses (Figure 5's
+// left panel).
+func (c *Codec) TrainingLosses() []float64 { return append([]float64(nil), c.losses...) }
+
+// ModelParams returns the CFNN's learnable-parameter count.
+func (c *Codec) ModelParams() int { return c.model.ParamCount() }
+
+// ModelBytes returns the serialized model size charged to every compressed
+// blob.
+func (c *Codec) ModelBytes() int { return c.model.SizeBytes() }
+
+// Model exposes the underlying CFNN for intra-module use.
+func (c *Codec) Model() *cfnn.Model { return c.model }
+
+// Compress runs the hybrid cross-field pipeline. anchors must be the
+// *decompressed* anchor fields (compress them with CompressBaseline at the
+// same bound first).
+func (c *Codec) Compress(target *Field, anchors []*Field, bound ErrorBound) (*Compressed, error) {
+	res, err := core.CompressHybrid(target.t, c.model, fieldTensors(anchors), core.Options{
+		Bound:       bound,
+		AnchorNames: c.names,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Compressed{Blob: res.Blob, Stats: res.Stats}, nil
+}
+
+// Decompress reconstructs a hybrid-compressed field.
+func (c *Codec) Decompress(blob []byte, anchors []*Field) (*Field, error) {
+	return Decompress("", blob, anchors)
+}
+
+// Verify checks |orig − recon| against the blob's absolute error bound.
+func Verify(orig, recon *Field, ebAbs float64) (maxErr float64, ok bool, err error) {
+	return core.VerifyBound(orig.t, recon.t, ebAbs)
+}
+
+func fieldTensors(fs []*Field) []*tensor.Tensor {
+	if len(fs) == 0 {
+		return nil
+	}
+	ts := make([]*tensor.Tensor, len(fs))
+	for i, f := range fs {
+		ts[i] = f.t
+	}
+	return ts
+}

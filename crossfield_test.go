@@ -1,0 +1,138 @@
+package crossfield
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewFieldValidation(t *testing.T) {
+	if _, err := NewField("x", make([]float32, 5), 2, 3); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+	f, err := NewField("x", make([]float32, 6), 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 6 || len(f.Dims()) != 2 {
+		t.Fatalf("field %v", f.Dims())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNewField should panic on bad shape")
+		}
+	}()
+	MustNewField("bad", make([]float32, 5), 2, 3)
+}
+
+func TestGenerateDatasets(t *testing.T) {
+	scale, err := GenerateScale(4, 16, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scale.Field("W"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scale.Field("NOPE"); err == nil {
+		t.Fatal("expected missing-field error")
+	}
+	cesm, err := GenerateCESM(24, 24, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cesm.Fieldset("FLUT", "LWCF"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cesm.Fieldset("FLUT", "NOPE"); err == nil {
+		t.Fatal("expected missing-field error")
+	}
+	hur, err := GenerateHurricane(4, 20, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hur.Fields) != 5 {
+		t.Fatalf("hurricane fields = %d", len(hur.Fields))
+	}
+}
+
+func TestPaperPlansCoverSixFields(t *testing.T) {
+	plans := PaperPlans()
+	if len(plans) != 6 {
+		t.Fatalf("plans = %d, want 6 (Table II rows)", len(plans))
+	}
+	for _, p := range plans {
+		if p.Target == "" || len(p.Anchors) == 0 || p.Preset == "" {
+			t.Fatalf("incomplete plan %+v", p)
+		}
+	}
+}
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	ds, err := GenerateHurricane(6, 32, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := ds.MustField("Wf")
+	anchors, err := ds.Fieldset("Uf", "Vf", "Pf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := Train(target, anchors, Training{
+		Features: 5, Epochs: 2, StepsPerEpoch: 4, Batch: 1, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if codec.ModelParams() <= 0 || codec.ModelBytes() <= 0 {
+		t.Fatal("model accounting broken")
+	}
+	if len(codec.TrainingLosses()) != 2 {
+		t.Fatalf("losses = %v", codec.TrainingLosses())
+	}
+	bound := Rel(1e-3)
+	var anchorsDec []*Field
+	for _, a := range anchors {
+		comp, err := CompressBaseline(a, bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := Decompress(a.Name, comp.Blob, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Anchors themselves must honor the bound.
+		if maxErr, ok, err := Verify(a, dec, comp.Stats.AbsEB); err != nil || !ok {
+			t.Fatalf("anchor %s bound violated: %v (err %v)", a.Name, maxErr, err)
+		}
+		anchorsDec = append(anchorsDec, dec)
+	}
+	hyb, err := codec.Compress(target, anchorsDec, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon, err := codec.Decompress(hyb.Blob, anchorsDec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxErr, ok, err := Verify(target, recon, hyb.Stats.AbsEB)
+	if err != nil || !ok {
+		t.Fatalf("bound violated: %v (err %v)", maxErr, err)
+	}
+}
+
+func TestTrainRequiresAnchors(t *testing.T) {
+	f := MustNewField("x", make([]float32, 64), 8, 8)
+	if _, err := Train(f, nil, Training{}); err == nil {
+		t.Fatal("expected no-anchors error")
+	}
+}
+
+func TestBoundConstructors(t *testing.T) {
+	if b := Abs(0.5); b.Value != 0.5 {
+		t.Fatal("abs bound")
+	}
+	r := Rel(1e-3)
+	got, err := r.Absolute(100)
+	if err != nil || math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("rel bound resolve = %v, %v", got, err)
+	}
+}

@@ -1,0 +1,113 @@
+package crossfield
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Dataset is a named set of equally-shaped fields with the paper's
+// anchor→target relationships attached.
+type Dataset struct {
+	Name   string
+	Dims   []int
+	Fields []*Field
+	byName map[string]*Field
+}
+
+// Field returns the named field.
+func (d *Dataset) Field(name string) (*Field, error) {
+	f, ok := d.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("crossfield: dataset %s has no field %q", d.Name, name)
+	}
+	return f, nil
+}
+
+// MustField is Field panicking on missing names.
+func (d *Dataset) MustField(name string) *Field {
+	f, err := d.Field(name)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Fieldset returns the named fields in order.
+func (d *Dataset) Fieldset(names ...string) ([]*Field, error) {
+	out := make([]*Field, len(names))
+	for i, n := range names {
+		f, err := d.Field(n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = f
+	}
+	return out, nil
+}
+
+func fromSim(ds *sim.Dataset) *Dataset {
+	out := &Dataset{
+		Name:   ds.Name,
+		Dims:   append([]int(nil), ds.Dims...),
+		byName: make(map[string]*Field),
+	}
+	for _, name := range ds.Fields() {
+		f := &Field{Name: name, t: ds.MustField(name)}
+		out.Fields = append(out.Fields, f)
+		out.byName[name] = f
+	}
+	return out
+}
+
+// GenerateScale builds a SCALE-LETKF-like synthetic 3D climate dataset
+// (fields T, QV, PRES, RH, U, V, W with built-in physical couplings).
+func GenerateScale(nz, ny, nx int, seed int64) (*Dataset, error) {
+	ds, err := sim.GenerateScale(sim.ScaleSpec{NZ: nz, NY: ny, NX: nx, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return fromSim(ds), nil
+}
+
+// GenerateCESM builds a CESM-ATM-like synthetic 2D dataset (cloud fractions
+// and longwave fluxes).
+func GenerateCESM(ny, nx int, seed int64) (*Dataset, error) {
+	ds, err := sim.GenerateCESM(sim.CESMSpec{NY: ny, NX: nx, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return fromSim(ds), nil
+}
+
+// GenerateHurricane builds a Hurricane-ISABEL-like synthetic 3D dataset
+// (Uf, Vf, Wf, Pf, TCf around a drifting cyclone).
+func GenerateHurricane(nz, ny, nx int, seed int64) (*Dataset, error) {
+	ds, err := sim.GenerateHurricane(sim.HurricaneSpec{NZ: nz, NY: ny, NX: nx, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return fromSim(ds), nil
+}
+
+// AnchorPlan maps a target field to its anchor fields, as in the paper's
+// Table III ("The selection of anchor fields ... is guided by basic
+// physical principles").
+type AnchorPlan struct {
+	Dataset string
+	Target  string
+	Anchors []string
+	Preset  string // cfnn paper-parity preset name for Table III
+}
+
+// PaperPlans returns the anchor configuration of the paper's Table III.
+func PaperPlans() []AnchorPlan {
+	return []AnchorPlan{
+		{Dataset: "SCALE", Target: "RH", Anchors: []string{"T", "QV", "PRES"}, Preset: "scale-rh"},
+		{Dataset: "SCALE", Target: "W", Anchors: []string{"U", "V", "PRES"}, Preset: "scale-w"},
+		{Dataset: "Hurricane", Target: "Wf", Anchors: []string{"Uf", "Vf", "Pf"}, Preset: "hurricane-wf"},
+		{Dataset: "CESM-ATM", Target: "CLDTOT", Anchors: []string{"CLDLOW", "CLDMED", "CLDHGH"}, Preset: "cesm-cldtot"},
+		{Dataset: "CESM-ATM", Target: "LWCF", Anchors: []string{"FLUTC", "FLNT"}, Preset: "cesm-lwcf"},
+		{Dataset: "CESM-ATM", Target: "FLUT", Anchors: []string{"FLNT", "FLNTC", "FLUTC", "LWCF"}, Preset: "cesm-flut"},
+	}
+}

@@ -1,0 +1,79 @@
+// hurricane mirrors the paper's Figure 8 analysis on the Hurricane
+// dataset: a rate-distortion sweep for Wf (vertical wind) predicted from
+// {Uf, Vf, Pf}, printing (bit-rate, PSNR) series for the baseline and the
+// cross-field hybrid. Because dual quantization makes both methods
+// reconstruct identical data at a given bound, each bound yields one PSNR
+// and two bit-rates — the hybrid curve shifts left (fewer bits for the same
+// quality).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	crossfield "repro"
+	"repro/internal/metrics"
+)
+
+func main() {
+	var (
+		nz   = flag.Int("nz", 16, "grid depth")
+		ny   = flag.Int("ny", 96, "grid height")
+		nx   = flag.Int("nx", 96, "grid width")
+		seed = flag.Int64("seed", 44, "dataset seed")
+	)
+	flag.Parse()
+
+	ds, err := crossfield.GenerateHurricane(*nz, *ny, *nx, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	target := ds.MustField("Wf")
+	anchors, err := ds.Fieldset("Uf", "Vf", "Pf")
+	if err != nil {
+		log.Fatal(err)
+	}
+	codec, err := crossfield.Train(target, anchors, crossfield.Training{
+		Features: 12, Epochs: 8, StepsPerEpoch: 10, Batch: 2, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-10s %10s %14s %14s %14s\n", "rel eb", "PSNR(dB)", "bits(base)", "bits(hybrid)", "bits(payload)")
+	for _, eb := range []float64{1e-2, 5e-3, 2e-3, 1e-3, 5e-4, 2e-4, 1e-4} {
+		bound := crossfield.Rel(eb)
+		base, err := crossfield.CompressBaseline(target, bound)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var anchorsDec []*crossfield.Field
+		for _, a := range anchors {
+			comp, err := crossfield.CompressBaseline(a, bound)
+			if err != nil {
+				log.Fatal(err)
+			}
+			dec, err := crossfield.Decompress(a.Name, comp.Blob, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			anchorsDec = append(anchorsDec, dec)
+		}
+		hyb, err := codec.Compress(target, anchorsDec, bound)
+		if err != nil {
+			log.Fatal(err)
+		}
+		recon, err := codec.Decompress(hyb.Blob, anchorsDec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		psnr, err := metrics.PSNR(target.Data(), recon.Data())
+		if err != nil {
+			log.Fatal(err)
+		}
+		payloadBits := float64(hyb.Stats.CompressedBytes-hyb.Stats.ModelBytes) * 8 / float64(target.Len())
+		fmt.Printf("%-10.0e %10.2f %14.4f %14.4f %14.4f\n",
+			eb, psnr, base.Stats.BitRate, hyb.Stats.BitRate, payloadBits)
+	}
+}

@@ -1,0 +1,78 @@
+// Quickstart: compress one synthetic field with the Lorenzo baseline and
+// with the cross-field hybrid pipeline, decompress both, and check the
+// error bound.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	crossfield "repro"
+)
+
+func main() {
+	// Generate a small Hurricane-like dataset: Wf (vertical wind) is the
+	// target; Uf, Vf (horizontal winds) and Pf (pressure) are anchors.
+	ds, err := crossfield.GenerateHurricane(12, 64, 64, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	target := ds.MustField("Wf")
+	anchors, err := ds.Fieldset("Uf", "Vf", "Pf")
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound := crossfield.Rel(1e-3) // 0.1% of the value range
+
+	// 1. Baseline: Lorenzo + dual quantization.
+	base, err := crossfield.CompressBaseline(target, bound)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline: %d -> %d bytes (%.2fx)\n",
+		base.Stats.OriginalBytes, base.Stats.CompressedBytes, base.Stats.Ratio)
+
+	// 2. Cross-field hybrid: train a CFNN on the original fields...
+	codec, err := crossfield.Train(target, anchors, crossfield.Training{
+		Features: 8, Epochs: 6, StepsPerEpoch: 8, Batch: 2, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CFNN: %d parameters, %d bytes stored per blob\n",
+		codec.ModelParams(), codec.ModelBytes())
+
+	// ...compress the anchors with the baseline (they must be available at
+	// decompression), and feed the *decompressed* anchors to the codec.
+	var anchorsDec []*crossfield.Field
+	for _, a := range anchors {
+		comp, err := crossfield.CompressBaseline(a, bound)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dec, err := crossfield.Decompress(a.Name, comp.Blob, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		anchorsDec = append(anchorsDec, dec)
+	}
+	hyb, err := codec.Compress(target, anchorsDec, bound)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hybrid:   %d -> %d bytes (%.2fx; %d B of that is the model)\n",
+		hyb.Stats.OriginalBytes, hyb.Stats.CompressedBytes, hyb.Stats.Ratio, hyb.Stats.ModelBytes)
+
+	// 3. Decompress and verify the error bound.
+	recon, err := codec.Decompress(hyb.Blob, anchorsDec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxErr, ok, err := crossfield.Verify(target, recon, hyb.Stats.AbsEB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("max error %.3g vs bound %.3g: bound honored = %v\n", maxErr, hyb.Stats.AbsEB, ok)
+	fmt.Printf("code entropy: baseline %.3f vs hybrid %.3f bits/value (lower = better prediction)\n",
+		base.Stats.CodeEntropy, hyb.Stats.CodeEntropy)
+}

@@ -1,0 +1,142 @@
+// Package bitstream provides MSB-first bit-level writers and readers for
+// the entropy-coded payloads produced by internal/huffman.
+package bitstream
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOverrun is returned when reading past the end of the stream.
+var ErrOverrun = errors.New("bitstream: read past end")
+
+// Writer accumulates bits MSB-first into a byte slice.
+// The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	cur  uint64 // pending bits, left-aligned within nbit
+	nbit uint   // number of pending bits (< 8 after flushes)
+}
+
+// WriteBits appends the low n bits of v, most significant first.
+// n must be in [0, 64].
+func (w *Writer) WriteBits(v uint64, n uint) {
+	if n > 64 {
+		panic(fmt.Sprintf("bitstream: WriteBits n=%d > 64", n))
+	}
+	if n == 0 {
+		return
+	}
+	if n < 64 {
+		v &= (1 << n) - 1
+	}
+	// Emit high bits first.
+	for n > 0 {
+		take := 8 - w.nbit
+		if take > n {
+			take = n
+		}
+		chunk := (v >> (n - take)) & ((1 << take) - 1)
+		w.cur = (w.cur << take) | chunk
+		w.nbit += take
+		n -= take
+		if w.nbit == 8 {
+			w.buf = append(w.buf, byte(w.cur))
+			w.cur, w.nbit = 0, 0
+		}
+	}
+}
+
+// WriteBit appends a single bit (any nonzero v writes 1).
+func (w *Writer) WriteBit(v uint) {
+	if v != 0 {
+		w.WriteBits(1, 1)
+	} else {
+		w.WriteBits(0, 1)
+	}
+}
+
+// Bytes flushes any partial byte (zero-padded on the right) and returns the
+// encoded stream. The writer can keep being used afterwards only if the bit
+// count was a multiple of 8; callers normally finish with Bytes.
+func (w *Writer) Bytes() []byte {
+	if w.nbit > 0 {
+		w.buf = append(w.buf, byte(w.cur<<(8-w.nbit)))
+		w.cur, w.nbit = 0, 0
+	}
+	return w.buf
+}
+
+// BitLen returns the number of bits written so far.
+func (w *Writer) BitLen() int { return len(w.buf)*8 + int(w.nbit) }
+
+// Reset clears the writer for reuse.
+func (w *Writer) Reset() { w.buf, w.cur, w.nbit = w.buf[:0], 0, 0 }
+
+// Reader consumes bits MSB-first from a byte slice.
+type Reader struct {
+	buf  []byte
+	pos  int // next byte index
+	cur  uint64
+	nbit uint
+}
+
+// NewReader wraps data (not copied).
+func NewReader(data []byte) *Reader { return &Reader{buf: data} }
+
+// ReadBits reads n bits (n in [0,57]) and returns them right-aligned.
+func (r *Reader) ReadBits(n uint) (uint64, error) {
+	if n > 57 {
+		return 0, fmt.Errorf("bitstream: ReadBits n=%d > 57", n)
+	}
+	for r.nbit < n {
+		if r.pos >= len(r.buf) {
+			return 0, ErrOverrun
+		}
+		r.cur = (r.cur << 8) | uint64(r.buf[r.pos])
+		r.pos++
+		r.nbit += 8
+	}
+	v := (r.cur >> (r.nbit - n)) & ((1 << n) - 1)
+	r.nbit -= n
+	return v, nil
+}
+
+// ReadBit reads a single bit.
+func (r *Reader) ReadBit() (uint, error) {
+	v, err := r.ReadBits(1)
+	return uint(v), err
+}
+
+// PeekBits returns up to n bits without consuming them. If fewer bits
+// remain, the result is zero-padded on the right; got reports how many real
+// bits were available (<= n).
+func (r *Reader) PeekBits(n uint) (v uint64, got uint) {
+	if n > 57 {
+		n = 57
+	}
+	for r.nbit < n && r.pos < len(r.buf) {
+		r.cur = (r.cur << 8) | uint64(r.buf[r.pos])
+		r.pos++
+		r.nbit += 8
+	}
+	got = n
+	if r.nbit < n {
+		got = r.nbit
+		return (r.cur & ((1 << r.nbit) - 1)) << (n - r.nbit), got
+	}
+	return (r.cur >> (r.nbit - n)) & ((1 << n) - 1), got
+}
+
+// Skip consumes n bits previously peeked. It returns ErrOverrun if fewer
+// bits are buffered or available.
+func (r *Reader) Skip(n uint) error {
+	_, err := r.ReadBits(n)
+	return err
+}
+
+// BitsRemaining reports how many unread bits remain (including buffered
+// ones).
+func (r *Reader) BitsRemaining() int {
+	return (len(r.buf)-r.pos)*8 + int(r.nbit)
+}

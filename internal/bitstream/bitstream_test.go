@@ -1,0 +1,188 @@
+package bitstream
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadKnownPattern(t *testing.T) {
+	var w Writer
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0b1, 1)
+	w.WriteBits(0xFF, 8)
+	w.WriteBits(0, 4)
+	data := w.Bytes()
+	if len(data) != 2 {
+		t.Fatalf("len = %d, want 2", len(data))
+	}
+	r := NewReader(data)
+	got, err := r.ReadBits(3)
+	if err != nil || got != 0b101 {
+		t.Fatalf("read 3 bits = %b, err %v", got, err)
+	}
+	got, err = r.ReadBits(1)
+	if err != nil || got != 1 {
+		t.Fatalf("read 1 bit = %b, err %v", got, err)
+	}
+	got, err = r.ReadBits(8)
+	if err != nil || got != 0xFF {
+		t.Fatalf("read 8 bits = %x, err %v", got, err)
+	}
+	got, err = r.ReadBits(4)
+	if err != nil || got != 0 {
+		t.Fatalf("read 4 bits = %x, err %v", got, err)
+	}
+}
+
+func TestMSBFirstLayout(t *testing.T) {
+	var w Writer
+	w.WriteBits(1, 1) // single 1 bit => first byte should be 0x80
+	data := w.Bytes()
+	if data[0] != 0x80 {
+		t.Fatalf("MSB-first violated: byte = %x", data[0])
+	}
+}
+
+func TestWriteBitAndReadBit(t *testing.T) {
+	var w Writer
+	bits := []uint{1, 0, 1, 1, 0, 0, 1, 0, 1}
+	for _, b := range bits {
+		w.WriteBit(b)
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range bits {
+		got, err := r.ReadBit()
+		if err != nil || got != want {
+			t.Fatalf("bit %d = %d, want %d (err %v)", i, got, want, err)
+		}
+	}
+}
+
+func TestOverrun(t *testing.T) {
+	r := NewReader([]byte{0xAB})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBits(1); !errors.Is(err, ErrOverrun) {
+		t.Fatalf("err = %v, want ErrOverrun", err)
+	}
+}
+
+func TestReadBitsTooMany(t *testing.T) {
+	r := NewReader(make([]byte, 16))
+	if _, err := r.ReadBits(58); err == nil {
+		t.Fatal("expected error for n > 57")
+	}
+}
+
+func TestWriteBitsPanicsOver64(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var w Writer
+	w.WriteBits(0, 65)
+}
+
+func TestBitLenAndReset(t *testing.T) {
+	var w Writer
+	w.WriteBits(0b11, 2)
+	if w.BitLen() != 2 {
+		t.Fatalf("bitlen = %d", w.BitLen())
+	}
+	w.WriteBits(0, 14)
+	if w.BitLen() != 16 {
+		t.Fatalf("bitlen = %d", w.BitLen())
+	}
+	w.Reset()
+	if w.BitLen() != 0 || len(w.Bytes()) != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestPeekAndSkip(t *testing.T) {
+	var w Writer
+	w.WriteBits(0b1011001110001111, 16)
+	r := NewReader(w.Bytes())
+	v, got := r.PeekBits(4)
+	if got != 4 || v != 0b1011 {
+		t.Fatalf("peek = %b (%d bits)", v, got)
+	}
+	// Peek must not consume.
+	v2, _ := r.PeekBits(4)
+	if v2 != v {
+		t.Fatal("peek consumed bits")
+	}
+	if err := r.Skip(4); err != nil {
+		t.Fatal(err)
+	}
+	rv, err := r.ReadBits(4)
+	if err != nil || rv != 0b0011 {
+		t.Fatalf("after skip: %b", rv)
+	}
+}
+
+func TestPeekPastEndZeroPads(t *testing.T) {
+	var w Writer
+	w.WriteBits(0b1, 1)
+	r := NewReader(w.Bytes()) // one byte: 0x80
+	if err := r.Skip(8); err != nil {
+		t.Fatal(err)
+	}
+	v, got := r.PeekBits(8)
+	if got != 0 || v != 0 {
+		t.Fatalf("peek past end = %b (%d bits)", v, got)
+	}
+}
+
+func TestBitsRemaining(t *testing.T) {
+	r := NewReader([]byte{1, 2, 3})
+	if r.BitsRemaining() != 24 {
+		t.Fatalf("remaining = %d", r.BitsRemaining())
+	}
+	_, _ = r.ReadBits(5)
+	if r.BitsRemaining() != 19 {
+		t.Fatalf("remaining = %d", r.BitsRemaining())
+	}
+}
+
+// Property: arbitrary sequences of (value, width) round-trip exactly.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		type item struct {
+			v uint64
+			n uint
+		}
+		items := make([]item, 200)
+		var w Writer
+		for i := range items {
+			n := uint(rng.Intn(57) + 1)
+			v := rng.Uint64() & ((1 << n) - 1)
+			items[i] = item{v, n}
+			w.WriteBits(v, n)
+		}
+		r := NewReader(w.Bytes())
+		for _, it := range items {
+			got, err := r.ReadBits(it.n)
+			if err != nil || got != it.v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteZeroBitsNoop(t *testing.T) {
+	var w Writer
+	w.WriteBits(123, 0)
+	if w.BitLen() != 0 {
+		t.Fatal("zero-width write changed state")
+	}
+}

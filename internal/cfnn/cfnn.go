@@ -1,0 +1,346 @@
+// Package cfnn implements the paper's Cross-Field Neural Network (Figure 4):
+// a compact CNN that maps the first-order backward differences of anchor
+// fields to the predicted first-order backward differences of the target
+// field along every axis.
+//
+// Architecture (Section III-D2): initial convolution → depthwise separable
+// convolution (depthwise + pointwise) → channel attention (CBAM-style) →
+// final convolution. Inputs and targets are normalized to [0, 300]
+// (Section IV-B, Figure 5) using statistics captured at training time, so
+// one trained model serves every error bound — normalization happens on
+// original values, prequantization afterwards.
+package cfnn
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/diff"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// NormScale is the normalization range the paper trains CFNN on.
+const NormScale = 300.0
+
+// internalScale converts paper-normalized values ([0,300]) to the
+// zero-centered, ~unit-variance values the network actually computes on.
+// Purely an implementation detail: data normalization and reported training
+// losses stay in the paper's 0-300 units.
+const internalScale = NormScale / 4
+
+// Config describes a CFNN instance.
+type Config struct {
+	SpatialRank int  // 2 or 3
+	NumAnchors  int  // anchor fields feeding the prediction
+	Features    int  // width of the hidden feature maps
+	Kernel      int  // odd convolution kernel size (default 3)
+	Reduction   int  // channel-attention bottleneck ratio (default 4)
+	NoAttention bool // ablation: drop the channel-attention block
+	Seed        int64
+}
+
+// InChannels is one backward-difference channel per anchor per axis.
+func (c Config) InChannels() int { return c.NumAnchors * c.SpatialRank }
+
+// OutChannels is one predicted backward-difference channel per axis.
+func (c Config) OutChannels() int { return c.SpatialRank }
+
+func (c Config) withDefaults() Config {
+	if c.Kernel == 0 {
+		c.Kernel = 3
+	}
+	if c.Reduction == 0 {
+		c.Reduction = 4
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.SpatialRank != 2 && c.SpatialRank != 3 {
+		return fmt.Errorf("cfnn: spatial rank must be 2 or 3, got %d", c.SpatialRank)
+	}
+	if c.NumAnchors < 1 {
+		return fmt.Errorf("cfnn: need at least one anchor, got %d", c.NumAnchors)
+	}
+	if c.Features < 1 {
+		return fmt.Errorf("cfnn: features must be >= 1, got %d", c.Features)
+	}
+	if c.Kernel < 1 || c.Kernel%2 == 0 {
+		return fmt.Errorf("cfnn: kernel must be odd positive, got %d", c.Kernel)
+	}
+	if c.Reduction < 1 {
+		return fmt.Errorf("cfnn: reduction must be >= 1, got %d", c.Reduction)
+	}
+	return nil
+}
+
+// Model is a CFNN plus the per-channel normalization captured at training
+// time.
+type Model struct {
+	Cfg Config
+	net *nn.Sequential
+
+	// Normalization: norm = (x − off) · scale, inverse x = norm/scale + off.
+	// A zero scale marks a constant channel (normalizes to 0, denormalizes
+	// to the offset). The *Mean arrays hold each channel's mean in
+	// normalized units; the network computes on (norm − mean)/internalScale.
+	inOff, inScale   []float32
+	outOff, outScale []float32
+	inMean, outMean  []float32
+	trained          bool
+}
+
+// New builds an untrained CFNN.
+func New(cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var layers []nn.Layer
+	inC, outC, f, k := cfg.InChannels(), cfg.OutChannels(), cfg.Features, cfg.Kernel
+	if cfg.SpatialRank == 3 {
+		c1, err := nn.NewConv3D(rng, inC, f, k)
+		if err != nil {
+			return nil, err
+		}
+		dw, err := nn.NewDepthwiseConv3D(rng, f, k)
+		if err != nil {
+			return nil, err
+		}
+		pw, err := nn.NewConv3D(rng, f, f, 1)
+		if err != nil {
+			return nil, err
+		}
+		attn, err := nn.NewChannelAttention(rng, f, cfg.Reduction)
+		if err != nil {
+			return nil, err
+		}
+		c2, err := nn.NewConv3D(rng, f, outC, k)
+		if err != nil {
+			return nil, err
+		}
+		layers = []nn.Layer{c1, nn.NewReLU(), dw, pw, nn.NewReLU(), attn, c2}
+		if cfg.NoAttention {
+			layers = []nn.Layer{c1, nn.NewReLU(), dw, pw, nn.NewReLU(), c2}
+		}
+	} else {
+		c1, err := nn.NewConv2D(rng, inC, f, k)
+		if err != nil {
+			return nil, err
+		}
+		dw, err := nn.NewDepthwiseConv2D(rng, f, k)
+		if err != nil {
+			return nil, err
+		}
+		pw, err := nn.NewConv2D(rng, f, f, 1)
+		if err != nil {
+			return nil, err
+		}
+		attn, err := nn.NewChannelAttention(rng, f, cfg.Reduction)
+		if err != nil {
+			return nil, err
+		}
+		c2, err := nn.NewConv2D(rng, f, outC, k)
+		if err != nil {
+			return nil, err
+		}
+		layers = []nn.Layer{c1, nn.NewReLU(), dw, pw, nn.NewReLU(), attn, c2}
+		if cfg.NoAttention {
+			layers = []nn.Layer{c1, nn.NewReLU(), dw, pw, nn.NewReLU(), c2}
+		}
+	}
+	m := &Model{
+		Cfg:      cfg,
+		net:      nn.NewSequential(layers...),
+		inOff:    make([]float32, inC),
+		inScale:  make([]float32, inC),
+		outOff:   make([]float32, outC),
+		outScale: make([]float32, outC),
+		inMean:   make([]float32, inC),
+		outMean:  make([]float32, outC),
+	}
+	return m, nil
+}
+
+// ParamCount returns the number of learnable scalars (Table III's "Model
+// Size CFNN" column).
+func (m *Model) ParamCount() int { return nn.ParamCount(m.net.Params()) }
+
+// Trained reports whether normalization statistics have been captured.
+func (m *Model) Trained() bool { return m.trained }
+
+// ErrNotTrained is returned by PredictDiffs on an untrained model.
+var ErrNotTrained = errors.New("cfnn: model not trained")
+
+// anchorDiffChannels computes the backward-difference channels of the
+// anchor fields in (anchor-major, axis-minor) order. The coordinate-0
+// boundary hyperplane of each channel is zeroed: the invertible backward
+// convention stores the raw value there (see internal/diff), which would
+// otherwise dominate the normalization statistics and inject unlearnable
+// targets. The codec applies the same convention on both sides, so this is
+// purely a representation choice.
+func (m *Model) anchorDiffChannels(anchors []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if len(anchors) != m.Cfg.NumAnchors {
+		return nil, fmt.Errorf("cfnn: got %d anchors, config wants %d", len(anchors), m.Cfg.NumAnchors)
+	}
+	var chans []*tensor.Tensor
+	for ai, a := range anchors {
+		if a.Rank() != m.Cfg.SpatialRank {
+			return nil, fmt.Errorf("cfnn: anchor %d rank %d != spatial rank %d", ai, a.Rank(), m.Cfg.SpatialRank)
+		}
+		if !a.SameShape(anchors[0]) {
+			return nil, fmt.Errorf("cfnn: anchor %d shape %v != %v", ai, a.Shape(), anchors[0].Shape())
+		}
+		ds, err := diffChannels(a)
+		if err != nil {
+			return nil, err
+		}
+		chans = append(chans, ds...)
+	}
+	return chans, nil
+}
+
+// diffChannels computes the backward differences of t along every axis with
+// the boundary hyperplane zeroed.
+func diffChannels(t *tensor.Tensor) ([]*tensor.Tensor, error) {
+	ds, err := diff.AllBackward(t)
+	if err != nil {
+		return nil, err
+	}
+	for axis, d := range ds {
+		zeroBoundary(d, axis)
+	}
+	return ds, nil
+}
+
+// zeroBoundary clears the hyperplane where the given axis' coordinate is 0.
+func zeroBoundary(t *tensor.Tensor, axis int) {
+	shape := t.Shape()
+	strides := t.Strides()
+	d := t.Data()
+	switch t.Rank() {
+	case 2:
+		if axis == 0 {
+			for j := 0; j < shape[1]; j++ {
+				d[j] = 0
+			}
+		} else {
+			for i := 0; i < shape[0]; i++ {
+				d[i*strides[0]] = 0
+			}
+		}
+	case 3:
+		switch axis {
+		case 0:
+			for i := 0; i < strides[0]; i++ {
+				d[i] = 0
+			}
+		case 1:
+			for k := 0; k < shape[0]; k++ {
+				base := k * strides[0]
+				for j := 0; j < shape[2]; j++ {
+					d[base+j] = 0
+				}
+			}
+		case 2:
+			for k := 0; k < shape[0]; k++ {
+				for i := 0; i < shape[1]; i++ {
+					d[k*strides[0]+i*strides[1]] = 0
+				}
+			}
+		}
+	}
+}
+
+// captureNorm stores [0,NormScale] normalization stats for a channel list.
+func captureNorm(chans []*tensor.Tensor, off, scale []float32) {
+	for i, ch := range chans {
+		mn, mx := ch.MinMax()
+		off[i] = mn
+		if mx > mn {
+			scale[i] = NormScale / (mx - mn)
+		} else {
+			scale[i] = 0
+		}
+	}
+}
+
+// captureMeans stores each channel's mean in normalized ([0,NormScale])
+// units.
+func captureMeans(chans []*tensor.Tensor, off, scale, mean []float32) {
+	for i, ch := range chans {
+		var sum float64
+		for _, v := range ch.Data() {
+			sum += float64((v - off[i]) * scale[i])
+		}
+		mean[i] = float32(sum / float64(ch.Len()))
+	}
+}
+
+// netValue maps a physical value to the network's internal representation.
+func netValue(v, off, scale, mean float32) float32 {
+	return ((v-off)*scale - mean) / internalScale
+}
+
+// stack assembles channels into one (C, spatial...) tensor in network
+// units.
+func stack(chans []*tensor.Tensor, off, scale, mean []float32) *tensor.Tensor {
+	spatialShape := chans[0].Shape()
+	shape := append([]int{len(chans)}, spatialShape...)
+	out := tensor.New(shape...)
+	per := chans[0].Len()
+	od := out.Data()
+	for c, ch := range chans {
+		o, s, mu := off[c], scale[c], mean[c]
+		dst := od[c*per : (c+1)*per]
+		for i, v := range ch.Data() {
+			dst[i] = netValue(v, o, s, mu)
+		}
+	}
+	return out
+}
+
+// PredictDiffs runs full-field inference: it computes the anchors' backward
+// differences, normalizes them with the training statistics, runs the
+// network, and denormalizes the outputs into physical-unit difference
+// fields — one per axis.
+//
+// Anchors should be the *decompressed* anchor fields so compressor and
+// decompressor see bit-identical inputs.
+func (m *Model) PredictDiffs(anchors []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if !m.trained {
+		return nil, ErrNotTrained
+	}
+	chans, err := m.anchorDiffChannels(anchors)
+	if err != nil {
+		return nil, err
+	}
+	x := stack(chans, m.inOff, m.inScale, m.inMean)
+	y, err := m.net.Forward(x)
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]*tensor.Tensor, m.Cfg.OutChannels())
+	per := chans[0].Len()
+	yd := y.Data()
+	spatial := chans[0].Shape()
+	for c := range outs {
+		t := tensor.New(spatial...)
+		o, s, mu := m.outOff[c], m.outScale[c], m.outMean[c]
+		src := yd[c*per : (c+1)*per]
+		if s == 0 {
+			t.Fill(o)
+		} else {
+			inv := 1 / s
+			for i, v := range src {
+				norm := v*internalScale + mu
+				t.Data()[i] = norm*inv + o
+			}
+		}
+		outs[c] = t
+	}
+	return outs, nil
+}

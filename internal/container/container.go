@@ -1,0 +1,293 @@
+// Package container defines the self-describing compressed-blob format.
+//
+// Layout (all integers little-endian or varint):
+//
+//	magic "CFC1" | version byte | method byte | bound mode byte
+//	float64 bound value | float64 absolute eb
+//	uvarint rank | uvarint dims...
+//	byte lossless backend id
+//	uvarint numHybridParams | float64 weights... (weights then bias; 0 for baseline)
+//	uvarint numAnchors | (uvarint len + name bytes)...
+//	uvarint modelLen   | model blob (CFNN; 0 for baseline)
+//	uvarint tableLen   | Huffman table
+//	uvarint payloadRaw | uvarint payloadLen | lossless-compressed payload
+//
+// Everything needed to decompress — except the decompressed anchor fields
+// themselves — lives in the blob, and every byte of it (including the CFNN
+// model) counts toward the compressed size, exactly as the paper charges
+// model storage against the ratio.
+package container
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Method identifies the prediction pipeline.
+type Method byte
+
+const (
+	// MethodBaseline is SZ3-style Lorenzo + dual-quant (the paper's
+	// baseline).
+	MethodBaseline Method = 0
+	// MethodHybrid is the paper's contribution: Lorenzo + CFNN cross-field
+	// predictions fused by the hybrid model.
+	MethodHybrid Method = 1
+	// MethodCrossOnly uses only the cross-field predictions (the Figure 6
+	// "cross-field" configuration).
+	MethodCrossOnly Method = 2
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case MethodBaseline:
+		return "baseline-lorenzo"
+	case MethodHybrid:
+		return "hybrid-crossfield"
+	case MethodCrossOnly:
+		return "cross-only"
+	default:
+		return fmt.Sprintf("Method(%d)", byte(m))
+	}
+}
+
+var magic = [4]byte{'C', 'F', 'C', '1'}
+
+const version = 1
+
+// ErrCorrupt reports a malformed blob.
+var ErrCorrupt = errors.New("container: corrupt blob")
+
+// Header carries everything except the three byte sections.
+type Header struct {
+	Method     Method
+	BoundMode  byte
+	BoundValue float64
+	AbsEB      float64
+	Dims       []int
+	BackendID  byte
+	Hybrid     []float64 // weights then bias; empty for baseline
+	Anchors    []string
+}
+
+// Blob is a parsed container.
+type Blob struct {
+	Header
+	Model      []byte
+	Table      []byte
+	PayloadRaw int // uncompressed payload length
+	Payload    []byte
+}
+
+// NumPoints returns the product of the dims.
+func (h *Header) NumPoints() int {
+	n := 1
+	for _, d := range h.Dims {
+		n *= d
+	}
+	return n
+}
+
+// Encode serializes a blob.
+func Encode(b *Blob) ([]byte, error) {
+	if len(b.Dims) < 1 || len(b.Dims) > 3 {
+		return nil, fmt.Errorf("container: rank %d unsupported", len(b.Dims))
+	}
+	out := make([]byte, 0, 64+len(b.Model)+len(b.Table)+len(b.Payload))
+	out = append(out, magic[:]...)
+	out = append(out, version, byte(b.Method), b.BoundMode)
+	var f8 [8]byte
+	binary.LittleEndian.PutUint64(f8[:], math.Float64bits(b.BoundValue))
+	out = append(out, f8[:]...)
+	binary.LittleEndian.PutUint64(f8[:], math.Float64bits(b.AbsEB))
+	out = append(out, f8[:]...)
+	out = binary.AppendUvarint(out, uint64(len(b.Dims)))
+	for _, d := range b.Dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("container: non-positive dim %d", d)
+		}
+		out = binary.AppendUvarint(out, uint64(d))
+	}
+	out = append(out, b.BackendID)
+	out = binary.AppendUvarint(out, uint64(len(b.Hybrid)))
+	for _, w := range b.Hybrid {
+		binary.LittleEndian.PutUint64(f8[:], math.Float64bits(w))
+		out = append(out, f8[:]...)
+	}
+	out = binary.AppendUvarint(out, uint64(len(b.Anchors)))
+	for _, a := range b.Anchors {
+		out = binary.AppendUvarint(out, uint64(len(a)))
+		out = append(out, a...)
+	}
+	out = binary.AppendUvarint(out, uint64(len(b.Model)))
+	out = append(out, b.Model...)
+	out = binary.AppendUvarint(out, uint64(len(b.Table)))
+	out = append(out, b.Table...)
+	out = binary.AppendUvarint(out, uint64(b.PayloadRaw))
+	out = binary.AppendUvarint(out, uint64(len(b.Payload)))
+	out = append(out, b.Payload...)
+	return out, nil
+}
+
+type reader struct {
+	data []byte
+	off  int
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: varint at offset %d", ErrCorrupt, r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.data) {
+		return nil, fmt.Errorf("%w: need %d bytes at offset %d of %d", ErrCorrupt, n, r.off, len(r.data))
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *reader) byte() (byte, error) {
+	b, err := r.bytes(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *reader) float64() (float64, error) {
+	b, err := r.bytes(8)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), nil
+}
+
+// Decode parses a blob (sections reference the input slice; callers must
+// not mutate it).
+func Decode(data []byte) (*Blob, error) {
+	r := &reader{data: data}
+	m, err := r.bytes(4)
+	if err != nil {
+		return nil, err
+	}
+	if [4]byte(m) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, m)
+	}
+	ver, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, ver)
+	}
+	b := &Blob{}
+	mb, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	b.Method = Method(mb)
+	if b.BoundMode, err = r.byte(); err != nil {
+		return nil, err
+	}
+	if b.BoundValue, err = r.float64(); err != nil {
+		return nil, err
+	}
+	if b.AbsEB, err = r.float64(); err != nil {
+		return nil, err
+	}
+	rank, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if rank < 1 || rank > 3 {
+		return nil, fmt.Errorf("%w: rank %d", ErrCorrupt, rank)
+	}
+	b.Dims = make([]int, rank)
+	for i := range b.Dims {
+		d, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if d == 0 || d > 1<<32 {
+			return nil, fmt.Errorf("%w: dim %d", ErrCorrupt, d)
+		}
+		b.Dims[i] = int(d)
+	}
+	if b.BackendID, err = r.byte(); err != nil {
+		return nil, err
+	}
+	nh, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nh > 64 {
+		return nil, fmt.Errorf("%w: %d hybrid params", ErrCorrupt, nh)
+	}
+	b.Hybrid = make([]float64, nh)
+	for i := range b.Hybrid {
+		if b.Hybrid[i], err = r.float64(); err != nil {
+			return nil, err
+		}
+	}
+	na, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if na > 256 {
+		return nil, fmt.Errorf("%w: %d anchors", ErrCorrupt, na)
+	}
+	b.Anchors = make([]string, na)
+	for i := range b.Anchors {
+		l, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if l > 4096 {
+			return nil, fmt.Errorf("%w: anchor name length %d", ErrCorrupt, l)
+		}
+		nb, err := r.bytes(int(l))
+		if err != nil {
+			return nil, err
+		}
+		b.Anchors[i] = string(nb)
+	}
+	ml, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if b.Model, err = r.bytes(int(ml)); err != nil {
+		return nil, err
+	}
+	tl, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if b.Table, err = r.bytes(int(tl)); err != nil {
+		return nil, err
+	}
+	praw, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	b.PayloadRaw = int(praw)
+	pl, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if b.Payload, err = r.bytes(int(pl)); err != nil {
+		return nil, err
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-r.off)
+	}
+	return b, nil
+}

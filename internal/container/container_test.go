@@ -1,0 +1,178 @@
+package container
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func sample() *Blob {
+	return &Blob{
+		Header: Header{
+			Method:     MethodHybrid,
+			BoundMode:  1,
+			BoundValue: 1e-3,
+			AbsEB:      0.042,
+			Dims:       []int{4, 8, 16},
+			BackendID:  1,
+			Hybrid:     []float64{0.5, 0.2, 0.2, 0.1, -0.01},
+			Anchors:    []string{"U", "V", "PRES"},
+		},
+		Model:      []byte{1, 2, 3, 4, 5},
+		Table:      []byte{9, 8, 7},
+		PayloadRaw: 1000,
+		Payload:    []byte{0xde, 0xad, 0xbe, 0xef},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	b := sample()
+	enc, err := Encode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Method != b.Method || back.BoundMode != b.BoundMode ||
+		back.BoundValue != b.BoundValue || back.AbsEB != b.AbsEB ||
+		back.BackendID != b.BackendID || back.PayloadRaw != b.PayloadRaw {
+		t.Fatalf("header mismatch: %+v", back.Header)
+	}
+	if len(back.Dims) != 3 || back.Dims[0] != 4 || back.Dims[2] != 16 {
+		t.Fatalf("dims = %v", back.Dims)
+	}
+	if back.NumPoints() != 4*8*16 {
+		t.Fatalf("numpoints = %d", back.NumPoints())
+	}
+	for i, w := range b.Hybrid {
+		if back.Hybrid[i] != w {
+			t.Fatal("hybrid weights differ")
+		}
+	}
+	for i, a := range b.Anchors {
+		if back.Anchors[i] != a {
+			t.Fatal("anchors differ")
+		}
+	}
+	for i := range b.Model {
+		if back.Model[i] != b.Model[i] {
+			t.Fatal("model differs")
+		}
+	}
+	for i := range b.Payload {
+		if back.Payload[i] != b.Payload[i] {
+			t.Fatal("payload differs")
+		}
+	}
+}
+
+func TestBaselineEmptySections(t *testing.T) {
+	b := &Blob{
+		Header: Header{
+			Method: MethodBaseline,
+			AbsEB:  0.5,
+			Dims:   []int{100},
+		},
+		PayloadRaw: 10,
+		Payload:    []byte{1},
+	}
+	enc, err := Encode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Hybrid) != 0 || len(back.Anchors) != 0 || len(back.Model) != 0 {
+		t.Fatal("baseline sections should be empty")
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	if _, err := Encode(&Blob{Header: Header{Dims: nil}}); err == nil {
+		t.Fatal("empty dims")
+	}
+	if _, err := Encode(&Blob{Header: Header{Dims: []int{1, 2, 3, 4}}}); err == nil {
+		t.Fatal("rank 4")
+	}
+	if _, err := Encode(&Blob{Header: Header{Dims: []int{0}}}); err == nil {
+		t.Fatal("zero dim")
+	}
+}
+
+func TestDecodeCorruption(t *testing.T) {
+	enc, err := Encode(sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncations at every prefix must error, never panic.
+	for i := 0; i < len(enc); i++ {
+		if _, err := Decode(enc[:i]); err == nil {
+			t.Fatalf("truncation at %d decoded successfully", i)
+		}
+	}
+	// Trailing garbage.
+	if _, err := Decode(append(append([]byte(nil), enc...), 0)); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("trailing bytes accepted")
+	}
+	// Bad magic.
+	bad := append([]byte(nil), enc...)
+	bad[0] = 'X'
+	if _, err := Decode(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("bad magic accepted")
+	}
+	// Bad version.
+	bad = append([]byte(nil), enc...)
+	bad[4] = 99
+	if _, err := Decode(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if MethodBaseline.String() != "baseline-lorenzo" ||
+		MethodHybrid.String() != "hybrid-crossfield" ||
+		MethodCrossOnly.String() != "cross-only" {
+		t.Fatal("method strings")
+	}
+	if Method(9).String() != "Method(9)" {
+		t.Fatal("unknown method string")
+	}
+}
+
+// Property: header fields round-trip for arbitrary values.
+func TestHeaderRoundTripProperty(t *testing.T) {
+	f := func(ebBits uint32, d0, d1 uint8, nAnchor uint8) bool {
+		b := &Blob{
+			Header: Header{
+				Method:     MethodHybrid,
+				BoundValue: float64(ebBits%1000+1) * 1e-6,
+				AbsEB:      float64(ebBits%777+1) * 1e-5,
+				Dims:       []int{int(d0%30) + 1, int(d1%30) + 1},
+				Hybrid:     []float64{1, 2, 3},
+			},
+			Payload:    []byte{1, 2},
+			PayloadRaw: 2,
+		}
+		for i := 0; i < int(nAnchor%5); i++ {
+			b.Anchors = append(b.Anchors, string(rune('A'+i)))
+		}
+		enc, err := Encode(b)
+		if err != nil {
+			return false
+		}
+		back, err := Decode(enc)
+		if err != nil {
+			return false
+		}
+		return back.BoundValue == b.BoundValue && back.AbsEB == b.AbsEB &&
+			back.Dims[0] == b.Dims[0] && back.Dims[1] == b.Dims[1] &&
+			len(back.Anchors) == len(b.Anchors)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

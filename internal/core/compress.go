@@ -1,0 +1,234 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bitstream"
+	"repro/internal/cfnn"
+	"repro/internal/container"
+	"repro/internal/huffman"
+	"repro/internal/metrics"
+	"repro/internal/parallel"
+	"repro/internal/predictor"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// CompressBaseline compresses a 1D/2D/3D field with the Lorenzo +
+// dual-quantization baseline.
+func CompressBaseline(field *tensor.Tensor, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	eb, err := resolveEB(field, opts.Bound)
+	if err != nil {
+		return nil, err
+	}
+	q, err := quant.Prequantize(field.Data(), eb)
+	if err != nil {
+		return nil, err
+	}
+	lor, err := predictor.LorenzoAll(q, field.Shape())
+	if err != nil {
+		return nil, err
+	}
+	codes := predictor.ResidualCodesInt(q, lor)
+	return assemble(field, codes, nil, nil, nil, container.MethodBaseline, eb, opts)
+}
+
+// CompressHybrid compresses a 2D/3D field with the paper's hybrid
+// cross-field pipeline. model must be trained; anchors must be the
+// *decompressed* anchor fields (so the decompressor, given the same
+// anchors, reproduces the predictions bit-for-bit).
+func CompressHybrid(field *tensor.Tensor, model *cfnn.Model, anchors []*tensor.Tensor, opts Options) (*Result, error) {
+	return compressCrossField(field, model, anchors, opts, container.MethodHybrid)
+}
+
+// CompressCrossOnly compresses using only the CFNN cross-field predictions
+// (no Lorenzo term) — the Figure 6 "cross-field" configuration run as a
+// full codec, used by the ablation benches.
+func CompressCrossOnly(field *tensor.Tensor, model *cfnn.Model, anchors []*tensor.Tensor, opts Options) (*Result, error) {
+	return compressCrossField(field, model, anchors, opts, container.MethodCrossOnly)
+}
+
+func compressCrossField(field *tensor.Tensor, model *cfnn.Model, anchors []*tensor.Tensor, opts Options, method container.Method) (*Result, error) {
+	opts = opts.withDefaults()
+	if field.Rank() != 2 && field.Rank() != 3 {
+		return nil, fmt.Errorf("core: cross-field compression needs rank 2 or 3, got %d", field.Rank())
+	}
+	for i, a := range anchors {
+		if !a.SameShape(field) {
+			return nil, fmt.Errorf("core: anchor %d shape %v != field shape %v", i, a.Shape(), field.Shape())
+		}
+	}
+	eb, err := resolveEB(field, opts.Bound)
+	if err != nil {
+		return nil, err
+	}
+	q, err := quant.Prequantize(field.Data(), eb)
+	if err != nil {
+		return nil, err
+	}
+	dq, err := predictedDQ(model, anchors, eb)
+	if err != nil {
+		return nil, err
+	}
+	// Candidate predictions over the full field (compression side is
+	// parallel thanks to dual quantization).
+	feats, err := candidateFeatures(q, field.Shape(), dq, method)
+	if err != nil {
+		return nil, err
+	}
+	hy, err := fitHybrid(feats, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	codes := make([]int32, len(q))
+	parallel.ForRange(len(q), func(lo, hi int) {
+		row := make([]float64, len(feats))
+		for i := lo; i < hi; i++ {
+			for k := range feats {
+				row[k] = feats[k][i]
+			}
+			pred := roundHalfAway(clampPred(hy.Apply(row)))
+			codes[i] = q[i] - int32(pred)
+		}
+	})
+	weights := append(append([]float64(nil), hy.W...), hy.Bias)
+	return assemble(field, codes, model, anchors, weights, method, eb, opts)
+}
+
+// candidateFeatures builds the per-point candidate predictions:
+// [Lorenzo, cross-axis-0, ..., cross-axis-(r-1)] for hybrid, or just the
+// cross predictions for cross-only.
+func candidateFeatures(q []int32, dims []int, dq [][]float64, method container.Method) ([][]float64, error) {
+	var feats [][]float64
+	if method == container.MethodHybrid {
+		lor, err := predictor.LorenzoAll(q, dims)
+		if err != nil {
+			return nil, err
+		}
+		lf := make([]float64, len(q))
+		parallel.ForRange(len(q), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				lf[i] = float64(lor[i])
+			}
+		})
+		feats = append(feats, lf)
+	}
+	strides := stridesOf(dims)
+	for a := range dq {
+		cf := make([]float64, len(q))
+		axis := a
+		parallel.ForRange(len(q), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				coord := (i / strides[axis]) % dims[axis]
+				cf[i] = predictor.CrossFieldPred(q, i, strides[axis], coord, dq[axis][i])
+			}
+		})
+		feats = append(feats, cf)
+	}
+	return feats, nil
+}
+
+func stridesOf(dims []int) []int {
+	s := make([]int, len(dims))
+	acc := 1
+	for i := len(dims) - 1; i >= 0; i-- {
+		s[i] = acc
+		acc *= dims[i]
+	}
+	return s
+}
+
+// fitHybrid least-squares-fits the hybrid weights on a deterministic random
+// sample of points.
+func fitHybrid(feats [][]float64, q []int32, opts Options) (*predictor.Hybrid, error) {
+	n := len(q)
+	samples := opts.HybridSamples
+	if samples > n {
+		samples = n
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + 1))
+	idx := make([]int, samples)
+	for i := range idx {
+		idx[i] = rng.Intn(n)
+	}
+	sub := make([][]float64, len(feats))
+	for k := range feats {
+		sub[k] = make([]float64, samples)
+		for i, p := range idx {
+			sub[k][i] = feats[k][p]
+		}
+	}
+	target := make([]float64, samples)
+	for i, p := range idx {
+		target[i] = float64(q[p])
+	}
+	return predictor.Fit(sub, target)
+}
+
+// assemble entropy-codes the quantization codes and builds the container.
+func assemble(field *tensor.Tensor, codes []int32, model *cfnn.Model, anchors []*tensor.Tensor, hybrid []float64, method container.Method, eb float64, opts Options) (*Result, error) {
+	codec, err := huffman.Build(codes, opts.MaxSymbols)
+	if err != nil {
+		return nil, err
+	}
+	var w bitstream.Writer
+	if err := codec.Encode(&w, codes); err != nil {
+		return nil, err
+	}
+	payloadRaw := w.Bytes()
+	payload, err := opts.Backend.Compress(payloadRaw)
+	if err != nil {
+		return nil, err
+	}
+	table, err := codec.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	var modelBlob []byte
+	if model != nil {
+		var mb bytes.Buffer
+		if err := model.Save(&mb); err != nil {
+			return nil, err
+		}
+		modelBlob = mb.Bytes()
+	}
+	blob := &container.Blob{
+		Header: container.Header{
+			Method:     method,
+			BoundMode:  byte(opts.Bound.Mode),
+			BoundValue: opts.Bound.Value,
+			AbsEB:      eb,
+			Dims:       append([]int(nil), field.Shape()...),
+			BackendID:  opts.Backend.ID(),
+			Hybrid:     hybrid,
+			Anchors:    append([]string(nil), opts.AnchorNames...),
+		},
+		Model:      modelBlob,
+		Table:      table,
+		PayloadRaw: len(payloadRaw),
+		Payload:    payload,
+	}
+	_ = anchors // anchors participate only via the model's dq fields
+	enc, err := container.Encode(blob)
+	if err != nil {
+		return nil, err
+	}
+	origBytes := field.Len() * 4
+	st := Stats{
+		Method:          method,
+		OriginalBytes:   origBytes,
+		CompressedBytes: len(enc),
+		ModelBytes:      len(modelBlob),
+		TableBytes:      len(table),
+		PayloadBytes:    len(payload),
+		AbsEB:           eb,
+		Ratio:           metrics.CompressionRatio(origBytes, len(enc)),
+		BitRate:         metrics.BitRate(field.Len(), len(enc)),
+		CodeEntropy:     metrics.Entropy(metrics.Histogram(codes)),
+		HybridWeights:   hybrid,
+	}
+	return &Result{Blob: enc, Stats: st}, nil
+}

@@ -1,0 +1,149 @@
+// Package core assembles the full error-bounded lossy compressor: dual
+// quantization → prediction (Lorenzo baseline, or the paper's hybrid
+// cross-field prediction) → canonical Huffman coding → lossless backend →
+// self-describing container.
+//
+// Two compression entry points exist:
+//
+//   - CompressBaseline: the paper's baseline — SZ3 with the Lorenzo
+//     predictor, modified to dual quantization (Section IV-A2).
+//   - CompressHybrid: the paper's contribution — CFNN cross-field difference
+//     predictions fused with Lorenzo by the learned hybrid model
+//     (Sections III-B/C/D).
+//
+// Decompress reverses either. For hybrid blobs the caller must supply the
+// same decompressed anchor fields the compressor used; everything else
+// (model weights, hybrid weights, Huffman table) travels inside the blob
+// and is charged to the compressed size.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/cfnn"
+	"repro/internal/container"
+	"repro/internal/lossless"
+	"repro/internal/metrics"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// Options configures compression.
+type Options struct {
+	// Bound is the error bound (required).
+	Bound quant.Bound
+	// Backend is the lossless stage; nil means lossless.Default() (flate).
+	Backend lossless.Backend
+	// MaxSymbols caps the Huffman alphabet; 0 means the SZ-style default.
+	MaxSymbols int
+	// HybridSamples is the sample count for the hybrid least-squares fit;
+	// 0 means 20000.
+	HybridSamples int
+	// Seed drives hybrid-fit sampling (deterministic for any fixed value).
+	Seed int64
+	// AnchorNames are recorded in the container for bookkeeping.
+	AnchorNames []string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Backend == nil {
+		o.Backend = lossless.Default()
+	}
+	if o.HybridSamples <= 0 {
+		o.HybridSamples = 20000
+	}
+	return o
+}
+
+// Stats reports the outcome of one compression.
+type Stats struct {
+	Method          container.Method
+	OriginalBytes   int
+	CompressedBytes int
+	ModelBytes      int // CFNN weights stored in the blob
+	TableBytes      int // Huffman table
+	PayloadBytes    int // entropy-coded + lossless-compressed codes
+	AbsEB           float64
+	Ratio           float64
+	BitRate         float64
+	CodeEntropy     float64 // Shannon entropy of the quantization codes
+	HybridWeights   []float64
+}
+
+// Result is a compressed field.
+type Result struct {
+	Blob  []byte
+	Stats Stats
+}
+
+// ErrNeedAnchors is returned when decompressing a cross-field blob without
+// anchor fields.
+var ErrNeedAnchors = errors.New("core: blob requires decompressed anchor fields")
+
+// maxPred bounds predictions so postquant codes stay in int32.
+const maxPred = 1 << 28
+
+func clampPred(v float64) float64 {
+	if v > maxPred {
+		return maxPred
+	}
+	if v < -maxPred {
+		return -maxPred
+	}
+	return v
+}
+
+func roundHalfAway(v float64) int64 {
+	if v >= 0 {
+		return int64(v + 0.5)
+	}
+	return int64(v - 0.5)
+}
+
+// resolveEB computes the absolute error bound for a field.
+func resolveEB(field *tensor.Tensor, bound quant.Bound) (float64, error) {
+	vr := metrics.ValueRange(field.Data())
+	return bound.Absolute(vr)
+}
+
+// diffToPrequantUnits converts a CFNN difference field (physical units)
+// into prequant units: dq = d̂ / (2·eb).
+func diffToPrequantUnits(d *tensor.Tensor, eb float64) []float64 {
+	out := make([]float64, d.Len())
+	inv := 1 / (2 * eb)
+	for i, v := range d.Data() {
+		out[i] = float64(v) * inv
+	}
+	return out
+}
+
+// predictedDQ runs CFNN inference on the anchors and converts each axis'
+// difference field to prequant units.
+func predictedDQ(model *cfnn.Model, anchors []*tensor.Tensor, eb float64) ([][]float64, error) {
+	diffs, err := model.PredictDiffs(anchors)
+	if err != nil {
+		return nil, err
+	}
+	dq := make([][]float64, len(diffs))
+	for a, d := range diffs {
+		dq[a] = diffToPrequantUnits(d, eb)
+	}
+	return dq, nil
+}
+
+// VerifyBound checks the reconstruction against the absolute error bound
+// (plus the float32 ulp tolerance) and returns the observed maximum error.
+func VerifyBound(orig, recon *tensor.Tensor, ebAbs float64) (maxErr float64, ok bool, err error) {
+	if !orig.SameShape(recon) {
+		return 0, false, fmt.Errorf("core: verify shape mismatch %v vs %v", orig.Shape(), recon.Shape())
+	}
+	maxErr, err = metrics.MaxAbsError(orig.Data(), recon.Data())
+	if err != nil {
+		return 0, false, err
+	}
+	s := orig.Summary()
+	maxAbs := math.Max(math.Abs(float64(s.Min)), math.Abs(float64(s.Max)))
+	return maxErr, maxErr <= quant.Tolerance(ebAbs, maxAbs), nil
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/bitstream"
+	"repro/internal/cfnn"
+	"repro/internal/container"
+	"repro/internal/huffman"
+	"repro/internal/lossless"
+	"repro/internal/predictor"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// Decompress reconstructs a field from a compressed blob. Baseline blobs
+// need no anchors (pass nil); hybrid/cross-only blobs require the same
+// decompressed anchor fields used at compression time, in the same order.
+//
+// Decompression is sequential in raster order — the Lorenzo dependency the
+// paper describes — while the CFNN inference that produces the cross-field
+// difference estimates runs up front in parallel.
+func Decompress(blob []byte, anchors []*tensor.Tensor) (*tensor.Tensor, error) {
+	b, err := container.Decode(blob)
+	if err != nil {
+		return nil, err
+	}
+	backend, err := lossless.ByID(b.BackendID)
+	if err != nil {
+		return nil, err
+	}
+	payloadRaw, err := backend.Decompress(b.Payload, b.PayloadRaw)
+	if err != nil {
+		return nil, err
+	}
+	codec, _, err := huffman.UnmarshalCodec(b.Table)
+	if err != nil {
+		return nil, err
+	}
+	n := b.NumPoints()
+	codes, err := codec.Decode(bitstream.NewReader(payloadRaw), n)
+	if err != nil {
+		return nil, err
+	}
+
+	q := make([]int32, n)
+	switch b.Method {
+	case container.MethodBaseline:
+		if err := reconstructBaseline(q, codes, b.Dims); err != nil {
+			return nil, err
+		}
+	case container.MethodHybrid, container.MethodCrossOnly:
+		if len(anchors) == 0 {
+			return nil, fmt.Errorf("%w: method %v, anchors %v", ErrNeedAnchors, b.Method, b.Anchors)
+		}
+		model, err := cfnn.Load(bytes.NewReader(b.Model))
+		if err != nil {
+			return nil, err
+		}
+		for i, a := range anchors {
+			if !sameDims(a.Shape(), b.Dims) {
+				return nil, fmt.Errorf("core: anchor %d shape %v != field dims %v", i, a.Shape(), b.Dims)
+			}
+		}
+		dq, err := predictedDQ(model, anchors, b.AbsEB)
+		if err != nil {
+			return nil, err
+		}
+		if err := reconstructCrossField(q, codes, b.Dims, dq, b.Hybrid, b.Method); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown method %v", b.Method)
+	}
+	vals := quant.Dequantize(q, b.AbsEB)
+	return tensor.FromSlice(vals, b.Dims...)
+}
+
+// reconstructBaseline reverses Lorenzo prediction sequentially.
+func reconstructBaseline(q []int32, codes []int32, dims []int) error {
+	switch len(dims) {
+	case 1:
+		for i := range q {
+			q[i] = codes[i] + int32(predictor.LorenzoPred1D(q, i))
+		}
+	case 2:
+		ny, nx := dims[0], dims[1]
+		p := 0
+		for i := 0; i < ny; i++ {
+			for j := 0; j < nx; j++ {
+				q[p] = codes[p] + int32(predictor.LorenzoPred2D(q, nx, i, j))
+				p++
+			}
+		}
+	case 3:
+		nz, ny, nx := dims[0], dims[1], dims[2]
+		p := 0
+		for k := 0; k < nz; k++ {
+			for i := 0; i < ny; i++ {
+				for j := 0; j < nx; j++ {
+					q[p] = codes[p] + int32(predictor.LorenzoPred3D(q, ny, nx, k, i, j))
+					p++
+				}
+			}
+		}
+	default:
+		return fmt.Errorf("core: unsupported rank %d", len(dims))
+	}
+	return nil
+}
+
+// reconstructCrossField reverses the hybrid (or cross-only) prediction
+// sequentially, recomputing the same candidate predictions the compressor
+// used, now over reconstructed prequant values.
+func reconstructCrossField(q []int32, codes []int32, dims []int, dq [][]float64, weights []float64, method container.Method) error {
+	rank := len(dims)
+	if rank != 2 && rank != 3 {
+		return fmt.Errorf("core: cross-field rank %d unsupported", rank)
+	}
+	if len(dq) != rank {
+		return fmt.Errorf("core: %d dq fields for rank %d", len(dq), rank)
+	}
+	numFeats := rank
+	if method == container.MethodHybrid {
+		numFeats++
+	}
+	if len(weights) != numFeats+1 {
+		return fmt.Errorf("core: %d hybrid params, want %d", len(weights), numFeats+1)
+	}
+	hy := &predictor.Hybrid{W: weights[:numFeats], Bias: weights[numFeats]}
+	strides := stridesOf(dims)
+	row := make([]float64, numFeats)
+
+	if rank == 2 {
+		ny, nx := dims[0], dims[1]
+		p := 0
+		for i := 0; i < ny; i++ {
+			for j := 0; j < nx; j++ {
+				f := 0
+				if method == container.MethodHybrid {
+					row[f] = float64(predictor.LorenzoPred2D(q, nx, i, j))
+					f++
+				}
+				row[f] = predictor.CrossFieldPred(q, p, strides[0], i, dq[0][p])
+				row[f+1] = predictor.CrossFieldPred(q, p, strides[1], j, dq[1][p])
+				pred := roundHalfAway(clampPred(hy.Apply(row)))
+				q[p] = codes[p] + int32(pred)
+				p++
+			}
+		}
+		return nil
+	}
+	nz, ny, nx := dims[0], dims[1], dims[2]
+	p := 0
+	for k := 0; k < nz; k++ {
+		for i := 0; i < ny; i++ {
+			for j := 0; j < nx; j++ {
+				f := 0
+				if method == container.MethodHybrid {
+					row[f] = float64(predictor.LorenzoPred3D(q, ny, nx, k, i, j))
+					f++
+				}
+				row[f] = predictor.CrossFieldPred(q, p, strides[0], k, dq[0][p])
+				row[f+1] = predictor.CrossFieldPred(q, p, strides[1], i, dq[1][p])
+				row[f+2] = predictor.CrossFieldPred(q, p, strides[2], j, dq[2][p])
+				pred := roundHalfAway(clampPred(hy.Apply(row)))
+				q[p] = codes[p] + int32(pred)
+				p++
+			}
+		}
+	}
+	return nil
+}
+
+func sameDims(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PeekStats decodes just the container header of a blob — used by tools to
+// inspect compressed files without full decompression.
+func PeekStats(blob []byte) (*container.Blob, error) {
+	b, err := container.Decode(blob)
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}

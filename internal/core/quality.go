@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cfnn"
+	"repro/internal/metrics"
+	"repro/internal/parallel"
+	"repro/internal/predictor"
+	"repro/internal/tensor"
+)
+
+// QualityReport compares the raw prediction accuracy of the three
+// predictors the paper visualizes in Figures 6 and 7: each field holds the
+// per-point predicted value computed from original data (no quantization,
+// no error-bound control), so PSNR against the original measures pure
+// prediction accuracy.
+type QualityReport struct {
+	Lorenzo *tensor.Tensor
+	Cross   *tensor.Tensor
+	Hybrid  *tensor.Tensor
+
+	PSNRLorenzo float64
+	PSNRCross   float64
+	PSNRHybrid  float64
+
+	HybridWeights []float64 // [lorenzo, cross-axis-0.. , bias]
+}
+
+// PredictionQuality reproduces the Figure 6 experiment: predict every point
+// of the target field with (a) the Lorenzo stencil over original values,
+// (b) the CFNN cross-field predictions alone, and (c) the hybrid
+// combination, and report each predictor's PSNR.
+func PredictionQuality(field *tensor.Tensor, model *cfnn.Model, anchors []*tensor.Tensor, seed int64) (*QualityReport, error) {
+	if field.Rank() != 2 && field.Rank() != 3 {
+		return nil, fmt.Errorf("core: prediction quality needs rank 2/3, got %d", field.Rank())
+	}
+	dims := field.Shape()
+	strides := stridesOf(dims)
+	data := field.Data()
+	n := field.Len()
+
+	// Lorenzo over original (float) values.
+	lor := tensor.New(dims...)
+	ld := lor.Data()
+	if field.Rank() == 2 {
+		ny, nx := dims[0], dims[1]
+		parallel.For(ny, func(i int) {
+			for j := 0; j < nx; j++ {
+				var up, left, diag float64
+				if i > 0 {
+					up = float64(data[(i-1)*nx+j])
+				}
+				if j > 0 {
+					left = float64(data[i*nx+j-1])
+				}
+				if i > 0 && j > 0 {
+					diag = float64(data[(i-1)*nx+j-1])
+				}
+				ld[i*nx+j] = float32(up + left - diag)
+			}
+		})
+	} else {
+		nz, ny, nx := dims[0], dims[1], dims[2]
+		at := func(k, i, j int) float64 {
+			if k < 0 || i < 0 || j < 0 {
+				return 0
+			}
+			return float64(data[(k*ny+i)*nx+j])
+		}
+		parallel.For(nz, func(k int) {
+			for i := 0; i < ny; i++ {
+				for j := 0; j < nx; j++ {
+					ld[(k*ny+i)*nx+j] = float32(at(k-1, i, j) + at(k, i-1, j) + at(k, i, j-1) -
+						at(k-1, i-1, j) - at(k-1, i, j-1) - at(k, i-1, j-1) + at(k-1, i-1, j-1))
+				}
+			}
+		})
+	}
+
+	// Cross-field predictions per axis (original neighbor + predicted
+	// difference), in physical units.
+	diffs, err := model.PredictDiffs(anchors)
+	if err != nil {
+		return nil, err
+	}
+	rank := field.Rank()
+	crossAxes := make([][]float64, rank)
+	for a := 0; a < rank; a++ {
+		ca := make([]float64, n)
+		axis := a
+		parallel.ForRange(n, func(lo, hi int) {
+			dd := diffs[axis].Data()
+			for i := lo; i < hi; i++ {
+				coord := (i / strides[axis]) % dims[axis]
+				var prev float64
+				if coord > 0 {
+					prev = float64(data[i-strides[axis]])
+				}
+				ca[i] = prev + float64(dd[i])
+			}
+		})
+		crossAxes[a] = ca
+	}
+	cross := tensor.New(dims...)
+	cd := cross.Data()
+	parallel.ForRange(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var sum float64
+			for a := 0; a < rank; a++ {
+				sum += crossAxes[a][i]
+			}
+			cd[i] = float32(sum / float64(rank))
+		}
+	})
+
+	// Hybrid: least-squares fuse [lorenzo, cross axes] on a sample.
+	feats := make([][]float64, 1+rank)
+	lf := make([]float64, n)
+	for i := range lf {
+		lf[i] = float64(ld[i])
+	}
+	feats[0] = lf
+	copy(feats[1:], crossAxes)
+	const samples = 20000
+	s := samples
+	if s > n {
+		s = n
+	}
+	rng := rand.New(rand.NewSource(seed + 7))
+	idx := make([]int, s)
+	for i := range idx {
+		idx[i] = rng.Intn(n)
+	}
+	sub := make([][]float64, len(feats))
+	for k := range feats {
+		sub[k] = make([]float64, s)
+		for i, p := range idx {
+			sub[k][i] = feats[k][p]
+		}
+	}
+	target := make([]float64, s)
+	for i, p := range idx {
+		target[i] = float64(data[p])
+	}
+	hy, err := predictor.Fit(sub, target)
+	if err != nil {
+		return nil, err
+	}
+	hyb := tensor.New(dims...)
+	hd := hyb.Data()
+	parallel.ForRange(n, func(lo, hi int) {
+		row := make([]float64, len(feats))
+		for i := lo; i < hi; i++ {
+			for k := range feats {
+				row[k] = feats[k][i]
+			}
+			hd[i] = float32(hy.Apply(row))
+		}
+	})
+
+	rep := &QualityReport{
+		Lorenzo:       lor,
+		Cross:         cross,
+		Hybrid:        hyb,
+		HybridWeights: append(append([]float64(nil), hy.W...), hy.Bias),
+	}
+	if rep.PSNRLorenzo, err = metrics.PSNR(data, ld); err != nil {
+		return nil, err
+	}
+	if rep.PSNRCross, err = metrics.PSNR(data, cd); err != nil {
+		return nil, err
+	}
+	if rep.PSNRHybrid, err = metrics.PSNR(data, hd); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

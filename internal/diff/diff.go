@@ -1,0 +1,175 @@
+// Package diff implements the first-order finite-difference operators the
+// paper builds its cross-field predictor on.
+//
+// The CFNN consumes first-order *backward* differences of anchor fields and
+// predicts first-order backward differences of the target field along each
+// axis (Section III-B). Backward differences are chosen over central
+// differences because they share the Lorenzo predictor's data dependency
+// direction (Figure 3): both only reference points already decoded in raster
+// order. Central differences are provided for the ablation experiment that
+// motivates that design choice.
+package diff
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Kind selects a finite-difference stencil.
+type Kind int
+
+const (
+	// Backward is v(i) - v(i-1); boundary value is v(0) (difference from an
+	// implicit zero-padded ghost of itself, i.e. the first element carries
+	// its own value so the transform is exactly invertible by prefix sum).
+	Backward Kind = iota
+	// Forward is v(i+1) - v(i); the last element along the axis is 0.
+	Forward
+	// Central is (v(i+1) - v(i-1))/2; boundaries fall back to one-sided
+	// differences. Not invertible; used only for the ablation study.
+	Central
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Backward:
+		return "backward"
+	case Forward:
+		return "forward"
+	case Central:
+		return "central"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Along computes the first-order difference of kind k along the given axis
+// of a rank-2 or rank-3 tensor, returning a new tensor of the same shape.
+func Along(t *tensor.Tensor, axis int, k Kind) (*tensor.Tensor, error) {
+	if axis < 0 || axis >= t.Rank() {
+		return nil, fmt.Errorf("diff: axis %d out of range for rank %d", axis, t.Rank())
+	}
+	out := tensor.New(t.Shape()...)
+	n := t.Dim(axis)
+	stride := t.Strides()[axis]
+	src := t.Data()
+	dst := out.Data()
+
+	// Enumerate every 1-D line along `axis`. A line's first element sits at
+	// an offset whose axis-coordinate is zero; we walk all flat offsets and
+	// pick those.
+	forEachLineStart(t, axis, func(base int) {
+		switch k {
+		case Backward:
+			dst[base] = src[base]
+			for i := 1; i < n; i++ {
+				o := base + i*stride
+				dst[o] = src[o] - src[o-stride]
+			}
+		case Forward:
+			for i := 0; i < n-1; i++ {
+				o := base + i*stride
+				dst[o] = src[o+stride] - src[o]
+			}
+			dst[base+(n-1)*stride] = 0
+		case Central:
+			if n == 1 {
+				dst[base] = 0
+				return
+			}
+			dst[base] = src[base+stride] - src[base]
+			for i := 1; i < n-1; i++ {
+				o := base + i*stride
+				dst[o] = (src[o+stride] - src[o-stride]) / 2
+			}
+			last := base + (n-1)*stride
+			dst[last] = src[last] - src[last-stride]
+		}
+	})
+	return out, nil
+}
+
+// Integrate inverts a Backward difference along the given axis via prefix
+// sum, reconstructing the original tensor exactly (up to float32 rounding).
+func Integrate(d *tensor.Tensor, axis int) (*tensor.Tensor, error) {
+	if axis < 0 || axis >= d.Rank() {
+		return nil, fmt.Errorf("diff: axis %d out of range for rank %d", axis, d.Rank())
+	}
+	out := tensor.New(d.Shape()...)
+	n := d.Dim(axis)
+	stride := d.Strides()[axis]
+	src := d.Data()
+	dst := out.Data()
+	forEachLineStart(d, axis, func(base int) {
+		acc := float32(0)
+		for i := 0; i < n; i++ {
+			o := base + i*stride
+			acc += src[o]
+			dst[o] = acc
+		}
+	})
+	return out, nil
+}
+
+// AllBackward computes backward differences along every axis of t, returning
+// one tensor per axis in axis order. This is the CFNN input/target layout:
+// an n-dimensional field yields n difference channels.
+func AllBackward(t *tensor.Tensor) ([]*tensor.Tensor, error) {
+	outs := make([]*tensor.Tensor, t.Rank())
+	for a := 0; a < t.Rank(); a++ {
+		d, err := Along(t, a, Backward)
+		if err != nil {
+			return nil, err
+		}
+		outs[a] = d
+	}
+	return outs, nil
+}
+
+// AllCentral computes central differences along every axis (ablation use).
+func AllCentral(t *tensor.Tensor) ([]*tensor.Tensor, error) {
+	outs := make([]*tensor.Tensor, t.Rank())
+	for a := 0; a < t.Rank(); a++ {
+		d, err := Along(t, a, Central)
+		if err != nil {
+			return nil, err
+		}
+		outs[a] = d
+	}
+	return outs, nil
+}
+
+// forEachLineStart invokes fn with the flat offset of the first element of
+// every 1-D line along `axis`.
+func forEachLineStart(t *tensor.Tensor, axis int, fn func(base int)) {
+	shape := t.Shape()
+	strides := t.Strides()
+	// Iterate the product of all non-axis dimensions.
+	coords := make([]int, len(shape))
+	for {
+		base := 0
+		for i, c := range coords {
+			base += c * strides[i]
+		}
+		fn(base)
+		// Increment mixed-radix counter, skipping `axis`.
+		i := len(shape) - 1
+		for i >= 0 {
+			if i == axis {
+				i--
+				continue
+			}
+			coords[i]++
+			if coords[i] < shape[i] {
+				break
+			}
+			coords[i] = 0
+			i--
+		}
+		if i < 0 {
+			return
+		}
+	}
+}

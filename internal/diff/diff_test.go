@@ -1,0 +1,237 @@
+package diff
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func randTensor(rng *rand.Rand, shape ...int) *tensor.Tensor {
+	t := tensor.New(shape...)
+	for i := range t.Data() {
+		t.Data()[i] = rng.Float32()*20 - 10
+	}
+	return t
+}
+
+func TestBackwardKnownValues2D(t *testing.T) {
+	// 2x3 field:
+	// 1 3 6
+	// 2 5 9
+	f := tensor.MustFromSlice([]float32{1, 3, 6, 2, 5, 9}, 2, 3)
+	dx, err := Along(f, 1, Backward) // along last axis
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{1, 2, 3, 2, 3, 4}
+	for i, v := range dx.Data() {
+		if v != want[i] {
+			t.Fatalf("dx = %v, want %v", dx.Data(), want)
+		}
+	}
+	dy, err := Along(f, 0, Backward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantY := []float32{1, 3, 6, 1, 2, 3}
+	for i, v := range dy.Data() {
+		if v != wantY[i] {
+			t.Fatalf("dy = %v, want %v", dy.Data(), wantY)
+		}
+	}
+}
+
+func TestForwardKnownValues(t *testing.T) {
+	f := tensor.MustFromSlice([]float32{1, 3, 6}, 3)
+	d, err := Along(f, 0, Forward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{2, 3, 0}
+	for i, v := range d.Data() {
+		if v != want[i] {
+			t.Fatalf("forward = %v, want %v", d.Data(), want)
+		}
+	}
+}
+
+func TestCentralKnownValues(t *testing.T) {
+	f := tensor.MustFromSlice([]float32{1, 3, 6, 10}, 4)
+	d, err := Along(f, 0, Central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{2, 2.5, 3.5, 4}
+	for i, v := range d.Data() {
+		if math.Abs(float64(v-want[i])) > 1e-6 {
+			t.Fatalf("central = %v, want %v", d.Data(), want)
+		}
+	}
+}
+
+func TestCentralSingleElementAxis(t *testing.T) {
+	f := tensor.MustFromSlice([]float32{5, 7}, 1, 2)
+	d, err := Along(f, 0, Central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range d.Data() {
+		if v != 0 {
+			t.Fatalf("central along length-1 axis should be 0, got %v", d.Data())
+		}
+	}
+}
+
+func TestAxisOutOfRange(t *testing.T) {
+	f := tensor.New(2, 2)
+	if _, err := Along(f, 2, Backward); err == nil {
+		t.Fatal("expected axis error")
+	}
+	if _, err := Along(f, -1, Backward); err == nil {
+		t.Fatal("expected axis error")
+	}
+	if _, err := Integrate(f, 5); err == nil {
+		t.Fatal("expected axis error")
+	}
+}
+
+func TestBackwardIntegrateRoundTrip3D(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := randTensor(rng, 4, 5, 6)
+	for axis := 0; axis < 3; axis++ {
+		d, err := Along(f, axis, Backward)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Integrate(d, axis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range back.Data() {
+			if math.Abs(float64(v-f.Data()[i])) > 1e-4 {
+				t.Fatalf("axis %d: round-trip mismatch at %d: %v vs %v", axis, i, v, f.Data()[i])
+			}
+		}
+	}
+}
+
+// Property: backward diff then prefix-sum is identity for any shape/seed.
+func TestBackwardInvertibleProperty(t *testing.T) {
+	f := func(seed int64, a, b uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d0 := int(a%6) + 1
+		d1 := int(b%6) + 1
+		x := randTensor(rng, d0, d1)
+		for axis := 0; axis < 2; axis++ {
+			d, err := Along(x, axis, Backward)
+			if err != nil {
+				return false
+			}
+			y, err := Integrate(d, axis)
+			if err != nil {
+				return false
+			}
+			for i := range y.Data() {
+				if math.Abs(float64(y.Data()[i]-x.Data()[i])) > 1e-3 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: diff of a constant field is zero except the backward boundary,
+// which carries the constant itself.
+func TestConstantFieldProperty(t *testing.T) {
+	f := tensor.New(3, 4)
+	f.Fill(7)
+	d, err := Along(f, 1, Backward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			want := float32(0)
+			if j == 0 {
+				want = 7
+			}
+			if d.At2(i, j) != want {
+				t.Fatalf("d(%d,%d) = %v, want %v", i, j, d.At2(i, j), want)
+			}
+		}
+	}
+}
+
+func TestAllBackwardChannels(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := randTensor(rng, 3, 4, 5)
+	ds, err := AllBackward(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 3 {
+		t.Fatalf("got %d channels, want 3", len(ds))
+	}
+	for a, d := range ds {
+		single, err := Along(f, a, Backward)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range d.Data() {
+			if d.Data()[i] != single.Data()[i] {
+				t.Fatalf("axis %d: AllBackward differs from Along", a)
+			}
+		}
+	}
+}
+
+func TestAllCentralChannels(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	f := randTensor(rng, 4, 4)
+	ds, err := AllCentral(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 {
+		t.Fatalf("got %d channels, want 2", len(ds))
+	}
+}
+
+// Linear ramps: backward diff along the ramp axis is the slope everywhere
+// (except the boundary), central diff equals the slope exactly in the
+// interior too.
+func TestLinearRampSlope(t *testing.T) {
+	n := 10
+	f := tensor.New(n)
+	for i := 0; i < n; i++ {
+		f.Data()[i] = 2.5 * float32(i)
+	}
+	b, _ := Along(f, 0, Backward)
+	for i := 1; i < n; i++ {
+		if math.Abs(float64(b.Data()[i]-2.5)) > 1e-5 {
+			t.Fatalf("backward slope at %d = %v", i, b.Data()[i])
+		}
+	}
+	c, _ := Along(f, 0, Central)
+	for i := 1; i < n-1; i++ {
+		if math.Abs(float64(c.Data()[i]-2.5)) > 1e-5 {
+			t.Fatalf("central slope at %d = %v", i, c.Data()[i])
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Backward.String() != "backward" || Forward.String() != "forward" || Central.String() != "central" {
+		t.Fatal("Kind.String mismatch")
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Fatal("unknown kind string")
+	}
+}

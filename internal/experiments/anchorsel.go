@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	crossfield "repro"
+)
+
+// AnchorSelection evaluates the automatic anchor selector (the paper's
+// stated future work, Section IV-C/V) against the paper's hand-picked
+// physics-guided anchors: for each Table III target, it prints the
+// correlation ranking of all candidate fields and compares the hybrid CR
+// obtained with auto-selected anchors vs the paper's choices.
+func AnchorSelection(w io.Writer, s Sizes) error {
+	section(w, "Extension: automatic anchor selection vs paper's physics-guided anchors")
+	for _, plan := range crossfield.PaperPlans() {
+		ds, err := s.generate(plan.Dataset)
+		if err != nil {
+			return err
+		}
+		target, err := ds.Field(plan.Target)
+		if err != nil {
+			return err
+		}
+		scores, err := crossfield.RankAnchors(target, ds.Fields)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s/%s ranking:", plan.Dataset, plan.Target)
+		for _, sc := range scores {
+			fmt.Fprintf(w, " %s=%.2f", sc.Name, sc.Score)
+		}
+		fmt.Fprintln(w)
+
+		auto, err := crossfield.SelectAnchors(target, ds.Fields, len(plan.Anchors))
+		if err != nil {
+			return err
+		}
+		autoNames := make([]string, len(auto))
+		overlap := 0
+		paperSet := map[string]bool{}
+		for _, a := range plan.Anchors {
+			paperSet[a] = true
+		}
+		for i, a := range auto {
+			autoNames[i] = a.Name
+			if paperSet[a.Name] {
+				overlap++
+			}
+		}
+		fmt.Fprintf(w, "  paper anchors %v | auto %v | overlap %d/%d\n",
+			plan.Anchors, autoNames, overlap, len(plan.Anchors))
+
+		// Compare hybrid CR at rel-eb 1e-3 with each anchor set.
+		crPaper, err := hybridCRWithAnchors(s, ds, target, plan.Anchors)
+		if err != nil {
+			return err
+		}
+		crAuto, err := hybridCRWithAnchors(s, ds, target, autoNames)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  hybrid CR @1e-3: paper anchors %.2f | auto anchors %.2f\n", crPaper, crAuto)
+	}
+	return nil
+}
+
+func hybridCRWithAnchors(s Sizes, ds *crossfield.Dataset, target *crossfield.Field, anchorNames []string) (float64, error) {
+	anchors, err := ds.Fieldset(anchorNames...)
+	if err != nil {
+		return 0, err
+	}
+	codec, err := crossfield.Train(target, anchors, s.training(len(target.Dims())))
+	if err != nil {
+		return 0, err
+	}
+	bound := crossfield.Rel(1e-3)
+	anchorsDec, err := decompressedAnchors(anchors, bound)
+	if err != nil {
+		return 0, err
+	}
+	res, err := codec.Compress(target, anchorsDec, bound)
+	if err != nil {
+		return 0, err
+	}
+	return res.Stats.Ratio, nil
+}

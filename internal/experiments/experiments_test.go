@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	crossfield "repro"
+)
+
+func TestTableIII(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := TableIII(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for _, r := range rows {
+		rel := float64(abs(r.OursCFNN-r.PaperCFNN)) / float64(r.PaperCFNN)
+		if rel > 0.015 {
+			t.Fatalf("%s/%s: CFNN params %d vs paper %d", r.Dataset, r.Target, r.OursCFNN, r.PaperCFNN)
+		}
+		if r.OursHybrid != r.PaperHybrid {
+			t.Fatalf("%s/%s: hybrid params %d vs paper %d", r.Dataset, r.Target, r.OursHybrid, r.PaperHybrid)
+		}
+	}
+	if !strings.Contains(buf.String(), "Table III") {
+		t.Fatal("missing header")
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestTableI(t *testing.T) {
+	var buf bytes.Buffer
+	if err := TableI(&buf, Small()); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Scale", "CESM(2D)", "Hurricane", "98x1200x1200"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("Table I output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestFigI(t *testing.T) {
+	var buf bytes.Buffer
+	dir := t.TempDir()
+	if err := FigI(&buf, Small(), dir); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "U-V") || !strings.Contains(out, "Pearson") {
+		t.Fatalf("FigI output:\n%s", out)
+	}
+}
+
+// One end-to-end evaluation point on the smallest grid: the pipeline must
+// run and honor the bound; CR relationships are asserted loosely here (the
+// real magnitudes come from the full-size cfbench run).
+func TestEvaluateOnePoint(t *testing.T) {
+	s := Small()
+	plan := crossfield.PaperPlans()[2] // Hurricane Wf
+	p, err := s.prepare(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := p.evaluate(1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pt.BoundOK {
+		t.Fatalf("bound violated: max err %v vs abs eb %v", pt.MaxErr, pt.AbsEB)
+	}
+	if pt.BaselineCR <= 1 || pt.HybridCR <= 0.2 {
+		t.Fatalf("degenerate ratios: base %v hybrid %v", pt.BaselineCR, pt.HybridCR)
+	}
+	if pt.PSNR < 40 {
+		t.Fatalf("PSNR %v unreasonably low for rel eb 1e-3", pt.PSNR)
+	}
+}
+
+func TestSizesGenerateUnknown(t *testing.T) {
+	if _, err := Small().generate("NOPE"); err == nil {
+		t.Fatal("expected unknown-dataset error")
+	}
+}

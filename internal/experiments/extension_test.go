@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestThroughputRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a codec")
+	}
+	var buf bytes.Buffer
+	if err := Throughput(&buf, Small()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"baseline compress", "hybrid decompress", "MB/s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("throughput output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationBlockwiseHybridRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a codec")
+	}
+	var buf bytes.Buffer
+	if err := AblationBlockwiseHybrid(&buf, Small()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "block-local weights") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestFigVRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a codec")
+	}
+	var buf bytes.Buffer
+	if err := FigV(&buf, Small()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "CFNN") || !strings.Contains(out, "Hybrid model") {
+		t.Fatalf("FigV output:\n%s", out)
+	}
+	// Losses must be positive numbers (in 0-300 normalized units).
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Fatal("non-finite training losses")
+	}
+}
+
+func TestFigIXRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bisection with many compressions")
+	}
+	var buf bytes.Buffer
+	if err := FigIX(&buf, Small(), ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "SSIM") {
+		t.Fatalf("FigIX output:\n%s", out)
+	}
+}

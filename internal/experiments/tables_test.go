@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestTableIIEndToEnd runs the full headline experiment at the reduced
+// preset: every (field, bound) cell must compress, decompress, and honor
+// the error bound. The CR magnitudes are asserted only loosely — the
+// default-size run in results/cfbench_full.txt carries the reproduction
+// numbers.
+func TestTableIIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full six-field sweep")
+	}
+	var buf bytes.Buffer
+	rows, err := TableII(&buf, Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Points) != 5 {
+			t.Fatalf("%s/%s: %d bounds", r.Dataset, r.Field, len(r.Points))
+		}
+		for _, pt := range r.Points {
+			if !pt.BoundOK {
+				t.Fatalf("%s/%s eb=%g: bound violated (max err %g)", r.Dataset, r.Field, pt.EB, pt.MaxErr)
+			}
+			if pt.BaselineCR <= 1 {
+				t.Fatalf("%s/%s eb=%g: baseline CR %v", r.Dataset, r.Field, pt.EB, pt.BaselineCR)
+			}
+			// The payload ratio (model excluded) must never be degenerate.
+			if pt.HybridPayloadCR <= 1 {
+				t.Fatalf("%s/%s eb=%g: payload CR %v", r.Dataset, r.Field, pt.EB, pt.HybridPayloadCR)
+			}
+			// CR must decrease monotonically as the bound tightens.
+		}
+		for i := 1; i < len(r.Points); i++ {
+			if r.Points[i].BaselineCR >= r.Points[i-1].BaselineCR {
+				t.Fatalf("%s/%s: baseline CR not monotone in eb", r.Dataset, r.Field)
+			}
+		}
+		if r.ModelBytes <= 0 || r.TrainMS < 0 {
+			t.Fatalf("%s/%s: bad accounting %+v", r.Dataset, r.Field, r)
+		}
+	}
+	out := buf.String()
+	if !strings.Contains(out, "baseline") || !strings.Contains(out, "large-field asymptote") {
+		t.Fatalf("Table II output malformed:\n%s", out)
+	}
+}
+
+// TestFigVIEndToEnd checks the Figure 6 pipeline at the reduced preset:
+// the cross-field predictor must beat Lorenzo on Hurricane Wf (the paper's
+// central qualitative claim), and the hybrid must not be worse than both.
+func TestFigVIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a codec")
+	}
+	var buf bytes.Buffer
+	if err := FigVI(&buf, Small(), t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "prediction PSNR") || !strings.Contains(out, "zoom-region MAE") {
+		t.Fatalf("FigVI output:\n%s", out)
+	}
+}

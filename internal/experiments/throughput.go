@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	crossfield "repro"
+)
+
+// Throughput measures compression and decompression speed of both
+// pipelines. Not a paper table — the paper motivates dual quantization by
+// throughput (Section III-D1) without reporting numbers on its testbed —
+// but a downstream user needs these, and the measurement documents the
+// asymmetry the design predicts: parallel-friendly compression vs
+// sequential reconstruction, plus the CFNN inference cost on the hybrid
+// path.
+func Throughput(w io.Writer, s Sizes) error {
+	section(w, "Throughput: baseline vs hybrid (MB/s, single pass)")
+	plan := crossfield.PaperPlans()[2] // Hurricane Wf
+	p, err := s.prepare(plan)
+	if err != nil {
+		return err
+	}
+	bound := crossfield.Rel(1e-3)
+	mb := float64(p.target.Len()*4) / (1 << 20)
+
+	start := time.Now()
+	base, err := crossfield.CompressBaseline(p.target, bound)
+	if err != nil {
+		return err
+	}
+	cBase := time.Since(start)
+
+	start = time.Now()
+	if _, err := crossfield.Decompress(p.target.Name, base.Blob, nil); err != nil {
+		return err
+	}
+	dBase := time.Since(start)
+
+	anchorsDec, err := decompressedAnchors(p.anchors, bound)
+	if err != nil {
+		return err
+	}
+	start = time.Now()
+	hyb, err := p.codec.Compress(p.target, anchorsDec, bound)
+	if err != nil {
+		return err
+	}
+	cHyb := time.Since(start)
+
+	start = time.Now()
+	if _, err := p.codec.Decompress(hyb.Blob, anchorsDec); err != nil {
+		return err
+	}
+	dHyb := time.Since(start)
+
+	row := func(name string, d time.Duration) {
+		fmt.Fprintf(w, "  %-22s %10v  %8.2f MB/s\n", name, d.Round(time.Millisecond), mb/d.Seconds())
+	}
+	fmt.Fprintf(w, "field %s/%s, %v (%.1f MB), rel eb 1e-3, %d worker(s):\n",
+		plan.Dataset, plan.Target, p.target.Dims(), mb, workers())
+	row("baseline compress", cBase)
+	row("baseline decompress", dBase)
+	row("hybrid compress", cHyb)
+	row("hybrid decompress", dHyb)
+	fmt.Fprintf(w, "  (hybrid cost is dominated by CFNN inference, run once per side)\n")
+	return nil
+}

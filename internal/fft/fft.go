@@ -1,0 +1,167 @@
+// Package fft implements an in-place radix-2 complex FFT and helpers for 2D
+// and 3D transforms.
+//
+// It is the substrate for the synthetic dataset generators in internal/sim:
+// scientific fields are synthesized as Gaussian random fields with
+// power-law spectra (plus deterministic large-scale structure), which
+// requires an inverse FFT over a hermitian-symmetric spectrum. Sizes must be
+// powers of two; sim picks its noise grids accordingly and crops.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// NextPow2 returns the smallest power of two >= n (n must be positive).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// Forward computes the in-place forward DFT of x (length must be a power of
+// two): X[k] = sum_j x[j] exp(-2πi jk/N).
+func Forward(x []complex128) error { return transform(x, false) }
+
+// Inverse computes the in-place inverse DFT of x, including the 1/N
+// normalization, so Inverse(Forward(x)) == x up to rounding.
+func Inverse(x []complex128) error {
+	if err := transform(x, true); err != nil {
+		return err
+	}
+	n := float64(len(x))
+	for i := range x {
+		x[i] = complex(real(x[i])/n, imag(x[i])/n)
+	}
+	return nil
+}
+
+func transform(x []complex128, inverse bool) error {
+	n := len(x)
+	if !IsPow2(n) {
+		return fmt.Errorf("fft: length %d is not a power of two", n)
+	}
+	if n == 1 {
+		return nil
+	}
+	// Bit-reversal permutation.
+	shift := bits.UintSize - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse(uint(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Iterative Cooley–Tukey butterflies.
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		ang := sign * 2 * math.Pi / float64(size)
+		wStep := complex(math.Cos(ang), math.Sin(ang))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+	return nil
+}
+
+// Forward2D computes the forward DFT of a ny×nx row-major complex grid,
+// in place. Both dimensions must be powers of two.
+func Forward2D(x []complex128, ny, nx int) error { return transform2D(x, ny, nx, Forward) }
+
+// Inverse2D computes the normalized inverse DFT of a ny×nx grid, in place.
+func Inverse2D(x []complex128, ny, nx int) error { return transform2D(x, ny, nx, Inverse) }
+
+func transform2D(x []complex128, ny, nx int, f func([]complex128) error) error {
+	if len(x) != ny*nx {
+		return fmt.Errorf("fft: grid length %d != %d*%d", len(x), ny, nx)
+	}
+	// Rows.
+	for i := 0; i < ny; i++ {
+		if err := f(x[i*nx : (i+1)*nx]); err != nil {
+			return err
+		}
+	}
+	// Columns via gather/scatter.
+	col := make([]complex128, ny)
+	for j := 0; j < nx; j++ {
+		for i := 0; i < ny; i++ {
+			col[i] = x[i*nx+j]
+		}
+		if err := f(col); err != nil {
+			return err
+		}
+		for i := 0; i < ny; i++ {
+			x[i*nx+j] = col[i]
+		}
+	}
+	return nil
+}
+
+// Forward3D computes the forward DFT of a nz×ny×nx row-major grid, in place.
+func Forward3D(x []complex128, nz, ny, nx int) error { return transform3D(x, nz, ny, nx, Forward) }
+
+// Inverse3D computes the normalized inverse DFT of a nz×ny×nx grid, in place.
+func Inverse3D(x []complex128, nz, ny, nx int) error { return transform3D(x, nz, ny, nx, Inverse) }
+
+func transform3D(x []complex128, nz, ny, nx int, f func([]complex128) error) error {
+	if len(x) != nz*ny*nx {
+		return fmt.Errorf("fft: grid length %d != %d*%d*%d", len(x), nz, ny, nx)
+	}
+	// Transform along x for every (z,y) line.
+	for k := 0; k < nz; k++ {
+		for i := 0; i < ny; i++ {
+			base := k*ny*nx + i*nx
+			if err := f(x[base : base+nx]); err != nil {
+				return err
+			}
+		}
+	}
+	// Along y.
+	line := make([]complex128, ny)
+	for k := 0; k < nz; k++ {
+		for j := 0; j < nx; j++ {
+			for i := 0; i < ny; i++ {
+				line[i] = x[k*ny*nx+i*nx+j]
+			}
+			if err := f(line[:ny]); err != nil {
+				return err
+			}
+			for i := 0; i < ny; i++ {
+				x[k*ny*nx+i*nx+j] = line[i]
+			}
+		}
+	}
+	// Along z.
+	lz := make([]complex128, nz)
+	for i := 0; i < ny; i++ {
+		for j := 0; j < nx; j++ {
+			for k := 0; k < nz; k++ {
+				lz[k] = x[k*ny*nx+i*nx+j]
+			}
+			if err := f(lz[:nz]); err != nil {
+				return err
+			}
+			for k := 0; k < nz; k++ {
+				x[k*ny*nx+i*nx+j] = lz[k]
+			}
+		}
+	}
+	return nil
+}

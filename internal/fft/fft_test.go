@@ -1,0 +1,223 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randComplex(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func maxDiff(a, b []complex128) float64 {
+	m := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestIsPow2(t *testing.T) {
+	cases := map[int]bool{1: true, 2: true, 3: false, 4: true, 0: false, -4: false, 1024: true, 1000: false}
+	for n, want := range cases {
+		if IsPow2(n) != want {
+			t.Fatalf("IsPow2(%d) = %v, want %v", n, !want, want)
+		}
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 5: 8, 8: 8, 9: 16, 100: 128, 0: 1, -3: 1}
+	for n, want := range cases {
+		if got := NextPow2(n); got != want {
+			t.Fatalf("NextPow2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestForwardRejectsNonPow2(t *testing.T) {
+	if err := Forward(make([]complex128, 3)); err == nil {
+		t.Fatal("expected error for n=3")
+	}
+}
+
+func TestKnownDFT(t *testing.T) {
+	// DFT of [1,0,0,0] is all-ones.
+	x := []complex128{1, 0, 0, 0}
+	if err := Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("X[%d] = %v, want 1", i, v)
+		}
+	}
+	// DFT of all-ones is N*delta.
+	y := []complex128{1, 1, 1, 1}
+	if err := Forward(y); err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(y[0]-4) > 1e-12 {
+		t.Fatalf("Y[0] = %v, want 4", y[0])
+	}
+	for i := 1; i < 4; i++ {
+		if cmplx.Abs(y[i]) > 1e-12 {
+			t.Fatalf("Y[%d] = %v, want 0", i, y[i])
+		}
+	}
+}
+
+func TestSingleToneFrequencyBin(t *testing.T) {
+	const n = 64
+	const k = 5
+	x := make([]complex128, n)
+	for j := 0; j < n; j++ {
+		ang := 2 * math.Pi * float64(k*j) / float64(n)
+		x[j] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	if err := Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		want := complex(0, 0)
+		if i == k {
+			want = complex(n, 0)
+		}
+		if cmplx.Abs(x[i]-want) > 1e-9 {
+			t.Fatalf("bin %d = %v, want %v", i, x[i], want)
+		}
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 64, 256} {
+		x := randComplex(rng, n)
+		orig := append([]complex128(nil), x...)
+		if err := Forward(x); err != nil {
+			t.Fatal(err)
+		}
+		if err := Inverse(x); err != nil {
+			t.Fatal(err)
+		}
+		if d := maxDiff(x, orig); d > 1e-10*float64(n) {
+			t.Fatalf("n=%d: round-trip error %g", n, d)
+		}
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 128
+		x := randComplex(rng, n)
+		var timeE float64
+		for _, v := range x {
+			timeE += real(v)*real(v) + imag(v)*imag(v)
+		}
+		if err := Forward(x); err != nil {
+			return false
+		}
+		var freqE float64
+		for _, v := range x {
+			freqE += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return math.Abs(freqE/float64(n)-timeE) < 1e-6*(1+timeE)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 32
+		a := randComplex(rng, n)
+		b := randComplex(rng, n)
+		sum := make([]complex128, n)
+		for i := range sum {
+			sum[i] = a[i] + 2*b[i]
+		}
+		if Forward(a) != nil || Forward(b) != nil || Forward(sum) != nil {
+			return false
+		}
+		for i := range sum {
+			if cmplx.Abs(sum[i]-(a[i]+2*b[i])) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func Test2DRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const ny, nx = 16, 32
+	x := randComplex(rng, ny*nx)
+	orig := append([]complex128(nil), x...)
+	if err := Forward2D(x, ny, nx); err != nil {
+		t.Fatal(err)
+	}
+	if err := Inverse2D(x, ny, nx); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxDiff(x, orig); d > 1e-9 {
+		t.Fatalf("2D round-trip error %g", d)
+	}
+}
+
+func Test2DBadLength(t *testing.T) {
+	if err := Forward2D(make([]complex128, 10), 4, 4); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func Test3DRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const nz, ny, nx = 4, 8, 16
+	x := randComplex(rng, nz*ny*nx)
+	orig := append([]complex128(nil), x...)
+	if err := Forward3D(x, nz, ny, nx); err != nil {
+		t.Fatal(err)
+	}
+	if err := Inverse3D(x, nz, ny, nx); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxDiff(x, orig); d > 1e-9 {
+		t.Fatalf("3D round-trip error %g", d)
+	}
+}
+
+func Test3DBadLength(t *testing.T) {
+	if err := Forward3D(make([]complex128, 10), 2, 2, 2); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+// 2D DFT of an impulse at origin is flat.
+func Test2DImpulse(t *testing.T) {
+	const ny, nx = 8, 8
+	x := make([]complex128, ny*nx)
+	x[0] = 1
+	if err := Forward2D(x, ny, nx); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 1", i, v)
+		}
+	}
+}

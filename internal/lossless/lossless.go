@@ -1,0 +1,123 @@
+// Package lossless provides the final lossless stage of the compression
+// pipeline. SZ3 uses Zstd here; this reproduction uses the stdlib DEFLATE
+// (compress/flate), which is the same LZ77+Huffman family — absolute ratios
+// shift by a constant factor, relative comparisons between predictors are
+// unaffected. A pass-through "store" backend exists for measurement and
+// tests.
+package lossless
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+)
+
+// Backend is a reversible byte-stream compressor.
+type Backend interface {
+	// ID is the stable on-disk identifier stored in the container header.
+	ID() byte
+	// Name is the human-readable backend name.
+	Name() string
+	// Compress returns the compressed form of src.
+	Compress(src []byte) ([]byte, error)
+	// Decompress expands src; expectedLen is a sizing hint and integrity
+	// check (pass <0 to skip the check).
+	Decompress(src []byte, expectedLen int) ([]byte, error)
+}
+
+// Backend IDs (on-disk format; never renumber).
+const (
+	IDStore byte = 0
+	IDFlate byte = 1
+)
+
+// Store is the identity backend.
+type Store struct{}
+
+// ID implements Backend.
+func (Store) ID() byte { return IDStore }
+
+// Name implements Backend.
+func (Store) Name() string { return "store" }
+
+// Compress implements Backend.
+func (Store) Compress(src []byte) ([]byte, error) {
+	return append([]byte(nil), src...), nil
+}
+
+// Decompress implements Backend.
+func (Store) Decompress(src []byte, expectedLen int) ([]byte, error) {
+	if expectedLen >= 0 && len(src) != expectedLen {
+		return nil, fmt.Errorf("lossless: store length %d != expected %d", len(src), expectedLen)
+	}
+	return append([]byte(nil), src...), nil
+}
+
+// Flate is a DEFLATE backend.
+type Flate struct {
+	// Level is a flate compression level (flate.BestSpeed..BestCompression);
+	// 0 means flate.DefaultCompression.
+	Level int
+}
+
+// ID implements Backend.
+func (Flate) ID() byte { return IDFlate }
+
+// Name implements Backend.
+func (f Flate) Name() string { return fmt.Sprintf("flate(level=%d)", f.level()) }
+
+func (f Flate) level() int {
+	if f.Level == 0 {
+		return flate.DefaultCompression
+	}
+	return f.Level
+}
+
+// Compress implements Backend.
+func (f Flate) Compress(src []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, f.level())
+	if err != nil {
+		return nil, fmt.Errorf("lossless: %w", err)
+	}
+	if _, err := w.Write(src); err != nil {
+		return nil, fmt.Errorf("lossless: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return nil, fmt.Errorf("lossless: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decompress implements Backend.
+func (Flate) Decompress(src []byte, expectedLen int) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(src))
+	defer r.Close()
+	var out bytes.Buffer
+	if expectedLen > 0 {
+		out.Grow(expectedLen)
+	}
+	if _, err := io.Copy(&out, r); err != nil {
+		return nil, fmt.Errorf("lossless: %w", err)
+	}
+	if expectedLen >= 0 && out.Len() != expectedLen {
+		return nil, fmt.Errorf("lossless: decompressed length %d != expected %d", out.Len(), expectedLen)
+	}
+	return out.Bytes(), nil
+}
+
+// ByID returns the backend for an on-disk identifier.
+func ByID(id byte) (Backend, error) {
+	switch id {
+	case IDStore:
+		return Store{}, nil
+	case IDFlate:
+		return Flate{}, nil
+	default:
+		return nil, fmt.Errorf("lossless: unknown backend id %d", id)
+	}
+}
+
+// Default is the pipeline's standard backend.
+func Default() Backend { return Flate{} }

@@ -1,0 +1,237 @@
+// Package metrics implements the data-quality and compression metrics used
+// throughout the paper's evaluation: PSNR, MSE/NRMSE, maximum absolute
+// error, SSIM, compression ratio / bit-rate, correlation coefficients, and
+// quantization-code entropy.
+//
+// All reductions accumulate in float64 regardless of the float32 data type,
+// and large reductions are parallelized over chunks.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// ErrInput reports invalid metric inputs.
+type ErrInput struct{ msg string }
+
+func (e *ErrInput) Error() string { return "metrics: " + e.msg }
+
+func errInput(format string, args ...any) error {
+	return &ErrInput{msg: fmt.Sprintf(format, args...)}
+}
+
+type errSums struct {
+	sq     float64
+	absMax float64
+}
+
+// MSE returns the mean squared error between original and reconstructed
+// data.
+func MSE(orig, recon []float32) (float64, error) {
+	if len(orig) != len(recon) {
+		return 0, errInput("length mismatch %d vs %d", len(orig), len(recon))
+	}
+	if len(orig) == 0 {
+		return 0, errInput("empty input")
+	}
+	s := sumErrs(orig, recon)
+	return s.sq / float64(len(orig)), nil
+}
+
+// MaxAbsError returns max_i |orig[i]-recon[i]| — the quantity bounded by the
+// compressor's error bound.
+func MaxAbsError(orig, recon []float32) (float64, error) {
+	if len(orig) != len(recon) {
+		return 0, errInput("length mismatch %d vs %d", len(orig), len(recon))
+	}
+	if len(orig) == 0 {
+		return 0, errInput("empty input")
+	}
+	s := sumErrs(orig, recon)
+	return s.absMax, nil
+}
+
+func sumErrs(orig, recon []float32) errSums {
+	const grain = 1 << 15
+	n := len(orig)
+	chunks := (n + grain - 1) / grain
+	return parallel.MapReduce(chunks, errSums{},
+		func(c int, acc errSums) errSums {
+			lo := c * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				d := float64(orig[i]) - float64(recon[i])
+				acc.sq += d * d
+				if a := math.Abs(d); a > acc.absMax {
+					acc.absMax = a
+				}
+			}
+			return acc
+		},
+		func(a, b errSums) errSums {
+			a.sq += b.sq
+			if b.absMax > a.absMax {
+				a.absMax = b.absMax
+			}
+			return a
+		})
+}
+
+// ValueRange returns max-min of the data, the denominator of both PSNR and
+// value-range-relative error bounds.
+func ValueRange(data []float32) float64 {
+	t := tensor.MustFromSlice(data, len(data))
+	s := t.Summary()
+	return s.Range()
+}
+
+// PSNR returns the peak signal-to-noise ratio in dB, using the original
+// data's value range as peak (the SDRBench/SZ convention). A perfect
+// reconstruction returns +Inf.
+func PSNR(orig, recon []float32) (float64, error) {
+	mse, err := MSE(orig, recon)
+	if err != nil {
+		return 0, err
+	}
+	vr := ValueRange(orig)
+	if mse == 0 {
+		return math.Inf(1), nil
+	}
+	if vr == 0 {
+		return 0, errInput("constant original data has zero range")
+	}
+	return 20*math.Log10(vr) - 10*math.Log10(mse), nil
+}
+
+// NRMSE returns the value-range-normalized root mean squared error.
+func NRMSE(orig, recon []float32) (float64, error) {
+	mse, err := MSE(orig, recon)
+	if err != nil {
+		return 0, err
+	}
+	vr := ValueRange(orig)
+	if vr == 0 {
+		return 0, errInput("constant original data has zero range")
+	}
+	return math.Sqrt(mse) / vr, nil
+}
+
+// CompressionRatio returns originalBytes/compressedBytes.
+func CompressionRatio(originalBytes, compressedBytes int) float64 {
+	if compressedBytes <= 0 {
+		return math.Inf(1)
+	}
+	return float64(originalBytes) / float64(compressedBytes)
+}
+
+// BitRate returns the average number of bits per value after compression
+// (32/CR for float32 inputs).
+func BitRate(numValues, compressedBytes int) float64 {
+	if numValues <= 0 {
+		return 0
+	}
+	return float64(compressedBytes) * 8 / float64(numValues)
+}
+
+// Pearson returns the Pearson linear correlation coefficient between two
+// equal-length series.
+func Pearson(a, b []float32) (float64, error) {
+	if len(a) != len(b) {
+		return 0, errInput("length mismatch %d vs %d", len(a), len(b))
+	}
+	n := len(a)
+	if n < 2 {
+		return 0, errInput("need at least 2 samples")
+	}
+	var sa, sb float64
+	for i := 0; i < n; i++ {
+		sa += float64(a[i])
+		sb += float64(b[i])
+	}
+	ma, mb := sa/float64(n), sb/float64(n)
+	var cov, va, vb float64
+	for i := 0; i < n; i++ {
+		da := float64(a[i]) - ma
+		db := float64(b[i]) - mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0, errInput("zero variance input")
+	}
+	return cov / math.Sqrt(va*vb), nil
+}
+
+// Spearman returns the Spearman rank correlation coefficient, capturing the
+// monotone-but-nonlinear cross-field relations the paper highlights.
+func Spearman(a, b []float32) (float64, error) {
+	if len(a) != len(b) {
+		return 0, errInput("length mismatch %d vs %d", len(a), len(b))
+	}
+	ra := ranks(a)
+	rb := ranks(b)
+	return Pearson(ra, rb)
+}
+
+func ranks(x []float32) []float32 {
+	n := len(x)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return x[idx[i]] < x[idx[j]] })
+	r := make([]float32, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && x[idx[j+1]] == x[idx[i]] {
+			j++
+		}
+		// Average rank for ties.
+		avg := float32(i+j) / 2
+		for k := i; k <= j; k++ {
+			r[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return r
+}
+
+// Entropy returns the Shannon entropy (bits/symbol) of the given symbol
+// counts — the lower bound on Huffman output size for the quantization-code
+// stream, used to analyze predictor quality.
+func Entropy(counts map[int32]int) float64 {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / float64(total)
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// Histogram counts occurrences of each value in codes.
+func Histogram(codes []int32) map[int32]int {
+	h := make(map[int32]int)
+	for _, c := range codes {
+		h[c]++
+	}
+	return h
+}

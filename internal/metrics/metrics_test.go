@@ -1,0 +1,320 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestMSEKnown(t *testing.T) {
+	orig := []float32{1, 2, 3, 4}
+	recon := []float32{1, 2, 3, 6}
+	mse, err := MSE(orig, recon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse != 1 {
+		t.Fatalf("mse = %v, want 1", mse)
+	}
+}
+
+func TestMSEErrors(t *testing.T) {
+	if _, err := MSE([]float32{1}, []float32{1, 2}); err == nil {
+		t.Fatal("expected length error")
+	}
+	if _, err := MSE(nil, nil); err == nil {
+		t.Fatal("expected empty error")
+	}
+}
+
+func TestMaxAbsError(t *testing.T) {
+	orig := []float32{0, 0, 0}
+	recon := []float32{0.5, -2, 1}
+	m, err := MaxAbsError(orig, recon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 2 {
+		t.Fatalf("max err = %v, want 2", m)
+	}
+}
+
+func TestPSNRPerfect(t *testing.T) {
+	a := []float32{1, 2, 3}
+	p, err := PSNR(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(p, 1) {
+		t.Fatalf("psnr of identical data = %v, want +Inf", p)
+	}
+}
+
+func TestPSNRKnown(t *testing.T) {
+	// Range 10, uniform error 1 => PSNR = 20*log10(10) - 10*log10(1) = 20 dB.
+	orig := []float32{0, 10}
+	recon := []float32{1, 9}
+	p, err := PSNR(orig, recon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-20) > 1e-9 {
+		t.Fatalf("psnr = %v, want 20", p)
+	}
+}
+
+func TestPSNRConstantOrig(t *testing.T) {
+	if _, err := PSNR([]float32{5, 5}, []float32{5, 6}); err == nil {
+		t.Fatal("expected zero-range error")
+	}
+}
+
+func TestNRMSE(t *testing.T) {
+	orig := []float32{0, 10}
+	recon := []float32{1, 9}
+	v, err := NRMSE(orig, recon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-0.1) > 1e-9 {
+		t.Fatalf("nrmse = %v, want 0.1", v)
+	}
+}
+
+func TestCompressionRatioAndBitRate(t *testing.T) {
+	if cr := CompressionRatio(1000, 100); cr != 10 {
+		t.Fatalf("cr = %v", cr)
+	}
+	if cr := CompressionRatio(1000, 0); !math.IsInf(cr, 1) {
+		t.Fatalf("cr with 0 bytes = %v", cr)
+	}
+	// 1000 float32 values compressed to 500 bytes = 4 bits/value.
+	if br := BitRate(1000, 500); br != 4 {
+		t.Fatalf("bitrate = %v", br)
+	}
+	if br := BitRate(0, 500); br != 0 {
+		t.Fatalf("bitrate with 0 values = %v", br)
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	a := []float32{1, 2, 3, 4}
+	b := []float32{2, 4, 6, 8}
+	r, err := Pearson(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Fatalf("pearson = %v, want 1", r)
+	}
+	c := []float32{8, 6, 4, 2}
+	r, err = Pearson(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r+1) > 1e-12 {
+		t.Fatalf("pearson = %v, want -1", r)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float32{1}, []float32{1}); err == nil {
+		t.Fatal("expected too-few-samples error")
+	}
+	if _, err := Pearson([]float32{1, 1}, []float32{1, 2}); err == nil {
+		t.Fatal("expected zero-variance error")
+	}
+	if _, err := Pearson([]float32{1, 2}, []float32{1}); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func TestSpearmanMonotoneNonlinear(t *testing.T) {
+	// y = x^3 is monotone: Spearman should be exactly 1 even though the
+	// relationship is nonlinear.
+	a := []float32{-2, -1, 0, 1, 2, 3}
+	b := make([]float32, len(a))
+	for i, v := range a {
+		b[i] = v * v * v
+	}
+	r, err := Spearman(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Fatalf("spearman = %v, want 1", r)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	a := []float32{1, 1, 2, 3}
+	b := []float32{5, 5, 6, 7}
+	r, err := Spearman(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-9 {
+		t.Fatalf("spearman with ties = %v, want 1", r)
+	}
+}
+
+func TestEntropyUniformAndDegenerate(t *testing.T) {
+	counts := map[int32]int{0: 10, 1: 10, 2: 10, 3: 10}
+	if h := Entropy(counts); math.Abs(h-2) > 1e-12 {
+		t.Fatalf("uniform-4 entropy = %v, want 2", h)
+	}
+	if h := Entropy(map[int32]int{7: 100}); h != 0 {
+		t.Fatalf("single-symbol entropy = %v, want 0", h)
+	}
+	if h := Entropy(map[int32]int{}); h != 0 {
+		t.Fatalf("empty entropy = %v, want 0", h)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]int32{1, 1, 2, 3, 3, 3})
+	if h[1] != 2 || h[2] != 1 || h[3] != 3 {
+		t.Fatalf("histogram = %v", h)
+	}
+}
+
+func TestSSIMIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := tensor.New(16, 16)
+	for i := range a.Data() {
+		a.Data()[i] = rng.Float32()
+	}
+	s, err := SSIM2D(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Fatalf("SSIM(a,a) = %v, want 1", s)
+	}
+}
+
+func TestSSIMDegradesWithNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := tensor.New(32, 32)
+	for i := 0; i < 32; i++ {
+		for j := 0; j < 32; j++ {
+			a.Set2(float32(math.Sin(float64(i)/4)+math.Cos(float64(j)/4)), i, j)
+		}
+	}
+	small := a.Clone()
+	big := a.Clone()
+	for i := range small.Data() {
+		small.Data()[i] += (rng.Float32() - 0.5) * 0.01
+		big.Data()[i] += (rng.Float32() - 0.5) * 1.0
+	}
+	sSmall, err := SSIM2D(a, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sBig, err := SSIM2D(a, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(sSmall > sBig) {
+		t.Fatalf("SSIM should degrade with noise: small=%v big=%v", sSmall, sBig)
+	}
+	if sSmall < 0.9 {
+		t.Fatalf("tiny noise SSIM = %v, want > 0.9", sSmall)
+	}
+}
+
+func TestSSIMShapeErrors(t *testing.T) {
+	a := tensor.New(16, 16)
+	b := tensor.New(16, 17)
+	if _, err := SSIM2D(a, b); err == nil {
+		t.Fatal("expected shape error")
+	}
+	tiny := tensor.New(3, 3)
+	if _, err := SSIM2D(tiny, tiny); err == nil {
+		t.Fatal("expected window-size error")
+	}
+	r1 := tensor.New(8)
+	if _, err := SSIM(r1, r1); err == nil {
+		t.Fatal("expected rank error")
+	}
+}
+
+func TestSSIM3DAveragesSlices(t *testing.T) {
+	a := tensor.New(3, 16, 16)
+	for i := range a.Data() {
+		a.Data()[i] = float32(i % 17)
+	}
+	s, err := SSIM3D(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Fatalf("SSIM3D(a,a) = %v, want 1", s)
+	}
+	s2, err := SSIM(a, a)
+	if err != nil || s2 != s {
+		t.Fatalf("SSIM dispatch mismatch: %v vs %v (err %v)", s2, s, err)
+	}
+}
+
+// Property: PSNR is monotone — larger uniform noise gives lower PSNR.
+func TestPSNRMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 256
+		orig := make([]float32, n)
+		for i := range orig {
+			orig[i] = rng.Float32() * 100
+		}
+		mk := func(amp float32) []float32 {
+			r := make([]float32, n)
+			for i := range r {
+				r[i] = orig[i] + (rng.Float32()-0.5)*amp
+			}
+			return r
+		}
+		p1, err1 := PSNR(orig, mk(0.1))
+		p2, err2 := PSNR(orig, mk(10))
+		return err1 == nil && err2 == nil && p1 > p2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MaxAbsError is a tight bound — injecting a known spike recovers
+// it.
+func TestMaxAbsSpikeProperty(t *testing.T) {
+	f := func(seed int64, spike uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 128
+		orig := make([]float32, n)
+		recon := make([]float32, n)
+		for i := range orig {
+			orig[i] = rng.Float32()
+			recon[i] = orig[i]
+		}
+		amp := float32(spike%100) + 1
+		recon[rng.Intn(n)] += amp
+		m, err := MaxAbsError(orig, recon)
+		return err == nil && math.Abs(m-float64(amp)) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueRange(t *testing.T) {
+	if vr := ValueRange([]float32{-2, 0, 5}); vr != 7 {
+		t.Fatalf("range = %v, want 7", vr)
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !IsFinite(1.5) || IsFinite(math.NaN()) || IsFinite(math.Inf(1)) {
+		t.Fatal("IsFinite misbehaves")
+	}
+}

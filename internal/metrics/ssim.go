@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"math"
+
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// SSIM parameters follow Wang et al. 2004 with the dynamic range taken from
+// the original data's value range (the floating-point convention used by
+// SDRBench tooling).
+const (
+	ssimK1      = 0.01
+	ssimK2      = 0.03
+	ssimWindow  = 7 // window side; 7 keeps small test fields usable
+	ssimStrideD = 1
+)
+
+// SSIM2D computes the mean structural similarity index between two rank-2
+// tensors over sliding ssimWindow×ssimWindow windows.
+func SSIM2D(orig, recon *tensor.Tensor) (float64, error) {
+	if orig.Rank() != 2 || !orig.SameShape(recon) {
+		return 0, errInput("SSIM2D needs equal rank-2 shapes, got %v vs %v", orig.Shape(), recon.Shape())
+	}
+	ny, nx := orig.Dim(0), orig.Dim(1)
+	if ny < ssimWindow || nx < ssimWindow {
+		return 0, errInput("field %dx%d smaller than SSIM window %d", ny, nx, ssimWindow)
+	}
+	vr := ValueRange(orig.Data())
+	if vr == 0 {
+		vr = 1 // constant field: contrast/structure terms handle it via stabilizers
+	}
+	c1 := (ssimK1 * vr) * (ssimK1 * vr)
+	c2 := (ssimK2 * vr) * (ssimK2 * vr)
+
+	wy := ny - ssimWindow + 1
+	wx := nx - ssimWindow + 1
+	type acc struct {
+		sum float64
+		n   int
+	}
+	res := parallel.MapReduce(wy, acc{},
+		func(i int, a acc) acc {
+			for j := 0; j < wx; j += ssimStrideD {
+				a.sum += windowSSIM(orig, recon, i, j, c1, c2)
+				a.n++
+			}
+			return a
+		},
+		func(x, y acc) acc { return acc{x.sum + y.sum, x.n + y.n} })
+	if res.n == 0 {
+		return 0, errInput("no SSIM windows")
+	}
+	return res.sum / float64(res.n), nil
+}
+
+func windowSSIM(a, b *tensor.Tensor, i0, j0 int, c1, c2 float64) float64 {
+	var sa, sb, saa, sbb, sab float64
+	for di := 0; di < ssimWindow; di++ {
+		for dj := 0; dj < ssimWindow; dj++ {
+			x := float64(a.At2(i0+di, j0+dj))
+			y := float64(b.At2(i0+di, j0+dj))
+			sa += x
+			sb += y
+			saa += x * x
+			sbb += y * y
+			sab += x * y
+		}
+	}
+	n := float64(ssimWindow * ssimWindow)
+	ma := sa / n
+	mb := sb / n
+	va := saa/n - ma*ma
+	vb := sbb/n - mb*mb
+	cab := sab/n - ma*mb
+	num := (2*ma*mb + c1) * (2*cab + c2)
+	den := (ma*ma + mb*mb + c1) * (va + vb + c2)
+	if den == 0 {
+		return 1
+	}
+	return num / den
+}
+
+// SSIM3D computes SSIM slice-by-slice along axis 0 of rank-3 tensors and
+// returns the mean over slices — the convention scientific-data tooling uses
+// for volumetric fields.
+func SSIM3D(orig, recon *tensor.Tensor) (float64, error) {
+	if orig.Rank() != 3 || !orig.SameShape(recon) {
+		return 0, errInput("SSIM3D needs equal rank-3 shapes, got %v vs %v", orig.Shape(), recon.Shape())
+	}
+	nz := orig.Dim(0)
+	sum := 0.0
+	for k := 0; k < nz; k++ {
+		so, err := orig.Slice3To2(k)
+		if err != nil {
+			return 0, err
+		}
+		sr, err := recon.Slice3To2(k)
+		if err != nil {
+			return 0, err
+		}
+		s, err := SSIM2D(so, sr)
+		if err != nil {
+			return 0, err
+		}
+		sum += s
+	}
+	return sum / float64(nz), nil
+}
+
+// SSIM dispatches on tensor rank (2 or 3).
+func SSIM(orig, recon *tensor.Tensor) (float64, error) {
+	switch orig.Rank() {
+	case 2:
+		return SSIM2D(orig, recon)
+	case 3:
+		return SSIM3D(orig, recon)
+	default:
+		return 0, errInput("SSIM supports rank 2 or 3, got %d", orig.Rank())
+	}
+}
+
+// PSNRTensor is PSNR over tensors (shape-checked convenience wrapper).
+func PSNRTensor(orig, recon *tensor.Tensor) (float64, error) {
+	if !orig.SameShape(recon) {
+		return 0, errInput("shape mismatch %v vs %v", orig.Shape(), recon.Shape())
+	}
+	return PSNR(orig.Data(), recon.Data())
+}
+
+// IsFinite reports whether v is neither NaN nor Inf.
+func IsFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

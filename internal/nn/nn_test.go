@@ -1,0 +1,488 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// lossOf computes a deterministic scalar "loss" = sum(forward(x) .* mask).
+func lossOf(t *testing.T, l Layer, x, mask *tensor.Tensor) float64 {
+	t.Helper()
+	y, err := l.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !y.SameShape(mask) {
+		t.Fatalf("mask shape %v != output %v", mask.Shape(), y.Shape())
+	}
+	var sum float64
+	for i, v := range y.Data() {
+		sum += float64(v) * float64(mask.Data()[i])
+	}
+	return sum
+}
+
+// gradCheck verifies analytic gradients (input + params) against central
+// finite differences. Tolerances are loose because arithmetic is float32.
+func gradCheck(t *testing.T, l Layer, x *tensor.Tensor, outShape []int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	mask := tensor.New(outShape...)
+	for i := range mask.Data() {
+		mask.Data()[i] = rng.Float32()*2 - 1
+	}
+	// Analytic pass.
+	ZeroGrads(l.Params())
+	_ = lossOf(t, l, x, mask)
+	gx, err := l.Backward(mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 1e-2
+	checkOne := func(name string, data []float32, analytic []float32, idx int) {
+		orig := data[idx]
+		data[idx] = orig + eps
+		lp := lossOf(t, l, x, mask)
+		data[idx] = orig - eps
+		lm := lossOf(t, l, x, mask)
+		data[idx] = orig
+		numeric := (lp - lm) / (2 * eps)
+		got := float64(analytic[idx])
+		diff := math.Abs(numeric - got)
+		scale := math.Max(1, math.Max(math.Abs(numeric), math.Abs(got)))
+		if diff/scale > 0.05 {
+			t.Fatalf("%s[%d]: analytic %v vs numeric %v", name, idx, got, numeric)
+		}
+	}
+	// Spot-check a sample of input positions.
+	for s := 0; s < 12; s++ {
+		idx := rng.Intn(x.Len())
+		checkOne("dL/dx", x.Data(), gx.Data(), idx)
+	}
+	// And of each parameter tensor.
+	for _, p := range l.Params() {
+		for s := 0; s < 8; s++ {
+			idx := rng.Intn(p.W.Len())
+			checkOne("dL/d"+p.Name, p.W.Data(), p.G.Data(), idx)
+		}
+	}
+}
+
+func randInput(rng *rand.Rand, shape ...int) *tensor.Tensor {
+	x := tensor.New(shape...)
+	for i := range x.Data() {
+		x.Data()[i] = rng.Float32()*2 - 1
+	}
+	return x
+}
+
+func TestConv2DGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l, err := NewConv2D(rng, 2, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randInput(rng, 2, 5, 6)
+	gradCheck(t, l, x, []int{3, 5, 6}, 11)
+}
+
+func TestConv2DKernel1(t *testing.T) {
+	// Pointwise convolution (k=1) is the separable-conv mixing stage.
+	rng := rand.New(rand.NewSource(2))
+	l, err := NewConv2D(rng, 3, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randInput(rng, 3, 4, 4)
+	gradCheck(t, l, x, []int{2, 4, 4}, 12)
+}
+
+func TestConv3DGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	l, err := NewConv3D(rng, 2, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randInput(rng, 2, 3, 4, 5)
+	gradCheck(t, l, x, []int{2, 3, 4, 5}, 13)
+}
+
+func TestDepthwise2DGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	l, err := NewDepthwiseConv2D(rng, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randInput(rng, 3, 5, 5)
+	gradCheck(t, l, x, []int{3, 5, 5}, 14)
+}
+
+func TestDepthwise3DGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	l, err := NewDepthwiseConv3D(rng, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randInput(rng, 2, 3, 4, 4)
+	gradCheck(t, l, x, []int{2, 3, 4, 4}, 15)
+}
+
+func TestDenseGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	l, err := NewDense(rng, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randInput(rng, 5)
+	gradCheck(t, l, x, []int{3}, 16)
+}
+
+func TestReLUGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	l := NewReLU()
+	x := randInput(rng, 2, 4, 4)
+	// Keep values away from the kink for finite differences.
+	for i, v := range x.Data() {
+		if v > -0.05 && v < 0.05 {
+			x.Data()[i] = 0.3
+		}
+	}
+	gradCheck(t, l, x, []int{2, 4, 4}, 17)
+}
+
+func TestLeakyReLUGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	l := NewLeakyReLU(0.1)
+	x := randInput(rng, 2, 3, 3)
+	for i, v := range x.Data() {
+		if v > -0.05 && v < 0.05 {
+			x.Data()[i] = -0.3
+		}
+	}
+	gradCheck(t, l, x, []int{2, 3, 3}, 18)
+}
+
+func TestSigmoidGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	l := NewSigmoid()
+	x := randInput(rng, 3, 3)
+	gradCheck(t, l, x, []int{3, 3}, 19)
+}
+
+func TestChannelAttentionGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	l, err := NewChannelAttention(rng, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randInput(rng, 4, 5, 5)
+	// Max-pool argmax must be stable under the eps perturbation: make each
+	// channel's max clearly unique.
+	for c := 0; c < 4; c++ {
+		x.Set(2.5+float32(c)*0.1, c, c%5, (c*2)%5)
+	}
+	gradCheck(t, l, x, []int{4, 5, 5}, 20)
+}
+
+func TestChannelAttention3DInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	l, err := NewChannelAttention(rng, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randInput(rng, 3, 2, 4, 4)
+	y, err := l.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !y.SameShape(x) {
+		t.Fatalf("attention output shape %v", y.Shape())
+	}
+	// Attention weights are in (0,1): output magnitude never exceeds input.
+	for i := range y.Data() {
+		if math.Abs(float64(y.Data()[i])) > math.Abs(float64(x.Data()[i]))+1e-6 {
+			t.Fatal("attention amplified beyond sigmoid range")
+		}
+	}
+}
+
+func TestSequentialChainsAndParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	c1, _ := NewConv2D(rng, 1, 2, 3)
+	c2, _ := NewConv2D(rng, 2, 1, 1)
+	seq := NewSequential(c1, NewReLU(), c2)
+	if got := len(seq.Params()); got != 4 {
+		t.Fatalf("params = %d, want 4", got)
+	}
+	x := randInput(rng, 1, 6, 6)
+	y, err := seq.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !shapeEq(y, 1, 6, 6) {
+		t.Fatalf("output shape %v", y.Shape())
+	}
+	_, grad, err := MSELoss(y, tensor.New(1, 6, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gx, err := seq.Backward(grad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gx.SameShape(x) {
+		t.Fatalf("input grad shape %v", gx.Shape())
+	}
+}
+
+func TestSequentialShapeErrorPropagates(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	c1, _ := NewConv2D(rng, 2, 2, 3)
+	seq := NewSequential(c1)
+	if _, err := seq.Forward(tensor.New(3, 4, 4)); err == nil {
+		t.Fatal("expected channel mismatch error")
+	}
+}
+
+func TestInvalidLayerConfigs(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	if _, err := NewConv2D(rng, 0, 1, 3); err == nil {
+		t.Fatal("conv2d inC=0")
+	}
+	if _, err := NewConv2D(rng, 1, 1, 2); err == nil {
+		t.Fatal("conv2d even kernel")
+	}
+	if _, err := NewConv3D(rng, 1, 0, 3); err == nil {
+		t.Fatal("conv3d outC=0")
+	}
+	if _, err := NewDepthwiseConv2D(rng, 0, 3); err == nil {
+		t.Fatal("dw2d c=0")
+	}
+	if _, err := NewDepthwiseConv3D(rng, 1, 4); err == nil {
+		t.Fatal("dw3d even kernel")
+	}
+	if _, err := NewDense(rng, 0, 1); err == nil {
+		t.Fatal("dense in=0")
+	}
+	if _, err := NewChannelAttention(rng, 0, 2); err == nil {
+		t.Fatal("attention c=0")
+	}
+}
+
+func TestBackwardBeforeForwardErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	g := tensor.New(1, 3, 3)
+	c, _ := NewConv2D(rng, 1, 1, 3)
+	if _, err := c.Backward(g); err == nil {
+		t.Fatal("conv2d")
+	}
+	d, _ := NewDepthwiseConv2D(rng, 1, 3)
+	if _, err := d.Backward(g); err == nil {
+		t.Fatal("dw2d")
+	}
+	if _, err := NewReLU().Backward(g); err == nil {
+		t.Fatal("relu")
+	}
+	if _, err := NewSigmoid().Backward(g); err == nil {
+		t.Fatal("sigmoid")
+	}
+}
+
+func TestMSELossValueAndGrad(t *testing.T) {
+	pred := tensor.MustFromSlice([]float32{1, 2}, 2)
+	target := tensor.MustFromSlice([]float32{0, 4}, 2)
+	loss, grad, err := MSELoss(pred, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(loss-2.5) > 1e-9 { // (1 + 4)/2
+		t.Fatalf("loss = %v", loss)
+	}
+	if math.Abs(float64(grad.Data()[0])-1) > 1e-6 || math.Abs(float64(grad.Data()[1])+2) > 1e-6 {
+		t.Fatalf("grad = %v", grad.Data())
+	}
+	if _, _, err := MSELoss(pred, tensor.New(3)); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestMAELoss(t *testing.T) {
+	pred := tensor.MustFromSlice([]float32{1, -2}, 2)
+	target := tensor.MustFromSlice([]float32{0, 0}, 2)
+	loss, grad, err := MAELoss(pred, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(loss-1.5) > 1e-9 {
+		t.Fatalf("loss = %v", loss)
+	}
+	if grad.Data()[0] <= 0 || grad.Data()[1] >= 0 {
+		t.Fatalf("grad signs = %v", grad.Data())
+	}
+}
+
+// A 1-layer dense net must fit a linear map with either optimizer.
+func TestOptimizersFitLinear(t *testing.T) {
+	for _, optName := range []string{"sgd", "sgdm", "adam"} {
+		rng := rand.New(rand.NewSource(16))
+		l, err := NewDense(rng, 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var opt Optimizer
+		switch optName {
+		case "sgd":
+			opt = NewSGD(0.05, 0)
+		case "sgdm":
+			opt = NewSGD(0.02, 0.9)
+		case "adam":
+			opt = NewAdam(0.05)
+		}
+		// Target: y = 3a - 2b + 1.
+		var last float64
+		for step := 0; step < 400; step++ {
+			ZeroGrads(l.Params())
+			a := rng.Float32()*2 - 1
+			b := rng.Float32()*2 - 1
+			x := tensor.MustFromSlice([]float32{a, b}, 2)
+			want := tensor.MustFromSlice([]float32{3*a - 2*b + 1}, 1)
+			y, err := l.Forward(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			loss, grad, err := MSELoss(y, want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			last = loss
+			if _, err := l.Backward(grad); err != nil {
+				t.Fatal(err)
+			}
+			opt.Step(l.Params())
+		}
+		if last > 0.05 {
+			t.Fatalf("%s: final loss %v, want < 0.05", optName, last)
+		}
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	c1, _ := NewConv2D(rng, 2, 3, 3)
+	att, _ := NewChannelAttention(rng, 3, 2)
+	seq := NewSequential(c1, att)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, seq.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != ParamBytes(seq.Params()) {
+		t.Fatalf("ParamBytes = %d, actual %d", ParamBytes(seq.Params()), buf.Len())
+	}
+	// Fresh model with same shapes, different weights.
+	rng2 := rand.New(rand.NewSource(99))
+	c1b, _ := NewConv2D(rng2, 2, 3, 3)
+	attb, _ := NewChannelAttention(rng2, 3, 2)
+	seqb := NewSequential(c1b, attb)
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), seqb.Params()); err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := seq.Params(), seqb.Params()
+	for i := range pa {
+		for j := range pa[i].W.Data() {
+			if pa[i].W.Data()[j] != pb[i].W.Data()[j] {
+				t.Fatalf("param %d weight %d differs after load", i, j)
+			}
+		}
+	}
+}
+
+func TestSerializationShapeMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	a, _ := NewDense(rng, 4, 2)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, a.Params()); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewDense(rng, 3, 2) // wrong input width
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), b.Params()); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+	c, _ := NewConv2D(rng, 1, 1, 3) // wrong param count
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), append(c.Params(), a.Params()...)); err == nil {
+		t.Fatal("expected count mismatch error")
+	}
+	// Corrupt magic.
+	bad := append([]byte("XXXX"), buf.Bytes()[4:]...)
+	if err := LoadParams(bytes.NewReader(bad), a.Params()); err == nil {
+		t.Fatal("expected magic error")
+	}
+	// Truncated.
+	if err := LoadParams(bytes.NewReader(buf.Bytes()[:buf.Len()-3]), a.Params()); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestParamCountAndScaleGrads(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	c, _ := NewConv2D(rng, 2, 3, 3)
+	// weights 3*2*3*3=54 + bias 3 = 57.
+	if n := ParamCount(c.Params()); n != 57 {
+		t.Fatalf("param count = %d, want 57", n)
+	}
+	for _, p := range c.Params() {
+		p.G.Fill(2)
+	}
+	ScaleGrads(c.Params(), 0.5)
+	for _, p := range c.Params() {
+		for _, v := range p.G.Data() {
+			if v != 1 {
+				t.Fatalf("scaled grad = %v", v)
+			}
+		}
+	}
+	ZeroGrads(c.Params())
+	for _, p := range c.Params() {
+		for _, v := range p.G.Data() {
+			if v != 0 {
+				t.Fatal("zero grads failed")
+			}
+		}
+	}
+}
+
+// Lorenzo-as-CNN sanity: a fixed-weight 3x3 conv2d reproduces the Lorenzo
+// stencil f(i,j) = x(i-1,j) + x(i,j-1) - x(i-1,j-1), which the paper notes
+// is "a masked CNN with fixed parameters".
+func TestConv2DEncodesLorenzoStencil(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	l, err := NewConv2D(rng, 1, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd := l.weight.W.Data() // (1,1,3,3), taps at offsets (ki-1, kj-1)
+	for i := range wd {
+		wd[i] = 0
+	}
+	// ki,kj indices: (0,1)=up, (1,0)=left, (0,0)=up-left.
+	wd[0*3+1] = 1
+	wd[1*3+0] = 1
+	wd[0*3+0] = -1
+	l.bias.W.Data()[0] = 0
+	x := randInput(rng, 1, 6, 6)
+	y, err := l.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 6; i++ {
+		for j := 1; j < 6; j++ {
+			want := x.At(0, i-1, j) + x.At(0, i, j-1) - x.At(0, i-1, j-1)
+			if math.Abs(float64(y.At(0, i, j)-want)) > 1e-5 {
+				t.Fatalf("Lorenzo stencil mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Optimizer updates parameters from accumulated gradients.
+type Optimizer interface {
+	Step(params []*Param)
+	Name() string
+}
+
+// SGD is stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	vel      map[*Param][]float32
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, vel: make(map[*Param][]float32)}
+}
+
+// Name implements Optimizer.
+func (s *SGD) Name() string { return fmt.Sprintf("sgd(lr=%g,m=%g)", s.LR, s.Momentum) }
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		w, g := p.W.Data(), p.G.Data()
+		if s.Momentum == 0 {
+			for i := range w {
+				w[i] -= float32(s.LR * float64(g[i]))
+			}
+			continue
+		}
+		v, ok := s.vel[p]
+		if !ok {
+			v = make([]float32, len(w))
+			s.vel[p] = v
+		}
+		m := float32(s.Momentum)
+		for i := range w {
+			v[i] = m*v[i] + g[i]
+			w[i] -= float32(s.LR * float64(v[i]))
+		}
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba 2015).
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	m, v                  map[*Param][]float64
+}
+
+// NewAdam returns an Adam optimizer with standard defaults for zero-valued
+// hyperparameters (beta1=0.9, beta2=0.999, eps=1e-8).
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*Param][]float64),
+		v: make(map[*Param][]float64),
+	}
+}
+
+// Name implements Optimizer.
+func (a *Adam) Name() string { return fmt.Sprintf("adam(lr=%g)", a.LR) }
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		w, g := p.W.Data(), p.G.Data()
+		m, ok := a.m[p]
+		if !ok {
+			m = make([]float64, len(w))
+			a.m[p] = m
+		}
+		v, ok := a.v[p]
+		if !ok {
+			v = make([]float64, len(w))
+			a.v[p] = v
+		}
+		for i := range w {
+			gi := float64(g[i])
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*gi
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*gi*gi
+			mh := m[i] / bc1
+			vh := v[i] / bc2
+			w[i] -= float32(a.LR * mh / (math.Sqrt(vh) + a.Eps))
+		}
+	}
+}

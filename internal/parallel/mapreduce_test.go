@@ -1,0 +1,83 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapReduceSingleWorkerPath(t *testing.T) {
+	// n=1 forces the sequential path regardless of GOMAXPROCS.
+	got := MapReduce(1, 10, func(i, acc int) int { return acc + i + 5 }, func(a, b int) int { return a + b })
+	if got != 15 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestMapReduceMoreWorkersThanItems(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+	var touched [3]int32
+	got := MapReduce(3, 0,
+		func(i, acc int) int {
+			atomic.AddInt32(&touched[i], 1)
+			return acc + 1
+		},
+		func(a, b int) int { return a + b })
+	if got != 3 {
+		t.Fatalf("sum = %d", got)
+	}
+	for i, c := range touched {
+		if c != 1 {
+			t.Fatalf("index %d touched %d times", i, c)
+		}
+	}
+}
+
+func TestMapReduceManyWorkersDeterministicOrder(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	// String concat is order-sensitive: partials must fold in worker order.
+	a := MapReduce(26, "",
+		func(i int, acc string) string { return acc + string(rune('a'+i)) },
+		func(x, y string) string { return x + y })
+	b := MapReduce(26, "",
+		func(i int, acc string) string { return acc + string(rune('a'+i)) },
+		func(x, y string) string { return x + y })
+	if a != b || a != "abcdefghijklmnopqrstuvwxyz" {
+		t.Fatalf("non-deterministic fold: %q vs %q", a, b)
+	}
+}
+
+func TestForRangeWithWorkersExceedingN(t *testing.T) {
+	var sum int64
+	ForRangeWith(64, 5, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt64(&sum, int64(i))
+		}
+	})
+	if sum != 10 {
+		t.Fatalf("sum = %d", sum)
+	}
+}
+
+func TestForRangeWithNonPositiveWorkers(t *testing.T) {
+	calls := 0
+	ForRangeWith(0, 4, func(lo, hi int) {
+		if lo != 0 || hi != 4 {
+			t.Fatalf("range [%d,%d)", lo, hi)
+		}
+		calls++
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d", calls)
+	}
+}
+
+func TestForWithNonPositiveWorkers(t *testing.T) {
+	hits := 0
+	ForWith(-3, 4, func(i int) { hits++ })
+	if hits != 4 {
+		t.Fatalf("hits = %d", hits)
+	}
+}

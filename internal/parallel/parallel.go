@@ -1,0 +1,156 @@
+// Package parallel provides small helpers for data-parallel loops used
+// throughout the compression pipeline (convolution layers, per-chunk
+// quantization, metric reductions).
+//
+// The paper's compression stage is embarrassingly parallel thanks to dual
+// quantization (no read-after-write hazard); these helpers are the Go
+// expression of that: a bounded worker pool over index ranges, following the
+// channel-based patterns from Effective Go.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers returns the degree of parallelism used by default: GOMAXPROCS.
+func Workers() int { return runtime.GOMAXPROCS(0) }
+
+// For runs fn(i) for every i in [0, n) using up to Workers() goroutines.
+// Iterations are distributed in contiguous blocks to preserve cache locality.
+// It blocks until all iterations complete. n <= 0 is a no-op.
+func For(n int, fn func(i int)) {
+	ForWith(Workers(), n, fn)
+}
+
+// ForWith is For with an explicit worker count (values < 1 mean 1).
+func ForWith(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForRange runs fn(lo, hi) over contiguous subranges of [0, n) — one call per
+// worker — letting the callee run a tight loop without per-index closure
+// overhead. It blocks until all ranges complete.
+func ForRange(n int, fn func(lo, hi int)) {
+	ForRangeWith(Workers(), n, fn)
+}
+
+// ForRangeWith is ForRange with an explicit worker count.
+func ForRangeWith(workers, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MapReduce applies mapFn to each index in parallel and folds the per-worker
+// partial results with reduceFn sequentially. zero is the fold identity.
+// reduceFn must be associative for the result to be deterministic; partials
+// are folded in worker order, so it need not be commutative with respect to
+// floating-point rounding across runs with the same worker count.
+func MapReduce[T any](n int, zero T, mapFn func(i int, acc T) T, reduceFn func(a, b T) T) T {
+	workers := Workers()
+	if workers > n {
+		workers = n
+	}
+	if n <= 0 {
+		return zero
+	}
+	if workers <= 1 {
+		acc := zero
+		for i := 0; i < n; i++ {
+			acc = mapFn(i, acc)
+		}
+		return acc
+	}
+	partials := make([]T, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			partials[w] = zero
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			acc := zero
+			for i := lo; i < hi; i++ {
+				acc = mapFn(i, acc)
+			}
+			partials[w] = acc
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	acc := zero
+	for _, p := range partials {
+		acc = reduceFn(acc, p)
+	}
+	return acc
+}

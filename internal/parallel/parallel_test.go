@@ -1,0 +1,134 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	const n = 1000
+	var hits [n]int32
+	For(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times", i, h)
+		}
+	}
+}
+
+func TestForZeroAndNegative(t *testing.T) {
+	called := false
+	For(0, func(i int) { called = true })
+	For(-5, func(i int) { called = true })
+	if called {
+		t.Fatal("fn called for n<=0")
+	}
+}
+
+func TestForWithSingleWorkerIsSequential(t *testing.T) {
+	var order []int
+	ForWith(1, 10, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestForWithManyWorkersCoversAll(t *testing.T) {
+	const n = 57
+	var hits [n]int32
+	ForWith(16, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times", i, h)
+		}
+	}
+}
+
+func TestForRangePartition(t *testing.T) {
+	const n = 103
+	var hits [n]int32
+	ForRangeWith(7, n, func(lo, hi int) {
+		if lo >= hi {
+			t.Errorf("empty range [%d,%d)", lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times", i, h)
+		}
+	}
+}
+
+func TestForRangeZero(t *testing.T) {
+	called := false
+	ForRange(0, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("fn called for n=0")
+	}
+}
+
+func TestMapReduceSum(t *testing.T) {
+	got := MapReduce(1000, 0, func(i, acc int) int { return acc + i }, func(a, b int) int { return a + b })
+	want := 999 * 1000 / 2
+	if got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+func TestMapReduceEmpty(t *testing.T) {
+	got := MapReduce(0, 42, func(i, acc int) int { return acc + 1 }, func(a, b int) int { return a + b })
+	if got != 42 {
+		t.Fatalf("empty reduce = %d, want identity 42", got)
+	}
+}
+
+func TestMapReduceMax(t *testing.T) {
+	vals := []int{3, 9, 1, 7, 9, 2}
+	got := MapReduce(len(vals), -1,
+		func(i, acc int) int {
+			if vals[i] > acc {
+				return vals[i]
+			}
+			return acc
+		},
+		func(a, b int) int {
+			if a > b {
+				return a
+			}
+			return b
+		})
+	if got != 9 {
+		t.Fatalf("max = %d", got)
+	}
+}
+
+// Property: every worker-count partitions [0,n) exactly.
+func TestForWithPartitionProperty(t *testing.T) {
+	f := func(nn, ww uint8) bool {
+		n := int(nn%200) + 1
+		w := int(ww%20) + 1
+		counts := make([]int32, n)
+		ForWith(w, n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for _, c := range counts {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkersPositive(t *testing.T) {
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d", Workers())
+	}
+}

@@ -1,0 +1,161 @@
+package quant
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBoundAbsolute(t *testing.T) {
+	b := AbsBound(0.5)
+	got, err := b.Absolute(100)
+	if err != nil || got != 0.5 {
+		t.Fatalf("abs bound = %v, err %v", got, err)
+	}
+	r := RelBound(1e-3)
+	got, err = r.Absolute(200)
+	if err != nil || math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("rel bound = %v, err %v", got, err)
+	}
+	// Constant field falls back to the raw value.
+	got, err = r.Absolute(0)
+	if err != nil || got != 1e-3 {
+		t.Fatalf("rel bound on constant = %v, err %v", got, err)
+	}
+}
+
+func TestBoundInvalid(t *testing.T) {
+	for _, b := range []Bound{AbsBound(0), AbsBound(-1), RelBound(math.NaN()), RelBound(math.Inf(1)), {Mode: Mode(9), Value: 1}} {
+		if _, err := b.Absolute(10); err == nil {
+			t.Fatalf("bound %+v should be invalid", b)
+		}
+	}
+}
+
+func TestBoundString(t *testing.T) {
+	if s := RelBound(1e-3).String(); s != "rel=1e-03" {
+		t.Fatalf("String() = %q", s)
+	}
+	if Abs.String() != "abs" || Rel.String() != "rel" || Mode(7).String() != "Mode(7)" {
+		t.Fatal("mode strings")
+	}
+}
+
+func TestPrequantizeKnown(t *testing.T) {
+	// eb = 0.5 => bucket width 1 => q = round(v).
+	q, err := Prequantize([]float32{0, 0.4, 0.6, -1.4, -1.6, 2}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{0, 0, 1, -1, -2, 2}
+	for i, v := range q {
+		if v != want[i] {
+			t.Fatalf("q = %v, want %v", q, want)
+		}
+	}
+}
+
+func TestPrequantizeInvalidEB(t *testing.T) {
+	for _, eb := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := Prequantize([]float32{1}, eb); err == nil {
+			t.Fatalf("eb=%v should error", eb)
+		}
+	}
+}
+
+func TestPrequantizeOverflow(t *testing.T) {
+	_, err := Prequantize([]float32{1e30}, 1e-6)
+	if !errors.Is(err, ErrRange) {
+		t.Fatalf("err = %v, want ErrRange", err)
+	}
+	nan := float32(math.NaN())
+	if _, err := Prequantize([]float32{nan}, 0.5); !errors.Is(err, ErrRange) {
+		t.Fatalf("NaN input: err = %v, want ErrRange", err)
+	}
+}
+
+func TestRoundTripErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]float32, 10000)
+	for i := range data {
+		data[i] = rng.Float32()*2000 - 1000
+	}
+	for _, eb := range []float64{10, 1, 0.1, 0.01} {
+		q, err := Prequantize(data, eb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := Dequantize(q, eb)
+		tol := Tolerance(eb, 1000)
+		for i := range data {
+			if d := math.Abs(float64(back[i]) - float64(data[i])); d > tol {
+				t.Fatalf("eb=%v: error %v at %d exceeds tolerance %v", eb, d, i, tol)
+			}
+		}
+	}
+}
+
+// Property: the dual-quant error bound holds for arbitrary seeds and bounds.
+func TestErrorBoundProperty(t *testing.T) {
+	f := func(seed int64, ebExp uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eb := math.Pow(10, -float64(ebExp%5)) // 1 .. 1e-4
+		data := make([]float32, 512)
+		for i := range data {
+			data[i] = rng.Float32()*200 - 100
+		}
+		q, err := Prequantize(data, eb)
+		if err != nil {
+			return false
+		}
+		back := Dequantize(q, eb)
+		tol := Tolerance(eb, 100)
+		for i := range data {
+			if math.Abs(float64(back[i])-float64(data[i])) > tol {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: prequantization is idempotent — re-quantizing reconstructed data
+// returns identical integers.
+func TestIdempotentProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eb := 0.01
+		data := make([]float32, 256)
+		for i := range data {
+			data[i] = rng.Float32() * 10
+		}
+		q1, err := Prequantize(data, eb)
+		if err != nil {
+			return false
+		}
+		q2, err := Prequantize(Dequantize(q1, eb), eb)
+		if err != nil {
+			return false
+		}
+		for i := range q1 {
+			if q1[i] != q2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDequantizeEmpty(t *testing.T) {
+	if out := Dequantize(nil, 0.5); len(out) != 0 {
+		t.Fatal("empty dequantize")
+	}
+}

@@ -1,0 +1,47 @@
+package quant
+
+import (
+	"math"
+	"testing"
+)
+
+func TestToleranceDominatedByEB(t *testing.T) {
+	// For the paper's relative bounds the ulp term is negligible.
+	eb := 1e-3 * 2000.0 // rel 1e-3 on range 2000
+	tol := Tolerance(eb, 1000)
+	if tol > eb*1.001 {
+		t.Fatalf("tolerance %v should be within 0.1%% of eb %v", tol, eb)
+	}
+}
+
+func TestToleranceUlpTerm(t *testing.T) {
+	// Tiny eb on large values: the ulp term dominates, documenting the
+	// float32 representability limit.
+	tol := Tolerance(1e-9, 1e6)
+	if tol < 0.1 {
+		t.Fatalf("tolerance %v should reflect float32 ulp at 1e6", tol)
+	}
+	if Tolerance(0.5, 0) != 0.5 {
+		t.Fatal("zero-magnitude data adds no ulp slack")
+	}
+}
+
+func TestMaxPrequantHeadroom(t *testing.T) {
+	// The 3D Lorenzo prediction sums 4 prequant values; codes must fit in
+	// int32 with margin.
+	if int64(MaxPrequant)+4*int64(MaxPrequant) >= math.MaxInt32 {
+		t.Fatalf("MaxPrequant %d leaves no int32 headroom for postquant codes", MaxPrequant)
+	}
+}
+
+func TestPrequantizeAtWorkingRangeEdge(t *testing.T) {
+	// Just inside the range works; just outside errors.
+	edge := float32(float64(MaxPrequant) * 2 * 0.5 * 0.999) // q ≈ 0.999*max at eb=0.5
+	if _, err := Prequantize([]float32{edge}, 0.5); err != nil {
+		t.Fatalf("edge value rejected: %v", err)
+	}
+	over := float32(float64(MaxPrequant) * 2 * 0.5 * 1.01)
+	if _, err := Prequantize([]float32{over}, 0.5); err == nil {
+		t.Fatal("over-range value accepted")
+	}
+}

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// CESMSpec configures the CESM-ATM-like 2D climate dataset generator.
+// The paper's CESM snapshot is 1800×3600; defaults here are scaled down.
+type CESMSpec struct {
+	NY, NX int
+	Seed   int64
+}
+
+// DefaultCESMSpec returns the scaled-down default grid used by the benchmark
+// harness.
+func DefaultCESMSpec() CESMSpec { return CESMSpec{NY: 384, NX: 768, Seed: 43} }
+
+// GenerateCESM builds a CESM-ATM-like dataset with fields
+// CLDLOW, CLDMED, CLDHGH, CLDTOT, FLNT, FLNTC, FLUT, FLUTC, LWCF.
+//
+// Cross-field structure mirrors the relations the paper calls out in
+// Section III-A:
+//
+//   - CLDTOT follows the random-overlap rule
+//     1 − (1−CLDLOW)(1−CLDMED)(1−CLDHGH) plus sub-grid noise; anchors
+//     {CLDLOW, CLDMED, CLDHGH} → CLDTOT.
+//   - LWCF (longwave cloud forcing) is proportional to total cloudiness.
+//   - FLUT = FLUTC − LWCF (+ noise): "the difference between the FLUTC and
+//     LWCF fields is also similar to the FLNT field".
+//   - FLNT closely mirrors FLUT ("the FLUT field closely mirrors the FLNT
+//     field").
+func GenerateCESM(spec CESMSpec) (*Dataset, error) {
+	if spec.NY < 16 || spec.NX < 16 {
+		return nil, fmt.Errorf("sim: CESM grid %dx%d too small (need >=16x16)", spec.NY, spec.NX)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	ny, nx := spec.NY, spec.NX
+	ds := NewDataset("CESM-ATM", ny, nx)
+
+	// Shared large-scale weather pattern couples the three cloud decks.
+	shared := GRF2D(rng, ny, nx, 3.4)
+	gLow := GRF2D(rng, ny, nx, 3.0)
+	gMed := GRF2D(rng, ny, nx, 3.0)
+	gHgh := GRF2D(rng, ny, nx, 3.0)
+	gClear := GRF2D(rng, ny, nx, 3.6) // clear-sky flux texture (surface temp driven)
+	gForce := GRF2D(rng, ny, nx, 3.0) // cloud-forcing modulation
+
+	mkCloud := func(g *tensor.Tensor, bias, sharedW float64) *tensor.Tensor {
+		out := tensor.New(ny, nx)
+		for i, v := range g.Data() {
+			x := sharedW*float64(shared.Data()[i]) + (1-sharedW)*float64(v) + bias
+			out.Data()[i] = float32(sigmoid(2.2 * x))
+		}
+		return out
+	}
+	cldLow := mkCloud(gLow, 0.15, 0.62)
+	cldMed := mkCloud(gMed, -0.10, 0.62)
+	cldHgh := mkCloud(gHgh, -0.30, 0.62)
+
+	cldTot := tensor.New(ny, nx)
+	for i := range cldTot.Data() {
+		l := float64(cldLow.Data()[i])
+		m := float64(cldMed.Data()[i])
+		h := float64(cldHgh.Data()[i])
+		cldTot.Data()[i] = float32(1 - (1-l)*(1-m)*(1-h))
+	}
+	addNoise(rng, cldTot, 0.012)
+	for i, v := range cldTot.Data() {
+		cldTot.Data()[i] = clamp(v, 0, 1)
+	}
+
+	// Clear-sky upwelling longwave flux at TOA (W/m^2): warm regions emit
+	// more.
+	flutc := tensor.New(ny, nx)
+	for i, v := range gClear.Data() {
+		flutc.Data()[i] = float32(262 + 24*float64(v))
+	}
+
+	// Longwave cloud forcing: high thick clouds trap outgoing LW.
+	lwcf := tensor.New(ny, nx)
+	for i := range lwcf.Data() {
+		c := float64(cldTot.Data()[i])
+		hgh := float64(cldHgh.Data()[i])
+		mod := 1 + 0.25*float64(gForce.Data()[i])
+		lwcf.Data()[i] = float32((34*c + 28*hgh) * mod)
+	}
+	addNoise(rng, lwcf, 0.8)
+	for i, v := range lwcf.Data() {
+		if v < 0 {
+			lwcf.Data()[i] = 0
+		}
+	}
+
+	// FLUT = FLUTC − LWCF + noise; FLNT mirrors FLUT with a smooth offset;
+	// FLNTC mirrors FLUTC.
+	flut := tensor.New(ny, nx)
+	for i := range flut.Data() {
+		flut.Data()[i] = flutc.Data()[i] - lwcf.Data()[i]
+	}
+	addNoise(rng, flut, 0.5)
+
+	gOff := GRF2D(rng, ny, nx, 4.0)
+	flnt := tensor.New(ny, nx)
+	for i := range flnt.Data() {
+		flnt.Data()[i] = flut.Data()[i] + float32(1.5+0.9*float64(gOff.Data()[i]))
+	}
+	flntc := tensor.New(ny, nx)
+	for i := range flntc.Data() {
+		flntc.Data()[i] = flutc.Data()[i] + float32(1.2+0.7*float64(gOff.Data()[i]))
+	}
+
+	for _, f := range []struct {
+		name string
+		t    *tensor.Tensor
+	}{
+		{"CLDLOW", cldLow}, {"CLDMED", cldMed}, {"CLDHGH", cldHgh}, {"CLDTOT", cldTot},
+		{"FLNT", flnt}, {"FLNTC", flntc}, {"FLUT", flut}, {"FLUTC", flutc}, {"LWCF", lwcf},
+	} {
+		if err := ds.AddField(f.name, f.t); err != nil {
+			return nil, err
+		}
+	}
+	return ds, nil
+}

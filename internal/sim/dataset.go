@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// Dataset is a named collection of equally-shaped fields, mirroring one
+// SDRBench dataset (one simulation snapshot, many physical variables).
+type Dataset struct {
+	Name   string
+	Dims   []int
+	fields map[string]*tensor.Tensor
+	order  []string
+}
+
+// NewDataset creates an empty dataset with the given dimensions.
+func NewDataset(name string, dims ...int) *Dataset {
+	return &Dataset{
+		Name:   name,
+		Dims:   append([]int(nil), dims...),
+		fields: make(map[string]*tensor.Tensor),
+	}
+}
+
+// AddField registers a field; its shape must match the dataset dims.
+func (d *Dataset) AddField(name string, t *tensor.Tensor) error {
+	if len(t.Shape()) != len(d.Dims) {
+		return fmt.Errorf("sim: field %q rank %d != dataset rank %d", name, t.Rank(), len(d.Dims))
+	}
+	for i, v := range t.Shape() {
+		if v != d.Dims[i] {
+			return fmt.Errorf("sim: field %q shape %v != dataset dims %v", name, t.Shape(), d.Dims)
+		}
+	}
+	if _, dup := d.fields[name]; dup {
+		return fmt.Errorf("sim: duplicate field %q", name)
+	}
+	d.fields[name] = t
+	d.order = append(d.order, name)
+	return nil
+}
+
+// Field returns the named field or an error listing what exists.
+func (d *Dataset) Field(name string) (*tensor.Tensor, error) {
+	t, ok := d.fields[name]
+	if !ok {
+		avail := append([]string(nil), d.order...)
+		sort.Strings(avail)
+		return nil, fmt.Errorf("sim: dataset %q has no field %q (have %v)", d.Name, name, avail)
+	}
+	return t, nil
+}
+
+// MustField is Field but panics on missing names; for tests and examples
+// where the field set is static.
+func (d *Dataset) MustField(name string) *tensor.Tensor {
+	t, err := d.Field(name)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Fields returns field names in insertion order.
+func (d *Dataset) Fields() []string { return append([]string(nil), d.order...) }
+
+// NumPoints returns the number of values per field.
+func (d *Dataset) NumPoints() int {
+	n := 1
+	for _, v := range d.Dims {
+		n *= v
+	}
+	return n
+}

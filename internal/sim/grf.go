@@ -1,0 +1,160 @@
+// Package sim generates deterministic synthetic scientific datasets that
+// substitute for the SDRBench datasets used in the paper (SCALE-LETKF,
+// CESM-ATM, Hurricane ISABEL), which are not available offline.
+//
+// Each generator produces the same *family* of fields the paper compresses,
+// with built-in cross-field physics so that the paper's central premise —
+// strong but nonlinear correlation between fields of one dataset — holds by
+// construction:
+//
+//   - SCALE-like: T, QV, PRES, RH (Tetens saturation physics), U, V
+//     (geostrophic balance from the pressure perturbation), W (mass
+//     continuity).
+//   - CESM-like: CLDLOW/MED/HGH/TOT (overlap rule), FLNT/FLNTC/FLUT/FLUTC/
+//     LWCF (longwave cloud-forcing identity).
+//   - Hurricane-like: Uf, Vf, Pf, Wf around a drifting Rankine-style
+//     cyclone.
+//
+// Smooth multi-scale texture comes from Gaussian random fields with
+// power-law spectra synthesized through internal/fft; independent small
+// noise is added per field so that neither the Lorenzo predictor nor the
+// cross-field CFNN is trivially exact.
+package sim
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/fft"
+	"repro/internal/tensor"
+)
+
+// GRF2D synthesizes a ny×nx Gaussian random field with isotropic power
+// spectrum P(k) ∝ k^(-beta), standardized to zero mean and unit variance.
+// beta≈3 gives smooth climate-like texture; beta≈2 rougher turbulence.
+func GRF2D(rng *rand.Rand, ny, nx int, beta float64) *tensor.Tensor {
+	py, px := fft.NextPow2(ny), fft.NextPow2(nx)
+	grid := make([]complex128, py*px)
+	for i := range grid {
+		grid[i] = complex(rng.NormFloat64(), 0)
+	}
+	// Filter in frequency space with a real, symmetric amplitude, which
+	// keeps the spatial field real (up to rounding).
+	if err := fft.Forward2D(grid, py, px); err != nil {
+		panic("sim: internal fft error: " + err.Error())
+	}
+	for iy := 0; iy < py; iy++ {
+		fy := wrappedFreq(iy, py)
+		for ix := 0; ix < px; ix++ {
+			fx := wrappedFreq(ix, px)
+			k := math.Hypot(fy, fx)
+			grid[iy*px+ix] *= complex(spectralAmp(k, beta), 0)
+		}
+	}
+	if err := fft.Inverse2D(grid, py, px); err != nil {
+		panic("sim: internal fft error: " + err.Error())
+	}
+	out := tensor.New(ny, nx)
+	for i := 0; i < ny; i++ {
+		for j := 0; j < nx; j++ {
+			out.Set2(float32(real(grid[i*px+j])), i, j)
+		}
+	}
+	standardize(out)
+	return out
+}
+
+// GRF3D synthesizes a nz×ny×nx Gaussian random field with isotropic
+// power-law spectrum, standardized to zero mean and unit variance.
+func GRF3D(rng *rand.Rand, nz, ny, nx int, beta float64) *tensor.Tensor {
+	pz, py, px := fft.NextPow2(nz), fft.NextPow2(ny), fft.NextPow2(nx)
+	grid := make([]complex128, pz*py*px)
+	for i := range grid {
+		grid[i] = complex(rng.NormFloat64(), 0)
+	}
+	if err := fft.Forward3D(grid, pz, py, px); err != nil {
+		panic("sim: internal fft error: " + err.Error())
+	}
+	for iz := 0; iz < pz; iz++ {
+		fz := wrappedFreq(iz, pz)
+		for iy := 0; iy < py; iy++ {
+			fy := wrappedFreq(iy, py)
+			base := (iz*py + iy) * px
+			for ix := 0; ix < px; ix++ {
+				fx := wrappedFreq(ix, px)
+				k := math.Sqrt(fz*fz + fy*fy + fx*fx)
+				grid[base+ix] *= complex(spectralAmp(k, beta), 0)
+			}
+		}
+	}
+	if err := fft.Inverse3D(grid, pz, py, px); err != nil {
+		panic("sim: internal fft error: " + err.Error())
+	}
+	out := tensor.New(nz, ny, nx)
+	for k := 0; k < nz; k++ {
+		for i := 0; i < ny; i++ {
+			for j := 0; j < nx; j++ {
+				out.Set3(float32(real(grid[(k*py+i)*px+j])), k, i, j)
+			}
+		}
+	}
+	standardize(out)
+	return out
+}
+
+// wrappedFreq maps a DFT bin index to its signed normalized frequency in
+// cycles per sample, in [-0.5, 0.5).
+func wrappedFreq(i, n int) float64 {
+	if i <= n/2 {
+		return float64(i) / float64(n)
+	}
+	return float64(i-n) / float64(n)
+}
+
+// spectralAmp is the filter amplitude for wavenumber k: k^(-beta/2) with the
+// DC component removed and a small regularizer so the lowest modes don't
+// blow up.
+func spectralAmp(k, beta float64) float64 {
+	if k == 0 {
+		return 0
+	}
+	const k0 = 1.0 / 512.0
+	return math.Pow(k+k0, -beta/2)
+}
+
+// standardize rescales t in place to zero mean, unit variance (no-op on
+// zero-variance input).
+func standardize(t *tensor.Tensor) {
+	s := t.Summary()
+	if s.Std == 0 {
+		return
+	}
+	m := float32(s.Mean)
+	inv := float32(1.0 / s.Std)
+	d := t.Data()
+	for i := range d {
+		d[i] = (d[i] - m) * inv
+	}
+}
+
+// addNoise adds amp-scaled white Gaussian noise to t in place.
+func addNoise(rng *rand.Rand, t *tensor.Tensor, amp float64) {
+	d := t.Data()
+	for i := range d {
+		d[i] += float32(amp * rng.NormFloat64())
+	}
+}
+
+// clamp limits v to [lo, hi].
+func clamp(v, lo, hi float32) float32 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// sigmoid is the logistic function.
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }

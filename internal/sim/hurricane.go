@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// HurricaneSpec configures the Hurricane-ISABEL-like 3D dataset generator.
+// The paper's Hurricane snapshot is 100×500×500; defaults here are scaled
+// down.
+type HurricaneSpec struct {
+	NZ, NY, NX int
+	Seed       int64
+}
+
+// DefaultHurricaneSpec returns the scaled-down default grid used by the
+// benchmark harness.
+func DefaultHurricaneSpec() HurricaneSpec { return HurricaneSpec{NZ: 32, NY: 160, NX: 160, Seed: 44} }
+
+// GenerateHurricane builds a Hurricane-like dataset with fields
+// Uf, Vf, Wf, Pf, TCf (temperature) around a vertically drifting
+// Rankine-style cyclone:
+//
+//   - tangential wind: solid-body rotation inside the radius of maximum
+//     wind, power-law decay outside; Uf/Vf are its Cartesian components plus
+//     turbulence.
+//   - Pf: Holland-style pressure deficit exp(−Rmax/r).
+//   - Wf: eyewall updraft ring (a nonlinear function of radius and the
+//     local wind speed) minus horizontal-divergence compensation —
+//     predictable from anchors {Uf, Vf, Pf} as in the paper's Figure 6.
+func GenerateHurricane(spec HurricaneSpec) (*Dataset, error) {
+	if spec.NZ < 4 || spec.NY < 16 || spec.NX < 16 {
+		return nil, fmt.Errorf("sim: hurricane grid %dx%dx%d too small (need >=4x16x16)", spec.NZ, spec.NY, spec.NX)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	nz, ny, nx := spec.NZ, spec.NY, spec.NX
+	ds := NewDataset("Hurricane", nz, ny, nx)
+
+	uTurb := GRF3D(rng, nz, ny, nx, 2.3)
+	vTurb := GRF3D(rng, nz, ny, nx, 2.3)
+	pTex := GRF3D(rng, nz, ny, nx, 3.3)
+	tTex := GRF3D(rng, nz, ny, nx, 3.0)
+
+	const (
+		vMax   = 55.0   // max tangential wind, m/s
+		pAmb   = 100800 // ambient surface pressure, Pa
+		dp     = 6200.0 // central pressure deficit, Pa
+		alpha  = 0.62   // outer decay exponent
+		turbA  = 2.0    // turbulence amplitude, m/s
+		dz     = 500.0
+		hScale = 9000.0
+	)
+	rMax := 0.085 * float64(minInt(ny, nx)) // radius of max wind in grid cells
+
+	uf := tensor.New(nz, ny, nx)
+	vf := tensor.New(nz, ny, nx)
+	pf := tensor.New(nz, ny, nx)
+	tcf := tensor.New(nz, ny, nx)
+
+	for k := 0; k < nz; k++ {
+		// Vortex center drifts and tilts with height.
+		frac := float64(k) / float64(nz)
+		cy := 0.5*float64(ny) + 0.08*float64(ny)*math.Sin(2.1*frac)
+		cx := 0.5*float64(nx) + 0.10*float64(nx)*frac
+		decay := math.Exp(-1.1 * frac) // winds weaken aloft
+		z := float64(k) * dz
+		pBase := pAmb * math.Exp(-z/hScale)
+		for i := 0; i < ny; i++ {
+			for j := 0; j < nx; j++ {
+				dy := float64(i) - cy
+				dx := float64(j) - cx
+				r := math.Hypot(dy, dx)
+				vt := tangentialWind(r, rMax, vMax) * decay
+				var ux, vy float64
+				if r > 1e-9 {
+					// Tangential unit vector (counter-clockwise).
+					ux = -vt * dy / r
+					vy = vt * dx / r
+				}
+				uf.Set3(float32(ux)+turbA*uTurb.At3(k, i, j), k, i, j)
+				vf.Set3(float32(vy)+turbA*vTurb.At3(k, i, j), k, i, j)
+
+				// Holland-style pressure profile + texture.
+				pDef := dp * math.Exp(-rMax/math.Max(r, 0.3*rMax)) * decay
+				pf.Set3(float32(pBase-(dp*decay-pDef)+120*float64(pTex.At3(k, i, j))), k, i, j)
+
+				// Warm-core temperature.
+				tcf.Set3(float32(288-0.006*z+7*decay*math.Exp(-r*r/(6*rMax*rMax))+1.8*float64(tTex.At3(k, i, j))), k, i, j)
+			}
+		}
+	}
+
+	// Wf: eyewall updraft ring driven by the local wind speed and radius —
+	// a smooth nonlinear function of Uf, Vf plus weak continuity coupling.
+	wf := tensor.New(nz, ny, nx)
+	const dxy = 2000.0
+	for k := 0; k < nz; k++ {
+		frac := float64(k) / float64(nz)
+		cy := 0.5*float64(ny) + 0.08*float64(ny)*math.Sin(2.1*frac)
+		cx := 0.5*float64(nx) + 0.10*float64(nx)*frac
+		vertProfile := math.Sin(math.Pi * math.Min(0.18+frac*1.05, 1.0)) // max updraft mid-levels, nonzero at surface
+		for i := 0; i < ny; i++ {
+			for j := 0; j < nx; j++ {
+				dy := float64(i) - cy
+				dx := float64(j) - cx
+				r := math.Hypot(dy, dx)
+				speed := math.Hypot(float64(uf.At3(k, i, j)), float64(vf.At3(k, i, j)))
+				ring := math.Exp(-(r - rMax) * (r - rMax) / (0.6 * rMax * rMax))
+				div := centralGrad3(uf, k, i, j, 2)/dxy + centralGrad3(vf, k, i, j, 1)/dxy
+				w := 0.16*speed*ring*vertProfile - 900*div*vertProfile
+				wf.Set3(float32(w), k, i, j)
+			}
+		}
+	}
+	addNoise(rng, wf, 0.03)
+
+	for _, f := range []struct {
+		name string
+		t    *tensor.Tensor
+	}{
+		{"Uf", uf}, {"Vf", vf}, {"Wf", wf}, {"Pf", pf}, {"TCf", tcf},
+	} {
+		if err := ds.AddField(f.name, f.t); err != nil {
+			return nil, err
+		}
+	}
+	return ds, nil
+}
+
+// tangentialWind is a Rankine-style profile: linear up to rMax, power-law
+// decay outside.
+func tangentialWind(r, rMax, vMax float64) float64 {
+	if r <= rMax {
+		return vMax * r / rMax
+	}
+	return vMax * math.Pow(rMax/r, 0.62)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

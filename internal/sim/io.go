@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/tensor"
+)
+
+// WriteRaw writes t as little-endian float32 values in row-major order —
+// the SDRBench ".f32"/".dat" convention.
+func WriteRaw(w io.Writer, t *tensor.Tensor) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var buf [4]byte
+	for _, v := range t.Data() {
+		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return fmt.Errorf("sim: write raw: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadRaw reads little-endian float32 values into a tensor of the given
+// shape. The stream must contain exactly the shape's volume of values.
+func ReadRaw(r io.Reader, shape ...int) (*tensor.Tensor, error) {
+	t := tensor.New(shape...)
+	br := bufio.NewReaderSize(r, 1<<16)
+	var buf [4]byte
+	for i := range t.Data() {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("sim: read raw value %d/%d: %w", i, t.Len(), err)
+		}
+		t.Data()[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[:]))
+	}
+	// Must be at EOF.
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("sim: trailing data after %d values", t.Len())
+	}
+	return t, nil
+}
+
+// SaveDataset writes every field of ds as <dir>/<name>.f32 plus a
+// human-readable <dir>/MANIFEST listing name, dims, and field order.
+func SaveDataset(dir string, ds *Dataset) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("sim: save dataset: %w", err)
+	}
+	var man strings.Builder
+	fmt.Fprintf(&man, "dataset %s\ndims", ds.Name)
+	for _, d := range ds.Dims {
+		fmt.Fprintf(&man, " %d", d)
+	}
+	man.WriteString("\n")
+	for _, name := range ds.Fields() {
+		t := ds.MustField(name)
+		path := filepath.Join(dir, name+".f32")
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("sim: save field %s: %w", name, err)
+		}
+		err = WriteRaw(f, t)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("sim: save field %s: %w", name, err)
+		}
+		fmt.Fprintf(&man, "field %s\n", name)
+	}
+	return os.WriteFile(filepath.Join(dir, "MANIFEST"), []byte(man.String()), 0o644)
+}
+
+// LoadDataset reads a dataset previously written by SaveDataset.
+func LoadDataset(dir string) (*Dataset, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, "MANIFEST"))
+	if err != nil {
+		return nil, fmt.Errorf("sim: load dataset: %w", err)
+	}
+	var (
+		name   string
+		dims   []int
+		fields []string
+	)
+	for _, line := range strings.Split(string(raw), "\n") {
+		parts := strings.Fields(line)
+		if len(parts) == 0 {
+			continue
+		}
+		switch parts[0] {
+		case "dataset":
+			if len(parts) < 2 {
+				return nil, fmt.Errorf("sim: malformed manifest line %q", line)
+			}
+			name = parts[1]
+		case "dims":
+			dims = dims[:0]
+			for _, p := range parts[1:] {
+				var d int
+				if _, err := fmt.Sscanf(p, "%d", &d); err != nil {
+					return nil, fmt.Errorf("sim: malformed dims %q", line)
+				}
+				dims = append(dims, d)
+			}
+		case "field":
+			if len(parts) < 2 {
+				return nil, fmt.Errorf("sim: malformed manifest line %q", line)
+			}
+			fields = append(fields, parts[1])
+		}
+	}
+	if name == "" || len(dims) == 0 {
+		return nil, fmt.Errorf("sim: manifest missing dataset/dims")
+	}
+	ds := NewDataset(name, dims...)
+	for _, fn := range fields {
+		f, err := os.Open(filepath.Join(dir, fn+".f32"))
+		if err != nil {
+			return nil, fmt.Errorf("sim: load field %s: %w", fn, err)
+		}
+		t, err := ReadRaw(f, dims...)
+		if cerr := f.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("sim: load field %s: %w", fn, err)
+		}
+		if err := ds.AddField(fn, t); err != nil {
+			return nil, err
+		}
+	}
+	return ds, nil
+}
+
+// WritePGM renders a rank-2 tensor as an 8-bit PGM grayscale image
+// (min→black, max→white). This is how the harness emits the paper's
+// visual-comparison figures (Figs. 1, 6, 7, 9) without external imaging
+// dependencies.
+func WritePGM(w io.Writer, t *tensor.Tensor) error {
+	if t.Rank() != 2 {
+		return fmt.Errorf("sim: WritePGM needs rank-2 tensor, got %v", t.Shape())
+	}
+	mn, mx := t.MinMax()
+	scale := float32(0)
+	if mx > mn {
+		scale = 255 / (mx - mn)
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "P5\n%d %d\n255\n", t.Dim(1), t.Dim(0))
+	for _, v := range t.Data() {
+		b := byte(clamp((v-mn)*scale, 0, 255))
+		if err := bw.WriteByte(b); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SavePGM writes a PGM file to path.
+func SavePGM(path string, t *tensor.Tensor) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = WritePGM(f, t)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

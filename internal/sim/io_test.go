@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestPGMDeterministicAndScaled(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := tensor.New(8, 8)
+	for i := range g.Data() {
+		g.Data()[i] = rng.Float32()*50 - 25
+	}
+	var a, b bytes.Buffer
+	if err := WritePGM(&a, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePGM(&b, g); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("PGM output not deterministic")
+	}
+	// Pixels span the full 0..255 range (min maps to 0, max to 255).
+	pix := a.Bytes()[len(a.Bytes())-64:]
+	var mn, mx byte = 255, 0
+	for _, p := range pix {
+		if p < mn {
+			mn = p
+		}
+		if p > mx {
+			mx = p
+		}
+	}
+	if mn != 0 || mx != 255 {
+		t.Fatalf("pixel range [%d,%d], want [0,255]", mn, mx)
+	}
+}
+
+func TestPGMConstantField(t *testing.T) {
+	g := tensor.New(4, 4)
+	g.Fill(3)
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	pix := buf.Bytes()[len(buf.Bytes())-16:]
+	for _, p := range pix {
+		if p != 0 {
+			t.Fatalf("constant field should render black, got %d", p)
+		}
+	}
+}
+
+func TestSavePGMToFile(t *testing.T) {
+	g := tensor.New(4, 4)
+	path := t.TempDir() + "/x.pgm"
+	if err := SavePGM(path, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := SavePGM("/nonexistent-dir-xyz/x.pgm", g); err == nil {
+		t.Fatal("expected create error")
+	}
+}
+
+func TestSaveDatasetBadDir(t *testing.T) {
+	ds := NewDataset("X", 2, 2)
+	f := tensor.New(2, 2)
+	if err := ds.AddField("a", f); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveDataset("/proc/definitely/not/writable", ds); err == nil {
+		t.Fatal("expected mkdir error")
+	}
+}
+
+func TestLoadDatasetMalformedManifest(t *testing.T) {
+	dir := t.TempDir()
+	cases := []string{
+		"dims 4 4\nfield a\n",                // missing dataset line
+		"dataset X\nfield a\n",               // missing dims
+		"dataset X\ndims x y\nfield a\n",     // non-numeric dims
+		"dataset X\ndims 4 4\nfield ghost\n", // field file missing
+	}
+	for i, m := range cases {
+		if err := writeManifest(dir, m); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadDataset(dir); err == nil {
+			t.Fatalf("case %d: expected error for manifest %q", i, m)
+		}
+	}
+}
+
+func writeManifest(dir, content string) error {
+	return os.WriteFile(dir+"/MANIFEST", []byte(content), 0o644)
+}

@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// ScaleSpec configures the SCALE-LETKF-like 3D climate dataset generator.
+// The paper's SCALE snapshot is 98×1200×1200; defaults here are scaled down
+// for single-CPU experiments but keep the same field set and physics.
+type ScaleSpec struct {
+	NZ, NY, NX int
+	Seed       int64
+}
+
+// DefaultScaleSpec returns the scaled-down default grid used by the
+// benchmark harness.
+func DefaultScaleSpec() ScaleSpec { return ScaleSpec{NZ: 32, NY: 192, NX: 192, Seed: 42} }
+
+// GenerateScale builds a SCALE-like dataset with fields
+// T, QV, PRES, RH, U, V, W.
+//
+// Physics wired into the fields (all on a regular grid with z the first
+// axis):
+//
+//   - PRES: hydrostatic exponential profile plus a smooth 3D perturbation.
+//   - T: lapse-rate profile plus smooth anomalies.
+//   - QV: humidity decaying with height, modulated by its own anomaly field.
+//   - RH: Tetens saturation humidity from (T, PRES), RH = 100·QV/qsat —
+//     the nonlinear target the paper predicts from anchors {T, QV, PRES}.
+//   - U, V: geostrophic-like winds from horizontal gradients of the pressure
+//     perturbation plus turbulence.
+//   - W: vertical velocity integrated from the continuity equation
+//     ∂W/∂z = −(∂U/∂x + ∂V/∂y) plus weak noise — the paper's anchor set
+//     {U, V, PRES} → W.
+func GenerateScale(spec ScaleSpec) (*Dataset, error) {
+	if spec.NZ < 4 || spec.NY < 8 || spec.NX < 8 {
+		return nil, fmt.Errorf("sim: SCALE grid %dx%dx%d too small (need >=4x8x8)", spec.NZ, spec.NY, spec.NX)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	nz, ny, nx := spec.NZ, spec.NY, spec.NX
+	ds := NewDataset("SCALE", nz, ny, nx)
+
+	// Smooth anomaly fields.
+	pAnom := GRF3D(rng, nz, ny, nx, 3.4) // pressure perturbation texture
+	tAnom := GRF3D(rng, nz, ny, nx, 3.0) // temperature anomalies
+	qAnom := GRF3D(rng, nz, ny, nx, 2.8) // humidity anomalies
+	uTurb := GRF3D(rng, nz, ny, nx, 2.4) // wind turbulence
+	vTurb := GRF3D(rng, nz, ny, nx, 2.4)
+	// Shared "storminess": turbulent energy localizes in the same weather
+	// systems for both wind components — the structural cross-field
+	// similarity the paper's Figure 1 visualizes.
+	storm := GRF3D(rng, nz, ny, nx, 3.6)
+
+	const (
+		p0     = 101325.0 // surface pressure, Pa
+		hScale = 8000.0   // pressure scale height, m
+		dz     = 400.0    // vertical grid spacing, m
+		dxy    = 2000.0   // horizontal grid spacing, m
+		t0     = 300.0    // surface temperature, K
+		lapse  = 0.0062   // K/m
+		qv0    = 0.016    // surface mixing ratio, kg/kg
+		hq     = 2600.0   // humidity scale height, m
+		pPert  = 350.0    // pressure perturbation amplitude, Pa
+		fCor   = 1e-4     // Coriolis parameter, 1/s
+		rho    = 1.1      // nominal air density, kg/m^3
+	)
+
+	pres := tensor.New(nz, ny, nx)
+	temp := tensor.New(nz, ny, nx)
+	qv := tensor.New(nz, ny, nx)
+	for k := 0; k < nz; k++ {
+		z := float64(k) * dz
+		pBase := p0 * math.Exp(-z/hScale)
+		tBase := t0 - lapse*z
+		qBase := qv0 * math.Exp(-z/hq)
+		for i := 0; i < ny; i++ {
+			for j := 0; j < nx; j++ {
+				pa := float64(pAnom.At3(k, i, j))
+				ta := float64(tAnom.At3(k, i, j))
+				qa := float64(qAnom.At3(k, i, j))
+				pres.Set3(float32(pBase+pPert*pa), k, i, j)
+				temp.Set3(float32(tBase+2.5*ta+0.004*pPert*pa/rho/9.81), k, i, j)
+				q := qBase * (1 + 0.45*qa)
+				if q < 1e-6 {
+					q = 1e-6
+				}
+				qv.Set3(float32(q), k, i, j)
+			}
+		}
+	}
+
+	// RH from Tetens saturation vapor pressure — a smooth nonlinear
+	// function of T, QV, PRES.
+	rh := tensor.New(nz, ny, nx)
+	for idx, tK := range temp.Data() {
+		p := float64(pres.Data()[idx])
+		q := float64(qv.Data()[idx])
+		rh.Data()[idx] = float32(relativeHumidity(float64(tK), q, p))
+	}
+	addNoise(rng, rh, 0.15) // sub-grid moisture variability
+	for i, v := range rh.Data() {
+		rh.Data()[i] = clamp(v, 0, 100)
+	}
+
+	// Geostrophic winds from the pressure *perturbation* gradient.
+	u := tensor.New(nz, ny, nx)
+	v := tensor.New(nz, ny, nx)
+	gscale := pPert / (rho * fCor * dxy) // m/s per unit anomaly gradient
+	for k := 0; k < nz; k++ {
+		for i := 0; i < ny; i++ {
+			for j := 0; j < nx; j++ {
+				dpdy := centralGrad3(pAnom, k, i, j, 1)
+				dpdx := centralGrad3(pAnom, k, i, j, 2)
+				ug := -gscale * dpdy * 0.08
+				vg := gscale * dpdx * 0.08
+				amp := float32(0.7 + 2.6*sigmoid(2.2*float64(storm.At3(k, i, j))))
+				u.Set3(float32(ug)+amp*uTurb.At3(k, i, j), k, i, j)
+				v.Set3(float32(vg)+amp*vTurb.At3(k, i, j), k, i, j)
+			}
+		}
+	}
+
+	// W from mass continuity, integrated upward from W(z=0)=0.
+	w := tensor.New(nz, ny, nx)
+	for k := 1; k < nz; k++ {
+		for i := 0; i < ny; i++ {
+			for j := 0; j < nx; j++ {
+				dudx := centralGrad3(u, k, i, j, 2) / dxy
+				dvdy := centralGrad3(v, k, i, j, 1) / dxy
+				wBelow := w.At3(k-1, i, j)
+				w.Set3(wBelow-float32((dudx+dvdy)*dz), k, i, j)
+			}
+		}
+	}
+	addNoise(rng, w, 0.02)
+
+	for _, f := range []struct {
+		name string
+		t    *tensor.Tensor
+	}{
+		{"T", temp}, {"QV", qv}, {"PRES", pres}, {"RH", rh}, {"U", u}, {"V", v}, {"W", w},
+	} {
+		if err := ds.AddField(f.name, f.t); err != nil {
+			return nil, err
+		}
+	}
+	return ds, nil
+}
+
+// relativeHumidity computes RH (%) from temperature (K), mixing ratio
+// (kg/kg), and pressure (Pa) using the Tetens formula.
+func relativeHumidity(tK, q, p float64) float64 {
+	tC := tK - 273.15
+	es := 611.2 * math.Exp(17.67*tC/(tC+243.5)) // saturation vapor pressure, Pa
+	den := p - 0.378*es
+	if den < 1 {
+		den = 1
+	}
+	qsat := 0.622 * es / den
+	if qsat <= 0 {
+		return 0
+	}
+	return 100 * q / qsat
+}
+
+// centralGrad3 computes a central difference (one-sided at boundaries) of a
+// rank-3 tensor along the given axis at (k,i,j), in grid units.
+func centralGrad3(t *tensor.Tensor, k, i, j, axis int) float64 {
+	c := [3]int{k, i, j}
+	n := t.Dim(axis)
+	lo := c
+	hi := c
+	div := 2.0
+	switch {
+	case c[axis] == 0:
+		hi[axis]++
+		div = 1
+	case c[axis] == n-1:
+		lo[axis]--
+		div = 1
+	default:
+		lo[axis]--
+		hi[axis]++
+	}
+	return float64(t.At3(hi[0], hi[1], hi[2])-t.At3(lo[0], lo[1], lo[2])) / div
+}

@@ -1,0 +1,392 @@
+package sim
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+)
+
+func TestGRF2DStandardized(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := GRF2D(rng, 40, 72, 3.0)
+	if g.Dim(0) != 40 || g.Dim(1) != 72 {
+		t.Fatalf("shape %v", g.Shape())
+	}
+	s := g.Summary()
+	if math.Abs(s.Mean) > 0.2 {
+		t.Fatalf("mean = %v, want ~0", s.Mean)
+	}
+	if math.Abs(s.Std-1) > 0.2 {
+		t.Fatalf("std = %v, want ~1", s.Std)
+	}
+	if s.NaNs+s.Infs != 0 {
+		t.Fatalf("non-finite values: %d NaN, %d Inf", s.NaNs, s.Infs)
+	}
+}
+
+func TestGRF2DDeterministic(t *testing.T) {
+	a := GRF2D(rand.New(rand.NewSource(7)), 16, 16, 3)
+	b := GRF2D(rand.New(rand.NewSource(7)), 16, 16, 3)
+	for i := range a.Data() {
+		if a.Data()[i] != b.Data()[i] {
+			t.Fatal("same seed must give identical fields")
+		}
+	}
+	c := GRF2D(rand.New(rand.NewSource(8)), 16, 16, 3)
+	same := true
+	for i := range a.Data() {
+		if a.Data()[i] != c.Data()[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestGRF2DSmoothnessIncreasesWithBeta(t *testing.T) {
+	// Higher beta => smoother => smaller mean |backward difference|.
+	rng1 := rand.New(rand.NewSource(5))
+	rng2 := rand.New(rand.NewSource(5))
+	rough := GRF2D(rng1, 64, 64, 1.0)
+	smooth := GRF2D(rng2, 64, 64, 4.0)
+	tv := func(g *tensor.Tensor) float64 {
+		sum := 0.0
+		for i := 0; i < 64; i++ {
+			for j := 1; j < 64; j++ {
+				sum += math.Abs(float64(g.At2(i, j) - g.At2(i, j-1)))
+			}
+		}
+		return sum
+	}
+	if !(tv(smooth) < tv(rough)) {
+		t.Fatalf("smoothness: tv(smooth)=%v should be < tv(rough)=%v", tv(smooth), tv(rough))
+	}
+}
+
+func TestGRF3DStandardized(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := GRF3D(rng, 6, 20, 24, 3.0)
+	if g.Dim(0) != 6 || g.Dim(1) != 20 || g.Dim(2) != 24 {
+		t.Fatalf("shape %v", g.Shape())
+	}
+	s := g.Summary()
+	if math.Abs(s.Mean) > 0.25 || math.Abs(s.Std-1) > 0.25 {
+		t.Fatalf("moments mean=%v std=%v", s.Mean, s.Std)
+	}
+}
+
+func TestDatasetFieldAccess(t *testing.T) {
+	ds := NewDataset("X", 2, 3)
+	f := tensor.New(2, 3)
+	if err := ds.AddField("a", f); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.AddField("a", f); err == nil {
+		t.Fatal("expected duplicate error")
+	}
+	if err := ds.AddField("bad", tensor.New(3, 3)); err == nil {
+		t.Fatal("expected shape error")
+	}
+	if err := ds.AddField("badrank", tensor.New(2, 3, 1)); err == nil {
+		t.Fatal("expected rank error")
+	}
+	if _, err := ds.Field("missing"); err == nil {
+		t.Fatal("expected missing-field error")
+	}
+	got, err := ds.Field("a")
+	if err != nil || got != f {
+		t.Fatal("field lookup broken")
+	}
+	if ds.NumPoints() != 6 {
+		t.Fatalf("numpoints = %d", ds.NumPoints())
+	}
+	if names := ds.Fields(); len(names) != 1 || names[0] != "a" {
+		t.Fatalf("fields = %v", names)
+	}
+}
+
+func TestGenerateScaleFieldsAndPhysics(t *testing.T) {
+	ds, err := GenerateScale(ScaleSpec{NZ: 6, NY: 32, NX: 32, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"T", "QV", "PRES", "RH", "U", "V", "W"} {
+		f, err := ds.Field(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := f.Summary()
+		if s.NaNs+s.Infs != 0 {
+			t.Fatalf("field %s has non-finite values", name)
+		}
+	}
+	// Physical sanity: RH in [0,100]; PRES decreases with height on column
+	// average; T decreases with height.
+	rh := ds.MustField("RH")
+	mn, mx := rh.MinMax()
+	if mn < 0 || mx > 100 {
+		t.Fatalf("RH range [%v,%v]", mn, mx)
+	}
+	pres := ds.MustField("PRES")
+	temp := ds.MustField("T")
+	colMean := func(f *tensor.Tensor, k int) float64 {
+		s, _ := f.Slice3To2(k)
+		return s.Summary().Mean
+	}
+	if !(colMean(pres, 0) > colMean(pres, 5)) {
+		t.Fatal("pressure must decrease with height")
+	}
+	if !(colMean(temp, 0) > colMean(temp, 5)) {
+		t.Fatal("temperature must decrease with height")
+	}
+}
+
+func TestGenerateScaleCrossFieldCorrelation(t *testing.T) {
+	ds, err := GenerateScale(ScaleSpec{NZ: 6, NY: 48, NX: 48, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RH must correlate with QV (its main driver).
+	rh := ds.MustField("RH").Data()
+	qv := ds.MustField("QV").Data()
+	r, err := metrics.Spearman(rh, qv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.3 {
+		t.Fatalf("RH/QV Spearman = %v, want >= 0.3", r)
+	}
+}
+
+func TestGenerateScaleTooSmall(t *testing.T) {
+	if _, err := GenerateScale(ScaleSpec{NZ: 1, NY: 4, NX: 4}); err == nil {
+		t.Fatal("expected size error")
+	}
+}
+
+func TestGenerateCESMFieldsAndIdentities(t *testing.T) {
+	ds, err := GenerateCESM(CESMSpec{NY: 48, NX: 64, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"CLDLOW", "CLDMED", "CLDHGH", "CLDTOT", "FLNT", "FLNTC", "FLUT", "FLUTC", "LWCF"}
+	for _, name := range want {
+		if _, err := ds.Field(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Cloud fractions in [0,1].
+	for _, name := range []string{"CLDLOW", "CLDMED", "CLDHGH", "CLDTOT"} {
+		mn, mx := ds.MustField(name).MinMax()
+		if mn < 0 || mx > 1 {
+			t.Fatalf("%s range [%v,%v]", name, mn, mx)
+		}
+	}
+	// CLDTOT >= each component minus noise slack.
+	tot := ds.MustField("CLDTOT").Data()
+	low := ds.MustField("CLDLOW").Data()
+	for i := range tot {
+		if float64(tot[i]) < float64(low[i])-0.1 {
+			t.Fatalf("CLDTOT < CLDLOW - 0.1 at %d: %v vs %v", i, tot[i], low[i])
+		}
+	}
+	// FLUT ≈ FLUTC − LWCF within noise.
+	flut := ds.MustField("FLUT").Data()
+	flutc := ds.MustField("FLUTC").Data()
+	lwcf := ds.MustField("LWCF").Data()
+	for i := range flut {
+		diff := math.Abs(float64(flutc[i]-lwcf[i]) - float64(flut[i]))
+		if diff > 5 {
+			t.Fatalf("FLUT identity violated at %d by %v", i, diff)
+		}
+	}
+	// FLNT mirrors FLUT.
+	r, err := metrics.Pearson(ds.MustField("FLNT").Data(), flut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.98 {
+		t.Fatalf("FLNT/FLUT correlation = %v, want >= 0.98", r)
+	}
+}
+
+func TestGenerateCESMTooSmall(t *testing.T) {
+	if _, err := GenerateCESM(CESMSpec{NY: 4, NX: 4}); err == nil {
+		t.Fatal("expected size error")
+	}
+}
+
+func TestGenerateHurricaneStructure(t *testing.T) {
+	ds, err := GenerateHurricane(HurricaneSpec{NZ: 6, NY: 48, NX: 48, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"Uf", "Vf", "Wf", "Pf", "TCf"} {
+		f, err := ds.Field(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := f.Summary(); s.NaNs+s.Infs != 0 {
+			t.Fatalf("field %s has non-finite values", name)
+		}
+	}
+	// Pressure minimum should be near the vortex center at the surface.
+	pf := ds.MustField("Pf")
+	s0, _ := pf.Slice3To2(0)
+	minI, minJ := 0, 0
+	mn := float32(math.Inf(1))
+	for i := 0; i < 48; i++ {
+		for j := 0; j < 48; j++ {
+			if s0.At2(i, j) < mn {
+				mn = s0.At2(i, j)
+				minI, minJ = i, j
+			}
+		}
+	}
+	dc := math.Hypot(float64(minI-24), float64(minJ-24))
+	if dc > 16 {
+		t.Fatalf("pressure minimum at (%d,%d), distance %v from center", minI, minJ, dc)
+	}
+	// Wind speed should exceed 10 m/s somewhere (it's a hurricane).
+	uf := ds.MustField("Uf")
+	vf := ds.MustField("Vf")
+	peak := 0.0
+	for i := range uf.Data() {
+		sp := math.Hypot(float64(uf.Data()[i]), float64(vf.Data()[i]))
+		if sp > peak {
+			peak = sp
+		}
+	}
+	if peak < 10 {
+		t.Fatalf("peak wind %v m/s, want >= 10", peak)
+	}
+}
+
+func TestGenerateHurricaneTooSmall(t *testing.T) {
+	if _, err := GenerateHurricane(HurricaneSpec{NZ: 1, NY: 4, NX: 4}); err == nil {
+		t.Fatal("expected size error")
+	}
+}
+
+func TestRawRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	orig := tensor.New(5, 7)
+	for i := range orig.Data() {
+		orig.Data()[i] = rng.Float32()*100 - 50
+	}
+	var buf bytes.Buffer
+	if err := WriteRaw(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 5*7*4 {
+		t.Fatalf("raw bytes = %d, want %d", buf.Len(), 5*7*4)
+	}
+	back, err := ReadRaw(&buf, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig.Data() {
+		if back.Data()[i] != orig.Data()[i] {
+			t.Fatal("raw round-trip mismatch")
+		}
+	}
+}
+
+func TestReadRawErrors(t *testing.T) {
+	// Short stream.
+	if _, err := ReadRaw(bytes.NewReader(make([]byte, 10)), 2, 2); err == nil {
+		t.Fatal("expected short-read error")
+	}
+	// Trailing data.
+	if _, err := ReadRaw(bytes.NewReader(make([]byte, 20)), 2, 2); err == nil {
+		t.Fatal("expected trailing-data error")
+	}
+}
+
+func TestSaveLoadDataset(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := GenerateCESM(CESMSpec{NY: 16, NX: 16, Seed: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveDataset(dir, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != ds.Name {
+		t.Fatalf("name %q != %q", back.Name, ds.Name)
+	}
+	if len(back.Fields()) != len(ds.Fields()) {
+		t.Fatalf("field count %d != %d", len(back.Fields()), len(ds.Fields()))
+	}
+	for _, name := range ds.Fields() {
+		a := ds.MustField(name).Data()
+		b := back.MustField(name).Data()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("field %s differs after save/load", name)
+			}
+		}
+	}
+}
+
+func TestLoadDatasetMissing(t *testing.T) {
+	if _, err := LoadDataset(t.TempDir()); err == nil {
+		t.Fatal("expected missing-manifest error")
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	g := tensor.New(4, 5)
+	for i := range g.Data() {
+		g.Data()[i] = float32(i)
+	}
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	head := buf.String()[:3]
+	if head != "P5\n" {
+		t.Fatalf("PGM header %q", head)
+	}
+	// Header + 20 pixel bytes.
+	if buf.Len() < 20 {
+		t.Fatalf("pgm too short: %d", buf.Len())
+	}
+	bad := tensor.New(2, 2, 2)
+	if err := WritePGM(&buf, bad); err == nil {
+		t.Fatal("expected rank error")
+	}
+}
+
+func TestHurricaneWfCorrelatesWithSpeed(t *testing.T) {
+	ds, err := GenerateHurricane(HurricaneSpec{NZ: 8, NY: 48, NX: 48, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uf := ds.MustField("Uf").Data()
+	vf := ds.MustField("Vf").Data()
+	wf := ds.MustField("Wf").Data()
+	speed := make([]float32, len(uf))
+	for i := range uf {
+		speed[i] = float32(math.Hypot(float64(uf[i]), float64(vf[i])))
+	}
+	// Middle levels carry the updraft; correlation should be visible
+	// dataset-wide even if diluted by low/high levels.
+	r, err := metrics.Spearman(wf, speed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.15 {
+		t.Fatalf("Wf/speed Spearman = %v, want >= 0.15", r)
+	}
+}

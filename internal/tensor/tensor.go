@@ -1,0 +1,381 @@
+// Package tensor provides a minimal N-dimensional float32 tensor used by the
+// compression pipeline and the neural-network substrate.
+//
+// Tensors are dense, row-major (C order: the last axis is contiguous), and
+// expose both generic N-d accessors and fast-path 2D/3D/4D helpers. The
+// scientific fields compressed by this repository are 2D (ny, nx) or 3D
+// (nz, ny, nx) single-precision arrays, matching the SDRBench layout the
+// paper evaluates on.
+package tensor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense row-major N-d array of float32.
+//
+// The zero value is an empty tensor; use New or FromSlice to construct a
+// usable one. Data is shared, not copied, by view-producing methods.
+type Tensor struct {
+	shape   []int
+	strides []int
+	data    []float32
+}
+
+// ErrShape reports an invalid or mismatched shape.
+var ErrShape = errors.New("tensor: invalid shape")
+
+// New allocates a zero-filled tensor with the given shape.
+// It panics if any dimension is non-positive.
+func New(shape ...int) *Tensor {
+	n := checkShape(shape)
+	t := &Tensor{
+		shape: append([]int(nil), shape...),
+		data:  make([]float32, n),
+	}
+	t.strides = computeStrides(t.shape)
+	return t
+}
+
+// FromSlice wraps an existing data slice with the given shape. The slice is
+// not copied; len(data) must equal the shape volume.
+func FromSlice(data []float32, shape ...int) (*Tensor, error) {
+	n := checkShape(shape)
+	if len(data) != n {
+		return nil, fmt.Errorf("%w: data length %d != volume %d of %v", ErrShape, len(data), n, shape)
+	}
+	t := &Tensor{
+		shape: append([]int(nil), shape...),
+		data:  data,
+	}
+	t.strides = computeStrides(t.shape)
+	return t, nil
+}
+
+// MustFromSlice is FromSlice but panics on error. Intended for tests and
+// literals where the shape is statically correct.
+func MustFromSlice(data []float32, shape ...int) *Tensor {
+	t, err := FromSlice(data, shape...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func checkShape(shape []int) int {
+	if len(shape) == 0 {
+		panic("tensor: empty shape")
+	}
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension in shape %v", shape))
+		}
+		if n > math.MaxInt/d {
+			panic(fmt.Sprintf("tensor: shape %v overflows", shape))
+		}
+		n *= d
+	}
+	return n
+}
+
+func computeStrides(shape []int) []int {
+	strides := make([]int, len(shape))
+	s := 1
+	for i := len(shape) - 1; i >= 0; i-- {
+		strides[i] = s
+		s *= shape[i]
+	}
+	return strides
+}
+
+// Shape returns the tensor's dimensions. The returned slice must not be
+// modified.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Dim returns the size of axis i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.data) }
+
+// Data returns the underlying flat storage (shared, not copied).
+func (t *Tensor) Data() []float32 { return t.data }
+
+// Strides returns the row-major strides. The returned slice must not be
+// modified.
+func (t *Tensor) Strides() []int { return t.strides }
+
+// SameShape reports whether t and u have identical shapes.
+func (t *Tensor) SameShape(u *Tensor) bool {
+	if len(t.shape) != len(u.shape) {
+		return false
+	}
+	for i, d := range t.shape {
+		if u.shape[i] != d {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.data, t.data)
+	return c
+}
+
+// Reshape returns a view with a new shape of the same volume. The data is
+// shared with t.
+func (t *Tensor) Reshape(shape ...int) (*Tensor, error) {
+	return FromSlice(t.data, shape...)
+}
+
+// Index converts N-d coordinates to a flat offset. No bounds checking beyond
+// slice access on use.
+func (t *Tensor) Index(coords ...int) int {
+	off := 0
+	for i, c := range coords {
+		off += c * t.strides[i]
+	}
+	return off
+}
+
+// At returns the element at the given coordinates.
+func (t *Tensor) At(coords ...int) float32 { return t.data[t.Index(coords...)] }
+
+// Set assigns the element at the given coordinates.
+func (t *Tensor) Set(v float32, coords ...int) { t.data[t.Index(coords...)] = v }
+
+// At2 is a fast-path accessor for rank-2 tensors.
+func (t *Tensor) At2(i, j int) float32 { return t.data[i*t.strides[0]+j] }
+
+// Set2 is a fast-path setter for rank-2 tensors.
+func (t *Tensor) Set2(v float32, i, j int) { t.data[i*t.strides[0]+j] = v }
+
+// At3 is a fast-path accessor for rank-3 tensors.
+func (t *Tensor) At3(k, i, j int) float32 {
+	return t.data[k*t.strides[0]+i*t.strides[1]+j]
+}
+
+// Set3 is a fast-path setter for rank-3 tensors.
+func (t *Tensor) Set3(v float32, k, i, j int) {
+	t.data[k*t.strides[0]+i*t.strides[1]+j] = v
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() { t.Fill(0) }
+
+// Apply replaces each element x with f(x).
+func (t *Tensor) Apply(f func(float32) float32) {
+	for i, v := range t.data {
+		t.data[i] = f(v)
+	}
+}
+
+// Scale multiplies every element by s.
+func (t *Tensor) Scale(s float32) {
+	for i := range t.data {
+		t.data[i] *= s
+	}
+}
+
+// AddScalar adds s to every element.
+func (t *Tensor) AddScalar(s float32) {
+	for i := range t.data {
+		t.data[i] += s
+	}
+}
+
+// Add accumulates u into t element-wise. Shapes must match.
+func (t *Tensor) Add(u *Tensor) error {
+	if !t.SameShape(u) {
+		return fmt.Errorf("%w: add %v vs %v", ErrShape, t.shape, u.shape)
+	}
+	for i, v := range u.data {
+		t.data[i] += v
+	}
+	return nil
+}
+
+// Sub subtracts u from t element-wise. Shapes must match.
+func (t *Tensor) Sub(u *Tensor) error {
+	if !t.SameShape(u) {
+		return fmt.Errorf("%w: sub %v vs %v", ErrShape, t.shape, u.shape)
+	}
+	for i, v := range u.data {
+		t.data[i] -= v
+	}
+	return nil
+}
+
+// AXPY computes t += a*u element-wise. Shapes must match.
+func (t *Tensor) AXPY(a float32, u *Tensor) error {
+	if !t.SameShape(u) {
+		return fmt.Errorf("%w: axpy %v vs %v", ErrShape, t.shape, u.shape)
+	}
+	for i, v := range u.data {
+		t.data[i] += a * v
+	}
+	return nil
+}
+
+// Stats summarizes a tensor's value distribution.
+type Stats struct {
+	Min, Max   float32
+	Mean, Std  float64
+	NaNs, Infs int
+}
+
+// Range returns Max-Min as float64 (the value range used by relative error
+// bounds).
+func (s Stats) Range() float64 { return float64(s.Max) - float64(s.Min) }
+
+// Summary computes min/max/mean/std in one pass, counting non-finite values
+// (which are excluded from the moments).
+func (t *Tensor) Summary() Stats {
+	s := Stats{Min: float32(math.Inf(1)), Max: float32(math.Inf(-1))}
+	var sum, sumsq float64
+	n := 0
+	for _, v := range t.data {
+		f := float64(v)
+		if math.IsNaN(f) {
+			s.NaNs++
+			continue
+		}
+		if math.IsInf(f, 0) {
+			s.Infs++
+			continue
+		}
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+		sum += f
+		sumsq += f * f
+		n++
+	}
+	if n > 0 {
+		s.Mean = sum / float64(n)
+		variance := sumsq/float64(n) - s.Mean*s.Mean
+		if variance < 0 {
+			variance = 0
+		}
+		s.Std = math.Sqrt(variance)
+	} else {
+		s.Min, s.Max = 0, 0
+	}
+	return s
+}
+
+// MinMax returns the extrema of the tensor (0,0 for all-non-finite input).
+func (t *Tensor) MinMax() (mn, mx float32) {
+	s := t.Summary()
+	return s.Min, s.Max
+}
+
+// Normalize linearly maps values into [0, scale] using min/max and returns
+// the (offset, factor) needed to invert: orig = normalized/factor + offset.
+// A constant tensor maps to all zeros with factor 0.
+func (t *Tensor) Normalize(scale float32) (offset, factor float32) {
+	mn, mx := t.MinMax()
+	offset = mn
+	if mx > mn {
+		factor = scale / (mx - mn)
+	}
+	for i, v := range t.data {
+		t.data[i] = (v - offset) * factor
+	}
+	return offset, factor
+}
+
+// Slice3To2 copies the k-th slice along axis 0 of a rank-3 tensor into a new
+// rank-2 tensor. This mirrors the paper's visualizations ("the 49th slice
+// along the first dimension").
+func (t *Tensor) Slice3To2(k int) (*Tensor, error) {
+	if t.Rank() != 3 {
+		return nil, fmt.Errorf("%w: Slice3To2 needs rank 3, got %v", ErrShape, t.shape)
+	}
+	if k < 0 || k >= t.shape[0] {
+		return nil, fmt.Errorf("%w: slice %d out of [0,%d)", ErrShape, k, t.shape[0])
+	}
+	out := New(t.shape[1], t.shape[2])
+	copy(out.data, t.data[k*t.strides[0]:(k+1)*t.strides[0]])
+	return out, nil
+}
+
+// SliceAxis1 copies the i-th hyperslab along axis 1 of a rank-3 tensor
+// (nz, ny, nx) into a rank-2 (nz, nx) tensor. Mirrors "sliced along the
+// second dimension" in the paper's Figure 6.
+func (t *Tensor) SliceAxis1(i int) (*Tensor, error) {
+	if t.Rank() != 3 {
+		return nil, fmt.Errorf("%w: SliceAxis1 needs rank 3, got %v", ErrShape, t.shape)
+	}
+	if i < 0 || i >= t.shape[1] {
+		return nil, fmt.Errorf("%w: slice %d out of [0,%d)", ErrShape, i, t.shape[1])
+	}
+	nz, nx := t.shape[0], t.shape[2]
+	out := New(nz, nx)
+	for k := 0; k < nz; k++ {
+		src := t.data[k*t.strides[0]+i*t.strides[1]:]
+		copy(out.data[k*nx:(k+1)*nx], src[:nx])
+	}
+	return out, nil
+}
+
+// Crop2D copies the [i0,i0+h) × [j0,j0+w) region of a rank-2 tensor.
+func (t *Tensor) Crop2D(i0, j0, h, w int) (*Tensor, error) {
+	if t.Rank() != 2 {
+		return nil, fmt.Errorf("%w: Crop2D needs rank 2, got %v", ErrShape, t.shape)
+	}
+	if i0 < 0 || j0 < 0 || i0+h > t.shape[0] || j0+w > t.shape[1] || h <= 0 || w <= 0 {
+		return nil, fmt.Errorf("%w: crop (%d,%d,%d,%d) out of %v", ErrShape, i0, j0, h, w, t.shape)
+	}
+	out := New(h, w)
+	for i := 0; i < h; i++ {
+		copy(out.data[i*w:(i+1)*w], t.data[(i0+i)*t.strides[0]+j0:][:w])
+	}
+	return out, nil
+}
+
+// Crop3D copies a (d,h,w) region starting at (k0,i0,j0) of a rank-3 tensor.
+func (t *Tensor) Crop3D(k0, i0, j0, d, h, w int) (*Tensor, error) {
+	if t.Rank() != 3 {
+		return nil, fmt.Errorf("%w: Crop3D needs rank 3, got %v", ErrShape, t.shape)
+	}
+	if k0 < 0 || i0 < 0 || j0 < 0 || d <= 0 || h <= 0 || w <= 0 ||
+		k0+d > t.shape[0] || i0+h > t.shape[1] || j0+w > t.shape[2] {
+		return nil, fmt.Errorf("%w: crop out of %v", ErrShape, t.shape)
+	}
+	out := New(d, h, w)
+	for k := 0; k < d; k++ {
+		for i := 0; i < h; i++ {
+			src := t.data[(k0+k)*t.strides[0]+(i0+i)*t.strides[1]+j0:]
+			copy(out.data[k*h*w+i*w:k*h*w+(i+1)*w], src[:w])
+		}
+	}
+	return out, nil
+}
+
+// String renders a short description, not the full contents.
+func (t *Tensor) String() string {
+	if t == nil {
+		return "Tensor(nil)"
+	}
+	return fmt.Sprintf("Tensor%v[%d elems]", t.shape, len(t.data))
+}

@@ -1,0 +1,405 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapeAndLen(t *testing.T) {
+	tt := New(3, 4, 5)
+	if tt.Rank() != 3 {
+		t.Fatalf("rank = %d, want 3", tt.Rank())
+	}
+	if tt.Len() != 60 {
+		t.Fatalf("len = %d, want 60", tt.Len())
+	}
+	if tt.Dim(0) != 3 || tt.Dim(1) != 4 || tt.Dim(2) != 5 {
+		t.Fatalf("dims = %v", tt.Shape())
+	}
+	want := []int{20, 5, 1}
+	for i, s := range tt.Strides() {
+		if s != want[i] {
+			t.Fatalf("strides = %v, want %v", tt.Strides(), want)
+		}
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	for _, shape := range [][]int{{}, {0}, {3, -1}, {2, 0, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v) did not panic", shape)
+				}
+			}()
+			New(shape...)
+		}()
+	}
+}
+
+func TestFromSliceLengthMismatch(t *testing.T) {
+	if _, err := FromSlice(make([]float32, 5), 2, 3); err == nil {
+		t.Fatal("expected error for mismatched length")
+	}
+	tt, err := FromSlice(make([]float32, 6), 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.Len() != 6 {
+		t.Fatalf("len = %d", tt.Len())
+	}
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	tt := New(2, 3, 4)
+	v := float32(0)
+	for k := 0; k < 2; k++ {
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 4; j++ {
+				tt.Set(v, k, i, j)
+				v++
+			}
+		}
+	}
+	v = 0
+	for k := 0; k < 2; k++ {
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 4; j++ {
+				if got := tt.At(k, i, j); got != v {
+					t.Fatalf("At(%d,%d,%d) = %v, want %v", k, i, j, got, v)
+				}
+				if got := tt.At3(k, i, j); got != v {
+					t.Fatalf("At3(%d,%d,%d) = %v, want %v", k, i, j, got, v)
+				}
+				v++
+			}
+		}
+	}
+	// Flat layout must be row-major.
+	for i, want := range tt.Data() {
+		if want != float32(i) {
+			t.Fatalf("data[%d] = %v, want %v", i, want, i)
+		}
+	}
+}
+
+func TestFastPathAccessorsMatchGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	t2 := New(7, 9)
+	for i := range t2.Data() {
+		t2.Data()[i] = rng.Float32()
+	}
+	for i := 0; i < 7; i++ {
+		for j := 0; j < 9; j++ {
+			if t2.At2(i, j) != t2.At(i, j) {
+				t.Fatalf("At2 mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	t3 := New(4, 5, 6)
+	for i := range t3.Data() {
+		t3.Data()[i] = rng.Float32()
+	}
+	for k := 0; k < 4; k++ {
+		for i := 0; i < 5; i++ {
+			for j := 0; j < 6; j++ {
+				if t3.At3(k, i, j) != t3.At(k, i, j) {
+					t.Fatalf("At3 mismatch at (%d,%d,%d)", k, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(2, 2)
+	a.Fill(1)
+	b := a.Clone()
+	b.Set2(5, 0, 0)
+	if a.At2(0, 0) != 1 {
+		t.Fatal("clone shares storage")
+	}
+	if b.At2(0, 0) != 5 || b.At2(1, 1) != 1 {
+		t.Fatal("clone contents wrong")
+	}
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	a := New(2, 6)
+	b, err := a.Reshape(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Set2(9, 0, 0)
+	if a.At2(0, 0) != 9 {
+		t.Fatal("reshape must share data")
+	}
+	if _, err := a.Reshape(5, 5); err == nil {
+		t.Fatal("expected volume-mismatch error")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	a := MustFromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	b := MustFromSlice([]float32{10, 20, 30, 40}, 2, 2)
+	if err := a.Add(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.At2(1, 1) != 44 {
+		t.Fatalf("add: got %v", a.Data())
+	}
+	if err := a.Sub(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.At2(0, 0) != 1 {
+		t.Fatalf("sub: got %v", a.Data())
+	}
+	if err := a.AXPY(2, b); err != nil {
+		t.Fatal(err)
+	}
+	if a.At2(0, 1) != 42 {
+		t.Fatalf("axpy: got %v", a.Data())
+	}
+	a.Scale(0.5)
+	if a.At2(0, 0) != 10.5 {
+		t.Fatalf("scale: got %v", a.Data())
+	}
+	a.AddScalar(-10.5)
+	if a.At2(0, 0) != 0 {
+		t.Fatalf("addscalar: got %v", a.Data())
+	}
+	c := New(3, 3)
+	if err := a.Add(c); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+	if err := a.Sub(c); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+	if err := a.AXPY(1, c); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+}
+
+func TestSummaryMoments(t *testing.T) {
+	a := MustFromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	s := a.Summary()
+	if s.Min != 1 || s.Max != 6 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if math.Abs(s.Mean-3.5) > 1e-12 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	wantStd := math.Sqrt(35.0 / 12.0)
+	if math.Abs(s.Std-wantStd) > 1e-6 {
+		t.Fatalf("std = %v, want %v", s.Std, wantStd)
+	}
+	if s.Range() != 5 {
+		t.Fatalf("range = %v", s.Range())
+	}
+}
+
+func TestSummaryNonFinite(t *testing.T) {
+	nan := float32(math.NaN())
+	inf := float32(math.Inf(1))
+	a := MustFromSlice([]float32{1, nan, 3, inf}, 4)
+	s := a.Summary()
+	if s.NaNs != 1 || s.Infs != 1 {
+		t.Fatalf("NaNs/Infs = %d/%d", s.NaNs, s.Infs)
+	}
+	if s.Min != 1 || s.Max != 3 {
+		t.Fatalf("min/max with non-finite = %v/%v", s.Min, s.Max)
+	}
+	allBad := MustFromSlice([]float32{nan, inf}, 2)
+	sb := allBad.Summary()
+	if sb.Min != 0 || sb.Max != 0 {
+		t.Fatalf("all-non-finite min/max = %v/%v", sb.Min, sb.Max)
+	}
+}
+
+func TestNormalizeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := New(50)
+	for i := range a.Data() {
+		a.Data()[i] = rng.Float32()*100 - 50
+	}
+	orig := a.Clone()
+	off, fac := a.Normalize(300)
+	mn, mx := a.MinMax()
+	if mn < -1e-3 || mx > 300+1e-3 {
+		t.Fatalf("normalized range [%v,%v]", mn, mx)
+	}
+	if fac == 0 {
+		t.Fatal("factor must be nonzero for non-constant input")
+	}
+	for i, v := range a.Data() {
+		back := v/fac + off
+		if math.Abs(float64(back-orig.Data()[i])) > 1e-3 {
+			t.Fatalf("inverse mismatch at %d: %v vs %v", i, back, orig.Data()[i])
+		}
+	}
+}
+
+func TestNormalizeConstant(t *testing.T) {
+	a := New(10)
+	a.Fill(42)
+	_, fac := a.Normalize(300)
+	if fac != 0 {
+		t.Fatalf("factor = %v, want 0 for constant input", fac)
+	}
+	for _, v := range a.Data() {
+		if v != 0 {
+			t.Fatalf("constant input should normalize to 0, got %v", v)
+		}
+	}
+}
+
+func TestSlice3To2(t *testing.T) {
+	tt := New(3, 2, 4)
+	for i := range tt.Data() {
+		tt.Data()[i] = float32(i)
+	}
+	s, err := tt.Slice3To2(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rank() != 2 || s.Dim(0) != 2 || s.Dim(1) != 4 {
+		t.Fatalf("slice shape %v", s.Shape())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 4; j++ {
+			if s.At2(i, j) != tt.At3(1, i, j) {
+				t.Fatalf("slice mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	if _, err := tt.Slice3To2(5); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	two := New(2, 2)
+	if _, err := two.Slice3To2(0); err == nil {
+		t.Fatal("expected rank error")
+	}
+}
+
+func TestSliceAxis1(t *testing.T) {
+	tt := New(3, 4, 5)
+	for i := range tt.Data() {
+		tt.Data()[i] = float32(i)
+	}
+	s, err := tt.SliceAxis1(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Dim(0) != 3 || s.Dim(1) != 5 {
+		t.Fatalf("shape %v", s.Shape())
+	}
+	for k := 0; k < 3; k++ {
+		for j := 0; j < 5; j++ {
+			if s.At2(k, j) != tt.At3(k, 2, j) {
+				t.Fatalf("mismatch at (%d,%d)", k, j)
+			}
+		}
+	}
+	if _, err := tt.SliceAxis1(4); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}
+
+func TestCrop2D(t *testing.T) {
+	tt := New(5, 6)
+	for i := range tt.Data() {
+		tt.Data()[i] = float32(i)
+	}
+	c, err := tt.Crop2D(1, 2, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if c.At2(i, j) != tt.At2(1+i, 2+j) {
+				t.Fatalf("crop mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	if _, err := tt.Crop2D(4, 4, 3, 3); err == nil {
+		t.Fatal("expected out-of-bounds error")
+	}
+}
+
+func TestCrop3D(t *testing.T) {
+	tt := New(4, 5, 6)
+	for i := range tt.Data() {
+		tt.Data()[i] = float32(i)
+	}
+	c, err := tt.Crop3D(1, 1, 2, 2, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 2; k++ {
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				if c.At3(k, i, j) != tt.At3(1+k, 1+i, 2+j) {
+					t.Fatalf("crop mismatch at (%d,%d,%d)", k, i, j)
+				}
+			}
+		}
+	}
+	if _, err := tt.Crop3D(3, 0, 0, 2, 1, 1); err == nil {
+		t.Fatal("expected out-of-bounds error")
+	}
+}
+
+// Property: Index is consistent with row-major flat enumeration order for
+// arbitrary small shapes.
+func TestIndexRowMajorProperty(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		d0 := int(a%4) + 1
+		d1 := int(b%4) + 1
+		d2 := int(c%4) + 1
+		tt := New(d0, d1, d2)
+		flat := 0
+		for i := 0; i < d0; i++ {
+			for j := 0; j < d1; j++ {
+				for k := 0; k < d2; k++ {
+					if tt.Index(i, j, k) != flat {
+						return false
+					}
+					flat++
+				}
+			}
+		}
+		return flat == tt.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Normalize maps into [0, scale] for any non-constant input.
+func TestNormalizeBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tt := New(32)
+		for i := range tt.Data() {
+			tt.Data()[i] = rng.Float32()*2000 - 1000
+		}
+		tt.Normalize(300)
+		mn, mx := tt.MinMax()
+		return mn >= -1e-2 && mx <= 300+1e-2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringer(t *testing.T) {
+	var nilT *Tensor
+	if nilT.String() != "Tensor(nil)" {
+		t.Fatal("nil stringer")
+	}
+	if s := New(2, 3).String(); s != "Tensor[2 3][6 elems]" {
+		t.Fatalf("String() = %q", s)
+	}
+}

@@ -1,0 +1,155 @@
+package crossfield_test
+
+// Micro-benchmarks of individual pipeline stages, for -benchmem visibility
+// into where the codec spends time and allocations.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitstream"
+	"repro/internal/diff"
+	"repro/internal/fft"
+	"repro/internal/huffman"
+	"repro/internal/lossless"
+	"repro/internal/predictor"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+func benchCodes(n int) []int32 {
+	rng := rand.New(rand.NewSource(1))
+	codes := make([]int32, n)
+	for i := range codes {
+		// Geometric-ish, like real quantization codes.
+		v := int32(0)
+		for rng.Float64() < 0.55 && v < 14 {
+			v++
+		}
+		if rng.Intn(2) == 0 {
+			v = -v
+		}
+		codes[i] = v
+	}
+	return codes
+}
+
+func BenchmarkHuffmanEncode(b *testing.B) {
+	codes := benchCodes(1 << 18)
+	codec, err := huffman.Build(codes, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(codes) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var w bitstream.Writer
+		if err := codec.Encode(&w, codes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHuffmanDecode(b *testing.B) {
+	codes := benchCodes(1 << 18)
+	codec, err := huffman.Build(codes, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var w bitstream.Writer
+	if err := codec.Encode(&w, codes); err != nil {
+		b.Fatal(err)
+	}
+	payload := w.Bytes()
+	b.SetBytes(int64(len(codes) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.Decode(bitstream.NewReader(payload), len(codes)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPrequantize(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	data := make([]float32, 1<<18)
+	for i := range data {
+		data[i] = rng.Float32() * 100
+	}
+	b.SetBytes(int64(len(data) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := quant.Prequantize(data, 1e-3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLorenzoAll3D(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	const nz, ny, nx = 16, 128, 128
+	q := make([]int32, nz*ny*nx)
+	for i := range q {
+		q[i] = int32(rng.Intn(2000) - 1000)
+	}
+	b.SetBytes(int64(len(q) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := predictor.LorenzoAll(q, []int{nz, ny, nx}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBackwardDiff3D(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	t3 := tensor.New(16, 128, 128)
+	for i := range t3.Data() {
+		t3.Data()[i] = rng.Float32()
+	}
+	b.SetBytes(int64(t3.Len() * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := diff.AllBackward(t3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFFT2D(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	const n = 256
+	grid := make([]complex128, n*n)
+	for i := range grid {
+		grid[i] = complex(rng.NormFloat64(), 0)
+	}
+	b.SetBytes(int64(n * n * 16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work := append([]complex128(nil), grid...)
+		if err := fft.Forward2D(work, n, n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFlateStage(b *testing.B) {
+	codes := benchCodes(1 << 18)
+	codec, err := huffman.Build(codes, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var w bitstream.Writer
+	if err := codec.Encode(&w, codes); err != nil {
+		b.Fatal(err)
+	}
+	payload := w.Bytes()
+	backend := lossless.Default()
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := backend.Compress(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
