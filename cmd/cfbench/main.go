@@ -7,9 +7,11 @@
 //	cfbench -exp tab2,fig8       # selected experiments
 //	cfbench -small               # reduced sizes (seconds instead of minutes)
 //	cfbench -out results/        # also write PGM figure renderings
+//	cfbench -exp chunked         # chunked vs monolithic throughput,
+//	                             # writes BENCH_chunked.json (-json to move)
 //
-// Experiments: tab1 tab2 tab3 fig1 fig5 fig6 fig8 fig9 ablation
-// (fig7 is produced by fig6; both names are accepted).
+// Experiments: tab1 tab2 tab3 fig1 fig5 fig6 fig8 fig9 ablation anchorsel
+// throughput chunked (fig7 is produced by fig6; both names are accepted).
 package main
 
 import (
@@ -24,10 +26,11 @@ import (
 
 func main() {
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated experiments (tab1,tab2,tab3,fig1,fig5,fig6,fig7,fig8,fig9,ablation,anchorsel,throughput) or 'all'")
-		small   = flag.Bool("small", false, "use reduced grid sizes (quick smoke run)")
-		outDir  = flag.String("out", "", "directory for PGM figure renderings (optional)")
-		seed    = flag.Int64("seed", 42, "dataset/training seed")
+		expFlag  = flag.String("exp", "all", "comma-separated experiments (tab1,tab2,tab3,fig1,fig5,fig6,fig7,fig8,fig9,ablation,anchorsel,throughput,chunked) or 'all'")
+		small    = flag.Bool("small", false, "use reduced grid sizes (quick smoke run)")
+		outDir   = flag.String("out", "", "directory for PGM figure renderings (optional)")
+		seed     = flag.Int64("seed", 42, "dataset/training seed")
+		jsonPath = flag.String("json", "BENCH_chunked.json", "path for the chunked experiment's machine-readable report ('' disables)")
 	)
 	flag.Parse()
 
@@ -85,6 +88,7 @@ func main() {
 	})
 	run("anchorsel", func() error { return experiments.AnchorSelection(w, sizes) })
 	run("throughput", func() error { return experiments.Throughput(w, sizes) })
+	run("chunked", func() error { return experiments.ChunkedThroughput(w, sizes, *jsonPath) })
 }
 
 func fatal(err error) {

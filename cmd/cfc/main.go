@@ -10,6 +10,11 @@
 //	cfc -c -data data/hurricane -field Wf -rel 1e-3 \
 //	    -model wf.cfnn -anchors Uf,Vf,Pf -o wf.cfc
 //
+// Compress chunked (parallel, random-access CFC2 container; also works
+// with -model/-anchors):
+//
+//	cfc -c -data data/hurricane -field Wf -rel 1e-3 -chunks 1048576 -workers 8 -o wf.cfc
+//
 // Decompress (hybrid blobs need -data and -anchors to rebuild the anchor
 // reconstructions):
 //
@@ -18,6 +23,10 @@
 // Verify a reconstruction against the original:
 //
 //	cfc -verify -data data/hurricane -field Wf -in wf.cfc [-anchors ...]
+//
+// Inspect a blob (for CFC2 containers this lists the chunk table):
+//
+//	cfc -stats -in wf.cfc
 package main
 
 import (
@@ -27,6 +36,8 @@ import (
 	"strings"
 
 	"repro/internal/cfnn"
+	"repro/internal/chunk"
+	"repro/internal/container"
 	"repro/internal/core"
 	"repro/internal/quant"
 	"repro/internal/sim"
@@ -38,7 +49,7 @@ func main() {
 		doC     = flag.Bool("c", false, "compress")
 		doD     = flag.Bool("d", false, "decompress")
 		doV     = flag.Bool("verify", false, "decompress and verify against the original field")
-		doS     = flag.Bool("stats", false, "print a blob's header without decompressing")
+		doS     = flag.Bool("stats", false, "print a blob's header (and chunk table) without decompressing")
 		dataDir = flag.String("data", "", "dataset directory (cfgen format)")
 		field   = flag.String("field", "", "field name to compress/verify")
 		inPath  = flag.String("in", "", "input .cfc blob (for -d/-verify)")
@@ -47,12 +58,14 @@ func main() {
 		absEB   = flag.Float64("abs", 0, "absolute error bound")
 		model   = flag.String("model", "", "trained CFNN model (enables cross-field compression)")
 		anchors = flag.String("anchors", "", "comma-separated anchor field names")
+		chunks  = flag.Int("chunks", 0, "values per chunk: >0 writes a chunked CFC2 container, 0 a monolithic CFC1 blob")
+		workers = flag.Int("workers", 0, "chunks compressed concurrently (0 = GOMAXPROCS; needs -chunks)")
 	)
 	flag.Parse()
 
 	switch {
 	case *doC:
-		compress(*dataDir, *field, *outPath, *relEB, *absEB, *model, *anchors)
+		compress(*dataDir, *field, *outPath, *relEB, *absEB, *model, *anchors, *chunks, *workers)
 	case *doD:
 		decompress(*inPath, *dataDir, *anchors, *outPath)
 	case *doV:
@@ -72,10 +85,15 @@ func stats(inPath string) {
 	if err != nil {
 		fatal(err)
 	}
+	if chunk.IsChunked(blob) {
+		statsChunked(blob)
+		return
+	}
 	hdr, err := core.PeekStats(blob)
 	if err != nil {
 		fatal(err)
 	}
+	fmt.Printf("container:   CFC1 (monolithic)\n")
 	fmt.Printf("method:      %v\n", hdr.Method)
 	fmt.Printf("dims:        %v (%d points)\n", hdr.Dims, hdr.NumPoints())
 	fmt.Printf("bound:       mode=%d value=%g (abs eb %g)\n", hdr.BoundMode, hdr.BoundValue, hdr.AbsEB)
@@ -86,6 +104,26 @@ func stats(inPath string) {
 		len(blob), float64(hdr.NumPoints()*4)/float64(len(blob)))
 	if len(hdr.Hybrid) > 0 {
 		fmt.Printf("hybrid:      %v\n", hdr.Hybrid)
+	}
+}
+
+func statsChunked(blob []byte) {
+	a, err := chunk.Decode(blob)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("container:   CFC2 (chunked, %d chunks)\n", a.NumChunks())
+	fmt.Printf("method:      %v\n", a.Method)
+	fmt.Printf("dims:        %v (%d points)\n", a.Dims, a.NumPoints())
+	fmt.Printf("bound:       mode=%d value=%g (abs eb %g)\n", a.BoundMode, a.BoundValue, a.AbsEB)
+	fmt.Printf("anchors:     %v\n", a.Anchors)
+	fmt.Printf("model:       %d B (stored once)\n", len(a.Model))
+	fmt.Printf("total blob:  %d B (ratio %.2fx vs float32)\n",
+		len(blob), float64(a.NumPoints()*4)/float64(len(blob)))
+	fmt.Printf("chunk table:\n")
+	fmt.Printf("  %5s %8s %8s %12s %12s %10s\n", "chunk", "start", "slabs", "raw B", "payload B", "crc32")
+	for i, e := range a.Index {
+		fmt.Printf("  %5d %8d %8d %12d %12d %10x\n", i, e.Start, e.Count, e.RawBytes, e.PayloadLen, e.Checksum)
 	}
 }
 
@@ -127,7 +165,7 @@ func loadAnchors(dataDir, anchors string, b quant.Bound) ([]*tensor.Tensor, []st
 	return out, names, nil
 }
 
-func compress(dataDir, field, outPath string, rel, abs float64, modelPath, anchors string) {
+func compress(dataDir, field, outPath string, rel, abs float64, modelPath, anchors string, chunks, workers int) {
 	if dataDir == "" || field == "" || outPath == "" || (rel <= 0 && abs <= 0) {
 		fatal(fmt.Errorf("compress needs -data -field -o and -rel or -abs"))
 	}
@@ -140,10 +178,12 @@ func compress(dataDir, field, outPath string, rel, abs float64, modelPath, ancho
 		fatal(err)
 	}
 	b := bound(rel, abs)
-	var res *core.Result
-	if modelPath == "" {
-		res, err = core.CompressBaseline(f, core.Options{Bound: b})
-	} else {
+	var (
+		m             *cfnn.Model
+		anchorTensors []*tensor.Tensor
+		names         []string
+	)
+	if modelPath != "" {
 		if anchors == "" {
 			fatal(fmt.Errorf("-model requires -anchors"))
 		}
@@ -151,15 +191,26 @@ func compress(dataDir, field, outPath string, rel, abs float64, modelPath, ancho
 		if merr != nil {
 			fatal(merr)
 		}
-		m, merr := cfnn.Load(mf)
+		m, merr = cfnn.Load(mf)
 		mf.Close()
 		if merr != nil {
 			fatal(merr)
 		}
-		anchorTensors, names, aerr := loadAnchors(dataDir, anchors, b)
-		if aerr != nil {
-			fatal(aerr)
+		if anchorTensors, names, err = loadAnchors(dataDir, anchors, b); err != nil {
+			fatal(err)
 		}
+	}
+	var res *core.Result
+	switch {
+	case chunks > 0:
+		res, err = core.CompressChunked(f, m, anchorTensors, core.ChunkedOptions{
+			Options:     core.Options{Bound: b, AnchorNames: names},
+			ChunkVoxels: chunks,
+			Workers:     workers,
+		})
+	case m == nil:
+		res, err = core.CompressBaseline(f, core.Options{Bound: b})
+	default:
 		res, err = core.CompressHybrid(f, m, anchorTensors, core.Options{Bound: b, AnchorNames: names})
 	}
 	if err != nil {
@@ -174,6 +225,28 @@ func compress(dataDir, field, outPath string, rel, abs float64, modelPath, ancho
 	if st.ModelBytes > 0 {
 		fmt.Printf("  model %d B, table %d B, payload %d B\n", st.ModelBytes, st.TableBytes, st.PayloadBytes)
 	}
+	if chunks > 0 {
+		if n, err := core.ChunkCount(res.Blob); err == nil {
+			fmt.Printf("  chunked CFC2 container: %d chunks of ~%d values\n", n, chunks)
+		}
+	}
+}
+
+// blobMeta extracts the fields the decompress/verify paths need from
+// either container format.
+func blobMeta(blob []byte) (method container.Method, anchorNames []string, b quant.Bound, ebAbs float64, err error) {
+	if chunk.IsChunked(blob) {
+		a, err := chunk.Decode(blob)
+		if err != nil {
+			return 0, nil, quant.Bound{}, 0, err
+		}
+		return a.Method, a.Anchors, quant.Bound{Mode: quant.Mode(a.BoundMode), Value: a.BoundValue}, a.AbsEB, nil
+	}
+	hdr, err := core.PeekStats(blob)
+	if err != nil {
+		return 0, nil, quant.Bound{}, 0, err
+	}
+	return hdr.Method, hdr.Anchors, quant.Bound{Mode: quant.Mode(hdr.BoundMode), Value: hdr.BoundValue}, hdr.AbsEB, nil
 }
 
 func decompress(inPath, dataDir, anchors, outPath string) {
@@ -203,20 +276,19 @@ func decompress(inPath, dataDir, anchors, outPath string) {
 }
 
 func decodeBlob(blob []byte, dataDir, anchors string) (*tensor.Tensor, error) {
-	hdr, err := core.PeekStats(blob)
+	method, anchorList, b, _, err := blobMeta(blob)
 	if err != nil {
 		return nil, err
 	}
 	var anchorTensors []*tensor.Tensor
-	if len(hdr.Hybrid) > 0 {
+	if method != container.MethodBaseline {
 		names := anchors
 		if names == "" {
-			names = strings.Join(hdr.Anchors, ",")
+			names = strings.Join(anchorList, ",")
 		}
 		if dataDir == "" || names == "" {
-			return nil, fmt.Errorf("blob needs anchors %v: pass -data and -anchors", hdr.Anchors)
+			return nil, fmt.Errorf("blob needs anchors %v: pass -data and -anchors", anchorList)
 		}
-		b := quant.Bound{Mode: quant.Mode(hdr.BoundMode), Value: hdr.BoundValue}
 		anchorTensors, _, err = loadAnchors(dataDir, names, b)
 		if err != nil {
 			return nil, err
@@ -233,7 +305,7 @@ func verify(inPath, dataDir, field, anchors string) {
 	if err != nil {
 		fatal(err)
 	}
-	hdr, err := core.PeekStats(blob)
+	_, _, _, ebAbs, err := blobMeta(blob)
 	if err != nil {
 		fatal(err)
 	}
@@ -249,7 +321,7 @@ func verify(inPath, dataDir, field, anchors string) {
 	if err != nil {
 		fatal(err)
 	}
-	maxErr, ok, err := core.VerifyBound(orig, recon, hdr.AbsEB)
+	maxErr, ok, err := core.VerifyBound(orig, recon, ebAbs)
 	if err != nil {
 		fatal(err)
 	}
@@ -257,7 +329,7 @@ func verify(inPath, dataDir, field, anchors string) {
 	if !ok {
 		status = "VIOLATED"
 	}
-	fmt.Printf("max |orig-recon| = %g vs abs eb %g: %s\n", maxErr, hdr.AbsEB, status)
+	fmt.Printf("max |orig-recon| = %g vs abs eb %g: %s\n", maxErr, ebAbs, status)
 	if !ok {
 		os.Exit(2)
 	}

@@ -26,6 +26,23 @@
 // Anchors must be available at decompression time; compress them first with
 // CompressBaseline at the same bound and feed the *decompressed* anchors to
 // both Compress and Decompress (see examples/climate3d).
+//
+// # Chunked compression
+//
+// Passing a ChunkOptions to Compress or CompressBaseline switches to the
+// chunked engine: the field is split into independent slabs along its
+// slowest axis, each chunk runs the full pipeline concurrently on a worker
+// pool, and the result is a random-access CFC2 container (shared header and
+// CFNN model stored once, then a chunk index and per-chunk payloads):
+//
+//	res, _ := crossfield.CompressBaseline(f, crossfield.Rel(1e-3),
+//	    crossfield.ChunkOptions{ChunkVoxels: 1 << 20, Workers: 8})
+//	n, _ := crossfield.ChunkCount(res.Blob)
+//	part, start, _ := crossfield.DecompressChunk("W", res.Blob, 2, nil)
+//
+// Decompress accepts both container formats transparently, and chunk seams
+// honor the same error bound as the monolithic pipeline (the bound is
+// resolved once over the full field).
 package crossfield
 
 import (
@@ -93,9 +110,33 @@ type Compressed struct {
 	Stats core.Stats
 }
 
+// ChunkOptions selects the chunked parallel engine when passed to Compress
+// or CompressBaseline. The zero value means "chunked with defaults".
+type ChunkOptions struct {
+	// ChunkVoxels is the target number of values per chunk (rounded to
+	// whole slabs along the slowest axis); 0 picks a default of ~2M values.
+	ChunkVoxels int
+	// Workers bounds how many chunks are compressed concurrently;
+	// 0 means GOMAXPROCS.
+	Workers int
+}
+
 // CompressBaseline compresses a field with the Lorenzo + dual-quantization
-// baseline (no anchors needed to decompress).
-func CompressBaseline(f *Field, bound ErrorBound) (*Compressed, error) {
+// baseline (no anchors needed to decompress). Passing a ChunkOptions
+// produces a chunked random-access CFC2 container instead of a monolithic
+// blob.
+func CompressBaseline(f *Field, bound ErrorBound, chunked ...ChunkOptions) (*Compressed, error) {
+	if len(chunked) > 0 {
+		res, err := core.CompressChunked(f.t, nil, nil, core.ChunkedOptions{
+			Options:     core.Options{Bound: bound},
+			ChunkVoxels: chunked[0].ChunkVoxels,
+			Workers:     chunked[0].Workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Compressed{Blob: res.Blob, Stats: res.Stats}, nil
+	}
 	res, err := core.CompressBaseline(f.t, core.Options{Bound: bound})
 	if err != nil {
 		return nil, err
@@ -105,13 +146,44 @@ func CompressBaseline(f *Field, bound ErrorBound) (*Compressed, error) {
 
 // Decompress reconstructs a field from a blob. Baseline blobs take nil
 // anchors; cross-field blobs need the same decompressed anchors used at
-// compression time, in the same order.
+// compression time, in the same order. Monolithic CFC1 blobs and chunked
+// CFC2 containers are both accepted.
 func Decompress(name string, blob []byte, anchors []*Field) (*Field, error) {
 	t, err := core.Decompress(blob, fieldTensors(anchors))
 	if err != nil {
 		return nil, err
 	}
 	return &Field{Name: name, t: t}, nil
+}
+
+// ChunkCount returns how many independently decodable chunks a blob holds
+// (1 for a monolithic CFC1 blob).
+func ChunkCount(blob []byte) (int, error) { return core.ChunkCount(blob) }
+
+// DecompressChunked is Decompress with an explicit bound on how many
+// chunks decompress concurrently (workers <= 0 means GOMAXPROCS). Plain
+// Decompress already handles CFC2 at full width; this exists for callers
+// that must cap decode parallelism. Monolithic CFC1 blobs are accepted
+// and decode on one goroutine as usual.
+func DecompressChunked(name string, blob []byte, anchors []*Field, workers int) (*Field, error) {
+	t, err := core.DecompressChunkedWith(blob, fieldTensors(anchors), workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Field{Name: name, t: t}, nil
+}
+
+// DecompressChunk reconstructs only chunk i of a chunked CFC2 container,
+// without reading any other chunk's payload. It returns the chunk field
+// and its starting index along axis 0 (in slabs: rows for 2D, z-planes for
+// 3D). Hybrid containers need the same full-field decompressed anchors
+// used at compression time; only the chunk's region of them is consulted.
+func DecompressChunk(name string, blob []byte, i int, anchors []*Field) (*Field, int, error) {
+	t, start, err := core.DecompressChunk(blob, i, fieldTensors(anchors))
+	if err != nil {
+		return nil, 0, err
+	}
+	return &Field{Name: name, t: t}, start, nil
 }
 
 // Training configures CFNN training.
@@ -187,8 +259,21 @@ func (c *Codec) Model() *cfnn.Model { return c.model }
 
 // Compress runs the hybrid cross-field pipeline. anchors must be the
 // *decompressed* anchor fields (compress them with CompressBaseline at the
-// same bound first).
-func (c *Codec) Compress(target *Field, anchors []*Field, bound ErrorBound) (*Compressed, error) {
+// same bound first). Passing a ChunkOptions produces a chunked
+// random-access CFC2 container whose chunks compress in parallel and share
+// one stored copy of the CFNN model.
+func (c *Codec) Compress(target *Field, anchors []*Field, bound ErrorBound, chunked ...ChunkOptions) (*Compressed, error) {
+	if len(chunked) > 0 {
+		res, err := core.CompressChunked(target.t, c.model, fieldTensors(anchors), core.ChunkedOptions{
+			Options:     core.Options{Bound: bound, AnchorNames: c.names},
+			ChunkVoxels: chunked[0].ChunkVoxels,
+			Workers:     chunked[0].Workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Compressed{Blob: res.Blob, Stats: res.Stats}, nil
+	}
 	res, err := core.CompressHybrid(target.t, c.model, fieldTensors(anchors), core.Options{
 		Bound:       bound,
 		AnchorNames: c.names,

@@ -1,0 +1,497 @@
+// CFC2 container format.
+//
+// Layout (integers little-endian or uvarint):
+//
+//	magic "CFC2" | version byte | method byte | bound mode byte
+//	float64 bound value | float64 absolute eb (resolved over the full field)
+//	uvarint rank | uvarint dims...
+//	uvarint numAnchors | (uvarint len + name bytes)...
+//	uvarint modelLen | model blob (CFNN, stored once; 0 for baseline)
+//	uvarint numChunks
+//	index: per chunk — uvarint slabCount | uvarint payloadLen | uint32 CRC32
+//	per-chunk payloads, concatenated in chunk order
+//
+// Each payload is a self-contained single-chunk CFC1 blob with its model
+// section stripped (the model lives once in this header), so a chunk can
+// be decoded knowing only the shared header and its own payload bytes —
+// the basis for both random access and streaming reassembly. Chunk byte
+// offsets are not stored: they are the running sum of the payload lengths,
+// recomputed into IndexEntry.Offset at decode time.
+package chunk
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/container"
+)
+
+var magic = [4]byte{'C', 'F', 'C', '2'}
+
+const version = 1
+
+// maxChunks bounds the index size a decoder will accept.
+const maxChunks = 1 << 20
+
+// ErrCorrupt reports a malformed CFC2 container.
+var ErrCorrupt = errors.New("chunk: corrupt container")
+
+// ErrChecksum reports a chunk payload whose CRC32 does not match its index
+// entry.
+var ErrChecksum = errors.New("chunk: payload checksum mismatch")
+
+// IsChunked reports whether data begins with the CFC2 magic.
+func IsChunked(data []byte) bool {
+	return len(data) >= 4 && [4]byte(data[:4]) == magic
+}
+
+// Header carries everything shared across chunks.
+type Header struct {
+	Method     container.Method
+	BoundMode  byte
+	BoundValue float64
+	AbsEB      float64
+	Dims       []int
+	Anchors    []string
+	Model      []byte // CFNN weights, stored once; empty for baseline
+}
+
+// NumPoints returns the product of the dims.
+func (h *Header) NumPoints() int {
+	n := 1
+	for _, d := range h.Dims {
+		n *= d
+	}
+	return n
+}
+
+// IndexEntry describes one chunk in the container.
+type IndexEntry struct {
+	Start      int    // first slab along axis 0
+	Count      int    // slab count along axis 0
+	Offset     int    // payload byte offset within the container
+	RawBytes   int    // uncompressed chunk size (voxels × 4)
+	PayloadLen int    // compressed payload length in bytes
+	Checksum   uint32 // CRC32 (IEEE) of the payload
+}
+
+// Archive is a parsed in-memory CFC2 container with random-access payloads.
+type Archive struct {
+	Header
+	Index []IndexEntry
+
+	data []byte // the full original blob; payloads reference it
+}
+
+// NumChunks returns the number of chunks.
+func (a *Archive) NumChunks() int { return len(a.Index) }
+
+// Grid reconstructs the slab partitioning recorded in the index.
+func (a *Archive) Grid() (*Grid, error) {
+	counts := make([]int, len(a.Index))
+	for i, e := range a.Index {
+		counts[i] = e.Count
+	}
+	return FromCounts(a.Dims, counts)
+}
+
+// Payload returns chunk i's payload bytes after verifying its checksum.
+// Only the requested chunk's bytes are touched.
+func (a *Archive) Payload(i int) ([]byte, error) {
+	if i < 0 || i >= len(a.Index) {
+		return nil, fmt.Errorf("chunk: payload index %d out of [0,%d)", i, len(a.Index))
+	}
+	e := a.Index[i]
+	p := a.data[e.Offset : e.Offset+e.PayloadLen]
+	if crc32.ChecksumIEEE(p) != e.Checksum {
+		return nil, fmt.Errorf("%w: chunk %d", ErrChecksum, i)
+	}
+	return p, nil
+}
+
+// appendHeader serializes the header, index, and payload lengths (not the
+// payloads themselves).
+func appendHeader(out []byte, h *Header, g *Grid, payloads [][]byte) ([]byte, error) {
+	if len(h.Dims) < 1 || len(h.Dims) > 3 {
+		return nil, fmt.Errorf("chunk: rank %d unsupported", len(h.Dims))
+	}
+	if !sameDims(h.Dims, g.Dims()) {
+		return nil, fmt.Errorf("chunk: header dims %v != grid dims %v", h.Dims, g.Dims())
+	}
+	if len(payloads) != g.NumChunks() {
+		return nil, fmt.Errorf("chunk: %d payloads for %d chunks", len(payloads), g.NumChunks())
+	}
+	// Refuse to write what Decode would reject.
+	if g.NumChunks() > maxChunks {
+		return nil, fmt.Errorf("chunk: %d chunks exceeds the format limit %d", g.NumChunks(), maxChunks)
+	}
+	out = append(out, magic[:]...)
+	out = append(out, version, byte(h.Method), h.BoundMode)
+	var f8 [8]byte
+	binary.LittleEndian.PutUint64(f8[:], math.Float64bits(h.BoundValue))
+	out = append(out, f8[:]...)
+	binary.LittleEndian.PutUint64(f8[:], math.Float64bits(h.AbsEB))
+	out = append(out, f8[:]...)
+	out = binary.AppendUvarint(out, uint64(len(h.Dims)))
+	for _, d := range h.Dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("chunk: non-positive dim %d", d)
+		}
+		out = binary.AppendUvarint(out, uint64(d))
+	}
+	out = binary.AppendUvarint(out, uint64(len(h.Anchors)))
+	for _, a := range h.Anchors {
+		out = binary.AppendUvarint(out, uint64(len(a)))
+		out = append(out, a...)
+	}
+	out = binary.AppendUvarint(out, uint64(len(h.Model)))
+	out = append(out, h.Model...)
+	out = binary.AppendUvarint(out, uint64(g.NumChunks()))
+	var c4 [4]byte
+	for i, p := range payloads {
+		out = binary.AppendUvarint(out, uint64(g.Count(i)))
+		out = binary.AppendUvarint(out, uint64(len(p)))
+		binary.LittleEndian.PutUint32(c4[:], crc32.ChecksumIEEE(p))
+		out = append(out, c4[:]...)
+	}
+	return out, nil
+}
+
+// EncodeTo streams a container to w: header + index first, then each
+// payload in order. It returns the total bytes written. Payloads are
+// compressed chunks, so nothing close to the raw field is ever buffered
+// here.
+func EncodeTo(w io.Writer, h *Header, g *Grid, payloads [][]byte) (int, error) {
+	head, err := appendHeader(nil, h, g, payloads)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	n, err := w.Write(head)
+	total += n
+	if err != nil {
+		return total, err
+	}
+	for _, p := range payloads {
+		n, err := w.Write(p)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Encode serializes a container into one byte slice.
+func Encode(h *Header, g *Grid, payloads [][]byte) ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := EncodeTo(&buf, h, g, payloads); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode parses a container. Payload bytes reference data (callers must
+// not mutate it) and are checksum-verified lazily, per chunk, by
+// Archive.Payload — decoding touches only the header and index, which is
+// what makes random access cheap.
+func Decode(data []byte) (*Archive, error) {
+	r := container.NewCursor(data, ErrCorrupt)
+	h, counts, lens, sums, err := decodeHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	a := &Archive{Header: *h, data: data}
+	if _, err := FromCounts(h.Dims, counts); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	a.Index = make([]IndexEntry, len(counts))
+	slab := 1
+	for _, d := range h.Dims[1:] {
+		slab *= d
+	}
+	start, off := 0, r.Off()
+	for i := range a.Index {
+		if lens[i] < 0 || off+lens[i] > len(data) {
+			return nil, fmt.Errorf("%w: chunk %d payload (%d bytes at %d) exceeds blob size %d",
+				ErrCorrupt, i, lens[i], off, len(data))
+		}
+		a.Index[i] = IndexEntry{
+			Start:      start,
+			Count:      counts[i],
+			Offset:     off,
+			RawBytes:   counts[i] * slab * 4,
+			PayloadLen: lens[i],
+			Checksum:   sums[i],
+		}
+		start += counts[i]
+		off += lens[i]
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-off)
+	}
+	return a, nil
+}
+
+// fields is the cursor abstraction decodeHeader parses through: the
+// shared container.Cursor for in-memory decoding or a buffered stream for
+// Reader.
+type fields interface {
+	Byte() (byte, error)
+	Bytes(n int) ([]byte, error)
+	Uvarint() (uint64, error)
+	Float64() (float64, error)
+}
+
+// decodeHeader parses everything up to and including the index, leaving
+// the cursor at the first payload byte.
+func decodeHeader(r fields) (*Header, []int, []int, []uint32, error) {
+	m, err := r.Bytes(4)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	if [4]byte(m) != magic {
+		return nil, nil, nil, nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, m)
+	}
+	ver, err := r.Byte()
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	if ver != version {
+		return nil, nil, nil, nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, ver)
+	}
+	h := &Header{}
+	mb, err := r.Byte()
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	h.Method = container.Method(mb)
+	if h.BoundMode, err = r.Byte(); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	if h.BoundValue, err = r.Float64(); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	if h.AbsEB, err = r.Float64(); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	rank, err := r.Uvarint()
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	if rank < 1 || rank > 3 {
+		return nil, nil, nil, nil, fmt.Errorf("%w: rank %d", ErrCorrupt, rank)
+	}
+	h.Dims = make([]int, rank)
+	for i := range h.Dims {
+		d, err := r.Uvarint()
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		if d == 0 || d > 1<<32 {
+			return nil, nil, nil, nil, fmt.Errorf("%w: dim %d", ErrCorrupt, d)
+		}
+		h.Dims[i] = int(d)
+	}
+	// NumPoints/RawBytes must stay in int range, or downstream
+	// allocations overflow.
+	if _, err := container.CheckVolume(h.Dims); err != nil {
+		return nil, nil, nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	na, err := r.Uvarint()
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	if na > 256 {
+		return nil, nil, nil, nil, fmt.Errorf("%w: %d anchors", ErrCorrupt, na)
+	}
+	h.Anchors = make([]string, na)
+	for i := range h.Anchors {
+		l, err := r.Uvarint()
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		if l > 4096 {
+			return nil, nil, nil, nil, fmt.Errorf("%w: anchor name length %d", ErrCorrupt, l)
+		}
+		nb, err := r.Bytes(int(l))
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		h.Anchors[i] = string(nb)
+	}
+	ml, err := r.Uvarint()
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	if h.Model, err = r.Bytes(int(ml)); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	nc, err := r.Uvarint()
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	if nc == 0 || nc > maxChunks {
+		return nil, nil, nil, nil, fmt.Errorf("%w: %d chunks", ErrCorrupt, nc)
+	}
+	counts := make([]int, nc)
+	lens := make([]int, nc)
+	sums := make([]uint32, nc)
+	for i := range counts {
+		c, err := r.Uvarint()
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		if c == 0 || c > 1<<32 {
+			return nil, nil, nil, nil, fmt.Errorf("%w: chunk %d slab count %d", ErrCorrupt, i, c)
+		}
+		counts[i] = int(c)
+		l, err := r.Uvarint()
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		if l > uint64(math.MaxInt32) {
+			return nil, nil, nil, nil, fmt.Errorf("%w: chunk %d payload length %d", ErrCorrupt, i, l)
+		}
+		lens[i] = int(l)
+		s4, err := r.Bytes(4)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		sums[i] = binary.LittleEndian.Uint32(s4)
+	}
+	return h, counts, lens, sums, nil
+}
+
+// streamReader adapts a buffered stream to the fields interface, counting
+// consumed bytes so index offsets stay meaningful.
+type streamReader struct {
+	src *bufio.Reader
+	off int
+}
+
+func (r *streamReader) Byte() (byte, error) {
+	b, err := r.src.ReadByte()
+	if err != nil {
+		return 0, fmt.Errorf("%w: byte at offset %d: %v", ErrCorrupt, r.off, err)
+	}
+	r.off++
+	return b, nil
+}
+
+// maxStreamSection bounds a single allocation while parsing an untrusted
+// stream header (the in-memory decoder is bounded by the blob length).
+const maxStreamSection = 1 << 30
+
+func (r *streamReader) Bytes(n int) ([]byte, error) {
+	if n < 0 || n > maxStreamSection {
+		return nil, fmt.Errorf("%w: section length %d at offset %d", ErrCorrupt, n, r.off)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r.src, b); err != nil {
+		return nil, fmt.Errorf("%w: need %d bytes at offset %d: %v", ErrCorrupt, n, r.off, err)
+	}
+	r.off += n
+	return b, nil
+}
+
+func (r *streamReader) Uvarint() (uint64, error) {
+	v, err := binary.ReadUvarint(countingByteReader{r})
+	if err != nil {
+		return 0, fmt.Errorf("%w: varint at offset %d: %v", ErrCorrupt, r.off, err)
+	}
+	return v, nil
+}
+
+func (r *streamReader) Float64() (float64, error) {
+	b, err := r.Bytes(8)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), nil
+}
+
+// countingByteReader lets binary.ReadUvarint advance the stream offset.
+type countingByteReader struct{ r *streamReader }
+
+func (c countingByteReader) ReadByte() (byte, error) {
+	b, err := c.r.src.ReadByte()
+	if err == nil {
+		c.r.off++
+	}
+	return b, err
+}
+
+// Reader decodes a CFC2 container from a stream, yielding one verified
+// chunk payload at a time so a multi-GB field can be reassembled without
+// holding the compressed container in memory.
+type Reader struct {
+	header Header
+	index  []IndexEntry
+	src    *bufio.Reader
+	next   int
+}
+
+// NewReader parses the header and chunk index from r. Payloads are then
+// consumed in order with Next.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	sr := &streamReader{src: br}
+	h, counts, lens, sums, err := decodeHeader(sr)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := FromCounts(h.Dims, counts); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	slab := 1
+	for _, d := range h.Dims[1:] {
+		slab *= d
+	}
+	index := make([]IndexEntry, len(counts))
+	start, off := 0, sr.off
+	for i := range index {
+		index[i] = IndexEntry{
+			Start:      start,
+			Count:      counts[i],
+			Offset:     off,
+			RawBytes:   counts[i] * slab * 4,
+			PayloadLen: lens[i],
+			Checksum:   sums[i],
+		}
+		start += counts[i]
+		off += lens[i]
+	}
+	return &Reader{header: *h, index: index, src: br}, nil
+}
+
+// Header returns the shared container header.
+func (r *Reader) Header() *Header { return &r.header }
+
+// Index returns the chunk index.
+func (r *Reader) Index() []IndexEntry { return r.index }
+
+// Next returns the next chunk's ordinal and checksum-verified payload, or
+// io.EOF after the last chunk.
+func (r *Reader) Next() (int, []byte, error) {
+	if r.next >= len(r.index) {
+		return 0, nil, io.EOF
+	}
+	i := r.next
+	e := r.index[i]
+	p := make([]byte, e.PayloadLen)
+	if _, err := io.ReadFull(r.src, p); err != nil {
+		return 0, nil, fmt.Errorf("%w: chunk %d payload: %v", ErrCorrupt, i, err)
+	}
+	if crc32.ChecksumIEEE(p) != e.Checksum {
+		return 0, nil, fmt.Errorf("%w: chunk %d", ErrChecksum, i)
+	}
+	r.next++
+	return i, p, nil
+}

@@ -1,0 +1,295 @@
+package chunk
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/container"
+)
+
+func testArchive(t *testing.T) (*Header, *Grid, [][]byte, []byte) {
+	t.Helper()
+	h := &Header{
+		Method:     container.MethodHybrid,
+		BoundMode:  1,
+		BoundValue: 1e-3,
+		AbsEB:      0.042,
+		Dims:       []int{10, 4, 6},
+		Anchors:    []string{"Uf", "Vf"},
+		Model:      []byte("pretend-cfnn-weights"),
+	}
+	g, err := Plan(h.Dims, 3*4*6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	payloads := make([][]byte, g.NumChunks())
+	for i := range payloads {
+		payloads[i] = make([]byte, 16+rng.Intn(64))
+		rng.Read(payloads[i])
+	}
+	blob, err := Encode(h, g, payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, g, payloads, blob
+}
+
+func TestContainerRoundTrip(t *testing.T) {
+	h, g, payloads, blob := testArchive(t)
+	if !IsChunked(blob) {
+		t.Fatal("IsChunked = false on a CFC2 blob")
+	}
+	if IsChunked([]byte("CFC1....")) {
+		t.Fatal("IsChunked = true on a CFC1 prefix")
+	}
+	a, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Method != h.Method || a.BoundMode != h.BoundMode ||
+		a.BoundValue != h.BoundValue || a.AbsEB != h.AbsEB {
+		t.Fatalf("header mismatch: %+v", a.Header)
+	}
+	if len(a.Dims) != 3 || a.Dims[0] != 10 || a.Dims[1] != 4 || a.Dims[2] != 6 {
+		t.Fatalf("dims = %v", a.Dims)
+	}
+	if len(a.Anchors) != 2 || a.Anchors[0] != "Uf" || a.Anchors[1] != "Vf" {
+		t.Fatalf("anchors = %v", a.Anchors)
+	}
+	if !bytes.Equal(a.Model, h.Model) {
+		t.Fatal("model blob mismatch")
+	}
+	if a.NumChunks() != g.NumChunks() {
+		t.Fatalf("NumChunks = %d, want %d", a.NumChunks(), g.NumChunks())
+	}
+	for i := range payloads {
+		e := a.Index[i]
+		if e.Start != g.Start(i) || e.Count != g.Count(i) {
+			t.Fatalf("chunk %d slab range (%d,%d), want (%d,%d)", i, e.Start, e.Count, g.Start(i), g.Count(i))
+		}
+		if e.RawBytes != g.Voxels(i)*4 {
+			t.Fatalf("chunk %d RawBytes = %d, want %d", i, e.RawBytes, g.Voxels(i)*4)
+		}
+		if e.PayloadLen != len(payloads[i]) {
+			t.Fatalf("chunk %d PayloadLen = %d, want %d", i, e.PayloadLen, len(payloads[i]))
+		}
+		p, err := a.Payload(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(p, payloads[i]) {
+			t.Fatalf("chunk %d payload mismatch", i)
+		}
+	}
+	// Re-encode from the decoded pieces: byte-stable.
+	g2, err := a.Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := Encode(&a.Header, g2, payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(re, blob) {
+		t.Fatal("re-encode not byte-stable")
+	}
+}
+
+func TestReaderStreamsSamePayloads(t *testing.T) {
+	_, _, payloads, blob := testArchive(t)
+	r, err := NewReader(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Index()) != len(payloads) {
+		t.Fatalf("index len %d, want %d", len(r.Index()), len(payloads))
+	}
+	for i := range payloads {
+		j, p, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j != i || !bytes.Equal(p, payloads[i]) {
+			t.Fatalf("chunk %d: got ordinal %d, payload match %v", i, j, bytes.Equal(p, payloads[i]))
+		}
+	}
+	if _, _, err := r.Next(); err != io.EOF {
+		t.Fatalf("after last chunk err = %v, want io.EOF", err)
+	}
+}
+
+func TestDecodeRejectsChecksumMismatch(t *testing.T) {
+	_, _, _, blob := testArchive(t)
+	a, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), blob...)
+	bad[a.Index[1].Offset] ^= 0xff // flip a byte inside chunk 1's payload
+	ab, err := Decode(bad)
+	if err != nil {
+		t.Fatalf("index decode should succeed, payload verify is lazy: %v", err)
+	}
+	if _, err := ab.Payload(1); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("Payload(1) err = %v, want ErrChecksum", err)
+	}
+	// Other chunks stay readable: corruption is contained.
+	if _, err := ab.Payload(0); err != nil {
+		t.Fatalf("Payload(0) err = %v", err)
+	}
+	// The streaming reader refuses the corrupt chunk too.
+	r, err := NewReader(bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Next(); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("stream Next err = %v, want ErrChecksum", err)
+	}
+}
+
+func TestDecodeRejectsTruncationAndTrailing(t *testing.T) {
+	_, _, _, blob := testArchive(t)
+	for _, cut := range []int{1, len(blob) / 4, len(blob) / 2, len(blob) - 1} {
+		if _, err := Decode(blob[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := Decode(append(append([]byte(nil), blob...), 0xAA)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+func TestDecodeRejectsBadIndex(t *testing.T) {
+	h, g, payloads, _ := testArchive(t)
+	// Counts that do not sum to dims[0].
+	badGrid := *g
+	badGrid.counts = append([]int(nil), g.counts...)
+	badGrid.counts[0]++
+	if _, err := Encode(h, &badGrid, payloads); err == nil {
+		// Encode may not validate the sum; the decoder must.
+		blob, err := Encode(h, &badGrid, payloads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Decode(blob); err == nil {
+			t.Fatal("slab-count/dims mismatch accepted")
+		}
+	}
+	// Payload length pointing past the end of the blob.
+	blob, err := Encode(h, g, payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(blob[:len(blob)-3]); err == nil {
+		t.Fatal("short payload region accepted")
+	}
+}
+
+// A near-MaxInt64 section length must not overflow the bounds check into
+// a slice panic (regression: the model-length field is unbounded).
+func TestDecodeHugeModelLengthNoPanic(t *testing.T) {
+	blob := append([]byte(nil), magic[:]...)
+	blob = append(blob, version, 0, 0)          // method, bound mode
+	blob = append(blob, make([]byte, 16)...)    // bound value + abs eb
+	blob = append(blob, 1, 1)                   // rank 1, dim 1
+	blob = append(blob, 0)                      // no anchors
+	blob = binary.AppendUvarint(blob, 1<<63-25) // huge model length
+	blob = append(blob, 1, 1, 1, 0, 0, 0, 0, 0) // index-ish trailing bytes
+	if _, err := Decode(blob); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	if _, err := NewReader(bytes.NewReader(blob)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("stream err = %v, want ErrCorrupt", err)
+	}
+}
+
+// A dims product that overflows int (or its ×4 byte size) must be
+// rejected at decode, not crash allocations downstream.
+func TestDecodeDimsVolumeOverflowRejected(t *testing.T) {
+	blob := append([]byte(nil), magic[:]...)
+	blob = append(blob, version, 0, 0)       // method, bound mode
+	blob = append(blob, make([]byte, 16)...) // bound value + abs eb
+	blob = append(blob, 2)                   // rank 2
+	blob = binary.AppendUvarint(blob, 1<<31) // dim 0
+	blob = binary.AppendUvarint(blob, 1<<32) // dim 1: product = 2^63
+	blob = append(blob, 0)                   // no anchors
+	blob = append(blob, 0)                   // no model
+	blob = append(blob, 1)                   // one chunk
+	blob = binary.AppendUvarint(blob, 1<<31) // count = dim 0
+	blob = append(blob, 0, 0, 0, 0, 0)       // payloadLen 0, CRC 0
+	if _, err := Decode(blob); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	if _, err := NewReader(bytes.NewReader(blob)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("stream err = %v, want ErrCorrupt", err)
+	}
+}
+
+// The encoder must refuse chunk counts the decoder would reject.
+func TestEncodeRejectsTooManyChunks(t *testing.T) {
+	n := maxChunks + 1
+	counts := make([]int, n)
+	for i := range counts {
+		counts[i] = 1
+	}
+	g, err := FromCounts([]int{n}, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &Header{Dims: []int{n}}
+	if _, err := Encode(h, g, make([][]byte, n)); err == nil {
+		t.Fatal("encoder wrote a container Decode would reject")
+	}
+	// Plan never produces such a grid: tiny chunkVoxels on a long axis
+	// rounds up instead.
+	pg, err := Plan([]int{n}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.NumChunks() > maxChunks {
+		t.Fatalf("Plan produced %d chunks > limit %d", pg.NumChunks(), maxChunks)
+	}
+	total := 0
+	for i := 0; i < pg.NumChunks(); i++ {
+		total += pg.Count(i)
+	}
+	if total != n {
+		t.Fatalf("clamped plan covers %d of %d slabs", total, n)
+	}
+}
+
+func TestDecodeArbitraryBytesNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		blob := make([]byte, rng.Intn(512))
+		rng.Read(blob)
+		copy(blob, magic[:]) // force the interesting path
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on arbitrary bytes: %v", r)
+				}
+			}()
+			if a, err := Decode(blob); err == nil {
+				for i := 0; i < a.NumChunks(); i++ {
+					_, _ = a.Payload(i)
+				}
+			}
+			if r, err := NewReader(bytes.NewReader(blob)); err == nil {
+				for {
+					if _, _, err := r.Next(); err != nil {
+						break
+					}
+				}
+			}
+		}()
+	}
+}

@@ -1,0 +1,116 @@
+package chunk
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestPlanCoversEveryShape(t *testing.T) {
+	cases := []struct {
+		dims        []int
+		chunkVoxels int
+	}{
+		{[]int{1000}, 64},           // 1D, chunk not dividing the axis
+		{[]int{1}, 10},              // 1D degenerate single value
+		{[]int{7, 13}, 13},          // 2D one row per chunk
+		{[]int{7, 13}, 30},          // 2D two rows per chunk, odd remainder
+		{[]int{7, 13}, 1 << 20},     // single-chunk degenerate case
+		{[]int{5, 17, 23}, 17 * 23}, // 3D one slab per chunk
+		{[]int{5, 17, 23}, 1000},    // 3D chunkVoxels > slab, not dividing
+		{[]int{5, 17, 23}, 1},       // tiny chunkVoxels clamps to one slab
+		{[]int{5, 17, 23}, 0},       // default size -> one chunk here
+	}
+	for _, c := range cases {
+		g, err := Plan(c.dims, c.chunkVoxels)
+		if err != nil {
+			t.Fatalf("Plan(%v, %d): %v", c.dims, c.chunkVoxels, err)
+		}
+		total := 0
+		voxels := 0
+		for i := 0; i < g.NumChunks(); i++ {
+			if g.Count(i) <= 0 {
+				t.Fatalf("Plan(%v, %d): chunk %d empty", c.dims, c.chunkVoxels, i)
+			}
+			if g.Start(i) != total {
+				t.Fatalf("Plan(%v, %d): chunk %d start %d, want %d", c.dims, c.chunkVoxels, i, g.Start(i), total)
+			}
+			total += g.Count(i)
+			voxels += g.Voxels(i)
+		}
+		if total != c.dims[0] {
+			t.Fatalf("Plan(%v, %d): slabs sum to %d", c.dims, c.chunkVoxels, total)
+		}
+		n := 1
+		for _, d := range c.dims {
+			n *= d
+		}
+		if voxels != n {
+			t.Fatalf("Plan(%v, %d): voxels sum to %d, want %d", c.dims, c.chunkVoxels, voxels, n)
+		}
+	}
+}
+
+func TestPlanRejectsBadShapes(t *testing.T) {
+	if _, err := Plan(nil, 10); err == nil {
+		t.Fatal("expected rank error for empty dims")
+	}
+	if _, err := Plan([]int{2, 2, 2, 2}, 10); err == nil {
+		t.Fatal("expected rank error for rank 4")
+	}
+	if _, err := Plan([]int{4, 0}, 10); err == nil {
+		t.Fatal("expected error for zero dim")
+	}
+}
+
+func TestFromCountsValidates(t *testing.T) {
+	if _, err := FromCounts([]int{10, 3}, []int{4, 4, 2}); err != nil {
+		t.Fatalf("valid counts rejected: %v", err)
+	}
+	if _, err := FromCounts([]int{10, 3}, []int{4, 4}); err == nil {
+		t.Fatal("expected sum-mismatch error")
+	}
+	if _, err := FromCounts([]int{10, 3}, []int{10, 0}); err == nil {
+		t.Fatal("expected non-positive-count error")
+	}
+	if _, err := FromCounts([]int{10, 3}, nil); err == nil {
+		t.Fatal("expected empty-chunk-list error")
+	}
+}
+
+func TestViewIsZeroCopy(t *testing.T) {
+	f := tensor.New(6, 4, 5)
+	for i := range f.Data() {
+		f.Data()[i] = float32(i)
+	}
+	g, err := Plan(f.Shape(), 2*4*5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumChunks() != 3 {
+		t.Fatalf("NumChunks = %d, want 3", g.NumChunks())
+	}
+	v, err := g.View(f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDims := []int{2, 4, 5}
+	for i, d := range v.Shape() {
+		if d != wantDims[i] {
+			t.Fatalf("view dims %v, want %v", v.Shape(), wantDims)
+		}
+	}
+	if v.Data()[0] != f.Data()[g.Offset(1)] {
+		t.Fatal("view does not start at chunk offset")
+	}
+	v.Data()[0] = -1
+	if f.Data()[g.Offset(1)] != -1 {
+		t.Fatal("view is not sharing storage")
+	}
+	if _, err := g.View(f, 3); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if _, err := g.View(tensor.New(2, 2), 0); err == nil {
+		t.Fatal("expected shape-mismatch error")
+	}
+}

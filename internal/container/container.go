@@ -132,57 +132,92 @@ func Encode(b *Blob) ([]byte, error) {
 	return out, nil
 }
 
-type reader struct {
-	data []byte
-	off  int
+// Cursor is a bounds-checked byte cursor over untrusted input, shared by
+// the repo's container decoders (CFC1 here, CFC2 in internal/chunk). Every
+// read error wraps the corrupt sentinel supplied at construction, so each
+// format reports its own corruption error.
+type Cursor struct {
+	data    []byte
+	off     int
+	corrupt error
 }
 
-func (r *reader) uvarint() (uint64, error) {
-	v, n := binary.Uvarint(r.data[r.off:])
+// NewCursor returns a cursor over data whose errors wrap corrupt.
+func NewCursor(data []byte, corrupt error) *Cursor {
+	return &Cursor{data: data, corrupt: corrupt}
+}
+
+// Off returns the current offset.
+func (c *Cursor) Off() int { return c.off }
+
+// Len returns the total input length.
+func (c *Cursor) Len() int { return len(c.data) }
+
+// Uvarint reads one varint.
+func (c *Cursor) Uvarint() (uint64, error) {
+	v, n := binary.Uvarint(c.data[c.off:])
 	if n <= 0 {
-		return 0, fmt.Errorf("%w: varint at offset %d", ErrCorrupt, r.off)
+		return 0, fmt.Errorf("%w: varint at offset %d", c.corrupt, c.off)
 	}
-	r.off += n
+	c.off += n
 	return v, nil
 }
 
-func (r *reader) bytes(n int) ([]byte, error) {
-	if n < 0 || r.off+n > len(r.data) {
-		return nil, fmt.Errorf("%w: need %d bytes at offset %d of %d", ErrCorrupt, n, r.off, len(r.data))
+// Bytes reads n bytes, referencing the input (not copying).
+func (c *Cursor) Bytes(n int) ([]byte, error) {
+	// n > len-off (not off+n > len) so a huge n cannot overflow the check.
+	if n < 0 || n > len(c.data)-c.off {
+		return nil, fmt.Errorf("%w: need %d bytes at offset %d of %d", c.corrupt, n, c.off, len(c.data))
 	}
-	b := r.data[r.off : r.off+n]
-	r.off += n
+	b := c.data[c.off : c.off+n]
+	c.off += n
 	return b, nil
 }
 
-func (r *reader) byte() (byte, error) {
-	b, err := r.bytes(1)
+// Byte reads one byte.
+func (c *Cursor) Byte() (byte, error) {
+	b, err := c.Bytes(1)
 	if err != nil {
 		return 0, err
 	}
 	return b[0], nil
 }
 
-func (r *reader) float64() (float64, error) {
-	b, err := r.bytes(8)
+// Float64 reads one little-endian float64.
+func (c *Cursor) Float64() (float64, error) {
+	b, err := c.Bytes(8)
 	if err != nil {
 		return 0, err
 	}
 	return math.Float64frombits(binary.LittleEndian.Uint64(b)), nil
 }
 
+// CheckVolume validates that the product of dims — and its ×4 float32 byte
+// size — stays in int range, returning the volume. Decoders must call it
+// on untrusted dims before sizing any allocation from them.
+func CheckVolume(dims []int) (int, error) {
+	n := 1
+	for _, d := range dims {
+		if d <= 0 || d > math.MaxInt/4/n {
+			return 0, fmt.Errorf("dims %v volume overflows", dims)
+		}
+		n *= d
+	}
+	return n, nil
+}
+
 // Decode parses a blob (sections reference the input slice; callers must
 // not mutate it).
 func Decode(data []byte) (*Blob, error) {
-	r := &reader{data: data}
-	m, err := r.bytes(4)
+	r := NewCursor(data, ErrCorrupt)
+	m, err := r.Bytes(4)
 	if err != nil {
 		return nil, err
 	}
 	if [4]byte(m) != magic {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, m)
 	}
-	ver, err := r.byte()
+	ver, err := r.Byte()
 	if err != nil {
 		return nil, err
 	}
@@ -190,21 +225,21 @@ func Decode(data []byte) (*Blob, error) {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, ver)
 	}
 	b := &Blob{}
-	mb, err := r.byte()
+	mb, err := r.Byte()
 	if err != nil {
 		return nil, err
 	}
 	b.Method = Method(mb)
-	if b.BoundMode, err = r.byte(); err != nil {
+	if b.BoundMode, err = r.Byte(); err != nil {
 		return nil, err
 	}
-	if b.BoundValue, err = r.float64(); err != nil {
+	if b.BoundValue, err = r.Float64(); err != nil {
 		return nil, err
 	}
-	if b.AbsEB, err = r.float64(); err != nil {
+	if b.AbsEB, err = r.Float64(); err != nil {
 		return nil, err
 	}
-	rank, err := r.uvarint()
+	rank, err := r.Uvarint()
 	if err != nil {
 		return nil, err
 	}
@@ -213,7 +248,7 @@ func Decode(data []byte) (*Blob, error) {
 	}
 	b.Dims = make([]int, rank)
 	for i := range b.Dims {
-		d, err := r.uvarint()
+		d, err := r.Uvarint()
 		if err != nil {
 			return nil, err
 		}
@@ -222,10 +257,13 @@ func Decode(data []byte) (*Blob, error) {
 		}
 		b.Dims[i] = int(d)
 	}
-	if b.BackendID, err = r.byte(); err != nil {
+	if _, err := CheckVolume(b.Dims); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if b.BackendID, err = r.Byte(); err != nil {
 		return nil, err
 	}
-	nh, err := r.uvarint()
+	nh, err := r.Uvarint()
 	if err != nil {
 		return nil, err
 	}
@@ -234,11 +272,11 @@ func Decode(data []byte) (*Blob, error) {
 	}
 	b.Hybrid = make([]float64, nh)
 	for i := range b.Hybrid {
-		if b.Hybrid[i], err = r.float64(); err != nil {
+		if b.Hybrid[i], err = r.Float64(); err != nil {
 			return nil, err
 		}
 	}
-	na, err := r.uvarint()
+	na, err := r.Uvarint()
 	if err != nil {
 		return nil, err
 	}
@@ -247,47 +285,47 @@ func Decode(data []byte) (*Blob, error) {
 	}
 	b.Anchors = make([]string, na)
 	for i := range b.Anchors {
-		l, err := r.uvarint()
+		l, err := r.Uvarint()
 		if err != nil {
 			return nil, err
 		}
 		if l > 4096 {
 			return nil, fmt.Errorf("%w: anchor name length %d", ErrCorrupt, l)
 		}
-		nb, err := r.bytes(int(l))
+		nb, err := r.Bytes(int(l))
 		if err != nil {
 			return nil, err
 		}
 		b.Anchors[i] = string(nb)
 	}
-	ml, err := r.uvarint()
+	ml, err := r.Uvarint()
 	if err != nil {
 		return nil, err
 	}
-	if b.Model, err = r.bytes(int(ml)); err != nil {
+	if b.Model, err = r.Bytes(int(ml)); err != nil {
 		return nil, err
 	}
-	tl, err := r.uvarint()
+	tl, err := r.Uvarint()
 	if err != nil {
 		return nil, err
 	}
-	if b.Table, err = r.bytes(int(tl)); err != nil {
+	if b.Table, err = r.Bytes(int(tl)); err != nil {
 		return nil, err
 	}
-	praw, err := r.uvarint()
+	praw, err := r.Uvarint()
 	if err != nil {
 		return nil, err
 	}
 	b.PayloadRaw = int(praw)
-	pl, err := r.uvarint()
+	pl, err := r.Uvarint()
 	if err != nil {
 		return nil, err
 	}
-	if b.Payload, err = r.bytes(int(pl)); err != nil {
+	if b.Payload, err = r.Bytes(int(pl)); err != nil {
 		return nil, err
 	}
-	if r.off != len(data) {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-r.off)
+	if r.Off() != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-r.Off())
 	}
 	return b, nil
 }

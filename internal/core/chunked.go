@@ -1,0 +1,353 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"repro/internal/cfnn"
+	"repro/internal/chunk"
+	"repro/internal/container"
+	"repro/internal/metrics"
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// ChunkedOptions configures the chunked compression engine.
+type ChunkedOptions struct {
+	Options
+	// ChunkVoxels is the target number of values per chunk; 0 selects
+	// chunk.DefaultChunkVoxels. Chunks are slabs along the slowest axis,
+	// so the realized size is rounded to whole slabs (minimum one).
+	ChunkVoxels int
+	// Workers bounds how many chunks are compressed concurrently;
+	// 0 means parallel.Workers() (GOMAXPROCS). The decompression side
+	// takes its bound via DecompressChunkedWith.
+	Workers int
+}
+
+func (o ChunkedOptions) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return parallel.Workers()
+}
+
+// CompressChunked compresses a field into a chunked CFC2 container. A nil
+// model selects the Lorenzo baseline (anchors ignored); a trained model
+// selects the hybrid cross-field pipeline, with anchors being the
+// *decompressed* anchor fields, as for CompressHybrid.
+//
+// The error bound is resolved once over the full field, so every chunk —
+// and therefore every point, including chunk seams — honors the same
+// absolute bound the monolithic pipeline would. Each chunk then runs the
+// full predict→quantize→Huffman→lossless pipeline independently on a
+// bounded worker pool: dual quantization leaves no read-after-write hazard
+// between chunks, which is what makes both sides embarrassingly parallel
+// and every chunk independently decodable.
+func CompressChunked(field *tensor.Tensor, model *cfnn.Model, anchors []*tensor.Tensor, opts ChunkedOptions) (*Result, error) {
+	var buf bytes.Buffer
+	st, err := CompressChunkedTo(&buf, field, model, anchors, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Blob: buf.Bytes(), Stats: *st}, nil
+}
+
+// CompressChunkedTo is CompressChunked streaming the container to w:
+// header and chunk index first, then the per-chunk payloads. Only the
+// compressed payloads are ever resident, never a second copy of the raw
+// field, so multi-GB fields stream through a bounded footprint.
+func CompressChunkedTo(w io.Writer, field *tensor.Tensor, model *cfnn.Model, anchors []*tensor.Tensor, opts ChunkedOptions) (*Stats, error) {
+	opts.Options = opts.Options.withDefaults()
+	method := container.MethodBaseline
+	if model != nil {
+		method = container.MethodHybrid
+		if field.Rank() != 2 && field.Rank() != 3 {
+			return nil, fmt.Errorf("core: cross-field compression needs rank 2 or 3, got %d", field.Rank())
+		}
+		if len(anchors) == 0 {
+			return nil, fmt.Errorf("core: chunked hybrid compression needs anchors")
+		}
+		for i, a := range anchors {
+			if !a.SameShape(field) {
+				return nil, fmt.Errorf("core: anchor %d shape %v != field shape %v", i, a.Shape(), field.Shape())
+			}
+		}
+	}
+	eb, err := resolveEB(field, opts.Bound)
+	if err != nil {
+		return nil, err
+	}
+	g, err := chunk.Plan(field.Shape(), opts.ChunkVoxels)
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumChunks()
+	payloads := make([][]byte, n)
+	chunkStats := make([]Stats, n)
+	// Anchor names live once in the CFC2 header; keep them out of every
+	// per-chunk payload.
+	chunkOpts := opts.Options
+	chunkOpts.AnchorNames = nil
+	err = parallel.ForErr(opts.workers(), n, func(i int) error {
+		sub, err := g.View(field, i)
+		if err != nil {
+			return err
+		}
+		var res *Result
+		if model == nil {
+			res, err = compressBaselineWithEB(sub, eb, chunkOpts)
+		} else {
+			var subAnchors []*tensor.Tensor
+			if subAnchors, err = g.Views(anchors, i); err != nil {
+				return err
+			}
+			res, err = compressCrossFieldWithEB(sub, model, subAnchors, chunkOpts, method, eb, false)
+		}
+		if err != nil {
+			return fmt.Errorf("core: chunk %d: %w", i, err)
+		}
+		payloads[i] = res.Blob
+		chunkStats[i] = res.Stats
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var modelBlob []byte
+	if model != nil {
+		var mb bytes.Buffer
+		if err := model.Save(&mb); err != nil {
+			return nil, err
+		}
+		modelBlob = mb.Bytes()
+	}
+	hdr := &chunk.Header{
+		Method:     method,
+		BoundMode:  byte(opts.Bound.Mode),
+		BoundValue: opts.Bound.Value,
+		AbsEB:      eb,
+		Dims:       append([]int(nil), field.Shape()...),
+		Anchors:    append([]string(nil), opts.AnchorNames...),
+		Model:      modelBlob,
+	}
+	total, err := chunk.EncodeTo(w, hdr, g, payloads)
+	if err != nil {
+		return nil, err
+	}
+	st := aggregateChunkStats(field, chunkStats, method, eb, total, len(modelBlob))
+	return &st, nil
+}
+
+// aggregateChunkStats folds per-chunk stats into one field-level Stats.
+func aggregateChunkStats(field *tensor.Tensor, chunkStats []Stats, method container.Method, eb float64, totalBytes, modelBytes int) Stats {
+	st := Stats{
+		Method:          method,
+		OriginalBytes:   field.Len() * 4,
+		CompressedBytes: totalBytes,
+		ModelBytes:      modelBytes,
+		AbsEB:           eb,
+	}
+	var entropy float64
+	for _, cs := range chunkStats {
+		st.TableBytes += cs.TableBytes
+		st.PayloadBytes += cs.PayloadBytes
+		entropy += cs.CodeEntropy * float64(cs.OriginalBytes)
+	}
+	if st.OriginalBytes > 0 {
+		st.CodeEntropy = entropy / float64(st.OriginalBytes)
+	}
+	st.Ratio = metrics.CompressionRatio(st.OriginalBytes, totalBytes)
+	st.BitRate = metrics.BitRate(field.Len(), totalBytes)
+	return st
+}
+
+// DecompressChunked reconstructs a field from a CFC2 container, running
+// the per-chunk reconstructions on a GOMAXPROCS-wide worker pool. Hybrid
+// containers need the same decompressed anchors used at compression time.
+func DecompressChunked(blob []byte, anchors []*tensor.Tensor) (*tensor.Tensor, error) {
+	return DecompressChunkedWith(blob, anchors, 0)
+}
+
+// DecompressChunkedWith is DecompressChunked with an explicit bound on how
+// many chunks decompress concurrently; workers <= 0 means
+// parallel.Workers(). A monolithic CFC1 blob is accepted too (it has a
+// single sequential chunk, so workers does not apply).
+func DecompressChunkedWith(blob []byte, anchors []*tensor.Tensor, workers int) (*tensor.Tensor, error) {
+	if !chunk.IsChunked(blob) {
+		return decompressMono(blob, anchors, nil)
+	}
+	if workers <= 0 {
+		workers = parallel.Workers()
+	}
+	a, err := chunk.Decode(blob)
+	if err != nil {
+		return nil, err
+	}
+	g, model, err := prepareArchive(a, anchors)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float32, a.NumPoints())
+	err = parallel.ForErr(workers, a.NumChunks(), func(i int) error {
+		payload, err := a.Payload(i)
+		if err != nil {
+			return err
+		}
+		return decompressChunkInto(out, payload, g, i, model, anchors)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tensor.FromSlice(out, a.Dims...)
+}
+
+// DecompressChunkedFrom reconstructs a field from a CFC2 stream, handing
+// each chunk payload to a decoder goroutine as soon as it is read — the
+// compressed container never needs to be fully resident.
+func DecompressChunkedFrom(r io.Reader, anchors []*tensor.Tensor) (*tensor.Tensor, error) {
+	cr, err := chunk.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	a := &chunk.Archive{Header: *cr.Header(), Index: cr.Index()}
+	g, model, err := prepareArchive(a, anchors)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float32, a.NumPoints())
+	workers := parallel.Workers()
+	sem := make(chan struct{}, workers)
+	errs := make([]error, a.NumChunks())
+	for {
+		i, payload, err := cr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Drain in-flight workers before reporting the stream error.
+			for w := 0; w < workers; w++ {
+				sem <- struct{}{}
+			}
+			return nil, err
+		}
+		sem <- struct{}{}
+		go func(i int, payload []byte) {
+			defer func() { <-sem }()
+			errs[i] = decompressChunkInto(out, payload, g, i, model, anchors)
+		}(i, payload)
+	}
+	for w := 0; w < workers; w++ {
+		sem <- struct{}{}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return tensor.FromSlice(out, a.Dims...)
+}
+
+// DecompressChunk reconstructs only chunk i of a CFC2 container without
+// reading any other chunk's payload, returning the chunk tensor and its
+// starting slab along axis 0 (multiply by the slab voxel count for the
+// flat offset). Hybrid containers need the full-field decompressed
+// anchors; only the chunk's region of them is consulted.
+func DecompressChunk(blob []byte, i int, anchors []*tensor.Tensor) (*tensor.Tensor, int, error) {
+	a, err := chunk.Decode(blob)
+	if err != nil {
+		return nil, 0, err
+	}
+	if i < 0 || i >= a.NumChunks() {
+		return nil, 0, fmt.Errorf("core: chunk %d out of [0,%d)", i, a.NumChunks())
+	}
+	g, model, err := prepareArchive(a, anchors)
+	if err != nil {
+		return nil, 0, err
+	}
+	payload, err := a.Payload(i)
+	if err != nil {
+		return nil, 0, err
+	}
+	t, err := decompressChunkTensor(payload, g, i, model, anchors)
+	if err != nil {
+		return nil, 0, err
+	}
+	return t, a.Index[i].Start, nil
+}
+
+// ChunkCount returns the number of chunks in a CFC2 container (1 for a
+// monolithic CFC1 blob).
+func ChunkCount(blob []byte) (int, error) {
+	if !chunk.IsChunked(blob) {
+		if _, err := container.Decode(blob); err != nil {
+			return 0, err
+		}
+		return 1, nil
+	}
+	a, err := chunk.Decode(blob)
+	if err != nil {
+		return 0, err
+	}
+	return a.NumChunks(), nil
+}
+
+// prepareArchive validates anchors against the container header, loads the
+// shared CFNN model (if any), and rebuilds the chunk grid.
+func prepareArchive(a *chunk.Archive, anchors []*tensor.Tensor) (*chunk.Grid, *cfnn.Model, error) {
+	g, err := a.Grid()
+	if err != nil {
+		return nil, nil, err
+	}
+	var model *cfnn.Model
+	switch a.Method {
+	case container.MethodBaseline:
+	case container.MethodHybrid, container.MethodCrossOnly:
+		if len(anchors) == 0 {
+			return nil, nil, fmt.Errorf("%w: method %v, anchors %v", ErrNeedAnchors, a.Method, a.Anchors)
+		}
+		for i, an := range anchors {
+			if !sameDims(an.Shape(), a.Dims) {
+				return nil, nil, fmt.Errorf("core: anchor %d shape %v != field dims %v", i, an.Shape(), a.Dims)
+			}
+		}
+		if model, err = cfnn.Load(bytes.NewReader(a.Model)); err != nil {
+			return nil, nil, err
+		}
+	default:
+		return nil, nil, fmt.Errorf("core: unknown method %v", a.Method)
+	}
+	return g, model, nil
+}
+
+// decompressChunkTensor reverses one chunk payload against the chunk's
+// region of the anchors.
+func decompressChunkTensor(payload []byte, g *chunk.Grid, i int, model *cfnn.Model, anchors []*tensor.Tensor) (*tensor.Tensor, error) {
+	var subAnchors []*tensor.Tensor
+	if model != nil {
+		var err error
+		if subAnchors, err = g.Views(anchors, i); err != nil {
+			return nil, err
+		}
+	}
+	t, err := decompressMono(payload, subAnchors, model)
+	if err != nil {
+		return nil, fmt.Errorf("core: chunk %d: %w", i, err)
+	}
+	if !sameDims(t.Shape(), g.ChunkDims(i)) {
+		return nil, fmt.Errorf("core: chunk %d payload dims %v, index says %v", i, t.Shape(), g.ChunkDims(i))
+	}
+	return t, nil
+}
+
+// decompressChunkInto reconstructs chunk i directly into its region of the
+// full output array.
+func decompressChunkInto(out []float32, payload []byte, g *chunk.Grid, i int, model *cfnn.Model, anchors []*tensor.Tensor) error {
+	t, err := decompressChunkTensor(payload, g, i, model, anchors)
+	if err != nil {
+		return err
+	}
+	copy(out[g.Offset(i):], t.Data())
+	return nil
+}

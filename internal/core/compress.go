@@ -19,11 +19,18 @@ import (
 // CompressBaseline compresses a 1D/2D/3D field with the Lorenzo +
 // dual-quantization baseline.
 func CompressBaseline(field *tensor.Tensor, opts Options) (*Result, error) {
-	opts = opts.withDefaults()
 	eb, err := resolveEB(field, opts.Bound)
 	if err != nil {
 		return nil, err
 	}
+	return compressBaselineWithEB(field, eb, opts)
+}
+
+// compressBaselineWithEB is CompressBaseline with the absolute error bound
+// already resolved — the chunked engine resolves it once over the full
+// field and reuses it for every chunk.
+func compressBaselineWithEB(field *tensor.Tensor, eb float64, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
 	q, err := quant.Prequantize(field.Data(), eb)
 	if err != nil {
 		return nil, err
@@ -52,6 +59,18 @@ func CompressCrossOnly(field *tensor.Tensor, model *cfnn.Model, anchors []*tenso
 }
 
 func compressCrossField(field *tensor.Tensor, model *cfnn.Model, anchors []*tensor.Tensor, opts Options, method container.Method) (*Result, error) {
+	eb, err := resolveEB(field, opts.Bound)
+	if err != nil {
+		return nil, err
+	}
+	return compressCrossFieldWithEB(field, model, anchors, opts, method, eb, true)
+}
+
+// compressCrossFieldWithEB is the cross-field pipeline with the absolute
+// error bound pre-resolved. includeModel controls whether the CFNN weights
+// are embedded in the blob; the chunked engine passes false and stores the
+// model once at the container level instead of once per chunk.
+func compressCrossFieldWithEB(field *tensor.Tensor, model *cfnn.Model, anchors []*tensor.Tensor, opts Options, method container.Method, eb float64, includeModel bool) (*Result, error) {
 	opts = opts.withDefaults()
 	if field.Rank() != 2 && field.Rank() != 3 {
 		return nil, fmt.Errorf("core: cross-field compression needs rank 2 or 3, got %d", field.Rank())
@@ -60,10 +79,6 @@ func compressCrossField(field *tensor.Tensor, model *cfnn.Model, anchors []*tens
 		if !a.SameShape(field) {
 			return nil, fmt.Errorf("core: anchor %d shape %v != field shape %v", i, a.Shape(), field.Shape())
 		}
-	}
-	eb, err := resolveEB(field, opts.Bound)
-	if err != nil {
-		return nil, err
 	}
 	q, err := quant.Prequantize(field.Data(), eb)
 	if err != nil {
@@ -95,7 +110,11 @@ func compressCrossField(field *tensor.Tensor, model *cfnn.Model, anchors []*tens
 		}
 	})
 	weights := append(append([]float64(nil), hy.W...), hy.Bias)
-	return assemble(field, codes, model, anchors, weights, method, eb, opts)
+	stored := model
+	if !includeModel {
+		stored = nil
+	}
+	return assemble(field, codes, stored, anchors, weights, method, eb, opts)
 }
 
 // candidateFeatures builds the per-point candidate predictions:

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/bitstream"
 	"repro/internal/cfnn"
+	"repro/internal/chunk"
 	"repro/internal/container"
 	"repro/internal/huffman"
 	"repro/internal/lossless"
@@ -17,11 +18,24 @@ import (
 // Decompress reconstructs a field from a compressed blob. Baseline blobs
 // need no anchors (pass nil); hybrid/cross-only blobs require the same
 // decompressed anchor fields used at compression time, in the same order.
+// Both container formats are accepted: monolithic CFC1 blobs and chunked
+// CFC2 containers (routed to DecompressChunked).
 //
-// Decompression is sequential in raster order — the Lorenzo dependency the
-// paper describes — while the CFNN inference that produces the cross-field
-// difference estimates runs up front in parallel.
+// Within one CFC1 blob, decompression is sequential in raster order — the
+// Lorenzo dependency the paper describes — while the CFNN inference that
+// produces the cross-field difference estimates runs up front in parallel.
+// CFC2 containers additionally decompress chunk-parallel.
 func Decompress(blob []byte, anchors []*tensor.Tensor) (*tensor.Tensor, error) {
+	if chunk.IsChunked(blob) {
+		return DecompressChunked(blob, anchors)
+	}
+	return decompressMono(blob, anchors, nil)
+}
+
+// decompressMono reverses one CFC1 blob. ext supplies the CFNN model for
+// chunk payloads whose model section was stripped (stored once at the CFC2
+// level); a model embedded in the blob always wins.
+func decompressMono(blob []byte, anchors []*tensor.Tensor, ext *cfnn.Model) (*tensor.Tensor, error) {
 	b, err := container.Decode(blob)
 	if err != nil {
 		return nil, err
@@ -54,9 +68,14 @@ func Decompress(blob []byte, anchors []*tensor.Tensor) (*tensor.Tensor, error) {
 		if len(anchors) == 0 {
 			return nil, fmt.Errorf("%w: method %v, anchors %v", ErrNeedAnchors, b.Method, b.Anchors)
 		}
-		model, err := cfnn.Load(bytes.NewReader(b.Model))
-		if err != nil {
-			return nil, err
+		model := ext
+		if len(b.Model) > 0 {
+			if model, err = cfnn.Load(bytes.NewReader(b.Model)); err != nil {
+				return nil, err
+			}
+		}
+		if model == nil {
+			return nil, fmt.Errorf("core: blob method %v has no embedded model and none was supplied", b.Method)
 		}
 		for i, a := range anchors {
 			if !sameDims(a.Shape(), b.Dims) {

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	crossfield "repro"
+)
+
+// ChunkedBenchRow is one timed configuration of the chunked-vs-monolithic
+// comparison.
+type ChunkedBenchRow struct {
+	Method         string  `json:"method"` // "baseline" or "hybrid"
+	Mode           string  `json:"mode"`   // "monolithic" or "chunked"
+	Workers        int     `json:"workers"`
+	Chunks         int     `json:"chunks"`
+	CompressMBps   float64 `json:"compress_mbps"`
+	DecompressMBps float64 `json:"decompress_mbps"`
+	Ratio          float64 `json:"ratio"`
+}
+
+// ChunkedBenchReport is the machine-readable output of ChunkedThroughput,
+// written as BENCH_chunked.json so the performance trajectory can be
+// tracked across PRs.
+type ChunkedBenchReport struct {
+	Dataset     string            `json:"dataset"`
+	Field       string            `json:"field"`
+	Dims        []int             `json:"dims"`
+	MB          float64           `json:"mb"`
+	RelEB       float64           `json:"rel_eb"`
+	ChunkVoxels int               `json:"chunk_voxels"`
+	GOMAXPROCS  int               `json:"gomaxprocs"`
+	Rows        []ChunkedBenchRow `json:"rows"`
+}
+
+// ChunkedThroughput compares monolithic and chunked compression throughput
+// (MB/s, both directions) on the 3D hurricane target at 1, 2, and
+// GOMAXPROCS workers, and optionally writes the numbers as JSON.
+func ChunkedThroughput(w io.Writer, s Sizes, jsonPath string) error {
+	section(w, "Chunked engine: monolithic vs chunked throughput (MB/s)")
+	plan := crossfield.PaperPlans()[2] // Hurricane Wf
+	p, err := s.prepare(plan)
+	if err != nil {
+		return err
+	}
+	const relEB = 1e-3
+	bound := crossfield.Rel(relEB)
+	mb := float64(p.target.Len()*4) / (1 << 20)
+	dims := p.target.Dims()
+	// Aim for ~8 chunks so every tested worker count has enough
+	// independent work.
+	chunkVoxels := p.target.Len() / 8
+	if chunkVoxels < 1 {
+		chunkVoxels = 1
+	}
+	report := &ChunkedBenchReport{
+		Dataset: plan.Dataset, Field: plan.Target,
+		Dims: dims, MB: mb, RelEB: relEB,
+		ChunkVoxels: chunkVoxels, GOMAXPROCS: workers(),
+	}
+	fmt.Fprintf(w, "field %s/%s, %v (%.1f MB), rel eb %g, chunk %d voxels, GOMAXPROCS %d:\n",
+		plan.Dataset, plan.Target, dims, mb, relEB, chunkVoxels, workers())
+
+	row := func(method, mode string, workers, chunks int, c, d time.Duration, ratio float64) {
+		r := ChunkedBenchRow{
+			Method: method, Mode: mode, Workers: workers, Chunks: chunks,
+			CompressMBps:   mb / c.Seconds(),
+			DecompressMBps: mb / d.Seconds(),
+			Ratio:          ratio,
+		}
+		report.Rows = append(report.Rows, r)
+		fmt.Fprintf(w, "  %-8s %-10s w=%-2d chunks=%-3d  compress %8.2f MB/s  decompress %8.2f MB/s  ratio %6.2fx\n",
+			method, mode, workers, chunks, r.CompressMBps, r.DecompressMBps, ratio)
+	}
+
+	// timeRoundTrip times one compress and one decompress. nw == 0 uses
+	// the monolithic decoder path; nw > 0 decompresses chunked with
+	// exactly nw workers, so the per-worker decompress rows measure what
+	// they claim.
+	timeRoundTrip := func(compress func() (*crossfield.Compressed, error), anchors []*crossfield.Field, nw int) (time.Duration, time.Duration, *crossfield.Compressed, error) {
+		start := time.Now()
+		res, err := compress()
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		c := time.Since(start)
+		start = time.Now()
+		if nw > 0 {
+			_, err = crossfield.DecompressChunked(p.target.Name, res.Blob, anchors, nw)
+		} else {
+			_, err = crossfield.Decompress(p.target.Name, res.Blob, anchors)
+		}
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		return c, time.Since(start), res, nil
+	}
+
+	// Baseline: monolithic, then chunked at increasing worker counts.
+	c, d, res, err := timeRoundTrip(func() (*crossfield.Compressed, error) {
+		return crossfield.CompressBaseline(p.target, bound)
+	}, nil, 0)
+	if err != nil {
+		return err
+	}
+	row("baseline", "monolithic", 1, 1, c, d, res.Stats.Ratio)
+
+	for _, nw := range workerCounts() {
+		opts := crossfield.ChunkOptions{ChunkVoxels: chunkVoxels, Workers: nw}
+		c, d, res, err := timeRoundTrip(func() (*crossfield.Compressed, error) {
+			return crossfield.CompressBaseline(p.target, bound, opts)
+		}, nil, nw)
+		if err != nil {
+			return err
+		}
+		n, err := crossfield.ChunkCount(res.Blob)
+		if err != nil {
+			return err
+		}
+		row("baseline", "chunked", nw, n, c, d, res.Stats.Ratio)
+	}
+
+	// Hybrid: monolithic vs chunked at full width.
+	anchorsDec, err := decompressedAnchors(p.anchors, bound)
+	if err != nil {
+		return err
+	}
+	c, d, res, err = timeRoundTrip(func() (*crossfield.Compressed, error) {
+		return p.codec.Compress(p.target, anchorsDec, bound)
+	}, anchorsDec, 0)
+	if err != nil {
+		return err
+	}
+	row("hybrid", "monolithic", 1, 1, c, d, res.Stats.Ratio)
+
+	opts := crossfield.ChunkOptions{ChunkVoxels: chunkVoxels, Workers: workers()}
+	c, d, res, err = timeRoundTrip(func() (*crossfield.Compressed, error) {
+		return p.codec.Compress(p.target, anchorsDec, bound, opts)
+	}, anchorsDec, workers())
+	if err != nil {
+		return err
+	}
+	n, err := crossfield.ChunkCount(res.Blob)
+	if err != nil {
+		return err
+	}
+	row("hybrid", "chunked", workers(), n, c, d, res.Stats.Ratio)
+
+	if jsonPath != "" {
+		enc, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// workerCounts returns the deduplicated ladder {1, 2, GOMAXPROCS}.
+func workerCounts() []int {
+	counts := []int{1}
+	for _, n := range []int{2, workers()} {
+		if n > counts[len(counts)-1] {
+			counts = append(counts, n)
+		}
+	}
+	return counts
+}

@@ -1,0 +1,46 @@
+package parallel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForErrExecutesAll(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 100} {
+		var n atomic.Int64
+		seen := make([]atomic.Bool, 37)
+		if err := ForErr(workers, 37, func(i int) error {
+			if seen[i].Swap(true) {
+				t.Errorf("index %d ran twice", i)
+			}
+			n.Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if n.Load() != 37 {
+			t.Fatalf("workers=%d ran %d of 37", workers, n.Load())
+		}
+	}
+}
+
+func TestForErrReturnsLowestIndexError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	err := ForErr(4, 16, func(i int) error {
+		switch i {
+		case 3:
+			return errA
+		case 9:
+			return errB
+		}
+		return nil
+	})
+	if !errors.Is(err, errA) {
+		t.Fatalf("err = %v, want lowest-index error %v", err, errA)
+	}
+	if err := ForErr(2, 0, func(int) error { return errA }); err != nil {
+		t.Fatalf("n=0 should be a no-op, got %v", err)
+	}
+}

@@ -11,6 +11,7 @@ package parallel
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Workers returns the degree of parallelism used by default: GOMAXPROCS.
@@ -102,6 +103,70 @@ func ForRangeWith(workers, n int, fn func(lo, hi int)) {
 		}(lo, hi)
 	}
 	wg.Wait()
+}
+
+// ForErr executes fn(i) for every i in [0, n) on up to workers goroutines
+// and blocks until all complete. Unlike ForWith, work is handed out
+// dynamically (an atomic cursor), so uneven per-index costs — e.g. chunks
+// whose compression times differ — still keep every worker busy. If one or
+// more calls fail, remaining un-started indices are skipped and the error
+// with the lowest index is returned, making failure reporting
+// deterministic regardless of scheduling. workers < 1 means 1.
+func ForErr(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+		errs   = make([]error, n)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				// Check failed before claiming: every claimed index runs to
+				// completion, and the cursor hands indices out in order, so
+				// any index below a failing one is guaranteed to have
+				// executed — which is what makes the lowest-index-error
+				// promise hold under every interleaving.
+				if failed.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // MapReduce applies mapFn to each index in parallel and folds the per-worker
