@@ -1,0 +1,316 @@
+package crossfield
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+
+	"repro/internal/archive"
+	"repro/internal/core"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// FieldSpec describes one field of a dataset archive. A nil Codec means
+// the field is baseline-compressed (it can still serve as an anchor for
+// other fields); a trained Codec means the field is hybrid-compressed
+// against the codec's anchor fields, which must also be members of the
+// same CompressDataset call.
+type FieldSpec struct {
+	Field *Field
+	Codec *Codec
+}
+
+// DatasetStats aggregates the outcome of one CompressDataset call.
+type DatasetStats struct {
+	OriginalBytes   int
+	CompressedBytes int
+	Ratio           float64
+	// Fields holds each field's individual compression stats.
+	Fields map[string]Stats
+}
+
+// CompressedDataset is the outcome of CompressDataset: a self-contained
+// CFC3 archive blob plus statistics.
+type CompressedDataset struct {
+	Blob  []byte
+	Stats DatasetStats
+}
+
+// CompressDataset compresses a whole set of correlated fields into one
+// CFC3 archive. Fields whose spec has no codec are baseline-compressed;
+// fields with a codec are hybrid-compressed against the *decompressed*
+// reconstructions of their anchor fields, exactly as the decompressor will
+// see them — the anchor lifecycle the single-field API pushes onto the
+// caller is handled here, in topological order.
+//
+// bound applies to every field unless overridden per field with
+// WithFieldBound. WithChunks/WithWorkers switch every field's payload to
+// the chunked CFC2 engine. The archive is opened with OpenArchive; no
+// anchors are ever passed at decompression time.
+func CompressDataset(specs []FieldSpec, bound ErrorBound, opts ...Option) (*CompressedDataset, error) {
+	cfg, err := resolveOptions("CompressDataset", opts, true)
+	if err != nil {
+		return nil, err
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("crossfield: CompressDataset: no fields")
+	}
+	entries := make([]archive.Entry, len(specs))
+	for i, s := range specs {
+		if s.Field == nil {
+			return nil, fmt.Errorf("crossfield: CompressDataset: spec %d has a nil Field", i)
+		}
+		if s.Codec != nil && len(s.Codec.names) == 0 {
+			return nil, fmt.Errorf("crossfield: CompressDataset: field %q has a codec with no anchor names", s.Field.Name)
+		}
+		entries[i] = archive.Entry{Name: s.Field.Name, Dims: s.Field.Dims()}
+		if s.Codec != nil {
+			entries[i].Deps = append([]string(nil), s.Codec.names...)
+		}
+	}
+	order, err := archive.Order(entries)
+	if err != nil {
+		return nil, fmt.Errorf("crossfield: CompressDataset: %w", err)
+	}
+	byName := make(map[string]int, len(specs))
+	for i, s := range specs {
+		byName[s.Field.Name] = i
+	}
+	for name := range cfg.fieldBounds {
+		if _, ok := byName[name]; !ok {
+			return nil, fmt.Errorf("crossfield: WithFieldBound(%q): no such field in the dataset", name)
+		}
+	}
+	// Only fields some other field depends on need their reconstruction
+	// materialized during compression.
+	depended := make(map[string]bool)
+	for _, e := range entries {
+		for _, d := range e.Deps {
+			depended[d] = true
+		}
+	}
+
+	payloads := make([][]byte, len(specs))
+	recon := make(map[string]*tensor.Tensor, len(depended))
+	stats := make(map[string]Stats, len(specs))
+	var totalOrig int
+	for _, i := range order {
+		s := specs[i]
+		name := s.Field.Name
+		b := bound
+		if fb, ok := cfg.fieldBounds[name]; ok {
+			b = fb
+		}
+		var res *core.Result
+		if s.Codec == nil {
+			if cfg.chunked {
+				res, err = core.CompressChunked(s.Field.t, nil, nil, core.ChunkedOptions{
+					Options:     core.Options{Bound: b},
+					ChunkVoxels: cfg.chunkVoxels,
+					Workers:     cfg.workers,
+				})
+			} else {
+				res, err = core.CompressBaseline(s.Field.t, core.Options{Bound: b})
+			}
+		} else {
+			anchors := make([]*tensor.Tensor, len(s.Codec.names))
+			for k, dep := range s.Codec.names {
+				t, ok := recon[dep]
+				if !ok {
+					return nil, fmt.Errorf("crossfield: CompressDataset: internal: anchor %q of %q not materialized", dep, name)
+				}
+				anchors[k] = t
+			}
+			o := core.Options{Bound: b, AnchorNames: s.Codec.names}
+			if cfg.chunked {
+				res, err = core.CompressChunked(s.Field.t, s.Codec.model, anchors, core.ChunkedOptions{
+					Options:     o,
+					ChunkVoxels: cfg.chunkVoxels,
+					Workers:     cfg.workers,
+				})
+			} else {
+				res, err = core.CompressHybrid(s.Field.t, s.Codec.model, anchors, o)
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("crossfield: CompressDataset: field %q: %w", name, err)
+		}
+		payloads[i] = res.Blob
+		stats[name] = res.Stats
+		totalOrig += res.Stats.OriginalBytes
+		entries[i].BoundMode = byte(b.Mode)
+		entries[i].BoundValue = b.Value
+		entries[i].AbsEB = res.Stats.AbsEB
+		entries[i].MaxErr = res.Stats.MaxErr
+		if depended[name] {
+			// Decompress from the just-written payload so the compressor
+			// of every dependent sees bit-identical anchor data to the
+			// decompressor's.
+			t, err := core.Decompress(res.Blob, anchorTensorsFor(entries[i].Deps, recon))
+			if err != nil {
+				return nil, fmt.Errorf("crossfield: CompressDataset: anchor %q round-trip: %w", name, err)
+			}
+			recon[name] = t
+		}
+	}
+	blob, err := archive.Encode(entries, payloads)
+	if err != nil {
+		return nil, fmt.Errorf("crossfield: CompressDataset: %w", err)
+	}
+	return &CompressedDataset{
+		Blob: blob,
+		Stats: DatasetStats{
+			OriginalBytes:   totalOrig,
+			CompressedBytes: len(blob),
+			Ratio:           float64(totalOrig) / float64(len(blob)),
+			Fields:          stats,
+		},
+	}, nil
+}
+
+// anchorTensorsFor resolves dep names against the reconstruction cache;
+// nil for baseline fields (no deps).
+func anchorTensorsFor(deps []string, recon map[string]*tensor.Tensor) []*tensor.Tensor {
+	if len(deps) == 0 {
+		return nil
+	}
+	out := make([]*tensor.Tensor, len(deps))
+	for i, d := range deps {
+		out[i] = recon[d]
+	}
+	return out
+}
+
+// FieldInfo is one field's manifest record as reported by Archive.Manifest.
+type FieldInfo struct {
+	Name      string
+	Dims      []int
+	Role      string   // "standalone", "anchor", "dependent", "anchor+dependent"
+	Anchors   []string // anchor field names, in decompression order
+	Bound     ErrorBound
+	AbsEB     float64
+	MaxErr    float64 // achieved max abs error recorded at compression; NaN if unknown
+	Container string  // payload format: "CFC1" (monolithic) or "CFC2" (chunked)
+	Bytes     int     // compressed payload size
+}
+
+// Archive is an opened CFC3 dataset archive. Field decompresses any field
+// on demand, materializing (and caching) its anchors first — callers never
+// pass anchors. An Archive is safe for concurrent use: each field is
+// decompressed at most once, and readers of already-materialized fields
+// never wait on another field's decompression.
+type Archive struct {
+	arc   *archive.Archive
+	slots []archiveSlot
+}
+
+// archiveSlot is one field's lazily-materialized reconstruction. The
+// per-slot once means concurrent Field calls serialize only on the fields
+// they actually need.
+type archiveSlot struct {
+	once sync.Once
+	f    *Field
+	err  error
+}
+
+// OpenArchive parses a CFC3 archive blob. Only the manifest is read;
+// payloads are decompressed lazily by Field. The blob must not be mutated
+// while the Archive is in use.
+func OpenArchive(blob []byte) (*Archive, error) {
+	a, err := archive.Decode(blob)
+	if err != nil {
+		return nil, err
+	}
+	return &Archive{arc: a, slots: make([]archiveSlot, a.NumFields())}, nil
+}
+
+// IsArchive reports whether blob is a CFC3 dataset archive.
+func IsArchive(blob []byte) bool { return archive.IsArchive(blob) }
+
+// Fields returns the archived field names in manifest order.
+func (a *Archive) Fields() []string {
+	out := make([]string, a.arc.NumFields())
+	for i, e := range a.arc.Entries {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// Manifest returns every field's metadata in manifest order.
+func (a *Archive) Manifest() []FieldInfo {
+	out := make([]FieldInfo, a.arc.NumFields())
+	for i, e := range a.arc.Entries {
+		// Peek the payload magic without checksum verification: this is a
+		// listing, not a decode.
+		kind := "CFC1"
+		if string(a.arc.PayloadPrefix(i, 4)) == "CFC2" {
+			kind = "CFC2"
+		}
+		out[i] = FieldInfo{
+			Name:      e.Name,
+			Dims:      append([]int(nil), e.Dims...),
+			Role:      e.Role.String(),
+			Anchors:   append([]string(nil), e.Deps...),
+			Bound:     quant.Bound{Mode: quant.Mode(e.BoundMode), Value: e.BoundValue},
+			AbsEB:     e.AbsEB,
+			MaxErr:    e.MaxErr,
+			Container: kind,
+			Bytes:     e.PayloadLen,
+		}
+	}
+	return out
+}
+
+// Field decompresses the named field. Anchors are materialized first, in
+// topological order, and cached, so repeated calls — and calls for fields
+// sharing anchors — pay the anchor cost once. The returned Field shares
+// the cached reconstruction; callers must not mutate its data.
+func (a *Archive) Field(name string) (*Field, error) {
+	i, ok := a.arc.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("crossfield: archive has no field %q (have %v)", name, a.Fields())
+	}
+	return a.materialize(i)
+}
+
+// materialize decompresses field i and (recursively) its anchors, at most
+// once each. Recursing into a dep's slot while inside this slot's once
+// cannot deadlock: the manifest graph was validated acyclic at
+// OpenArchive time, so the once chain follows a DAG.
+func (a *Archive) materialize(i int) (*Field, error) {
+	s := &a.slots[i]
+	s.once.Do(func() {
+		e := a.arc.Entries[i]
+		anchors := make([]*tensor.Tensor, len(e.Deps))
+		for k, dep := range e.Deps {
+			j, ok := a.arc.Lookup(dep)
+			if !ok {
+				s.err = fmt.Errorf("crossfield: field %q anchor %q missing from manifest", e.Name, dep)
+				return
+			}
+			af, err := a.materialize(j)
+			if err != nil {
+				s.err = fmt.Errorf("crossfield: field %q anchor: %w", e.Name, err)
+				return
+			}
+			anchors[k] = af.t
+		}
+		payload, err := a.arc.Payload(i)
+		if err != nil {
+			s.err = err
+			return
+		}
+		t, err := core.Decompress(payload, anchors)
+		if err != nil {
+			s.err = fmt.Errorf("crossfield: field %q: %w", e.Name, err)
+			return
+		}
+		if !slices.Equal(t.Shape(), e.Dims) {
+			s.err = fmt.Errorf("crossfield: field %q payload dims %v, manifest says %v", e.Name, t.Shape(), e.Dims)
+			return
+		}
+		s.f = &Field{Name: e.Name, t: t}
+	})
+	return s.f, s.err
+}

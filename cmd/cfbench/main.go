@@ -9,9 +9,12 @@
 //	cfbench -out results/        # also write PGM figure renderings
 //	cfbench -exp chunked         # chunked vs monolithic throughput,
 //	                             # writes BENCH_chunked.json (-json to move)
+//	cfbench -exp archive         # multi-field CFC3 dataset archive bench,
+//	                             # writes BENCH_archive.json
 //
 // Experiments: tab1 tab2 tab3 fig1 fig5 fig6 fig8 fig9 ablation anchorsel
-// throughput chunked (fig7 is produced by fig6; both names are accepted).
+// throughput chunked archive (fig7 is produced by fig6; both names are
+// accepted).
 package main
 
 import (
@@ -26,11 +29,12 @@ import (
 
 func main() {
 	var (
-		expFlag  = flag.String("exp", "all", "comma-separated experiments (tab1,tab2,tab3,fig1,fig5,fig6,fig7,fig8,fig9,ablation,anchorsel,throughput,chunked) or 'all'")
+		expFlag  = flag.String("exp", "all", "comma-separated experiments (tab1,tab2,tab3,fig1,fig5,fig6,fig7,fig8,fig9,ablation,anchorsel,throughput,chunked,archive) or 'all'")
 		small    = flag.Bool("small", false, "use reduced grid sizes (quick smoke run)")
 		outDir   = flag.String("out", "", "directory for PGM figure renderings (optional)")
 		seed     = flag.Int64("seed", 42, "dataset/training seed")
 		jsonPath = flag.String("json", "BENCH_chunked.json", "path for the chunked experiment's machine-readable report ('' disables)")
+		archJSON = flag.String("archivejson", "BENCH_archive.json", "path for the archive experiment's machine-readable report ('' disables)")
 	)
 	flag.Parse()
 
@@ -89,6 +93,7 @@ func main() {
 	run("anchorsel", func() error { return experiments.AnchorSelection(w, sizes) })
 	run("throughput", func() error { return experiments.Throughput(w, sizes) })
 	run("chunked", func() error { return experiments.ChunkedThroughput(w, sizes, *jsonPath) })
+	run("archive", func() error { return experiments.ArchiveBench(w, sizes, *archJSON) })
 }
 
 func fatal(err error) {

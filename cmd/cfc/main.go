@@ -24,17 +24,31 @@
 //
 //	cfc -verify -data data/hurricane -field Wf -in wf.cfc [-anchors ...]
 //
-// Inspect a blob (for CFC2 containers this lists the chunk table):
+// Inspect a blob (for CFC2 containers this lists the chunk table with the
+// achieved per-chunk max error; for CFC3 archives, the field manifest):
 //
 //	cfc -stats -in wf.cfc
+//
+// Dataset archives (CFC3): pack a whole dataset directory into one
+// archive — fields named in -plan are hybrid-compressed against their
+// anchors (a small CFNN is trained per target), everything else is
+// baseline-compressed; unpack reverses it with zero anchor ceremony:
+//
+//	cfc -c -archive -data data/hurricane -rel 1e-3 \
+//	    -plan "Wf=Uf,Vf,Pf" -o hurricane.cfc
+//	cfc -d -archive -in hurricane.cfc -o data/hurricane_out
+//	cfc -stats -in hurricane.cfc
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"slices"
 	"strings"
 
+	crossfield "repro"
 	"repro/internal/cfnn"
 	"repro/internal/chunk"
 	"repro/internal/container"
@@ -46,26 +60,33 @@ import (
 
 func main() {
 	var (
-		doC     = flag.Bool("c", false, "compress")
-		doD     = flag.Bool("d", false, "decompress")
-		doV     = flag.Bool("verify", false, "decompress and verify against the original field")
-		doS     = flag.Bool("stats", false, "print a blob's header (and chunk table) without decompressing")
-		dataDir = flag.String("data", "", "dataset directory (cfgen format)")
-		field   = flag.String("field", "", "field name to compress/verify")
-		inPath  = flag.String("in", "", "input .cfc blob (for -d/-verify)")
-		outPath = flag.String("o", "", "output path")
-		relEB   = flag.Float64("rel", 0, "relative error bound (fraction of value range)")
-		absEB   = flag.Float64("abs", 0, "absolute error bound")
-		model   = flag.String("model", "", "trained CFNN model (enables cross-field compression)")
-		anchors = flag.String("anchors", "", "comma-separated anchor field names")
-		chunks  = flag.Int("chunks", 0, "values per chunk: >0 writes a chunked CFC2 container, 0 a monolithic CFC1 blob")
-		workers = flag.Int("workers", 0, "chunks compressed concurrently (0 = GOMAXPROCS; needs -chunks)")
+		doC      = flag.Bool("c", false, "compress")
+		doD      = flag.Bool("d", false, "decompress")
+		doV      = flag.Bool("verify", false, "decompress and verify against the original field")
+		doS      = flag.Bool("stats", false, "print a blob's header (and chunk table) without decompressing")
+		archived = flag.Bool("archive", false, "operate on a whole dataset as a CFC3 archive (with -c/-d)")
+		dataDir  = flag.String("data", "", "dataset directory (cfgen format)")
+		field    = flag.String("field", "", "field name to compress/verify")
+		inPath   = flag.String("in", "", "input .cfc blob (for -d/-verify)")
+		outPath  = flag.String("o", "", "output path")
+		relEB    = flag.Float64("rel", 0, "relative error bound (fraction of value range)")
+		absEB    = flag.Float64("abs", 0, "absolute error bound")
+		model    = flag.String("model", "", "trained CFNN model (enables cross-field compression)")
+		anchors  = flag.String("anchors", "", "comma-separated anchor field names")
+		plan     = flag.String("plan", "", `archive anchor plan: "target=a1,a2;target2=a3" (targets are hybrid-compressed against their anchors)`)
+		chunks   = flag.Int("chunks", 0, "values per chunk: >0 writes chunked CFC2 containers, 0 monolithic CFC1 blobs")
+		workers  = flag.Int("workers", 0, "chunks compressed concurrently (0 = GOMAXPROCS; needs -chunks)")
+		seed     = flag.Int64("seed", 42, "training seed for -archive plan targets")
 	)
 	flag.Parse()
 
 	switch {
+	case *doC && *archived:
+		packArchive(*dataDir, *outPath, *relEB, *absEB, *plan, *chunks, *workers, *seed)
 	case *doC:
 		compress(*dataDir, *field, *outPath, *relEB, *absEB, *model, *anchors, *chunks, *workers)
+	case *doD && *archived:
+		unpackArchive(*inPath, *outPath)
 	case *doD:
 		decompress(*inPath, *dataDir, *anchors, *outPath)
 	case *doV:
@@ -77,6 +98,156 @@ func main() {
 	}
 }
 
+// parsePlan parses "target=a1,a2;target2=a3" into target → anchors.
+func parsePlan(plan string) (map[string][]string, error) {
+	out := make(map[string][]string)
+	if strings.TrimSpace(plan) == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(plan, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		target, list, ok := strings.Cut(part, "=")
+		target = strings.TrimSpace(target)
+		if !ok || target == "" {
+			return nil, fmt.Errorf("bad -plan entry %q (want target=a1,a2)", part)
+		}
+		if _, dup := out[target]; dup {
+			return nil, fmt.Errorf("-plan names target %q twice", target)
+		}
+		var names []string
+		for _, a := range strings.Split(list, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				names = append(names, a)
+			}
+		}
+		if len(names) == 0 {
+			return nil, fmt.Errorf("-plan target %q has no anchors", target)
+		}
+		out[target] = names
+	}
+	return out, nil
+}
+
+func packArchive(dataDir, outPath string, rel, abs float64, planFlag string, chunks, workers int, seed int64) {
+	if dataDir == "" || outPath == "" || (rel <= 0 && abs <= 0) {
+		fatal(fmt.Errorf("archive pack needs -data -o and -rel or -abs"))
+	}
+	plans, err := parsePlan(planFlag)
+	if err != nil {
+		fatal(err)
+	}
+	ds, err := sim.LoadDataset(dataDir)
+	if err != nil {
+		fatal(err)
+	}
+	fields := make(map[string]*crossfield.Field, len(ds.Fields()))
+	for _, name := range ds.Fields() {
+		t := ds.MustField(name)
+		f, err := crossfield.NewField(name, t.Data(), t.Shape()...)
+		if err != nil {
+			fatal(err)
+		}
+		fields[name] = f
+	}
+	var specs []crossfield.FieldSpec
+	for _, name := range ds.Fields() {
+		spec := crossfield.FieldSpec{Field: fields[name]}
+		if anchors, ok := plans[name]; ok {
+			anchorFields := make([]*crossfield.Field, len(anchors))
+			for i, a := range anchors {
+				af, ok := fields[a]
+				if !ok {
+					fatal(fmt.Errorf("-plan target %q anchor %q not in dataset", name, a))
+				}
+				anchorFields[i] = af
+			}
+			fmt.Printf("training CFNN for %s from %v...\n", name, anchors)
+			codec, err := crossfield.Train(fields[name], anchorFields, crossfield.Training{
+				Features: 8, Epochs: 4, StepsPerEpoch: 8, Batch: 1, Seed: seed,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			spec.Codec = codec
+		}
+		specs = append(specs, spec)
+	}
+	for target := range plans {
+		if _, ok := fields[target]; !ok {
+			fatal(fmt.Errorf("-plan target %q not in dataset", target))
+		}
+	}
+	// Same contract as the single-field path: only -chunks selects the
+	// chunked CFC2 payload format; -workers alone is ignored.
+	var opts []crossfield.Option
+	if chunks > 0 {
+		opts = append(opts, crossfield.WithChunks(chunks), crossfield.WithWorkers(workers))
+	}
+	res, err := crossfield.CompressDataset(specs, bound(rel, abs), opts...)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(outPath, res.Blob, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d fields, %d -> %d bytes (ratio %.2fx)\n",
+		outPath, len(specs), res.Stats.OriginalBytes, res.Stats.CompressedBytes, res.Stats.Ratio)
+	for _, name := range ds.Fields() {
+		st := res.Stats.Fields[name]
+		kind := "baseline"
+		if _, ok := plans[name]; ok {
+			kind = "hybrid"
+		}
+		fmt.Printf("  %-10s %-8s %8d B  ratio %6.2fx  max err %.3g (eb %.3g)\n",
+			name, kind, st.CompressedBytes, st.Ratio, st.MaxErr, st.AbsEB)
+	}
+}
+
+func unpackArchive(inPath, outDir string) {
+	if inPath == "" || outDir == "" {
+		fatal(fmt.Errorf("archive unpack needs -in and -o"))
+	}
+	blob, err := os.ReadFile(inPath)
+	if err != nil {
+		fatal(err)
+	}
+	ar, err := crossfield.OpenArchive(blob)
+	if err != nil {
+		fatal(err)
+	}
+	names := ar.Fields()
+	if len(names) == 0 {
+		fatal(fmt.Errorf("empty archive"))
+	}
+	// The cfgen dataset format holds one shape for all fields; CFC3 itself
+	// allows mixed shapes, so reject those with a real error up front.
+	man := ar.Manifest()
+	dims := man[0].Dims
+	for _, fi := range man[1:] {
+		if !slices.Equal(fi.Dims, dims) {
+			fatal(fmt.Errorf("archive holds mixed shapes (%s is %v, %s is %v); unpack writes cfgen-format datasets, which need one shape",
+				man[0].Name, dims, fi.Name, fi.Dims))
+		}
+	}
+	out := sim.NewDataset("unpacked", dims...)
+	for _, name := range names {
+		f, err := ar.Field(name)
+		if err != nil {
+			fatal(err)
+		}
+		if err := out.AddField(name, f.Tensor()); err != nil {
+			fatal(err)
+		}
+	}
+	if err := sim.SaveDataset(outDir, out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("unpacked %d fields %v to %s\n", len(names), dims, outDir)
+}
+
 func stats(inPath string) {
 	if inPath == "" {
 		fatal(fmt.Errorf("stats needs -in"))
@@ -84,6 +255,10 @@ func stats(inPath string) {
 	blob, err := os.ReadFile(inPath)
 	if err != nil {
 		fatal(err)
+	}
+	if crossfield.IsArchive(blob) {
+		statsArchive(blob)
+		return
 	}
 	if chunk.IsChunked(blob) {
 		statsChunked(blob)
@@ -120,10 +295,38 @@ func statsChunked(blob []byte) {
 	fmt.Printf("model:       %d B (stored once)\n", len(a.Model))
 	fmt.Printf("total blob:  %d B (ratio %.2fx vs float32)\n",
 		len(blob), float64(a.NumPoints()*4)/float64(len(blob)))
-	fmt.Printf("chunk table:\n")
-	fmt.Printf("  %5s %8s %8s %12s %12s %10s\n", "chunk", "start", "slabs", "raw B", "payload B", "crc32")
+	fmt.Printf("chunk table (bound abs eb %g):\n", a.AbsEB)
+	fmt.Printf("  %5s %8s %8s %12s %12s %10s %12s\n", "chunk", "start", "slabs", "raw B", "payload B", "crc32", "max err")
 	for i, e := range a.Index {
-		fmt.Printf("  %5d %8d %8d %12d %12d %10x\n", i, e.Start, e.Count, e.RawBytes, e.PayloadLen, e.Checksum)
+		fmt.Printf("  %5d %8d %8d %12d %12d %10x %12s\n",
+			i, e.Start, e.Count, e.RawBytes, e.PayloadLen, e.Checksum, fmtMaxErr(e.MaxErr))
+	}
+}
+
+// fmtMaxErr renders an achieved max error; version-1 containers did not
+// record it.
+func fmtMaxErr(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+func statsArchive(blob []byte) {
+	ar, err := crossfield.OpenArchive(blob)
+	if err != nil {
+		fatal(err)
+	}
+	man := ar.Manifest()
+	fmt.Printf("container:   CFC3 (dataset archive, %d fields)\n", len(man))
+	fmt.Printf("total blob:  %d B\n", len(blob))
+	fmt.Printf("manifest:\n")
+	fmt.Printf("  %-12s %-16s %-14s %6s %12s %10s %12s %12s  %s\n",
+		"field", "dims", "role", "fmt", "payload B", "bound", "abs eb", "max err", "anchors")
+	for _, fi := range man {
+		fmt.Printf("  %-12s %-16s %-14s %6s %12d %10s %12.4g %12s  %s\n",
+			fi.Name, fmt.Sprint(fi.Dims), fi.Role, fi.Container, fi.Bytes,
+			fi.Bound.String(), fi.AbsEB, fmtMaxErr(fi.MaxErr), strings.Join(fi.Anchors, ","))
 	}
 }
 

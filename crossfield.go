@@ -15,7 +15,7 @@
 //     concentrating the quantization-code distribution and improving the
 //     compression ratio at the same error bound.
 //
-// Quickstart:
+// Quickstart (single field):
 //
 //	target := crossfield.MustNewField("W", wData, 32, 192, 192)
 //	anchors := []*crossfield.Field{u, v, pres}
@@ -23,26 +23,47 @@
 //	res, _ := codec.Compress(target, anchors, crossfield.Rel(1e-3))
 //	back, _ := codec.Decompress(res.Blob, anchors)
 //
-// Anchors must be available at decompression time; compress them first with
-// CompressBaseline at the same bound and feed the *decompressed* anchors to
-// both Compress and Decompress (see examples/climate3d).
+// At this level, anchors must be available at decompression time; compress
+// them first with CompressBaseline at the same bound and feed the
+// *decompressed* anchors to both Compress and Decompress.
 //
-// # Chunked compression
+// # Dataset archives
 //
-// Passing a ChunkOptions to Compress or CompressBaseline switches to the
-// chunked engine: the field is split into independent slabs along its
-// slowest axis, each chunk runs the full pipeline concurrently on a worker
-// pool, and the result is a random-access CFC2 container (shared header and
-// CFNN model stored once, then a chunk index and per-chunk payloads):
+// Real scientific workflows compress whole multi-variable snapshots, so the
+// preferred unit of compression is the dataset: CompressDataset packs every
+// field of a snapshot into one CFC3 archive whose manifest records each
+// field's role (anchor vs dependent) and anchor dependencies. Anchors are
+// baseline-compressed first, dependents hybrid-compressed against the
+// *decompressed* anchors, and OpenArchive topologically orders
+// decompression — callers never touch anchors again:
+//
+//	arch, _ := crossfield.CompressDataset([]crossfield.FieldSpec{
+//	    {Field: u}, {Field: v}, {Field: pres},
+//	    {Field: w, Codec: codec}, // hybrid, anchored on U, V, PRES
+//	}, crossfield.Rel(1e-3),
+//	    crossfield.WithFieldBound("PRES", crossfield.Rel(1e-4)))
+//	ar, _ := crossfield.OpenArchive(arch.Blob)
+//	w2, _ := ar.Field("W") // anchors rebuilt internally, in order
+//
+// # Options
+//
+// Compression entry points take functional options. WithChunks and
+// WithWorkers select the chunked parallel engine: the field is split into
+// independent slabs along its slowest axis, each chunk runs the full
+// pipeline concurrently on a worker pool, and the result is a
+// random-access CFC2 container (shared header and CFNN model stored once,
+// then a chunk index and per-chunk payloads):
 //
 //	res, _ := crossfield.CompressBaseline(f, crossfield.Rel(1e-3),
-//	    crossfield.ChunkOptions{ChunkVoxels: 1 << 20, Workers: 8})
+//	    crossfield.WithChunks(1<<20), crossfield.WithWorkers(8))
 //	n, _ := crossfield.ChunkCount(res.Blob)
 //	part, start, _ := crossfield.DecompressChunk("W", res.Blob, 2, nil)
 //
-// Decompress accepts both container formats transparently, and chunk seams
-// honor the same error bound as the monolithic pipeline (the bound is
-// resolved once over the full field).
+// The legacy ChunkOptions struct still satisfies Option, so pre-existing
+// call sites keep compiling; new code should use the With* options.
+// Decompress accepts every container format transparently (monolithic
+// CFC1, chunked CFC2), and chunk seams honor the same error bound as the
+// monolithic pipeline (the bound is resolved once over the full field).
 package crossfield
 
 import (
@@ -103,34 +124,31 @@ func Abs(v float64) ErrorBound { return quant.AbsBound(v) }
 // paper's Table II).
 func Rel(v float64) ErrorBound { return quant.RelBound(v) }
 
+// Stats reports the outcome of one field's compression (sizes, ratio,
+// bound, achieved max error, entropy).
+type Stats = core.Stats
+
 // Compressed is the outcome of a compression: the self-contained blob and
 // its statistics.
 type Compressed struct {
 	Blob  []byte
-	Stats core.Stats
-}
-
-// ChunkOptions selects the chunked parallel engine when passed to Compress
-// or CompressBaseline. The zero value means "chunked with defaults".
-type ChunkOptions struct {
-	// ChunkVoxels is the target number of values per chunk (rounded to
-	// whole slabs along the slowest axis); 0 picks a default of ~2M values.
-	ChunkVoxels int
-	// Workers bounds how many chunks are compressed concurrently;
-	// 0 means GOMAXPROCS.
-	Workers int
+	Stats Stats
 }
 
 // CompressBaseline compresses a field with the Lorenzo + dual-quantization
-// baseline (no anchors needed to decompress). Passing a ChunkOptions
-// produces a chunked random-access CFC2 container instead of a monolithic
+// baseline (no anchors needed to decompress). WithChunks/WithWorkers
+// produce a chunked random-access CFC2 container instead of a monolithic
 // blob.
-func CompressBaseline(f *Field, bound ErrorBound, chunked ...ChunkOptions) (*Compressed, error) {
-	if len(chunked) > 0 {
+func CompressBaseline(f *Field, bound ErrorBound, opts ...Option) (*Compressed, error) {
+	cfg, err := resolveOptions("CompressBaseline", opts, false)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.chunked {
 		res, err := core.CompressChunked(f.t, nil, nil, core.ChunkedOptions{
 			Options:     core.Options{Bound: bound},
-			ChunkVoxels: chunked[0].ChunkVoxels,
-			Workers:     chunked[0].Workers,
+			ChunkVoxels: cfg.chunkVoxels,
+			Workers:     cfg.workers,
 		})
 		if err != nil {
 			return nil, err
@@ -259,15 +277,20 @@ func (c *Codec) Model() *cfnn.Model { return c.model }
 
 // Compress runs the hybrid cross-field pipeline. anchors must be the
 // *decompressed* anchor fields (compress them with CompressBaseline at the
-// same bound first). Passing a ChunkOptions produces a chunked
+// same bound first) — or use CompressDataset, which manages the anchor
+// lifecycle for you. WithChunks/WithWorkers produce a chunked
 // random-access CFC2 container whose chunks compress in parallel and share
 // one stored copy of the CFNN model.
-func (c *Codec) Compress(target *Field, anchors []*Field, bound ErrorBound, chunked ...ChunkOptions) (*Compressed, error) {
-	if len(chunked) > 0 {
+func (c *Codec) Compress(target *Field, anchors []*Field, bound ErrorBound, opts ...Option) (*Compressed, error) {
+	cfg, err := resolveOptions("Codec.Compress", opts, false)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.chunked {
 		res, err := core.CompressChunked(target.t, c.model, fieldTensors(anchors), core.ChunkedOptions{
 			Options:     core.Options{Bound: bound, AnchorNames: c.names},
-			ChunkVoxels: chunked[0].ChunkVoxels,
-			Workers:     chunked[0].Workers,
+			ChunkVoxels: cfg.chunkVoxels,
+			Workers:     cfg.workers,
 		})
 		if err != nil {
 			return nil, err

@@ -1,7 +1,10 @@
-// climate3d mirrors the paper's SCALE workflow: compress the vertical wind
-// W using the horizontal winds U, V and pressure PRES as anchors, sweep the
-// Table II error bounds, and report baseline vs hybrid compression ratios
-// with the model-size breakdown.
+// climate3d mirrors the paper's SCALE workflow on the dataset-archive API:
+// the whole snapshot {U, V, PRES, W} is packed into one CFC3 archive per
+// error bound, with the vertical wind W hybrid-compressed against the
+// horizontal winds and pressure. CompressDataset manages the anchor
+// lifecycle (baseline-compress anchors, round-trip them, feed the
+// reconstructions to the hybrid pipeline), and OpenArchive decompresses W
+// with zero anchor ceremony.
 package main
 
 import (
@@ -39,7 +42,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("model: %d parameters (%d bytes per blob)\n\n", codec.ModelParams(), codec.ModelBytes())
+	fmt.Printf("model: %d parameters (%d bytes per archive)\n\n", codec.ModelParams(), codec.ModelBytes())
+
+	specs := []crossfield.FieldSpec{
+		{Field: anchors[0]}, {Field: anchors[1]}, {Field: anchors[2]},
+		{Field: target, Codec: codec},
+	}
 
 	fmt.Printf("%-10s %12s %12s %12s %10s\n", "rel eb", "baseline CR", "hybrid CR", "payload CR", "Δ payload")
 	for _, eb := range []float64{5e-3, 2e-3, 1e-3, 5e-4, 2e-4} {
@@ -48,33 +56,26 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		var anchorsDec []*crossfield.Field
-		for _, a := range anchors {
-			comp, err := crossfield.CompressBaseline(a, bound)
-			if err != nil {
-				log.Fatal(err)
-			}
-			dec, err := crossfield.Decompress(a.Name, comp.Blob, nil)
-			if err != nil {
-				log.Fatal(err)
-			}
-			anchorsDec = append(anchorsDec, dec)
-		}
-		hyb, err := codec.Compress(target, anchorsDec, bound)
+		arch, err := crossfield.CompressDataset(specs, bound)
 		if err != nil {
 			log.Fatal(err)
 		}
-		recon, err := codec.Decompress(hyb.Blob, anchorsDec)
+		ar, err := crossfield.OpenArchive(arch.Blob)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if _, ok, err := crossfield.Verify(target, recon, hyb.Stats.AbsEB); err != nil || !ok {
+		recon, err := ar.Field("W") // anchors rebuilt inside, in order
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := arch.Stats.Fields["W"]
+		if _, ok, err := crossfield.Verify(target, recon, st.AbsEB); err != nil || !ok {
 			log.Fatalf("error bound violated at eb=%g (err=%v)", eb, err)
 		}
-		payloadBytes := hyb.Stats.CompressedBytes - hyb.Stats.ModelBytes
-		payloadCR := float64(hyb.Stats.OriginalBytes) / float64(payloadBytes)
+		payloadBytes := st.CompressedBytes - st.ModelBytes
+		payloadCR := float64(st.OriginalBytes) / float64(payloadBytes)
 		fmt.Printf("%-10.0e %12.2f %12.2f %12.2f %+9.2f%%\n",
-			eb, base.Stats.Ratio, hyb.Stats.Ratio, payloadCR,
+			eb, base.Stats.Ratio, st.Ratio, payloadCR,
 			(payloadCR-base.Stats.Ratio)/base.Stats.Ratio*100)
 	}
 	fmt.Println("\n(payload CR excludes the fixed model cost — the asymptote on production-size fields)")

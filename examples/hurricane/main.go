@@ -1,10 +1,15 @@
 // hurricane mirrors the paper's Figure 8 analysis on the Hurricane
-// dataset: a rate-distortion sweep for Wf (vertical wind) predicted from
-// {Uf, Vf, Pf}, printing (bit-rate, PSNR) series for the baseline and the
-// cross-field hybrid. Because dual quantization makes both methods
-// reconstruct identical data at a given bound, each bound yields one PSNR
-// and two bit-rates — the hybrid curve shifts left (fewer bits for the same
-// quality).
+// dataset, driven through the dataset-archive API: each bound packs
+// {Uf, Vf, Pf, Wf} into one CFC3 archive with Wf hybrid-compressed
+// against the other three, then reads Wf back through OpenArchive — no
+// anchors ever cross the call boundary. Because dual quantization makes
+// both methods reconstruct identical data at a given bound, each bound
+// yields one PSNR and two bit-rates — the hybrid curve shifts left (fewer
+// bits for the same quality).
+//
+// The pressure field also demonstrates per-field bounds: Pf is archived
+// one decade tighter than the dataset-wide bound, as a region-of-interest
+// workflow would.
 package main
 
 import (
@@ -41,6 +46,11 @@ func main() {
 		log.Fatal(err)
 	}
 
+	specs := []crossfield.FieldSpec{
+		{Field: anchors[0]}, {Field: anchors[1]}, {Field: anchors[2]},
+		{Field: target, Codec: codec},
+	}
+
 	fmt.Printf("%-10s %10s %14s %14s %14s\n", "rel eb", "PSNR(dB)", "bits(base)", "bits(hybrid)", "bits(payload)")
 	for _, eb := range []float64{1e-2, 5e-3, 2e-3, 1e-3, 5e-4, 2e-4, 1e-4} {
 		bound := crossfield.Rel(eb)
@@ -48,23 +58,16 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		var anchorsDec []*crossfield.Field
-		for _, a := range anchors {
-			comp, err := crossfield.CompressBaseline(a, bound)
-			if err != nil {
-				log.Fatal(err)
-			}
-			dec, err := crossfield.Decompress(a.Name, comp.Blob, nil)
-			if err != nil {
-				log.Fatal(err)
-			}
-			anchorsDec = append(anchorsDec, dec)
-		}
-		hyb, err := codec.Compress(target, anchorsDec, bound)
+		arch, err := crossfield.CompressDataset(specs, bound,
+			crossfield.WithFieldBound("Pf", crossfield.Rel(eb/10)))
 		if err != nil {
 			log.Fatal(err)
 		}
-		recon, err := codec.Decompress(hyb.Blob, anchorsDec)
+		ar, err := crossfield.OpenArchive(arch.Blob)
+		if err != nil {
+			log.Fatal(err)
+		}
+		recon, err := ar.Field("Wf")
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -72,8 +75,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		payloadBits := float64(hyb.Stats.CompressedBytes-hyb.Stats.ModelBytes) * 8 / float64(target.Len())
+		st := arch.Stats.Fields["Wf"]
+		payloadBits := float64(st.CompressedBytes-st.ModelBytes) * 8 / float64(target.Len())
 		fmt.Printf("%-10.0e %10.2f %14.4f %14.4f %14.4f\n",
-			eb, psnr, base.Stats.BitRate, hyb.Stats.BitRate, payloadBits)
+			eb, psnr, base.Stats.BitRate, st.BitRate, payloadBits)
 	}
 }

@@ -1,0 +1,478 @@
+// Package archive implements the CFC3 multi-field dataset container, the
+// layer above internal/chunk: one blob holding a whole snapshot's worth of
+// compressed fields plus a manifest that records, for every field, its
+// name, dims, error bound, achieved max error, role (anchor vs dependent)
+// and anchor dependencies. The manifest is what lets decompression order
+// the fields topologically — anchors first, then the dependents
+// hybrid-compressed against them — so callers never manage anchors
+// themselves.
+//
+// Layout (integers little-endian or uvarint):
+//
+//	magic "CFC3" | version byte
+//	uvarint numFields
+//	per field, in manifest order:
+//	  uvarint nameLen | name bytes
+//	  role byte (bit 0: anchor/depended-upon, bit 1: dependent/has-deps)
+//	  uvarint rank | uvarint dims...
+//	  byte bound mode | float64 bound value | float64 absolute eb
+//	  float64 achieved max error (NaN = unknown)
+//	  uvarint numDeps | (uvarint len + dep name bytes)...
+//	  uvarint payloadLen | uint32 CRC32
+//	per-field payloads, concatenated in manifest order
+//
+// Each payload is a self-contained CFC1 or CFC2 blob, so the archive
+// reuses both existing decoders unchanged; the manifest adds only the
+// dependency graph and per-field metadata. Payload checksums are verified
+// lazily, per field, so opening an archive touches nothing but the
+// manifest.
+package archive
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/container"
+)
+
+var magic = [4]byte{'C', 'F', 'C', '3'}
+
+const version = 1
+
+// Format limits a decoder will accept; the encoder refuses to exceed them.
+const (
+	maxFields  = 4096
+	maxNameLen = 4096
+	maxDeps    = 256
+)
+
+// ErrCorrupt reports a malformed CFC3 archive.
+var ErrCorrupt = errors.New("archive: corrupt archive")
+
+// ErrChecksum reports a field payload whose CRC32 does not match its
+// manifest entry.
+var ErrChecksum = errors.New("archive: payload checksum mismatch")
+
+// IsArchive reports whether data begins with the CFC3 magic.
+func IsArchive(data []byte) bool {
+	return len(data) >= 4 && [4]byte(data[:4]) == magic
+}
+
+// Role classifies a field in the dependency graph. It is a bitmask: a
+// field in an anchor chain can be both a dependent (it has anchors) and an
+// anchor (another field depends on it).
+type Role byte
+
+const (
+	// RoleStandalone is a baseline-compressed field nothing depends on.
+	RoleStandalone Role = 0
+	// RoleAnchor marks a field at least one other field depends on.
+	RoleAnchor Role = 1
+	// RoleDependent marks a field compressed against anchor fields.
+	RoleDependent Role = 2
+)
+
+// IsAnchor reports whether other fields depend on this one.
+func (r Role) IsAnchor() bool { return r&RoleAnchor != 0 }
+
+// IsDependent reports whether this field depends on anchors.
+func (r Role) IsDependent() bool { return r&RoleDependent != 0 }
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleStandalone:
+		return "standalone"
+	case RoleAnchor:
+		return "anchor"
+	case RoleDependent:
+		return "dependent"
+	case RoleAnchor | RoleDependent:
+		return "anchor+dependent"
+	default:
+		return fmt.Sprintf("Role(%d)", byte(r))
+	}
+}
+
+// Entry is one field's manifest record.
+type Entry struct {
+	Name       string
+	Role       Role // derived from Deps by Encode; validated by Decode
+	Dims       []int
+	BoundMode  byte
+	BoundValue float64
+	AbsEB      float64
+	MaxErr     float64  // achieved max abs error; NaN = unknown
+	Deps       []string // anchor field names, in the codec's anchor order
+	PayloadLen int      // filled by Encode / Decode
+	Checksum   uint32   // CRC32 (IEEE); filled by Encode / Decode
+	Offset     int      // payload byte offset within the blob (decode side)
+}
+
+// Archive is a parsed in-memory CFC3 archive with random-access payloads.
+type Archive struct {
+	Entries []Entry
+
+	data   []byte
+	byName map[string]int
+	order  []int // topological: every field after all of its deps
+}
+
+// NumFields returns the number of fields in the manifest.
+func (a *Archive) NumFields() int { return len(a.Entries) }
+
+// Lookup returns the manifest index of the named field.
+func (a *Archive) Lookup(name string) (int, bool) {
+	i, ok := a.byName[name]
+	return i, ok
+}
+
+// TopoOrder returns the field indices in dependency order: every field
+// appears after all of its anchors. The slice must not be modified.
+func (a *Archive) TopoOrder() []int { return a.order }
+
+// PayloadPrefix returns up to n raw bytes of field i's payload WITHOUT
+// checksum verification — for listings that only need to peek the payload
+// magic. Use Payload for anything that decodes the bytes.
+func (a *Archive) PayloadPrefix(i, n int) []byte {
+	if i < 0 || i >= len(a.Entries) {
+		return nil
+	}
+	e := a.Entries[i]
+	if n > e.PayloadLen {
+		n = e.PayloadLen
+	}
+	return a.data[e.Offset : e.Offset+n]
+}
+
+// Payload returns field i's payload bytes after verifying its checksum.
+// Only the requested field's bytes are touched.
+func (a *Archive) Payload(i int) ([]byte, error) {
+	if i < 0 || i >= len(a.Entries) {
+		return nil, fmt.Errorf("archive: payload index %d out of [0,%d)", i, len(a.Entries))
+	}
+	e := a.Entries[i]
+	p := a.data[e.Offset : e.Offset+e.PayloadLen]
+	if crc32.ChecksumIEEE(p) != e.Checksum {
+		return nil, fmt.Errorf("%w: field %q", ErrChecksum, e.Name)
+	}
+	return p, nil
+}
+
+// validate checks the manifest's dependency graph — unique non-empty
+// names, deps that resolve to other fields, no cycles — and returns the
+// topological order (anchors before dependents) plus the derived role of
+// every field.
+func validate(entries []Entry) (order []int, roles []Role, byName map[string]int, err error) {
+	if len(entries) == 0 {
+		return nil, nil, nil, fmt.Errorf("archive: empty manifest")
+	}
+	if len(entries) > maxFields {
+		return nil, nil, nil, fmt.Errorf("archive: %d fields exceeds the format limit %d", len(entries), maxFields)
+	}
+	byName = make(map[string]int, len(entries))
+	for i, e := range entries {
+		if e.Name == "" {
+			return nil, nil, nil, fmt.Errorf("archive: field %d has an empty name", i)
+		}
+		if len(e.Name) > maxNameLen {
+			return nil, nil, nil, fmt.Errorf("archive: field name %q too long", e.Name[:32]+"...")
+		}
+		if _, dup := byName[e.Name]; dup {
+			return nil, nil, nil, fmt.Errorf("archive: duplicate field name %q", e.Name)
+		}
+		byName[e.Name] = i
+	}
+	roles = make([]Role, len(entries))
+	indeg := make([]int, len(entries)) // unresolved deps per field
+	dependents := make([][]int, len(entries))
+	for i, e := range entries {
+		if len(e.Deps) > maxDeps {
+			return nil, nil, nil, fmt.Errorf("archive: field %q has %d deps, limit %d", e.Name, len(e.Deps), maxDeps)
+		}
+		seen := make(map[string]bool, len(e.Deps))
+		for _, d := range e.Deps {
+			j, ok := byName[d]
+			if !ok {
+				return nil, nil, nil, fmt.Errorf("archive: field %q depends on unknown field %q", e.Name, d)
+			}
+			if j == i {
+				return nil, nil, nil, fmt.Errorf("archive: field %q depends on itself", e.Name)
+			}
+			if seen[d] {
+				return nil, nil, nil, fmt.Errorf("archive: field %q lists dep %q twice", e.Name, d)
+			}
+			seen[d] = true
+			roles[j] |= RoleAnchor
+			dependents[j] = append(dependents[j], i)
+			indeg[i]++
+		}
+		if len(e.Deps) > 0 {
+			roles[i] |= RoleDependent
+		}
+	}
+	// Kahn's algorithm; anything left over sits on a cycle.
+	order = make([]int, 0, len(entries))
+	queue := make([]int, 0, len(entries))
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		order = append(order, i)
+		for _, j := range dependents[i] {
+			indeg[j]--
+			if indeg[j] == 0 {
+				queue = append(queue, j)
+			}
+		}
+	}
+	if len(order) != len(entries) {
+		var cyc []string
+		for i, d := range indeg {
+			if d > 0 {
+				cyc = append(cyc, entries[i].Name)
+			}
+		}
+		return nil, nil, nil, fmt.Errorf("archive: cyclic anchor dependencies among %v", cyc)
+	}
+	return order, roles, byName, nil
+}
+
+// Order validates the dependency graph of entries (unique names, resolvable
+// acyclic deps) and returns the topological order — every field after all
+// of its anchors — without encoding anything. The compression side uses it
+// to schedule fields before any payload exists.
+func Order(entries []Entry) ([]int, error) {
+	order, _, _, err := validate(entries)
+	return order, err
+}
+
+// EncodeTo streams an archive to w: manifest first, then each payload in
+// manifest order. Entry roles, payload lengths, and checksums are derived
+// here; the caller only supplies names, dims, bounds, and deps. It returns
+// the total bytes written.
+func EncodeTo(w io.Writer, entries []Entry, payloads [][]byte) (int, error) {
+	if len(payloads) != len(entries) {
+		return 0, fmt.Errorf("archive: %d payloads for %d manifest entries", len(payloads), len(entries))
+	}
+	_, roles, _, err := validate(entries)
+	if err != nil {
+		return 0, err
+	}
+	out := append([]byte(nil), magic[:]...)
+	out = append(out, version)
+	out = binary.AppendUvarint(out, uint64(len(entries)))
+	var f8 [8]byte
+	var c4 [4]byte
+	for i, e := range entries {
+		if len(e.Dims) < 1 || len(e.Dims) > 3 {
+			return 0, fmt.Errorf("archive: field %q rank %d unsupported", e.Name, len(e.Dims))
+		}
+		out = binary.AppendUvarint(out, uint64(len(e.Name)))
+		out = append(out, e.Name...)
+		out = append(out, byte(roles[i]))
+		out = binary.AppendUvarint(out, uint64(len(e.Dims)))
+		for _, d := range e.Dims {
+			if d <= 0 {
+				return 0, fmt.Errorf("archive: field %q non-positive dim %d", e.Name, d)
+			}
+			out = binary.AppendUvarint(out, uint64(d))
+		}
+		out = append(out, e.BoundMode)
+		binary.LittleEndian.PutUint64(f8[:], math.Float64bits(e.BoundValue))
+		out = append(out, f8[:]...)
+		binary.LittleEndian.PutUint64(f8[:], math.Float64bits(e.AbsEB))
+		out = append(out, f8[:]...)
+		binary.LittleEndian.PutUint64(f8[:], math.Float64bits(e.MaxErr))
+		out = append(out, f8[:]...)
+		out = binary.AppendUvarint(out, uint64(len(e.Deps)))
+		for _, d := range e.Deps {
+			out = binary.AppendUvarint(out, uint64(len(d)))
+			out = append(out, d...)
+		}
+		out = binary.AppendUvarint(out, uint64(len(payloads[i])))
+		binary.LittleEndian.PutUint32(c4[:], crc32.ChecksumIEEE(payloads[i]))
+		out = append(out, c4[:]...)
+	}
+	total := 0
+	n, err := w.Write(out)
+	total += n
+	if err != nil {
+		return total, err
+	}
+	for _, p := range payloads {
+		n, err := w.Write(p)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Encode serializes an archive into one byte slice.
+func Encode(entries []Entry, payloads [][]byte) ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := EncodeTo(&buf, entries, payloads); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode parses an archive. Payload bytes reference data (callers must not
+// mutate it) and are checksum-verified lazily by Payload; decoding touches
+// only the manifest. The dependency graph is fully validated here —
+// duplicate names, unknown or cyclic deps, role bytes that contradict the
+// graph, and payload regions that disagree with the blob size are all
+// rejected.
+func Decode(data []byte) (*Archive, error) {
+	r := container.NewCursor(data, ErrCorrupt)
+	m, err := r.Bytes(4)
+	if err != nil {
+		return nil, err
+	}
+	if [4]byte(m) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, m)
+	}
+	ver, err := r.Byte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, ver)
+	}
+	nf, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nf == 0 || nf > maxFields {
+		return nil, fmt.Errorf("%w: %d fields", ErrCorrupt, nf)
+	}
+	entries := make([]Entry, nf)
+	storedRoles := make([]Role, nf)
+	for i := range entries {
+		e := &entries[i]
+		nl, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nl == 0 || nl > maxNameLen {
+			return nil, fmt.Errorf("%w: field %d name length %d", ErrCorrupt, i, nl)
+		}
+		nb, err := r.Bytes(int(nl))
+		if err != nil {
+			return nil, err
+		}
+		e.Name = string(nb)
+		rb, err := r.Byte()
+		if err != nil {
+			return nil, err
+		}
+		if rb > byte(RoleAnchor|RoleDependent) {
+			return nil, fmt.Errorf("%w: field %q role byte %d", ErrCorrupt, e.Name, rb)
+		}
+		storedRoles[i] = Role(rb)
+		rank, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if rank < 1 || rank > 3 {
+			return nil, fmt.Errorf("%w: field %q rank %d", ErrCorrupt, e.Name, rank)
+		}
+		e.Dims = make([]int, rank)
+		for k := range e.Dims {
+			d, err := r.Uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if d == 0 || d > 1<<32 {
+				return nil, fmt.Errorf("%w: field %q dim %d", ErrCorrupt, e.Name, d)
+			}
+			e.Dims[k] = int(d)
+		}
+		if _, err := container.CheckVolume(e.Dims); err != nil {
+			return nil, fmt.Errorf("%w: field %q: %v", ErrCorrupt, e.Name, err)
+		}
+		if e.BoundMode, err = r.Byte(); err != nil {
+			return nil, err
+		}
+		if e.BoundMode > 1 {
+			return nil, fmt.Errorf("%w: field %q bound mode %d", ErrCorrupt, e.Name, e.BoundMode)
+		}
+		if e.BoundValue, err = r.Float64(); err != nil {
+			return nil, err
+		}
+		if e.AbsEB, err = r.Float64(); err != nil {
+			return nil, err
+		}
+		if e.MaxErr, err = r.Float64(); err != nil {
+			return nil, err
+		}
+		nd, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nd > maxDeps {
+			return nil, fmt.Errorf("%w: field %q has %d deps", ErrCorrupt, e.Name, nd)
+		}
+		e.Deps = make([]string, nd)
+		for k := range e.Deps {
+			dl, err := r.Uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if dl == 0 || dl > maxNameLen {
+				return nil, fmt.Errorf("%w: field %q dep name length %d", ErrCorrupt, e.Name, dl)
+			}
+			db, err := r.Bytes(int(dl))
+			if err != nil {
+				return nil, err
+			}
+			e.Deps[k] = string(db)
+		}
+		pl, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if pl > uint64(math.MaxInt32) {
+			return nil, fmt.Errorf("%w: field %q payload length %d", ErrCorrupt, e.Name, pl)
+		}
+		e.PayloadLen = int(pl)
+		s4, err := r.Bytes(4)
+		if err != nil {
+			return nil, err
+		}
+		e.Checksum = binary.LittleEndian.Uint32(s4)
+	}
+	order, roles, byName, err := validate(entries)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	off := r.Off()
+	for i := range entries {
+		if storedRoles[i] != roles[i] {
+			return nil, fmt.Errorf("%w: field %q role byte %v contradicts dependency graph (%v)",
+				ErrCorrupt, entries[i].Name, storedRoles[i], roles[i])
+		}
+		entries[i].Role = roles[i]
+		if off+entries[i].PayloadLen > len(data) {
+			return nil, fmt.Errorf("%w: field %q payload (%d bytes at %d) exceeds blob size %d",
+				ErrCorrupt, entries[i].Name, entries[i].PayloadLen, off, len(data))
+		}
+		entries[i].Offset = off
+		off += entries[i].PayloadLen
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-off)
+	}
+	return &Archive{Entries: entries, data: data, byName: byName, order: order}, nil
+}

@@ -1,0 +1,255 @@
+package archive
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// testEntries builds a small valid manifest: two anchors, one dependent on
+// both, one standalone.
+func testEntries() ([]Entry, [][]byte) {
+	entries := []Entry{
+		{Name: "U", Dims: []int{4, 6}, BoundMode: 1, BoundValue: 1e-3, AbsEB: 0.01, MaxErr: 0.009},
+		{Name: "V", Dims: []int{4, 6}, BoundMode: 1, BoundValue: 1e-3, AbsEB: 0.011, MaxErr: 0.01},
+		{Name: "W", Dims: []int{4, 6}, BoundMode: 1, BoundValue: 1e-3, AbsEB: 0.02, MaxErr: 0.018,
+			Deps: []string{"U", "V"}},
+		{Name: "T", Dims: []int{4, 6}, BoundMode: 0, BoundValue: 0.5, AbsEB: 0.5, MaxErr: math.NaN()},
+	}
+	rng := rand.New(rand.NewSource(3))
+	payloads := make([][]byte, len(entries))
+	for i := range payloads {
+		payloads[i] = make([]byte, 24+rng.Intn(48))
+		rng.Read(payloads[i])
+	}
+	return entries, payloads
+}
+
+func TestArchiveRoundTrip(t *testing.T) {
+	entries, payloads := testEntries()
+	blob, err := Encode(entries, payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsArchive(blob) {
+		t.Fatal("IsArchive = false on a CFC3 blob")
+	}
+	a, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumFields() != len(entries) {
+		t.Fatalf("NumFields = %d, want %d", a.NumFields(), len(entries))
+	}
+	for i, e := range entries {
+		got := a.Entries[i]
+		if got.Name != e.Name || got.BoundMode != e.BoundMode ||
+			got.BoundValue != e.BoundValue || got.AbsEB != e.AbsEB {
+			t.Fatalf("field %d manifest mismatch: %+v", i, got)
+		}
+		if e.Name == "T" {
+			if !math.IsNaN(got.MaxErr) {
+				t.Fatalf("T MaxErr = %v, want NaN", got.MaxErr)
+			}
+		} else if got.MaxErr != e.MaxErr {
+			t.Fatalf("field %q MaxErr = %v, want %v", e.Name, got.MaxErr, e.MaxErr)
+		}
+		p, err := a.Payload(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(p, payloads[i]) {
+			t.Fatalf("field %q payload mismatch", e.Name)
+		}
+	}
+	// Roles derived from the graph.
+	wantRoles := map[string]Role{"U": RoleAnchor, "V": RoleAnchor, "W": RoleDependent, "T": RoleStandalone}
+	for _, e := range a.Entries {
+		if e.Role != wantRoles[e.Name] {
+			t.Fatalf("field %q role = %v, want %v", e.Name, e.Role, wantRoles[e.Name])
+		}
+	}
+	// Topological order: W after U and V.
+	pos := map[string]int{}
+	for k, i := range a.TopoOrder() {
+		pos[a.Entries[i].Name] = k
+	}
+	if pos["W"] < pos["U"] || pos["W"] < pos["V"] {
+		t.Fatalf("topo order %v puts W before an anchor", a.TopoOrder())
+	}
+}
+
+func TestAnchorChainRoles(t *testing.T) {
+	entries := []Entry{
+		{Name: "A", Dims: []int{4}},
+		{Name: "B", Dims: []int{4}, Deps: []string{"A"}},
+		{Name: "C", Dims: []int{4}, Deps: []string{"B"}},
+	}
+	blob, err := Encode(entries, [][]byte{{1}, {2}, {3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Entries[1].Role; got != RoleAnchor|RoleDependent {
+		t.Fatalf("middle of chain role = %v, want anchor+dependent", got)
+	}
+	if !a.Entries[1].Role.IsAnchor() || !a.Entries[1].Role.IsDependent() {
+		t.Fatal("IsAnchor/IsDependent on chain middle")
+	}
+}
+
+func TestEncodeRejectsBadGraphs(t *testing.T) {
+	cases := []struct {
+		name    string
+		entries []Entry
+		wantSub string
+	}{
+		{
+			"cycle",
+			[]Entry{
+				{Name: "A", Dims: []int{4}, Deps: []string{"B"}},
+				{Name: "B", Dims: []int{4}, Deps: []string{"A"}},
+			},
+			"cyclic",
+		},
+		{
+			"self-dep",
+			[]Entry{{Name: "A", Dims: []int{4}, Deps: []string{"A"}}},
+			"itself",
+		},
+		{
+			"duplicate name",
+			[]Entry{
+				{Name: "A", Dims: []int{4}},
+				{Name: "A", Dims: []int{4}},
+			},
+			"duplicate",
+		},
+		{
+			"unknown dep",
+			[]Entry{{Name: "A", Dims: []int{4}, Deps: []string{"Z"}}},
+			"unknown",
+		},
+		{
+			"duplicate dep",
+			[]Entry{
+				{Name: "A", Dims: []int{4}},
+				{Name: "B", Dims: []int{4}, Deps: []string{"A", "A"}},
+			},
+			"twice",
+		},
+		{
+			"empty manifest",
+			nil,
+			"empty",
+		},
+	}
+	for _, tc := range cases {
+		payloads := make([][]byte, len(tc.entries))
+		for i := range payloads {
+			payloads[i] = []byte{byte(i)}
+		}
+		_, err := Encode(tc.entries, payloads)
+		if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+			t.Fatalf("%s: err = %v, want substring %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+func TestEncodeRejectsPayloadCountMismatch(t *testing.T) {
+	entries, payloads := testEntries()
+	if _, err := Encode(entries, payloads[:len(payloads)-1]); err == nil {
+		t.Fatal("payload/manifest count mismatch accepted")
+	}
+}
+
+// A role byte that contradicts the dependency graph is manifest corruption
+// even when the graph itself is valid.
+func TestDecodeRejectsRoleMismatch(t *testing.T) {
+	entries, payloads := testEntries()
+	blob, err := Encode(entries, payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The role byte of field "U" sits right after its one-byte name (whose
+	// length prefix is 1). Find it structurally: magic(4) + version(1) +
+	// numFields(1) + nameLen(1) + name(1) = offset 8.
+	bad := append([]byte(nil), blob...)
+	if bad[8] != byte(RoleAnchor) {
+		t.Fatalf("test layout drifted: byte 8 = %d, want RoleAnchor", bad[8])
+	}
+	bad[8] = byte(RoleStandalone)
+	if _, err := Decode(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("role-mismatch decode err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDecodeRejectsTruncationAndTrailing(t *testing.T) {
+	entries, payloads := testEntries()
+	blob, err := Encode(entries, payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, 4, 16, len(blob) / 3, len(blob) / 2, len(blob) - 1} {
+		if _, err := Decode(blob[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := Decode(append(append([]byte(nil), blob...), 0x55)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+func TestPayloadChecksumLazyAndContained(t *testing.T) {
+	entries, payloads := testEntries()
+	blob, err := Encode(entries, payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), blob...)
+	bad[a.Entries[2].Offset] ^= 0xff
+	ab, err := Decode(bad)
+	if err != nil {
+		t.Fatalf("manifest decode should succeed, payload verify is lazy: %v", err)
+	}
+	if _, err := ab.Payload(2); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("Payload(2) err = %v, want ErrChecksum", err)
+	}
+	// Other fields stay readable: corruption is contained.
+	for _, i := range []int{0, 1, 3} {
+		if _, err := ab.Payload(i); err != nil {
+			t.Fatalf("Payload(%d) err = %v", i, err)
+		}
+	}
+}
+
+func TestDecodeArbitraryBytesNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 500; trial++ {
+		blob := make([]byte, rng.Intn(512))
+		rng.Read(blob)
+		copy(blob, magic[:])
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on arbitrary bytes: %v", r)
+				}
+			}()
+			if a, err := Decode(blob); err == nil {
+				for i := 0; i < a.NumFields(); i++ {
+					_, _ = a.Payload(i)
+				}
+			}
+		}()
+	}
+}

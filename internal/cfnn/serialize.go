@@ -2,6 +2,7 @@ package cfnn
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -23,6 +24,18 @@ import (
 // stream in Table II's accounting.
 
 var modelMagic = [4]byte{'C', 'F', 'N', '1'}
+
+// Clone returns an independent copy of the model sharing no mutable state
+// (a Save/Load round-trip in memory). Layer Forward passes cache their
+// inputs for backprop, so one Model must never run inference from multiple
+// goroutines — concurrent pipelines clone the model per worker instead.
+func (m *Model) Clone() (*Model, error) {
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		return nil, err
+	}
+	return Load(&buf)
+}
 
 // Save serializes the model (architecture, normalization, weights).
 func (m *Model) Save(w io.Writer) error {

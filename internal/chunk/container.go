@@ -9,7 +9,13 @@
 //	uvarint modelLen | model blob (CFNN, stored once; 0 for baseline)
 //	uvarint numChunks
 //	index: per chunk — uvarint slabCount | uvarint payloadLen | uint32 CRC32
+//	       | float64 achieved max error (version >= 2)
 //	per-chunk payloads, concatenated in chunk order
+//
+// Version 2 extends each index entry with the chunk's achieved maximum
+// absolute reconstruction error, measured at compression time, so tools can
+// report actual vs bound without decompressing. Version 1 containers are
+// still decoded; their per-chunk errors read back as NaN ("unknown").
 //
 // Each payload is a self-contained single-chunk CFC1 blob with its model
 // section stripped (the model lives once in this header), so a chunk can
@@ -34,7 +40,13 @@ import (
 
 var magic = [4]byte{'C', 'F', 'C', '2'}
 
-const version = 1
+const (
+	// versionV1 lacks per-chunk achieved errors; still accepted on decode.
+	versionV1 = 1
+	// versionV2 is what Encode writes: index entries carry the achieved
+	// max error.
+	versionV2 = 2
+)
 
 // maxChunks bounds the index size a decoder will accept.
 const maxChunks = 1 << 20
@@ -73,12 +85,13 @@ func (h *Header) NumPoints() int {
 
 // IndexEntry describes one chunk in the container.
 type IndexEntry struct {
-	Start      int    // first slab along axis 0
-	Count      int    // slab count along axis 0
-	Offset     int    // payload byte offset within the container
-	RawBytes   int    // uncompressed chunk size (voxels × 4)
-	PayloadLen int    // compressed payload length in bytes
-	Checksum   uint32 // CRC32 (IEEE) of the payload
+	Start      int     // first slab along axis 0
+	Count      int     // slab count along axis 0
+	Offset     int     // payload byte offset within the container
+	RawBytes   int     // uncompressed chunk size (voxels × 4)
+	PayloadLen int     // compressed payload length in bytes
+	Checksum   uint32  // CRC32 (IEEE) of the payload
+	MaxErr     float64 // achieved max abs error; NaN when unknown (v1)
 }
 
 // Archive is a parsed in-memory CFC2 container with random-access payloads.
@@ -116,8 +129,9 @@ func (a *Archive) Payload(i int) ([]byte, error) {
 }
 
 // appendHeader serializes the header, index, and payload lengths (not the
-// payloads themselves).
-func appendHeader(out []byte, h *Header, g *Grid, payloads [][]byte) ([]byte, error) {
+// payloads themselves). maxErrs carries the per-chunk achieved maximum
+// absolute errors; nil writes NaN ("unknown") for every chunk.
+func appendHeader(out []byte, h *Header, g *Grid, payloads [][]byte, maxErrs []float64) ([]byte, error) {
 	if len(h.Dims) < 1 || len(h.Dims) > 3 {
 		return nil, fmt.Errorf("chunk: rank %d unsupported", len(h.Dims))
 	}
@@ -127,12 +141,15 @@ func appendHeader(out []byte, h *Header, g *Grid, payloads [][]byte) ([]byte, er
 	if len(payloads) != g.NumChunks() {
 		return nil, fmt.Errorf("chunk: %d payloads for %d chunks", len(payloads), g.NumChunks())
 	}
+	if maxErrs != nil && len(maxErrs) != g.NumChunks() {
+		return nil, fmt.Errorf("chunk: %d max errors for %d chunks", len(maxErrs), g.NumChunks())
+	}
 	// Refuse to write what Decode would reject.
 	if g.NumChunks() > maxChunks {
 		return nil, fmt.Errorf("chunk: %d chunks exceeds the format limit %d", g.NumChunks(), maxChunks)
 	}
 	out = append(out, magic[:]...)
-	out = append(out, version, byte(h.Method), h.BoundMode)
+	out = append(out, versionV2, byte(h.Method), h.BoundMode)
 	var f8 [8]byte
 	binary.LittleEndian.PutUint64(f8[:], math.Float64bits(h.BoundValue))
 	out = append(out, f8[:]...)
@@ -159,6 +176,12 @@ func appendHeader(out []byte, h *Header, g *Grid, payloads [][]byte) ([]byte, er
 		out = binary.AppendUvarint(out, uint64(len(p)))
 		binary.LittleEndian.PutUint32(c4[:], crc32.ChecksumIEEE(p))
 		out = append(out, c4[:]...)
+		me := math.NaN()
+		if maxErrs != nil {
+			me = maxErrs[i]
+		}
+		binary.LittleEndian.PutUint64(f8[:], math.Float64bits(me))
+		out = append(out, f8[:]...)
 	}
 	return out, nil
 }
@@ -166,9 +189,10 @@ func appendHeader(out []byte, h *Header, g *Grid, payloads [][]byte) ([]byte, er
 // EncodeTo streams a container to w: header + index first, then each
 // payload in order. It returns the total bytes written. Payloads are
 // compressed chunks, so nothing close to the raw field is ever buffered
-// here.
-func EncodeTo(w io.Writer, h *Header, g *Grid, payloads [][]byte) (int, error) {
-	head, err := appendHeader(nil, h, g, payloads)
+// here. maxErrs (optional, nil = unknown) records each chunk's achieved
+// max absolute error in the index.
+func EncodeTo(w io.Writer, h *Header, g *Grid, payloads [][]byte, maxErrs []float64) (int, error) {
+	head, err := appendHeader(nil, h, g, payloads, maxErrs)
 	if err != nil {
 		return 0, err
 	}
@@ -189,9 +213,9 @@ func EncodeTo(w io.Writer, h *Header, g *Grid, payloads [][]byte) (int, error) {
 }
 
 // Encode serializes a container into one byte slice.
-func Encode(h *Header, g *Grid, payloads [][]byte) ([]byte, error) {
+func Encode(h *Header, g *Grid, payloads [][]byte, maxErrs []float64) ([]byte, error) {
 	var buf bytes.Buffer
-	if _, err := EncodeTo(&buf, h, g, payloads); err != nil {
+	if _, err := EncodeTo(&buf, h, g, payloads, maxErrs); err != nil {
 		return nil, err
 	}
 	return buf.Bytes(), nil
@@ -203,35 +227,36 @@ func Encode(h *Header, g *Grid, payloads [][]byte) ([]byte, error) {
 // what makes random access cheap.
 func Decode(data []byte) (*Archive, error) {
 	r := container.NewCursor(data, ErrCorrupt)
-	h, counts, lens, sums, err := decodeHeader(r)
+	h, idx, err := decodeHeader(r)
 	if err != nil {
 		return nil, err
 	}
 	a := &Archive{Header: *h, data: data}
-	if _, err := FromCounts(h.Dims, counts); err != nil {
+	if _, err := FromCounts(h.Dims, idx.counts); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
-	a.Index = make([]IndexEntry, len(counts))
+	a.Index = make([]IndexEntry, len(idx.counts))
 	slab := 1
 	for _, d := range h.Dims[1:] {
 		slab *= d
 	}
 	start, off := 0, r.Off()
 	for i := range a.Index {
-		if lens[i] < 0 || off+lens[i] > len(data) {
+		if idx.lens[i] < 0 || off+idx.lens[i] > len(data) {
 			return nil, fmt.Errorf("%w: chunk %d payload (%d bytes at %d) exceeds blob size %d",
-				ErrCorrupt, i, lens[i], off, len(data))
+				ErrCorrupt, i, idx.lens[i], off, len(data))
 		}
 		a.Index[i] = IndexEntry{
 			Start:      start,
-			Count:      counts[i],
+			Count:      idx.counts[i],
 			Offset:     off,
-			RawBytes:   counts[i] * slab * 4,
-			PayloadLen: lens[i],
-			Checksum:   sums[i],
+			RawBytes:   idx.counts[i] * slab * 4,
+			PayloadLen: idx.lens[i],
+			Checksum:   idx.sums[i],
+			MaxErr:     idx.errs[i],
 		}
-		start += counts[i]
-		off += lens[i]
+		start += idx.counts[i]
+		off += idx.lens[i]
 	}
 	if off != len(data) {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-off)
@@ -249,124 +274,142 @@ type fields interface {
 	Float64() (float64, error)
 }
 
+// indexData is the parsed per-chunk index: slab counts, payload lengths,
+// checksums, and achieved max errors (NaN for version-1 containers).
+type indexData struct {
+	counts []int
+	lens   []int
+	sums   []uint32
+	errs   []float64
+}
+
 // decodeHeader parses everything up to and including the index, leaving
 // the cursor at the first payload byte.
-func decodeHeader(r fields) (*Header, []int, []int, []uint32, error) {
+func decodeHeader(r fields) (*Header, *indexData, error) {
 	m, err := r.Bytes(4)
 	if err != nil {
-		return nil, nil, nil, nil, err
+		return nil, nil, err
 	}
 	if [4]byte(m) != magic {
-		return nil, nil, nil, nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, m)
+		return nil, nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, m)
 	}
 	ver, err := r.Byte()
 	if err != nil {
-		return nil, nil, nil, nil, err
+		return nil, nil, err
 	}
-	if ver != version {
-		return nil, nil, nil, nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, ver)
+	if ver != versionV1 && ver != versionV2 {
+		return nil, nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, ver)
 	}
 	h := &Header{}
 	mb, err := r.Byte()
 	if err != nil {
-		return nil, nil, nil, nil, err
+		return nil, nil, err
 	}
 	h.Method = container.Method(mb)
 	if h.BoundMode, err = r.Byte(); err != nil {
-		return nil, nil, nil, nil, err
+		return nil, nil, err
 	}
 	if h.BoundValue, err = r.Float64(); err != nil {
-		return nil, nil, nil, nil, err
+		return nil, nil, err
 	}
 	if h.AbsEB, err = r.Float64(); err != nil {
-		return nil, nil, nil, nil, err
+		return nil, nil, err
 	}
 	rank, err := r.Uvarint()
 	if err != nil {
-		return nil, nil, nil, nil, err
+		return nil, nil, err
 	}
 	if rank < 1 || rank > 3 {
-		return nil, nil, nil, nil, fmt.Errorf("%w: rank %d", ErrCorrupt, rank)
+		return nil, nil, fmt.Errorf("%w: rank %d", ErrCorrupt, rank)
 	}
 	h.Dims = make([]int, rank)
 	for i := range h.Dims {
 		d, err := r.Uvarint()
 		if err != nil {
-			return nil, nil, nil, nil, err
+			return nil, nil, err
 		}
 		if d == 0 || d > 1<<32 {
-			return nil, nil, nil, nil, fmt.Errorf("%w: dim %d", ErrCorrupt, d)
+			return nil, nil, fmt.Errorf("%w: dim %d", ErrCorrupt, d)
 		}
 		h.Dims[i] = int(d)
 	}
 	// NumPoints/RawBytes must stay in int range, or downstream
 	// allocations overflow.
 	if _, err := container.CheckVolume(h.Dims); err != nil {
-		return nil, nil, nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	na, err := r.Uvarint()
 	if err != nil {
-		return nil, nil, nil, nil, err
+		return nil, nil, err
 	}
 	if na > 256 {
-		return nil, nil, nil, nil, fmt.Errorf("%w: %d anchors", ErrCorrupt, na)
+		return nil, nil, fmt.Errorf("%w: %d anchors", ErrCorrupt, na)
 	}
 	h.Anchors = make([]string, na)
 	for i := range h.Anchors {
 		l, err := r.Uvarint()
 		if err != nil {
-			return nil, nil, nil, nil, err
+			return nil, nil, err
 		}
 		if l > 4096 {
-			return nil, nil, nil, nil, fmt.Errorf("%w: anchor name length %d", ErrCorrupt, l)
+			return nil, nil, fmt.Errorf("%w: anchor name length %d", ErrCorrupt, l)
 		}
 		nb, err := r.Bytes(int(l))
 		if err != nil {
-			return nil, nil, nil, nil, err
+			return nil, nil, err
 		}
 		h.Anchors[i] = string(nb)
 	}
 	ml, err := r.Uvarint()
 	if err != nil {
-		return nil, nil, nil, nil, err
+		return nil, nil, err
 	}
 	if h.Model, err = r.Bytes(int(ml)); err != nil {
-		return nil, nil, nil, nil, err
+		return nil, nil, err
 	}
 	nc, err := r.Uvarint()
 	if err != nil {
-		return nil, nil, nil, nil, err
+		return nil, nil, err
 	}
 	if nc == 0 || nc > maxChunks {
-		return nil, nil, nil, nil, fmt.Errorf("%w: %d chunks", ErrCorrupt, nc)
+		return nil, nil, fmt.Errorf("%w: %d chunks", ErrCorrupt, nc)
 	}
-	counts := make([]int, nc)
-	lens := make([]int, nc)
-	sums := make([]uint32, nc)
-	for i := range counts {
+	idx := &indexData{
+		counts: make([]int, nc),
+		lens:   make([]int, nc),
+		sums:   make([]uint32, nc),
+		errs:   make([]float64, nc),
+	}
+	for i := range idx.counts {
 		c, err := r.Uvarint()
 		if err != nil {
-			return nil, nil, nil, nil, err
+			return nil, nil, err
 		}
 		if c == 0 || c > 1<<32 {
-			return nil, nil, nil, nil, fmt.Errorf("%w: chunk %d slab count %d", ErrCorrupt, i, c)
+			return nil, nil, fmt.Errorf("%w: chunk %d slab count %d", ErrCorrupt, i, c)
 		}
-		counts[i] = int(c)
+		idx.counts[i] = int(c)
 		l, err := r.Uvarint()
 		if err != nil {
-			return nil, nil, nil, nil, err
+			return nil, nil, err
 		}
 		if l > uint64(math.MaxInt32) {
-			return nil, nil, nil, nil, fmt.Errorf("%w: chunk %d payload length %d", ErrCorrupt, i, l)
+			return nil, nil, fmt.Errorf("%w: chunk %d payload length %d", ErrCorrupt, i, l)
 		}
-		lens[i] = int(l)
+		idx.lens[i] = int(l)
 		s4, err := r.Bytes(4)
 		if err != nil {
-			return nil, nil, nil, nil, err
+			return nil, nil, err
 		}
-		sums[i] = binary.LittleEndian.Uint32(s4)
+		idx.sums[i] = binary.LittleEndian.Uint32(s4)
+		idx.errs[i] = math.NaN()
+		if ver >= versionV2 {
+			if idx.errs[i], err = r.Float64(); err != nil {
+				return nil, nil, err
+			}
+		}
 	}
-	return h, counts, lens, sums, nil
+	return h, idx, nil
 }
 
 // streamReader adapts a buffered stream to the fields interface, counting
@@ -443,30 +486,31 @@ type Reader struct {
 func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReader(r)
 	sr := &streamReader{src: br}
-	h, counts, lens, sums, err := decodeHeader(sr)
+	h, idx, err := decodeHeader(sr)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := FromCounts(h.Dims, counts); err != nil {
+	if _, err := FromCounts(h.Dims, idx.counts); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	slab := 1
 	for _, d := range h.Dims[1:] {
 		slab *= d
 	}
-	index := make([]IndexEntry, len(counts))
+	index := make([]IndexEntry, len(idx.counts))
 	start, off := 0, sr.off
 	for i := range index {
 		index[i] = IndexEntry{
 			Start:      start,
-			Count:      counts[i],
+			Count:      idx.counts[i],
 			Offset:     off,
-			RawBytes:   counts[i] * slab * 4,
-			PayloadLen: lens[i],
-			Checksum:   sums[i],
+			RawBytes:   idx.counts[i] * slab * 4,
+			PayloadLen: idx.lens[i],
+			Checksum:   idx.sums[i],
+			MaxErr:     idx.errs[i],
 		}
-		start += counts[i]
-		off += lens[i]
+		start += idx.counts[i]
+		off += idx.lens[i]
 	}
 	return &Reader{header: *h, index: index, src: br}, nil
 }

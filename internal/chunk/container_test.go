@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"io"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -32,7 +34,7 @@ func testArchive(t *testing.T) (*Header, *Grid, [][]byte, []byte) {
 		payloads[i] = make([]byte, 16+rng.Intn(64))
 		rng.Read(payloads[i])
 	}
-	blob, err := Encode(h, g, payloads)
+	blob, err := Encode(h, g, payloads, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,12 +93,124 @@ func TestContainerRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	re, err := Encode(&a.Header, g2, payloads)
+	re, err := Encode(&a.Header, g2, payloads, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(re, blob) {
 		t.Fatal("re-encode not byte-stable")
+	}
+}
+
+func TestIndexCarriesMaxErrs(t *testing.T) {
+	h, g, payloads, _ := testArchive(t)
+	maxErrs := make([]float64, g.NumChunks())
+	for i := range maxErrs {
+		maxErrs[i] = 0.001 * float64(i+1)
+	}
+	blob, err := Encode(h, g, payloads, maxErrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range a.Index {
+		if e.MaxErr != maxErrs[i] {
+			t.Fatalf("chunk %d MaxErr = %v, want %v", i, e.MaxErr, maxErrs[i])
+		}
+	}
+	// nil maxErrs reads back as NaN ("unknown"), both in-memory and
+	// streaming.
+	blob2, err := Encode(h, g, payloads, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Decode(blob2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(blob2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a2.Index {
+		if !math.IsNaN(a2.Index[i].MaxErr) || !math.IsNaN(r.Index()[i].MaxErr) {
+			t.Fatalf("chunk %d MaxErr = %v/%v, want NaN", i, a2.Index[i].MaxErr, r.Index()[i].MaxErr)
+		}
+	}
+}
+
+// encodeV1 serializes the version-1 layout (no per-chunk max errors) so
+// the compatibility path stays covered.
+func encodeV1(h *Header, g *Grid, payloads [][]byte) []byte {
+	out := append([]byte(nil), magic[:]...)
+	out = append(out, versionV1, byte(h.Method), h.BoundMode)
+	var f8 [8]byte
+	binary.LittleEndian.PutUint64(f8[:], math.Float64bits(h.BoundValue))
+	out = append(out, f8[:]...)
+	binary.LittleEndian.PutUint64(f8[:], math.Float64bits(h.AbsEB))
+	out = append(out, f8[:]...)
+	out = binary.AppendUvarint(out, uint64(len(h.Dims)))
+	for _, d := range h.Dims {
+		out = binary.AppendUvarint(out, uint64(d))
+	}
+	out = binary.AppendUvarint(out, uint64(len(h.Anchors)))
+	for _, a := range h.Anchors {
+		out = binary.AppendUvarint(out, uint64(len(a)))
+		out = append(out, a...)
+	}
+	out = binary.AppendUvarint(out, uint64(len(h.Model)))
+	out = append(out, h.Model...)
+	out = binary.AppendUvarint(out, uint64(g.NumChunks()))
+	var c4 [4]byte
+	for i, p := range payloads {
+		out = binary.AppendUvarint(out, uint64(g.Count(i)))
+		out = binary.AppendUvarint(out, uint64(len(p)))
+		binary.LittleEndian.PutUint32(c4[:], crc32.ChecksumIEEE(p))
+		out = append(out, c4[:]...)
+	}
+	for _, p := range payloads {
+		out = append(out, p...)
+	}
+	return out
+}
+
+func TestDecodeAcceptsVersion1(t *testing.T) {
+	h, g, payloads, _ := testArchive(t)
+	blob := encodeV1(h, g, payloads)
+	a, err := Decode(blob)
+	if err != nil {
+		t.Fatalf("v1 container rejected: %v", err)
+	}
+	if a.Method != h.Method || a.AbsEB != h.AbsEB || a.NumChunks() != g.NumChunks() {
+		t.Fatalf("v1 header mismatch: %+v", a.Header)
+	}
+	for i := range payloads {
+		if !math.IsNaN(a.Index[i].MaxErr) {
+			t.Fatalf("v1 chunk %d MaxErr = %v, want NaN", i, a.Index[i].MaxErr)
+		}
+		p, err := a.Payload(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(p, payloads[i]) {
+			t.Fatalf("v1 chunk %d payload mismatch", i)
+		}
+	}
+	r, err := NewReader(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatalf("v1 stream rejected: %v", err)
+	}
+	for i := range payloads {
+		j, p, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j != i || !bytes.Equal(p, payloads[i]) {
+			t.Fatalf("v1 stream chunk %d mismatch", i)
+		}
 	}
 }
 
@@ -173,9 +287,9 @@ func TestDecodeRejectsBadIndex(t *testing.T) {
 	badGrid := *g
 	badGrid.counts = append([]int(nil), g.counts...)
 	badGrid.counts[0]++
-	if _, err := Encode(h, &badGrid, payloads); err == nil {
+	if _, err := Encode(h, &badGrid, payloads, nil); err == nil {
 		// Encode may not validate the sum; the decoder must.
-		blob, err := Encode(h, &badGrid, payloads)
+		blob, err := Encode(h, &badGrid, payloads, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -184,7 +298,7 @@ func TestDecodeRejectsBadIndex(t *testing.T) {
 		}
 	}
 	// Payload length pointing past the end of the blob.
-	blob, err := Encode(h, g, payloads)
+	blob, err := Encode(h, g, payloads, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +311,7 @@ func TestDecodeRejectsBadIndex(t *testing.T) {
 // a slice panic (regression: the model-length field is unbounded).
 func TestDecodeHugeModelLengthNoPanic(t *testing.T) {
 	blob := append([]byte(nil), magic[:]...)
-	blob = append(blob, version, 0, 0)          // method, bound mode
+	blob = append(blob, versionV2, 0, 0)        // method, bound mode
 	blob = append(blob, make([]byte, 16)...)    // bound value + abs eb
 	blob = append(blob, 1, 1)                   // rank 1, dim 1
 	blob = append(blob, 0)                      // no anchors
@@ -215,7 +329,7 @@ func TestDecodeHugeModelLengthNoPanic(t *testing.T) {
 // rejected at decode, not crash allocations downstream.
 func TestDecodeDimsVolumeOverflowRejected(t *testing.T) {
 	blob := append([]byte(nil), magic[:]...)
-	blob = append(blob, version, 0, 0)       // method, bound mode
+	blob = append(blob, versionV2, 0, 0)     // method, bound mode
 	blob = append(blob, make([]byte, 16)...) // bound value + abs eb
 	blob = append(blob, 2)                   // rank 2
 	blob = binary.AppendUvarint(blob, 1<<31) // dim 0
@@ -245,7 +359,7 @@ func TestEncodeRejectsTooManyChunks(t *testing.T) {
 		t.Fatal(err)
 	}
 	h := &Header{Dims: []int{n}}
-	if _, err := Encode(h, g, make([][]byte, n)); err == nil {
+	if _, err := Encode(h, g, make([][]byte, n), nil); err == nil {
 		t.Fatal("encoder wrote a container Decode would reject")
 	}
 	// Plan never produces such a grid: tiny chunkVoxels on a long axis

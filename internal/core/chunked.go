@@ -19,11 +19,25 @@ type ChunkedOptions struct {
 	// ChunkVoxels is the target number of values per chunk; 0 selects
 	// chunk.DefaultChunkVoxels. Chunks are slabs along the slowest axis,
 	// so the realized size is rounded to whole slabs (minimum one).
+	// Negative values are rejected with an error.
 	ChunkVoxels int
 	// Workers bounds how many chunks are compressed concurrently;
-	// 0 means parallel.Workers() (GOMAXPROCS). The decompression side
-	// takes its bound via DecompressChunkedWith.
+	// 0 means parallel.Workers() (GOMAXPROCS). Negative values are
+	// rejected with an error. The decompression side takes its bound via
+	// DecompressChunkedWith.
 	Workers int
+}
+
+// validate rejects option values that would otherwise be silently treated
+// as defaults — a negative count is always a caller bug.
+func (o ChunkedOptions) validate() error {
+	if o.ChunkVoxels < 0 {
+		return fmt.Errorf("core: ChunkVoxels must be >= 0 (0 = default), got %d", o.ChunkVoxels)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("core: Workers must be >= 0 (0 = GOMAXPROCS), got %d", o.Workers)
+	}
+	return nil
 }
 
 func (o ChunkedOptions) workers() int {
@@ -59,6 +73,9 @@ func CompressChunked(field *tensor.Tensor, model *cfnn.Model, anchors []*tensor.
 // compressed payloads are ever resident, never a second copy of the raw
 // field, so multi-GB fields stream through a bounded footprint.
 func CompressChunkedTo(w io.Writer, field *tensor.Tensor, model *cfnn.Model, anchors []*tensor.Tensor, opts ChunkedOptions) (*Stats, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	opts.Options = opts.Options.withDefaults()
 	method := container.MethodBaseline
 	if model != nil {
@@ -103,7 +120,13 @@ func CompressChunkedTo(w io.Writer, field *tensor.Tensor, model *cfnn.Model, anc
 			if subAnchors, err = g.Views(anchors, i); err != nil {
 				return err
 			}
-			res, err = compressCrossFieldWithEB(sub, model, subAnchors, chunkOpts, method, eb, false)
+			// Layer forward passes cache state on the model, so each
+			// concurrent chunk gets its own clone.
+			m, err2 := model.Clone()
+			if err2 != nil {
+				return err2
+			}
+			res, err = compressCrossFieldWithEB(sub, m, subAnchors, chunkOpts, method, eb, false)
 		}
 		if err != nil {
 			return fmt.Errorf("core: chunk %d: %w", i, err)
@@ -132,7 +155,11 @@ func CompressChunkedTo(w io.Writer, field *tensor.Tensor, model *cfnn.Model, anc
 		Anchors:    append([]string(nil), opts.AnchorNames...),
 		Model:      modelBlob,
 	}
-	total, err := chunk.EncodeTo(w, hdr, g, payloads)
+	maxErrs := make([]float64, n)
+	for i, cs := range chunkStats {
+		maxErrs[i] = cs.MaxErr
+	}
+	total, err := chunk.EncodeTo(w, hdr, g, payloads, maxErrs)
 	if err != nil {
 		return nil, err
 	}
@@ -154,6 +181,9 @@ func aggregateChunkStats(field *tensor.Tensor, chunkStats []Stats, method contai
 		st.TableBytes += cs.TableBytes
 		st.PayloadBytes += cs.PayloadBytes
 		entropy += cs.CodeEntropy * float64(cs.OriginalBytes)
+		if cs.MaxErr > st.MaxErr {
+			st.MaxErr = cs.MaxErr
+		}
 	}
 	if st.OriginalBytes > 0 {
 		st.CodeEntropy = entropy / float64(st.OriginalBytes)
@@ -322,12 +352,17 @@ func prepareArchive(a *chunk.Archive, anchors []*tensor.Tensor) (*chunk.Grid, *c
 }
 
 // decompressChunkTensor reverses one chunk payload against the chunk's
-// region of the anchors.
+// region of the anchors. Chunks decode concurrently, and layer forward
+// passes cache state on the model, so each chunk runs inference on its
+// own clone of the shared CFNN.
 func decompressChunkTensor(payload []byte, g *chunk.Grid, i int, model *cfnn.Model, anchors []*tensor.Tensor) (*tensor.Tensor, error) {
 	var subAnchors []*tensor.Tensor
 	if model != nil {
 		var err error
 		if subAnchors, err = g.Views(anchors, i); err != nil {
+			return nil, err
+		}
+		if model, err = model.Clone(); err != nil {
 			return nil, err
 		}
 	}

@@ -40,7 +40,8 @@ func compressBaselineWithEB(field *tensor.Tensor, eb float64, opts Options) (*Re
 		return nil, err
 	}
 	codes := predictor.ResidualCodesInt(q, lor)
-	return assemble(field, codes, nil, nil, nil, container.MethodBaseline, eb, opts)
+	maxErr := achievedMaxErr(field.Data(), q, eb)
+	return assemble(field, codes, nil, nil, nil, container.MethodBaseline, eb, maxErr, opts)
 }
 
 // CompressHybrid compresses a 2D/3D field with the paper's hybrid
@@ -114,7 +115,8 @@ func compressCrossFieldWithEB(field *tensor.Tensor, model *cfnn.Model, anchors [
 	if !includeModel {
 		stored = nil
 	}
-	return assemble(field, codes, stored, anchors, weights, method, eb, opts)
+	maxErr := achievedMaxErr(field.Data(), q, eb)
+	return assemble(field, codes, stored, anchors, weights, method, eb, maxErr, opts)
 }
 
 // candidateFeatures builds the per-point candidate predictions:
@@ -188,7 +190,7 @@ func fitHybrid(feats [][]float64, q []int32, opts Options) (*predictor.Hybrid, e
 }
 
 // assemble entropy-codes the quantization codes and builds the container.
-func assemble(field *tensor.Tensor, codes []int32, model *cfnn.Model, anchors []*tensor.Tensor, hybrid []float64, method container.Method, eb float64, opts Options) (*Result, error) {
+func assemble(field *tensor.Tensor, codes []int32, model *cfnn.Model, anchors []*tensor.Tensor, hybrid []float64, method container.Method, eb, maxErr float64, opts Options) (*Result, error) {
 	codec, err := huffman.Build(codes, opts.MaxSymbols)
 	if err != nil {
 		return nil, err
@@ -244,6 +246,7 @@ func assemble(field *tensor.Tensor, codes []int32, model *cfnn.Model, anchors []
 		TableBytes:      len(table),
 		PayloadBytes:    len(payload),
 		AbsEB:           eb,
+		MaxErr:          maxErr,
 		Ratio:           metrics.CompressionRatio(origBytes, len(enc)),
 		BitRate:         metrics.BitRate(field.Len(), len(enc)),
 		CodeEntropy:     metrics.Entropy(metrics.Histogram(codes)),

@@ -26,6 +26,7 @@ import (
 	"repro/internal/container"
 	"repro/internal/lossless"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/quant"
 	"repro/internal/tensor"
 )
@@ -66,10 +67,15 @@ type Stats struct {
 	TableBytes      int // Huffman table
 	PayloadBytes    int // entropy-coded + lossless-compressed codes
 	AbsEB           float64
-	Ratio           float64
-	BitRate         float64
-	CodeEntropy     float64 // Shannon entropy of the quantization codes
-	HybridWeights   []float64
+	// MaxErr is the achieved maximum absolute reconstruction error,
+	// computed at compression time (dual quantization makes the committed
+	// loss — prequant rounding plus float32 dequantization — known without
+	// decompressing). Always <= AbsEB plus float32 ulp tolerance.
+	MaxErr        float64
+	Ratio         float64
+	BitRate       float64
+	CodeEntropy   float64 // Shannon entropy of the quantization codes
+	HybridWeights []float64
 }
 
 // Result is a compressed field.
@@ -106,6 +112,32 @@ func roundHalfAway(v float64) int64 {
 func resolveEB(field *tensor.Tensor, bound quant.Bound) (float64, error) {
 	vr := metrics.ValueRange(field.Data())
 	return bound.Absolute(vr)
+}
+
+// achievedMaxErr computes the reconstruction error compression commits to:
+// decompression reproduces the prequant values q exactly (postquant codes
+// are exact integer residuals), so the only loss is prequant rounding plus
+// the float32 rounding of dequantization — both known here, without
+// running the decompressor.
+func achievedMaxErr(data []float32, q []int32, eb float64) float64 {
+	const grain = 1 << 15
+	s := 2 * eb
+	n := (len(data) + grain - 1) / grain
+	return parallel.MapReduce(n, 0.0,
+		func(c int, acc float64) float64 {
+			lo, hi := c*grain, (c+1)*grain
+			if hi > len(data) {
+				hi = len(data)
+			}
+			for i := lo; i < hi; i++ {
+				e := math.Abs(float64(data[i]) - float64(float32(float64(q[i])*s)))
+				if e > acc {
+					acc = e
+				}
+			}
+			return acc
+		},
+		math.Max)
 }
 
 // diffToPrequantUnits converts a CFNN difference field (physical units)

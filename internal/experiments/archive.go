@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"slices"
+	"time"
+
+	crossfield "repro"
+)
+
+// ArchiveFieldRow is one field's outcome inside the dataset archive.
+type ArchiveFieldRow struct {
+	Name string `json:"name"`
+	Role string `json:"role"`
+	// BaselineCR is the field compressed alone with the baseline codec —
+	// what the caller would get without the archive's cross-field wiring.
+	BaselineCR float64 `json:"baseline_cr"`
+	// ArchiveCR is the field's ratio inside the archive (hybrid for
+	// dependents, including the stored CFNN model).
+	ArchiveCR float64 `json:"archive_cr"`
+	// PayloadCR excludes the fixed CFNN model cost (dependents only; the
+	// asymptote on production-size fields).
+	PayloadCR float64 `json:"payload_cr"`
+	MaxErr    float64 `json:"max_err"`
+	AbsEB     float64 `json:"abs_eb"`
+}
+
+// ArchiveBenchReport is the machine-readable output of ArchiveBench,
+// written as BENCH_archive.json so the dataset-archive trajectory is
+// tracked across PRs alongside BENCH_chunked.json.
+type ArchiveBenchReport struct {
+	Dataset    string            `json:"dataset"`
+	RelEB      float64           `json:"rel_eb"`
+	Fields     int               `json:"fields"`
+	MB         float64           `json:"mb"`
+	PackMBps   float64           `json:"pack_mbps"`
+	UnpackMBps float64           `json:"unpack_mbps"`
+	TotalRatio float64           `json:"total_ratio"`
+	Rows       []ArchiveFieldRow `json:"rows"`
+}
+
+// ArchiveBench exercises the dataset-archive flow on the CESM snapshot:
+// the paper's CLDTOT and LWCF targets ride as hybrid dependents over their
+// five anchors in one CFC3 archive. It reports pack/unpack throughput, the
+// per-field ratios vs standalone baseline encodings, and verifies every
+// field's bound through the anchor-free OpenArchive path.
+func ArchiveBench(w io.Writer, s Sizes, jsonPath string) error {
+	section(w, "Dataset archive: multi-field CFC3 vs per-field baseline")
+	const relEB = 1e-3
+	bound := crossfield.Rel(relEB)
+	ds, err := s.generate("CESM-ATM")
+	if err != nil {
+		return err
+	}
+	plans := []crossfield.AnchorPlan{crossfield.PaperPlans()[3], crossfield.PaperPlans()[4]} // CLDTOT, LWCF
+	codecs := make(map[string]*crossfield.Codec, len(plans))
+	for _, plan := range plans {
+		target, err := ds.Field(plan.Target)
+		if err != nil {
+			return err
+		}
+		anchors, err := ds.Fieldset(plan.Anchors...)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		codec, err := crossfield.Train(target, anchors, s.training(len(target.Dims())))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "trained %s ← %v in %v\n", plan.Target, plan.Anchors, time.Since(start).Round(time.Millisecond))
+		codecs[plan.Target] = codec
+	}
+	var specs []crossfield.FieldSpec
+	// Deterministic order: anchors as the paper lists them, then targets.
+	var names []string
+	for _, plan := range plans {
+		for _, a := range plan.Anchors {
+			if !slices.Contains(names, a) {
+				names = append(names, a)
+			}
+		}
+	}
+	for _, plan := range plans {
+		names = append(names, plan.Target)
+	}
+	for _, n := range names {
+		f, err := ds.Field(n)
+		if err != nil {
+			return err
+		}
+		specs = append(specs, crossfield.FieldSpec{Field: f, Codec: codecs[n]})
+	}
+
+	var totalBytes int
+	for _, sp := range specs {
+		totalBytes += sp.Field.Len() * 4
+	}
+	mb := float64(totalBytes) / (1 << 20)
+
+	start := time.Now()
+	res, err := crossfield.CompressDataset(specs, bound)
+	if err != nil {
+		return err
+	}
+	packT := time.Since(start)
+
+	start = time.Now()
+	ar, err := crossfield.OpenArchive(res.Blob)
+	if err != nil {
+		return err
+	}
+	for _, n := range names {
+		if _, err := ar.Field(n); err != nil {
+			return err
+		}
+	}
+	unpackT := time.Since(start)
+
+	report := &ArchiveBenchReport{
+		Dataset: "CESM-ATM", RelEB: relEB, Fields: len(specs), MB: mb,
+		PackMBps:   mb / packT.Seconds(),
+		UnpackMBps: mb / unpackT.Seconds(),
+		TotalRatio: res.Stats.Ratio,
+	}
+	fmt.Fprintf(w, "%d fields, %.1f MB: pack %8.2f MB/s  unpack %8.2f MB/s  archive ratio %6.2fx\n",
+		len(specs), mb, report.PackMBps, report.UnpackMBps, res.Stats.Ratio)
+	fmt.Fprintf(w, "  %-10s %-12s %12s %12s %12s %12s\n", "field", "role", "baseline CR", "archive CR", "payload CR", "Δ payload")
+	for _, fi := range ar.Manifest() {
+		f, err := ds.Field(fi.Name)
+		if err != nil {
+			return err
+		}
+		back, err := ar.Field(fi.Name)
+		if err != nil {
+			return err
+		}
+		if _, ok, err := crossfield.Verify(f, back, fi.AbsEB); err != nil || !ok {
+			return fmt.Errorf("archive field %s violated its bound (ok=%v, err=%v)", fi.Name, ok, err)
+		}
+		base, err := crossfield.CompressBaseline(f, bound)
+		if err != nil {
+			return err
+		}
+		st := res.Stats.Fields[fi.Name]
+		payloadCR := st.Ratio
+		if pb := st.CompressedBytes - st.ModelBytes; pb > 0 {
+			payloadCR = float64(st.OriginalBytes) / float64(pb)
+		}
+		report.Rows = append(report.Rows, ArchiveFieldRow{
+			Name: fi.Name, Role: fi.Role,
+			BaselineCR: base.Stats.Ratio, ArchiveCR: st.Ratio, PayloadCR: payloadCR,
+			MaxErr: st.MaxErr, AbsEB: st.AbsEB,
+		})
+		delta := "n/a"
+		if fi.Role == "dependent" {
+			delta = crDelta(base.Stats.Ratio, payloadCR)
+		}
+		fmt.Fprintf(w, "  %-10s %-12s %12.2f %12.2f %12.2f %12s\n",
+			fi.Name, fi.Role, base.Stats.Ratio, st.Ratio, payloadCR, delta)
+	}
+	if jsonPath != "" {
+		enc, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  wrote %s\n", jsonPath)
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package crossfield
+
+import "fmt"
+
+// Option configures a compression call. Options are shared by the
+// single-field entry points (CompressBaseline, Codec.Compress) and the
+// dataset-level CompressDataset; options that only make sense at one level
+// are rejected with an error at the other, so misuse fails loudly instead
+// of being silently ignored.
+type Option interface {
+	applyOption(*compressConfig) error
+}
+
+// compressConfig is the resolved option set.
+type compressConfig struct {
+	chunked     bool
+	chunkVoxels int
+	workers     int
+	fieldBounds map[string]ErrorBound
+}
+
+// optionFunc adapts a closure to the Option interface.
+type optionFunc func(*compressConfig) error
+
+func (f optionFunc) applyOption(c *compressConfig) error { return f(c) }
+
+// WithChunks selects the chunked parallel engine with the given target
+// number of values per chunk (rounded to whole slabs along the slowest
+// axis). voxels == 0 selects the default of ~2M values per chunk; negative
+// values are rejected.
+func WithChunks(voxels int) Option {
+	return optionFunc(func(c *compressConfig) error {
+		if voxels < 0 {
+			return fmt.Errorf("crossfield: WithChunks(%d): chunk voxels must be >= 0 (0 = default)", voxels)
+		}
+		c.chunked = true
+		c.chunkVoxels = voxels
+		return nil
+	})
+}
+
+// WithWorkers bounds how many chunks compress concurrently and selects the
+// chunked engine. n == 0 means GOMAXPROCS; negative values are rejected.
+func WithWorkers(n int) Option {
+	return optionFunc(func(c *compressConfig) error {
+		if n < 0 {
+			return fmt.Errorf("crossfield: WithWorkers(%d): workers must be >= 0 (0 = GOMAXPROCS)", n)
+		}
+		c.chunked = true
+		c.workers = n
+		return nil
+	})
+}
+
+// WithFieldBound overrides the dataset-wide error bound for one named field
+// of a CompressDataset call. It is rejected by the single-field entry
+// points, and CompressDataset rejects names that match no field in the
+// dataset.
+func WithFieldBound(name string, bound ErrorBound) Option {
+	return optionFunc(func(c *compressConfig) error {
+		if name == "" {
+			return fmt.Errorf("crossfield: WithFieldBound: empty field name")
+		}
+		if c.fieldBounds == nil {
+			c.fieldBounds = make(map[string]ErrorBound)
+		}
+		c.fieldBounds[name] = bound
+		return nil
+	})
+}
+
+// ChunkOptions selects the chunked parallel engine when passed to Compress
+// or CompressBaseline. The zero value means "chunked with defaults".
+//
+// Deprecated: use the functional options WithChunks and WithWorkers
+// instead. ChunkOptions remains an Option so existing call sites keep
+// compiling and old blobs keep decoding; it will not grow new fields.
+type ChunkOptions struct {
+	// ChunkVoxels is the target number of values per chunk (rounded to
+	// whole slabs along the slowest axis); 0 picks a default of ~2M values.
+	// Negative values are rejected with an error.
+	ChunkVoxels int
+	// Workers bounds how many chunks are compressed concurrently;
+	// 0 means GOMAXPROCS. Negative values are rejected with an error.
+	Workers int
+}
+
+// applyOption lets the deprecated struct participate in the functional
+// option surface unchanged.
+func (o ChunkOptions) applyOption(c *compressConfig) error {
+	if o.ChunkVoxels < 0 {
+		return fmt.Errorf("crossfield: ChunkOptions.ChunkVoxels must be >= 0 (0 = default), got %d", o.ChunkVoxels)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("crossfield: ChunkOptions.Workers must be >= 0 (0 = GOMAXPROCS), got %d", o.Workers)
+	}
+	c.chunked = true
+	c.chunkVoxels = o.ChunkVoxels
+	c.workers = o.Workers
+	return nil
+}
+
+// resolveOptions folds the option list into a config. caller names the
+// entry point for error messages; dataset selects whether per-field bounds
+// are legal.
+func resolveOptions(caller string, opts []Option, dataset bool) (*compressConfig, error) {
+	c := &compressConfig{}
+	for _, o := range opts {
+		if o == nil {
+			return nil, fmt.Errorf("crossfield: %s: nil Option", caller)
+		}
+		if err := o.applyOption(c); err != nil {
+			return nil, err
+		}
+	}
+	if !dataset && len(c.fieldBounds) > 0 {
+		return nil, fmt.Errorf("crossfield: %s: WithFieldBound applies only to CompressDataset", caller)
+	}
+	return c, nil
+}
