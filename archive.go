@@ -193,6 +193,7 @@ type FieldInfo struct {
 	MaxErr    float64 // achieved max abs error recorded at compression; NaN if unknown
 	Container string  // payload format: "CFC1" (monolithic) or "CFC2" (chunked)
 	Bytes     int     // compressed payload size
+	Checksum  uint32  // CRC32 (IEEE) of the payload, from the manifest
 }
 
 // Archive is an opened CFC3 dataset archive. Field decompresses any field
@@ -257,9 +258,72 @@ func (a *Archive) Manifest() []FieldInfo {
 			MaxErr:    e.MaxErr,
 			Container: kind,
 			Bytes:     e.PayloadLen,
+			Checksum:  e.Checksum,
 		}
 	}
 	return out
+}
+
+// FieldInfoFor returns the named field's manifest record.
+func (a *Archive) FieldInfoFor(name string) (FieldInfo, bool) {
+	i, ok := a.arc.Lookup(name)
+	if !ok {
+		return FieldInfo{}, false
+	}
+	return a.Manifest()[i], true
+}
+
+// TopoNames returns the archived field names in dependency order: every
+// field after all of its anchors. This is the order Field materializes
+// reconstructions in, and the order serving layers should decode.
+func (a *Archive) TopoNames() []string {
+	order := a.arc.TopoOrder()
+	out := make([]string, len(order))
+	for k, i := range order {
+		out[k] = a.arc.Entries[i].Name
+	}
+	return out
+}
+
+// FieldPayload returns the named field's raw compressed payload (a
+// self-contained CFC1 or CFC2 blob) after verifying its manifest checksum.
+// The bytes reference the archive blob and must not be mutated. Serving
+// layers use it to feed random-access chunk decoding (DecompressChunk)
+// without materializing the whole field.
+func (a *Archive) FieldPayload(name string) ([]byte, error) {
+	i, ok := a.arc.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("crossfield: archive has no field %q (have %v)", name, a.Fields())
+	}
+	return a.arc.Payload(i)
+}
+
+// DecodeField decompresses the named field against explicitly supplied
+// anchor reconstructions (in the field's Anchors order), bypassing the
+// Archive's internal unbounded cache. It is the per-field decode hook for
+// serving layers that manage their own bounded caches; most callers want
+// Field, which materializes and caches anchors automatically.
+func (a *Archive) DecodeField(name string, anchors []*Field) (*Field, error) {
+	i, ok := a.arc.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("crossfield: archive has no field %q (have %v)", name, a.Fields())
+	}
+	e := a.arc.Entries[i]
+	if len(anchors) != len(e.Deps) {
+		return nil, fmt.Errorf("crossfield: field %q needs %d anchors %v, got %d", name, len(e.Deps), e.Deps, len(anchors))
+	}
+	payload, err := a.arc.Payload(i)
+	if err != nil {
+		return nil, err
+	}
+	t, err := core.Decompress(payload, fieldTensors(anchors))
+	if err != nil {
+		return nil, fmt.Errorf("crossfield: field %q: %w", name, err)
+	}
+	if !slices.Equal(t.Shape(), e.Dims) {
+		return nil, fmt.Errorf("crossfield: field %q payload dims %v, manifest says %v", name, t.Shape(), e.Dims)
+	}
+	return &Field{Name: e.Name, t: t}, nil
 }
 
 // Field decompresses the named field. Anchors are materialized first, in

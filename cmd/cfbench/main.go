@@ -11,10 +11,12 @@
 //	                             # writes BENCH_chunked.json (-json to move)
 //	cfbench -exp archive         # multi-field CFC3 dataset archive bench,
 //	                             # writes BENCH_archive.json
+//	cfbench -exp serve           # cfserve cold/hot latency + cache hit
+//	                             # ratio, writes BENCH_serve.json
 //
 // Experiments: tab1 tab2 tab3 fig1 fig5 fig6 fig8 fig9 ablation anchorsel
-// throughput chunked archive (fig7 is produced by fig6; both names are
-// accepted).
+// throughput chunked archive serve (fig7 is produced by fig6; both names
+// are accepted).
 package main
 
 import (
@@ -29,12 +31,13 @@ import (
 
 func main() {
 	var (
-		expFlag  = flag.String("exp", "all", "comma-separated experiments (tab1,tab2,tab3,fig1,fig5,fig6,fig7,fig8,fig9,ablation,anchorsel,throughput,chunked,archive) or 'all'")
+		expFlag  = flag.String("exp", "all", "comma-separated experiments (tab1,tab2,tab3,fig1,fig5,fig6,fig7,fig8,fig9,ablation,anchorsel,throughput,chunked,archive,serve) or 'all'")
 		small    = flag.Bool("small", false, "use reduced grid sizes (quick smoke run)")
 		outDir   = flag.String("out", "", "directory for PGM figure renderings (optional)")
 		seed     = flag.Int64("seed", 42, "dataset/training seed")
 		jsonPath = flag.String("json", "BENCH_chunked.json", "path for the chunked experiment's machine-readable report ('' disables)")
 		archJSON = flag.String("archivejson", "BENCH_archive.json", "path for the archive experiment's machine-readable report ('' disables)")
+		srvJSON  = flag.String("servejson", "BENCH_serve.json", "path for the serve experiment's machine-readable report ('' disables)")
 	)
 	flag.Parse()
 
@@ -94,6 +97,7 @@ func main() {
 	run("throughput", func() error { return experiments.Throughput(w, sizes) })
 	run("chunked", func() error { return experiments.ChunkedThroughput(w, sizes, *jsonPath) })
 	run("archive", func() error { return experiments.ArchiveBench(w, sizes, *archJSON) })
+	run("serve", func() error { return experiments.ServeBench(w, sizes, *srvJSON) })
 }
 
 func fatal(err error) {

@@ -328,6 +328,17 @@ func statsArchive(blob []byte) {
 			fi.Name, fmt.Sprint(fi.Dims), fi.Role, fi.Container, fi.Bytes,
 			fi.Bound.String(), fi.AbsEB, fmtMaxErr(fi.MaxErr), strings.Join(fi.Anchors, ","))
 	}
+	// The dependency graph in decompression order — the same toposort the
+	// cfserve /v1/archives/{a}/stats route reports as topo_order.
+	fmt.Printf("dependency graph (toposort):\n")
+	for _, name := range ar.TopoNames() {
+		fi, _ := ar.FieldInfoFor(name)
+		if len(fi.Anchors) == 0 {
+			fmt.Printf("  %s\n", name)
+		} else {
+			fmt.Printf("  %s <- %s\n", name, strings.Join(fi.Anchors, ","))
+		}
+	}
 }
 
 func bound(rel, abs float64) quant.Bound {

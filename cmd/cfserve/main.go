@@ -1,0 +1,124 @@
+// Command cfserve serves compressed scientific fields over HTTP.
+//
+// It mounts one or more CFC3 dataset archives (or bare CFC1/CFC2 blobs)
+// and exposes their manifests, whole decoded fields, and random-access
+// chunks behind a shared size-bounded LRU decode cache with request
+// coalescing:
+//
+//	cfserve -listen :8080 -mount hurricane=hurricane.cfc wf.cfc
+//
+// Mounts are given either as -mount name=path (repeatable) or as bare
+// positional paths, which mount under the file's base name without its
+// extension.
+//
+// Routes:
+//
+//	GET /v1/archives                             list mounts
+//	GET /v1/archives/{a}/stats                   manifest + toposort order
+//	GET /v1/archives/{a}/fields                  field manifest list
+//	GET /v1/archives/{a}/fields/{f}              raw float32 LE field data
+//	GET /v1/archives/{a}/fields/{f}/stats        field manifest + chunk index
+//	GET /v1/archives/{a}/fields/{f}/chunks/{i}   raw float32 LE chunk data
+//	GET /metrics                                 Prometheus counters
+//	GET /healthz                                 liveness
+//
+// Field and chunk bodies honor Accept-Encoding: gzip and Range requests,
+// and carry X-CFC-Dims / X-CFC-Abs-EB / X-CFC-Max-Err headers plus a
+// content-addressed ETag.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// mountFlags collects repeated -mount name=path values.
+type mountFlags []struct{ name, path string }
+
+func (m *mountFlags) String() string { return fmt.Sprint(*m) }
+
+func (m *mountFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*m = append(*m, struct{ name, path string }{name, path})
+	return nil
+}
+
+func main() {
+	var (
+		listen     = flag.String("listen", ":8080", "address to serve on")
+		cacheMB    = flag.Int("cache-mb", 256, "decoded-field LRU budget in MiB (anchor reconstructions share it)")
+		chunkMB    = flag.Int("chunk-cache-mb", 64, "decoded-chunk LRU budget in MiB")
+		mounts     mountFlags
+		timeoutSec = flag.Int("shutdown-timeout", 10, "graceful shutdown timeout in seconds")
+	)
+	flag.Var(&mounts, "mount", "name=path of a .cfc archive or blob to mount (repeatable)")
+	flag.Parse()
+
+	for _, p := range flag.Args() {
+		name := strings.TrimSuffix(filepath.Base(p), filepath.Ext(p))
+		mounts = append(mounts, struct{ name, path string }{name, p})
+	}
+	if len(mounts) == 0 {
+		fatal(fmt.Errorf("nothing to serve: pass -mount name=path or positional .cfc paths"))
+	}
+
+	srv := serve.New(serve.Config{
+		FieldCacheBytes: int64(*cacheMB) << 20,
+		ChunkCacheBytes: int64(*chunkMB) << 20,
+	})
+	for _, m := range mounts {
+		blob, err := os.ReadFile(m.path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := srv.Mount(m.name, blob); err != nil {
+			fatal(err)
+		}
+		log.Printf("mounted %s as %q (%d bytes)", m.path, m.name, len(blob))
+	}
+
+	hs := &http.Server{
+		Addr:              *listen,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("cfserve listening on %s (%d mounts, field cache %d MiB, chunk cache %d MiB)",
+		*listen, len(mounts), *cacheMB, *chunkMB)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down: field cache [%v], chunk cache [%v]",
+		srv.FieldCacheStats(), srv.ChunkCacheStats())
+	sctx, cancel := context.WithTimeout(context.Background(), time.Duration(*timeoutSec)*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cfserve:", err)
+	os.Exit(1)
+}

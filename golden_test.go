@@ -1,0 +1,363 @@
+package crossfield_test
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	crossfield "repro"
+)
+
+// The golden fixtures under testdata/golden pin every container format
+// version the codebase has ever written: a future format bump that breaks
+// decoding of old blobs fails here instead of silently corrupting
+// archives in the field. Regenerate with
+//
+//	go test -run TestGolden -update
+//
+// after an intentional format change, and commit the new fixtures. The
+// expectations are exact reconstructed bytes, so these tests also pin the
+// decoder's numerics (amd64 CI; Go does not fuse float ops there).
+var update = flag.Bool("update", false, "rewrite golden fixtures under testdata/golden")
+
+const goldenDir = "testdata/golden"
+
+// goldenField is a small deterministic field (6×10×12) with enough
+// structure to exercise Lorenzo, Huffman, and the hybrid path.
+func goldenField() *crossfield.Field {
+	const nz, ny, nx = 6, 10, 12
+	data := make([]float32, nz*ny*nx)
+	p := 0
+	for k := 0; k < nz; k++ {
+		for i := 0; i < ny; i++ {
+			for j := 0; j < nx; j++ {
+				data[p] = float32(12*math.Sin(0.7*float64(k)+0.3*float64(i)) + 5*math.Cos(0.9*float64(j)))
+				p++
+			}
+		}
+	}
+	return crossfield.MustNewField("W", data, nz, ny, nx)
+}
+
+// goldenDataset is the archive fixture's field set: three anchors and a
+// pointwise-linear target, the same construction the API tests use.
+func goldenDataset() (target *crossfield.Field, anchors []*crossfield.Field) {
+	const nz, ny, nx = 6, 10, 12
+	n := nz * ny * nx
+	u := make([]float32, n)
+	v := make([]float32, n)
+	p := make([]float32, n)
+	w := make([]float32, n)
+	idx := 0
+	for k := 0; k < nz; k++ {
+		for i := 0; i < ny; i++ {
+			for j := 0; j < nx; j++ {
+				phase := 0.9*float64(k) + 1.3*float64(i) + 1.7*float64(j)
+				uu := 10*math.Sin(phase) + 2*math.Sin(float64(i)/9)
+				vv := 8*math.Cos(phase) + 1.5*math.Cos(float64(j)/7)
+				pp := 500 + 20*math.Sin(float64(i)/9)*math.Cos(float64(j)/11)
+				u[idx] = float32(uu)
+				v[idx] = float32(vv)
+				p[idx] = float32(pp)
+				w[idx] = float32(0.5*uu - 0.4*vv + 0.02*(pp-500))
+				idx++
+			}
+		}
+	}
+	target = crossfield.MustNewField("W", w, nz, ny, nx)
+	anchors = []*crossfield.Field{
+		crossfield.MustNewField("U", u, nz, ny, nx),
+		crossfield.MustNewField("V", v, nz, ny, nx),
+		crossfield.MustNewField("PRES", p, nz, ny, nx),
+	}
+	return target, anchors
+}
+
+func goldenPath(name string) string { return filepath.Join(goldenDir, name) }
+
+func readGolden(t *testing.T, name string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(goldenPath(name))
+	if err != nil {
+		t.Fatalf("golden fixture %s missing (run `go test -run TestGolden -update` and commit): %v", name, err)
+	}
+	return b
+}
+
+func writeGolden(t *testing.T, name string, data []byte) {
+	t.Helper()
+	if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(goldenPath(name), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (%d bytes)", goldenPath(name), len(data))
+}
+
+func floatsToBytes(data []float32) []byte {
+	out := make([]byte, 4*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(out[i*4:], math.Float32bits(v))
+	}
+	return out
+}
+
+// requireExact compares a reconstruction against the stored expectation
+// bit for bit.
+func requireExact(t *testing.T, name string, got *crossfield.Field, wantFile string) {
+	t.Helper()
+	want := readGolden(t, wantFile)
+	gotB := floatsToBytes(got.Data())
+	if len(gotB) != len(want) {
+		t.Fatalf("%s: decoded %d bytes, expectation %s holds %d", name, len(gotB), wantFile, len(want))
+	}
+	for i := range gotB {
+		if gotB[i] != want[i] {
+			t.Fatalf("%s: decode differs from %s at byte %d (value index %d): old blobs no longer decode bit-exactly",
+				name, wantFile, i, i/4)
+		}
+	}
+}
+
+// cfc2ToV1 rewrites a version-2 CFC2 container as version 1: the version
+// byte drops to 1 and the 8-byte achieved-max-error field is removed from
+// every index entry. Payload bytes are untouched, so the v1 fixture
+// decodes to exactly the v2 expectation — which is precisely what the
+// format's compatibility contract promises.
+func cfc2ToV1(t *testing.T, blob []byte) []byte {
+	t.Helper()
+	if string(blob[:4]) != "CFC2" || blob[4] != 2 {
+		t.Fatalf("not a CFC2 v2 blob")
+	}
+	off := 4 // magic
+	out := append([]byte(nil), blob[:4]...)
+	out = append(out, 1) // version byte
+	off++
+	// method, bound mode, bound value, abs eb
+	out = append(out, blob[off:off+2+16]...)
+	off += 2 + 16
+	uv := func() uint64 {
+		v, n := binary.Uvarint(blob[off:])
+		if n <= 0 {
+			t.Fatalf("bad uvarint at offset %d", off)
+		}
+		out = append(out, blob[off:off+n]...)
+		off += n
+		return v
+	}
+	rank := uv()
+	for i := uint64(0); i < rank; i++ {
+		uv()
+	}
+	numAnchors := uv()
+	for i := uint64(0); i < numAnchors; i++ {
+		l := uv()
+		out = append(out, blob[off:off+int(l)]...)
+		off += int(l)
+	}
+	modelLen := uv()
+	out = append(out, blob[off:off+int(modelLen)]...)
+	off += int(modelLen)
+	numChunks := uv()
+	for i := uint64(0); i < numChunks; i++ {
+		uv()                                  // slab count
+		uv()                                  // payload length
+		out = append(out, blob[off:off+4]...) // CRC32
+		off += 4
+		off += 8 // drop the v2 max-error float
+	}
+	out = append(out, blob[off:]...) // payloads
+	return out
+}
+
+// Each decode test regenerates its own fixtures when -update is set, so
+// one `go test -run TestGolden -update` run rewrites everything without
+// depending on test execution order.
+func regenGoldenBaseline(t *testing.T) {
+	f := goldenField()
+	res, err := crossfield.CompressBaseline(f, crossfield.Abs(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeGolden(t, "baseline_cfc1.cfc", res.Blob)
+	back, err := crossfield.Decompress("W", res.Blob, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeGolden(t, "baseline_cfc1.f32", floatsToBytes(back.Data()))
+}
+
+func regenGoldenChunked(t *testing.T) {
+	f := goldenField()
+	res, err := crossfield.CompressBaseline(f, crossfield.Abs(0.05),
+		crossfield.WithChunks(2*10*12)) // 3 chunks of 2 slabs
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeGolden(t, "chunked_cfc2v2.cfc", res.Blob)
+	writeGolden(t, "chunked_cfc2v1.cfc", cfc2ToV1(t, res.Blob))
+	back, err := crossfield.Decompress("W", res.Blob, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeGolden(t, "chunked_cfc2.f32", floatsToBytes(back.Data()))
+}
+
+func regenGoldenArchive(t *testing.T) {
+	target, anchors := goldenDataset()
+	codec, err := crossfield.Train(target, anchors, crossfield.Training{
+		Features: 6, Epochs: 4, StepsPerEpoch: 8, Batch: 1, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []crossfield.FieldSpec{
+		{Field: anchors[0]}, {Field: anchors[1]}, {Field: anchors[2]},
+		{Field: target, Codec: codec},
+	}
+	res, err := crossfield.CompressDataset(specs, crossfield.Rel(1e-3),
+		crossfield.WithChunks(2*10*12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeGolden(t, "archive_cfc3.cfc", res.Blob)
+	ar, err := crossfield.OpenArchive(res.Blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range ar.Fields() {
+		f, err := ar.Field(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		writeGolden(t, fmt.Sprintf("archive_cfc3_%s.f32", name), floatsToBytes(f.Data()))
+	}
+}
+
+func TestGoldenCFC1Baseline(t *testing.T) {
+	if *update {
+		regenGoldenBaseline(t)
+	}
+	blob := readGolden(t, "baseline_cfc1.cfc")
+	back, err := crossfield.Decompress("W", blob, nil)
+	if err != nil {
+		t.Fatalf("CFC1 golden blob no longer decodes: %v", err)
+	}
+	requireExact(t, "CFC1", back, "baseline_cfc1.f32")
+	// The committed blob must still honor its recorded bound against the
+	// deterministic source field.
+	if maxErr, ok, err := crossfield.Verify(goldenField(), back, 0.05); err != nil || !ok {
+		t.Fatalf("bound violated: maxErr=%g ok=%v err=%v", maxErr, ok, err)
+	}
+}
+
+func TestGoldenCFC2V2(t *testing.T) {
+	if *update {
+		regenGoldenChunked(t)
+	}
+	blob := readGolden(t, "chunked_cfc2v2.cfc")
+	if n, err := crossfield.ChunkCount(blob); err != nil || n != 3 {
+		t.Fatalf("ChunkCount = %d, %v; want 3", n, err)
+	}
+	back, err := crossfield.Decompress("W", blob, nil)
+	if err != nil {
+		t.Fatalf("CFC2 v2 golden blob no longer decodes: %v", err)
+	}
+	requireExact(t, "CFC2v2", back, "chunked_cfc2.f32")
+	// Random access must agree with the full reconstruction.
+	part, start, err := crossfield.DecompressChunk("W", blob, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 2 {
+		t.Fatalf("chunk 1 start = %d, want 2", start)
+	}
+	slab := 10 * 12
+	for i, v := range part.Data() {
+		if v != back.Data()[start*slab+i] {
+			t.Fatalf("chunk decode differs from full decode at %d", i)
+		}
+	}
+}
+
+func TestGoldenCFC2V1(t *testing.T) {
+	if *update {
+		regenGoldenChunked(t)
+	}
+	blob := readGolden(t, "chunked_cfc2v1.cfc")
+	if blob[4] != 1 {
+		t.Fatalf("fixture version byte = %d, want 1", blob[4])
+	}
+	back, err := crossfield.Decompress("W", blob, nil)
+	if err != nil {
+		t.Fatalf("CFC2 v1 golden blob no longer decodes: %v", err)
+	}
+	// v1 lacks per-chunk errors but carries identical payloads, so the
+	// reconstruction matches the v2 expectation bit for bit.
+	requireExact(t, "CFC2v1", back, "chunked_cfc2.f32")
+}
+
+func TestGoldenCFC3Archive(t *testing.T) {
+	if *update {
+		regenGoldenArchive(t)
+	}
+	blob := readGolden(t, "archive_cfc3.cfc")
+	ar, err := crossfield.OpenArchive(blob)
+	if err != nil {
+		t.Fatalf("CFC3 golden archive no longer opens: %v", err)
+	}
+	names := ar.Fields()
+	if len(names) != 4 {
+		t.Fatalf("archive holds %v, want 4 fields", names)
+	}
+	for _, name := range names {
+		f, err := ar.Field(name)
+		if err != nil {
+			t.Fatalf("field %s no longer decodes: %v", name, err)
+		}
+		requireExact(t, "CFC3/"+name, f, fmt.Sprintf("archive_cfc3_%s.f32", name))
+	}
+	// The dependent field's manifest entry must still record its graph.
+	fi, ok := ar.FieldInfoFor("W")
+	if !ok || fi.Role != "dependent" || len(fi.Anchors) != 3 {
+		t.Fatalf("W manifest entry = %+v", fi)
+	}
+}
+
+// TestGoldenFixturesCommitted fails fast with a helpful message when the
+// fixture directory is missing entirely (e.g. a partial checkout).
+func TestGoldenFixturesCommitted(t *testing.T) {
+	if *update {
+		t.Skip("regenerating")
+	}
+	entries, err := os.ReadDir(goldenDir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("testdata/golden missing or empty (err=%v): run `go test -run TestGolden -update` and commit the fixtures", err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	for _, want := range []string{
+		"baseline_cfc1.cfc", "baseline_cfc1.f32",
+		"chunked_cfc2v1.cfc", "chunked_cfc2v2.cfc", "chunked_cfc2.f32",
+		"archive_cfc3.cfc",
+		"archive_cfc3_U.f32", "archive_cfc3_V.f32", "archive_cfc3_PRES.f32", "archive_cfc3_W.f32",
+	} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("fixture %s missing (have %v)", want, names)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/cfnn"
 	"repro/internal/chunk"
@@ -283,8 +284,20 @@ func DecompressChunkedFrom(r io.Reader, anchors []*tensor.Tensor) (*tensor.Tenso
 // reading any other chunk's payload, returning the chunk tensor and its
 // starting slab along axis 0 (multiply by the slab voxel count for the
 // flat offset). Hybrid containers need the full-field decompressed
-// anchors; only the chunk's region of them is consulted.
+// anchors; only the chunk's region of them is consulted. A monolithic
+// CFC1 blob is accepted as a single-chunk container: chunk 0 is the whole
+// field, consistent with ChunkCount and ChunkIndex.
 func DecompressChunk(blob []byte, i int, anchors []*tensor.Tensor) (*tensor.Tensor, int, error) {
+	if !chunk.IsChunked(blob) {
+		if i != 0 {
+			return nil, 0, fmt.Errorf("core: chunk %d out of [0,1) (monolithic blob)", i)
+		}
+		t, err := decompressMono(blob, anchors, nil)
+		if err != nil {
+			return nil, 0, err
+		}
+		return t, 0, nil
+	}
 	a, err := chunk.Decode(blob)
 	if err != nil {
 		return nil, 0, err
@@ -321,6 +334,59 @@ func ChunkCount(blob []byte) (int, error) {
 		return 0, err
 	}
 	return a.NumChunks(), nil
+}
+
+// ChunkInfo describes one chunk of a compressed blob as recorded in its
+// index, without decompressing anything.
+type ChunkInfo struct {
+	Start        int     // first slab along axis 0
+	Slabs        int     // slab count along axis 0
+	Voxels       int     // values in the chunk
+	RawBytes     int     // uncompressed size (voxels × 4)
+	PayloadBytes int     // compressed payload length
+	MaxErr       float64 // achieved max abs error; NaN when unknown
+}
+
+// ChunkIndex returns per-chunk metadata for a blob. A monolithic CFC1
+// blob reports a single chunk covering the whole field (its payload
+// charged the full blob size), so callers can treat every container
+// format as chunked.
+func ChunkIndex(blob []byte) ([]ChunkInfo, error) {
+	if !chunk.IsChunked(blob) {
+		b, err := container.Decode(blob)
+		if err != nil {
+			return nil, err
+		}
+		n := b.NumPoints()
+		return []ChunkInfo{{
+			Start:        0,
+			Slabs:        b.Dims[0],
+			Voxels:       n,
+			RawBytes:     n * 4,
+			PayloadBytes: len(blob),
+			MaxErr:       math.NaN(),
+		}}, nil
+	}
+	a, err := chunk.Decode(blob)
+	if err != nil {
+		return nil, err
+	}
+	slab := 1
+	for _, d := range a.Dims[1:] {
+		slab *= d
+	}
+	out := make([]ChunkInfo, a.NumChunks())
+	for i, e := range a.Index {
+		out[i] = ChunkInfo{
+			Start:        e.Start,
+			Slabs:        e.Count,
+			Voxels:       e.Count * slab,
+			RawBytes:     e.RawBytes,
+			PayloadBytes: e.PayloadLen,
+			MaxErr:       e.MaxErr,
+		}
+	}
+	return out, nil
 }
 
 // prepareArchive validates anchors against the container header, loads the

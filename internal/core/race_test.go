@@ -1,0 +1,97 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// TestHybridChunkedSharedModelRace is the regression test for the
+// per-chunk model-clone fix: layer forward passes cache scratch state on
+// the CFNN, so every concurrently-processed chunk must run inference on
+// its own clone of the container's shared model. Without the Clone calls
+// in CompressChunkedTo and decompressChunkTensor, the race detector
+// reports concurrent writes to the cached activations here — and without
+// -race the reconstruction can silently corrupt.
+func TestHybridChunkedSharedModelRace(t *testing.T) {
+	target := smoothField3D(12, 16, 16, 91)
+	anchors := []*tensor.Tensor{target.Clone()}
+	model := trainTinyModel(t, anchors, target)
+
+	// Compression side: one caller-supplied model, four concurrent chunks.
+	res, err := CompressChunked(target, model, anchors, ChunkedOptions{
+		Options:     Options{Bound: quant.AbsBound(0.05), AnchorNames: []string{"self"}},
+		ChunkVoxels: 2 * 16 * 16, // 6 chunks
+		Workers:     4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nc, err := ChunkCount(res.Blob); err != nil || nc != 6 {
+		t.Fatalf("ChunkCount = %d, %v; want 6", nc, err)
+	}
+
+	// Decompression side: the container's model is loaded once and shared
+	// by every chunk worker; several whole-field decodes run concurrently
+	// on top to widen the overlap window.
+	var wg sync.WaitGroup
+	outs := make([]*tensor.Tensor, 3)
+	errs := make([]error, 3)
+	for g := range outs {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			outs[g], errs[g] = DecompressChunkedWith(res.Blob, anchors, 4)
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("decode %d: %v", g, err)
+		}
+		checkBound(t, target, outs[g], 0.05)
+		for i, v := range outs[g].Data() {
+			if v != outs[0].Data()[i] {
+				t.Fatalf("concurrent decodes disagree at %d", i)
+			}
+		}
+	}
+
+	// Random access on the same blob from many goroutines at once.
+	wg = sync.WaitGroup{}
+	cerrs := make([]error, 6)
+	for ci := 0; ci < 6; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			part, start, err := DecompressChunk(res.Blob, ci, anchors)
+			if err != nil {
+				cerrs[ci] = err
+				return
+			}
+			off := start * 16 * 16
+			for i, v := range part.Data() {
+				if v != outs[0].Data()[off+i] {
+					cerrs[ci] = errMismatch(ci, i)
+					return
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	for ci, err := range cerrs {
+		if err != nil {
+			t.Fatalf("chunk %d: %v", ci, err)
+		}
+	}
+}
+
+type chunkMismatch struct{ chunk, idx int }
+
+func errMismatch(c, i int) error { return chunkMismatch{c, i} }
+
+func (e chunkMismatch) Error() string {
+	return "chunk decode differs from full reconstruction"
+}

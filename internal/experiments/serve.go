@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"slices"
+	"sort"
+	"time"
+
+	crossfield "repro"
+	"repro/internal/serve"
+)
+
+// ServeBenchReport is the machine-readable output of ServeBench, written
+// as BENCH_serve.json so the serving layer's latency trajectory is
+// tracked across PRs alongside the compression benches.
+type ServeBenchReport struct {
+	Dataset string  `json:"dataset"`
+	Fields  int     `json:"fields"`
+	Chunks  int     `json:"chunks_per_field"`
+	MB      float64 `json:"mb"`
+	// Whole-field latencies (one cold decode, then cache hits).
+	ColdFieldMs float64 `json:"cold_field_ms"`
+	HotFieldP50 float64 `json:"hot_field_ms_p50"`
+	HotFieldP99 float64 `json:"hot_field_ms_p99"`
+	// Single-chunk latencies.
+	ColdChunkMs float64 `json:"cold_chunk_ms"`
+	HotChunkP50 float64 `json:"hot_chunk_ms_p50"`
+	HotChunkP99 float64 `json:"hot_chunk_ms_p99"`
+	// Shared decode-cache outcome over the whole run.
+	FieldHitRatio float64 `json:"field_cache_hit_ratio"`
+	ChunkHitRatio float64 `json:"chunk_cache_hit_ratio"`
+	BytesServed   int64   `json:"bytes_served"`
+}
+
+const serveHotRequests = 200
+
+// ServeBench packs the Hurricane snapshot into a chunked CFC3 archive
+// (the paper's Wf target hybrid-compressed against Uf, Vf, Pf), mounts it
+// in the serving layer behind a real HTTP listener, and measures
+// cold-vs-hot request latency for whole fields and random-access chunks,
+// plus the decode-cache hit ratio. The cold numbers pay a decompression;
+// the hot numbers are pure cache + HTTP cost — the gap is what the LRU
+// buys a read-heavy workload.
+func ServeBench(w io.Writer, s Sizes, jsonPath string) error {
+	section(w, "Serving layer: cfserve cold vs hot request latency")
+	plan := PaperPlansByPreset("hurricane-wf")
+	p, err := s.prepare(plan)
+	if err != nil {
+		return err
+	}
+	var specs []crossfield.FieldSpec
+	for _, a := range p.anchors {
+		specs = append(specs, crossfield.FieldSpec{Field: a})
+	}
+	specs = append(specs, crossfield.FieldSpec{Field: p.target, Codec: p.codec})
+	// Slabs of ~1/4 the z extent give every field a handful of chunks.
+	chunkVoxels := (s.HurNZ/4 + 1) * s.HurNY * s.HurNX
+	res, err := crossfield.CompressDataset(specs, crossfield.Rel(1e-3),
+		crossfield.WithChunks(chunkVoxels))
+	if err != nil {
+		return err
+	}
+
+	srv := serve.New(serve.Config{})
+	if err := srv.Mount("hurricane", res.Blob); err != nil {
+		return err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	get := func(path string) (time.Duration, error) {
+		start := time.Now()
+		resp, err := client.Get(ts.URL + path)
+		if err != nil {
+			return 0, err
+		}
+		_, err = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return 0, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return time.Since(start), nil
+	}
+
+	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+	// Cold: the dependent field pays its own decode plus all three
+	// anchors'. Everything after is resident.
+	fieldPath := "/v1/archives/hurricane/fields/" + plan.Target
+	coldField, err := get(fieldPath)
+	if err != nil {
+		return err
+	}
+	hotField := make([]float64, 0, serveHotRequests)
+	for i := 0; i < serveHotRequests; i++ {
+		d, err := get(fieldPath)
+		if err != nil {
+			return err
+		}
+		hotField = append(hotField, ms(d))
+	}
+
+	chunkPath := fieldPath + "/chunks/1"
+	coldChunk, err := get(chunkPath)
+	if err != nil {
+		return err
+	}
+	hotChunk := make([]float64, 0, serveHotRequests)
+	for i := 0; i < serveHotRequests; i++ {
+		d, err := get(chunkPath)
+		if err != nil {
+			return err
+		}
+		hotChunk = append(hotChunk, ms(d))
+	}
+
+	chunks, err := crossfield.ChunkCount(mustPayload(res.Blob, plan.Target))
+	if err != nil {
+		return err
+	}
+	var totalBytes int
+	for _, sp := range specs {
+		totalBytes += sp.Field.Len() * 4
+	}
+	report := &ServeBenchReport{
+		Dataset: plan.Dataset, Fields: len(specs), Chunks: chunks,
+		MB:          float64(totalBytes) / (1 << 20),
+		ColdFieldMs: ms(coldField),
+		HotFieldP50: percentile(hotField, 50), HotFieldP99: percentile(hotField, 99),
+		ColdChunkMs: ms(coldChunk),
+		HotChunkP50: percentile(hotChunk, 50), HotChunkP99: percentile(hotChunk, 99),
+		FieldHitRatio: srv.FieldCacheStats().HitRatio(),
+		ChunkHitRatio: srv.ChunkCacheStats().HitRatio(),
+		BytesServed:   srv.BytesServed(),
+	}
+	fmt.Fprintf(w, "%d fields (%.1f MB), %d chunks/field, %d hot requests each:\n",
+		report.Fields, report.MB, report.Chunks, serveHotRequests)
+	fmt.Fprintf(w, "  %-18s %10s %10s %10s\n", "", "cold", "hot p50", "hot p99")
+	fmt.Fprintf(w, "  %-18s %8.2fms %8.2fms %8.2fms\n", "field "+plan.Target,
+		report.ColdFieldMs, report.HotFieldP50, report.HotFieldP99)
+	fmt.Fprintf(w, "  %-18s %8.2fms %8.2fms %8.2fms\n", "chunk 1",
+		report.ColdChunkMs, report.HotChunkP50, report.HotChunkP99)
+	fmt.Fprintf(w, "  cache hit ratio: field %.3f  chunk %.3f  (%.1f MB served)\n",
+		report.FieldHitRatio, report.ChunkHitRatio, float64(report.BytesServed)/(1<<20))
+	if jsonPath != "" {
+		enc, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// PaperPlansByPreset returns the named Table III plan.
+func PaperPlansByPreset(preset string) crossfield.AnchorPlan {
+	for _, p := range crossfield.PaperPlans() {
+		if p.Preset == preset {
+			return p
+		}
+	}
+	panic("experiments: unknown preset " + preset)
+}
+
+// mustPayload pulls one field's payload out of an archive blob.
+func mustPayload(blob []byte, field string) []byte {
+	ar, err := crossfield.OpenArchive(blob)
+	if err != nil {
+		panic(err)
+	}
+	p, err := ar.FieldPayload(field)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// percentile returns the p-th percentile of samples (nearest-rank).
+func percentile(samples []float64, p int) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := slices.Clone(samples)
+	sort.Float64s(s)
+	rank := (p*len(s) + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	return s[rank-1]
+}

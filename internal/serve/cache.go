@@ -1,0 +1,156 @@
+// Package serve implements the HTTP field/chunk serving layer over the
+// CFC3 archive and CFC2/CFC1 blob formats: a Server that mounts one or
+// more compressed containers and exposes their manifests, whole decoded
+// fields, and random-access chunks over a small versioned REST surface.
+//
+// Behind the handlers sits a shared decompression cache: a size-bounded
+// LRU of decoded fields and chunks with singleflight request coalescing,
+// so N concurrent requests for the same cold entry trigger exactly one
+// decode, and anchor reconstructions are shared across dependent-field
+// requests — and, because cache keys are content-addressed over the
+// payload bytes and the anchor chain, across mounted archives of
+// successive timesteps whose anchors did not change.
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// CacheStats is a point-in-time snapshot of one cache's counters.
+type CacheStats struct {
+	Hits      int64 // entry was resident
+	Misses    int64 // entry was absent; this request ran the decode
+	Coalesced int64 // entry was in flight; this request waited on it
+	Evictions int64 // entries dropped to respect the byte budget
+	Entries   int   // resident entries
+	Bytes     int64 // resident value bytes
+	Capacity  int64 // byte budget
+}
+
+// HitRatio returns hits+coalesced over all lookups (0 when idle). A
+// coalesced request counts as a hit: it did not pay for a decode.
+func (s CacheStats) HitRatio() float64 {
+	total := s.Hits + s.Misses + s.Coalesced
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Coalesced) / float64(total)
+}
+
+// cacheEntry is one cached value. Until ready is closed the entry is in
+// flight: it lives in the map (so followers coalesce onto it) but not in
+// the LRU list (so eviction never sees a half-built entry).
+type cacheEntry struct {
+	key   string
+	val   any
+	size  int64
+	err   error
+	ready chan struct{}
+	elem  *list.Element // non-nil once resident in the LRU list
+}
+
+// Cache is a size-bounded LRU keyed by string with singleflight request
+// coalescing: GetOrCompute runs the compute function at most once per key
+// at a time, and concurrent callers for the same key block on the single
+// in-flight computation instead of duplicating it. Failed computations
+// are not cached; every waiter receives the error and the next request
+// retries. Values larger than the whole budget are returned to callers
+// but not retained. The zero value is not usable; use NewCache.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int64
+	bytes    int64
+	ll       *list.List // front = most recently used; holds *cacheEntry
+	items    map[string]*cacheEntry
+
+	hits, misses, coalesced, evictions int64
+}
+
+// NewCache returns a cache bounded to capacity bytes of values.
+// capacity <= 0 disables retention entirely (every lookup recomputes,
+// but in-flight coalescing still applies).
+func NewCache(capacity int64) *Cache {
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*cacheEntry),
+	}
+}
+
+// GetOrCompute returns the cached value for key, or runs compute to
+// produce it. compute returns the value and its retained size in bytes.
+// Concurrent calls for the same key share one compute invocation.
+func (c *Cache) GetOrCompute(key string, compute func() (any, int64, error)) (any, error) {
+	c.mu.Lock()
+	if e, ok := c.items[key]; ok {
+		select {
+		case <-e.ready:
+			// Resident: bump recency and serve.
+			c.hits++
+			if e.elem != nil {
+				c.ll.MoveToFront(e.elem)
+			}
+			c.mu.Unlock()
+			return e.val, e.err
+		default:
+			// In flight: wait for the leader.
+			c.coalesced++
+			c.mu.Unlock()
+			<-e.ready
+			return e.val, e.err
+		}
+	}
+	e := &cacheEntry{key: key, ready: make(chan struct{})}
+	c.items[key] = e
+	c.misses++
+	c.mu.Unlock()
+
+	e.val, e.size, e.err = compute()
+
+	c.mu.Lock()
+	if e.err != nil || c.capacity <= 0 || e.size > c.capacity {
+		// Not retained: errors must be retried, oversized values would
+		// evict everything else for one resident entry.
+		delete(c.items, key)
+	} else {
+		e.elem = c.ll.PushFront(e)
+		c.bytes += e.size
+		for c.bytes > c.capacity {
+			back := c.ll.Back()
+			if back == nil {
+				break
+			}
+			v := back.Value.(*cacheEntry)
+			c.ll.Remove(back)
+			delete(c.items, v.key)
+			c.bytes -= v.size
+			c.evictions++
+		}
+	}
+	c.mu.Unlock()
+	close(e.ready)
+	return e.val, e.err
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Coalesced: c.coalesced,
+		Evictions: c.evictions,
+		Entries:   c.ll.Len(),
+		Bytes:     c.bytes,
+		Capacity:  c.capacity,
+	}
+}
+
+// String implements fmt.Stringer for log lines.
+func (s CacheStats) String() string {
+	return fmt.Sprintf("hits=%d misses=%d coalesced=%d evictions=%d entries=%d bytes=%d/%d",
+		s.Hits, s.Misses, s.Coalesced, s.Evictions, s.Entries, s.Bytes, s.Capacity)
+}

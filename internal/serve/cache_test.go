@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func mustGet(t *testing.T, c *Cache, key string, val any, size int64) any {
+	t.Helper()
+	v, err := c.GetOrCompute(key, func() (any, int64, error) { return val, size, nil })
+	if err != nil {
+		t.Fatalf("GetOrCompute(%q): %v", key, err)
+	}
+	return v
+}
+
+func TestCacheHitAndMiss(t *testing.T) {
+	c := NewCache(1 << 10)
+	if v := mustGet(t, c, "a", 1, 4); v != 1 {
+		t.Fatalf("got %v, want 1", v)
+	}
+	// Second lookup must not run compute.
+	v, err := c.GetOrCompute("a", func() (any, int64, error) {
+		t.Fatal("compute ran on a resident entry")
+		return nil, 0, nil
+	})
+	if err != nil || v != 1 {
+		t.Fatalf("got %v, %v", v, err)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Bytes != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(10)
+	mustGet(t, c, "a", "a", 4)
+	mustGet(t, c, "b", "b", 4)
+	mustGet(t, c, "a", "a", 4) // refresh a: b is now LRU
+	mustGet(t, c, "c", "c", 4) // 12 bytes > 10: evicts b
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.Bytes != 8 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// a (recently used) survived; b (LRU) did not. Check a first: a
+	// reinsertion of b would itself evict the survivor.
+	c.GetOrCompute("a", func() (any, int64, error) {
+		t.Fatal("a was evicted; want b evicted (LRU)")
+		return nil, 0, nil
+	})
+	recomputed := false
+	c.GetOrCompute("b", func() (any, int64, error) { recomputed = true; return "b", 4, nil })
+	if !recomputed {
+		t.Fatal("evicted entry still resident")
+	}
+}
+
+func TestCacheErrorNotRetained(t *testing.T) {
+	c := NewCache(1 << 10)
+	boom := errors.New("boom")
+	if _, err := c.GetOrCompute("k", func() (any, int64, error) { return nil, 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// The failure must not be cached: the next call retries and succeeds.
+	if v := mustGet(t, c, "k", 7, 4); v != 7 {
+		t.Fatalf("got %v, want 7", v)
+	}
+	st := c.Stats()
+	if st.Misses != 2 {
+		t.Fatalf("misses = %d, want 2 (error retried)", st.Misses)
+	}
+}
+
+func TestCacheOversizedValueNotRetained(t *testing.T) {
+	c := NewCache(8)
+	mustGet(t, c, "big", "big", 100)
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("oversized value retained: %+v", st)
+	}
+	// Still served to the caller; next lookup recomputes.
+	ran := false
+	c.GetOrCompute("big", func() (any, int64, error) { ran = true; return "big", 100, nil })
+	if !ran {
+		t.Fatal("oversized entry was cached")
+	}
+}
+
+func TestCacheZeroCapacityStillCoalesces(t *testing.T) {
+	c := NewCache(0)
+	var computes atomic.Int64
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	const n = 8
+	results := make([]any, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], _ = c.GetOrCompute("k", func() (any, int64, error) {
+				computes.Add(1)
+				<-release
+				return "v", 4, nil
+			})
+		}(i)
+	}
+	// Give followers time to pile onto the in-flight entry.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("%d computes, want 1 (coalesced)", got)
+	}
+	for i, r := range results {
+		if r != "v" {
+			t.Fatalf("result %d = %v", i, r)
+		}
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("zero-capacity cache retained an entry: %+v", st)
+	}
+}
+
+func TestCacheConcurrentStress(t *testing.T) {
+	c := NewCache(256) // small enough to force constant eviction
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%16)
+				v, err := c.GetOrCompute(key, func() (any, int64, error) { return key, 32, nil })
+				if err != nil || v != key {
+					t.Errorf("got %v, %v for %s", v, err, key)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Bytes > 256 {
+		t.Fatalf("cache over budget: %+v", st)
+	}
+	if total := st.Hits + st.Misses + st.Coalesced; total != 8*200 {
+		t.Fatalf("lookups = %d, want %d", total, 8*200)
+	}
+}

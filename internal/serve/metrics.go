@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// metricsState holds the server-level counters surfaced at /metrics in
+// Prometheus text exposition format. Cache counters live in the caches
+// themselves and are merged in at scrape time.
+type metricsState struct {
+	requests    atomic.Int64
+	bytesServed atomic.Int64
+	decodes     atomic.Int64
+	decodeNanos atomic.Int64
+}
+
+func (m *metricsState) observeDecode(d time.Duration) {
+	m.decodes.Add(1)
+	m.decodeNanos.Add(int64(d))
+}
+
+// BytesServed returns the total response bytes written so far.
+func (s *Server) BytesServed() int64 { return s.metrics.bytesServed.Load() }
+
+// countingWriter tallies response bytes for the bytes-served counter.
+type countingWriter struct {
+	http.ResponseWriter
+	n *atomic.Int64
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.n.Add(int64(n))
+	return n, err
+}
+
+// instrument counts every request and its response bytes.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.requests.Add(1)
+		next.ServeHTTP(&countingWriter{ResponseWriter: w, n: &s.metrics.bytesServed}, r)
+	})
+}
+
+func (m *metricsState) write(w io.Writer, fields, chunks CacheStats) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("cfserve_requests_total", "HTTP requests handled.", m.requests.Load())
+	counter("cfserve_bytes_served_total", "Response bytes written.", m.bytesServed.Load())
+	counter("cfserve_decodes_total", "Field and chunk decompressions executed.", m.decodes.Load())
+	fmt.Fprintf(w, "# HELP cfserve_decode_seconds_total Time spent decompressing.\n"+
+		"# TYPE cfserve_decode_seconds_total counter\ncfserve_decode_seconds_total %g\n",
+		time.Duration(m.decodeNanos.Load()).Seconds())
+	// One HELP/TYPE block per metric name, then one sample per cache label,
+	// as the exposition format requires.
+	labeled := func(name, help, kind string, pick func(CacheStats) int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+		fmt.Fprintf(w, "%s{cache=\"field\"} %d\n", name, pick(fields))
+		fmt.Fprintf(w, "%s{cache=\"chunk\"} %d\n", name, pick(chunks))
+	}
+	labeled("cfserve_cache_hits_total", "Cache lookups served from a resident entry.", "counter",
+		func(s CacheStats) int64 { return s.Hits })
+	labeled("cfserve_cache_misses_total", "Cache lookups that ran a decode.", "counter",
+		func(s CacheStats) int64 { return s.Misses })
+	labeled("cfserve_cache_coalesced_total", "Cache lookups that waited on an in-flight decode.", "counter",
+		func(s CacheStats) int64 { return s.Coalesced })
+	labeled("cfserve_cache_evictions_total", "Entries evicted to respect the byte budget.", "counter",
+		func(s CacheStats) int64 { return s.Evictions })
+	labeled("cfserve_cache_entries", "Resident cache entries.", "gauge",
+		func(s CacheStats) int64 { return int64(s.Entries) })
+	labeled("cfserve_cache_bytes", "Resident cache value bytes.", "gauge",
+		func(s CacheStats) int64 { return s.Bytes })
+	labeled("cfserve_cache_capacity_bytes", "Cache byte budget.", "gauge",
+		func(s CacheStats) int64 { return s.Capacity })
+}

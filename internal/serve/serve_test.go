@@ -1,0 +1,677 @@
+package serve_test
+
+import (
+	"compress/gzip"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	crossfield "repro"
+	"repro/internal/serve"
+)
+
+const (
+	tnz, tny, tnx = 8, 18, 20
+	slabVoxels    = tny * tnx
+)
+
+// testDataset builds three anchors and one target that is pointwise-linear
+// in them, so a tiny CFNN learns the coupling quickly.
+func testDataset(t *testing.T) (target *crossfield.Field, anchors []*crossfield.Field) {
+	t.Helper()
+	n := tnz * tny * tnx
+	u := make([]float32, n)
+	v := make([]float32, n)
+	p := make([]float32, n)
+	w := make([]float32, n)
+	idx := 0
+	for k := 0; k < tnz; k++ {
+		for i := 0; i < tny; i++ {
+			for j := 0; j < tnx; j++ {
+				phase := 0.9*float64(k) + 1.3*float64(i) + 1.7*float64(j)
+				uu := 10*math.Sin(phase) + 2*math.Sin(float64(i)/9)
+				vv := 8*math.Cos(phase) + 1.5*math.Cos(float64(j)/7)
+				pp := 500 + 20*math.Sin(float64(i)/9)*math.Cos(float64(j)/11)
+				u[idx] = float32(uu)
+				v[idx] = float32(vv)
+				p[idx] = float32(pp)
+				w[idx] = float32(0.5*uu - 0.4*vv + 0.02*(pp-500))
+				idx++
+			}
+		}
+	}
+	target = crossfield.MustNewField("W", w, tnz, tny, tnx)
+	anchors = []*crossfield.Field{
+		crossfield.MustNewField("U", u, tnz, tny, tnx),
+		crossfield.MustNewField("V", v, tnz, tny, tnx),
+		crossfield.MustNewField("PRES", p, tnz, tny, tnx),
+	}
+	return target, anchors
+}
+
+// buildArchiveBlob packs the test dataset into a chunked CFC3 archive
+// (W hybrid against U, V, PRES; 2-slab chunks so every field has 4).
+func buildArchiveBlob(t *testing.T) []byte {
+	t.Helper()
+	target, anchors := testDataset(t)
+	codec, err := crossfield.Train(target, anchors, crossfield.Training{
+		Features: 6, Epochs: 4, StepsPerEpoch: 8, Batch: 1, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []crossfield.FieldSpec{
+		{Field: anchors[0]}, {Field: anchors[1]}, {Field: anchors[2]},
+		{Field: target, Codec: codec},
+	}
+	res, err := crossfield.CompressDataset(specs, crossfield.Rel(1e-3),
+		crossfield.WithChunks(2*slabVoxels))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Blob
+}
+
+var (
+	archiveBlobOnce sync.Once
+	archiveBlob     []byte
+)
+
+// sharedArchiveBlob trains once for the whole test binary.
+func sharedArchiveBlob(t *testing.T) []byte {
+	t.Helper()
+	archiveBlobOnce.Do(func() { archiveBlob = buildArchiveBlob(t) })
+	if archiveBlob == nil {
+		t.Fatal("archive blob construction failed earlier")
+	}
+	return archiveBlob
+}
+
+func newTestServer(t *testing.T, cfg serve.Config) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	s := serve.New(cfg)
+	if err := s.Mount("ds", sharedArchiveBlob(t)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string, out any) {
+	t.Helper()
+	resp, body := get(t, ts, path)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d: %s", path, resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("GET %s Content-Type = %q", path, ct)
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		t.Fatalf("GET %s: %v\n%s", path, err, body)
+	}
+}
+
+func floatsOf(t *testing.T, body []byte) []float32 {
+	t.Helper()
+	if len(body)%4 != 0 {
+		t.Fatalf("body length %d not a multiple of 4", len(body))
+	}
+	out := make([]float32, len(body)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[i*4:]))
+	}
+	return out
+}
+
+func TestArchiveListing(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	var got []struct {
+		Name   string `json:"name"`
+		Format string `json:"format"`
+		Fields int    `json:"fields"`
+		Bytes  int    `json:"bytes"`
+	}
+	getJSON(t, ts, "/v1/archives", &got)
+	if len(got) != 1 || got[0].Name != "ds" || got[0].Format != "CFC3" || got[0].Fields != 4 {
+		t.Fatalf("listing = %+v", got)
+	}
+}
+
+func TestFieldsListing(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	var got []struct {
+		Name    string   `json:"name"`
+		Dims    []int    `json:"dims"`
+		Role    string   `json:"role"`
+		Anchors []string `json:"anchors"`
+		Chunks  int      `json:"chunks"`
+	}
+	getJSON(t, ts, "/v1/archives/ds/fields", &got)
+	if len(got) != 4 {
+		t.Fatalf("%d fields, want 4", len(got))
+	}
+	byName := map[string]int{}
+	for i, f := range got {
+		byName[f.Name] = i
+		if len(f.Dims) != 3 || f.Dims[0] != tnz {
+			t.Fatalf("field %s dims = %v", f.Name, f.Dims)
+		}
+		if f.Chunks != 4 { // 8 slabs / 2 per chunk
+			t.Fatalf("field %s chunks = %d, want 4", f.Name, f.Chunks)
+		}
+	}
+	w := got[byName["W"]]
+	if w.Role != "dependent" || len(w.Anchors) != 3 {
+		t.Fatalf("W = %+v", w)
+	}
+	if got[byName["U"]].Role != "anchor" {
+		t.Fatalf("U role = %q", got[byName["U"]].Role)
+	}
+}
+
+func TestFieldDataMatchesArchiveDecode(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	ar, err := crossfield.OpenArchive(sharedArchiveBlob(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"U", "W"} { // standalone and dependent
+		want, err := ar.Field(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, body := get(t, ts, "/v1/archives/ds/fields/"+name)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d: %s", name, resp.StatusCode, body)
+		}
+		if d := resp.Header.Get("X-CFC-Dims"); d != fmt.Sprintf("%dx%dx%d", tnz, tny, tnx) {
+			t.Fatalf("X-CFC-Dims = %q", d)
+		}
+		if resp.Header.Get("ETag") == "" {
+			t.Fatal("missing ETag")
+		}
+		got := floatsOf(t, body)
+		if len(got) != want.Len() {
+			t.Fatalf("%s: %d values, want %d", name, len(got), want.Len())
+		}
+		for i, v := range got {
+			if v != want.Data()[i] {
+				t.Fatalf("%s[%d] = %g, want %g", name, i, v, want.Data()[i])
+			}
+		}
+	}
+}
+
+func TestChunkDataMatchesFullReconstruction(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	ar, err := crossfield.OpenArchive(sharedArchiveBlob(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := ar.Field("W")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := get(t, ts, "/v1/archives/ds/fields/W/chunks/2")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET chunk = %d: %s", resp.StatusCode, body)
+	}
+	if s := resp.Header.Get("X-CFC-Chunk-Start"); s != "4" { // chunk 2 of 2-slab chunks
+		t.Fatalf("X-CFC-Chunk-Start = %q, want 4", s)
+	}
+	got := floatsOf(t, body)
+	if len(got) != 2*slabVoxels {
+		t.Fatalf("chunk has %d values, want %d", len(got), 2*slabVoxels)
+	}
+	off := 4 * slabVoxels
+	for i, v := range got {
+		if v != full.Data()[off+i] {
+			t.Fatalf("chunk[%d] = %g, want %g", i, v, full.Data()[off+i])
+		}
+	}
+}
+
+func TestArchiveStatsTopoOrder(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	var got struct {
+		Name      string   `json:"name"`
+		TopoOrder []string `json:"topo_order"`
+		Fields    []struct {
+			Name string `json:"name"`
+		} `json:"fields"`
+	}
+	getJSON(t, ts, "/v1/archives/ds/stats", &got)
+	if len(got.TopoOrder) != 4 || len(got.Fields) != 4 {
+		t.Fatalf("stats = %+v", got)
+	}
+	pos := map[string]int{}
+	for i, n := range got.TopoOrder {
+		pos[n] = i
+	}
+	for _, a := range []string{"U", "V", "PRES"} {
+		if pos[a] > pos["W"] {
+			t.Fatalf("topo_order %v places %s after its dependent W", got.TopoOrder, a)
+		}
+	}
+}
+
+func TestFieldStatsChunkIndex(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	var got struct {
+		Name       string `json:"name"`
+		Container  string `json:"container"`
+		ChunkIndex []struct {
+			Index    int      `json:"index"`
+			Start    int      `json:"start"`
+			Slabs    int      `json:"slabs"`
+			MaxErr   *float64 `json:"max_err"`
+			RawBytes int      `json:"raw_bytes"`
+		} `json:"chunk_index"`
+	}
+	getJSON(t, ts, "/v1/archives/ds/fields/W/stats", &got)
+	if got.Container != "CFC2" || len(got.ChunkIndex) != 4 {
+		t.Fatalf("stats = %+v", got)
+	}
+	for i, c := range got.ChunkIndex {
+		if c.Index != i || c.Start != 2*i || c.Slabs != 2 || c.RawBytes != 2*slabVoxels*4 {
+			t.Fatalf("chunk_index[%d] = %+v", i, c)
+		}
+		if c.MaxErr == nil {
+			t.Fatalf("chunk_index[%d] missing max_err (v2 container records it)", i)
+		}
+	}
+}
+
+func TestNotFoundAndBadRequest(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	cases := []struct {
+		path string
+		code int
+	}{
+		{"/v1/archives/nope/fields", http.StatusNotFound},
+		{"/v1/archives/nope/stats", http.StatusNotFound},
+		{"/v1/archives/ds/fields/NOPE", http.StatusNotFound},
+		{"/v1/archives/ds/fields/NOPE/stats", http.StatusNotFound},
+		{"/v1/archives/ds/fields/NOPE/chunks/0", http.StatusNotFound},
+		{"/v1/archives/ds/fields/W/chunks/99", http.StatusNotFound},
+		{"/v1/archives/ds/fields/W/chunks/-1", http.StatusNotFound},
+		{"/v1/archives/ds/fields/W/chunks/abc", http.StatusBadRequest},
+		{"/v1/archives/ds/fields/W/chunks/1x", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, body := get(t, ts, c.path)
+		if resp.StatusCode != c.code {
+			t.Errorf("GET %s = %d, want %d (%s)", c.path, resp.StatusCode, c.code, body)
+			continue
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("GET %s: error body %q not JSON", c.path, body)
+		}
+	}
+}
+
+func TestColdChunkCoalescing(t *testing.T) {
+	s, ts := newTestServer(t, serve.Config{})
+	const parallel = 32
+	url := ts.URL + "/v1/archives/ds/fields/U/chunks/1"
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make([]error, parallel)
+	bodies := make([][]byte, parallel)
+	for i := 0; i < parallel; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			resp, err := http.Get(url)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			bodies[i], errs[i] = io.ReadAll(resp.Body)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if string(bodies[i]) != string(bodies[0]) {
+			t.Fatalf("request %d returned different bytes", i)
+		}
+	}
+	st := s.ChunkCacheStats()
+	if st.Misses != 1 {
+		t.Fatalf("chunk cache ran %d decodes for one cold chunk under %d parallel GETs, want exactly 1 (stats %+v)",
+			st.Misses, parallel, st)
+	}
+	if st.Hits+st.Coalesced != parallel-1 {
+		t.Fatalf("hits+coalesced = %d, want %d (stats %+v)", st.Hits+st.Coalesced, parallel-1, st)
+	}
+}
+
+func TestAnchorReconstructionSharedAcrossFields(t *testing.T) {
+	s, ts := newTestServer(t, serve.Config{})
+	// Decoding W materializes U, V, PRES through the field cache.
+	if resp, body := get(t, ts, "/v1/archives/ds/fields/W"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET W = %d: %s", resp.StatusCode, body)
+	}
+	after := s.FieldCacheStats()
+	if after.Misses != 4 { // W + three anchors
+		t.Fatalf("misses after W = %d, want 4 (stats %+v)", after.Misses, after)
+	}
+	// A direct anchor request now hits the shared reconstruction.
+	if resp, body := get(t, ts, "/v1/archives/ds/fields/PRES"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET PRES = %d: %s", resp.StatusCode, body)
+	}
+	if st := s.FieldCacheStats(); st.Misses != 4 || st.Hits < 1 {
+		t.Fatalf("anchor request re-decoded instead of hitting the cache: %+v", st)
+	}
+}
+
+func TestCrossArchiveAnchorDedup(t *testing.T) {
+	s, ts := newTestServer(t, serve.Config{})
+	// A successive-timestep archive with byte-identical payloads mounted
+	// under a different name must share every decode.
+	if err := s.Mount("ds-t1", sharedArchiveBlob(t)); err != nil {
+		t.Fatal(err)
+	}
+	if resp, body := get(t, ts, "/v1/archives/ds/fields/W"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET ds/W = %d: %s", resp.StatusCode, body)
+	}
+	mid := s.FieldCacheStats()
+	if resp, body := get(t, ts, "/v1/archives/ds-t1/fields/W"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET ds-t1/W = %d: %s", resp.StatusCode, body)
+	}
+	after := s.FieldCacheStats()
+	if after.Misses != mid.Misses {
+		t.Fatalf("identical archive under a new mount re-decoded: before %+v, after %+v", mid, after)
+	}
+	if after.Hits <= mid.Hits {
+		t.Fatalf("expected a content-addressed cache hit: before %+v, after %+v", mid, after)
+	}
+}
+
+func TestGzipAndConditionalRequests(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/archives/ds/fields/U", nil)
+	req.Header.Set("Accept-Encoding", "gzip")
+	resp, err := http.DefaultTransport.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if enc := resp.Header.Get("Content-Encoding"); enc != "gzip" {
+		t.Fatalf("Content-Encoding = %q, want gzip", enc)
+	}
+	gz, err := gzip.NewReader(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != tnz*tny*tnx*4 {
+		t.Fatalf("gunzipped %d bytes, want %d", len(raw), tnz*tny*tnx*4)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("missing ETag on gzip response")
+	}
+	// Conditional revalidation with the returned ETag.
+	req2, _ := http.NewRequest("GET", ts.URL+"/v1/archives/ds/fields/U", nil)
+	req2.Header.Set("If-None-Match", etag)
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotModified {
+		t.Fatalf("If-None-Match revalidation = %d, want 304", resp2.StatusCode)
+	}
+}
+
+// Every chunk (and the whole field) must carry a distinct ETag:
+// revalidating chunk 1 with chunk 0's tag has to return fresh bytes, not
+// 304, or an HTTP cache would serve one chunk's data as another's.
+func TestETagsDistinctAcrossChunks(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	etagOf := func(path string) string {
+		resp, _ := get(t, ts, path)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+		e := resp.Header.Get("ETag")
+		if e == "" {
+			t.Fatalf("GET %s: missing ETag", path)
+		}
+		return e
+	}
+	field := etagOf("/v1/archives/ds/fields/U")
+	chunk0 := etagOf("/v1/archives/ds/fields/U/chunks/0")
+	chunk1 := etagOf("/v1/archives/ds/fields/U/chunks/1")
+	if field == chunk0 || chunk0 == chunk1 {
+		t.Fatalf("ETag collision: field %s, chunk0 %s, chunk1 %s", field, chunk0, chunk1)
+	}
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/archives/ds/fields/U/chunks/1", nil)
+	req.Header.Set("If-None-Match", chunk0)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("chunk 1 with chunk 0's ETag = %d, want 200 (distinct content)", resp.StatusCode)
+	}
+}
+
+// gzip;q=0 is an explicit refusal of gzip and must produce an identity
+// response.
+func TestGzipQZeroRefused(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/archives/ds/fields/U", nil)
+	req.Header.Set("Accept-Encoding", "gzip;q=0")
+	resp, err := http.DefaultTransport.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if enc := resp.Header.Get("Content-Encoding"); enc != "" {
+		t.Fatalf("Content-Encoding = %q for gzip;q=0, want identity", enc)
+	}
+	if len(body) != tnz*tny*tnx*4 {
+		t.Fatalf("body %d bytes, want raw %d", len(body), tnz*tny*tnx*4)
+	}
+}
+
+func TestRangeRequest(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/archives/ds/fields/U", nil)
+	req.Header.Set("Range", "bytes=0-15")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusPartialContent {
+		t.Fatalf("Range request = %d, want 206", resp.StatusCode)
+	}
+	if len(body) != 16 {
+		t.Fatalf("partial body %d bytes, want 16", len(body))
+	}
+	_, full := get(t, ts, "/v1/archives/ds/fields/U")
+	if string(body) != string(full[:16]) {
+		t.Fatal("range bytes differ from the full body prefix")
+	}
+}
+
+func TestBareBlobMounts(t *testing.T) {
+	target, anchors := testDataset(t)
+	// Chunked baseline blob: fully servable.
+	base, err := crossfield.CompressBaseline(anchors[0], crossfield.Rel(1e-3),
+		crossfield.WithChunks(2*slabVoxels))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := serve.New(serve.Config{})
+	if err := s.Mount("u", base.Blob); err != nil {
+		t.Fatal(err)
+	}
+	// Bare hybrid blob: mounts for metadata, data requests are 422.
+	codec, err := crossfield.Train(target, anchors, crossfield.Training{
+		Features: 4, Epochs: 2, StepsPerEpoch: 4, Batch: 1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyb, err := codec.Compress(target, anchors, crossfield.Rel(1e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Mount("w-hybrid", hyb.Blob); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var listing []struct {
+		Name   string `json:"name"`
+		Format string `json:"format"`
+	}
+	getJSON(t, ts, "/v1/archives", &listing)
+	if len(listing) != 2 || listing[0].Format != "CFC2" || listing[1].Format != "CFC1" {
+		t.Fatalf("listing = %+v", listing)
+	}
+
+	resp, body := get(t, ts, "/v1/archives/u/fields/u")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET bare field = %d: %s", resp.StatusCode, body)
+	}
+	want, err := crossfield.Decompress("u", base.Blob, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := floatsOf(t, body)
+	for i, v := range got {
+		if v != want.Data()[i] {
+			t.Fatalf("bare field[%d] = %g, want %g", i, v, want.Data()[i])
+		}
+	}
+	if resp, _ := get(t, ts, "/v1/archives/u/fields/u/chunks/3"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET bare chunk = %d", resp.StatusCode)
+	}
+	// CFC1 blobs serve chunk 0 as the whole field.
+	resp, body = get(t, ts, "/v1/archives/w-hybrid/fields/w-hybrid/chunks/0")
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("bare hybrid chunk = %d, want 422 (%s)", resp.StatusCode, body)
+	}
+	resp, body = get(t, ts, "/v1/archives/w-hybrid/fields/w-hybrid")
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("bare hybrid field = %d, want 422 (%s)", resp.StatusCode, body)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || !strings.Contains(e.Error, "anchor") {
+		t.Fatalf("422 body %q should name the missing anchors", body)
+	}
+}
+
+func TestMountRejectsGarbage(t *testing.T) {
+	s := serve.New(serve.Config{})
+	if err := s.Mount("bad", []byte("not a container")); err == nil {
+		t.Fatal("garbage mount accepted")
+	}
+	if err := s.Mount("no/slashes", sharedArchiveBlob(t)); err == nil {
+		t.Fatal("slash in mount name accepted")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	get(t, ts, "/v1/archives/ds/fields/U")
+	get(t, ts, "/v1/archives/ds/fields/U") // hit
+	resp, body := get(t, ts, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"cfserve_requests_total",
+		"cfserve_bytes_served_total",
+		"cfserve_decodes_total",
+		"cfserve_decode_seconds_total",
+		`cfserve_cache_hits_total{cache="field"}`,
+		`cfserve_cache_misses_total{cache="field"}`,
+		`cfserve_cache_coalesced_total{cache="chunk"}`,
+		`cfserve_cache_bytes{cache="field"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if !strings.Contains(text, `cfserve_cache_hits_total{cache="field"} 1`) {
+		t.Errorf("field cache should report exactly 1 hit:\n%s", text)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	resp, body := get(t, ts, "/healthz")
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+		t.Fatalf("healthz = %d %q", resp.StatusCode, body)
+	}
+}
+
+func TestFieldCacheEviction(t *testing.T) {
+	// A field cache big enough for one field only: U then V evicts U.
+	// Entries charge the decoded values plus the serialized body (8 B per
+	// voxel).
+	fieldBytes := int64(tnz * tny * tnx * 8)
+	s, ts := newTestServer(t, serve.Config{FieldCacheBytes: fieldBytes + 8, ChunkCacheBytes: 1 << 20})
+	get(t, ts, "/v1/archives/ds/fields/U")
+	get(t, ts, "/v1/archives/ds/fields/V")
+	if st := s.FieldCacheStats(); st.Evictions != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 eviction, 1 resident entry", st)
+	}
+	get(t, ts, "/v1/archives/ds/fields/U") // re-decode
+	if st := s.FieldCacheStats(); st.Misses != 3 {
+		t.Fatalf("misses = %d, want 3 (U evicted and re-decoded)", st.Misses)
+	}
+}

@@ -1,0 +1,696 @@
+package serve
+
+import (
+	"bytes"
+	"compress/gzip"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	crossfield "repro"
+	"repro/internal/chunk"
+	"repro/internal/core"
+	"repro/internal/quant"
+)
+
+// Config sizes the shared decode caches. Each cached entry holds the
+// decoded values plus their pre-serialized response body, and both are
+// charged to the budget, so a resident field costs ~8 bytes per voxel.
+type Config struct {
+	// FieldCacheBytes bounds the decoded-field LRU (anchors and whole
+	// fields); 0 selects 256 MiB. Negative disables retention.
+	FieldCacheBytes int64
+	// ChunkCacheBytes bounds the decoded-chunk LRU; 0 selects 64 MiB.
+	// Negative disables retention.
+	ChunkCacheBytes int64
+}
+
+const (
+	defaultFieldCacheBytes = 256 << 20
+	defaultChunkCacheBytes = 64 << 20
+)
+
+// Server mounts compressed containers — CFC3 dataset archives or bare
+// CFC1/CFC2 single-field blobs — and serves their manifests, decoded
+// fields, and random-access chunks over HTTP. All mounts share one
+// decoded-field cache and one decoded-chunk cache, so anchor
+// reconstructions are deduplicated across dependent fields, across
+// requests, and (by content-addressed keys) across archives that share
+// identical anchor payloads.
+type Server struct {
+	mu     sync.RWMutex
+	mounts map[string]*mount
+	order  []string
+
+	fields  *Cache
+	chunks  *Cache
+	metrics metricsState
+}
+
+// mount is one named container exposed under /v1/archives/{name}.
+type mount struct {
+	name      string
+	blob      []byte
+	format    string // "CFC3", "CFC2", or "CFC1"
+	ar        *crossfield.Archive
+	fieldList []fieldView
+	byName    map[string]int
+	topo      []int // field indices in dependency (decode) order
+}
+
+// fieldView is one servable field: its manifest record, resolved dep
+// indices, checksum-verified payload, chunk index, and the
+// content-addressed cache key.
+type fieldView struct {
+	info crossfield.FieldInfo
+	deps []int
+	// payload is the field's compressed CFC1/CFC2 blob, CRC-verified once
+	// at mount time so chunk requests never re-hash it.
+	payload []byte
+	chunks  []core.ChunkInfo
+	// key is a Merkle-style content hash: sha256 over the field's
+	// compressed payload and the keys of its anchors. Two mounts whose
+	// field (and transitive anchor) payloads are byte-identical share
+	// cache entries, which is what dedups anchor decodes across
+	// successive-timestep archives.
+	key string
+}
+
+// New returns a Server with the given cache budgets and no mounts.
+func New(cfg Config) *Server {
+	if cfg.FieldCacheBytes == 0 {
+		cfg.FieldCacheBytes = defaultFieldCacheBytes
+	}
+	if cfg.ChunkCacheBytes == 0 {
+		cfg.ChunkCacheBytes = defaultChunkCacheBytes
+	}
+	return &Server{
+		mounts: make(map[string]*mount),
+		fields: NewCache(cfg.FieldCacheBytes),
+		chunks: NewCache(cfg.ChunkCacheBytes),
+	}
+}
+
+// Mount registers blob under name. CFC3 archives expose every manifest
+// field; bare CFC1/CFC2 blobs expose a single field named like the mount.
+// Mounting a name twice replaces the previous mount (the cache is content
+// addressed, so stale entries are simply never referenced again and age
+// out of the LRU).
+func (s *Server) Mount(name string, blob []byte) error {
+	if name == "" || strings.ContainsAny(name, "/ \t\n") {
+		return fmt.Errorf("serve: invalid mount name %q", name)
+	}
+	var (
+		m   *mount
+		err error
+	)
+	if crossfield.IsArchive(blob) {
+		m, err = mountArchive(name, blob)
+	} else {
+		m, err = mountBlob(name, blob)
+	}
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.mounts[name]; !exists {
+		s.order = append(s.order, name)
+	}
+	s.mounts[name] = m
+	return nil
+}
+
+// MountNames returns the mounted archive names in mount order.
+func (s *Server) MountNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.order...)
+}
+
+// FieldCacheStats and ChunkCacheStats snapshot the shared caches.
+func (s *Server) FieldCacheStats() CacheStats { return s.fields.Stats() }
+func (s *Server) ChunkCacheStats() CacheStats { return s.chunks.Stats() }
+
+func mountArchive(name string, blob []byte) (*mount, error) {
+	ar, err := crossfield.OpenArchive(blob)
+	if err != nil {
+		return nil, fmt.Errorf("serve: mount %q: %w", name, err)
+	}
+	man := ar.Manifest()
+	m := &mount{
+		name:      name,
+		blob:      blob,
+		format:    "CFC3",
+		ar:        ar,
+		fieldList: make([]fieldView, len(man)),
+		byName:    make(map[string]int, len(man)),
+	}
+	for i, fi := range man {
+		m.byName[fi.Name] = i
+	}
+	for i, fi := range man {
+		deps := make([]int, len(fi.Anchors))
+		for k, dep := range fi.Anchors {
+			deps[k] = m.byName[dep]
+		}
+		// One checksum pass per field, at mount time; everything after
+		// (chunk index, content key, chunk decodes) reuses the verified
+		// bytes.
+		payload, err := ar.FieldPayload(fi.Name)
+		if err != nil {
+			return nil, fmt.Errorf("serve: mount %q: %w", name, err)
+		}
+		chunks, err := core.ChunkIndex(payload)
+		if err != nil {
+			return nil, fmt.Errorf("serve: mount %q field %q: %w", name, fi.Name, err)
+		}
+		m.fieldList[i] = fieldView{info: fi, deps: deps, payload: payload, chunks: chunks}
+	}
+	// Keys must be computed anchors-first; TopoNames gives that order.
+	for _, fn := range ar.TopoNames() {
+		i := m.byName[fn]
+		m.fieldList[i].key = contentKey(m.fieldList[i].payload, m.depKeys(i))
+		m.topo = append(m.topo, i)
+	}
+	return m, nil
+}
+
+func mountBlob(name string, blob []byte) (*mount, error) {
+	chunks, err := core.ChunkIndex(blob)
+	if err != nil {
+		return nil, fmt.Errorf("serve: mount %q: %w", name, err)
+	}
+	fi := crossfield.FieldInfo{
+		Name:     name,
+		Role:     "standalone",
+		MaxErr:   math.NaN(),
+		Bytes:    len(blob),
+		Checksum: crc32.ChecksumIEEE(blob),
+	}
+	if chunk.IsChunked(blob) {
+		a, err := chunk.Decode(blob)
+		if err != nil {
+			return nil, fmt.Errorf("serve: mount %q: %w", name, err)
+		}
+		fi.Dims = append([]int(nil), a.Dims...)
+		fi.Bound = quant.Bound{Mode: quant.Mode(a.BoundMode), Value: a.BoundValue}
+		fi.AbsEB = a.AbsEB
+		fi.Anchors = append([]string(nil), a.Anchors...)
+		fi.Container = "CFC2"
+		me := math.NaN()
+		for _, e := range a.Index {
+			if !math.IsNaN(e.MaxErr) && (math.IsNaN(me) || e.MaxErr > me) {
+				me = e.MaxErr
+			}
+		}
+		fi.MaxErr = me
+	} else {
+		hdr, err := core.PeekStats(blob)
+		if err != nil {
+			return nil, fmt.Errorf("serve: mount %q: %w", name, err)
+		}
+		fi.Dims = append([]int(nil), hdr.Dims...)
+		fi.Bound = quant.Bound{Mode: quant.Mode(hdr.BoundMode), Value: hdr.BoundValue}
+		fi.AbsEB = hdr.AbsEB
+		fi.Anchors = append([]string(nil), hdr.Anchors...)
+		fi.Container = "CFC1"
+	}
+	// A bare hybrid blob records anchors the server cannot reconstruct
+	// (they live outside the blob); it still mounts for metadata, and
+	// data requests report the missing anchors.
+	if len(fi.Anchors) > 0 {
+		fi.Role = "dependent"
+	}
+	return &mount{
+		name:      name,
+		blob:      blob,
+		format:    fi.Container,
+		fieldList: []fieldView{{info: fi, payload: blob, chunks: chunks, key: contentKey(blob, nil)}},
+		byName:    map[string]int{name: 0},
+		topo:      []int{0},
+	}, nil
+}
+
+// depKeys returns the already-computed content keys of field i's anchors.
+func (m *mount) depKeys(i int) []string {
+	deps := m.fieldList[i].deps
+	if len(deps) == 0 {
+		return nil
+	}
+	keys := make([]string, len(deps))
+	for k, d := range deps {
+		keys[k] = m.fieldList[d].key
+	}
+	return keys
+}
+
+// contentKey hashes a compressed payload together with its anchors'
+// keys, giving a Merkle-style content address: equal payload bytes plus
+// equal anchor chains decode to equal data, wherever they are mounted.
+func contentKey(payload []byte, depKeys []string) string {
+	h := sha256.New()
+	h.Write(payload)
+	for _, k := range depKeys {
+		h.Write([]byte{0})
+		h.Write([]byte(k))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// lookup resolves an archive and field name under the read lock.
+func (s *Server) lookup(archiveName, fieldName string) (*mount, int, bool) {
+	s.mu.RLock()
+	m, ok := s.mounts[archiveName]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, 0, false
+	}
+	if fieldName == "" {
+		return m, -1, true
+	}
+	i, ok := m.byName[fieldName]
+	if !ok {
+		return m, 0, false
+	}
+	return m, i, true
+}
+
+// fieldVal is a cached decoded field: the Field for anchor use plus its
+// serialized little-endian body, built once at decode time so hot
+// requests never re-serialize. Both copies are charged to the cache
+// budget.
+type fieldVal struct {
+	f   *crossfield.Field
+	raw []byte
+}
+
+func (v *fieldVal) size() int64 { return int64(4*v.f.Len() + len(v.raw)) }
+
+// fieldData returns field i of m decoded, through the shared LRU with
+// singleflight coalescing. Anchors are resolved recursively through the
+// same cache, so one request for a dependent field warms every anchor on
+// its chain — the manifest graph is a validated DAG, so the recursion
+// terminates and cannot self-wait.
+func (s *Server) fieldData(m *mount, i int) (*fieldVal, error) {
+	fv := &m.fieldList[i]
+	v, err := s.fields.GetOrCompute(fv.key, func() (any, int64, error) {
+		anchors := make([]*crossfield.Field, len(fv.deps))
+		for k, d := range fv.deps {
+			af, err := s.fieldData(m, d)
+			if err != nil {
+				return nil, 0, fmt.Errorf("anchor %q: %w", m.fieldList[d].info.Name, err)
+			}
+			anchors[k] = af.f
+		}
+		start := time.Now()
+		var (
+			f   *crossfield.Field
+			err error
+		)
+		if m.ar != nil {
+			f, err = m.ar.DecodeField(fv.info.Name, anchors)
+		} else {
+			f, err = crossfield.Decompress(fv.info.Name, m.blob, anchors)
+		}
+		s.metrics.observeDecode(time.Since(start))
+		if err != nil {
+			return nil, 0, err
+		}
+		val := &fieldVal{f: f, raw: floatBytes(f.Data())}
+		return val, val.size(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*fieldVal), nil
+}
+
+// chunkVal is a cached decoded chunk.
+type chunkVal struct {
+	fieldVal
+	start int // first slab along axis 0
+}
+
+// chunkData returns chunk ci of field i decoded, through the chunk LRU.
+// Hybrid fields pull their full-field anchors from the field cache (the
+// anchor-reconstruction sharing the ROADMAP asks for), then decode only
+// the requested chunk's payload.
+func (s *Server) chunkData(m *mount, i, ci int) (*chunkVal, error) {
+	fv := &m.fieldList[i]
+	key := fv.key + "#" + strconv.Itoa(ci)
+	v, err := s.chunks.GetOrCompute(key, func() (any, int64, error) {
+		anchors := make([]*crossfield.Field, len(fv.deps))
+		for k, d := range fv.deps {
+			af, err := s.fieldData(m, d)
+			if err != nil {
+				return nil, 0, fmt.Errorf("anchor %q: %w", m.fieldList[d].info.Name, err)
+			}
+			anchors[k] = af.f
+		}
+		start := time.Now()
+		f, slab, err := crossfield.DecompressChunk(fv.info.Name, fv.payload, ci, anchors)
+		s.metrics.observeDecode(time.Since(start))
+		if err != nil {
+			return nil, 0, err
+		}
+		val := &chunkVal{fieldVal: fieldVal{f: f, raw: floatBytes(f.Data())}, start: slab}
+		return val, val.size(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*chunkVal), nil
+}
+
+// Handler returns the HTTP handler for the whole route surface:
+//
+//	GET /v1/archives
+//	GET /v1/archives/{a}/stats
+//	GET /v1/archives/{a}/fields
+//	GET /v1/archives/{a}/fields/{f}
+//	GET /v1/archives/{a}/fields/{f}/stats
+//	GET /v1/archives/{a}/fields/{f}/chunks/{i}
+//	GET /metrics
+//	GET /healthz
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/archives", s.handleArchives)
+	mux.HandleFunc("GET /v1/archives/{a}/stats", s.handleArchiveStats)
+	mux.HandleFunc("GET /v1/archives/{a}/fields", s.handleFields)
+	mux.HandleFunc("GET /v1/archives/{a}/fields/{f}", s.handleField)
+	mux.HandleFunc("GET /v1/archives/{a}/fields/{f}/stats", s.handleFieldStats)
+	mux.HandleFunc("GET /v1/archives/{a}/fields/{f}/chunks/{i}", s.handleChunk)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return s.instrument(mux)
+}
+
+// archiveJSON is one mount's listing entry.
+type archiveJSON struct {
+	Name   string `json:"name"`
+	Format string `json:"format"`
+	Fields int    `json:"fields"`
+	Bytes  int    `json:"bytes"`
+}
+
+// fieldJSON is one field's manifest record; max_err is null when the
+// container predates per-chunk error recording.
+type fieldJSON struct {
+	Name         string    `json:"name"`
+	Dims         []int     `json:"dims"`
+	Points       int       `json:"points"`
+	Role         string    `json:"role"`
+	Anchors      []string  `json:"anchors,omitempty"`
+	Bound        string    `json:"bound"`
+	AbsEB        float64   `json:"abs_eb"`
+	MaxErr       *float64  `json:"max_err"`
+	Container    string    `json:"container"`
+	PayloadBytes int       `json:"payload_bytes"`
+	ChecksumCRC  string    `json:"checksum_crc32"`
+	Chunks       int       `json:"chunks"`
+	ChunkIndex   []chunkJS `json:"chunk_index,omitempty"`
+}
+
+// chunkJS is one chunk-index row.
+type chunkJS struct {
+	Index        int      `json:"index"`
+	Start        int      `json:"start"`
+	Slabs        int      `json:"slabs"`
+	Voxels       int      `json:"voxels"`
+	RawBytes     int      `json:"raw_bytes"`
+	PayloadBytes int      `json:"payload_bytes"`
+	MaxErr       *float64 `json:"max_err"`
+}
+
+// archiveStatsJSON is the /v1/archives/{a}/stats body. TopoOrder is the
+// dependency order the server decodes fields in — the same order cfc
+// -stats prints.
+type archiveStatsJSON struct {
+	Name      string      `json:"name"`
+	Format    string      `json:"format"`
+	Bytes     int         `json:"bytes"`
+	TopoOrder []string    `json:"topo_order"`
+	Fields    []fieldJSON `json:"fields"`
+}
+
+func nanToNil(v float64) *float64 {
+	if math.IsNaN(v) {
+		return nil
+	}
+	return &v
+}
+
+func fieldToJSON(fv *fieldView, withChunks bool) fieldJSON {
+	fi := fv.info
+	points := 1
+	for _, d := range fi.Dims {
+		points *= d
+	}
+	out := fieldJSON{
+		Name:         fi.Name,
+		Dims:         fi.Dims,
+		Points:       points,
+		Role:         fi.Role,
+		Anchors:      fi.Anchors,
+		Bound:        fi.Bound.String(),
+		AbsEB:        fi.AbsEB,
+		MaxErr:       nanToNil(fi.MaxErr),
+		Container:    fi.Container,
+		PayloadBytes: fi.Bytes,
+		ChecksumCRC:  fmt.Sprintf("%08x", fi.Checksum),
+		Chunks:       len(fv.chunks),
+	}
+	if withChunks {
+		out.ChunkIndex = make([]chunkJS, len(fv.chunks))
+		for i, c := range fv.chunks {
+			out.ChunkIndex[i] = chunkJS{
+				Index: i, Start: c.Start, Slabs: c.Slabs, Voxels: c.Voxels,
+				RawBytes: c.RawBytes, PayloadBytes: c.PayloadBytes,
+				MaxErr: nanToNil(c.MaxErr),
+			}
+		}
+	}
+	return out
+}
+
+func (s *Server) handleArchives(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	out := make([]archiveJSON, 0, len(s.order))
+	for _, name := range s.order {
+		m := s.mounts[name]
+		out = append(out, archiveJSON{
+			Name: name, Format: m.format,
+			Fields: len(m.fieldList), Bytes: len(m.blob),
+		})
+	}
+	s.mu.RUnlock()
+	writeJSON(w, out)
+}
+
+func (s *Server) handleArchiveStats(w http.ResponseWriter, r *http.Request) {
+	m, _, ok := s.lookup(r.PathValue("a"), "")
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown archive %q", r.PathValue("a"))
+		return
+	}
+	out := archiveStatsJSON{
+		Name: m.name, Format: m.format, Bytes: len(m.blob),
+		TopoOrder: make([]string, len(m.topo)),
+		Fields:    make([]fieldJSON, len(m.fieldList)),
+	}
+	for k, i := range m.topo {
+		out.TopoOrder[k] = m.fieldList[i].info.Name
+	}
+	for i := range m.fieldList {
+		out.Fields[i] = fieldToJSON(&m.fieldList[i], false)
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleFields(w http.ResponseWriter, r *http.Request) {
+	m, _, ok := s.lookup(r.PathValue("a"), "")
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown archive %q", r.PathValue("a"))
+		return
+	}
+	out := make([]fieldJSON, len(m.fieldList))
+	for i := range m.fieldList {
+		out[i] = fieldToJSON(&m.fieldList[i], false)
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleFieldStats(w http.ResponseWriter, r *http.Request) {
+	m, i, ok := s.lookup(r.PathValue("a"), r.PathValue("f"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown archive %q or field %q", r.PathValue("a"), r.PathValue("f"))
+		return
+	}
+	writeJSON(w, fieldToJSON(&m.fieldList[i], true))
+}
+
+func (s *Server) handleField(w http.ResponseWriter, r *http.Request) {
+	m, i, ok := s.lookup(r.PathValue("a"), r.PathValue("f"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown archive %q or field %q", r.PathValue("a"), r.PathValue("f"))
+		return
+	}
+	v, err := s.fieldData(m, i)
+	if err != nil {
+		decodeError(w, err)
+		return
+	}
+	fv := &m.fieldList[i]
+	h := w.Header()
+	h.Set("X-CFC-Dims", dimsString(v.f.Dims()))
+	h.Set("X-CFC-Abs-EB", formatFloat(fv.info.AbsEB))
+	if !math.IsNaN(fv.info.MaxErr) {
+		h.Set("X-CFC-Max-Err", formatFloat(fv.info.MaxErr))
+	}
+	h.Set("X-CFC-Role", fv.info.Role)
+	serveRaw(w, r, v.raw, fv.key)
+}
+
+func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
+	m, i, ok := s.lookup(r.PathValue("a"), r.PathValue("f"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown archive %q or field %q", r.PathValue("a"), r.PathValue("f"))
+		return
+	}
+	ci, err := strconv.Atoi(r.PathValue("i"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "malformed chunk index %q", r.PathValue("i"))
+		return
+	}
+	fv := &m.fieldList[i]
+	if ci < 0 || ci >= len(fv.chunks) {
+		httpError(w, http.StatusNotFound, "chunk %d out of [0,%d)", ci, len(fv.chunks))
+		return
+	}
+	cv, err := s.chunkData(m, i, ci)
+	if err != nil {
+		decodeError(w, err)
+		return
+	}
+	h := w.Header()
+	h.Set("X-CFC-Dims", dimsString(cv.f.Dims()))
+	h.Set("X-CFC-Chunk-Start", strconv.Itoa(cv.start))
+	h.Set("X-CFC-Abs-EB", formatFloat(fv.info.AbsEB))
+	if me := fv.chunks[ci].MaxErr; !math.IsNaN(me) {
+		h.Set("X-CFC-Max-Err", formatFloat(me))
+	}
+	serveRaw(w, r, cv.raw, fv.key+"#"+strconv.Itoa(ci))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.write(w, s.fields.Stats(), s.chunks.Stats())
+}
+
+// serveRaw writes a pre-serialized little-endian float32 body with
+// content negotiation: gzip when the client accepts it (and did not ask
+// for a byte range), otherwise http.ServeContent for Range and
+// conditional request support. The full cache key becomes a strong ETag
+// — every field and every chunk has a distinct one — so warm clients
+// revalidate with If-None-Match for free.
+func serveRaw(w http.ResponseWriter, r *http.Request, raw []byte, key string) {
+	etag := `"` + key + `"`
+	h := w.Header()
+	h.Set("ETag", etag)
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("Vary", "Accept-Encoding")
+	if acceptsGzip(r) && r.Header.Get("Range") == "" {
+		if match := r.Header.Get("If-None-Match"); match != "" && strings.Contains(match, etag) {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		h.Set("Content-Encoding", "gzip")
+		gz := gzip.NewWriter(w)
+		gz.Write(raw)
+		gz.Close()
+		return
+	}
+	h.Set("Accept-Ranges", "bytes")
+	http.ServeContent(w, r, "", time.Time{}, bytes.NewReader(raw))
+}
+
+// acceptsGzip reports whether the request's Accept-Encoding lists gzip
+// with a non-zero quality ("gzip;q=0" is an explicit refusal).
+func acceptsGzip(r *http.Request) bool {
+	for _, enc := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		parts := strings.Split(strings.TrimSpace(enc), ";")
+		if strings.TrimSpace(parts[0]) != "gzip" {
+			continue
+		}
+		for _, p := range parts[1:] {
+			if k, v, ok := strings.Cut(strings.TrimSpace(p), "="); ok && strings.TrimSpace(k) == "q" {
+				q, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+				return err == nil && q > 0
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func floatBytes(data []float32) []byte {
+	out := make([]byte, 4*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(out[i*4:], math.Float32bits(v))
+	}
+	return out
+}
+
+func dimsString(dims []int) string {
+	parts := make([]string, len(dims))
+	for i, d := range dims {
+		parts[i] = strconv.Itoa(d)
+	}
+	return strings.Join(parts, "x")
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// errorJSON is every non-2xx body.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeError maps decode failures: blobs whose anchors live outside the
+// server are unprocessable rather than server faults.
+func decodeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	if errors.Is(err, core.ErrNeedAnchors) {
+		code = http.StatusUnprocessableEntity
+	}
+	httpError(w, code, "%v", err)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
