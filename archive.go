@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/archive"
 	"repro/internal/core"
+	"repro/internal/nn"
 	"repro/internal/quant"
 	"repro/internal/tensor"
 )
@@ -94,6 +95,12 @@ func CompressDataset(specs []FieldSpec, bound ErrorBound, opts ...Option) (*Comp
 	payloads := make([][]byte, len(specs))
 	recon := make(map[string]*tensor.Tensor, len(depended))
 	stats := make(map[string]Stats, len(specs))
+	// One inference arena serves every dependent in the dataset: fields
+	// sharing the same anchors (and therefore shapes) reuse the same
+	// warmed scratch buffers, so only the first hybrid field pays
+	// allocation cost. Fields compress sequentially in topo order, which
+	// is what makes sharing the mutable arena safe.
+	arena := nn.NewArena()
 	var totalOrig int
 	for _, i := range order {
 		s := specs[i]
@@ -122,7 +129,7 @@ func CompressDataset(specs []FieldSpec, bound ErrorBound, opts ...Option) (*Comp
 				}
 				anchors[k] = t
 			}
-			o := core.Options{Bound: b, AnchorNames: s.Codec.names}
+			o := core.Options{Bound: b, AnchorNames: s.Codec.names, Arena: arena}
 			if cfg.chunked {
 				res, err = core.CompressChunked(s.Field.t, s.Codec.model, anchors, core.ChunkedOptions{
 					Options:     o,

@@ -13,16 +13,22 @@
 //	                             # writes BENCH_archive.json
 //	cfbench -exp serve           # cfserve cold/hot latency + cache hit
 //	                             # ratio, writes BENCH_serve.json
+//	cfbench -exp inference       # CFNN full-field forward pass (ms, MB/s,
+//	                             # allocs), writes BENCH_inference.json
+//	cfbench -cpuprofile cpu.out  # pprof profiles of the selected
+//	cfbench -memprofile mem.out  # experiments, for perf work
 //
 // Experiments: tab1 tab2 tab3 fig1 fig5 fig6 fig8 fig9 ablation anchorsel
-// throughput chunked archive serve (fig7 is produced by fig6; both names
-// are accepted).
+// throughput chunked archive serve inference (fig7 is produced by fig6;
+// both names are accepted).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -31,15 +37,51 @@ import (
 
 func main() {
 	var (
-		expFlag  = flag.String("exp", "all", "comma-separated experiments (tab1,tab2,tab3,fig1,fig5,fig6,fig7,fig8,fig9,ablation,anchorsel,throughput,chunked,archive,serve) or 'all'")
-		small    = flag.Bool("small", false, "use reduced grid sizes (quick smoke run)")
-		outDir   = flag.String("out", "", "directory for PGM figure renderings (optional)")
-		seed     = flag.Int64("seed", 42, "dataset/training seed")
-		jsonPath = flag.String("json", "BENCH_chunked.json", "path for the chunked experiment's machine-readable report ('' disables)")
-		archJSON = flag.String("archivejson", "BENCH_archive.json", "path for the archive experiment's machine-readable report ('' disables)")
-		srvJSON  = flag.String("servejson", "BENCH_serve.json", "path for the serve experiment's machine-readable report ('' disables)")
+		expFlag    = flag.String("exp", "all", "comma-separated experiments (tab1,tab2,tab3,fig1,fig5,fig6,fig7,fig8,fig9,ablation,anchorsel,throughput,chunked,archive,serve,inference) or 'all'")
+		small      = flag.Bool("small", false, "use reduced grid sizes (quick smoke run)")
+		outDir     = flag.String("out", "", "directory for PGM figure renderings (optional)")
+		seed       = flag.Int64("seed", 42, "dataset/training seed")
+		jsonPath   = flag.String("json", "BENCH_chunked.json", "path for the chunked experiment's machine-readable report ('' disables)")
+		archJSON   = flag.String("archivejson", "BENCH_archive.json", "path for the archive experiment's machine-readable report ('' disables)")
+		srvJSON    = flag.String("servejson", "BENCH_serve.json", "path for the serve experiment's machine-readable report ('' disables)")
+		infJSON    = flag.String("inferencejson", "BENCH_inference.json", "path for the inference experiment's machine-readable report ('' disables)")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile (taken after the experiments) to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		// fatal() flushes profiles before os.Exit, so a failing experiment
+		// still leaves usable pprof evidence (defers would be skipped).
+		flushProfiles = append(flushProfiles, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+		defer runFlushProfiles()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		flushProfiles = append(flushProfiles, func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cfbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "cfbench:", err)
+			}
+		})
+		defer runFlushProfiles()
+	}
 
 	sizes := experiments.Default()
 	if *small {
@@ -98,9 +140,22 @@ func main() {
 	run("chunked", func() error { return experiments.ChunkedThroughput(w, sizes, *jsonPath) })
 	run("archive", func() error { return experiments.ArchiveBench(w, sizes, *archJSON) })
 	run("serve", func() error { return experiments.ServeBench(w, sizes, *srvJSON) })
+	run("inference", func() error { return experiments.InferenceBench(w, sizes, *infJSON) })
+}
+
+// flushProfiles holds the profile finalizers; they run on both the normal
+// exit path (deferred in main) and the fatal path, at most once each.
+var flushProfiles []func()
+
+func runFlushProfiles() {
+	for _, f := range flushProfiles {
+		f()
+	}
+	flushProfiles = nil
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "cfbench:", err)
+	runFlushProfiles()
 	os.Exit(1)
 }

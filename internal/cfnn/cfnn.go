@@ -175,6 +175,23 @@ func (m *Model) Trained() bool { return m.trained }
 // ErrNotTrained is returned by PredictDiffs on an untrained model.
 var ErrNotTrained = errors.New("cfnn: model not trained")
 
+// validateAnchors checks the anchor list against the model configuration
+// without allocating.
+func (m *Model) validateAnchors(anchors []*tensor.Tensor) error {
+	if len(anchors) != m.Cfg.NumAnchors {
+		return fmt.Errorf("cfnn: got %d anchors, config wants %d", len(anchors), m.Cfg.NumAnchors)
+	}
+	for ai, a := range anchors {
+		if a.Rank() != m.Cfg.SpatialRank {
+			return fmt.Errorf("cfnn: anchor %d rank %d != spatial rank %d", ai, a.Rank(), m.Cfg.SpatialRank)
+		}
+		if !a.SameShape(anchors[0]) {
+			return fmt.Errorf("cfnn: anchor %d shape %v != %v", ai, a.Shape(), anchors[0].Shape())
+		}
+	}
+	return nil
+}
+
 // anchorDiffChannels computes the backward-difference channels of the
 // anchor fields in (anchor-major, axis-minor) order. The coordinate-0
 // boundary hyperplane of each channel is zeroed: the invertible backward
@@ -183,17 +200,11 @@ var ErrNotTrained = errors.New("cfnn: model not trained")
 // targets. The codec applies the same convention on both sides, so this is
 // purely a representation choice.
 func (m *Model) anchorDiffChannels(anchors []*tensor.Tensor) ([]*tensor.Tensor, error) {
-	if len(anchors) != m.Cfg.NumAnchors {
-		return nil, fmt.Errorf("cfnn: got %d anchors, config wants %d", len(anchors), m.Cfg.NumAnchors)
+	if err := m.validateAnchors(anchors); err != nil {
+		return nil, err
 	}
 	var chans []*tensor.Tensor
-	for ai, a := range anchors {
-		if a.Rank() != m.Cfg.SpatialRank {
-			return nil, fmt.Errorf("cfnn: anchor %d rank %d != spatial rank %d", ai, a.Rank(), m.Cfg.SpatialRank)
-		}
-		if !a.SameShape(anchors[0]) {
-			return nil, fmt.Errorf("cfnn: anchor %d shape %v != %v", ai, a.Shape(), anchors[0].Shape())
-		}
+	for _, a := range anchors {
 		ds, err := diffChannels(a)
 		if err != nil {
 			return nil, err
@@ -311,36 +322,131 @@ func stack(chans []*tensor.Tensor, off, scale, mean []float32) *tensor.Tensor {
 // Anchors should be the *decompressed* anchor fields so compressor and
 // decompressor see bit-identical inputs.
 func (m *Model) PredictDiffs(anchors []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	return m.PredictDiffsWith(anchors, nil, nil, 0)
+}
+
+// outKeys names the arena buffers holding the denormalized per-axis
+// output difference fields.
+var outKeys = [3]string{"cfnn.out0", "cfnn.out1", "cfnn.out2"}
+
+// PredictDiffsWith is PredictDiffs with the performance knobs of the
+// shared-inference hot path exposed:
+//
+//   - segCounts, when non-nil, partitions the anchors' slowest axis into
+//     slabs inferred as independent fields (halo-correct boundaries: each
+//     slab's output is bit-identical to PredictDiffs run on that slab's
+//     anchor views alone). This is how the chunked engine runs one pass
+//     per field instead of one per chunk. nil means whole-field inference,
+//     bit-identical to PredictDiffs.
+//   - arena supplies all scratch, including the returned tensors; a
+//     steady-state call with a warmed arena performs zero heap
+//     allocations (at workers <= 1 — parallel dispatch allocates
+//     goroutine frames). nil allocates a private arena. Returned tensors
+//     are valid until the arena's next use.
+//   - workers bounds kernel parallelism (<= 0 means GOMAXPROCS).
+//
+// PredictDiffsWith never mutates the model, so concurrent calls on one
+// model are safe as long as each uses its own arena.
+func (m *Model) PredictDiffsWith(anchors []*tensor.Tensor, segCounts []int, arena *nn.Arena, workers int) ([]*tensor.Tensor, error) {
 	if !m.trained {
 		return nil, ErrNotTrained
 	}
-	chans, err := m.anchorDiffChannels(anchors)
+	if err := m.validateAnchors(anchors); err != nil {
+		return nil, err
+	}
+	if arena == nil {
+		arena = nn.NewArena()
+	}
+	spatial := anchors[0].Shape()
+	r := len(spatial)
+	per := anchors[0].Len()
+	plane := per / spatial[0]
+	if segCounts != nil {
+		total := 0
+		for _, c := range segCounts {
+			if c <= 0 {
+				return nil, fmt.Errorf("cfnn: non-positive segment count %d", c)
+			}
+			total += c
+		}
+		if total != spatial[0] {
+			return nil, fmt.Errorf("cfnn: segment counts %v sum to %d, axis 0 is %d", segCounts, total, spatial[0])
+		}
+	}
+
+	// Build the stacked network input in place: each channel plane gets the
+	// backward differences of one (anchor, axis) pair, boundary hyperplanes
+	// zeroed per segment, then normalized to network units. This fuses the
+	// per-channel diff → zero → stack → normalize passes of the legacy path
+	// into arena-owned storage with identical element-wise arithmetic.
+	inShape := arena.Ints("cfnn.inshape", r+1)
+	inShape[0] = m.Cfg.InChannels()
+	copy(inShape[1:], spatial)
+	x := arena.Tensor("cfnn.in", inShape...)
+	xd := x.Data()
+	c := 0
+	for _, a := range anchors {
+		for axis := 0; axis < r; axis++ {
+			ch := arena.View("cfnn.ch", xd[c*per:(c+1)*per], spatial...)
+			if err := diff.AlongInto(ch, a, axis, diff.Backward); err != nil {
+				return nil, err
+			}
+			if axis == 0 {
+				// Each segment is its own field: its first slab plays the
+				// role the coordinate-0 boundary plays for the whole field.
+				chd := ch.Data()
+				if segCounts == nil {
+					zeroPlane(chd, 0, plane)
+				} else {
+					pos := 0
+					for _, n := range segCounts {
+						zeroPlane(chd, pos, plane)
+						pos += n
+					}
+				}
+			} else {
+				zeroBoundary(ch, axis)
+			}
+			o, s, mu := m.inOff[c], m.inScale[c], m.inMean[c]
+			chd := ch.Data()
+			for i, v := range chd {
+				chd[i] = netValue(v, o, s, mu)
+			}
+			c++
+		}
+	}
+
+	y, err := m.net.Infer(x, segCounts, arena, workers)
 	if err != nil {
 		return nil, err
 	}
-	x := stack(chans, m.inOff, m.inScale, m.inMean)
-	y, err := m.net.Forward(x)
-	if err != nil {
-		return nil, err
-	}
-	outs := make([]*tensor.Tensor, m.Cfg.OutChannels())
-	per := chans[0].Len()
+
+	outC := m.Cfg.OutChannels()
+	outs := arena.Tensors("cfnn.outs", outC)
 	yd := y.Data()
-	spatial := chans[0].Shape()
 	for c := range outs {
-		t := tensor.New(spatial...)
+		t := arena.Tensor(outKeys[c], spatial...)
 		o, s, mu := m.outOff[c], m.outScale[c], m.outMean[c]
 		src := yd[c*per : (c+1)*per]
 		if s == 0 {
 			t.Fill(o)
 		} else {
 			inv := 1 / s
+			td := t.Data()
 			for i, v := range src {
 				norm := v*internalScale + mu
-				t.Data()[i] = norm*inv + o
+				td[i] = norm*inv + o
 			}
 		}
 		outs[c] = t
 	}
 	return outs, nil
+}
+
+// zeroPlane clears the axis-0 hyperplane starting at slab index.
+func zeroPlane(d []float32, slab, plane int) {
+	s := d[slab*plane : (slab+1)*plane]
+	for i := range s {
+		s[i] = 0
+	}
 }

@@ -1,0 +1,122 @@
+package cfnn
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func trainedTestModel(t *testing.T, rank int, spatial []int, numAnchors int) (*Model, []*tensor.Tensor) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(21))
+	mk := func() *tensor.Tensor {
+		x := tensor.New(spatial...)
+		d := x.Data()
+		for i := range d {
+			d[i] = float32(rng.NormFloat64() * 3)
+		}
+		return x
+	}
+	anchors := make([]*tensor.Tensor, numAnchors)
+	for i := range anchors {
+		anchors[i] = mk()
+	}
+	m, err := New(Config{SpatialRank: rank, NumAnchors: numAnchors, Features: 5, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Train(anchors, mk(), TrainConfig{Epochs: 1, StepsPerEpoch: 2, Batch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	return m, anchors
+}
+
+// TestPredictDiffsSegmentedMatchesPerChunk is the cfnn half of the
+// shared-inference bit-identity contract: segmented PredictDiffsWith over
+// the full anchors must equal, slab for slab, PredictDiffs run on each
+// segment's anchor views alone — the inference the chunked decompressor's
+// random-access path still performs.
+func TestPredictDiffsSegmentedMatchesPerChunk(t *testing.T) {
+	cases := []struct {
+		rank    int
+		spatial []int
+		counts  []int
+	}{
+		{3, []int{9, 7, 8}, []int{3, 2, 4}},
+		{3, []int{5, 6, 6}, []int{1, 1, 1, 1, 1}},
+		{2, []int{24, 10}, []int{7, 9, 8}},
+	}
+	for _, tc := range cases {
+		m, anchors := trainedTestModel(t, tc.rank, tc.spatial, 2)
+		shared, err := m.PredictDiffsWith(anchors, tc.counts, nn.NewArena(), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plane := anchors[0].Len() / tc.spatial[0]
+		pos := 0
+		for _, cnt := range tc.counts {
+			views := make([]*tensor.Tensor, len(anchors))
+			segShape := append([]int(nil), tc.spatial...)
+			segShape[0] = cnt
+			for k, a := range anchors {
+				v, err := tensor.FromSlice(a.Data()[pos*plane:(pos+cnt)*plane], segShape...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				views[k] = v
+			}
+			ref, err := m.PredictDiffs(views)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for axis := range ref {
+				sd := shared[axis].Data()[pos*plane : (pos+cnt)*plane]
+				for i, v := range ref[axis].Data() {
+					if sd[i] != v {
+						t.Fatalf("rank %d counts %v axis %d: shared slab differs from per-chunk inference at segment %d elem %d: %v != %v",
+							tc.rank, tc.counts, axis, pos, i, sd[i], v)
+					}
+				}
+			}
+			pos += cnt
+		}
+	}
+}
+
+// TestPredictDiffsWithConcurrentArenas pins the read-only-model contract:
+// one model may run inference from many goroutines as long as each brings
+// its own arena, with every result identical.
+func TestPredictDiffsWithConcurrentArenas(t *testing.T) {
+	m, anchors := trainedTestModel(t, 3, []int{6, 8, 8}, 2)
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	diffs := make([][]*tensor.Tensor, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			diffs[g], errs[g] = m.PredictDiffsWith(anchors, []int{2, 2, 2}, nn.NewArena(), 1)
+		}(g)
+	}
+	wg.Wait()
+	segRef, err := m.PredictDiffsWith(anchors, []int{2, 2, 2}, nn.NewArena(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		for axis := range segRef {
+			for i, v := range segRef[axis].Data() {
+				if diffs[g][axis].Data()[i] != v {
+					t.Fatalf("goroutine %d axis %d: concurrent inference differs at %d", g, axis, i)
+				}
+			}
+		}
+	}
+}

@@ -105,9 +105,21 @@ func CompressChunkedTo(w io.Writer, field *tensor.Tensor, model *cfnn.Model, anc
 	payloads := make([][]byte, n)
 	chunkStats := make([]Stats, n)
 	// Anchor names live once in the CFC2 header; keep them out of every
-	// per-chunk payload.
+	// per-chunk payload. The arena is scratch for the single shared
+	// inference pass below, never for the concurrent chunk workers.
 	chunkOpts := opts.Options
 	chunkOpts.AnchorNames = nil
+	chunkOpts.Arena = nil
+	// Shared-inference stage: one segmented CFNN pass over the full anchor
+	// set (segment = chunk slab, so every chunk's predictions are
+	// bit-identical to per-chunk inference) replaces N per-chunk passes on
+	// N model clones. Workers below receive read-only slab views.
+	var inf *fieldInference
+	if model != nil {
+		if inf, err = newFieldInference(model, anchors, eb, g, opts.Arena, opts.workers()); err != nil {
+			return nil, err
+		}
+	}
 	err = parallel.ForErr(opts.workers(), n, func(i int) error {
 		sub, err := g.View(field, i)
 		if err != nil {
@@ -117,17 +129,7 @@ func CompressChunkedTo(w io.Writer, field *tensor.Tensor, model *cfnn.Model, anc
 		if model == nil {
 			res, err = compressBaselineWithEB(sub, eb, chunkOpts)
 		} else {
-			var subAnchors []*tensor.Tensor
-			if subAnchors, err = g.Views(anchors, i); err != nil {
-				return err
-			}
-			// Layer forward passes cache state on the model, so each
-			// concurrent chunk gets its own clone.
-			m, err2 := model.Clone()
-			if err2 != nil {
-				return err2
-			}
-			res, err = compressCrossFieldWithEB(sub, m, subAnchors, chunkOpts, method, eb, false)
+			res, err = compressCrossFieldDQ(sub, inf.chunkDQ(i), nil, chunkOpts, method, eb)
 		}
 		if err != nil {
 			return fmt.Errorf("core: chunk %d: %w", i, err)
@@ -207,7 +209,7 @@ func DecompressChunked(blob []byte, anchors []*tensor.Tensor) (*tensor.Tensor, e
 // single sequential chunk, so workers does not apply).
 func DecompressChunkedWith(blob []byte, anchors []*tensor.Tensor, workers int) (*tensor.Tensor, error) {
 	if !chunk.IsChunked(blob) {
-		return decompressMono(blob, anchors, nil)
+		return decompressMono(blob, anchors, nil, nil)
 	}
 	if workers <= 0 {
 		workers = parallel.Workers()
@@ -220,18 +222,33 @@ func DecompressChunkedWith(blob []byte, anchors []*tensor.Tensor, workers int) (
 	if err != nil {
 		return nil, err
 	}
+	inf, err := archiveInference(a, g, model, anchors, workers)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]float32, a.NumPoints())
 	err = parallel.ForErr(workers, a.NumChunks(), func(i int) error {
 		payload, err := a.Payload(i)
 		if err != nil {
 			return err
 		}
-		return decompressChunkInto(out, payload, g, i, model, anchors)
+		return decompressChunkInto(out, payload, g, i, inf)
 	})
 	if err != nil {
 		return nil, err
 	}
 	return tensor.FromSlice(out, a.Dims...)
+}
+
+// archiveInference runs the container-level shared inference pass for a
+// hybrid CFC2 archive (nil for baseline containers): the one place
+// decompression still pays CFNN cost, once per field instead of once per
+// chunk.
+func archiveInference(a *chunk.Archive, g *chunk.Grid, model *cfnn.Model, anchors []*tensor.Tensor, workers int) (*fieldInference, error) {
+	if model == nil {
+		return nil, nil
+	}
+	return newFieldInference(model, anchors, a.AbsEB, g, nil, workers)
 }
 
 // DecompressChunkedFrom reconstructs a field from a CFC2 stream, handing
@@ -247,8 +264,12 @@ func DecompressChunkedFrom(r io.Reader, anchors []*tensor.Tensor) (*tensor.Tenso
 	if err != nil {
 		return nil, err
 	}
-	out := make([]float32, a.NumPoints())
 	workers := parallel.Workers()
+	inf, err := archiveInference(a, g, model, anchors, workers)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float32, a.NumPoints())
 	sem := make(chan struct{}, workers)
 	errs := make([]error, a.NumChunks())
 	for {
@@ -266,7 +287,7 @@ func DecompressChunkedFrom(r io.Reader, anchors []*tensor.Tensor) (*tensor.Tenso
 		sem <- struct{}{}
 		go func(i int, payload []byte) {
 			defer func() { <-sem }()
-			errs[i] = decompressChunkInto(out, payload, g, i, model, anchors)
+			errs[i] = decompressChunkInto(out, payload, g, i, inf)
 		}(i, payload)
 	}
 	for w := 0; w < workers; w++ {
@@ -284,15 +305,17 @@ func DecompressChunkedFrom(r io.Reader, anchors []*tensor.Tensor) (*tensor.Tenso
 // reading any other chunk's payload, returning the chunk tensor and its
 // starting slab along axis 0 (multiply by the slab voxel count for the
 // flat offset). Hybrid containers need the full-field decompressed
-// anchors; only the chunk's region of them is consulted. A monolithic
-// CFC1 blob is accepted as a single-chunk container: chunk 0 is the whole
-// field, consistent with ChunkCount and ChunkIndex.
+// anchors; only the chunk's region of them is consulted — this is the
+// per-chunk-view inference path the shared-inference engine is
+// bit-identical to. A monolithic CFC1 blob is accepted as a single-chunk
+// container: chunk 0 is the whole field, consistent with ChunkCount and
+// ChunkIndex.
 func DecompressChunk(blob []byte, i int, anchors []*tensor.Tensor) (*tensor.Tensor, int, error) {
 	if !chunk.IsChunked(blob) {
 		if i != 0 {
 			return nil, 0, fmt.Errorf("core: chunk %d out of [0,1) (monolithic blob)", i)
 		}
-		t, err := decompressMono(blob, anchors, nil)
+		t, err := decompressMono(blob, anchors, nil, nil)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -313,7 +336,16 @@ func DecompressChunk(blob []byte, i int, anchors []*tensor.Tensor) (*tensor.Tens
 	if err != nil {
 		return nil, 0, err
 	}
-	t, err := decompressChunkTensor(payload, g, i, model, anchors)
+	var subAnchors []*tensor.Tensor
+	if model != nil {
+		// Random access decodes one chunk, so inference runs on the
+		// chunk's anchor views alone; the model was loaded privately by
+		// prepareArchive, so no clone is needed.
+		if subAnchors, err = g.Views(anchors, i); err != nil {
+			return nil, 0, err
+		}
+	}
+	t, err := decompressChunkPayload(payload, g, i, subAnchors, model, nil)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -417,22 +449,12 @@ func prepareArchive(a *chunk.Archive, anchors []*tensor.Tensor) (*chunk.Grid, *c
 	return g, model, nil
 }
 
-// decompressChunkTensor reverses one chunk payload against the chunk's
-// region of the anchors. Chunks decode concurrently, and layer forward
-// passes cache state on the model, so each chunk runs inference on its
-// own clone of the shared CFNN.
-func decompressChunkTensor(payload []byte, g *chunk.Grid, i int, model *cfnn.Model, anchors []*tensor.Tensor) (*tensor.Tensor, error) {
-	var subAnchors []*tensor.Tensor
-	if model != nil {
-		var err error
-		if subAnchors, err = g.Views(anchors, i); err != nil {
-			return nil, err
-		}
-		if model, err = model.Clone(); err != nil {
-			return nil, err
-		}
-	}
-	t, err := decompressMono(payload, subAnchors, model)
+// decompressChunkPayload reverses one chunk payload. For hybrid payloads
+// exactly one prediction source is supplied: dq slab views from the
+// shared inference pass (full-container decodes), or the chunk's anchor
+// views plus the container model for per-chunk inference (random access).
+func decompressChunkPayload(payload []byte, g *chunk.Grid, i int, subAnchors []*tensor.Tensor, model *cfnn.Model, dq [][]float64) (*tensor.Tensor, error) {
+	t, err := decompressMono(payload, subAnchors, model, dq)
 	if err != nil {
 		return nil, fmt.Errorf("core: chunk %d: %w", i, err)
 	}
@@ -443,9 +465,15 @@ func decompressChunkTensor(payload []byte, g *chunk.Grid, i int, model *cfnn.Mod
 }
 
 // decompressChunkInto reconstructs chunk i directly into its region of the
-// full output array.
-func decompressChunkInto(out []float32, payload []byte, g *chunk.Grid, i int, model *cfnn.Model, anchors []*tensor.Tensor) error {
-	t, err := decompressChunkTensor(payload, g, i, model, anchors)
+// full output array, reading predictions from the shared inference pass
+// (inf nil for baseline containers). The dq slabs are shared and
+// read-only, so concurrent chunk workers need no model state at all.
+func decompressChunkInto(out []float32, payload []byte, g *chunk.Grid, i int, inf *fieldInference) error {
+	var dq [][]float64
+	if inf != nil {
+		dq = inf.chunkDQ(i)
+	}
+	t, err := decompressChunkPayload(payload, g, i, nil, nil, dq)
 	if err != nil {
 		return err
 	}

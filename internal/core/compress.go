@@ -72,7 +72,6 @@ func compressCrossField(field *tensor.Tensor, model *cfnn.Model, anchors []*tens
 // are embedded in the blob; the chunked engine passes false and stores the
 // model once at the container level instead of once per chunk.
 func compressCrossFieldWithEB(field *tensor.Tensor, model *cfnn.Model, anchors []*tensor.Tensor, opts Options, method container.Method, eb float64, includeModel bool) (*Result, error) {
-	opts = opts.withDefaults()
 	if field.Rank() != 2 && field.Rank() != 3 {
 		return nil, fmt.Errorf("core: cross-field compression needs rank 2 or 3, got %d", field.Rank())
 	}
@@ -81,11 +80,26 @@ func compressCrossFieldWithEB(field *tensor.Tensor, model *cfnn.Model, anchors [
 			return nil, fmt.Errorf("core: anchor %d shape %v != field shape %v", i, a.Shape(), field.Shape())
 		}
 	}
-	q, err := quant.Prequantize(field.Data(), eb)
+	dq, err := predictedDQWith(model, anchors, eb, nil, opts.Arena, 0)
 	if err != nil {
 		return nil, err
 	}
-	dq, err := predictedDQ(model, anchors, eb)
+	stored := model
+	if !includeModel {
+		stored = nil
+	}
+	return compressCrossFieldDQ(field, dq, stored, opts, method, eb)
+}
+
+// compressCrossFieldDQ is the cross-field pipeline downstream of CFNN
+// inference: the predicted-diff fields arrive precomputed in prequant
+// units (dq, one slab per axis covering exactly this field). The chunked
+// engine calls it per chunk with read-only slab views of one shared
+// inference pass; stored, when non-nil, embeds the CFNN weights in the
+// blob.
+func compressCrossFieldDQ(field *tensor.Tensor, dq [][]float64, stored *cfnn.Model, opts Options, method container.Method, eb float64) (*Result, error) {
+	opts = opts.withDefaults()
+	q, err := quant.Prequantize(field.Data(), eb)
 	if err != nil {
 		return nil, err
 	}
@@ -111,12 +125,8 @@ func compressCrossFieldWithEB(field *tensor.Tensor, model *cfnn.Model, anchors [
 		}
 	})
 	weights := append(append([]float64(nil), hy.W...), hy.Bias)
-	stored := model
-	if !includeModel {
-		stored = nil
-	}
 	maxErr := achievedMaxErr(field.Data(), q, eb)
-	return assemble(field, codes, stored, anchors, weights, method, eb, maxErr, opts)
+	return assemble(field, codes, stored, nil, weights, method, eb, maxErr, opts)
 }
 
 // candidateFeatures builds the per-point candidate predictions:
@@ -141,10 +151,22 @@ func candidateFeatures(q []int32, dims []int, dq [][]float64, method container.M
 	for a := range dq {
 		cf := make([]float64, len(q))
 		axis := a
+		stride, dim := strides[axis], dims[axis]
+		dqa := dq[axis]
 		parallel.ForRange(len(q), func(lo, hi int) {
+			// Walk the axis coordinate incrementally instead of dividing
+			// per point: coord advances by 1 every `stride` points and
+			// wraps after `dim` steps.
+			coord := (lo / stride) % dim
+			phase := lo % stride
 			for i := lo; i < hi; i++ {
-				coord := (i / strides[axis]) % dims[axis]
-				cf[i] = predictor.CrossFieldPred(q, i, strides[axis], coord, dq[axis][i])
+				cf[i] = predictor.CrossFieldPred(q, i, stride, coord, dqa[i])
+				if phase++; phase == stride {
+					phase = 0
+					if coord++; coord == dim {
+						coord = 0
+					}
+				}
 			}
 		})
 		feats = append(feats, cf)
@@ -249,7 +271,7 @@ func assemble(field *tensor.Tensor, codes []int32, model *cfnn.Model, anchors []
 		MaxErr:          maxErr,
 		Ratio:           metrics.CompressionRatio(origBytes, len(enc)),
 		BitRate:         metrics.BitRate(field.Len(), len(enc)),
-		CodeEntropy:     metrics.Entropy(metrics.Histogram(codes)),
+		CodeEntropy:     metrics.CodeEntropy(codes),
 		HybridWeights:   hybrid,
 	}
 	return &Result{Blob: enc, Stats: st}, nil

@@ -26,6 +26,7 @@ import (
 	"repro/internal/container"
 	"repro/internal/lossless"
 	"repro/internal/metrics"
+	"repro/internal/nn"
 	"repro/internal/parallel"
 	"repro/internal/quant"
 	"repro/internal/tensor"
@@ -46,6 +47,11 @@ type Options struct {
 	Seed int64
 	// AnchorNames are recorded in the container for bookkeeping.
 	AnchorNames []string
+	// Arena, when non-nil, supplies reusable CFNN inference scratch so
+	// repeated compressions (e.g. the fields of one dataset archive)
+	// allocate buffers once. It never affects output bytes. An arena is
+	// mutable scratch: do not share one across concurrent compressions.
+	Arena *nn.Arena
 }
 
 func (o Options) withDefaults() Options {
@@ -151,18 +157,10 @@ func diffToPrequantUnits(d *tensor.Tensor, eb float64) []float64 {
 	return out
 }
 
-// predictedDQ runs CFNN inference on the anchors and converts each axis'
-// difference field to prequant units.
+// predictedDQ runs whole-field CFNN inference on the anchors and converts
+// each axis' difference field to prequant units.
 func predictedDQ(model *cfnn.Model, anchors []*tensor.Tensor, eb float64) ([][]float64, error) {
-	diffs, err := model.PredictDiffs(anchors)
-	if err != nil {
-		return nil, err
-	}
-	dq := make([][]float64, len(diffs))
-	for a, d := range diffs {
-		dq[a] = diffToPrequantUnits(d, eb)
-	}
-	return dq, nil
+	return predictedDQWith(model, anchors, eb, nil, nil, 0)
 }
 
 // VerifyBound checks the reconstruction against the absolute error bound

@@ -29,13 +29,17 @@ func Decompress(blob []byte, anchors []*tensor.Tensor) (*tensor.Tensor, error) {
 	if chunk.IsChunked(blob) {
 		return DecompressChunked(blob, anchors)
 	}
-	return decompressMono(blob, anchors, nil)
+	return decompressMono(blob, anchors, nil, nil)
 }
 
 // decompressMono reverses one CFC1 blob. ext supplies the CFNN model for
 // chunk payloads whose model section was stripped (stored once at the CFC2
-// level); a model embedded in the blob always wins.
-func decompressMono(blob []byte, anchors []*tensor.Tensor, ext *cfnn.Model) (*tensor.Tensor, error) {
+// level); a model embedded in the blob always wins. dqExt, when non-nil,
+// supplies the predicted-diff fields (prequant units) directly — the
+// shared-inference chunked path computes them once per field and hands
+// each chunk its slab views, skipping per-payload model loading and
+// inference entirely.
+func decompressMono(blob []byte, anchors []*tensor.Tensor, ext *cfnn.Model, dqExt [][]float64) (*tensor.Tensor, error) {
 	b, err := container.Decode(blob)
 	if err != nil {
 		return nil, err
@@ -65,26 +69,28 @@ func decompressMono(blob []byte, anchors []*tensor.Tensor, ext *cfnn.Model) (*te
 			return nil, err
 		}
 	case container.MethodHybrid, container.MethodCrossOnly:
-		if len(anchors) == 0 {
-			return nil, fmt.Errorf("%w: method %v, anchors %v", ErrNeedAnchors, b.Method, b.Anchors)
-		}
-		model := ext
-		if len(b.Model) > 0 {
-			if model, err = cfnn.Load(bytes.NewReader(b.Model)); err != nil {
+		dq := dqExt
+		if dq == nil {
+			if len(anchors) == 0 {
+				return nil, fmt.Errorf("%w: method %v, anchors %v", ErrNeedAnchors, b.Method, b.Anchors)
+			}
+			model := ext
+			if len(b.Model) > 0 {
+				if model, err = cfnn.Load(bytes.NewReader(b.Model)); err != nil {
+					return nil, err
+				}
+			}
+			if model == nil {
+				return nil, fmt.Errorf("core: blob method %v has no embedded model and none was supplied", b.Method)
+			}
+			for i, a := range anchors {
+				if !sameDims(a.Shape(), b.Dims) {
+					return nil, fmt.Errorf("core: anchor %d shape %v != field dims %v", i, a.Shape(), b.Dims)
+				}
+			}
+			if dq, err = predictedDQ(model, anchors, b.AbsEB); err != nil {
 				return nil, err
 			}
-		}
-		if model == nil {
-			return nil, fmt.Errorf("core: blob method %v has no embedded model and none was supplied", b.Method)
-		}
-		for i, a := range anchors {
-			if !sameDims(a.Shape(), b.Dims) {
-				return nil, fmt.Errorf("core: anchor %d shape %v != field dims %v", i, a.Shape(), b.Dims)
-			}
-		}
-		dq, err := predictedDQ(model, anchors, b.AbsEB)
-		if err != nil {
-			return nil, err
 		}
 		if err := reconstructCrossField(q, codes, b.Dims, dq, b.Hybrid, b.Method); err != nil {
 			return nil, err

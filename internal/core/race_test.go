@@ -8,19 +8,24 @@ import (
 	"repro/internal/tensor"
 )
 
-// TestHybridChunkedSharedModelRace is the regression test for the
-// per-chunk model-clone fix: layer forward passes cache scratch state on
-// the CFNN, so every concurrently-processed chunk must run inference on
-// its own clone of the container's shared model. Without the Clone calls
-// in CompressChunkedTo and decompressChunkTensor, the race detector
-// reports concurrent writes to the cached activations here — and without
-// -race the reconstruction can silently corrupt.
-func TestHybridChunkedSharedModelRace(t *testing.T) {
+// TestHybridChunkedSharedSlabRace is the race regression test for the
+// shared-inference engine. The per-chunk model clones are gone: one
+// segmented CFNN pass writes the predicted-diff slabs up front, and every
+// concurrent chunk worker — compression and decompression alike — then
+// reads slab views of those arrays with no synchronization. Under -race
+// this asserts that sharing is sound: the slabs are written once before
+// the workers start and treated as immutable afterwards, and the model
+// itself is never touched from worker goroutines. Several whole-field
+// decodes run concurrently on top (each runs its own inference pass over
+// the same caller-supplied anchor tensors), plus concurrent random-access
+// chunk decodes, to widen the overlap window.
+func TestHybridChunkedSharedSlabRace(t *testing.T) {
 	target := smoothField3D(12, 16, 16, 91)
 	anchors := []*tensor.Tensor{target.Clone()}
 	model := trainTinyModel(t, anchors, target)
 
-	// Compression side: one caller-supplied model, four concurrent chunks.
+	// Compression side: one shared inference pass, four concurrent chunk
+	// workers reading its slabs.
 	res, err := CompressChunked(target, model, anchors, ChunkedOptions{
 		Options:     Options{Bound: quant.AbsBound(0.05), AnchorNames: []string{"self"}},
 		ChunkVoxels: 2 * 16 * 16, // 6 chunks
@@ -33,9 +38,9 @@ func TestHybridChunkedSharedModelRace(t *testing.T) {
 		t.Fatalf("ChunkCount = %d, %v; want 6", nc, err)
 	}
 
-	// Decompression side: the container's model is loaded once and shared
-	// by every chunk worker; several whole-field decodes run concurrently
-	// on top to widen the overlap window.
+	// Decompression side: each whole-field decode runs one shared
+	// inference pass whose slabs its four chunk workers read; three such
+	// decodes run concurrently, all reading the same anchor tensors.
 	var wg sync.WaitGroup
 	outs := make([]*tensor.Tensor, 3)
 	errs := make([]error, 3)
@@ -59,7 +64,10 @@ func TestHybridChunkedSharedModelRace(t *testing.T) {
 		}
 	}
 
-	// Random access on the same blob from many goroutines at once.
+	// Random access on the same blob from many goroutines at once: this
+	// path runs reference per-chunk-view inference (each call loads its
+	// own model from the container), and must agree bit-for-bit with the
+	// shared-inference full decodes.
 	wg = sync.WaitGroup{}
 	cerrs := make([]error, 6)
 	for ci := 0; ci < 6; ci++ {

@@ -48,14 +48,27 @@ func (k Kind) String() string {
 // Along computes the first-order difference of kind k along the given axis
 // of a rank-2 or rank-3 tensor, returning a new tensor of the same shape.
 func Along(t *tensor.Tensor, axis int, k Kind) (*tensor.Tensor, error) {
-	if axis < 0 || axis >= t.Rank() {
-		return nil, fmt.Errorf("diff: axis %d out of range for rank %d", axis, t.Rank())
-	}
 	out := tensor.New(t.Shape()...)
+	if err := AlongInto(out, t, axis, k); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AlongInto is Along writing into caller-owned dst (same shape as t, not
+// aliasing t's storage), allocating nothing — the form the arena-backed
+// inference path uses. Every element of dst is overwritten.
+func AlongInto(dst, t *tensor.Tensor, axis int, k Kind) error {
+	if axis < 0 || axis >= t.Rank() {
+		return fmt.Errorf("diff: axis %d out of range for rank %d", axis, t.Rank())
+	}
+	if !dst.SameShape(t) {
+		return fmt.Errorf("diff: dst shape %v != src shape %v", dst.Shape(), t.Shape())
+	}
 	n := t.Dim(axis)
 	stride := t.Strides()[axis]
 	src := t.Data()
-	dst := out.Data()
+	dd := dst.Data()
 
 	// Enumerate every 1-D line along `axis`. A line's first element sits at
 	// an offset whose axis-coordinate is zero; we walk all flat offsets and
@@ -63,32 +76,32 @@ func Along(t *tensor.Tensor, axis int, k Kind) (*tensor.Tensor, error) {
 	forEachLineStart(t, axis, func(base int) {
 		switch k {
 		case Backward:
-			dst[base] = src[base]
+			dd[base] = src[base]
 			for i := 1; i < n; i++ {
 				o := base + i*stride
-				dst[o] = src[o] - src[o-stride]
+				dd[o] = src[o] - src[o-stride]
 			}
 		case Forward:
 			for i := 0; i < n-1; i++ {
 				o := base + i*stride
-				dst[o] = src[o+stride] - src[o]
+				dd[o] = src[o+stride] - src[o]
 			}
-			dst[base+(n-1)*stride] = 0
+			dd[base+(n-1)*stride] = 0
 		case Central:
 			if n == 1 {
-				dst[base] = 0
+				dd[base] = 0
 				return
 			}
-			dst[base] = src[base+stride] - src[base]
+			dd[base] = src[base+stride] - src[base]
 			for i := 1; i < n-1; i++ {
 				o := base + i*stride
-				dst[o] = (src[o+stride] - src[o-stride]) / 2
+				dd[o] = (src[o+stride] - src[o-stride]) / 2
 			}
 			last := base + (n-1)*stride
-			dst[last] = src[last] - src[last-stride]
+			dd[last] = src[last] - src[last-stride]
 		}
 	})
-	return out, nil
+	return nil
 }
 
 // Integrate inverts a Backward difference along the given axis via prefix
@@ -142,12 +155,14 @@ func AllCentral(t *tensor.Tensor) ([]*tensor.Tensor, error) {
 }
 
 // forEachLineStart invokes fn with the flat offset of the first element of
-// every 1-D line along `axis`.
+// every 1-D line along `axis`. The coordinate counter lives on the stack
+// (rank is bounded) so the walk allocates nothing.
 func forEachLineStart(t *tensor.Tensor, axis int, fn func(base int)) {
 	shape := t.Shape()
 	strides := t.Strides()
 	// Iterate the product of all non-axis dimensions.
-	coords := make([]int, len(shape))
+	var coordBuf [8]int
+	coords := coordBuf[:len(shape)]
 	for {
 		base := 0
 		for i, c := range coords {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	crossfield "repro"
@@ -16,6 +17,7 @@ type ChunkedBenchRow struct {
 	Method         string  `json:"method"` // "baseline" or "hybrid"
 	Mode           string  `json:"mode"`   // "monolithic" or "chunked"
 	Workers        int     `json:"workers"`
+	GOMAXPROCS     int     `json:"gomaxprocs"` // recorded per row, at measurement time
 	Chunks         int     `json:"chunks"`
 	CompressMBps   float64 `json:"compress_mbps"`
 	DecompressMBps float64 `json:"decompress_mbps"`
@@ -33,14 +35,33 @@ type ChunkedBenchReport struct {
 	RelEB       float64           `json:"rel_eb"`
 	ChunkVoxels int               `json:"chunk_voxels"`
 	GOMAXPROCS  int               `json:"gomaxprocs"`
+	Rounds      int               `json:"rounds"` // timed rounds per row (fastest reported)
 	Rows        []ChunkedBenchRow `json:"rows"`
 }
 
+// benchRounds is how many times each configuration is timed; the fastest
+// round is reported — on shared machines the minimum is the standard
+// least-interference estimator of a code path's cost, where a median
+// still folds in neighbor noise. One untimed warmup round precedes the
+// measurements so buffer pools, scratch arenas, and lazily-initialized
+// state don't charge their one-time cost to the first row.
+const benchRounds = 5
+
 // ChunkedThroughput compares monolithic and chunked compression throughput
-// (MB/s, both directions) on the 3D hurricane target at 1, 2, and
-// GOMAXPROCS workers, and optionally writes the numbers as JSON.
+// (MB/s, both directions) on the 3D hurricane target across a worker
+// ladder of {1, 2, NumCPU}, and optionally writes the numbers as JSON.
+//
+// Benchmark realism: the process GOMAXPROCS is raised to runtime.NumCPU()
+// for the duration of the run (a worker-scaling experiment measured at
+// GOMAXPROCS=1 shows no scaling by construction), the effective value is
+// recorded per row, and every row is the fastest of benchRounds timed
+// round-trips after a warmup round.
 func ChunkedThroughput(w io.Writer, s Sizes, jsonPath string) error {
 	section(w, "Chunked engine: monolithic vs chunked throughput (MB/s)")
+	if prev := runtime.GOMAXPROCS(0); prev < runtime.NumCPU() {
+		runtime.GOMAXPROCS(runtime.NumCPU())
+		defer runtime.GOMAXPROCS(prev)
+	}
 	plan := crossfield.PaperPlans()[2] // Hurricane Wf
 	p, err := s.prepare(plan)
 	if err != nil {
@@ -59,14 +80,14 @@ func ChunkedThroughput(w io.Writer, s Sizes, jsonPath string) error {
 	report := &ChunkedBenchReport{
 		Dataset: plan.Dataset, Field: plan.Target,
 		Dims: dims, MB: mb, RelEB: relEB,
-		ChunkVoxels: chunkVoxels, GOMAXPROCS: workers(),
+		ChunkVoxels: chunkVoxels, GOMAXPROCS: workers(), Rounds: benchRounds,
 	}
-	fmt.Fprintf(w, "field %s/%s, %v (%.1f MB), rel eb %g, chunk %d voxels, GOMAXPROCS %d:\n",
-		plan.Dataset, plan.Target, dims, mb, relEB, chunkVoxels, workers())
+	fmt.Fprintf(w, "field %s/%s, %v (%.1f MB), rel eb %g, chunk %d voxels, GOMAXPROCS %d, best of %d rounds:\n",
+		plan.Dataset, plan.Target, dims, mb, relEB, chunkVoxels, workers(), benchRounds)
 
 	row := func(method, mode string, workers, chunks int, c, d time.Duration, ratio float64) {
 		r := ChunkedBenchRow{
-			Method: method, Mode: mode, Workers: workers, Chunks: chunks,
+			Method: method, Mode: mode, Workers: workers, GOMAXPROCS: runtime.GOMAXPROCS(0), Chunks: chunks,
 			CompressMBps:   mb / c.Seconds(),
 			DecompressMBps: mb / d.Seconds(),
 			Ratio:          ratio,
@@ -76,30 +97,46 @@ func ChunkedThroughput(w io.Writer, s Sizes, jsonPath string) error {
 			method, mode, workers, chunks, r.CompressMBps, r.DecompressMBps, ratio)
 	}
 
-	// timeRoundTrip times one compress and one decompress. nw == 0 uses
-	// the monolithic decoder path; nw > 0 decompresses chunked with
+	// timeRoundTrip times compress and decompress over benchRounds rounds
+	// (after one warmup) and reports the per-direction minima. nw == 0
+	// uses the monolithic decoder path; nw > 0 decompresses chunked with
 	// exactly nw workers, so the per-worker decompress rows measure what
 	// they claim.
 	timeRoundTrip := func(compress func() (*crossfield.Compressed, error), anchors []*crossfield.Field, nw int) (time.Duration, time.Duration, *crossfield.Compressed, error) {
-		start := time.Now()
-		res, err := compress()
+		decompress := func(res *crossfield.Compressed) error {
+			var err error
+			if nw > 0 {
+				_, err = crossfield.DecompressChunked(p.target.Name, res.Blob, anchors, nw)
+			} else {
+				_, err = crossfield.Decompress(p.target.Name, res.Blob, anchors)
+			}
+			return err
+		}
+		res, err := compress() // warmup round, untimed
 		if err != nil {
 			return 0, 0, nil, err
 		}
-		c := time.Since(start)
-		start = time.Now()
-		if nw > 0 {
-			_, err = crossfield.DecompressChunked(p.target.Name, res.Blob, anchors, nw)
-		} else {
-			_, err = crossfield.Decompress(p.target.Name, res.Blob, anchors)
-		}
-		if err != nil {
+		if err := decompress(res); err != nil {
 			return 0, 0, nil, err
 		}
-		return c, time.Since(start), res, nil
+		cs := make([]time.Duration, 0, benchRounds)
+		ds := make([]time.Duration, 0, benchRounds)
+		for r := 0; r < benchRounds; r++ {
+			start := time.Now()
+			if res, err = compress(); err != nil {
+				return 0, 0, nil, err
+			}
+			cs = append(cs, time.Since(start))
+			start = time.Now()
+			if err := decompress(res); err != nil {
+				return 0, 0, nil, err
+			}
+			ds = append(ds, time.Since(start))
+		}
+		return minDuration(cs), minDuration(ds), res, nil
 	}
 
-	// Baseline: monolithic, then chunked at increasing worker counts.
+	// Baseline: monolithic, then chunked across the worker ladder.
 	c, d, res, err := timeRoundTrip(func() (*crossfield.Compressed, error) {
 		return crossfield.CompressBaseline(p.target, bound)
 	}, nil, 0)
@@ -123,7 +160,7 @@ func ChunkedThroughput(w io.Writer, s Sizes, jsonPath string) error {
 		row("baseline", "chunked", nw, n, c, d, res.Stats.Ratio)
 	}
 
-	// Hybrid: monolithic vs chunked at full width.
+	// Hybrid: monolithic, then chunked across the same worker ladder.
 	anchorsDec, err := decompressedAnchors(p.anchors, bound)
 	if err != nil {
 		return err
@@ -136,18 +173,20 @@ func ChunkedThroughput(w io.Writer, s Sizes, jsonPath string) error {
 	}
 	row("hybrid", "monolithic", 1, 1, c, d, res.Stats.Ratio)
 
-	opts := crossfield.ChunkOptions{ChunkVoxels: chunkVoxels, Workers: workers()}
-	c, d, res, err = timeRoundTrip(func() (*crossfield.Compressed, error) {
-		return p.codec.Compress(p.target, anchorsDec, bound, opts)
-	}, anchorsDec, workers())
-	if err != nil {
-		return err
+	for _, nw := range workerCounts() {
+		opts := crossfield.ChunkOptions{ChunkVoxels: chunkVoxels, Workers: nw}
+		c, d, res, err = timeRoundTrip(func() (*crossfield.Compressed, error) {
+			return p.codec.Compress(p.target, anchorsDec, bound, opts)
+		}, anchorsDec, nw)
+		if err != nil {
+			return err
+		}
+		n, err := crossfield.ChunkCount(res.Blob)
+		if err != nil {
+			return err
+		}
+		row("hybrid", "chunked", nw, n, c, d, res.Stats.Ratio)
 	}
-	n, err := crossfield.ChunkCount(res.Blob)
-	if err != nil {
-		return err
-	}
-	row("hybrid", "chunked", workers(), n, c, d, res.Stats.Ratio)
 
 	if jsonPath != "" {
 		enc, err := json.MarshalIndent(report, "", "  ")
@@ -162,10 +201,25 @@ func ChunkedThroughput(w io.Writer, s Sizes, jsonPath string) error {
 	return nil
 }
 
-// workerCounts returns the deduplicated ladder {1, 2, GOMAXPROCS}.
+// minDuration returns the smallest sample.
+func minDuration(samples []time.Duration) time.Duration {
+	best := samples[0]
+	for _, s := range samples[1:] {
+		if s < best {
+			best = s
+		}
+	}
+	return best
+}
+
+// workerCounts returns the deduplicated ladder {1, 2, NumCPU}, so a
+// workers=NumCPU row is always present and scaling is visible on any
+// machine. On a single-CPU host the ladder is {1, 2}: the w=2 row then
+// measures scheduling overhead rather than speedup, which is itself worth
+// tracking.
 func workerCounts() []int {
 	counts := []int{1}
-	for _, n := range []int{2, workers()} {
+	for _, n := range []int{2, runtime.NumCPU()} {
 		if n > counts[len(counts)-1] {
 			counts = append(counts, n)
 		}

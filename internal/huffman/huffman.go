@@ -26,6 +26,15 @@ const escSym = int64(math.MaxInt64)
 // maxCodeLen is bounded by the bitstream reader's 57-bit peek window.
 const maxCodeLen = 48
 
+// denseWorthIt decides whether a span-indexed dense table beats a hash
+// map for n occupied symbols spread over the given span: the span must be
+// bounded absolutely and must not dwarf the occupancy (a sparse alphabet
+// over a wide range would pay a huge table for nothing). The same
+// heuristic shape is used by metrics.CodeEntropy.
+func denseWorthIt(span int64, n int) bool {
+	return span >= 0 && span < 1<<21 && span <= 8*int64(n)+1024
+}
+
 // DefaultMaxSymbols caps the alphabet like SZ's default quantization-bin
 // capacity: the 65536 most frequent codes keep dedicated codewords.
 const DefaultMaxSymbols = 65536
@@ -45,6 +54,10 @@ type Codec struct {
 	entries []entry         // canonical order: (length, sym) ascending
 	encode  map[int64]entry // symbol -> code
 	hasEsc  bool
+	// Dense encode fast path for small symbol spans (see buildDense);
+	// nil when the span is too wide.
+	dense    []entry
+	denseMin int64
 	// Canonical decode tables indexed by length.
 	firstCode [maxCodeLen + 1]uint64
 	firstIdx  [maxCodeLen + 1]int
@@ -60,17 +73,43 @@ func Build(codes []int32, maxSymbols int) (*Codec, error) {
 	if maxSymbols <= 0 {
 		maxSymbols = DefaultMaxSymbols
 	}
-	hist := make(map[int32]int64, 1024)
-	for _, c := range codes {
-		hist[c]++
-	}
 	type sc struct {
 		sym   int32
 		count int64
 	}
-	items := make([]sc, 0, len(hist))
-	for s, c := range hist {
-		items = append(items, sc{s, c})
+	var items []sc
+	// Histogram: quantization codes cluster tightly around zero, so a
+	// dense array beats a hash map by an order of magnitude; the map is
+	// kept for pathological spreads. Either path feeds the same
+	// deterministic sort, so the resulting table is identical.
+	mn, mx := int32(0), int32(0)
+	for i, c := range codes {
+		if i == 0 || c < mn {
+			mn = c
+		}
+		if i == 0 || c > mx {
+			mx = c
+		}
+	}
+	if len(codes) > 0 && denseWorthIt(int64(mx)-int64(mn), len(codes)) {
+		counts := make([]int64, int64(mx)-int64(mn)+1)
+		for _, c := range codes {
+			counts[c-mn]++
+		}
+		for s, c := range counts {
+			if c > 0 {
+				items = append(items, sc{mn + int32(s), c})
+			}
+		}
+	} else {
+		hist := make(map[int32]int64, 1024)
+		for _, c := range codes {
+			hist[c]++
+		}
+		items = make([]sc, 0, len(hist))
+		for s, c := range hist {
+			items = append(items, sc{s, c})
+		}
 	}
 	// Most frequent first; ties by symbol for determinism.
 	sort.Slice(items, func(i, j int) bool {
@@ -108,7 +147,14 @@ func Build(codes []int32, maxSymbols int) (*Codec, error) {
 	for i := range syms {
 		entries[i] = entry{sym: syms[i], length: lengths[i]}
 	}
-	return newCanonical(entries)
+	c, err := newCanonical(entries)
+	if err != nil {
+		return nil, err
+	}
+	// Only freshly-built codecs are about to encode; table decodes
+	// (UnmarshalCodec) skip the dense encode LUT entirely.
+	c.buildDense()
+	return c, nil
 }
 
 // buildLengths runs standard Huffman construction over the counts and
@@ -265,10 +311,66 @@ func (c *Codec) NumSymbols() int { return len(c.entries) }
 // MaxLength returns the longest codeword in bits.
 func (c *Codec) MaxLength() int { return int(c.maxLen) }
 
+// buildDense constructs the flat symbol→code lookup used on the encode
+// hot path when the alphabet's symbol span is small (the normal case for
+// quantization codes, which cluster around zero). Entries with length 0
+// mark symbols outside the alphabet. Encoding output is identical to the
+// map path — this is purely a lookup-cost optimization.
+func (c *Codec) buildDense() {
+	mn, mx := int64(math.MaxInt64), int64(math.MinInt64)
+	n := 0
+	for _, e := range c.entries {
+		if e.sym == escSym {
+			continue
+		}
+		if e.sym < mn {
+			mn = e.sym
+		}
+		if e.sym > mx {
+			mx = e.sym
+		}
+		n++
+	}
+	// The span must be computed overflow-safely before sizing anything
+	// (symbols here came from a decoded table and can be arbitrary), and a
+	// sparse alphabet spread over a wide span keeps the map.
+	if n == 0 {
+		return
+	}
+	if span := uint64(mx) - uint64(mn); span > 1<<62 || !denseWorthIt(int64(span), n) {
+		return
+	}
+	c.denseMin = mn
+	c.dense = make([]entry, mx-mn+1)
+	for _, e := range c.entries {
+		if e.sym != escSym {
+			c.dense[e.sym-mn] = e
+		}
+	}
+}
+
 // Encode appends the bitstream encoding of codes to w. Codes absent from
 // the alphabet use the escape path (escape codeword + 32 raw bits).
 func (c *Codec) Encode(w *bitstream.Writer, codes []int32) error {
 	esc, hasEsc := c.encode[escSym]
+	if c.dense != nil {
+		mn := c.denseMin
+		span := int64(len(c.dense))
+		for _, v := range codes {
+			if s := int64(v) - mn; s >= 0 && s < span {
+				if e := c.dense[s]; e.length > 0 {
+					w.WriteBits(e.code, uint(e.length))
+					continue
+				}
+			}
+			if !hasEsc {
+				return fmt.Errorf("huffman: code %d not in alphabet and no escape", v)
+			}
+			w.WriteBits(esc.code, uint(esc.length))
+			w.WriteBits(uint64(uint32(v)), 32)
+		}
+		return nil
+	}
 	for _, v := range codes {
 		if e, ok := c.encode[int64(v)]; ok {
 			w.WriteBits(e.code, uint(e.length))

@@ -11,6 +11,7 @@ import (
 	"compress/flate"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Backend is a reversible byte-stream compressor.
@@ -74,12 +75,34 @@ func (f Flate) level() int {
 	return f.Level
 }
 
+// flateWriters pools DEFLATE encoders per compression level (indexed
+// level−flate.HuffmanOnly). A flate.Writer carries ~1 MB of internal match
+// state whose initialization used to dominate small per-chunk payloads;
+// Reset makes a pooled writer equivalent to a fresh one, so pooling
+// changes no output bytes.
+var flateWriters [flate.BestCompression - flate.HuffmanOnly + 1]sync.Pool
+
+// flateReaders pools DEFLATE decoders (flate.Reader implements
+// flate.Resetter).
+var flateReaders sync.Pool
+
 // Compress implements Backend.
 func (f Flate) Compress(src []byte) ([]byte, error) {
-	var buf bytes.Buffer
-	w, err := flate.NewWriter(&buf, f.level())
-	if err != nil {
+	level := f.level()
+	if level < flate.HuffmanOnly || level > flate.BestCompression {
+		_, err := flate.NewWriter(io.Discard, level) // surface flate's own error
 		return nil, fmt.Errorf("lossless: %w", err)
+	}
+	pool := &flateWriters[level-flate.HuffmanOnly]
+	var buf bytes.Buffer
+	w, _ := pool.Get().(*flate.Writer)
+	if w == nil {
+		var err error
+		if w, err = flate.NewWriter(&buf, level); err != nil {
+			return nil, fmt.Errorf("lossless: %w", err)
+		}
+	} else {
+		w.Reset(&buf)
 	}
 	if _, err := w.Write(src); err != nil {
 		return nil, fmt.Errorf("lossless: %w", err)
@@ -87,13 +110,31 @@ func (f Flate) Compress(src []byte) ([]byte, error) {
 	if err := w.Close(); err != nil {
 		return nil, fmt.Errorf("lossless: %w", err)
 	}
+	// Detach the writer from the output buffer before pooling it, so a
+	// parked writer never pins the returned blob's backing array.
+	w.Reset(io.Discard)
+	pool.Put(w)
 	return buf.Bytes(), nil
 }
 
 // Decompress implements Backend.
 func (Flate) Decompress(src []byte, expectedLen int) ([]byte, error) {
-	r := flate.NewReader(bytes.NewReader(src))
-	defer r.Close()
+	r, _ := flateReaders.Get().(io.ReadCloser)
+	if r == nil {
+		r = flate.NewReader(bytes.NewReader(src))
+	} else if err := r.(flate.Resetter).Reset(bytes.NewReader(src), nil); err != nil {
+		return nil, fmt.Errorf("lossless: %w", err)
+	}
+	defer func() {
+		if r.Close() != nil {
+			return
+		}
+		// Detach the decoder from src before pooling it, mirroring the
+		// writer path: a parked reader must not pin the compressed blob.
+		if r.(flate.Resetter).Reset(bytes.NewReader(nil), nil) == nil {
+			flateReaders.Put(r)
+		}
+	}()
 	var out bytes.Buffer
 	if expectedLen > 0 {
 		out.Grow(expectedLen)

@@ -235,3 +235,41 @@ func Histogram(codes []int32) map[int32]int {
 	}
 	return h
 }
+
+// CodeEntropy is Entropy(Histogram(codes)) computed without the map when
+// the code span is small — the normal case for quantization codes, and
+// the hot path for per-chunk stats. Deterministic summation order (unlike
+// map iteration), same value up to float rounding.
+func CodeEntropy(codes []int32) float64 {
+	if len(codes) == 0 {
+		return 0
+	}
+	mn, mx := codes[0], codes[0]
+	for _, c := range codes {
+		if c < mn {
+			mn = c
+		}
+		if c > mx {
+			mx = c
+		}
+	}
+	// Same dense-vs-map heuristic as internal/huffman's denseWorthIt: the
+	// span must be bounded absolutely and must not dwarf the code count.
+	if span := int64(mx) - int64(mn); span >= 1<<21 || span > 8*int64(len(codes))+1024 {
+		return Entropy(Histogram(codes))
+	}
+	counts := make([]int, int64(mx)-int64(mn)+1)
+	for _, c := range codes {
+		counts[c-mn]++
+	}
+	total := float64(len(codes))
+	h := 0.0
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / total
+		h -= p * math.Log2(p)
+	}
+	return h
+}

@@ -122,6 +122,14 @@ func (a *ChannelAttention) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 // mlpForward runs the shared MLP on descriptor s, storing the post-ReLU
 // hidden activations in h1 and returning the output logits.
 func (a *ChannelAttention) mlpForward(s, h1 []float64) []float64 {
+	z := make([]float64, a.C)
+	a.mlpInto(s, h1, z)
+	return z
+}
+
+// mlpInto is mlpForward writing the logits into caller-owned z, for the
+// alloc-free inference path.
+func (a *ChannelAttention) mlpInto(s, h1, z []float64) {
 	hid := a.Hidden()
 	w1, b1 := a.w1.W.Data(), a.b1.W.Data()
 	w2, b2 := a.w2.W.Data(), a.b2.W.Data()
@@ -135,7 +143,6 @@ func (a *ChannelAttention) mlpForward(s, h1 []float64) []float64 {
 		}
 		h1[h] = acc
 	}
-	z := make([]float64, a.C)
 	for c := 0; c < a.C; c++ {
 		acc := float64(b2[c])
 		for h := 0; h < hid; h++ {
@@ -143,7 +150,6 @@ func (a *ChannelAttention) mlpForward(s, h1 []float64) []float64 {
 		}
 		z[c] = acc
 	}
-	return z
 }
 
 // Backward implements Layer.

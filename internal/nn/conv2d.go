@@ -38,6 +38,8 @@ func (c *Conv2D) Name() string { return fmt.Sprintf("conv2d(%d->%d,k=%d)", c.InC
 func (c *Conv2D) Params() []*Param { return []*Param{c.weight, c.bias} }
 
 // Forward implements Layer. x is (InC, H, W); output is (OutC, H, W).
+// It shares the row-accumulator kernel with the Infer fast path, so the
+// two are bit-identical by construction.
 func (c *Conv2D) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	if x.Rank() != 3 || x.Dim(0) != c.InC {
 		return nil, fmt.Errorf("nn: conv2d wants (%d,H,W), got %v", c.InC, x.Shape())
@@ -45,32 +47,14 @@ func (c *Conv2D) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	c.lastIn = x
 	h, w := x.Dim(1), x.Dim(2)
 	out := tensor.New(c.OutC, h, w)
-	p := c.K / 2
-	xd := x.Data()
-	od := out.Data()
-	wd := c.weight.W.Data()
-	bd := c.bias.W.Data()
-	parallel.For(c.OutC, func(oc int) {
-		obase := oc * h * w
-		for i := 0; i < h; i++ {
-			ki0, ki1 := kernelRange(i, h, c.K, p)
-			for j := 0; j < w; j++ {
-				kj0, kj1 := kernelRange(j, w, c.K, p)
-				acc := float64(bd[oc])
-				for ic := 0; ic < c.InC; ic++ {
-					xbase := ic * h * w
-					wbase := ((oc*c.InC + ic) * c.K) * c.K
-					for ki := ki0; ki < ki1; ki++ {
-						xrow := xbase + (i+ki-p)*w + (j - p)
-						wrow := wbase + ki*c.K
-						for kj := kj0; kj < kj1; kj++ {
-							acc += float64(wd[wrow+kj]) * float64(xd[xrow+kj])
-						}
-					}
-				}
-				od[obase+i*w+j] = float32(acc)
-			}
-		}
+	od, bd := out.Data(), c.bias.W.Data()
+	xd64 := make([]float64, x.Len())
+	toF64(xd64, x.Data())
+	wd64 := make([]float64, c.weight.W.Len())
+	toF64(wd64, c.weight.W.Data())
+	eff := clampWorkers(parallel.Workers(), c.OutC*h)
+	dispatchScratch(eff, c.OutC*h, w, make([]float64, eff*w), func(lo, hi int, acc []float64) {
+		conv2dRows(od, xd64, wd64, bd, c.InC, c.K, h, w, nil, nil, acc, lo, hi)
 	})
 	return out, nil
 }

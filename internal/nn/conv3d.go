@@ -38,6 +38,8 @@ func (c *Conv3D) Name() string { return fmt.Sprintf("conv3d(%d->%d,k=%d)", c.InC
 func (c *Conv3D) Params() []*Param { return []*Param{c.weight, c.bias} }
 
 // Forward implements Layer. x is (InC, D, H, W); output is (OutC, D, H, W).
+// It shares the row-accumulator kernel with the Infer fast path, so the
+// two are bit-identical by construction.
 func (c *Conv3D) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	if x.Rank() != 4 || x.Dim(0) != c.InC {
 		return nil, fmt.Errorf("nn: conv3d wants (%d,D,H,W), got %v", c.InC, x.Shape())
@@ -45,40 +47,14 @@ func (c *Conv3D) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	c.lastIn = x
 	d, h, w := x.Dim(1), x.Dim(2), x.Dim(3)
 	out := tensor.New(c.OutC, d, h, w)
-	p := c.K / 2
-	xd := x.Data()
-	od := out.Data()
-	wd := c.weight.W.Data()
-	bd := c.bias.W.Data()
-	vol := d * h * w
-	parallel.For(c.OutC, func(oc int) {
-		obase := oc * vol
-		for z := 0; z < d; z++ {
-			kz0, kz1 := kernelRange(z, d, c.K, p)
-			for i := 0; i < h; i++ {
-				ki0, ki1 := kernelRange(i, h, c.K, p)
-				for j := 0; j < w; j++ {
-					kj0, kj1 := kernelRange(j, w, c.K, p)
-					acc := float64(bd[oc])
-					for ic := 0; ic < c.InC; ic++ {
-						xbase := ic * vol
-						wbase := (((oc*c.InC + ic) * c.K) * c.K) * c.K
-						for kz := kz0; kz < kz1; kz++ {
-							xz := xbase + (z+kz-p)*h*w
-							wz := wbase + kz*c.K*c.K
-							for ki := ki0; ki < ki1; ki++ {
-								xrow := xz + (i+ki-p)*w + (j - p)
-								wrow := wz + ki*c.K
-								for kj := kj0; kj < kj1; kj++ {
-									acc += float64(wd[wrow+kj]) * float64(xd[xrow+kj])
-								}
-							}
-						}
-					}
-					od[obase+z*h*w+i*w+j] = float32(acc)
-				}
-			}
-		}
+	od, bd := out.Data(), c.bias.W.Data()
+	xd64 := make([]float64, x.Len())
+	toF64(xd64, x.Data())
+	wd64 := make([]float64, c.weight.W.Len())
+	toF64(wd64, c.weight.W.Data())
+	eff := clampWorkers(parallel.Workers(), c.OutC*d)
+	dispatchScratch(eff, c.OutC*d, w, make([]float64, eff*w), func(lo, hi int, acc []float64) {
+		conv3dPlanes(od, xd64, wd64, bd, c.InC, c.K, d, h, w, nil, nil, acc, lo, hi)
 	})
 	return out, nil
 }

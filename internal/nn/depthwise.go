@@ -38,7 +38,9 @@ func (l *DepthwiseConv2D) Name() string { return fmt.Sprintf("depthwise2d(c=%d,k
 // Params implements Layer.
 func (l *DepthwiseConv2D) Params() []*Param { return []*Param{l.weight, l.bias} }
 
-// Forward implements Layer. x is (C, H, W).
+// Forward implements Layer. x is (C, H, W). It shares the row-accumulator
+// kernel with the Infer fast path, so the two are bit-identical by
+// construction.
 func (l *DepthwiseConv2D) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	if x.Rank() != 3 || x.Dim(0) != l.C {
 		return nil, fmt.Errorf("nn: depthwise2d wants (%d,H,W), got %v", l.C, x.Shape())
@@ -46,27 +48,14 @@ func (l *DepthwiseConv2D) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	l.lastIn = x
 	h, w := x.Dim(1), x.Dim(2)
 	out := tensor.New(l.C, h, w)
-	p := l.K / 2
-	xd, od := x.Data(), out.Data()
-	wd, bd := l.weight.W.Data(), l.bias.W.Data()
-	parallel.For(l.C, func(c int) {
-		xbase := c * h * w
-		wbase := c * l.K * l.K
-		for i := 0; i < h; i++ {
-			ki0, ki1 := kernelRange(i, h, l.K, p)
-			for j := 0; j < w; j++ {
-				kj0, kj1 := kernelRange(j, w, l.K, p)
-				acc := float64(bd[c])
-				for ki := ki0; ki < ki1; ki++ {
-					xrow := xbase + (i+ki-p)*w + (j - p)
-					wrow := wbase + ki*l.K
-					for kj := kj0; kj < kj1; kj++ {
-						acc += float64(wd[wrow+kj]) * float64(xd[xrow+kj])
-					}
-				}
-				od[xbase+i*w+j] = float32(acc)
-			}
-		}
+	od, bd := out.Data(), l.bias.W.Data()
+	xd64 := make([]float64, x.Len())
+	toF64(xd64, x.Data())
+	wd64 := make([]float64, l.weight.W.Len())
+	toF64(wd64, l.weight.W.Data())
+	eff := clampWorkers(parallel.Workers(), l.C*h)
+	dispatchScratch(eff, l.C*h, w, make([]float64, eff*w), func(lo, hi int, acc []float64) {
+		depthwise2dRows(od, xd64, wd64, bd, l.K, h, w, nil, nil, acc, lo, hi)
 	})
 	return out, nil
 }
@@ -159,43 +148,24 @@ func (l *DepthwiseConv3D) Name() string { return fmt.Sprintf("depthwise3d(c=%d,k
 // Params implements Layer.
 func (l *DepthwiseConv3D) Params() []*Param { return []*Param{l.weight, l.bias} }
 
-// Forward implements Layer. x is (C, D, H, W).
+// Forward implements Layer. x is (C, D, H, W). It shares the
+// row-accumulator kernel with the Infer fast path, so the two are
+// bit-identical by construction.
 func (l *DepthwiseConv3D) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	if x.Rank() != 4 || x.Dim(0) != l.C {
 		return nil, fmt.Errorf("nn: depthwise3d wants (%d,D,H,W), got %v", l.C, x.Shape())
 	}
 	l.lastIn = x
 	d, h, w := x.Dim(1), x.Dim(2), x.Dim(3)
-	vol := d * h * w
 	out := tensor.New(l.C, d, h, w)
-	p := l.K / 2
-	xd, od := x.Data(), out.Data()
-	wd, bd := l.weight.W.Data(), l.bias.W.Data()
-	parallel.For(l.C, func(c int) {
-		xbase := c * vol
-		wbase := c * l.K * l.K * l.K
-		for z := 0; z < d; z++ {
-			kz0, kz1 := kernelRange(z, d, l.K, p)
-			for i := 0; i < h; i++ {
-				ki0, ki1 := kernelRange(i, h, l.K, p)
-				for j := 0; j < w; j++ {
-					kj0, kj1 := kernelRange(j, w, l.K, p)
-					acc := float64(bd[c])
-					for kz := kz0; kz < kz1; kz++ {
-						xz := xbase + (z+kz-p)*h*w
-						wz := wbase + kz*l.K*l.K
-						for ki := ki0; ki < ki1; ki++ {
-							xrow := xz + (i+ki-p)*w + (j - p)
-							wrow := wz + ki*l.K
-							for kj := kj0; kj < kj1; kj++ {
-								acc += float64(wd[wrow+kj]) * float64(xd[xrow+kj])
-							}
-						}
-					}
-					od[xbase+z*h*w+i*w+j] = float32(acc)
-				}
-			}
-		}
+	od, bd := out.Data(), l.bias.W.Data()
+	xd64 := make([]float64, x.Len())
+	toF64(xd64, x.Data())
+	wd64 := make([]float64, l.weight.W.Len())
+	toF64(wd64, l.weight.W.Data())
+	eff := clampWorkers(parallel.Workers(), l.C*d)
+	dispatchScratch(eff, l.C*d, w, make([]float64, eff*w), func(lo, hi int, acc []float64) {
+		depthwise3dPlanes(od, xd64, wd64, bd, l.K, d, h, w, nil, nil, acc, lo, hi)
 	})
 	return out, nil
 }

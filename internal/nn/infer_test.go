@@ -1,0 +1,188 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func randTensor(rng *rand.Rand, shape ...int) *tensor.Tensor {
+	t := tensor.New(shape...)
+	d := t.Data()
+	for i := range d {
+		d[i] = float32(rng.NormFloat64())
+	}
+	return t
+}
+
+// inferNet builds a CFNN-shaped stack for the given rank.
+func inferNet(t *testing.T, rng *rand.Rand, rank, inC, f, outC int) *Sequential {
+	t.Helper()
+	var layers []Layer
+	if rank == 3 {
+		c1, err := NewConv3D(rng, inC, f, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dw, err := NewDepthwiseConv3D(rng, f, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pw, err := NewConv3D(rng, f, f, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		attn, err := NewChannelAttention(rng, f, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, err := NewConv3D(rng, f, outC, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		layers = []Layer{c1, NewReLU(), dw, pw, NewReLU(), attn, c2}
+	} else {
+		c1, err := NewConv2D(rng, inC, f, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dw, err := NewDepthwiseConv2D(rng, f, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pw, err := NewConv2D(rng, f, f, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		attn, err := NewChannelAttention(rng, f, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, err := NewConv2D(rng, f, outC, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		layers = []Layer{c1, NewReLU(), dw, pw, NewReLU(), attn, c2}
+	}
+	return NewSequential(layers...)
+}
+
+// TestInferMatchesForward pins the unsegmented contract: Infer must equal
+// Forward bit for bit (the compressed format embeds the predictions, so
+// this is a correctness property, not a tolerance check).
+func TestInferMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range []struct {
+		rank  int
+		shape []int
+	}{
+		{3, []int{4, 5, 5}},
+		{3, []int{1, 7, 9}}, // single plane: kernel clipped to one z tap
+		{2, []int{11, 6}},
+		{2, []int{2, 3}}, // smaller than the kernel
+	} {
+		net := inferNet(t, rng, tc.rank, 4, 6, 2)
+		x := randTensor(rng, append([]int{4}, tc.shape...)...)
+		want, err := net.Forward(x.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 3} {
+			got, err := net.Infer(x.Clone(), nil, NewArena(), workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.SameShape(want) {
+				t.Fatalf("rank %d: Infer shape %v != Forward %v", tc.rank, got.Shape(), want.Shape())
+			}
+			for i, v := range got.Data() {
+				if v != want.Data()[i] {
+					t.Fatalf("rank %d shape %v workers %d: Infer differs from Forward at %d: %v != %v",
+						tc.rank, tc.shape, workers, i, v, want.Data()[i])
+				}
+			}
+		}
+	}
+}
+
+// TestInferSegmentedMatchesPerSegmentForward is the halo-correctness
+// property: segmented Infer over the full input must be bit-identical to
+// running plain Forward on each segment's sub-tensor independently —
+// convolution zero-padding and attention pooling both respect segment
+// boundaries exactly.
+func TestInferSegmentedMatchesPerSegmentForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	cases := []struct {
+		rank   int
+		shape  []int // spatial
+		counts []int
+	}{
+		{3, []int{8, 6, 7}, []int{2, 3, 1, 2}},
+		{3, []int{6, 5, 5}, []int{1, 1, 1, 1, 1, 1}}, // single-slab segments
+		{3, []int{7, 6, 6}, []int{7}},                // one segment == unsegmented
+		{2, []int{20, 9}, []int{5, 5, 10}},
+		{2, []int{10, 7}, []int{1, 9}},
+	}
+	for _, tc := range cases {
+		const inC = 3
+		net := inferNet(t, rng, tc.rank, inC, 5, 2)
+		x := randTensor(rng, append([]int{inC}, tc.shape...)...)
+		got, err := net.Infer(x.Clone(), tc.counts, NewArena(), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Reference: Forward on each segment's crop, laid out contiguously.
+		outC := got.Dim(0)
+		plane := x.Len() / inC / tc.shape[0]
+		outPlane := got.Len() / outC / tc.shape[0]
+		pos := 0
+		for _, cnt := range tc.counts {
+			segShape := append([]int{inC}, tc.shape...)
+			segShape[1] = cnt
+			seg := tensor.New(segShape...)
+			for c := 0; c < inC; c++ {
+				src := x.Data()[c*tc.shape[0]*plane+pos*plane:]
+				copy(seg.Data()[c*cnt*plane:(c+1)*cnt*plane], src[:cnt*plane])
+			}
+			want, err := net.Forward(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for c := 0; c < outC; c++ {
+				gd := got.Data()[c*tc.shape[0]*outPlane+pos*outPlane:]
+				wd := want.Data()[c*cnt*outPlane : (c+1)*cnt*outPlane]
+				for i, v := range wd {
+					if gd[i] != v {
+						t.Fatalf("rank %d counts %v: segment at slab %d, channel %d, elem %d: segmented %v != per-segment Forward %v",
+							tc.rank, tc.counts, pos, c, i, gd[i], v)
+					}
+				}
+			}
+			pos += cnt
+		}
+	}
+}
+
+// TestInferSegmentErrors pins the failure modes: malformed partitions and
+// segmented inference over a layer without an Infer fast path must error
+// rather than silently break halos.
+func TestInferSegmentErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	net := inferNet(t, rng, 2, 2, 4, 1)
+	x := randTensor(rng, 2, 8, 6)
+	for _, counts := range [][]int{{3, 3}, {0, 8}, {-1, 9}, {5, 5}} {
+		if _, err := net.Infer(x.Clone(), counts, NewArena(), 1); err == nil {
+			t.Fatalf("counts %v: expected partition error", counts)
+		}
+	}
+	dense, err := NewDense(rng, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd := NewSequential(dense)
+	if _, err := nd.Infer(randTensor(rng, 2, 2, 4), []int{1, 1}, NewArena(), 1); err == nil {
+		t.Fatal("expected segmented-inference error for a layer without InferLayer support")
+	}
+}

@@ -1,0 +1,37 @@
+//go:build amd64
+
+package nn
+
+// cpuid and xgetbv0 are implemented in tap_amd64.s.
+func cpuid(op, subop uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)
+
+// tap9 is the AVX2 inner kernel for the 3×3 interior tap bundle: for j in
+// [0, n), acc[j] accumulates the nine taps w[0..9) against x0/x1/x2[j..j+2]
+// in ascending tap order with separate multiply and add roundings —
+// bit-identical to the pure-Go loop in tapRows. Implemented in
+// tap_amd64.s.
+//
+//go:noescape
+func tap9(acc, x0, x1, x2, w *float64, n int)
+
+// haveTap9 reports whether the CPU and OS support the AVX2 kernel.
+var haveTap9 = detectAVX2()
+
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c, _ := cpuid(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if c&osxsave == 0 || c&avx == 0 {
+		return false
+	}
+	if eax, _ := xgetbv0(); eax&0x6 != 0x6 { // XMM and YMM state enabled
+		return false
+	}
+	_, b, _, _ := cpuid(7, 0)
+	return b&(1<<5) != 0 // AVX2
+}

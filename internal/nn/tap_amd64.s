@@ -1,0 +1,140 @@
+// AVX2 kernel for the 3×3 interior tap bundle (see tapRows in infer.go).
+//
+// Bit-identity contract: every output element j computes
+//     acc[j] += w[0]*x0[j] ; acc[j] += w[1]*x0[j+1] ; ... ; acc[j] += w[8]*x2[j+2]
+// as nine sequential multiply-then-add steps in exactly that order —
+// VMULPD followed by VADDPD per tap, never VFMADD (fused rounding would
+// change results). Vector lanes are distinct output elements, which are
+// independent accumulators, so 4-wide execution preserves per-element
+// semantics exactly; IEEE mul/add are bitwise commutative for the finite
+// operands this codec produces.
+
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuid(op, subop uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL op+0(FP), AX
+	MOVL subop+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func tap9(acc, x0, x1, x2, w *float64, n int)
+TEXT ·tap9(SB), NOSPLIT, $0-48
+	MOVQ acc+0(FP), DI
+	MOVQ x0+8(FP), SI
+	MOVQ x1+16(FP), DX
+	MOVQ x2+24(FP), CX
+	MOVQ w+32(FP), R8
+	MOVQ n+40(FP), R9
+
+	// Broadcast the nine weights.
+	VBROADCASTSD 0(R8), Y0
+	VBROADCASTSD 8(R8), Y1
+	VBROADCASTSD 16(R8), Y2
+	VBROADCASTSD 24(R8), Y3
+	VBROADCASTSD 32(R8), Y4
+	VBROADCASTSD 40(R8), Y5
+	VBROADCASTSD 48(R8), Y6
+	VBROADCASTSD 56(R8), Y7
+	VBROADCASTSD 64(R8), Y8
+
+	XORQ AX, AX
+
+loop4:
+	LEAQ 4(AX), R10
+	CMPQ R10, R9
+	JGT  tail
+
+	VMOVUPD (DI)(AX*8), Y9
+
+	VMOVUPD (SI)(AX*8), Y10
+	VMULPD  Y10, Y0, Y11
+	VADDPD  Y11, Y9, Y9
+	VMOVUPD 8(SI)(AX*8), Y10
+	VMULPD  Y10, Y1, Y11
+	VADDPD  Y11, Y9, Y9
+	VMOVUPD 16(SI)(AX*8), Y10
+	VMULPD  Y10, Y2, Y11
+	VADDPD  Y11, Y9, Y9
+
+	VMOVUPD (DX)(AX*8), Y10
+	VMULPD  Y10, Y3, Y11
+	VADDPD  Y11, Y9, Y9
+	VMOVUPD 8(DX)(AX*8), Y10
+	VMULPD  Y10, Y4, Y11
+	VADDPD  Y11, Y9, Y9
+	VMOVUPD 16(DX)(AX*8), Y10
+	VMULPD  Y10, Y5, Y11
+	VADDPD  Y11, Y9, Y9
+
+	VMOVUPD (CX)(AX*8), Y10
+	VMULPD  Y10, Y6, Y11
+	VADDPD  Y11, Y9, Y9
+	VMOVUPD 8(CX)(AX*8), Y10
+	VMULPD  Y10, Y7, Y11
+	VADDPD  Y11, Y9, Y9
+	VMOVUPD 16(CX)(AX*8), Y10
+	VMULPD  Y10, Y8, Y11
+	VADDPD  Y11, Y9, Y9
+
+	VMOVUPD Y9, (DI)(AX*8)
+	ADDQ    $4, AX
+	JMP     loop4
+
+tail:
+	CMPQ AX, R9
+	JGE  done
+
+	VMOVSD (DI)(AX*8), X9
+
+	VMOVSD (SI)(AX*8), X10
+	VMULSD X10, X0, X11
+	VADDSD X11, X9, X9
+	VMOVSD 8(SI)(AX*8), X10
+	VMULSD X10, X1, X11
+	VADDSD X11, X9, X9
+	VMOVSD 16(SI)(AX*8), X10
+	VMULSD X10, X2, X11
+	VADDSD X11, X9, X9
+
+	VMOVSD (DX)(AX*8), X10
+	VMULSD X10, X3, X11
+	VADDSD X11, X9, X9
+	VMOVSD 8(DX)(AX*8), X10
+	VMULSD X10, X4, X11
+	VADDSD X11, X9, X9
+	VMOVSD 16(DX)(AX*8), X10
+	VMULSD X10, X5, X11
+	VADDSD X11, X9, X9
+
+	VMOVSD (CX)(AX*8), X10
+	VMULSD X10, X6, X11
+	VADDSD X11, X9, X9
+	VMOVSD 8(CX)(AX*8), X10
+	VMULSD X10, X7, X11
+	VADDSD X11, X9, X9
+	VMOVSD 16(CX)(AX*8), X10
+	VMULSD X10, X8, X11
+	VADDSD X11, X9, X9
+
+	VMOVSD X9, (DI)(AX*8)
+	INCQ   AX
+	JMP    tail
+
+done:
+	VZEROUPPER
+	RET

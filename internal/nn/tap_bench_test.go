@@ -1,0 +1,68 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func tapData(w int) (acc []float64, xd []float64, wr []float64) {
+	rng := rand.New(rand.NewSource(1))
+	acc = make([]float64, w)
+	xd = make([]float64, 3*w+4)
+	wr = make([]float64, 9)
+	for i := range acc {
+		acc[i] = rng.NormFloat64()
+	}
+	for i := range xd {
+		xd[i] = rng.NormFloat64()
+	}
+	for i := range wr {
+		wr[i] = rng.NormFloat64()
+	}
+	return
+}
+
+func TestTap9MatchesGo(t *testing.T) {
+	if !haveTap9 {
+		t.Skip("no AVX2")
+	}
+	for _, w := range []int{4, 5, 7, 16, 46, 127} {
+		acc, xd, wr := tapData(w + 4)
+		ref := append([]float64(nil), acc...)
+		// Go reference: fused 9-tap in order.
+		for j := 0; j < w; j++ {
+			a := ref[j]
+			for ki := 0; ki < 3; ki++ {
+				for kj := 0; kj < 3; kj++ {
+					a += wr[ki*3+kj] * xd[ki*(w+2)+j+kj]
+				}
+			}
+			ref[j] = a
+		}
+		tap9(&acc[0], &xd[0], &xd[w+2], &xd[2*(w+2)], &wr[0], w)
+		for j := 0; j < w; j++ {
+			if acc[j] != ref[j] {
+				t.Fatalf("w=%d j=%d: asm %v != go %v", w, j, acc[j], ref[j])
+			}
+		}
+	}
+}
+
+func benchTapRows(b *testing.B, asm bool) {
+	if asm && !haveTap9 {
+		b.Skip("no AVX2")
+	}
+	const w = 48
+	acc, xd, wr := tapData(w + 4)
+	saved := haveTap9
+	setTap9(asm)
+	defer setTap9(saved)
+	b.SetBytes(int64(w * 9 * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tapRows(acc, xd, wr, 0, -1, w+2, 0, 3, w, 3, 1)
+	}
+}
+
+func BenchmarkTap9ASM(b *testing.B) { benchTapRows(b, true) }
+func BenchmarkTap9Go(b *testing.B)  { benchTapRows(b, false) }

@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package nn
+
+// haveTap9 is false off amd64; tapRows uses its pure-Go interior loop,
+// which computes the identical result.
+const haveTap9 = false
+
+// tap9 is never called when haveTap9 is false.
+func tap9(acc, x0, x1, x2, w *float64, n int) {
+	panic("nn: tap9 without AVX2 support")
+}

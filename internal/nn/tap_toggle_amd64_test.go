@@ -1,0 +1,5 @@
+//go:build amd64
+
+package nn
+
+func setTap9(v bool) { haveTap9 = v }

@@ -8,10 +8,13 @@ import (
 	"testing"
 
 	"repro/internal/bitstream"
+	"repro/internal/cfnn"
+	"repro/internal/core"
 	"repro/internal/diff"
 	"repro/internal/fft"
 	"repro/internal/huffman"
 	"repro/internal/lossless"
+	"repro/internal/nn"
 	"repro/internal/predictor"
 	"repro/internal/quant"
 	"repro/internal/tensor"
@@ -128,6 +131,125 @@ func BenchmarkFFT2D(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		work := append([]complex128(nil), grid...)
 		if err := fft.Forward2D(work, n, n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchModel trains a tiny 3D CFNN and returns it with its anchor fields,
+// for inference micro-benchmarks.
+func benchModel(tb testing.TB, nz, ny, nx int) (*cfnn.Model, []*tensor.Tensor) {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(11))
+	mk := func(phase float64) *tensor.Tensor {
+		t := tensor.New(nz, ny, nx)
+		d := t.Data()
+		for i := range d {
+			d[i] = float32(rng.NormFloat64() + phase*float64(i%97)/97)
+		}
+		return t
+	}
+	anchors := []*tensor.Tensor{mk(1.5), mk(-0.7)}
+	target := mk(0.9)
+	m, err := cfnn.New(cfnn.Config{SpatialRank: 3, NumAnchors: 2, Features: 6, Seed: 3})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := m.Train(anchors, target, cfnn.TrainConfig{Epochs: 1, StepsPerEpoch: 2, Batch: 1}); err != nil {
+		tb.Fatal(err)
+	}
+	return m, anchors
+}
+
+// TestPredictDiffsArenaZeroAlloc pins the shared-inference hot path's
+// allocation contract: a steady-state PredictDiffsWith pass through a
+// warmed arena — segmented exactly as the chunked engine segments it —
+// performs zero heap allocations at workers=1 (parallel dispatch
+// necessarily allocates goroutine frames, so it is exercised elsewhere).
+func TestPredictDiffsArenaZeroAlloc(t *testing.T) {
+	m, anchors := benchModel(t, 8, 24, 24)
+	segs := []int{2, 2, 2, 2}
+	arena := nn.NewArena()
+	// Warm up: arena buffers grow to their steady-state sizes.
+	for i := 0; i < 3; i++ {
+		if _, err := m.PredictDiffsWith(anchors, segs, arena, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := m.PredictDiffsWith(anchors, segs, arena, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state PredictDiffsWith allocated %.1f objects/op, want 0", allocs)
+	}
+	// The unsegmented pass shares the same machinery.
+	if _, err := m.PredictDiffsWith(anchors, nil, arena, 1); err != nil {
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(20, func() {
+		if _, err := m.PredictDiffsWith(anchors, nil, arena, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state unsegmented PredictDiffsWith allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+func BenchmarkPredictDiffsArena(b *testing.B) {
+	m, anchors := benchModel(b, 16, 48, 48)
+	arena := nn.NewArena()
+	if _, err := m.PredictDiffsWith(anchors, nil, arena, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(anchors[0].Len() * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.PredictDiffsWith(anchors, nil, arena, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHybridChunkedCompress(b *testing.B) {
+	const nz, ny, nx = 16, 48, 48
+	m, anchors := benchModel(b, nz, ny, nx)
+	target := anchors[0].Clone()
+	opts := core.ChunkedOptions{
+		Options:     core.Options{Bound: quant.RelBound(1e-3)},
+		ChunkVoxels: nz * ny * nx / 8,
+		Workers:     1,
+	}
+	if _, err := core.CompressChunked(target, m, anchors, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(target.Len() * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.CompressChunked(target, m, anchors, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHybridChunkedDecompress(b *testing.B) {
+	const nz, ny, nx = 16, 48, 48
+	m, anchors := benchModel(b, nz, ny, nx)
+	target := anchors[0].Clone()
+	res, err := core.CompressChunked(target, m, anchors, core.ChunkedOptions{
+		Options:     core.Options{Bound: quant.RelBound(1e-3)},
+		ChunkVoxels: nz * ny * nx / 8,
+		Workers:     1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(target.Len() * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.DecompressChunkedWith(res.Blob, anchors, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
