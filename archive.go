@@ -1,7 +1,9 @@
 package crossfield
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"slices"
 	"sync"
 
@@ -49,7 +51,26 @@ type CompressedDataset struct {
 // WithFieldBound. WithChunks/WithWorkers switch every field's payload to
 // the chunked CFC2 engine. The archive is opened with OpenArchive; no
 // anchors are ever passed at decompression time.
+//
+// CompressDataset is the buffered wrapper over CompressDatasetTo; use the
+// latter to stream multi-GB snapshots straight to a file.
 func CompressDataset(specs []FieldSpec, bound ErrorBound, opts ...Option) (*CompressedDataset, error) {
+	var buf bytes.Buffer
+	st, err := CompressDatasetTo(&buf, specs, bound, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &CompressedDataset{Blob: buf.Bytes(), Stats: *st}, nil
+}
+
+// CompressDatasetTo is CompressDataset streaming the archive to w. Each
+// field's payload is written as it is produced — chunked payloads stream
+// chunk by chunk — so the encoder's footprint is bounded by one field's
+// compressed payload (retained transiently only for fields other fields
+// depend on, to round-trip their reconstructions) plus the anchor
+// reconstructions themselves, never the whole archive. Fields are written
+// in dependency order, which becomes the archive's manifest order.
+func CompressDatasetTo(w io.Writer, specs []FieldSpec, bound ErrorBound, opts ...Option) (*DatasetStats, error) {
 	cfg, err := resolveOptions("CompressDataset", opts, true)
 	if err != nil {
 		return nil, err
@@ -92,7 +113,7 @@ func CompressDataset(specs []FieldSpec, bound ErrorBound, opts ...Option) (*Comp
 		}
 	}
 
-	payloads := make([][]byte, len(specs))
+	aw := archive.NewWriter(w)
 	recon := make(map[string]*tensor.Tensor, len(depended))
 	stats := make(map[string]Stats, len(specs))
 	// One inference arena serves every dependent in the dataset: fields
@@ -109,70 +130,100 @@ func CompressDataset(specs []FieldSpec, bound ErrorBound, opts ...Option) (*Comp
 		if fb, ok := cfg.fieldBounds[name]; ok {
 			b = fb
 		}
-		var res *core.Result
-		if s.Codec == nil {
-			if cfg.chunked {
-				res, err = core.CompressChunked(s.Field.t, nil, nil, core.ChunkedOptions{
-					Options:     core.Options{Bound: b},
-					ChunkVoxels: cfg.chunkVoxels,
-					Workers:     cfg.workers,
-				})
-			} else {
-				res, err = core.CompressBaseline(s.Field.t, core.Options{Bound: b})
-			}
-		} else {
-			anchors := make([]*tensor.Tensor, len(s.Codec.names))
-			for k, dep := range s.Codec.names {
-				t, ok := recon[dep]
-				if !ok {
-					return nil, fmt.Errorf("crossfield: CompressDataset: internal: anchor %q of %q not materialized", dep, name)
-				}
-				anchors[k] = t
-			}
-			o := core.Options{Bound: b, AnchorNames: s.Codec.names, Arena: arena}
-			if cfg.chunked {
-				res, err = core.CompressChunked(s.Field.t, s.Codec.model, anchors, core.ChunkedOptions{
-					Options:     o,
-					ChunkVoxels: cfg.chunkVoxels,
-					Workers:     cfg.workers,
-				})
-			} else {
-				res, err = core.CompressHybrid(s.Field.t, s.Codec.model, anchors, o)
-			}
+		// Fields other fields depend on keep a transient copy of their
+		// compressed payload: the compressor of every dependent must see
+		// bit-identical anchor data to the decompressor's, so the anchor is
+		// round-tripped from the exact bytes just streamed out.
+		var payloadCopy *bytes.Buffer
+		if depended[name] {
+			payloadCopy = &bytes.Buffer{}
 		}
+		e := &entries[i]
+		err := aw.Append(e, func(pw io.Writer) error {
+			if payloadCopy != nil {
+				pw = io.MultiWriter(pw, payloadCopy)
+			}
+			var st Stats
+			if s.Codec == nil {
+				if cfg.chunked {
+					cst, err := core.CompressChunkedTo(pw, s.Field.t, nil, nil, core.ChunkedOptions{
+						Options:     core.Options{Bound: b},
+						ChunkVoxels: cfg.chunkVoxels,
+						Workers:     cfg.workers,
+					})
+					if err != nil {
+						return err
+					}
+					st = *cst
+				} else {
+					res, err := core.CompressBaseline(s.Field.t, core.Options{Bound: b})
+					if err != nil {
+						return err
+					}
+					if _, err := pw.Write(res.Blob); err != nil {
+						return err
+					}
+					st = res.Stats
+				}
+			} else {
+				anchors := make([]*tensor.Tensor, len(s.Codec.names))
+				for k, dep := range s.Codec.names {
+					t, ok := recon[dep]
+					if !ok {
+						return fmt.Errorf("internal: anchor %q not materialized", dep)
+					}
+					anchors[k] = t
+				}
+				o := core.Options{Bound: b, AnchorNames: s.Codec.names, Arena: arena}
+				if cfg.chunked {
+					cst, err := core.CompressChunkedTo(pw, s.Field.t, s.Codec.model, anchors, core.ChunkedOptions{
+						Options:     o,
+						ChunkVoxels: cfg.chunkVoxels,
+						Workers:     cfg.workers,
+					})
+					if err != nil {
+						return err
+					}
+					st = *cst
+				} else {
+					res, err := core.CompressHybrid(s.Field.t, s.Codec.model, anchors, o)
+					if err != nil {
+						return err
+					}
+					if _, err := pw.Write(res.Blob); err != nil {
+						return err
+					}
+					st = res.Stats
+				}
+			}
+			stats[name] = st
+			totalOrig += st.OriginalBytes
+			e.BoundMode = byte(b.Mode)
+			e.BoundValue = b.Value
+			e.AbsEB = st.AbsEB
+			e.MaxErr = st.MaxErr
+			return nil
+		})
 		if err != nil {
 			return nil, fmt.Errorf("crossfield: CompressDataset: field %q: %w", name, err)
 		}
-		payloads[i] = res.Blob
-		stats[name] = res.Stats
-		totalOrig += res.Stats.OriginalBytes
-		entries[i].BoundMode = byte(b.Mode)
-		entries[i].BoundValue = b.Value
-		entries[i].AbsEB = res.Stats.AbsEB
-		entries[i].MaxErr = res.Stats.MaxErr
-		if depended[name] {
-			// Decompress from the just-written payload so the compressor
-			// of every dependent sees bit-identical anchor data to the
-			// decompressor's.
-			t, err := core.Decompress(res.Blob, anchorTensorsFor(entries[i].Deps, recon))
+		if payloadCopy != nil {
+			t, err := core.Decompress(payloadCopy.Bytes(), anchorTensorsFor(e.Deps, recon))
 			if err != nil {
 				return nil, fmt.Errorf("crossfield: CompressDataset: anchor %q round-trip: %w", name, err)
 			}
 			recon[name] = t
 		}
 	}
-	blob, err := archive.Encode(entries, payloads)
+	total, err := aw.Close()
 	if err != nil {
 		return nil, fmt.Errorf("crossfield: CompressDataset: %w", err)
 	}
-	return &CompressedDataset{
-		Blob: blob,
-		Stats: DatasetStats{
-			OriginalBytes:   totalOrig,
-			CompressedBytes: len(blob),
-			Ratio:           float64(totalOrig) / float64(len(blob)),
-			Fields:          stats,
-		},
+	return &DatasetStats{
+		OriginalBytes:   totalOrig,
+		CompressedBytes: int(total),
+		Ratio:           float64(totalOrig) / float64(total),
+		Fields:          stats,
 	}, nil
 }
 
@@ -233,6 +284,23 @@ func OpenArchive(blob []byte) (*Archive, error) {
 	return &Archive{arc: a, slots: make([]archiveSlot, a.NumFields())}, nil
 }
 
+// OpenArchiveReader parses a CFC3 archive from an io.ReaderAt of the given
+// total size — typically an *os.File or an mmap-backed reader — without
+// reading the whole blob: only the manifest (and, for streaming archives,
+// the fixed-size trailer) is touched, and field payloads are read on
+// demand. This is how serving layers mount archives larger than RAM. The
+// reader must remain valid while the Archive is in use.
+func OpenArchiveReader(r io.ReaderAt, size int64) (*Archive, error) {
+	a, err := archive.NewReader(r, size)
+	if err != nil {
+		return nil, err
+	}
+	return &Archive{arc: a, slots: make([]archiveSlot, a.NumFields())}, nil
+}
+
+// Size returns the archive's total size in bytes.
+func (a *Archive) Size() int64 { return a.arc.Size() }
+
 // IsArchive reports whether blob is a CFC3 dataset archive.
 func IsArchive(blob []byte) bool { return archive.IsArchive(blob) }
 
@@ -292,17 +360,30 @@ func (a *Archive) TopoNames() []string {
 	return out
 }
 
-// FieldPayload returns the named field's raw compressed payload (a
+// FieldPayload reads the named field's raw compressed payload (a
 // self-contained CFC1 or CFC2 blob) after verifying its manifest checksum.
-// The bytes reference the archive blob and must not be mutated. Serving
-// layers use it to feed random-access chunk decoding (DecompressChunk)
-// without materializing the whole field.
+// Serving layers use it to feed random-access chunk decoding
+// (DecompressChunk) without materializing the whole field.
 func (a *Archive) FieldPayload(name string) ([]byte, error) {
 	i, ok := a.arc.Lookup(name)
 	if !ok {
 		return nil, fmt.Errorf("crossfield: archive has no field %q (have %v)", name, a.Fields())
 	}
 	return a.arc.Payload(i)
+}
+
+// PayloadReader returns a reader over the named field's raw compressed
+// payload bytes within the archive, WITHOUT checksum verification and
+// without materializing them. Serving layers use it to parse a payload's
+// own header (e.g. its CFC2 chunk index) or hash its content while
+// mounting archives larger than RAM; anything that decodes the bytes
+// should go through FieldPayload, which verifies the checksum.
+func (a *Archive) PayloadReader(name string) (*io.SectionReader, error) {
+	i, ok := a.arc.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("crossfield: archive has no field %q (have %v)", name, a.Fields())
+	}
+	return a.arc.PayloadSection(i)
 }
 
 // DecodeField decompresses the named field against explicitly supplied

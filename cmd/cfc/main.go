@@ -43,6 +43,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"slices"
@@ -186,17 +187,25 @@ func packArchive(dataDir, outPath string, rel, abs float64, planFlag string, chu
 	if chunks > 0 {
 		opts = append(opts, crossfield.WithChunks(chunks), crossfield.WithWorkers(workers))
 	}
-	res, err := crossfield.CompressDataset(specs, bound(rel, abs), opts...)
+	// Stream the archive straight to the output file: payloads are written
+	// as they are produced, so packing never holds the whole archive (or a
+	// second copy of any field) in memory.
+	out, err := os.Create(outPath)
 	if err != nil {
 		fatal(err)
 	}
-	if err := os.WriteFile(outPath, res.Blob, 0o644); err != nil {
+	stats, err := crossfield.CompressDatasetTo(out, specs, bound(rel, abs), opts...)
+	if cerr := out.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(outPath)
 		fatal(err)
 	}
 	fmt.Printf("%s: %d fields, %d -> %d bytes (ratio %.2fx)\n",
-		outPath, len(specs), res.Stats.OriginalBytes, res.Stats.CompressedBytes, res.Stats.Ratio)
+		outPath, len(specs), stats.OriginalBytes, stats.CompressedBytes, stats.Ratio)
 	for _, name := range ds.Fields() {
-		st := res.Stats.Fields[name]
+		st := stats.Fields[name]
 		kind := "baseline"
 		if _, ok := plans[name]; ok {
 			kind = "hybrid"
@@ -206,18 +215,36 @@ func packArchive(dataDir, outPath string, rel, abs float64, planFlag string, chu
 	}
 }
 
+// openArchiveFile opens a CFC3 archive through a file-backed reader, so
+// inspecting or unpacking a multi-GB archive reads payloads on demand
+// instead of slurping the file. The caller closes the returned file.
+func openArchiveFile(path string) (*crossfield.Archive, *os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	ar, err := crossfield.OpenArchiveReader(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return ar, f, nil
+}
+
 func unpackArchive(inPath, outDir string) {
 	if inPath == "" || outDir == "" {
 		fatal(fmt.Errorf("archive unpack needs -in and -o"))
 	}
-	blob, err := os.ReadFile(inPath)
+	ar, f, err := openArchiveFile(inPath)
 	if err != nil {
 		fatal(err)
 	}
-	ar, err := crossfield.OpenArchive(blob)
-	if err != nil {
-		fatal(err)
-	}
+	defer f.Close()
 	names := ar.Fields()
 	if len(names) == 0 {
 		fatal(fmt.Errorf("empty archive"))
@@ -252,13 +279,21 @@ func stats(inPath string) {
 	if inPath == "" {
 		fatal(fmt.Errorf("stats needs -in"))
 	}
+	// Peek the magic first: a CFC3 archive is inspected through the
+	// file-backed reader (only manifest and trailer are read, so stats on
+	// a multi-GB archive is instant); single-field blobs load in memory.
+	if isArchiveFile(inPath) {
+		ar, f, err := openArchiveFile(inPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		statsArchive(ar)
+		return
+	}
 	blob, err := os.ReadFile(inPath)
 	if err != nil {
 		fatal(err)
-	}
-	if crossfield.IsArchive(blob) {
-		statsArchive(blob)
-		return
 	}
 	if chunk.IsChunked(blob) {
 		statsChunked(blob)
@@ -312,14 +347,25 @@ func fmtMaxErr(v float64) string {
 	return fmt.Sprintf("%.4g", v)
 }
 
-func statsArchive(blob []byte) {
-	ar, err := crossfield.OpenArchive(blob)
+// isArchiveFile reports whether the file starts with the CFC3 magic,
+// reading only 4 bytes.
+func isArchiveFile(path string) bool {
+	f, err := os.Open(path)
 	if err != nil {
-		fatal(err)
+		return false
 	}
+	defer f.Close()
+	var prefix [4]byte
+	if _, err := io.ReadFull(f, prefix[:]); err != nil {
+		return false
+	}
+	return crossfield.IsArchive(prefix[:])
+}
+
+func statsArchive(ar *crossfield.Archive) {
 	man := ar.Manifest()
 	fmt.Printf("container:   CFC3 (dataset archive, %d fields)\n", len(man))
-	fmt.Printf("total blob:  %d B\n", len(blob))
+	fmt.Printf("total blob:  %d B\n", ar.Size())
 	fmt.Printf("manifest:\n")
 	fmt.Printf("  %-12s %-16s %-14s %6s %12s %10s %12s %12s  %s\n",
 		"field", "dims", "role", "fmt", "payload B", "bound", "abs eb", "max err", "anchors")

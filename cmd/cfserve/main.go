@@ -2,14 +2,19 @@
 //
 // It mounts one or more CFC3 dataset archives (or bare CFC1/CFC2 blobs)
 // and exposes their manifests, whole decoded fields, and random-access
-// chunks behind a shared size-bounded LRU decode cache with request
+// chunks behind shared size-bounded LRU decode caches with request
 // coalescing:
 //
 //	cfserve -listen :8080 -mount hurricane=hurricane.cfc wf.cfc
 //
 // Mounts are given either as -mount name=path (repeatable) or as bare
 // positional paths, which mount under the file's base name without its
-// extension.
+// extension. Mounts are file-backed by default — memory-mapped on Linux,
+// pread elsewhere — so the blob is never copied into the process and
+// archives larger than RAM serve fine: payloads are read on demand
+// through a compressed-payload LRU, dependent-chunk requests decode only
+// the anchor chunks they touch, and -inmem restores the old
+// whole-blob-in-memory behavior.
 //
 // Routes:
 //
@@ -63,6 +68,8 @@ func main() {
 		listen     = flag.String("listen", ":8080", "address to serve on")
 		cacheMB    = flag.Int("cache-mb", 256, "decoded-field LRU budget in MiB (anchor reconstructions share it)")
 		chunkMB    = flag.Int("chunk-cache-mb", 64, "decoded-chunk LRU budget in MiB")
+		payloadMB  = flag.Int("payload-cache-mb", 128, "compressed-payload LRU budget in MiB (backs on-demand reads from file mounts)")
+		inMem      = flag.Bool("inmem", false, "read whole blobs into memory instead of file-backed (mmap) mounts")
 		mounts     mountFlags
 		timeoutSec = flag.Int("shutdown-timeout", 10, "graceful shutdown timeout in seconds")
 	)
@@ -78,18 +85,33 @@ func main() {
 	}
 
 	srv := serve.New(serve.Config{
-		FieldCacheBytes: int64(*cacheMB) << 20,
-		ChunkCacheBytes: int64(*chunkMB) << 20,
+		FieldCacheBytes:   int64(*cacheMB) << 20,
+		ChunkCacheBytes:   int64(*chunkMB) << 20,
+		PayloadCacheBytes: int64(*payloadMB) << 20,
 	})
+	defer srv.Close()
 	for _, m := range mounts {
-		blob, err := os.ReadFile(m.path)
+		if *inMem {
+			blob, err := os.ReadFile(m.path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := srv.Mount(m.name, blob); err != nil {
+				fatal(err)
+			}
+			log.Printf("mounted %s as %q (%d bytes, in-memory)", m.path, m.name, len(blob))
+			continue
+		}
+		// Default: file-backed (mmap on Linux) — the blob is never copied
+		// into the process, so archives larger than RAM mount fine.
+		if err := srv.MountFile(m.name, m.path); err != nil {
+			fatal(err)
+		}
+		st, err := os.Stat(m.path)
 		if err != nil {
 			fatal(err)
 		}
-		if err := srv.Mount(m.name, blob); err != nil {
-			fatal(err)
-		}
-		log.Printf("mounted %s as %q (%d bytes)", m.path, m.name, len(blob))
+		log.Printf("mounted %s as %q (%d bytes, file-backed)", m.path, m.name, st.Size())
 	}
 
 	hs := &http.Server{
@@ -101,8 +123,8 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("cfserve listening on %s (%d mounts, field cache %d MiB, chunk cache %d MiB)",
-		*listen, len(mounts), *cacheMB, *chunkMB)
+	log.Printf("cfserve listening on %s (%d mounts, field cache %d MiB, chunk cache %d MiB, payload cache %d MiB)",
+		*listen, len(mounts), *cacheMB, *chunkMB, *payloadMB)
 
 	select {
 	case err := <-errc:

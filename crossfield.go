@@ -45,6 +45,28 @@
 //	ar, _ := crossfield.OpenArchive(arch.Blob)
 //	w2, _ := ar.Field("W") // anchors rebuilt internally, in order
 //
+// # Streaming
+//
+// Multi-GB snapshots never need to be resident: CompressDatasetTo streams
+// the archive to an io.Writer as payloads are produced (footprint bounded
+// by one field's compressed payload plus the anchor reconstructions), and
+// OpenArchiveReader opens an archive through an io.ReaderAt — an *os.File
+// or an mmap — reading only the manifest up front and payloads on demand:
+//
+//	f, _ := os.Create("snapshot.cfc")
+//	stats, _ := crossfield.CompressDatasetTo(f, specs, crossfield.Rel(1e-3),
+//	    crossfield.WithChunks(1<<20))
+//	f.Close()
+//
+//	r, _ := os.Open("snapshot.cfc")
+//	fi, _ := r.Stat()
+//	ar, _ := crossfield.OpenArchiveReader(r, fi.Size()) // manifest only
+//	w2, _ := ar.Field("W")                              // payloads read on demand
+//
+// The byte-level container formats are specified in docs/FORMATS.md, and
+// cmd/cfserve serves archives (including larger-than-RAM, file-backed
+// mounts) over HTTP.
+//
 // # Options
 //
 // Compression entry points take functional options. WithChunks and
@@ -198,6 +220,21 @@ func DecompressChunked(name string, blob []byte, anchors []*Field, workers int) 
 // used at compression time; only the chunk's region of them is consulted.
 func DecompressChunk(name string, blob []byte, i int, anchors []*Field) (*Field, int, error) {
 	t, start, err := core.DecompressChunk(blob, i, fieldTensors(anchors))
+	if err != nil {
+		return nil, 0, err
+	}
+	return &Field{Name: name, t: t}, start, nil
+}
+
+// DecompressChunkSlab is DecompressChunk for callers that hold anchor data
+// covering only chunk i's slab range rather than whole anchor fields: each
+// anchorSlab must have the chunk's dims (the field dims with axis 0 cut to
+// the chunk's slab count). Reconstruction is bit-identical to
+// DecompressChunk with full anchors — random access consults exactly that
+// region — which is what lets serving layers answer a dependent-chunk
+// request by decoding only the anchor chunks the request touches.
+func DecompressChunkSlab(name string, blob []byte, i int, anchorSlabs []*Field) (*Field, int, error) {
+	t, start, err := core.DecompressChunkWithAnchorSlabs(blob, i, fieldTensors(anchorSlabs))
 	if err != nil {
 		return nil, 0, err
 	}

@@ -1,0 +1,68 @@
+package crossfield_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links [text](target). Reference-style
+// links are not used in this repo's docs.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocLinksResolve walks every markdown file in the repo (README,
+// docs/, and friends) and checks that relative links point at files or
+// directories that exist, so documentation rot fails CI instead of
+// readers. External (scheme-ful) links and pure #fragments are skipped —
+// CI should not depend on the network.
+func TestDocLinksResolve(t *testing.T) {
+	var mdFiles []string
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Skip VCS internals and generated output directories.
+			if name := d.Name(); name == ".git" || name == "data" || name == "results" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.EqualFold(filepath.Ext(path), ".md") {
+			mdFiles = append(mdFiles, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mdFiles) < 3 {
+		t.Fatalf("found only %v — the markdown walk is broken", mdFiles)
+	}
+	for _, md := range mdFiles {
+		body, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, match := range mdLink.FindAllStringSubmatch(string(body), -1) {
+			target := match[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			// Strip a fragment; the file part must exist.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(md), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken relative link %q (resolved %s): %v", md, match[1], resolved, err)
+			}
+		}
+	}
+}

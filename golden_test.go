@@ -329,6 +329,56 @@ func TestGoldenCFC3Archive(t *testing.T) {
 	}
 }
 
+// TestFormatsSpecAgainstGoldenFixtures cross-checks docs/FORMATS.md's
+// byte-level claims against the committed fixtures and a freshly written
+// streaming archive: magic strings, version bytes, and the CFC3 v2
+// trailer geometry. If this fails, either the formats drifted (regenerate
+// fixtures deliberately) or the spec document is stale — fix whichever is
+// wrong.
+func TestFormatsSpecAgainstGoldenFixtures(t *testing.T) {
+	if *update {
+		t.Skip("regenerating")
+	}
+	for _, tc := range []struct {
+		file    string
+		magic   string
+		version byte
+	}{
+		{"baseline_cfc1.cfc", "CFC1", 1},
+		{"chunked_cfc2v1.cfc", "CFC2", 1},
+		{"chunked_cfc2v2.cfc", "CFC2", 2},
+		{"archive_cfc3.cfc", "CFC3", 1},
+	} {
+		b := readGolden(t, tc.file)
+		if string(b[:4]) != tc.magic || b[4] != tc.version {
+			t.Errorf("%s: header %q v%d, spec says %q v%d", tc.file, b[:4], b[4], tc.magic, tc.version)
+		}
+	}
+	// A freshly written archive is version 2: payloads at offset 5, then
+	// manifest, then the 20-byte trailer ending in "CF3T", with the
+	// documented size equation holding.
+	target, anchors := goldenDataset()
+	res, err := crossfield.CompressDataset([]crossfield.FieldSpec{
+		{Field: anchors[0]}, {Field: anchors[1]}, {Field: anchors[2]}, {Field: target},
+	}, crossfield.Rel(1e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := res.Blob
+	if string(blob[:4]) != "CFC3" || blob[4] != 2 {
+		t.Fatalf("streamed archive header = %q v%d, spec says CFC3 v2", blob[:4], blob[4])
+	}
+	tr := blob[len(blob)-20:]
+	if string(tr[16:]) != "CF3T" {
+		t.Fatalf("trailer magic = %q, spec says CF3T", tr[16:])
+	}
+	manOff := binary.LittleEndian.Uint64(tr[0:])
+	manLen := binary.LittleEndian.Uint32(tr[8:])
+	if manOff+uint64(manLen)+20 != uint64(len(blob)) {
+		t.Fatalf("trailer geometry %d+%d+20 != blob size %d", manOff, manLen, len(blob))
+	}
+}
+
 // TestGoldenFixturesCommitted fails fast with a helpful message when the
 // fixture directory is missing entirely (e.g. a partial checkout).
 func TestGoldenFixturesCommitted(t *testing.T) {

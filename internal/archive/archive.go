@@ -7,25 +7,42 @@
 // hybrid-compressed against them — so callers never manage anchors
 // themselves.
 //
-// Layout (integers little-endian or uvarint):
+// Two wire layouts share the manifest encoding (see docs/FORMATS.md for
+// the byte-level specification):
 //
-//	magic "CFC3" | version byte
-//	uvarint numFields
-//	per field, in manifest order:
-//	  uvarint nameLen | name bytes
-//	  role byte (bit 0: anchor/depended-upon, bit 1: dependent/has-deps)
-//	  uvarint rank | uvarint dims...
-//	  byte bound mode | float64 bound value | float64 absolute eb
-//	  float64 achieved max error (NaN = unknown)
-//	  uvarint numDeps | (uvarint len + dep name bytes)...
-//	  uvarint payloadLen | uint32 CRC32
+// Version 1 (buffered; manifest first, payload sizes known up front):
+//
+//	magic "CFC3" | version byte 1
+//	uvarint numFields | manifest entries (see below)
 //	per-field payloads, concatenated in manifest order
+//
+// Version 2 (streaming; payloads first, manifest and trailer last, so the
+// encoder never buffers payloads to learn their sizes):
+//
+//	magic "CFC3" | version byte 2
+//	per-field payloads, concatenated in manifest order
+//	uvarint numFields | manifest entries (each followed by uvarint offset)
+//	trailer: uint64 manifest offset | uint32 manifest length
+//	         | uint32 CRC32 of manifest | magic "CF3T"
+//
+// Each manifest entry is:
+//
+//	uvarint nameLen | name bytes
+//	role byte (bit 0: anchor/depended-upon, bit 1: dependent/has-deps)
+//	uvarint rank | uvarint dims...
+//	byte bound mode | float64 bound value | float64 absolute eb
+//	float64 achieved max error (NaN = unknown)
+//	uvarint numDeps | (uvarint len + dep name bytes)...
+//	uvarint payloadLen | uint32 CRC32
+//	uvarint payload byte offset (version 2 only)
 //
 // Each payload is a self-contained CFC1 or CFC2 blob, so the archive
 // reuses both existing decoders unchanged; the manifest adds only the
 // dependency graph and per-field metadata. Payload checksums are verified
 // lazily, per field, so opening an archive touches nothing but the
-// manifest.
+// manifest (and, for version 2, the fixed-size trailer). Reading goes
+// through an io.ReaderAt, which is what lets the serving layer mount
+// archives larger than RAM from a file or mmap without slurping them.
 package archive
 
 import (
@@ -42,7 +59,16 @@ import (
 
 var magic = [4]byte{'C', 'F', 'C', '3'}
 
-const version = 1
+const (
+	// version1 is the buffered manifest-first layout; still decoded.
+	version1 = 1
+	// version2 is what Writer (and therefore Encode) emits: payloads
+	// first, manifest and trailer last, so encoding can stream.
+	version2 = 2
+
+	// headerLen is the fixed prefix both versions share: magic + version.
+	headerLen = 5
+)
 
 // Format limits a decoder will accept; the encoder refuses to exceed them.
 const (
@@ -102,29 +128,34 @@ func (r Role) String() string {
 // Entry is one field's manifest record.
 type Entry struct {
 	Name       string
-	Role       Role // derived from Deps by Encode; validated by Decode
+	Role       Role // derived from Deps by the encoder; validated on decode
 	Dims       []int
 	BoundMode  byte
 	BoundValue float64
 	AbsEB      float64
 	MaxErr     float64  // achieved max abs error; NaN = unknown
 	Deps       []string // anchor field names, in the codec's anchor order
-	PayloadLen int      // filled by Encode / Decode
-	Checksum   uint32   // CRC32 (IEEE); filled by Encode / Decode
-	Offset     int      // payload byte offset within the blob (decode side)
+	PayloadLen int      // filled by the encoder / decoder
+	Checksum   uint32   // CRC32 (IEEE); filled by the encoder / decoder
+	Offset     int      // payload byte offset within the blob
 }
 
-// Archive is a parsed in-memory CFC3 archive with random-access payloads.
+// Archive is a parsed CFC3 archive whose payloads are read on demand
+// through an io.ReaderAt — nothing beyond the manifest is resident.
 type Archive struct {
 	Entries []Entry
 
-	data   []byte
+	src    io.ReaderAt
+	size   int64
 	byName map[string]int
 	order  []int // topological: every field after all of its deps
 }
 
 // NumFields returns the number of fields in the manifest.
 func (a *Archive) NumFields() int { return len(a.Entries) }
+
+// Size returns the archive's total size in bytes.
+func (a *Archive) Size() int64 { return a.size }
 
 // Lookup returns the manifest index of the named field.
 func (a *Archive) Lookup(name string) (int, bool) {
@@ -147,17 +178,41 @@ func (a *Archive) PayloadPrefix(i, n int) []byte {
 	if n > e.PayloadLen {
 		n = e.PayloadLen
 	}
-	return a.data[e.Offset : e.Offset+n]
+	if n <= 0 {
+		return []byte{}
+	}
+	buf := make([]byte, n)
+	if _, err := a.src.ReadAt(buf, int64(e.Offset)); err != nil {
+		return nil
+	}
+	return buf
 }
 
-// Payload returns field i's payload bytes after verifying its checksum.
+// PayloadSection returns an io.SectionReader over field i's raw payload
+// bytes, without checksum verification. Serving layers use it to parse a
+// payload's own header (e.g. a CFC2 chunk index) or hash its content
+// without materializing the payload.
+func (a *Archive) PayloadSection(i int) (*io.SectionReader, error) {
+	if i < 0 || i >= len(a.Entries) {
+		return nil, fmt.Errorf("archive: payload index %d out of [0,%d)", i, len(a.Entries))
+	}
+	e := a.Entries[i]
+	return io.NewSectionReader(a.src, int64(e.Offset), int64(e.PayloadLen)), nil
+}
+
+// Payload reads field i's payload bytes after verifying its checksum.
 // Only the requested field's bytes are touched.
 func (a *Archive) Payload(i int) ([]byte, error) {
 	if i < 0 || i >= len(a.Entries) {
 		return nil, fmt.Errorf("archive: payload index %d out of [0,%d)", i, len(a.Entries))
 	}
 	e := a.Entries[i]
-	p := a.data[e.Offset : e.Offset+e.PayloadLen]
+	p := make([]byte, e.PayloadLen)
+	if e.PayloadLen > 0 {
+		if _, err := a.src.ReadAt(p, int64(e.Offset)); err != nil {
+			return nil, fmt.Errorf("%w: field %q payload read: %v", ErrCorrupt, e.Name, err)
+		}
+	}
 	if crc32.ChecksumIEEE(p) != e.Checksum {
 		return nil, fmt.Errorf("%w: field %q", ErrChecksum, e.Name)
 	}
@@ -256,67 +311,37 @@ func Order(entries []Entry) ([]int, error) {
 	return order, err
 }
 
-// EncodeTo streams an archive to w: manifest first, then each payload in
-// manifest order. Entry roles, payload lengths, and checksums are derived
-// here; the caller only supplies names, dims, bounds, and deps. It returns
-// the total bytes written.
+// EncodeTo writes an archive to w in the streaming (version 2) layout,
+// returning the total bytes written. It is the buffered convenience
+// wrapper over Writer for callers that already hold every payload; code
+// that produces payloads one at a time should drive Writer directly and
+// never materialize them together.
 func EncodeTo(w io.Writer, entries []Entry, payloads [][]byte) (int, error) {
 	if len(payloads) != len(entries) {
 		return 0, fmt.Errorf("archive: %d payloads for %d manifest entries", len(payloads), len(entries))
 	}
-	_, roles, _, err := validate(entries)
-	if err != nil {
+	// Validate everything up front so an invalid manifest writes nothing.
+	if _, _, _, err := validate(entries); err != nil {
 		return 0, err
 	}
-	out := append([]byte(nil), magic[:]...)
-	out = append(out, version)
-	out = binary.AppendUvarint(out, uint64(len(entries)))
-	var f8 [8]byte
-	var c4 [4]byte
-	for i, e := range entries {
-		if len(e.Dims) < 1 || len(e.Dims) > 3 {
-			return 0, fmt.Errorf("archive: field %q rank %d unsupported", e.Name, len(e.Dims))
+	for _, e := range entries {
+		if err := checkEntryShape(&e); err != nil {
+			return 0, err
 		}
-		out = binary.AppendUvarint(out, uint64(len(e.Name)))
-		out = append(out, e.Name...)
-		out = append(out, byte(roles[i]))
-		out = binary.AppendUvarint(out, uint64(len(e.Dims)))
-		for _, d := range e.Dims {
-			if d <= 0 {
-				return 0, fmt.Errorf("archive: field %q non-positive dim %d", e.Name, d)
-			}
-			out = binary.AppendUvarint(out, uint64(d))
-		}
-		out = append(out, e.BoundMode)
-		binary.LittleEndian.PutUint64(f8[:], math.Float64bits(e.BoundValue))
-		out = append(out, f8[:]...)
-		binary.LittleEndian.PutUint64(f8[:], math.Float64bits(e.AbsEB))
-		out = append(out, f8[:]...)
-		binary.LittleEndian.PutUint64(f8[:], math.Float64bits(e.MaxErr))
-		out = append(out, f8[:]...)
-		out = binary.AppendUvarint(out, uint64(len(e.Deps)))
-		for _, d := range e.Deps {
-			out = binary.AppendUvarint(out, uint64(len(d)))
-			out = append(out, d...)
-		}
-		out = binary.AppendUvarint(out, uint64(len(payloads[i])))
-		binary.LittleEndian.PutUint32(c4[:], crc32.ChecksumIEEE(payloads[i]))
-		out = append(out, c4[:]...)
 	}
-	total := 0
-	n, err := w.Write(out)
-	total += n
-	if err != nil {
-		return total, err
-	}
-	for _, p := range payloads {
-		n, err := w.Write(p)
-		total += n
+	aw := NewWriter(w)
+	for i := range entries {
+		e := entries[i] // copy: Append fills the derived fields on it
+		err := aw.Append(&e, func(pw io.Writer) error {
+			_, err := pw.Write(payloads[i])
+			return err
+		})
 		if err != nil {
-			return total, err
+			return int(aw.off), err
 		}
 	}
-	return total, nil
+	total, err := aw.Close()
+	return int(total), err
 }
 
 // Encode serializes an archive into one byte slice.
@@ -328,151 +353,198 @@ func Encode(entries []Entry, payloads [][]byte) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// Decode parses an archive. Payload bytes reference data (callers must not
-// mutate it) and are checksum-verified lazily by Payload; decoding touches
-// only the manifest. The dependency graph is fully validated here —
+// checkEntryShape rejects entry fields the format cannot represent.
+func checkEntryShape(e *Entry) error {
+	if e.Name == "" || len(e.Name) > maxNameLen {
+		return fmt.Errorf("archive: field name length %d out of range", len(e.Name))
+	}
+	if len(e.Dims) < 1 || len(e.Dims) > 3 {
+		return fmt.Errorf("archive: field %q rank %d unsupported", e.Name, len(e.Dims))
+	}
+	for _, d := range e.Dims {
+		if d <= 0 {
+			return fmt.Errorf("archive: field %q non-positive dim %d", e.Name, d)
+		}
+	}
+	if len(e.Deps) > maxDeps {
+		return fmt.Errorf("archive: field %q has %d deps, limit %d", e.Name, len(e.Deps), maxDeps)
+	}
+	return nil
+}
+
+// Decode parses an in-memory archive blob (either wire version). Payloads
+// are read lazily out of data and checksum-verified by Payload; decoding
+// touches only the manifest. The dependency graph is fully validated —
 // duplicate names, unknown or cyclic deps, role bytes that contradict the
 // graph, and payload regions that disagree with the blob size are all
 // rejected.
 func Decode(data []byte) (*Archive, error) {
-	r := container.NewCursor(data, ErrCorrupt)
-	m, err := r.Bytes(4)
-	if err != nil {
-		return nil, err
-	}
-	if [4]byte(m) != magic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, m)
-	}
-	ver, err := r.Byte()
-	if err != nil {
-		return nil, err
-	}
-	if ver != version {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, ver)
-	}
+	return NewReader(bytes.NewReader(data), int64(len(data)))
+}
+
+// source is the cursor interface the manifest parser reads through: the
+// in-memory container.Cursor or the counting container.StreamCursor.
+type source interface {
+	Byte() (byte, error)
+	Bytes(n int) ([]byte, error)
+	Uvarint() (uint64, error)
+	Float64() (float64, error)
+	Off() int
+}
+
+// parseManifest reads numFields manifest entries from r. For version-2
+// manifests each entry carries its explicit payload offset; version-1
+// offsets are assigned by the caller as running sums.
+func parseManifest(r source, ver byte) (entries []Entry, storedRoles []Role, err error) {
 	nf, err := r.Uvarint()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if nf == 0 || nf > maxFields {
-		return nil, fmt.Errorf("%w: %d fields", ErrCorrupt, nf)
+		return nil, nil, fmt.Errorf("%w: %d fields", ErrCorrupt, nf)
 	}
-	entries := make([]Entry, nf)
-	storedRoles := make([]Role, nf)
+	entries = make([]Entry, nf)
+	storedRoles = make([]Role, nf)
 	for i := range entries {
 		e := &entries[i]
 		nl, err := r.Uvarint()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if nl == 0 || nl > maxNameLen {
-			return nil, fmt.Errorf("%w: field %d name length %d", ErrCorrupt, i, nl)
+			return nil, nil, fmt.Errorf("%w: field %d name length %d", ErrCorrupt, i, nl)
 		}
 		nb, err := r.Bytes(int(nl))
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		e.Name = string(nb)
 		rb, err := r.Byte()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if rb > byte(RoleAnchor|RoleDependent) {
-			return nil, fmt.Errorf("%w: field %q role byte %d", ErrCorrupt, e.Name, rb)
+			return nil, nil, fmt.Errorf("%w: field %q role byte %d", ErrCorrupt, e.Name, rb)
 		}
 		storedRoles[i] = Role(rb)
 		rank, err := r.Uvarint()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if rank < 1 || rank > 3 {
-			return nil, fmt.Errorf("%w: field %q rank %d", ErrCorrupt, e.Name, rank)
+			return nil, nil, fmt.Errorf("%w: field %q rank %d", ErrCorrupt, e.Name, rank)
 		}
 		e.Dims = make([]int, rank)
 		for k := range e.Dims {
 			d, err := r.Uvarint()
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			if d == 0 || d > 1<<32 {
-				return nil, fmt.Errorf("%w: field %q dim %d", ErrCorrupt, e.Name, d)
+				return nil, nil, fmt.Errorf("%w: field %q dim %d", ErrCorrupt, e.Name, d)
 			}
 			e.Dims[k] = int(d)
 		}
 		if _, err := container.CheckVolume(e.Dims); err != nil {
-			return nil, fmt.Errorf("%w: field %q: %v", ErrCorrupt, e.Name, err)
+			return nil, nil, fmt.Errorf("%w: field %q: %v", ErrCorrupt, e.Name, err)
 		}
 		if e.BoundMode, err = r.Byte(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if e.BoundMode > 1 {
-			return nil, fmt.Errorf("%w: field %q bound mode %d", ErrCorrupt, e.Name, e.BoundMode)
+			return nil, nil, fmt.Errorf("%w: field %q bound mode %d", ErrCorrupt, e.Name, e.BoundMode)
 		}
 		if e.BoundValue, err = r.Float64(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if e.AbsEB, err = r.Float64(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if e.MaxErr, err = r.Float64(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		nd, err := r.Uvarint()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if nd > maxDeps {
-			return nil, fmt.Errorf("%w: field %q has %d deps", ErrCorrupt, e.Name, nd)
+			return nil, nil, fmt.Errorf("%w: field %q has %d deps", ErrCorrupt, e.Name, nd)
 		}
 		e.Deps = make([]string, nd)
 		for k := range e.Deps {
 			dl, err := r.Uvarint()
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			if dl == 0 || dl > maxNameLen {
-				return nil, fmt.Errorf("%w: field %q dep name length %d", ErrCorrupt, e.Name, dl)
+				return nil, nil, fmt.Errorf("%w: field %q dep name length %d", ErrCorrupt, e.Name, dl)
 			}
 			db, err := r.Bytes(int(dl))
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			e.Deps[k] = string(db)
 		}
 		pl, err := r.Uvarint()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if pl > uint64(math.MaxInt32) {
-			return nil, fmt.Errorf("%w: field %q payload length %d", ErrCorrupt, e.Name, pl)
+			return nil, nil, fmt.Errorf("%w: field %q payload length %d", ErrCorrupt, e.Name, pl)
 		}
 		e.PayloadLen = int(pl)
 		s4, err := r.Bytes(4)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		e.Checksum = binary.LittleEndian.Uint32(s4)
+		if ver >= version2 {
+			off, err := r.Uvarint()
+			if err != nil {
+				return nil, nil, err
+			}
+			if off > uint64(math.MaxInt64) {
+				return nil, nil, fmt.Errorf("%w: field %q payload offset %d", ErrCorrupt, e.Name, off)
+			}
+			e.Offset = int(off)
+		}
 	}
+	return entries, storedRoles, nil
+}
+
+// finish validates the parsed manifest's graph, checks stored roles and
+// payload geometry (contiguous payloads covering exactly
+// [payloadStart, payloadEnd)), and assembles the Archive. Version-2
+// manifests carry explicit offsets, which must describe that same layout;
+// version-1 offsets are assigned here as running sums.
+func finish(src io.ReaderAt, size int64, entries []Entry, storedRoles []Role, ver byte, payloadStart, payloadEnd int64) (*Archive, error) {
 	order, roles, byName, err := validate(entries)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
-	off := r.Off()
+	off := payloadStart
 	for i := range entries {
 		if storedRoles[i] != roles[i] {
 			return nil, fmt.Errorf("%w: field %q role byte %v contradicts dependency graph (%v)",
 				ErrCorrupt, entries[i].Name, storedRoles[i], roles[i])
 		}
 		entries[i].Role = roles[i]
-		if off+entries[i].PayloadLen > len(data) {
-			return nil, fmt.Errorf("%w: field %q payload (%d bytes at %d) exceeds blob size %d",
-				ErrCorrupt, entries[i].Name, entries[i].PayloadLen, off, len(data))
+		if ver >= version2 {
+			if int64(entries[i].Offset) != off {
+				return nil, fmt.Errorf("%w: field %q payload offset %d, expected %d",
+					ErrCorrupt, entries[i].Name, entries[i].Offset, off)
+			}
+		} else {
+			entries[i].Offset = int(off)
 		}
-		entries[i].Offset = off
-		off += entries[i].PayloadLen
+		off += int64(entries[i].PayloadLen)
+		if off > payloadEnd {
+			return nil, fmt.Errorf("%w: field %q payload (%d bytes) exceeds payload region end %d",
+				ErrCorrupt, entries[i].Name, entries[i].PayloadLen, payloadEnd)
+		}
 	}
-	if off != len(data) {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-off)
+	if off != payloadEnd {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, payloadEnd-off)
 	}
-	return &Archive{Entries: entries, data: data, byName: byName, order: order}, nil
+	return &Archive{Entries: entries, src: src, size: size, byName: byName, order: order}, nil
 }

@@ -2,12 +2,58 @@ package archive
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"math"
 	"math/rand"
 	"strings"
 	"testing"
 )
+
+// encodeV1 replicates the retired buffered version-1 encoder (manifest
+// first, no offsets, no trailer) so decode compatibility with archives
+// written before the streaming format stays pinned by tests.
+func encodeV1(t testing.TB, entries []Entry, payloads [][]byte) []byte {
+	t.Helper()
+	_, roles, _, err := validate(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := append([]byte(nil), magic[:]...)
+	out = append(out, version1)
+	out = binary.AppendUvarint(out, uint64(len(entries)))
+	var f8 [8]byte
+	var c4 [4]byte
+	for i, e := range entries {
+		out = binary.AppendUvarint(out, uint64(len(e.Name)))
+		out = append(out, e.Name...)
+		out = append(out, byte(roles[i]))
+		out = binary.AppendUvarint(out, uint64(len(e.Dims)))
+		for _, d := range e.Dims {
+			out = binary.AppendUvarint(out, uint64(d))
+		}
+		out = append(out, e.BoundMode)
+		binary.LittleEndian.PutUint64(f8[:], math.Float64bits(e.BoundValue))
+		out = append(out, f8[:]...)
+		binary.LittleEndian.PutUint64(f8[:], math.Float64bits(e.AbsEB))
+		out = append(out, f8[:]...)
+		binary.LittleEndian.PutUint64(f8[:], math.Float64bits(e.MaxErr))
+		out = append(out, f8[:]...)
+		out = binary.AppendUvarint(out, uint64(len(e.Deps)))
+		for _, d := range e.Deps {
+			out = binary.AppendUvarint(out, uint64(len(d)))
+			out = append(out, d...)
+		}
+		out = binary.AppendUvarint(out, uint64(len(payloads[i])))
+		binary.LittleEndian.PutUint32(c4[:], crc32.ChecksumIEEE(payloads[i]))
+		out = append(out, c4[:]...)
+	}
+	for _, p := range payloads {
+		out = append(out, p...)
+	}
+	return out
+}
 
 // testEntries builds a small valid manifest: two anchors, one dependent on
 // both, one standalone.
@@ -169,6 +215,24 @@ func TestEncodeRejectsPayloadCountMismatch(t *testing.T) {
 	}
 }
 
+// manifestRegion locates a version-2 blob's manifest through its trailer.
+func manifestRegion(t *testing.T, blob []byte) (off, length int) {
+	t.Helper()
+	if len(blob) < trailerLen || string(blob[len(blob)-4:]) != string(trailerMagic[:]) {
+		t.Fatalf("not a v2 archive (no trailer)")
+	}
+	tr := blob[len(blob)-trailerLen:]
+	return int(binary.LittleEndian.Uint64(tr[0:])), int(binary.LittleEndian.Uint32(tr[8:]))
+}
+
+// resealManifest recomputes the trailer CRC after a test mutated manifest
+// bytes, so the corruption under test is reached instead of the checksum.
+func resealManifest(t *testing.T, blob []byte) {
+	t.Helper()
+	off, length := manifestRegion(t, blob)
+	binary.LittleEndian.PutUint32(blob[len(blob)-8:], crc32.ChecksumIEEE(blob[off:off+length]))
+}
+
 // A role byte that contradicts the dependency graph is manifest corruption
 // even when the graph itself is valid.
 func TestDecodeRejectsRoleMismatch(t *testing.T) {
@@ -178,15 +242,22 @@ func TestDecodeRejectsRoleMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The role byte of field "U" sits right after its one-byte name (whose
-	// length prefix is 1). Find it structurally: magic(4) + version(1) +
-	// numFields(1) + nameLen(1) + name(1) = offset 8.
+	// length prefix is 1): manifestOff + numFields(1) + nameLen(1) + name(1).
 	bad := append([]byte(nil), blob...)
-	if bad[8] != byte(RoleAnchor) {
-		t.Fatalf("test layout drifted: byte 8 = %d, want RoleAnchor", bad[8])
+	off, _ := manifestRegion(t, bad)
+	rolePos := off + 3
+	if bad[rolePos] != byte(RoleAnchor) {
+		t.Fatalf("test layout drifted: byte %d = %d, want RoleAnchor", rolePos, bad[rolePos])
 	}
-	bad[8] = byte(RoleStandalone)
+	bad[rolePos] = byte(RoleStandalone)
+	resealManifest(t, bad)
 	if _, err := Decode(bad); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("role-mismatch decode err = %v, want ErrCorrupt", err)
+	}
+	// Without resealing, the manifest checksum catches the same flip.
+	bad[rolePos] = byte(RoleAnchor | RoleDependent)
+	if _, err := Decode(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("checksum-mismatch decode err = %v, want ErrCorrupt", err)
 	}
 }
 

@@ -20,11 +20,19 @@ func FuzzDecode(f *testing.F) {
 	f.Add(full[:len(full)/2])
 	f.Add(full[:5])
 	flipped := append([]byte(nil), full...)
-	flipped[8] ^= 0x03 // role byte of the first field
+	flipped[len(flipped)-1] ^= 0x03 // trailer magic
 	f.Add(flipped)
 	counted := append([]byte(nil), full...)
-	counted[5] ^= 0x01 // numFields uvarint
+	counted[len(counted)-trailerLen] ^= 0x01 // manifest offset
 	f.Add(counted)
+	// The retired version-1 layout (manifest first, no trailer) must keep
+	// decoding; seed it and a truncation of it.
+	v1 := encodeV1(f, entries, payloads)
+	f.Add(v1)
+	f.Add(v1[:len(v1)-3])
+	roleFlip := append([]byte(nil), v1...)
+	roleFlip[8] ^= 0x03 // role byte of the first field (v1 manifest is at the front)
+	f.Add(roleFlip)
 
 	chain, err := Encode([]Entry{
 		{Name: "A", Dims: []int{4}},
@@ -65,15 +73,15 @@ func FuzzDecode(f *testing.F) {
 		// must be accepted by the decoder again (idempotent round trip).
 		ps := make([][]byte, a.NumFields())
 		for i := range ps {
-			ps[i] = a.data[a.Entries[i].Offset : a.Entries[i].Offset+a.Entries[i].PayloadLen]
+			ps[i] = a.PayloadPrefix(i, a.Entries[i].PayloadLen)
 		}
 		re, err := Encode(a.Entries, ps)
 		if err != nil {
 			t.Fatalf("re-encode of decoded archive failed: %v", err)
 		}
 		if !bytes.Equal(re, data) {
-			// Not necessarily byte-identical (uvarint widths are canonical
-			// here, so it should be) — but it must decode.
+			// Not byte-identical for version-1 inputs (re-encoding writes the
+			// streaming layout) — but it must decode.
 			if _, err := Decode(re); err != nil {
 				t.Fatalf("re-encoded archive rejected: %v", err)
 			}

@@ -1,0 +1,277 @@
+package archive
+
+// The streaming half of the CFC3 container: Writer emits the version-2
+// layout (payloads first, manifest and trailer last) so a multi-GB
+// snapshot is encoded behind a bounded footprint — no payload is ever
+// buffered to learn its size — and NewReader parses either wire version
+// out of an io.ReaderAt so payloads are read on demand instead of slurped.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/container"
+)
+
+const (
+	// trailerLen is the fixed version-2 suffix:
+	// uint64 manifest offset | uint32 manifest length | uint32 manifest
+	// CRC32 | trailer magic.
+	trailerLen = 20
+	// maxManifestLen bounds the single allocation NewReader makes for an
+	// untrusted manifest; generous next to maxFields × maxNameLen×(1+maxDeps)
+	// being unreachable in practice.
+	maxManifestLen = 1 << 28
+)
+
+// trailerMagic closes a version-2 archive; NewReader finds the manifest
+// through it.
+var trailerMagic = [4]byte{'C', 'F', '3', 'T'}
+
+// Writer encodes a CFC3 archive incrementally: payloads stream through
+// Append in manifest order, and Close writes the manifest and trailer once
+// every field's size and checksum are known. Nothing but the manifest
+// entries is retained, so the encoder's footprint is independent of the
+// archive size.
+type Writer struct {
+	w       io.Writer
+	off     int64
+	entries []Entry
+	started bool
+	closed  bool
+	err     error // sticky
+}
+
+// NewWriter returns a Writer emitting to w. The 5-byte header is written
+// lazily by the first Append, so constructing a Writer performs no I/O.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w}
+}
+
+// write counts and sticks errors.
+func (aw *Writer) write(p []byte) error {
+	if aw.err != nil {
+		return aw.err
+	}
+	n, err := aw.w.Write(p)
+	aw.off += int64(n)
+	if err != nil {
+		aw.err = err
+	}
+	return err
+}
+
+// payloadWriter streams one field's payload, tracking length and CRC.
+type payloadWriter struct {
+	aw  *Writer
+	n   int64
+	crc hash.Hash32
+}
+
+func (pw *payloadWriter) Write(p []byte) (int, error) {
+	if err := pw.aw.write(p); err != nil {
+		return 0, err
+	}
+	pw.crc.Write(p)
+	pw.n += int64(len(p))
+	return len(p), nil
+}
+
+// Append writes one field: fn streams the payload bytes into its writer,
+// and may fill e's metadata (bound, achieved max error) before returning —
+// Append reads e after fn completes. PayloadLen, Checksum, Offset, and
+// Role are derived by the Writer; fields must be appended in manifest
+// order, dependents after the anchors they name.
+func (aw *Writer) Append(e *Entry, fn func(w io.Writer) error) error {
+	if aw.closed {
+		return fmt.Errorf("archive: Append after Close")
+	}
+	if aw.err != nil {
+		return aw.err
+	}
+	if err := checkEntryShape(e); err != nil {
+		return err
+	}
+	if len(aw.entries) >= maxFields {
+		return fmt.Errorf("archive: %d fields exceeds the format limit %d", len(aw.entries)+1, maxFields)
+	}
+	if !aw.started {
+		aw.started = true
+		if err := aw.write(append(append([]byte(nil), magic[:]...), version2)); err != nil {
+			return err
+		}
+	}
+	off := aw.off
+	pw := &payloadWriter{aw: aw, crc: crc32.NewIEEE()}
+	if err := fn(pw); err != nil {
+		if aw.err == nil {
+			aw.err = err
+		}
+		return err
+	}
+	if pw.n > math.MaxInt32 {
+		aw.err = fmt.Errorf("archive: field %q payload %d bytes exceeds the per-field limit", e.Name, pw.n)
+		return aw.err
+	}
+	e.Offset = int(off)
+	e.PayloadLen = int(pw.n)
+	e.Checksum = pw.crc.Sum32()
+	aw.entries = append(aw.entries, *e)
+	return nil
+}
+
+// Close validates the accumulated manifest (resolvable acyclic deps,
+// unique names), derives every field's role, and writes the manifest and
+// trailer. It returns the archive's total size in bytes.
+func (aw *Writer) Close() (int64, error) {
+	if aw.closed {
+		return aw.off, fmt.Errorf("archive: Close called twice")
+	}
+	aw.closed = true
+	if aw.err != nil {
+		return aw.off, aw.err
+	}
+	_, roles, _, err := validate(aw.entries)
+	if err != nil {
+		aw.err = err
+		return aw.off, err
+	}
+	if !aw.started {
+		// validate rejects empty manifests above, so entries exist and the
+		// header was written by the first Append.
+		panic("archive: unreachable: entries without header")
+	}
+	manifestOff := aw.off
+	man := binary.AppendUvarint(nil, uint64(len(aw.entries)))
+	for i := range aw.entries {
+		man = appendEntry(man, &aw.entries[i], roles[i])
+	}
+	if len(man) > maxManifestLen {
+		aw.err = fmt.Errorf("archive: manifest %d bytes exceeds the format limit", len(man))
+		return aw.off, aw.err
+	}
+	if err := aw.write(man); err != nil {
+		return aw.off, err
+	}
+	var tr [trailerLen]byte
+	binary.LittleEndian.PutUint64(tr[0:], uint64(manifestOff))
+	binary.LittleEndian.PutUint32(tr[8:], uint32(len(man)))
+	binary.LittleEndian.PutUint32(tr[12:], crc32.ChecksumIEEE(man))
+	copy(tr[16:], trailerMagic[:])
+	if err := aw.write(tr[:]); err != nil {
+		return aw.off, err
+	}
+	return aw.off, nil
+}
+
+// appendEntry serializes one version-2 manifest entry (the version-1
+// layout minus the trailing offset uvarint).
+func appendEntry(out []byte, e *Entry, role Role) []byte {
+	out = binary.AppendUvarint(out, uint64(len(e.Name)))
+	out = append(out, e.Name...)
+	out = append(out, byte(role))
+	out = binary.AppendUvarint(out, uint64(len(e.Dims)))
+	for _, d := range e.Dims {
+		out = binary.AppendUvarint(out, uint64(d))
+	}
+	var f8 [8]byte
+	out = append(out, e.BoundMode)
+	binary.LittleEndian.PutUint64(f8[:], math.Float64bits(e.BoundValue))
+	out = append(out, f8[:]...)
+	binary.LittleEndian.PutUint64(f8[:], math.Float64bits(e.AbsEB))
+	out = append(out, f8[:]...)
+	binary.LittleEndian.PutUint64(f8[:], math.Float64bits(e.MaxErr))
+	out = append(out, f8[:]...)
+	out = binary.AppendUvarint(out, uint64(len(e.Deps)))
+	for _, d := range e.Deps {
+		out = binary.AppendUvarint(out, uint64(len(d)))
+		out = append(out, d...)
+	}
+	out = binary.AppendUvarint(out, uint64(e.PayloadLen))
+	var c4 [4]byte
+	binary.LittleEndian.PutUint32(c4[:], e.Checksum)
+	out = append(out, c4[:]...)
+	out = binary.AppendUvarint(out, uint64(e.Offset))
+	return out
+}
+
+// NewReader parses an archive of either wire version from r, whose total
+// size must be given (archives are self-delimiting from both ends but not
+// self-sizing). Only the manifest — and, for version 2, the trailer — is
+// read; payloads stay on the reader and are fetched on demand by Payload,
+// so a file- or mmap-backed r serves archives larger than RAM.
+func NewReader(r io.ReaderAt, size int64) (*Archive, error) {
+	var hdr [headerLen]byte
+	if size < headerLen {
+		return nil, fmt.Errorf("%w: %d bytes is smaller than the header", ErrCorrupt, size)
+	}
+	if _, err := r.ReadAt(hdr[:], 0); err != nil {
+		return nil, fmt.Errorf("%w: header read: %v", ErrCorrupt, err)
+	}
+	if [4]byte(hdr[:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, hdr[:4])
+	}
+	switch hdr[4] {
+	case version1:
+		return readV1(r, size)
+	case version2:
+		return readV2(r, size)
+	default:
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, hdr[4])
+	}
+}
+
+// readV1 parses the manifest-first layout: stream the manifest from just
+// past the header, then assign payload offsets as running sums from the
+// manifest's end to the end of the blob.
+func readV1(r io.ReaderAt, size int64) (*Archive, error) {
+	sc := container.NewStreamCursor(io.NewSectionReader(r, headerLen, size-headerLen), ErrCorrupt)
+	entries, storedRoles, err := parseManifest(sc, version1)
+	if err != nil {
+		return nil, err
+	}
+	return finish(r, size, entries, storedRoles, version1, int64(headerLen+sc.Off()), size)
+}
+
+// readV2 parses the streaming layout: trailer, then manifest, then
+// explicit payload offsets validated against the payload region.
+func readV2(r io.ReaderAt, size int64) (*Archive, error) {
+	if size < headerLen+trailerLen {
+		return nil, fmt.Errorf("%w: %d bytes is smaller than header plus trailer", ErrCorrupt, size)
+	}
+	var tr [trailerLen]byte
+	if _, err := r.ReadAt(tr[:], size-trailerLen); err != nil {
+		return nil, fmt.Errorf("%w: trailer read: %v", ErrCorrupt, err)
+	}
+	if [4]byte(tr[16:]) != trailerMagic {
+		return nil, fmt.Errorf("%w: bad trailer magic %q", ErrCorrupt, tr[16:])
+	}
+	manifestOff := int64(binary.LittleEndian.Uint64(tr[0:]))
+	manifestLen := int64(binary.LittleEndian.Uint32(tr[8:]))
+	wantCRC := binary.LittleEndian.Uint32(tr[12:])
+	if manifestLen > maxManifestLen || manifestOff < headerLen ||
+		manifestOff+manifestLen != size-trailerLen {
+		return nil, fmt.Errorf("%w: manifest region [%d,%d) disagrees with size %d",
+			ErrCorrupt, manifestOff, manifestOff+manifestLen, size)
+	}
+	man := make([]byte, manifestLen)
+	if _, err := r.ReadAt(man, manifestOff); err != nil {
+		return nil, fmt.Errorf("%w: manifest read: %v", ErrCorrupt, err)
+	}
+	if crc32.ChecksumIEEE(man) != wantCRC {
+		return nil, fmt.Errorf("%w: manifest checksum mismatch", ErrCorrupt)
+	}
+	cur := container.NewCursor(man, ErrCorrupt)
+	entries, storedRoles, err := parseManifest(cur, version2)
+	if err != nil {
+		return nil, err
+	}
+	if cur.Off() != len(man) {
+		return nil, fmt.Errorf("%w: %d trailing manifest bytes", ErrCorrupt, len(man)-cur.Off())
+	}
+	return finish(r, size, entries, storedRoles, version2, headerLen, manifestOff)
+}

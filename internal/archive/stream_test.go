@@ -1,0 +1,203 @@
+package archive
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// TestWriterStreamingRoundTrip drives the Writer directly — payloads
+// produced one at a time, metadata filled inside the Append callback, the
+// way CompressDatasetTo uses it — and checks the result decodes to the
+// same manifest and payloads as the buffered Encode.
+func TestWriterStreamingRoundTrip(t *testing.T) {
+	entries, payloads := testEntries()
+	var buf bytes.Buffer
+	aw := NewWriter(&buf)
+	for i := range entries {
+		e := entries[i]
+		e.BoundMode, e.BoundValue = 0, 0 // filled inside the callback below
+		err := aw.Append(&e, func(w io.Writer) error {
+			// Stream in two writes to exercise CRC/length accumulation.
+			if _, err := w.Write(payloads[i][:len(payloads[i])/2]); err != nil {
+				return err
+			}
+			if _, err := w.Write(payloads[i][len(payloads[i])/2:]); err != nil {
+				return err
+			}
+			e.BoundMode = entries[i].BoundMode
+			e.BoundValue = entries[i].BoundValue
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("Append %q: %v", entries[i].Name, err)
+		}
+	}
+	total, err := aw.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != int64(buf.Len()) {
+		t.Fatalf("Close reports %d bytes, buffer holds %d", total, buf.Len())
+	}
+
+	// Byte-identical to the buffered wrapper given identical inputs.
+	fromBuffered, err := Encode(entries, payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), fromBuffered) {
+		t.Fatal("streaming Writer and buffered Encode disagree on the wire bytes")
+	}
+
+	a, err := NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range entries {
+		got := a.Entries[i]
+		if got.Name != e.Name || got.BoundMode != e.BoundMode || got.BoundValue != e.BoundValue {
+			t.Fatalf("field %d manifest mismatch: %+v", i, got)
+		}
+		p, err := a.Payload(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(p, payloads[i]) {
+			t.Fatalf("field %q payload mismatch", e.Name)
+		}
+	}
+}
+
+// TestV1DecodesIdenticallyToV2 pins decode compatibility: the same
+// manifest and payloads wrapped in the retired version-1 layout must parse
+// to the same Archive state as the streaming layout.
+func TestV1DecodesIdenticallyToV2(t *testing.T) {
+	entries, payloads := testEntries()
+	v1 := encodeV1(t, entries, payloads)
+	v2, err := Encode(entries, payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := Decode(v1)
+	if err != nil {
+		t.Fatalf("v1 decode: %v", err)
+	}
+	a2, err := Decode(v2)
+	if err != nil {
+		t.Fatalf("v2 decode: %v", err)
+	}
+	if a1.NumFields() != a2.NumFields() {
+		t.Fatalf("field counts differ: %d vs %d", a1.NumFields(), a2.NumFields())
+	}
+	for i := range a1.Entries {
+		e1, e2 := a1.Entries[i], a2.Entries[i]
+		if e1.Name != e2.Name || e1.Role != e2.Role || e1.PayloadLen != e2.PayloadLen ||
+			e1.Checksum != e2.Checksum {
+			t.Fatalf("field %d differs across versions: %+v vs %+v", i, e1, e2)
+		}
+		p1, err := a1.Payload(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := a2.Payload(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(p1, p2) {
+			t.Fatalf("field %q payload differs across versions", e1.Name)
+		}
+	}
+}
+
+// TestNewReaderRejectsCorruptTrailers covers the streaming error paths:
+// truncations, mangled trailer magic, bad manifest regions, and a manifest
+// checksum mismatch.
+func TestNewReaderRejectsCorruptTrailers(t *testing.T) {
+	entries, payloads := testEntries()
+	blob, err := Encode(entries, payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeAt := func(b []byte) error {
+		_, err := NewReader(bytes.NewReader(b), int64(len(b)))
+		return err
+	}
+	for _, cut := range []int{1, 4, headerLen, len(blob) / 3, len(blob) - trailerLen, len(blob) - 1} {
+		if err := decodeAt(blob[:cut]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation at %d: err = %v, want ErrCorrupt", cut, err)
+		}
+	}
+	// Mangled trailer magic.
+	bad := append([]byte(nil), blob...)
+	bad[len(bad)-1] ^= 0xff
+	if err := decodeAt(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad trailer magic: err = %v, want ErrCorrupt", err)
+	}
+	// Manifest offset pointing past the manifest region.
+	bad = append([]byte(nil), blob...)
+	bad[len(bad)-trailerLen] ^= 0x01
+	if err := decodeAt(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad manifest offset: err = %v, want ErrCorrupt", err)
+	}
+	// A flipped manifest byte fails the trailer CRC.
+	bad = append([]byte(nil), blob...)
+	off, _ := manifestRegion(t, bad)
+	bad[off] ^= 0xff
+	if err := decodeAt(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("manifest corruption: err = %v, want ErrCorrupt", err)
+	}
+	// Trailing garbage after the trailer shifts it out of place.
+	if err := decodeAt(append(append([]byte(nil), blob...), 0x55)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing garbage: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestWriterErrorPaths checks the Writer's misuse and failure handling.
+func TestWriterErrorPaths(t *testing.T) {
+	// Append after Close.
+	var buf bytes.Buffer
+	aw := NewWriter(&buf)
+	e := Entry{Name: "A", Dims: []int{4}}
+	if err := aw.Append(&e, func(w io.Writer) error { _, err := w.Write([]byte{1}); return err }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := aw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := aw.Append(&e, func(w io.Writer) error { return nil }); err == nil {
+		t.Fatal("Append after Close accepted")
+	}
+	if _, err := aw.Close(); err == nil {
+		t.Fatal("double Close accepted")
+	}
+
+	// A callback error sticks: Close must refuse to emit a trailer.
+	aw = NewWriter(&bytes.Buffer{})
+	boom := errors.New("boom")
+	e2 := Entry{Name: "B", Dims: []int{4}}
+	if err := aw.Append(&e2, func(w io.Writer) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("Append err = %v, want boom", err)
+	}
+	if _, err := aw.Close(); !errors.Is(err, boom) {
+		t.Fatalf("Close err = %v, want the stuck Append error", err)
+	}
+
+	// An invalid graph is rejected at Close after the payloads streamed.
+	aw = NewWriter(&bytes.Buffer{})
+	e3 := Entry{Name: "C", Dims: []int{4}, Deps: []string{"missing"}}
+	if err := aw.Append(&e3, func(w io.Writer) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := aw.Close(); err == nil {
+		t.Fatal("unknown dep accepted at Close")
+	}
+
+	// Invalid entry shapes fail fast in Append.
+	aw = NewWriter(&bytes.Buffer{})
+	bad := Entry{Name: "D", Dims: []int{0}}
+	if err := aw.Append(&bad, func(w io.Writer) error { return nil }); err == nil {
+		t.Fatal("non-positive dim accepted")
+	}
+}

@@ -26,7 +26,6 @@
 package chunk
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/binary"
 	"errors"
@@ -412,80 +411,20 @@ func decodeHeader(r fields) (*Header, *indexData, error) {
 	return h, idx, nil
 }
 
-// streamReader adapts a buffered stream to the fields interface, counting
-// consumed bytes so index offsets stay meaningful.
-type streamReader struct {
-	src *bufio.Reader
-	off int
-}
-
-func (r *streamReader) Byte() (byte, error) {
-	b, err := r.src.ReadByte()
-	if err != nil {
-		return 0, fmt.Errorf("%w: byte at offset %d: %v", ErrCorrupt, r.off, err)
-	}
-	r.off++
-	return b, nil
-}
-
-// maxStreamSection bounds a single allocation while parsing an untrusted
-// stream header (the in-memory decoder is bounded by the blob length).
-const maxStreamSection = 1 << 30
-
-func (r *streamReader) Bytes(n int) ([]byte, error) {
-	if n < 0 || n > maxStreamSection {
-		return nil, fmt.Errorf("%w: section length %d at offset %d", ErrCorrupt, n, r.off)
-	}
-	b := make([]byte, n)
-	if _, err := io.ReadFull(r.src, b); err != nil {
-		return nil, fmt.Errorf("%w: need %d bytes at offset %d: %v", ErrCorrupt, n, r.off, err)
-	}
-	r.off += n
-	return b, nil
-}
-
-func (r *streamReader) Uvarint() (uint64, error) {
-	v, err := binary.ReadUvarint(countingByteReader{r})
-	if err != nil {
-		return 0, fmt.Errorf("%w: varint at offset %d: %v", ErrCorrupt, r.off, err)
-	}
-	return v, nil
-}
-
-func (r *streamReader) Float64() (float64, error) {
-	b, err := r.Bytes(8)
-	if err != nil {
-		return 0, err
-	}
-	return math.Float64frombits(binary.LittleEndian.Uint64(b)), nil
-}
-
-// countingByteReader lets binary.ReadUvarint advance the stream offset.
-type countingByteReader struct{ r *streamReader }
-
-func (c countingByteReader) ReadByte() (byte, error) {
-	b, err := c.r.src.ReadByte()
-	if err == nil {
-		c.r.off++
-	}
-	return b, err
-}
-
 // Reader decodes a CFC2 container from a stream, yielding one verified
 // chunk payload at a time so a multi-GB field can be reassembled without
 // holding the compressed container in memory.
 type Reader struct {
 	header Header
 	index  []IndexEntry
-	src    *bufio.Reader
+	src    *container.StreamCursor
 	next   int
 }
 
 // NewReader parses the header and chunk index from r. Payloads are then
 // consumed in order with Next.
 func NewReader(r io.Reader) (*Reader, error) {
-	br := bufio.NewReader(r)
-	sr := &streamReader{src: br}
+	sr := container.NewStreamCursor(r, ErrCorrupt)
 	h, idx, err := decodeHeader(sr)
 	if err != nil {
 		return nil, err
@@ -498,7 +437,7 @@ func NewReader(r io.Reader) (*Reader, error) {
 		slab *= d
 	}
 	index := make([]IndexEntry, len(idx.counts))
-	start, off := 0, sr.off
+	start, off := 0, sr.Off()
 	for i := range index {
 		index[i] = IndexEntry{
 			Start:      start,
@@ -512,7 +451,7 @@ func NewReader(r io.Reader) (*Reader, error) {
 		start += idx.counts[i]
 		off += idx.lens[i]
 	}
-	return &Reader{header: *h, index: index, src: br}, nil
+	return &Reader{header: *h, index: index, src: sr}, nil
 }
 
 // Header returns the shared container header.
@@ -529,9 +468,9 @@ func (r *Reader) Next() (int, []byte, error) {
 	}
 	i := r.next
 	e := r.index[i]
-	p := make([]byte, e.PayloadLen)
-	if _, err := io.ReadFull(r.src, p); err != nil {
-		return 0, nil, fmt.Errorf("%w: chunk %d payload: %v", ErrCorrupt, i, err)
+	p, err := r.src.Bytes(e.PayloadLen)
+	if err != nil {
+		return 0, nil, fmt.Errorf("chunk %d payload: %w", i, err)
 	}
 	if crc32.ChecksumIEEE(p) != e.Checksum {
 		return 0, nil, fmt.Errorf("%w: chunk %d", ErrChecksum, i)

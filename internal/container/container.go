@@ -19,9 +19,11 @@
 package container
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 )
 
@@ -190,6 +192,80 @@ func (c *Cursor) Float64() (float64, error) {
 		return 0, err
 	}
 	return math.Float64frombits(binary.LittleEndian.Uint64(b)), nil
+}
+
+// maxStreamSection bounds a single allocation while parsing an untrusted
+// stream header (in-memory cursors are bounded by the input length).
+const maxStreamSection = 1 << 30
+
+// StreamCursor is the streaming counterpart of Cursor: the same
+// bounds-checked field reads over an io.Reader, counting consumed bytes so
+// decoders can recover absolute payload offsets. It is shared by the CFC2
+// and CFC3 stream decoders.
+type StreamCursor struct {
+	src     *bufio.Reader
+	off     int
+	corrupt error
+}
+
+// NewStreamCursor returns a cursor over r whose errors wrap corrupt.
+func NewStreamCursor(r io.Reader, corrupt error) *StreamCursor {
+	return &StreamCursor{src: bufio.NewReader(r), corrupt: corrupt}
+}
+
+// Off returns the number of bytes consumed so far.
+func (c *StreamCursor) Off() int { return c.off }
+
+// Byte reads one byte.
+func (c *StreamCursor) Byte() (byte, error) {
+	b, err := c.src.ReadByte()
+	if err != nil {
+		return 0, fmt.Errorf("%w: byte at offset %d: %v", c.corrupt, c.off, err)
+	}
+	c.off++
+	return b, nil
+}
+
+// Bytes reads n bytes into a fresh slice.
+func (c *StreamCursor) Bytes(n int) ([]byte, error) {
+	if n < 0 || n > maxStreamSection {
+		return nil, fmt.Errorf("%w: section length %d at offset %d", c.corrupt, n, c.off)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(c.src, b); err != nil {
+		return nil, fmt.Errorf("%w: need %d bytes at offset %d: %v", c.corrupt, n, c.off, err)
+	}
+	c.off += n
+	return b, nil
+}
+
+// Uvarint reads one varint.
+func (c *StreamCursor) Uvarint() (uint64, error) {
+	v, err := binary.ReadUvarint(countingByteReader{c})
+	if err != nil {
+		return 0, fmt.Errorf("%w: varint at offset %d: %v", c.corrupt, c.off, err)
+	}
+	return v, nil
+}
+
+// Float64 reads one little-endian float64.
+func (c *StreamCursor) Float64() (float64, error) {
+	b, err := c.Bytes(8)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), nil
+}
+
+// countingByteReader lets binary.ReadUvarint advance the stream offset.
+type countingByteReader struct{ c *StreamCursor }
+
+func (r countingByteReader) ReadByte() (byte, error) {
+	b, err := r.c.src.ReadByte()
+	if err == nil {
+		r.c.off++
+	}
+	return b, err
 }
 
 // CheckVolume validates that the product of dims — and its ×4 float32 byte

@@ -352,6 +352,57 @@ func DecompressChunk(blob []byte, i int, anchors []*tensor.Tensor) (*tensor.Tens
 	return t, a.Index[i].Start, nil
 }
 
+// DecompressChunkWithAnchorSlabs is DecompressChunk for callers that
+// supply anchor data covering only chunk i's slab range — each slab tensor
+// must have the chunk's dims (the field dims with axis 0 cut to the
+// chunk's slab count) — instead of full anchor fields. This is the serving
+// layer's random-access entry point: a dependent-chunk request decodes
+// only the anchor chunks intersecting its slab range, never whole anchor
+// fields. Predictions are bit-identical to DecompressChunk with full
+// anchors, which runs inference over exactly the same chunk views.
+func DecompressChunkWithAnchorSlabs(blob []byte, i int, anchorSlabs []*tensor.Tensor) (*tensor.Tensor, int, error) {
+	if !chunk.IsChunked(blob) {
+		// A monolithic blob is a single chunk spanning every slab, so the
+		// "slabs" are the full anchor fields.
+		return DecompressChunk(blob, i, anchorSlabs)
+	}
+	a, err := chunk.Decode(blob)
+	if err != nil {
+		return nil, 0, err
+	}
+	if i < 0 || i >= a.NumChunks() {
+		return nil, 0, fmt.Errorf("core: chunk %d out of [0,%d)", i, a.NumChunks())
+	}
+	g, err := a.Grid()
+	if err != nil {
+		return nil, 0, err
+	}
+	model, err := loadArchiveModel(&a.Header)
+	if err != nil {
+		return nil, 0, err
+	}
+	if model != nil {
+		if len(anchorSlabs) == 0 {
+			return nil, 0, fmt.Errorf("%w: method %v, anchors %v", ErrNeedAnchors, a.Method, a.Anchors)
+		}
+		want := g.ChunkDims(i)
+		for k, s := range anchorSlabs {
+			if !sameDims(s.Shape(), want) {
+				return nil, 0, fmt.Errorf("core: anchor slab %d shape %v != chunk %d dims %v", k, s.Shape(), i, want)
+			}
+		}
+	}
+	payload, err := a.Payload(i)
+	if err != nil {
+		return nil, 0, err
+	}
+	t, err := decompressChunkPayload(payload, g, i, anchorSlabs, model, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	return t, a.Index[i].Start, nil
+}
+
 // ChunkCount returns the number of chunks in a CFC2 container (1 for a
 // monolithic CFC1 blob).
 func ChunkCount(blob []byte) (int, error) {
@@ -403,12 +454,20 @@ func ChunkIndex(blob []byte) ([]ChunkInfo, error) {
 	if err != nil {
 		return nil, err
 	}
+	return ChunkInfoFromIndex(a.Dims, a.Index), nil
+}
+
+// ChunkInfoFromIndex converts a parsed CFC2 chunk index into ChunkInfo
+// rows given the container dims. Serving layers use it to build a chunk
+// table from a stream-parsed header (chunk.NewReader) without holding the
+// container bytes.
+func ChunkInfoFromIndex(dims []int, index []chunk.IndexEntry) []ChunkInfo {
 	slab := 1
-	for _, d := range a.Dims[1:] {
+	for _, d := range dims[1:] {
 		slab *= d
 	}
-	out := make([]ChunkInfo, a.NumChunks())
-	for i, e := range a.Index {
+	out := make([]ChunkInfo, len(index))
+	for i, e := range index {
 		out[i] = ChunkInfo{
 			Start:        e.Start,
 			Slabs:        e.Count,
@@ -418,7 +477,20 @@ func ChunkIndex(blob []byte) ([]ChunkInfo, error) {
 			MaxErr:       e.MaxErr,
 		}
 	}
-	return out, nil
+	return out
+}
+
+// loadArchiveModel loads the shared CFNN model out of a CFC2 header (nil
+// for baseline containers), without validating any anchors.
+func loadArchiveModel(h *chunk.Header) (*cfnn.Model, error) {
+	switch h.Method {
+	case container.MethodBaseline:
+		return nil, nil
+	case container.MethodHybrid, container.MethodCrossOnly:
+		return cfnn.Load(bytes.NewReader(h.Model))
+	default:
+		return nil, fmt.Errorf("core: unknown method %v", h.Method)
+	}
 }
 
 // prepareArchive validates anchors against the container header, loads the
@@ -428,10 +500,7 @@ func prepareArchive(a *chunk.Archive, anchors []*tensor.Tensor) (*chunk.Grid, *c
 	if err != nil {
 		return nil, nil, err
 	}
-	var model *cfnn.Model
-	switch a.Method {
-	case container.MethodBaseline:
-	case container.MethodHybrid, container.MethodCrossOnly:
+	if a.Method == container.MethodHybrid || a.Method == container.MethodCrossOnly {
 		if len(anchors) == 0 {
 			return nil, nil, fmt.Errorf("%w: method %v, anchors %v", ErrNeedAnchors, a.Method, a.Anchors)
 		}
@@ -440,11 +509,10 @@ func prepareArchive(a *chunk.Archive, anchors []*tensor.Tensor) (*chunk.Grid, *c
 				return nil, nil, fmt.Errorf("core: anchor %d shape %v != field dims %v", i, an.Shape(), a.Dims)
 			}
 		}
-		if model, err = cfnn.Load(bytes.NewReader(a.Model)); err != nil {
-			return nil, nil, err
-		}
-	default:
-		return nil, nil, fmt.Errorf("core: unknown method %v", a.Method)
+	}
+	model, err := loadArchiveModel(&a.Header)
+	if err != nil {
+		return nil, nil, err
 	}
 	return g, model, nil
 }

@@ -212,6 +212,64 @@ func TestDecompressChunkMatchesRegion(t *testing.T) {
 	}
 }
 
+// DecompressChunkWithAnchorSlabs must reproduce DecompressChunk exactly
+// when fed only the chunk's slab range of each anchor — the contract the
+// serving layer relies on to avoid whole-anchor decodes.
+func TestDecompressChunkWithAnchorSlabsMatches(t *testing.T) {
+	target := smoothField3D(10, 14, 18, 74)
+	anchors := []*tensor.Tensor{target.Clone()}
+	model := trainTinyModel(t, anchors, target)
+	res, err := CompressChunked(target, model, anchors, ChunkedOptions{
+		Options:     Options{Bound: quant.AbsBound(0.05)},
+		ChunkVoxels: 3 * 14 * 18,
+		Workers:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos, err := ChunkIndex(res.Blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slab := 14 * 18
+	for i, ci := range infos {
+		want, wantStart, err := DecompressChunk(res.Blob, i, anchors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Slice exactly the chunk's slab range out of each anchor.
+		slabs := make([]*tensor.Tensor, len(anchors))
+		for k, a := range anchors {
+			lo, hi := ci.Start*slab, (ci.Start+ci.Slabs)*slab
+			s, err := tensor.FromSlice(a.Data()[lo:hi], ci.Slabs, 14, 18)
+			if err != nil {
+				t.Fatal(err)
+			}
+			slabs[k] = s
+		}
+		got, start, err := DecompressChunkWithAnchorSlabs(res.Blob, i, slabs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if start != wantStart {
+			t.Fatalf("chunk %d start %d != %d", i, start, wantStart)
+		}
+		for p, v := range got.Data() {
+			if want.Data()[p] != v {
+				t.Fatalf("chunk %d: slab-anchored decode differs from full-anchored at %d", i, p)
+			}
+		}
+	}
+	// Wrong-shaped slabs are rejected, not silently misused.
+	bad, err := tensor.FromSlice(make([]float32, 14*18), 1, 14, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecompressChunkWithAnchorSlabs(res.Blob, 0, []*tensor.Tensor{bad}); err == nil {
+		t.Fatal("wrong-shaped anchor slab accepted")
+	}
+}
+
 // Random access must not read other chunks: corrupt every payload except
 // one and show that chunk still reconstructs.
 func TestDecompressChunkIsolatedFromOtherPayloads(t *testing.T) {

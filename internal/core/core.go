@@ -15,6 +15,16 @@
 // same decompressed anchor fields the compressor used; everything else
 // (model weights, hybrid weights, Huffman table) travels inside the blob
 // and is charged to the compressed size.
+//
+// On top of the monolithic pipeline sits the chunked engine
+// (CompressChunked/CompressChunkedTo and the Decompress* counterparts):
+// fields split into independent slabs, compressed in parallel into a
+// random-access CFC2 container, with CFNN inference run once per field by
+// a shared segmented pass (see inference.go). Random access comes in two
+// flavors: DecompressChunk takes full anchor fields and consults only the
+// chunk's region; DecompressChunkWithAnchorSlabs takes anchor data
+// covering just the chunk's slab range — the serving layer's entry point
+// for decoding dependent chunks without materializing whole anchors.
 package core
 
 import (

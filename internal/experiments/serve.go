@@ -35,6 +35,14 @@ type ServeBenchReport struct {
 	FieldHitRatio float64 `json:"field_cache_hit_ratio"`
 	ChunkHitRatio float64 `json:"chunk_cache_hit_ratio"`
 	BytesServed   int64   `json:"bytes_served"`
+	// Cold larger-than-cache mount scenario: the archive is served from a
+	// file-backed (mmap) mount with decode caches deliberately smaller
+	// than the decoded working set, sweeping every chunk of the dependent
+	// field — the footprint profile of mounting archives bigger than RAM.
+	ColdMountChunkP50   float64 `json:"cold_mount_chunk_ms_p50"`
+	ColdMountChunkP99   float64 `json:"cold_mount_chunk_ms_p99"`
+	ColdMountFieldDecos int64   `json:"cold_mount_whole_field_decodes"`
+	ColdMountPayloadHit float64 `json:"cold_mount_payload_cache_hit_ratio"`
 }
 
 const serveHotRequests = 200
@@ -127,6 +135,63 @@ func ServeBench(w io.Writer, s Sizes, jsonPath string) error {
 	if err != nil {
 		return err
 	}
+
+	// Cold larger-than-cache mount: the same archive from a file-backed
+	// mount, with the field cache disabled and the chunk cache sized to
+	// hold only ~2 decoded chunks, so the all-chunk sweep of the dependent
+	// field continuously evicts — every request exercises the on-demand
+	// payload read plus anchor-slab decode path, never a resident
+	// whole-field reconstruction.
+	tmp, err := os.CreateTemp("", "cfserve-bench-*.cfc")
+	if err != nil {
+		return err
+	}
+	tmpPath := tmp.Name()
+	defer os.Remove(tmpPath)
+	if _, err := tmp.Write(res.Blob); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	cold := serve.New(serve.Config{
+		FieldCacheBytes: -1,
+		ChunkCacheBytes: int64(chunkVoxels) * 8 * 2,
+	})
+	defer cold.Close()
+	if err := cold.MountFile("hurricane", tmpPath); err != nil {
+		return err
+	}
+	tsCold := httptest.NewServer(cold.Handler())
+	defer tsCold.Close()
+	clientCold := tsCold.Client()
+	getCold := func(path string) (time.Duration, error) {
+		start := time.Now()
+		resp, err := clientCold.Get(tsCold.URL + path)
+		if err != nil {
+			return 0, err
+		}
+		_, err = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return 0, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return time.Since(start), nil
+	}
+	var coldSweep []float64
+	for round := 0; round < 3; round++ {
+		for ci := 0; ci < chunks; ci++ {
+			d, err := getCold(fmt.Sprintf("%s/chunks/%d", fieldPath, ci))
+			if err != nil {
+				return err
+			}
+			coldSweep = append(coldSweep, ms(d))
+		}
+	}
 	var totalBytes int
 	for _, sp := range specs {
 		totalBytes += sp.Field.Len() * 4
@@ -138,9 +203,13 @@ func ServeBench(w io.Writer, s Sizes, jsonPath string) error {
 		HotFieldP50: percentile(hotField, 50), HotFieldP99: percentile(hotField, 99),
 		ColdChunkMs: ms(coldChunk),
 		HotChunkP50: percentile(hotChunk, 50), HotChunkP99: percentile(hotChunk, 99),
-		FieldHitRatio: srv.FieldCacheStats().HitRatio(),
-		ChunkHitRatio: srv.ChunkCacheStats().HitRatio(),
-		BytesServed:   srv.BytesServed(),
+		FieldHitRatio:       srv.FieldCacheStats().HitRatio(),
+		ChunkHitRatio:       srv.ChunkCacheStats().HitRatio(),
+		BytesServed:         srv.BytesServed(),
+		ColdMountChunkP50:   percentile(coldSweep, 50),
+		ColdMountChunkP99:   percentile(coldSweep, 99),
+		ColdMountFieldDecos: cold.FieldCacheStats().Misses,
+		ColdMountPayloadHit: cold.PayloadCacheStats().HitRatio(),
 	}
 	fmt.Fprintf(w, "%d fields (%.1f MB), %d chunks/field, %d hot requests each:\n",
 		report.Fields, report.MB, report.Chunks, serveHotRequests)
@@ -151,6 +220,10 @@ func ServeBench(w io.Writer, s Sizes, jsonPath string) error {
 		report.ColdChunkMs, report.HotChunkP50, report.HotChunkP99)
 	fmt.Fprintf(w, "  cache hit ratio: field %.3f  chunk %.3f  (%.1f MB served)\n",
 		report.FieldHitRatio, report.ChunkHitRatio, float64(report.BytesServed)/(1<<20))
+	fmt.Fprintf(w, "  cold file-backed mount, caches < working set (%d chunk sweeps):\n", 3)
+	fmt.Fprintf(w, "  %-18s %10s %8.2fms %8.2fms\n", "chunk sweep", "", report.ColdMountChunkP50, report.ColdMountChunkP99)
+	fmt.Fprintf(w, "  whole-field decodes: %d (anchor slabs only)  payload cache hit ratio %.3f\n",
+		report.ColdMountFieldDecos, report.ColdMountPayloadHit)
 	if jsonPath != "" {
 		enc, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {

@@ -1,15 +1,3 @@
-// Package serve implements the HTTP field/chunk serving layer over the
-// CFC3 archive and CFC2/CFC1 blob formats: a Server that mounts one or
-// more compressed containers and exposes their manifests, whole decoded
-// fields, and random-access chunks over a small versioned REST surface.
-//
-// Behind the handlers sits a shared decompression cache: a size-bounded
-// LRU of decoded fields and chunks with singleflight request coalescing,
-// so N concurrent requests for the same cold entry trigger exactly one
-// decode, and anchor reconstructions are shared across dependent-field
-// requests — and, because cache keys are content-addressed over the
-// payload bytes and the anchor chain, across mounted archives of
-// successive timesteps whose anchors did not change.
 package serve
 
 import (

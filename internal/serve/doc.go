@@ -1,0 +1,25 @@
+// Package serve implements the HTTP field/chunk serving layer over the
+// CFC3 archive and CFC2/CFC1 blob formats: a Server that mounts one or
+// more compressed containers and exposes their manifests, whole decoded
+// fields, and random-access chunks over a small versioned REST surface.
+//
+// Mounts are backed by an io.ReaderAt — an in-memory blob (Mount), or a
+// file opened with MountFile (memory-mapped on Linux) — and nothing
+// beyond each container's manifest is resident, so archives larger than
+// RAM serve fine: payload bytes are read on demand, checksum-verified,
+// and retained only inside a size-bounded LRU.
+//
+// Behind the handlers sit three shared decode caches (compressed
+// payloads, decoded fields, decoded chunks), each a size-bounded LRU with
+// singleflight request coalescing, so N concurrent requests for the same
+// cold entry trigger exactly one decode. Cache keys are Merkle-style
+// content addresses over the payload bytes and the anchor chain, so
+// anchor reconstructions are shared across dependent-field requests — and
+// across mounted archives of successive timesteps whose anchors did not
+// change.
+//
+// Dependent-chunk requests resolve their anchors per chunk: only the
+// anchor chunks whose slab ranges intersect the requested chunk are
+// decoded (recursively for anchor chains), never whole anchor fields.
+// See docs/ARCHITECTURE.md for the full request path.
+package serve

@@ -46,7 +46,7 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 	})
 }
 
-func (m *metricsState) write(w io.Writer, fields, chunks CacheStats) {
+func (m *metricsState) write(w io.Writer, fields, chunks, payloads CacheStats) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -62,6 +62,7 @@ func (m *metricsState) write(w io.Writer, fields, chunks CacheStats) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
 		fmt.Fprintf(w, "%s{cache=\"field\"} %d\n", name, pick(fields))
 		fmt.Fprintf(w, "%s{cache=\"chunk\"} %d\n", name, pick(chunks))
+		fmt.Fprintf(w, "%s{cache=\"payload\"} %d\n", name, pick(payloads))
 	}
 	labeled("cfserve_cache_hits_total", "Cache lookups served from a resident entry.", "counter",
 		func(s CacheStats) int64 { return s.Hits })

@@ -1,0 +1,25 @@
+//go:build !linux
+
+package serve
+
+import (
+	"io"
+	"os"
+)
+
+// openMapped opens path as a read-only io.ReaderAt for mounting. On
+// non-Linux platforms it serves reads through pread on the open file —
+// still no resident copy of the blob, just without the page-cache mapping
+// the Linux build uses.
+func openMapped(path string) (io.ReaderAt, int64, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, nil, err
+	}
+	return f, st.Size(), f.Close, nil
+}

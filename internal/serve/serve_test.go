@@ -9,6 +9,8 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -673,5 +675,140 @@ func TestFieldCacheEviction(t *testing.T) {
 	get(t, ts, "/v1/archives/ds/fields/U") // re-decode
 	if st := s.FieldCacheStats(); st.Misses != 3 {
 		t.Fatalf("misses = %d, want 3 (U evicted and re-decoded)", st.Misses)
+	}
+}
+
+// A cold dependent-chunk request must decode only the anchor chunks whose
+// slab ranges intersect the requested chunk — never whole anchor fields.
+// The counters prove it: zero field-cache activity, and exactly one chunk
+// decode for the target plus one per anchor (grids align, so each anchor
+// contributes a single chunk).
+func TestDependentChunkDecodesOnlyNeededAnchorSlabs(t *testing.T) {
+	s, ts := newTestServer(t, serve.Config{})
+	resp, body := get(t, ts, "/v1/archives/ds/fields/W/chunks/1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET chunk = %d: %s", resp.StatusCode, body)
+	}
+	if st := s.FieldCacheStats(); st.Misses != 0 || st.Hits != 0 {
+		t.Fatalf("field cache touched for a chunk request: %+v (whole-anchor decode leaked back in)", st)
+	}
+	if st := s.ChunkCacheStats(); st.Misses != 4 {
+		t.Fatalf("chunk cache misses = %d, want 4 (W chunk + one chunk per anchor)", st.Misses)
+	}
+
+	// The slab-anchored reconstruction must be bit-identical to random
+	// access with full anchors.
+	_, anchors := testDataset(t)
+	ar, err := crossfield.OpenArchive(sharedArchiveBlob(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	decAnchors := make([]*crossfield.Field, len(anchors))
+	for i, a := range anchors {
+		if decAnchors[i], err = ar.Field(a.Name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	payload, err := ar.FieldPayload("W")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := crossfield.DecompressChunk("W", payload, 1, decAnchors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) != 4*want.Len() {
+		t.Fatalf("chunk body %d bytes, want %d", len(body), 4*want.Len())
+	}
+	for i, v := range want.Data() {
+		if got := math.Float32frombits(binary.LittleEndian.Uint32(body[i*4:])); got != v {
+			t.Fatalf("slab-served chunk differs from full-anchor decode at %d: %v vs %v", i, got, v)
+		}
+	}
+
+	// A second GET is a pure chunk-cache hit: no new decodes anywhere.
+	get(t, ts, "/v1/archives/ds/fields/W/chunks/1")
+	if st := s.ChunkCacheStats(); st.Misses != 4 || st.Hits != 1 {
+		t.Fatalf("hot chunk stats = %+v, want 4 misses / 1 hit", st)
+	}
+}
+
+// File-backed mounts must serve identical bytes to in-memory mounts while
+// reading payloads on demand through the payload cache.
+func TestMountFileServesIdentically(t *testing.T) {
+	blob := sharedArchiveBlob(t)
+	path := filepath.Join(t.TempDir(), "ds.cfc")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, tsMem := newTestServer(t, serve.Config{})
+
+	s := serve.New(serve.Config{})
+	if err := s.MountFile("ds", path); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	for _, p := range []string{
+		"/v1/archives/ds/stats",
+		"/v1/archives/ds/fields/W",
+		"/v1/archives/ds/fields/W/chunks/2",
+		"/v1/archives/ds/fields/U/stats",
+	} {
+		respA, bodyA := get(t, ts, p)
+		respB, bodyB := get(t, tsMem, p)
+		if respA.StatusCode != http.StatusOK || respB.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d vs %d", p, respA.StatusCode, respB.StatusCode)
+		}
+		if string(bodyA) != string(bodyB) {
+			t.Fatalf("GET %s differs between file-backed and in-memory mounts", p)
+		}
+	}
+	if st := s.PayloadCacheStats(); st.Misses == 0 {
+		t.Fatalf("payload cache stats = %+v: file-backed chunk requests should read payloads through it", st)
+	}
+	// Content keys are identical, so the ETags (and therefore caches) are
+	// shared across both mount styles.
+	respFile, _ := get(t, ts, "/v1/archives/ds/fields/W")
+	respMem, _ := get(t, tsMem, "/v1/archives/ds/fields/W")
+	if respFile.Header.Get("ETag") == "" || respFile.Header.Get("ETag") != respMem.Header.Get("ETag") {
+		t.Fatalf("ETag mismatch: file %q vs mem %q", respFile.Header.Get("ETag"), respMem.Header.Get("ETag"))
+	}
+}
+
+// MountFile must reject missing files and still serve bare CFC2 blobs.
+func TestMountFileBareBlob(t *testing.T) {
+	s := serve.New(serve.Config{})
+	if err := s.MountFile("nope", filepath.Join(t.TempDir(), "missing.cfc")); err == nil {
+		t.Fatal("missing file mounted")
+	}
+	target, _ := testDataset(t)
+	res, err := crossfield.CompressBaseline(target, crossfield.Rel(1e-3),
+		crossfield.WithChunks(2*slabVoxels))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "w.cfc")
+	if err := os.WriteFile(path, res.Blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MountFile("w", path); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	resp, body := get(t, ts, "/v1/archives/w/fields/w/chunks/0")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET bare chunk = %d: %s", resp.StatusCode, body)
+	}
+	want, _, err := crossfield.DecompressChunk("w", res.Blob, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) != 4*want.Len() {
+		t.Fatalf("chunk body %d bytes, want %d", len(body), 4*want.Len())
 	}
 }

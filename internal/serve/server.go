@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"math"
 	"net/http"
 	"strconv"
@@ -33,51 +34,68 @@ type Config struct {
 	// ChunkCacheBytes bounds the decoded-chunk LRU; 0 selects 64 MiB.
 	// Negative disables retention.
 	ChunkCacheBytes int64
+	// PayloadCacheBytes bounds the compressed-payload LRU that backs
+	// on-demand payload reads from file-backed mounts; 0 selects 128 MiB.
+	// Negative disables retention.
+	PayloadCacheBytes int64
 }
 
 const (
-	defaultFieldCacheBytes = 256 << 20
-	defaultChunkCacheBytes = 64 << 20
+	defaultFieldCacheBytes   = 256 << 20
+	defaultChunkCacheBytes   = 64 << 20
+	defaultPayloadCacheBytes = 128 << 20
 )
 
 // Server mounts compressed containers — CFC3 dataset archives or bare
 // CFC1/CFC2 single-field blobs — and serves their manifests, decoded
-// fields, and random-access chunks over HTTP. All mounts share one
-// decoded-field cache and one decoded-chunk cache, so anchor
-// reconstructions are deduplicated across dependent fields, across
-// requests, and (by content-addressed keys) across archives that share
-// identical anchor payloads.
+// fields, and random-access chunks over HTTP. Mounts are backed by an
+// io.ReaderAt (an in-memory blob, an open file, or an mmap), and nothing
+// beyond each archive's manifest is resident: payload bytes are read on
+// demand through a compressed-payload LRU, so archives larger than RAM
+// serve fine from MountFile. All mounts share one decoded-field cache and
+// one decoded-chunk cache, so anchor reconstructions are deduplicated
+// across dependent fields, across requests, and (by content-addressed
+// keys) across archives that share identical anchor payloads.
 type Server struct {
 	mu     sync.RWMutex
 	mounts map[string]*mount
 	order  []string
+	// retired holds the closers of replaced mounts: a remount must not
+	// munmap a backing that in-flight requests may still be reading, so
+	// old backings stay open until Close.
+	retired []func() error
 
-	fields  *Cache
-	chunks  *Cache
-	metrics metricsState
+	fields   *Cache
+	chunks   *Cache
+	payloads *Cache
+	metrics  metricsState
 }
 
 // mount is one named container exposed under /v1/archives/{name}.
 type mount struct {
-	name      string
-	blob      []byte
-	format    string // "CFC3", "CFC2", or "CFC1"
-	ar        *crossfield.Archive
-	fieldList []fieldView
-	byName    map[string]int
-	topo      []int // field indices in dependency (decode) order
+	name    string
+	src     io.ReaderAt
+	size    int64
+	closeFn func() error // releases a file/mmap backing; nil for blobs
+	format  string       // "CFC3", "CFC2", or "CFC1"
+	ar      *crossfield.Archive
+	// blobPayload holds a bare CFC1 blob read once at mount time (it is a
+	// single compressed field, needed whole for metadata anyway); nil for
+	// archives and bare CFC2 mounts, whose payloads are read on demand.
+	blobPayload []byte
+	fieldList   []fieldView
+	byName      map[string]int
+	topo        []int // field indices in dependency (decode) order
 }
 
 // fieldView is one servable field: its manifest record, resolved dep
-// indices, checksum-verified payload, chunk index, and the
-// content-addressed cache key.
+// indices, chunk index, and the content-addressed cache key. Payload
+// bytes are NOT retained — they are read on demand through the payload
+// LRU and checksum-verified per read.
 type fieldView struct {
-	info crossfield.FieldInfo
-	deps []int
-	// payload is the field's compressed CFC1/CFC2 blob, CRC-verified once
-	// at mount time so chunk requests never re-hash it.
-	payload []byte
-	chunks  []core.ChunkInfo
+	info   crossfield.FieldInfo
+	deps   []int
+	chunks []core.ChunkInfo
 	// key is a Merkle-style content hash: sha256 over the field's
 	// compressed payload and the keys of its anchors. Two mounts whose
 	// field (and transitive anchor) payloads are byte-identical share
@@ -94,41 +112,107 @@ func New(cfg Config) *Server {
 	if cfg.ChunkCacheBytes == 0 {
 		cfg.ChunkCacheBytes = defaultChunkCacheBytes
 	}
+	if cfg.PayloadCacheBytes == 0 {
+		cfg.PayloadCacheBytes = defaultPayloadCacheBytes
+	}
 	return &Server{
-		mounts: make(map[string]*mount),
-		fields: NewCache(cfg.FieldCacheBytes),
-		chunks: NewCache(cfg.ChunkCacheBytes),
+		mounts:   make(map[string]*mount),
+		fields:   NewCache(cfg.FieldCacheBytes),
+		chunks:   NewCache(cfg.ChunkCacheBytes),
+		payloads: NewCache(cfg.PayloadCacheBytes),
 	}
 }
 
-// Mount registers blob under name. CFC3 archives expose every manifest
-// field; bare CFC1/CFC2 blobs expose a single field named like the mount.
-// Mounting a name twice replaces the previous mount (the cache is content
-// addressed, so stale entries are simply never referenced again and age
-// out of the LRU).
+// Mount registers an in-memory blob under name. CFC3 archives expose
+// every manifest field; bare CFC1/CFC2 blobs expose a single field named
+// like the mount. Mounting a name twice replaces the previous mount (the
+// cache is content addressed, so stale entries are simply never
+// referenced again and age out of the LRU).
 func (s *Server) Mount(name string, blob []byte) error {
+	return s.mountReader(name, bytes.NewReader(blob), int64(len(blob)), nil)
+}
+
+// MountFile mounts the container at path through a file-backed
+// io.ReaderAt — memory-mapped on Linux, pread elsewhere — so the blob is
+// never copied into the process: mounting reads one sequential pass to
+// hash content keys, and requests read only the payloads they decode.
+// This is how archives larger than RAM are served.
+func (s *Server) MountFile(name, path string) error {
+	src, size, closeFn, err := openMapped(path)
+	if err != nil {
+		return fmt.Errorf("serve: mount %q: %w", name, err)
+	}
+	if err := s.mountReader(name, src, size, closeFn); err != nil {
+		closeFn()
+		return err
+	}
+	return nil
+}
+
+// mountReader registers a container backed by an arbitrary io.ReaderAt.
+func (s *Server) mountReader(name string, src io.ReaderAt, size int64, closeFn func() error) error {
 	if name == "" || strings.ContainsAny(name, "/ \t\n") {
 		return fmt.Errorf("serve: invalid mount name %q", name)
+	}
+	var prefix [4]byte
+	if size >= 4 {
+		if _, err := src.ReadAt(prefix[:], 0); err != nil {
+			return fmt.Errorf("serve: mount %q: %w", name, err)
+		}
 	}
 	var (
 		m   *mount
 		err error
 	)
-	if crossfield.IsArchive(blob) {
-		m, err = mountArchive(name, blob)
+	if crossfield.IsArchive(prefix[:]) {
+		m, err = mountArchive(name, src, size)
 	} else {
-		m, err = mountBlob(name, blob)
+		m, err = mountBlob(name, src, size)
 	}
 	if err != nil {
 		return err
 	}
+	m.closeFn = closeFn
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, exists := s.mounts[name]; !exists {
+	old := s.mounts[name]
+	if old == nil {
 		s.order = append(s.order, name)
+	} else if old.closeFn != nil {
+		// In-flight requests may still hold the old mount and read from
+		// its backing; never munmap/close it mid-flight. It is retired and
+		// released at Close.
+		s.retired = append(s.retired, old.closeFn)
+		old.closeFn = nil
 	}
 	s.mounts[name] = m
+	s.mu.Unlock()
 	return nil
+}
+
+// Close releases every file- or mmap-backed mount, including backings
+// retired by remounts. Call it only once requests have drained (after
+// http.Server.Shutdown): reads through a closed backing would fail, and a
+// munmapped one would fault.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	closeOne := func(fn func() error) {
+		if err := fn(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, m := range s.mounts {
+		if m.closeFn != nil {
+			closeOne(m.closeFn)
+			m.closeFn = nil
+		}
+	}
+	for _, fn := range s.retired {
+		closeOne(fn)
+	}
+	s.retired = nil
+	return first
 }
 
 // MountNames returns the mounted archive names in mount order.
@@ -138,19 +222,22 @@ func (s *Server) MountNames() []string {
 	return append([]string(nil), s.order...)
 }
 
-// FieldCacheStats and ChunkCacheStats snapshot the shared caches.
-func (s *Server) FieldCacheStats() CacheStats { return s.fields.Stats() }
-func (s *Server) ChunkCacheStats() CacheStats { return s.chunks.Stats() }
+// FieldCacheStats, ChunkCacheStats, and PayloadCacheStats snapshot the
+// shared caches.
+func (s *Server) FieldCacheStats() CacheStats   { return s.fields.Stats() }
+func (s *Server) ChunkCacheStats() CacheStats   { return s.chunks.Stats() }
+func (s *Server) PayloadCacheStats() CacheStats { return s.payloads.Stats() }
 
-func mountArchive(name string, blob []byte) (*mount, error) {
-	ar, err := crossfield.OpenArchive(blob)
+func mountArchive(name string, src io.ReaderAt, size int64) (*mount, error) {
+	ar, err := crossfield.OpenArchiveReader(src, size)
 	if err != nil {
 		return nil, fmt.Errorf("serve: mount %q: %w", name, err)
 	}
 	man := ar.Manifest()
 	m := &mount{
 		name:      name,
-		blob:      blob,
+		src:       src,
+		size:      size,
 		format:    "CFC3",
 		ar:        ar,
 		fieldList: make([]fieldView, len(man)),
@@ -164,58 +251,121 @@ func mountArchive(name string, blob []byte) (*mount, error) {
 		for k, dep := range fi.Anchors {
 			deps[k] = m.byName[dep]
 		}
-		// One checksum pass per field, at mount time; everything after
-		// (chunk index, content key, chunk decodes) reuses the verified
-		// bytes.
-		payload, err := ar.FieldPayload(fi.Name)
-		if err != nil {
-			return nil, fmt.Errorf("serve: mount %q: %w", name, err)
-		}
-		chunks, err := core.ChunkIndex(payload)
+		chunks, err := archiveChunkIndex(ar, fi)
 		if err != nil {
 			return nil, fmt.Errorf("serve: mount %q field %q: %w", name, fi.Name, err)
 		}
-		m.fieldList[i] = fieldView{info: fi, deps: deps, payload: payload, chunks: chunks}
+		m.fieldList[i] = fieldView{info: fi, deps: deps, chunks: chunks}
 	}
-	// Keys must be computed anchors-first; TopoNames gives that order.
+	// Keys must be computed anchors-first; TopoNames gives that order. The
+	// payload hash streams through the reader — one sequential pass over
+	// the archive at mount time, nothing retained.
 	for _, fn := range ar.TopoNames() {
 		i := m.byName[fn]
-		m.fieldList[i].key = contentKey(m.fieldList[i].payload, m.depKeys(i))
+		pr, err := ar.PayloadReader(fn)
+		if err != nil {
+			return nil, fmt.Errorf("serve: mount %q: %w", name, err)
+		}
+		key, err := contentKeyFrom(pr, m.depKeys(i))
+		if err != nil {
+			return nil, fmt.Errorf("serve: mount %q field %q: %w", name, fn, err)
+		}
+		m.fieldList[i].key = key
 		m.topo = append(m.topo, i)
 	}
 	return m, nil
 }
 
-func mountBlob(name string, blob []byte) (*mount, error) {
-	chunks, err := core.ChunkIndex(blob)
+// archiveChunkIndex builds a field's chunk table from its payload header
+// alone: CFC2 payloads stream-parse their index (no chunk bytes read),
+// and monolithic CFC1 payloads synthesize the single whole-field chunk
+// from the manifest. The container kind is re-detected here with the
+// read error surfaced — the manifest's best-effort Container label must
+// not decide the chunk geometry, or a failed peek would silently serve a
+// multi-chunk payload as one whole-field chunk.
+func archiveChunkIndex(ar *crossfield.Archive, fi crossfield.FieldInfo) ([]core.ChunkInfo, error) {
+	pr, err := ar.PayloadReader(fi.Name)
 	if err != nil {
-		return nil, fmt.Errorf("serve: mount %q: %w", name, err)
+		return nil, err
+	}
+	var prefix [4]byte
+	if _, err := io.ReadFull(pr, prefix[:]); err != nil {
+		return nil, fmt.Errorf("payload magic read: %w", err)
+	}
+	if chunk.IsChunked(prefix[:]) {
+		pr, err := ar.PayloadReader(fi.Name) // fresh section: NewReader parses from byte 0
+		if err != nil {
+			return nil, err
+		}
+		cr, err := chunk.NewReader(pr)
+		if err != nil {
+			return nil, err
+		}
+		return core.ChunkInfoFromIndex(cr.Header().Dims, cr.Index()), nil
+	}
+	n := 1
+	for _, d := range fi.Dims {
+		n *= d
+	}
+	return []core.ChunkInfo{{
+		Start:        0,
+		Slabs:        fi.Dims[0],
+		Voxels:       n,
+		RawBytes:     n * 4,
+		PayloadBytes: fi.Bytes,
+		MaxErr:       fi.MaxErr,
+	}}, nil
+}
+
+func mountBlob(name string, src io.ReaderAt, size int64) (*mount, error) {
+	m := &mount{
+		name:   name,
+		src:    src,
+		size:   size,
+		byName: map[string]int{name: 0},
+		topo:   []int{0},
 	}
 	fi := crossfield.FieldInfo{
-		Name:     name,
-		Role:     "standalone",
-		MaxErr:   math.NaN(),
-		Bytes:    len(blob),
-		Checksum: crc32.ChecksumIEEE(blob),
+		Name:   name,
+		Role:   "standalone",
+		MaxErr: math.NaN(),
+		Bytes:  int(size),
 	}
-	if chunk.IsChunked(blob) {
-		a, err := chunk.Decode(blob)
+	var prefix [4]byte
+	if size >= 4 {
+		if _, err := src.ReadAt(prefix[:], 0); err != nil {
+			return nil, fmt.Errorf("serve: mount %q: %w", name, err)
+		}
+	}
+	var chunks []core.ChunkInfo
+	if chunk.IsChunked(prefix[:]) {
+		// Stream-parse the CFC2 header and index; payload bytes stay on
+		// the reader until a request needs them.
+		cr, err := chunk.NewReader(io.NewSectionReader(src, 0, size))
 		if err != nil {
 			return nil, fmt.Errorf("serve: mount %q: %w", name, err)
 		}
-		fi.Dims = append([]int(nil), a.Dims...)
-		fi.Bound = quant.Bound{Mode: quant.Mode(a.BoundMode), Value: a.BoundValue}
-		fi.AbsEB = a.AbsEB
-		fi.Anchors = append([]string(nil), a.Anchors...)
+		h := cr.Header()
+		fi.Dims = append([]int(nil), h.Dims...)
+		fi.Bound = quant.Bound{Mode: quant.Mode(h.BoundMode), Value: h.BoundValue}
+		fi.AbsEB = h.AbsEB
+		fi.Anchors = append([]string(nil), h.Anchors...)
 		fi.Container = "CFC2"
 		me := math.NaN()
-		for _, e := range a.Index {
+		for _, e := range cr.Index() {
 			if !math.IsNaN(e.MaxErr) && (math.IsNaN(me) || e.MaxErr > me) {
 				me = e.MaxErr
 			}
 		}
 		fi.MaxErr = me
+		chunks = core.ChunkInfoFromIndex(h.Dims, cr.Index())
 	} else {
+		// A monolithic CFC1 blob is one compressed field; reading it whole
+		// for metadata is the floor, so keep it resident for requests too.
+		blob, err := readAllAt(src, size)
+		if err != nil {
+			return nil, fmt.Errorf("serve: mount %q: %w", name, err)
+		}
 		hdr, err := core.PeekStats(blob)
 		if err != nil {
 			return nil, fmt.Errorf("serve: mount %q: %w", name, err)
@@ -225,21 +375,51 @@ func mountBlob(name string, blob []byte) (*mount, error) {
 		fi.AbsEB = hdr.AbsEB
 		fi.Anchors = append([]string(nil), hdr.Anchors...)
 		fi.Container = "CFC1"
+		if chunks, err = core.ChunkIndex(blob); err != nil {
+			return nil, fmt.Errorf("serve: mount %q: %w", name, err)
+		}
+		m.blobPayload = blob
 	}
+	crc, err := crcReaderAt(src, size)
+	if err != nil {
+		return nil, fmt.Errorf("serve: mount %q: %w", name, err)
+	}
+	fi.Checksum = crc
 	// A bare hybrid blob records anchors the server cannot reconstruct
 	// (they live outside the blob); it still mounts for metadata, and
 	// data requests report the missing anchors.
 	if len(fi.Anchors) > 0 {
 		fi.Role = "dependent"
 	}
-	return &mount{
-		name:      name,
-		blob:      blob,
-		format:    fi.Container,
-		fieldList: []fieldView{{info: fi, payload: blob, chunks: chunks, key: contentKey(blob, nil)}},
-		byName:    map[string]int{name: 0},
-		topo:      []int{0},
-	}, nil
+	m.format = fi.Container
+	key, err := contentKeyFrom(io.NewSectionReader(src, 0, size), nil)
+	if err != nil {
+		return nil, fmt.Errorf("serve: mount %q: %w", name, err)
+	}
+	m.fieldList = []fieldView{{info: fi, chunks: chunks, key: key}}
+	return m, nil
+}
+
+// readAllAt materializes an io.ReaderAt into memory (bare-blob mounts
+// only; archives never need it).
+func readAllAt(src io.ReaderAt, size int64) ([]byte, error) {
+	buf := make([]byte, size)
+	if size == 0 {
+		return buf, nil
+	}
+	_, err := src.ReadAt(buf, 0)
+	return buf, err
+}
+
+// crcReaderAt computes the CRC32 the manifest reports for a bare mount.
+// A read error must surface: recording a partial checksum would make
+// every later payload verification fail with a misleading mismatch.
+func crcReaderAt(src io.ReaderAt, size int64) (uint32, error) {
+	h := crc32.NewIEEE()
+	if _, err := io.Copy(h, io.NewSectionReader(src, 0, size)); err != nil {
+		return 0, err
+	}
+	return h.Sum32(), nil
 }
 
 // depKeys returns the already-computed content keys of field i's anchors.
@@ -255,17 +435,20 @@ func (m *mount) depKeys(i int) []string {
 	return keys
 }
 
-// contentKey hashes a compressed payload together with its anchors'
-// keys, giving a Merkle-style content address: equal payload bytes plus
-// equal anchor chains decode to equal data, wherever they are mounted.
-func contentKey(payload []byte, depKeys []string) string {
+// contentKeyFrom hashes a compressed payload stream together with its
+// anchors' keys, giving a Merkle-style content address: equal payload
+// bytes plus equal anchor chains decode to equal data, wherever they are
+// mounted. The payload is consumed, never retained.
+func contentKeyFrom(payload io.Reader, depKeys []string) (string, error) {
 	h := sha256.New()
-	h.Write(payload)
+	if _, err := io.Copy(h, payload); err != nil {
+		return "", err
+	}
 	for _, k := range depKeys {
 		h.Write([]byte{0})
 		h.Write([]byte(k))
 	}
-	return hex.EncodeToString(h.Sum(nil))
+	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
 // lookup resolves an archive and field name under the read lock.
@@ -297,6 +480,38 @@ type fieldVal struct {
 
 func (v *fieldVal) size() int64 { return int64(4*v.f.Len() + len(v.raw)) }
 
+// payloadBytes returns field i's compressed payload bytes through the
+// shared payload LRU: file-backed mounts read them on demand (one pread
+// or page-cache copy per cold entry) and verify the manifest checksum per
+// read, so hot chunk requests never touch the backing file.
+func (s *Server) payloadBytes(m *mount, i int) ([]byte, error) {
+	fv := &m.fieldList[i]
+	if m.blobPayload != nil {
+		return m.blobPayload, nil
+	}
+	v, err := s.payloads.GetOrCompute(fv.key+"/payload", func() (any, int64, error) {
+		var (
+			p   []byte
+			err error
+		)
+		if m.ar != nil {
+			p, err = m.ar.FieldPayload(fv.info.Name)
+		} else {
+			if p, err = readAllAt(m.src, m.size); err == nil && crc32.ChecksumIEEE(p) != fv.info.Checksum {
+				err = fmt.Errorf("serve: mount %q payload checksum mismatch", m.name)
+			}
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		return p, int64(len(p)), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]byte), nil
+}
+
 // fieldData returns field i of m decoded, through the shared LRU with
 // singleflight coalescing. Anchors are resolved recursively through the
 // same cache, so one request for a dependent field warms every anchor on
@@ -313,17 +528,23 @@ func (s *Server) fieldData(m *mount, i int) (*fieldVal, error) {
 			}
 			anchors[k] = af.f
 		}
-		start := time.Now()
 		var (
 			f   *crossfield.Field
 			err error
 		)
 		if m.ar != nil {
+			start := time.Now()
 			f, err = m.ar.DecodeField(fv.info.Name, anchors)
+			s.metrics.observeDecode(time.Since(start))
 		} else {
-			f, err = crossfield.Decompress(fv.info.Name, m.blob, anchors)
+			payload, perr := s.payloadBytes(m, i)
+			if perr != nil {
+				return nil, 0, perr
+			}
+			start := time.Now()
+			f, err = crossfield.Decompress(fv.info.Name, payload, anchors)
+			s.metrics.observeDecode(time.Since(start))
 		}
-		s.metrics.observeDecode(time.Since(start))
 		if err != nil {
 			return nil, 0, err
 		}
@@ -343,23 +564,29 @@ type chunkVal struct {
 }
 
 // chunkData returns chunk ci of field i decoded, through the chunk LRU.
-// Hybrid fields pull their full-field anchors from the field cache (the
-// anchor-reconstruction sharing the ROADMAP asks for), then decode only
-// the requested chunk's payload.
+// Hybrid fields resolve their anchors per-chunk: only the anchor chunks
+// whose slab ranges intersect the requested chunk are decoded (through
+// the same chunk LRU, recursively for anchor chains), never whole anchor
+// fields — the anchor-slab slicing the ROADMAP scale-out item asks for.
 func (s *Server) chunkData(m *mount, i, ci int) (*chunkVal, error) {
 	fv := &m.fieldList[i]
 	key := fv.key + "#" + strconv.Itoa(ci)
 	v, err := s.chunks.GetOrCompute(key, func() (any, int64, error) {
-		anchors := make([]*crossfield.Field, len(fv.deps))
+		c := fv.chunks[ci]
+		slabs := make([]*crossfield.Field, len(fv.deps))
 		for k, d := range fv.deps {
-			af, err := s.fieldData(m, d)
+			af, err := s.anchorSlab(m, d, c.Start, c.Slabs)
 			if err != nil {
 				return nil, 0, fmt.Errorf("anchor %q: %w", m.fieldList[d].info.Name, err)
 			}
-			anchors[k] = af.f
+			slabs[k] = af
+		}
+		payload, err := s.payloadBytes(m, i)
+		if err != nil {
+			return nil, 0, err
 		}
 		start := time.Now()
-		f, slab, err := crossfield.DecompressChunk(fv.info.Name, fv.payload, ci, anchors)
+		f, slab, err := crossfield.DecompressChunkSlab(fv.info.Name, payload, ci, slabs)
 		s.metrics.observeDecode(time.Since(start))
 		if err != nil {
 			return nil, 0, err
@@ -371,6 +598,52 @@ func (s *Server) chunkData(m *mount, i, ci int) (*chunkVal, error) {
 		return nil, err
 	}
 	return v.(*chunkVal), nil
+}
+
+// anchorSlab returns field d's reconstruction covering slabs
+// [start, start+count) along axis 0, decoding only the chunks of d that
+// intersect the range. Each needed chunk comes from the chunk LRU —
+// recursing into d's own anchors the same way, so a whole anchor chain is
+// resolved chunk-wise. When one chunk covers the range exactly (aligned
+// grids, the common case for archives compressed with one chunk size) its
+// cached tensor is returned without copying.
+func (s *Server) anchorSlab(m *mount, d int, start, count int) (*crossfield.Field, error) {
+	fv := &m.fieldList[d]
+	dims := fv.info.Dims
+	if len(dims) == 0 || start < 0 || start+count > dims[0] {
+		return nil, fmt.Errorf("slab range [%d,%d) outside field %q axis 0 (%v)",
+			start, start+count, fv.info.Name, dims)
+	}
+	for ci, c := range fv.chunks {
+		if c.Start == start && c.Slabs == count {
+			cv, err := s.chunkData(m, d, ci)
+			if err != nil {
+				return nil, err
+			}
+			return cv.f, nil
+		}
+	}
+	slabVox := 1
+	for _, dim := range dims[1:] {
+		slabVox *= dim
+	}
+	out := make([]float32, count*slabVox)
+	for ci, c := range fv.chunks {
+		if c.Start+c.Slabs <= start || c.Start >= start+count {
+			continue
+		}
+		cv, err := s.chunkData(m, d, ci)
+		if err != nil {
+			return nil, err
+		}
+		lo := max(start, c.Start)
+		hi := min(start+count, c.Start+c.Slabs)
+		copy(out[(lo-start)*slabVox:(hi-start)*slabVox],
+			cv.f.Data()[(lo-c.Start)*slabVox:(hi-c.Start)*slabVox])
+	}
+	slabDims := append([]int(nil), dims...)
+	slabDims[0] = count
+	return crossfield.NewField(fv.info.Name, out, slabDims...)
 }
 
 // Handler returns the HTTP handler for the whole route surface:
@@ -494,7 +767,7 @@ func (s *Server) handleArchives(w http.ResponseWriter, r *http.Request) {
 		m := s.mounts[name]
 		out = append(out, archiveJSON{
 			Name: name, Format: m.format,
-			Fields: len(m.fieldList), Bytes: len(m.blob),
+			Fields: len(m.fieldList), Bytes: int(m.size),
 		})
 	}
 	s.mu.RUnlock()
@@ -508,7 +781,7 @@ func (s *Server) handleArchiveStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out := archiveStatsJSON{
-		Name: m.name, Format: m.format, Bytes: len(m.blob),
+		Name: m.name, Format: m.format, Bytes: int(m.size),
 		TopoOrder: make([]string, len(m.topo)),
 		Fields:    make([]fieldJSON, len(m.fieldList)),
 	}
@@ -598,7 +871,7 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.write(w, s.fields.Stats(), s.chunks.Stats())
+	s.metrics.write(w, s.fields.Stats(), s.chunks.Stats(), s.payloads.Stats())
 }
 
 // serveRaw writes a pre-serialized little-endian float32 body with
