@@ -10,6 +10,7 @@ import (
 	"repro/internal/archive"
 	"repro/internal/core"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/quant"
 	"repro/internal/tensor"
 )
@@ -138,6 +139,12 @@ func CompressDatasetTo(w io.Writer, specs []FieldSpec, bound ErrorBound, opts ..
 		if depended[name] {
 			payloadCopy = &bytes.Buffer{}
 		}
+		// One Stages accumulator per field when the caller asked for
+		// timings; chunk workers share it (it is mutex-protected).
+		var fieldStages *obs.Stages
+		if cfg.timings != nil {
+			fieldStages = obs.NewStages()
+		}
 		e := &entries[i]
 		err := aw.Append(e, func(pw io.Writer) error {
 			if payloadCopy != nil {
@@ -147,7 +154,7 @@ func CompressDatasetTo(w io.Writer, specs []FieldSpec, bound ErrorBound, opts ..
 			if s.Codec == nil {
 				if cfg.chunked {
 					cst, err := core.CompressChunkedTo(pw, s.Field.t, nil, nil, core.ChunkedOptions{
-						Options:     core.Options{Bound: b},
+						Options:     core.Options{Bound: b, Stages: fieldStages},
 						ChunkVoxels: cfg.chunkVoxels,
 						Workers:     cfg.workers,
 					})
@@ -156,7 +163,7 @@ func CompressDatasetTo(w io.Writer, specs []FieldSpec, bound ErrorBound, opts ..
 					}
 					st = *cst
 				} else {
-					res, err := core.CompressBaseline(s.Field.t, core.Options{Bound: b})
+					res, err := core.CompressBaseline(s.Field.t, core.Options{Bound: b, Stages: fieldStages})
 					if err != nil {
 						return err
 					}
@@ -174,7 +181,7 @@ func CompressDatasetTo(w io.Writer, specs []FieldSpec, bound ErrorBound, opts ..
 					}
 					anchors[k] = t
 				}
-				o := core.Options{Bound: b, AnchorNames: s.Codec.names, Arena: arena}
+				o := core.Options{Bound: b, AnchorNames: s.Codec.names, Arena: arena, Stages: fieldStages}
 				if cfg.chunked {
 					cst, err := core.CompressChunkedTo(pw, s.Field.t, s.Codec.model, anchors, core.ChunkedOptions{
 						Options:     o,
@@ -206,6 +213,12 @@ func CompressDatasetTo(w io.Writer, specs []FieldSpec, bound ErrorBound, opts ..
 		})
 		if err != nil {
 			return nil, fmt.Errorf("crossfield: CompressDataset: field %q: %w", name, err)
+		}
+		if fieldStages != nil {
+			cfg.timings.Fields = append(cfg.timings.Fields, FieldTimings{
+				Name:   name,
+				Stages: fieldStages.SortedSnapshot(),
+			})
 		}
 		if payloadCopy != nil {
 			t, err := core.Decompress(payloadCopy.Bytes(), anchorTensorsFor(e.Deps, recon))

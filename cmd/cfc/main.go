@@ -48,6 +48,7 @@ import (
 	"os"
 	"slices"
 	"strings"
+	"time"
 
 	crossfield "repro"
 	"repro/internal/cfnn"
@@ -78,12 +79,13 @@ func main() {
 		chunks   = flag.Int("chunks", 0, "values per chunk: >0 writes chunked CFC2 containers, 0 monolithic CFC1 blobs")
 		workers  = flag.Int("workers", 0, "chunks compressed concurrently (0 = GOMAXPROCS; needs -chunks)")
 		seed     = flag.Int64("seed", 42, "training seed for -archive plan targets")
+		timings  = flag.Bool("timings", false, "print per-stage timing tables (-c -archive: compression stages per field; -stats on archives: per-field decode time)")
 	)
 	flag.Parse()
 
 	switch {
 	case *doC && *archived:
-		packArchive(*dataDir, *outPath, *relEB, *absEB, *plan, *chunks, *workers, *seed)
+		packArchive(*dataDir, *outPath, *relEB, *absEB, *plan, *chunks, *workers, *seed, *timings)
 	case *doC:
 		compress(*dataDir, *field, *outPath, *relEB, *absEB, *model, *anchors, *chunks, *workers)
 	case *doD && *archived:
@@ -93,7 +95,7 @@ func main() {
 	case *doV:
 		verify(*inPath, *dataDir, *field, *anchors)
 	case *doS:
-		stats(*inPath)
+		stats(*inPath, *timings)
 	default:
 		fatal(fmt.Errorf("one of -c, -d, -verify, -stats is required"))
 	}
@@ -132,7 +134,7 @@ func parsePlan(plan string) (map[string][]string, error) {
 	return out, nil
 }
 
-func packArchive(dataDir, outPath string, rel, abs float64, planFlag string, chunks, workers int, seed int64) {
+func packArchive(dataDir, outPath string, rel, abs float64, planFlag string, chunks, workers int, seed int64, timings bool) {
 	if dataDir == "" || outPath == "" || (rel <= 0 && abs <= 0) {
 		fatal(fmt.Errorf("archive pack needs -data -o and -rel or -abs"))
 	}
@@ -187,6 +189,10 @@ func packArchive(dataDir, outPath string, rel, abs float64, planFlag string, chu
 	if chunks > 0 {
 		opts = append(opts, crossfield.WithChunks(chunks), crossfield.WithWorkers(workers))
 	}
+	var tm crossfield.DatasetTimings
+	if timings {
+		opts = append(opts, crossfield.WithStageTimings(&tm))
+	}
 	// Stream the archive straight to the output file: payloads are written
 	// as they are produced, so packing never holds the whole archive (or a
 	// second copy of any field) in memory.
@@ -212,6 +218,41 @@ func packArchive(dataDir, outPath string, rel, abs float64, planFlag string, chu
 		}
 		fmt.Printf("  %-10s %-8s %8d B  ratio %6.2fx  max err %.3g (eb %.3g)\n",
 			name, kind, st.CompressedBytes, st.Ratio, st.MaxErr, st.AbsEB)
+	}
+	if timings {
+		printCompressTimings(&tm)
+	}
+}
+
+// printCompressTimings renders the per-field per-stage compression wall
+// time collected by WithStageTimings. Stage times are summed across chunk
+// workers, so a chunked field's stage total can exceed its elapsed time.
+func printCompressTimings(tm *crossfield.DatasetTimings) {
+	fmt.Printf("compression stage timings (summed wall time across workers):\n")
+	fmt.Printf("  %-12s %-10s %6s %12s %8s\n", "field", "stage", "runs", "total", "share")
+	for _, ft := range tm.Fields {
+		total := ft.Seconds()
+		for _, st := range ft.Stages {
+			share := 0.0
+			if total > 0 {
+				share = 100 * st.Seconds() / total
+			}
+			fmt.Printf("  %-12s %-10s %6d %12s %7.1f%%\n",
+				ft.Name, st.Stage, st.Count, fmtSeconds(st.Seconds()), share)
+		}
+	}
+}
+
+// fmtSeconds renders a duration with enough resolution for microsecond
+// stages without drowning second-scale ones in digits.
+func fmtSeconds(s float64) string {
+	switch {
+	case s >= 1:
+		return fmt.Sprintf("%.2fs", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.1fµs", s*1e6)
 	}
 }
 
@@ -275,7 +316,7 @@ func unpackArchive(inPath, outDir string) {
 	fmt.Printf("unpacked %d fields %v to %s\n", len(names), dims, outDir)
 }
 
-func stats(inPath string) {
+func stats(inPath string, timings bool) {
 	if inPath == "" {
 		fatal(fmt.Errorf("stats needs -in"))
 	}
@@ -288,8 +329,11 @@ func stats(inPath string) {
 			fatal(err)
 		}
 		defer f.Close()
-		statsArchive(ar)
+		statsArchive(ar, timings)
 		return
+	}
+	if timings {
+		fatal(fmt.Errorf("-timings with -stats applies only to CFC3 archives"))
 	}
 	blob, err := os.ReadFile(inPath)
 	if err != nil {
@@ -362,7 +406,7 @@ func isArchiveFile(path string) bool {
 	return crossfield.IsArchive(prefix[:])
 }
 
-func statsArchive(ar *crossfield.Archive) {
+func statsArchive(ar *crossfield.Archive, timings bool) {
 	man := ar.Manifest()
 	fmt.Printf("container:   CFC3 (dataset archive, %d fields)\n", len(man))
 	fmt.Printf("total blob:  %d B\n", ar.Size())
@@ -385,6 +429,34 @@ func statsArchive(ar *crossfield.Archive) {
 			fmt.Printf("  %s <- %s\n", name, strings.Join(fi.Anchors, ","))
 		}
 	}
+	if timings {
+		statsDecodeTimings(ar)
+	}
+}
+
+// statsDecodeTimings decompresses each field once, in dependency order,
+// and reports the incremental wall time per field. Anchors are cached by
+// the Archive, so each field's number is its own decode cost — earlier
+// fields' reconstructions are reused, not recomputed.
+func statsDecodeTimings(ar *crossfield.Archive) {
+	fmt.Printf("decode timings (topo order; anchors cached, so each row is incremental):\n")
+	fmt.Printf("  %-12s %12s %14s\n", "field", "decode", "throughput")
+	var total float64
+	for _, name := range ar.TopoNames() {
+		start := time.Now()
+		f, err := ar.Field(name)
+		if err != nil {
+			fatal(err)
+		}
+		sec := time.Since(start).Seconds()
+		total += sec
+		mbps := 0.0
+		if sec > 0 {
+			mbps = float64(f.Len()*4) / sec / (1 << 20)
+		}
+		fmt.Printf("  %-12s %12s %11.1f MB/s\n", name, fmtSeconds(sec), mbps)
+	}
+	fmt.Printf("  %-12s %12s\n", "total", fmtSeconds(total))
 }
 
 func bound(rel, abs float64) quant.Bound {

@@ -24,12 +24,20 @@
 //	GET /v1/archives/{a}/fields/{f}              raw float32 LE field data
 //	GET /v1/archives/{a}/fields/{f}/stats        field manifest + chunk index
 //	GET /v1/archives/{a}/fields/{f}/chunks/{i}   raw float32 LE chunk data
-//	GET /metrics                                 Prometheus counters
+//	GET /metrics                                 Prometheus exposition
+//	GET /debug/trace                             recent request span trees
 //	GET /healthz                                 liveness
 //
 // Field and chunk bodies honor Accept-Encoding: gzip and Range requests,
 // and carry X-CFC-Dims / X-CFC-Abs-EB / X-CFC-Max-Err headers plus a
-// content-addressed ETag.
+// content-addressed ETag; every response carries its trace ID in
+// X-CFC-Trace.
+//
+// Observability extras: -access-log writes one JSON line per request
+// (trace ID included) to a file or "-" for stderr; -debug-addr starts a
+// second listener exposing net/http/pprof, kept off the serving port so
+// profiling endpoints are never reachable from the data plane. See
+// docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -37,8 +45,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -72,6 +83,9 @@ func main() {
 		inMem      = flag.Bool("inmem", false, "read whole blobs into memory instead of file-backed (mmap) mounts")
 		mounts     mountFlags
 		timeoutSec = flag.Int("shutdown-timeout", 10, "graceful shutdown timeout in seconds")
+		accessLog  = flag.String("access-log", "", `JSON access log destination: a file path (appended) or "-" for stderr`)
+		debugAddr  = flag.String("debug-addr", "", "address for a second listener exposing net/http/pprof (off by default; keep it private)")
+		traceRing  = flag.Int("trace-ring", 64, "recent request traces kept for GET /debug/trace (negative disables tracing)")
 	)
 	flag.Var(&mounts, "mount", "name=path of a .cfc archive or blob to mount (repeatable)")
 	flag.Parse()
@@ -84,10 +98,26 @@ func main() {
 		fatal(fmt.Errorf("nothing to serve: pass -mount name=path or positional .cfc paths"))
 	}
 
+	var accessW io.Writer
+	switch *accessLog {
+	case "":
+	case "-":
+		accessW = os.Stderr
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		accessW = f
+	}
+
 	srv := serve.New(serve.Config{
 		FieldCacheBytes:   int64(*cacheMB) << 20,
 		ChunkCacheBytes:   int64(*chunkMB) << 20,
 		PayloadCacheBytes: int64(*payloadMB) << 20,
+		TraceRing:         *traceRing,
+		AccessLog:         accessW,
 	})
 	defer srv.Close()
 	for _, m := range mounts {
@@ -114,17 +144,46 @@ func main() {
 		log.Printf("mounted %s as %q (%d bytes, file-backed)", m.path, m.name, st.Size())
 	}
 
+	// pprof lives on its own listener so profiling never shares a port
+	// with (or leaks onto) the data plane.
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dbg := &http.Server{Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := dbg.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+		defer dbg.Close()
+		log.Printf("cfserve debug (pprof) listening on %s", dln.Addr())
+	}
+
+	// Listen explicitly (rather than ListenAndServe) so ":0" resolves to a
+	// real port before the "listening on" line — scripts and the smoke test
+	// parse the bound address from it.
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
 	hs := &http.Server{
-		Addr:              *listen,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
-	go func() { errc <- hs.ListenAndServe() }()
+	go func() { errc <- hs.Serve(ln) }()
 	log.Printf("cfserve listening on %s (%d mounts, field cache %d MiB, chunk cache %d MiB, payload cache %d MiB)",
-		*listen, len(mounts), *cacheMB, *chunkMB, *payloadMB)
+		ln.Addr(), len(mounts), *cacheMB, *chunkMB, *payloadMB)
 
 	select {
 	case err := <-errc:

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestServeSmoke is the end-to-end binary check CI runs: build cfserve,
+// start it against the golden CFC3 fixture on an ephemeral port, request a
+// field, a chunk, and a dependent chunk, then scrape /metrics (must be
+// valid Prometheus exposition) and /debug/trace (must hold real span
+// trees). Gated behind CFSERVE_SMOKE=1 because it builds and execs a
+// binary — too heavy for the inner `go test ./...` loop.
+func TestServeSmoke(t *testing.T) {
+	if os.Getenv("CFSERVE_SMOKE") != "1" {
+		t.Skip("set CFSERVE_SMOKE=1 to run the cfserve binary smoke test")
+	}
+	golden, err := filepath.Abs("../../testdata/golden/archive_cfc3.cfc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(golden); err != nil {
+		t.Fatalf("golden fixture missing: %v", err)
+	}
+
+	bin := filepath.Join(t.TempDir(), "cfserve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin,
+		"-listen", "127.0.0.1:0",
+		"-mount", "golden="+golden,
+		"-access-log", "-",
+	)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan struct{})
+		go func() { cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			cmd.Process.Kill()
+			<-done
+		}
+	}()
+
+	// The binary logs "cfserve listening on 127.0.0.1:PORT (...)" once the
+	// listener is bound; parse the real address out of that line.
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			t.Logf("cfserve: %s", line)
+			if _, rest, ok := strings.Cut(line, "cfserve listening on "); ok {
+				if addr, _, ok := strings.Cut(rest, " "); ok {
+					select {
+					case addrc <- addr:
+					default:
+					}
+				}
+			}
+		}
+	}()
+	var base string
+	select {
+	case addr := <-addrc:
+		base = "http://" + addr
+	case <-time.After(20 * time.Second):
+		t.Fatal("cfserve never logged its listen address")
+	}
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, body)
+		}
+		if tr := resp.Header.Get("X-CFC-Trace"); path != "/metrics" && tr == "" {
+			t.Errorf("GET %s: no X-CFC-Trace header", path)
+		}
+		return body
+	}
+
+	// Anchor field, anchor chunk, and a dependent chunk (W rides on
+	// U/V/PRES in the golden fixture, so this one exercises the
+	// payload-read → anchor-decode → chunk-decode path).
+	if body := get("/v1/archives/golden/fields/U"); len(body) == 0 {
+		t.Fatal("empty field body")
+	}
+	if body := get("/v1/archives/golden/fields/U/chunks/0"); len(body) == 0 {
+		t.Fatal("empty chunk body")
+	}
+	if body := get("/v1/archives/golden/fields/W/chunks/1"); len(body) == 0 {
+		t.Fatal("empty dependent-chunk body")
+	}
+
+	// /metrics must be parseable Prometheus text exposition.
+	metrics := get("/metrics")
+	if err := obs.LintExposition(metrics); err != nil {
+		t.Fatalf("/metrics exposition invalid: %v", err)
+	}
+	for _, want := range []string{"cfserve_request_seconds_bucket", "cfserve_stage_seconds_bucket"} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+
+	// /debug/trace must hold non-empty span trees, including the
+	// dependent-chunk request's decode stages.
+	var traces []struct {
+		TraceID string `json:"trace_id"`
+		Label   string `json:"label"`
+		Spans   []struct {
+			Name     string          `json:"name"`
+			DurNs    int64           `json:"duration_ns"`
+			Children json.RawMessage `json:"children"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(get("/debug/trace"), &traces); err != nil {
+		t.Fatalf("/debug/trace: %v", err)
+	}
+	if len(traces) == 0 {
+		t.Fatal("/debug/trace returned no traces")
+	}
+	foundDependent := false
+	var labels []string
+	for _, tr := range traces {
+		labels = append(labels, tr.Label)
+		if len(tr.Spans) == 0 {
+			t.Fatalf("trace %s (%s) has an empty span tree", tr.TraceID, tr.Label)
+		}
+		if strings.Contains(tr.Label, "/fields/W/chunks/1") && len(tr.Spans[0].Children) > 0 {
+			foundDependent = true
+		}
+	}
+	if !foundDependent {
+		t.Fatalf("no trace with child spans for the dependent chunk request; labels: %s",
+			strings.Join(labels, "; "))
+	}
+}

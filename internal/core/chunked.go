@@ -116,7 +116,10 @@ func CompressChunkedTo(w io.Writer, field *tensor.Tensor, model *cfnn.Model, anc
 	// N model clones. Workers below receive read-only slab views.
 	var inf *fieldInference
 	if model != nil {
-		if inf, err = newFieldInference(model, anchors, eb, g, opts.Arena, opts.workers()); err != nil {
+		endInfer := opts.Stages.Timer("inference")
+		inf, err = newFieldInference(model, anchors, eb, g, opts.Arena, opts.workers())
+		endInfer()
+		if err != nil {
 			return nil, err
 		}
 	}

@@ -31,15 +31,20 @@ func CompressBaseline(field *tensor.Tensor, opts Options) (*Result, error) {
 // field and reuses it for every chunk.
 func compressBaselineWithEB(field *tensor.Tensor, eb float64, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
+	endQuant := opts.Stages.Timer("quantize")
 	q, err := quant.Prequantize(field.Data(), eb)
+	endQuant()
 	if err != nil {
 		return nil, err
 	}
+	endPredict := opts.Stages.Timer("predict")
 	lor, err := predictor.LorenzoAll(q, field.Shape())
 	if err != nil {
+		endPredict()
 		return nil, err
 	}
 	codes := predictor.ResidualCodesInt(q, lor)
+	endPredict()
 	maxErr := achievedMaxErr(field.Data(), q, eb)
 	return assemble(field, codes, nil, nil, nil, container.MethodBaseline, eb, maxErr, opts)
 }
@@ -80,7 +85,9 @@ func compressCrossFieldWithEB(field *tensor.Tensor, model *cfnn.Model, anchors [
 			return nil, fmt.Errorf("core: anchor %d shape %v != field shape %v", i, a.Shape(), field.Shape())
 		}
 	}
+	endInfer := opts.Stages.Timer("inference")
 	dq, err := predictedDQWith(model, anchors, eb, nil, opts.Arena, 0)
+	endInfer()
 	if err != nil {
 		return nil, err
 	}
@@ -99,18 +106,23 @@ func compressCrossFieldWithEB(field *tensor.Tensor, model *cfnn.Model, anchors [
 // blob.
 func compressCrossFieldDQ(field *tensor.Tensor, dq [][]float64, stored *cfnn.Model, opts Options, method container.Method, eb float64) (*Result, error) {
 	opts = opts.withDefaults()
+	endQuant := opts.Stages.Timer("quantize")
 	q, err := quant.Prequantize(field.Data(), eb)
+	endQuant()
 	if err != nil {
 		return nil, err
 	}
+	endPredict := opts.Stages.Timer("predict")
 	// Candidate predictions over the full field (compression side is
 	// parallel thanks to dual quantization).
 	feats, err := candidateFeatures(q, field.Shape(), dq, method)
 	if err != nil {
+		endPredict()
 		return nil, err
 	}
 	hy, err := fitHybrid(feats, q, opts)
 	if err != nil {
+		endPredict()
 		return nil, err
 	}
 	codes := make([]int32, len(q))
@@ -124,6 +136,7 @@ func compressCrossFieldDQ(field *tensor.Tensor, dq [][]float64, stored *cfnn.Mod
 			codes[i] = q[i] - int32(pred)
 		}
 	})
+	endPredict()
 	weights := append(append([]float64(nil), hy.W...), hy.Bias)
 	maxErr := achievedMaxErr(field.Data(), q, eb)
 	return assemble(field, codes, stored, nil, weights, method, eb, maxErr, opts)
@@ -213,16 +226,22 @@ func fitHybrid(feats [][]float64, q []int32, opts Options) (*predictor.Hybrid, e
 
 // assemble entropy-codes the quantization codes and builds the container.
 func assemble(field *tensor.Tensor, codes []int32, model *cfnn.Model, anchors []*tensor.Tensor, hybrid []float64, method container.Method, eb, maxErr float64, opts Options) (*Result, error) {
+	endHuff := opts.Stages.Timer("huffman")
 	codec, err := huffman.Build(codes, opts.MaxSymbols)
 	if err != nil {
+		endHuff()
 		return nil, err
 	}
 	var w bitstream.Writer
 	if err := codec.Encode(&w, codes); err != nil {
+		endHuff()
 		return nil, err
 	}
 	payloadRaw := w.Bytes()
+	endHuff()
+	endFlate := opts.Stages.Timer("flate")
 	payload, err := opts.Backend.Compress(payloadRaw)
+	endFlate()
 	if err != nil {
 		return nil, err
 	}

@@ -37,6 +37,7 @@ import (
 	"repro/internal/lossless"
 	"repro/internal/metrics"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/quant"
 	"repro/internal/tensor"
@@ -62,6 +63,11 @@ type Options struct {
 	// allocate buffers once. It never affects output bytes. An arena is
 	// mutable scratch: do not share one across concurrent compressions.
 	Arena *nn.Arena
+	// Stages, when non-nil, accumulates per-stage wall time (inference,
+	// quantize, predict, huffman, flate) across the compression. It is
+	// safe to share one Stages across the concurrent chunk workers of a
+	// chunked compression; it never affects output bytes.
+	Stages *obs.Stages
 }
 
 func (o Options) withDefaults() Options {

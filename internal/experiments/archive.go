@@ -40,6 +40,18 @@ type ArchiveBenchReport struct {
 	UnpackMBps float64           `json:"unpack_mbps"`
 	TotalRatio float64           `json:"total_ratio"`
 	Rows       []ArchiveFieldRow `json:"rows"`
+	// CompressStages breaks the pack time down per field and pipeline
+	// stage (inference, quantize, predict, huffman, flate), from the
+	// WithStageTimings instrumentation.
+	CompressStages []CompressStageRow `json:"compress_stages"`
+}
+
+// CompressStageRow is one field × stage cell of the pack-time breakdown.
+type CompressStageRow struct {
+	Field   string  `json:"field"`
+	Stage   string  `json:"stage"`
+	Count   int64   `json:"count"`
+	Seconds float64 `json:"seconds"`
 }
 
 // ArchiveBench exercises the dataset-archive flow on the CESM snapshot:
@@ -101,8 +113,9 @@ func ArchiveBench(w io.Writer, s Sizes, jsonPath string) error {
 	}
 	mb := float64(totalBytes) / (1 << 20)
 
+	var tm crossfield.DatasetTimings
 	start := time.Now()
-	res, err := crossfield.CompressDataset(specs, bound)
+	res, err := crossfield.CompressDataset(specs, bound, crossfield.WithStageTimings(&tm))
 	if err != nil {
 		return err
 	}
@@ -161,6 +174,16 @@ func ArchiveBench(w io.Writer, s Sizes, jsonPath string) error {
 		}
 		fmt.Fprintf(w, "  %-10s %-12s %12.2f %12.2f %12.2f %12s\n",
 			fi.Name, fi.Role, base.Stats.Ratio, st.Ratio, payloadCR, delta)
+	}
+	fmt.Fprintf(w, "  pack-time stage breakdown (summed wall time across workers):\n")
+	fmt.Fprintf(w, "  %-10s %-10s %6s %10s\n", "field", "stage", "runs", "seconds")
+	for _, ft := range tm.Fields {
+		for _, st := range ft.Stages {
+			report.CompressStages = append(report.CompressStages, CompressStageRow{
+				Field: ft.Name, Stage: st.Stage, Count: st.Count, Seconds: st.Seconds(),
+			})
+			fmt.Fprintf(w, "  %-10s %-10s %6d %10.4f\n", ft.Name, st.Stage, st.Count, st.Seconds())
+		}
 	}
 	if jsonPath != "" {
 		enc, err := json.MarshalIndent(report, "", "  ")

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	crossfield "repro"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -43,6 +44,40 @@ type ServeBenchReport struct {
 	ColdMountChunkP99   float64 `json:"cold_mount_chunk_ms_p99"`
 	ColdMountFieldDecos int64   `json:"cold_mount_whole_field_decodes"`
 	ColdMountPayloadHit float64 `json:"cold_mount_payload_cache_hit_ratio"`
+	// Per-stage serve-path latency over the whole warm-server run, sourced
+	// from the server's own obs histograms (cfserve_stage_seconds) rather
+	// than client-side stopwatches — so HTTP and client overhead are
+	// excluded and the stages sum to the server's decode work only.
+	StageLatencies []StageLatency `json:"stage_latency"`
+}
+
+// StageLatency is one serve-path stage's latency distribution.
+type StageLatency struct {
+	Stage string  `json:"stage"`
+	Count uint64  `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+// stageLatencyRows converts the server's stage histogram snapshots into
+// report rows, in pipeline order, dropping stages that never ran.
+func stageLatencyRows(snaps map[string]obs.HistogramSnapshot) []StageLatency {
+	var rows []StageLatency
+	for _, stage := range []string{"cache_lookup", "payload_read", "anchor_decode", "chunk_decode", "field_decode"} {
+		s, ok := snaps[stage]
+		if !ok || s.Count == 0 {
+			continue
+		}
+		rows = append(rows, StageLatency{
+			Stage: stage,
+			Count: s.Count,
+			P50Ms: s.Quantile(0.50) * 1e3,
+			P90Ms: s.Quantile(0.90) * 1e3,
+			P99Ms: s.Quantile(0.99) * 1e3,
+		})
+	}
+	return rows
 }
 
 const serveHotRequests = 200
@@ -210,6 +245,7 @@ func ServeBench(w io.Writer, s Sizes, jsonPath string) error {
 		ColdMountChunkP99:   percentile(coldSweep, 99),
 		ColdMountFieldDecos: cold.FieldCacheStats().Misses,
 		ColdMountPayloadHit: cold.PayloadCacheStats().HitRatio(),
+		StageLatencies:      stageLatencyRows(srv.StageLatency()),
 	}
 	fmt.Fprintf(w, "%d fields (%.1f MB), %d chunks/field, %d hot requests each:\n",
 		report.Fields, report.MB, report.Chunks, serveHotRequests)
@@ -224,6 +260,12 @@ func ServeBench(w io.Writer, s Sizes, jsonPath string) error {
 	fmt.Fprintf(w, "  %-18s %10s %8.2fms %8.2fms\n", "chunk sweep", "", report.ColdMountChunkP50, report.ColdMountChunkP99)
 	fmt.Fprintf(w, "  whole-field decodes: %d (anchor slabs only)  payload cache hit ratio %.3f\n",
 		report.ColdMountFieldDecos, report.ColdMountPayloadHit)
+	fmt.Fprintf(w, "  per-stage serve latency (server-side obs histograms, warm server):\n")
+	fmt.Fprintf(w, "  %-15s %8s %9s %9s %9s\n", "stage", "count", "p50", "p90", "p99")
+	for _, row := range report.StageLatencies {
+		fmt.Fprintf(w, "  %-15s %8d %7.3fms %7.3fms %7.3fms\n",
+			row.Stage, row.Count, row.P50Ms, row.P90Ms, row.P99Ms)
+	}
 	if jsonPath != "" {
 		enc, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {

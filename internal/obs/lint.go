@@ -1,0 +1,301 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintExposition validates a Prometheus text-exposition payload at the
+// parser level. It enforces what scrapers actually require:
+//
+//   - every sample name matches [a-zA-Z_:][a-zA-Z0-9_:]*
+//   - every family has exactly one HELP and one TYPE line, appearing
+//     before its first sample
+//   - every sample belongs to a declared family (histogram samples match
+//     their family via the _bucket/_sum/_count suffixes)
+//   - histogram buckets are cumulative (non-decreasing with le), their le
+//     bounds strictly increase, the series ends in le="+Inf", and the
+//     +Inf bucket equals the series' _count
+//
+// It is shared by the obs unit tests, the cfserve /metrics tests, and the
+// CI smoke job.
+func LintExposition(data []byte) error {
+	l := &lintState{
+		help: make(map[string]bool),
+		typ:  make(map[string]string),
+		hist: make(map[string]*histSeries),
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		if err := l.line(strings.TrimRight(line, "\r"), i+1); err != nil {
+			return err
+		}
+	}
+	return l.finish()
+}
+
+type histSeries struct {
+	family string
+	labels string // sorted non-le labels, identifying one series
+	les    []float64
+	counts []float64
+	count  float64
+	hasCnt bool
+}
+
+type lintState struct {
+	help map[string]bool
+	typ  map[string]string
+	hist map[string]*histSeries // family + "\x1f" + labels
+	seen map[string]bool        // families with samples (lazily allocated)
+}
+
+func (l *lintState) line(line string, n int) error {
+	if strings.TrimSpace(line) == "" {
+		return nil
+	}
+	if strings.HasPrefix(line, "#") {
+		return l.comment(line, n)
+	}
+	return l.sample(line, n)
+}
+
+func (l *lintState) comment(line string, n int) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("line %d: HELP without a metric name", n)
+		}
+		name := fields[2]
+		if l.help[name] {
+			return fmt.Errorf("line %d: duplicate HELP for %s", n, name)
+		}
+		l.help[name] = true
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("line %d: TYPE needs a metric name and a type", n)
+		}
+		name, kind := fields[2], strings.TrimSpace(fields[3])
+		if _, dup := l.typ[name]; dup {
+			return fmt.Errorf("line %d: duplicate TYPE for %s", n, name)
+		}
+		switch kind {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("line %d: unknown TYPE %q for %s", n, kind, name)
+		}
+		if l.seen[name] {
+			return fmt.Errorf("line %d: TYPE for %s after its samples", n, name)
+		}
+		l.typ[name] = kind
+	}
+	return nil
+}
+
+func (l *lintState) sample(line string, n int) error {
+	name, labels, value, err := parseSample(line)
+	if err != nil {
+		return fmt.Errorf("line %d: %w", n, err)
+	}
+	if !metricName.MatchString(name) {
+		return fmt.Errorf("line %d: invalid sample name %q", n, name)
+	}
+	family, suffix := name, ""
+	if _, ok := l.typ[name]; !ok {
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, sfx)
+			if base != name && l.typ[base] == "histogram" {
+				family, suffix = base, sfx
+				break
+			}
+		}
+	}
+	kind, ok := l.typ[family]
+	if !ok {
+		return fmt.Errorf("line %d: sample %s has no TYPE declaration", n, name)
+	}
+	if !l.help[family] {
+		return fmt.Errorf("line %d: sample %s has no HELP declaration", n, name)
+	}
+	if kind == "histogram" && suffix == "" {
+		return fmt.Errorf("line %d: histogram %s exposes bare sample %s (want _bucket/_sum/_count)", n, family, name)
+	}
+	if l.seen == nil {
+		l.seen = make(map[string]bool)
+	}
+	l.seen[family] = true
+
+	if kind != "histogram" {
+		return nil
+	}
+	le, rest, hasLE := splitLE(labels)
+	key := family + "\x1f" + rest
+	s := l.hist[key]
+	if s == nil {
+		s = &histSeries{family: family, labels: rest}
+		l.hist[key] = s
+	}
+	switch suffix {
+	case "_bucket":
+		if !hasLE {
+			return fmt.Errorf("line %d: %s_bucket sample without an le label", n, family)
+		}
+		bound, err := parseLE(le)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", n, err)
+		}
+		if len(s.les) > 0 && !(bound > s.les[len(s.les)-1]) {
+			return fmt.Errorf("line %d: histogram %s{%s} le bounds not increasing (%g after %g)",
+				n, family, rest, bound, s.les[len(s.les)-1])
+		}
+		if len(s.counts) > 0 && value < s.counts[len(s.counts)-1] {
+			return fmt.Errorf("line %d: histogram %s{%s} buckets not cumulative (%g after %g)",
+				n, family, rest, value, s.counts[len(s.counts)-1])
+		}
+		s.les = append(s.les, bound)
+		s.counts = append(s.counts, value)
+	case "_count":
+		s.count = value
+		s.hasCnt = true
+	}
+	return nil
+}
+
+func (l *lintState) finish() error {
+	// Deterministic error selection across map iteration.
+	keys := make([]string, 0, len(l.hist))
+	for k := range l.hist {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s := l.hist[k]
+		if len(s.les) == 0 {
+			return fmt.Errorf("histogram %s{%s} has no _bucket samples", s.family, s.labels)
+		}
+		last := s.les[len(s.les)-1]
+		if !math.IsInf(last, +1) {
+			return fmt.Errorf("histogram %s{%s} does not end in le=\"+Inf\"", s.family, s.labels)
+		}
+		if s.hasCnt && s.counts[len(s.counts)-1] != s.count {
+			return fmt.Errorf("histogram %s{%s}: +Inf bucket %g != _count %g",
+				s.family, s.labels, s.counts[len(s.counts)-1], s.count)
+		}
+	}
+	return nil
+}
+
+// parseSample splits `name{l="v",...} value [timestamp]` into its parts.
+// labels is the raw text between the braces ("" when absent).
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		rest = rest[i+1:]
+		end := closingBrace(rest)
+		if end < 0 {
+			return "", "", 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels = rest[:end]
+		rest = rest[end+1:]
+	} else if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		name = rest[:i]
+		rest = rest[i:]
+	} else {
+		return "", "", 0, fmt.Errorf("sample %q has no value", line)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", "", 0, fmt.Errorf("sample %q: want value [timestamp]", line)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("sample %q: bad value: %w", line, err)
+	}
+	return name, labels, value, nil
+}
+
+// closingBrace finds the index of the '}' terminating a label set,
+// honoring escaped quotes inside label values.
+func closingBrace(s string) int {
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// splitLE removes the le label from a raw label string, returning its
+// value and the remaining labels sorted (so one histogram series always
+// maps to one key regardless of label order).
+func splitLE(labels string) (le, rest string, ok bool) {
+	if labels == "" {
+		return "", "", false
+	}
+	var kept []string
+	for _, part := range splitLabels(labels) {
+		k, v, _ := strings.Cut(part, "=")
+		if k == "le" {
+			le = strings.Trim(v, `"`)
+			ok = true
+			continue
+		}
+		kept = append(kept, part)
+	}
+	sort.Strings(kept)
+	return le, strings.Join(kept, ","), ok
+}
+
+// splitLabels splits `a="x",b="y"` on commas outside quoted values.
+func splitLabels(s string) []string {
+	var out []string
+	start, inQuote := 0, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case ',':
+			if !inQuote {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// parseLE parses an le bound, accepting "+Inf".
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(+1), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad le bound %q: %w", s, err)
+	}
+	return v, nil
+}

@@ -1,0 +1,455 @@
+// Package obs is the repo's zero-dependency observability substrate:
+// Prometheus-style counters, gauges, and log-bucketed histograms (plain
+// and labeled), hierarchical request traces threaded through context.Context
+// with pooled zero-allocation span recording, a lock-free ring of recently
+// completed traces, and a per-stage wall-time aggregator for the
+// compression pipeline. The serving layer exposes the metrics at /metrics
+// and the trace ring at /debug/trace; cfbench reads histogram snapshots to
+// report percentiles.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metricName is the exposition-format constraint on metric and label
+// names; Registry panics on violations because a bad name is a programmer
+// error, not a runtime condition.
+var metricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// Counter is a monotonically increasing int64.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n (n must be >= 0; negative deltas would
+// silently corrupt rate() queries, so they are dropped).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable int64.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram with lock-free observation:
+// per-bucket atomic counters plus a CAS-maintained float64 sum. Bucket
+// upper bounds are set at construction (ExpBuckets builds log-spaced
+// ones); an implicit +Inf bucket catches overflow.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds, +Inf excluded
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending at %d: %v", i, bounds))
+		}
+	}
+	if math.IsInf(bounds[len(bounds)-1], +1) {
+		panic("obs: +Inf bound is implicit; do not pass it")
+	}
+	return &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value. It never allocates.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		s := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, s) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Counts are
+// per-bucket (not cumulative); the final entry is the +Inf overflow
+// bucket. Bounds is shared with the histogram and must not be mutated.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.buckets)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+	}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Sub returns the histogram delta since prev (an earlier snapshot of the
+// same histogram) — the tool for isolating one measurement window, e.g. a
+// benchmark's hot phase, from everything observed before it.
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{
+		Bounds: s.Bounds,
+		Counts: make([]uint64, len(s.Counts)),
+		Count:  s.Count - prev.Count,
+		Sum:    s.Sum - prev.Sum,
+	}
+	for i := range s.Counts {
+		out.Counts[i] = s.Counts[i] - prev.Counts[i]
+	}
+	return out
+}
+
+// Quantile estimates the q-th quantile (q in [0,1]) by linear
+// interpolation inside the covering bucket. Values in the +Inf bucket
+// report the largest finite bound — quantiles beyond the bucket range are
+// clipped, not extrapolated.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		next := cum + float64(c)
+		if rank <= next && c > 0 {
+			if i >= len(s.Bounds) {
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			hi := s.Bounds[i]
+			return lo + (hi-lo)*((rank-cum)/float64(c))
+		}
+		cum = next
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// ExpBuckets returns n exponentially spaced bucket bounds starting at
+// start (must be > 0) with the given growth factor (must be > 1).
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("obs: ExpBuckets(%g, %g, %d): need start > 0, factor > 1, n >= 1", start, factor, n))
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// family is one registered metric name: its metadata plus the writer that
+// renders the HELP/TYPE block and every sample.
+type family struct {
+	name, help, kind string
+	write            func(w io.Writer, name string)
+}
+
+// Registry holds metric families in registration order and renders them
+// in Prometheus text exposition format. Registering the same name twice,
+// or an invalid metric/label name, panics: both are build-time bugs.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	names    map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+func (r *Registry) register(name, help, kind string, write func(io.Writer, string)) {
+	if !metricName.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[name] {
+		panic(fmt.Sprintf("obs: metric %q registered twice", name))
+	}
+	r.names[name] = true
+	r.families = append(r.families, &family{name: name, help: help, kind: kind, write: write})
+}
+
+func checkLabels(labels []string) {
+	if len(labels) == 0 {
+		panic("obs: labeled metric needs at least one label name")
+	}
+	for _, l := range labels {
+		if !metricName.MatchString(l) || l == "le" {
+			panic(fmt.Sprintf("obs: invalid label name %q", l))
+		}
+	}
+}
+
+// Counter registers and returns a plain counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(name, help, "counter", func(w io.Writer, n string) {
+		fmt.Fprintf(w, "%s %d\n", n, c.Value())
+	})
+	return c
+}
+
+// Gauge registers and returns a plain gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, "gauge", func(w io.Writer, n string) {
+		fmt.Fprintf(w, "%s %d\n", n, g.Value())
+	})
+	return g
+}
+
+// Histogram registers and returns a plain histogram with the given bucket
+// upper bounds (+Inf is implicit).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	h := newHistogram(bounds)
+	r.register(name, help, "histogram", func(w io.Writer, n string) {
+		writeHistogramSamples(w, n, "", h.Snapshot())
+	})
+	return h
+}
+
+// series is one labeled child of a vec family: the joined key plus the
+// rendered label text, kept in first-use order for stable exposition.
+type vecState struct {
+	mu     sync.RWMutex
+	labels []string
+	order  []string          // keys in first-use order
+	text   map[string]string // key -> rendered {l="v",...}
+}
+
+func newVecState(labels []string) *vecState {
+	checkLabels(labels)
+	return &vecState{labels: labels, text: make(map[string]string)}
+}
+
+// key joins label values with an unprintable separator; the fast path for
+// an existing child is one RLock'd map hit.
+func (v *vecState) key(values []string) string {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: want %d label values %v, got %v", len(v.labels), v.labels, values))
+	}
+	return strings.Join(values, "\x1f")
+}
+
+func (v *vecState) render(values []string) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, val := range values {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(v.labels[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(val))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel applies the exposition-format label value escapes.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// CounterVec is a family of counters keyed by label values.
+type CounterVec struct {
+	state *vecState
+	mu    sync.RWMutex
+	m     map[string]*Counter
+}
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	v := &CounterVec{state: newVecState(labels), m: make(map[string]*Counter)}
+	r.register(name, help, "counter", func(w io.Writer, n string) {
+		v.state.mu.RLock()
+		defer v.state.mu.RUnlock()
+		for _, key := range v.state.order {
+			v.mu.RLock()
+			c := v.m[key]
+			v.mu.RUnlock()
+			fmt.Fprintf(w, "%s%s %d\n", n, v.state.text[key], c.Value())
+		}
+	})
+	return v
+}
+
+// With returns the child counter for the given label values, creating it
+// on first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	key := v.state.key(values)
+	v.mu.RLock()
+	c, ok := v.m[key]
+	v.mu.RUnlock()
+	if ok {
+		return c
+	}
+	v.state.mu.Lock()
+	v.mu.Lock()
+	if c, ok = v.m[key]; !ok {
+		c = &Counter{}
+		v.m[key] = c
+		v.state.order = append(v.state.order, key)
+		v.state.text[key] = v.state.render(values)
+	}
+	v.mu.Unlock()
+	v.state.mu.Unlock()
+	return c
+}
+
+// HistogramVec is a family of histograms keyed by label values; all
+// children share one bucket layout.
+type HistogramVec struct {
+	state  *vecState
+	bounds []float64
+	mu     sync.RWMutex
+	m      map[string]*Histogram
+}
+
+// HistogramVec registers a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	v := &HistogramVec{state: newVecState(labels), bounds: newHistogram(bounds).bounds, m: make(map[string]*Histogram)}
+	r.register(name, help, "histogram", func(w io.Writer, n string) {
+		v.state.mu.RLock()
+		defer v.state.mu.RUnlock()
+		for _, key := range v.state.order {
+			v.mu.RLock()
+			h := v.m[key]
+			v.mu.RUnlock()
+			writeHistogramSamples(w, n, v.state.text[key], h.Snapshot())
+		}
+	})
+	return v
+}
+
+// With returns the child histogram for the given label values, creating
+// it on first use.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	key := v.state.key(values)
+	v.mu.RLock()
+	h, ok := v.m[key]
+	v.mu.RUnlock()
+	if ok {
+		return h
+	}
+	v.state.mu.Lock()
+	v.mu.Lock()
+	if h, ok = v.m[key]; !ok {
+		h = newHistogram(v.bounds)
+		v.m[key] = h
+		v.state.order = append(v.state.order, key)
+		v.state.text[key] = v.state.render(values)
+	}
+	v.mu.Unlock()
+	v.state.mu.Unlock()
+	return h
+}
+
+// Snapshots returns every child's snapshot keyed by its rendered label
+// text (e.g. `{stage="chunk_decode"}`), in first-use order of the map.
+func (v *HistogramVec) Snapshots() map[string]HistogramSnapshot {
+	v.state.mu.RLock()
+	defer v.state.mu.RUnlock()
+	out := make(map[string]HistogramSnapshot, len(v.state.order))
+	for _, key := range v.state.order {
+		v.mu.RLock()
+		h := v.m[key]
+		v.mu.RUnlock()
+		out[v.state.text[key]] = h.Snapshot()
+	}
+	return out
+}
+
+// writeHistogramSamples renders one histogram series: cumulative _bucket
+// samples ending in le="+Inf", then _sum and _count. labelText is the
+// pre-rendered non-le label set ("{a=\"b\"}" or "").
+func writeHistogramSamples(w io.Writer, name, labelText string, s HistogramSnapshot) {
+	// Splice le into the existing label set: {a="b"} -> {a="b",le="..."}.
+	leOpen := "{le=\""
+	if labelText != "" {
+		leOpen = labelText[:len(labelText)-1] + ",le=\""
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(s.Bounds) {
+			le = formatFloat(s.Bounds[i])
+		}
+		fmt.Fprintf(w, "%s_bucket%s%s\"} %d\n", name, leOpen, le, cum)
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labelText, formatFloat(s.Sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labelText, s.Count)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered family in registration order:
+// exactly one HELP/TYPE block per family followed by its samples.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind)
+		f.write(w, f.name)
+	}
+}

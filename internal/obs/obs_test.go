@@ -1,0 +1,339 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "A counter.")
+	g := r.Gauge("test_gauge", "A gauge.")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // dropped: counters are monotonic
+	g.Set(7)
+	g.Add(-2)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4, 8})
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 3, 3, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 7 {
+		t.Fatalf("count = %d, want 7", s.Count)
+	}
+	if got, want := s.Sum, 0.5+1.5+1.5+3+3+3+100; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	wantCounts := []uint64{1, 2, 3, 0, 1}
+	for i, w := range wantCounts {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	// The median falls in the (2,4] bucket; interpolation keeps it there.
+	if q := s.Quantile(0.5); q <= 2 || q > 4 {
+		t.Fatalf("p50 = %g, want in (2,4]", q)
+	}
+	// Overflow values clip to the last finite bound.
+	if q := s.Quantile(1); q != 8 {
+		t.Fatalf("p100 = %g, want 8 (clipped)", q)
+	}
+	// Sub isolates a window.
+	h.Observe(3)
+	d := h.Snapshot().Sub(s)
+	if d.Count != 1 || d.Counts[2] != 1 {
+		t.Fatalf("delta count = %d buckets %v, want one observation in bucket 2", d.Count, d.Counts)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := newHistogram(ExpBuckets(1e-6, 2, 20))
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(1e-4)
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*per {
+		t.Fatalf("count = %d, want %d", s.Count, goroutines*per)
+	}
+	if math.Abs(s.Sum-float64(goroutines*per)*1e-4) > 1e-6 {
+		t.Fatalf("sum = %g", s.Sum)
+	}
+}
+
+func TestExpositionFormatAndLint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("obs_test_total", "Counter.").Add(3)
+	r.Gauge("obs_test_gauge", "Gauge.").Set(-2)
+	hv := r.HistogramVec("obs_test_seconds", "Latency.", []float64{0.001, 0.01, 0.1}, "route", "code")
+	hv.With("/v1/x", "200").Observe(0.005)
+	hv.With("/v1/x", "200").Observe(0.05)
+	hv.With("/v1/x", "404").Observe(0.0001)
+	cv := r.CounterVec("obs_test_hits_total", "Hits.", "cache")
+	cv.With("field").Add(2)
+	cv.With(`we"ird\`).Inc()
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	if err := LintExposition(buf.Bytes()); err != nil {
+		t.Fatalf("lint: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"# TYPE obs_test_seconds histogram",
+		`obs_test_seconds_bucket{route="/v1/x",code="200",le="0.01"} 1`,
+		`obs_test_seconds_bucket{route="/v1/x",code="200",le="+Inf"} 2`,
+		`obs_test_seconds_count{route="/v1/x",code="200"} 2`,
+		`obs_test_hits_total{cache="we\"ird\\"} 1`,
+		"obs_test_gauge -2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLintRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"duplicate HELP": "# HELP a_total x\n# HELP a_total y\n# TYPE a_total counter\na_total 1\n",
+		"duplicate TYPE": "# HELP a_total x\n# TYPE a_total counter\n# TYPE a_total counter\na_total 1\n",
+		"no TYPE":        "# HELP a_total x\na_total 1\n",
+		"bad name":       "# HELP 9bad x\n# TYPE 9bad counter\n9bad 1\n",
+		"no +Inf": "# HELP h x\n# TYPE h histogram\n" +
+			`h_bucket{le="1"} 1` + "\nh_sum 1\nh_count 1\n",
+		"non-cumulative": "# HELP h x\n# TYPE h histogram\n" +
+			`h_bucket{le="1"} 5` + "\n" + `h_bucket{le="+Inf"} 3` + "\nh_sum 1\nh_count 3\n",
+		"inf != count": "# HELP h x\n# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 3` + "\nh_sum 1\nh_count 4\n",
+		"le not increasing": "# HELP h x\n# TYPE h histogram\n" +
+			`h_bucket{le="2"} 1` + "\n" + `h_bucket{le="1"} 1` + "\n" + `h_bucket{le="+Inf"} 1` + "\nh_sum 1\nh_count 1\n",
+	}
+	for name, body := range cases {
+		if err := LintExposition([]byte(body)); err == nil {
+			t.Errorf("%s: lint accepted malformed exposition:\n%s", name, body)
+		}
+	}
+	ok := "# HELP h x\n# TYPE h histogram\n" +
+		`h_bucket{le="1"} 1` + "\n" + `h_bucket{le="+Inf"} 3` + "\nh_sum 1.5\nh_count 3\n"
+	if err := LintExposition([]byte(ok)); err != nil {
+		t.Fatalf("lint rejected valid exposition: %v", err)
+	}
+}
+
+func TestRegistryPanicsOnMisuse(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	r := NewRegistry()
+	r.Counter("dup_total", "x")
+	expectPanic("duplicate name", func() { r.Counter("dup_total", "y") })
+	expectPanic("bad name", func() { r.Counter("9bad", "y") })
+	expectPanic("bad label", func() { r.CounterVec("v_total", "y", "le") })
+	expectPanic("bad buckets", func() { r.Histogram("h_x", "y", []float64{2, 1}) })
+}
+
+func TestTraceSpansAndContext(t *testing.T) {
+	p := NewTracePool(8)
+	tr := p.Get()
+	root := tr.Start(NoSpan, "request")
+	ctx := ContextWithSpan(context.Background(), tr, root)
+
+	cctx, end := StartSpan(ctx, "outer")
+	_, end2 := StartSpan(cctx, "inner")
+	time.Sleep(time.Millisecond)
+	end2()
+	end()
+	tr.End(root)
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	if spans[0].Name != "request" || spans[0].Parent != NoSpan {
+		t.Fatalf("root = %+v", spans[0])
+	}
+	if spans[1].Name != "outer" || spans[1].Parent != 0 {
+		t.Fatalf("outer = %+v", spans[1])
+	}
+	if spans[2].Name != "inner" || spans[2].Parent != 1 {
+		t.Fatalf("inner = %+v", spans[2])
+	}
+	if spans[2].EndNs <= spans[2].StartNs {
+		t.Fatalf("inner has no duration: %+v", spans[2])
+	}
+	if id := tr.IDString(); len(id) != 16 {
+		t.Fatalf("trace id %q, want 16 hex chars", id)
+	}
+	p.Put(tr)
+}
+
+func TestTraceNilAndOverflowSafe(t *testing.T) {
+	var tr *Trace
+	if id := tr.Start(NoSpan, "x"); id != NoSpan {
+		t.Fatalf("nil trace Start = %d", id)
+	}
+	tr.End(NoSpan) // must not panic
+	ctx, end := StartSpan(context.Background(), "untraced")
+	end()
+	if tr2, _ := FromContext(ctx); tr2 != nil {
+		t.Fatal("untraced context grew a trace")
+	}
+
+	p := NewTracePool(2)
+	real := p.Get()
+	real.Start(NoSpan, "a")
+	real.Start(NoSpan, "b")
+	if id := real.Start(NoSpan, "overflow"); id != NoSpan {
+		t.Fatalf("overflow Start = %d, want NoSpan", id)
+	}
+	if real.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", real.Dropped())
+	}
+	if len(real.Spans()) != 2 {
+		t.Fatalf("spans = %d, want 2", len(real.Spans()))
+	}
+}
+
+// TestSpanRecordingAllocFree pins the acceptance criterion: steady-state
+// span recording performs zero heap allocations.
+func TestSpanRecordingAllocFree(t *testing.T) {
+	p := NewTracePool(64)
+	// Warm the pool so steady state is measured, not first-use growth.
+	warm := p.Get()
+	p.Put(warm)
+	allocs := testing.AllocsPerRun(100, func() {
+		tr := p.Get()
+		root := tr.Start(NoSpan, "request")
+		for i := 0; i < 8; i++ {
+			id := tr.Start(root, "stage")
+			tr.End(id)
+		}
+		tr.End(root)
+		p.Put(tr)
+	})
+	if allocs != 0 {
+		t.Fatalf("span recording allocates %.1f per request, want 0", allocs)
+	}
+}
+
+func TestTraceRing(t *testing.T) {
+	p := NewTracePool(8)
+	r := NewTraceRing(3)
+	for i := 0; i < 5; i++ {
+		tr := p.Get()
+		id := tr.Start(NoSpan, "request")
+		tr.End(id)
+		r.Push("GET /x 200", 1000, tr)
+		p.Put(tr)
+	}
+	snaps := r.Snapshots()
+	if len(snaps) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(snaps))
+	}
+	for _, s := range snaps {
+		if len(s.Spans) != 1 || s.Spans[0].Name != "request" {
+			t.Fatalf("snapshot spans = %+v", s.Spans)
+		}
+		if s.Label != "GET /x 200" || len(s.ID) != 16 {
+			t.Fatalf("snapshot = %+v", s)
+		}
+	}
+	// Newest first: ids must all differ.
+	if snaps[0].ID == snaps[1].ID {
+		t.Fatal("duplicate trace ids in ring")
+	}
+}
+
+func TestTraceRingConcurrent(t *testing.T) {
+	p := NewTracePool(4)
+	r := NewTraceRing(8)
+	var producers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		producers.Add(1)
+		go func() {
+			defer producers.Done()
+			for i := 0; i < 500; i++ {
+				tr := p.Get()
+				id := tr.Start(NoSpan, "request")
+				tr.End(id)
+				r.Push("x", 1, tr)
+				p.Put(tr)
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, s := range r.Snapshots() {
+				if len(s.Spans) > 0 && s.Spans[0].Name == "" {
+					t.Error("observed half-written snapshot")
+					return
+				}
+			}
+		}
+	}()
+	producers.Wait()
+	close(stop)
+	<-readerDone
+}
+
+func TestStages(t *testing.T) {
+	var nilStages *Stages
+	nilStages.Observe("x", time.Second) // no-op
+	nilStages.Timer("x")()              // no-op
+	if nilStages.Snapshot() != nil {
+		t.Fatal("nil Stages snapshot not nil")
+	}
+
+	s := NewStages()
+	s.Observe("quantize", 2*time.Millisecond)
+	s.Observe("huffman", time.Millisecond)
+	s.Observe("quantize", 2*time.Millisecond)
+	snap := s.Snapshot()
+	if len(snap) != 2 || snap[0].Stage != "quantize" || snap[0].Count != 2 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap[0].Nanos != int64(4*time.Millisecond) {
+		t.Fatalf("quantize nanos = %d", snap[0].Nanos)
+	}
+	sorted := s.SortedSnapshot()
+	if sorted[0].Stage != "quantize" {
+		t.Fatalf("sorted = %+v", sorted)
+	}
+}

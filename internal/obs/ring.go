@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// TraceSnapshot is one completed request trace as retained by the ring:
+// the trace id, a caller-supplied label (typically "METHOD path code"),
+// wall-clock start, total duration, and a private copy of the spans.
+// Snapshots are immutable once published.
+type TraceSnapshot struct {
+	ID      string    `json:"trace_id"`
+	Label   string    `json:"label"`
+	Start   time.Time `json:"start"`
+	DurNs   int64     `json:"duration_ns"`
+	Dropped int       `json:"dropped_spans,omitempty"`
+	Spans   []Span    `json:"spans"`
+}
+
+// TraceRing retains the last N completed traces lock-free: each Push
+// deep-copies the trace into a fresh snapshot and publishes it with one
+// atomic pointer store, so readers never block writers and never observe
+// a half-written snapshot. This is what GET /debug/trace serves.
+type TraceRing struct {
+	slots []atomic.Pointer[TraceSnapshot]
+	next  atomic.Uint64
+}
+
+// NewTraceRing returns a ring holding the last n traces (0 selects 64).
+func NewTraceRing(n int) *TraceRing {
+	if n <= 0 {
+		n = 64
+	}
+	return &TraceRing{slots: make([]atomic.Pointer[TraceSnapshot], n)}
+}
+
+// Push records a completed trace. The spans are copied, so the caller is
+// free to recycle t immediately after. Safe for concurrent use.
+func (r *TraceRing) Push(label string, durNs int64, t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	snap := &TraceSnapshot{
+		ID:      t.IDString(),
+		Label:   label,
+		Start:   t.Begin(),
+		DurNs:   durNs,
+		Dropped: t.Dropped(),
+		Spans:   append([]Span(nil), t.Spans()...),
+	}
+	i := (r.next.Add(1) - 1) % uint64(len(r.slots))
+	r.slots[i].Store(snap)
+}
+
+// Snapshots returns the retained traces, newest first. The returned
+// snapshots are shared immutable values; callers must not mutate their
+// span slices.
+func (r *TraceRing) Snapshots() []TraceSnapshot {
+	if r == nil {
+		return nil
+	}
+	n := len(r.slots)
+	out := make([]TraceSnapshot, 0, n)
+	head := r.next.Load()
+	for k := 0; k < n; k++ {
+		// Walk backwards from the most recently claimed slot.
+		i := (head + uint64(n) - 1 - uint64(k)) % uint64(n)
+		if s := r.slots[i].Load(); s != nil {
+			out = append(out, *s)
+		}
+	}
+	return out
+}

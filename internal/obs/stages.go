@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// StageTiming is the aggregate of one named stage: how many times it ran
+// and the total wall time it consumed.
+type StageTiming struct {
+	Stage string
+	Count int64
+	Nanos int64
+}
+
+// Seconds returns the total stage time in seconds.
+func (s StageTiming) Seconds() float64 { return float64(s.Nanos) / 1e9 }
+
+// Stages accumulates per-stage wall time for a pipeline run. It is safe
+// for concurrent use (chunk workers observe into one shared Stages), and
+// a nil *Stages is a valid no-op sink — call sites instrument
+// unconditionally and callers opt in by supplying one.
+type Stages struct {
+	mu    sync.Mutex
+	order []string
+	cells map[string]*StageTiming
+}
+
+// NewStages returns an empty aggregator.
+func NewStages() *Stages {
+	return &Stages{cells: make(map[string]*StageTiming)}
+}
+
+// Observe adds one run of stage taking d.
+func (s *Stages) Observe(stage string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	c, ok := s.cells[stage]
+	if !ok {
+		c = &StageTiming{Stage: stage}
+		s.cells[stage] = c
+		s.order = append(s.order, stage)
+	}
+	c.Count++
+	c.Nanos += int64(d)
+	s.mu.Unlock()
+}
+
+// Timer starts timing stage and returns the stop function:
+//
+//	defer st.Timer("huffman")()
+//
+// Nil receivers return a no-op closer.
+func (s *Stages) Timer(stage string) func() {
+	if s == nil {
+		return noopEnd
+	}
+	start := time.Now()
+	return func() { s.Observe(stage, time.Since(start)) }
+}
+
+// Snapshot returns the accumulated stages in first-observation order.
+func (s *Stages) Snapshot() []StageTiming {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]StageTiming, 0, len(s.order))
+	for _, name := range s.order {
+		out = append(out, *s.cells[name])
+	}
+	return out
+}
+
+// SortedSnapshot returns the accumulated stages ordered by descending
+// total time — the order timing tables print in.
+func (s *Stages) SortedSnapshot() []StageTiming {
+	out := s.Snapshot()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Nanos > out[j].Nanos })
+	return out
+}

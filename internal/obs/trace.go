@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanID indexes a span inside its Trace. NoSpan means "no parent" (for
+// roots) or "not recorded" (when the trace's span budget is exhausted or
+// tracing is off); every Trace method accepts it safely.
+type SpanID int32
+
+// NoSpan is the absent span.
+const NoSpan SpanID = -1
+
+// Span is one timed region of a request. Start/End are nanoseconds since
+// the trace began; End == 0 marks a span still open (or abandoned).
+// Parent is the index of the enclosing span, NoSpan for roots.
+type Span struct {
+	Name    string `json:"name"`
+	Parent  SpanID `json:"parent"`
+	StartNs int64  `json:"start_ns"`
+	EndNs   int64  `json:"end_ns"`
+}
+
+// Trace records one request's spans into a flat preallocated array: Start
+// claims the next slot with one atomic add, End stamps the end time.
+// Neither allocates, which is what keeps tracing on the hot serve path
+// for free. Span capacity is fixed at pool construction; overflow spans
+// are counted and dropped rather than grown. A nil *Trace is a valid
+// no-op recorder.
+type Trace struct {
+	id      uint64
+	begin   time.Time
+	next    atomic.Int32
+	dropped atomic.Int32
+	spans   []Span
+}
+
+// ID returns the trace's numeric id (unique per pool).
+func (t *Trace) ID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.id
+}
+
+// IDString renders the id as 16 hex digits — the X-CFC-Trace header
+// value.
+func (t *Trace) IDString() string {
+	if t == nil {
+		return ""
+	}
+	const hexDigits = "0123456789abcdef"
+	var b [16]byte
+	v := t.id
+	for i := 15; i >= 0; i-- {
+		b[i] = hexDigits[v&0xf]
+		v >>= 4
+	}
+	return string(b[:])
+}
+
+// Begin returns the trace's start time.
+func (t *Trace) Begin() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.begin
+}
+
+// Start opens a span under parent and returns its id. Concurrent Start
+// calls are safe (slots are claimed atomically); the call never
+// allocates. When the span budget is exhausted it counts the drop and
+// returns NoSpan.
+func (t *Trace) Start(parent SpanID, name string) SpanID {
+	if t == nil {
+		return NoSpan
+	}
+	i := t.next.Add(1) - 1
+	if int(i) >= len(t.spans) {
+		t.dropped.Add(1)
+		return NoSpan
+	}
+	s := &t.spans[i]
+	s.Name = name
+	s.Parent = parent
+	s.StartNs = int64(time.Since(t.begin))
+	s.EndNs = 0
+	return SpanID(i)
+}
+
+// End closes the span. Ending NoSpan (or a nil trace) is a no-op; the
+// call never allocates.
+func (t *Trace) End(id SpanID) {
+	if t == nil || id < 0 {
+		return
+	}
+	t.spans[id].EndNs = int64(time.Since(t.begin))
+}
+
+// Spans returns the recorded spans. The slice aliases the trace's
+// internal storage: read it only after the request is done and before the
+// trace is returned to its pool.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	n := int(t.next.Load())
+	if n > len(t.spans) {
+		n = len(t.spans)
+	}
+	return t.spans[:n]
+}
+
+// Dropped returns how many spans overflowed the budget.
+func (t *Trace) Dropped() int {
+	if t == nil {
+		return 0
+	}
+	return int(t.dropped.Load())
+}
+
+// TracePool recycles Traces so steady-state span recording performs zero
+// heap allocations: Get reuses a previous request's span array and
+// resets it.
+type TracePool struct {
+	pool  sync.Pool
+	seq   atomic.Uint64
+	spans int
+}
+
+// NewTracePool returns a pool of traces holding up to spansPerTrace
+// spans each (0 selects 64).
+func NewTracePool(spansPerTrace int) *TracePool {
+	if spansPerTrace <= 0 {
+		spansPerTrace = 64
+	}
+	p := &TracePool{spans: spansPerTrace}
+	p.pool.New = func() any { return &Trace{spans: make([]Span, p.spans)} }
+	return p
+}
+
+// Get returns a reset trace with a fresh id.
+func (p *TracePool) Get() *Trace {
+	t := p.pool.Get().(*Trace)
+	// splitmix64 of the sequence number: ids look random but are unique
+	// and need no global RNG lock.
+	z := p.seq.Add(1) * 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	t.id = z ^ (z >> 31)
+	t.begin = time.Now()
+	t.next.Store(0)
+	t.dropped.Store(0)
+	return t
+}
+
+// Put recycles the trace. The caller must not touch it (or any Spans
+// slice taken from it) afterwards.
+func (p *TracePool) Put(t *Trace) {
+	if t != nil {
+		p.pool.Put(t)
+	}
+}
+
+// ctxKey carries a (trace, current span) pair through context.Context.
+type ctxKey struct{}
+
+type spanRef struct {
+	t  *Trace
+	id SpanID
+}
+
+// ContextWithSpan returns ctx carrying t with id as the current span —
+// the parent of spans started through StartSpan further down the call
+// chain. A nil t returns ctx unchanged.
+func ContextWithSpan(ctx context.Context, t *Trace, id SpanID) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, spanRef{t: t, id: id})
+}
+
+// FromContext returns the context's trace and current span, or
+// (nil, NoSpan) when the request is not traced.
+func FromContext(ctx context.Context) (*Trace, SpanID) {
+	if ref, ok := ctx.Value(ctxKey{}).(spanRef); ok {
+		return ref.t, ref.id
+	}
+	return nil, NoSpan
+}
+
+// noopEnd is returned when no span was started, so untraced paths pay no
+// closure allocation.
+func noopEnd() {}
+
+// StartSpan opens a named child of the context's current span and
+// returns a context for the span's callees plus the closer. On untraced
+// contexts both are cheap no-ops.
+func StartSpan(ctx context.Context, name string) (context.Context, func()) {
+	t, parent := FromContext(ctx)
+	if t == nil {
+		return ctx, noopEnd
+	}
+	id := t.Start(parent, name)
+	if id == NoSpan {
+		return ctx, noopEnd
+	}
+	return ContextWithSpan(ctx, t, id), func() { t.End(id) }
+}

@@ -1,21 +1,120 @@
 package serve
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// metricsState holds the server-level counters surfaced at /metrics in
-// Prometheus text exposition format. Cache counters live in the caches
-// themselves and are merged in at scrape time.
+// metricsState holds the server's observability surface: the legacy
+// scalar counters, the labeled request/stage latency histograms exposed
+// at /metrics, the trace pool behind X-CFC-Trace, and the completed-trace
+// ring behind /debug/trace. Cache counters live in the caches themselves
+// and are merged in at scrape time.
 type metricsState struct {
 	requests    atomic.Int64
 	bytesServed atomic.Int64
 	decodes     atomic.Int64
 	decodeNanos atomic.Int64
+
+	reg        *obs.Registry
+	reqSeconds *obs.HistogramVec // route, code
+	stageHist  *obs.HistogramVec // stage
+	// Pre-resolved stage children so hot-path observation is one atomic
+	// add, never a labels-to-child map lookup.
+	stages struct {
+		cacheLookup  *obs.Histogram
+		payloadRead  *obs.Histogram
+		anchorDecode *obs.Histogram
+		chunkDecode  *obs.Histogram
+		fieldDecode  *obs.Histogram
+	}
+	traces *obs.TracePool
+	ring   *obs.TraceRing
+
+	// reqHot caches resolved (route, code) histogram children behind an
+	// array-valued key, so steady-state requests skip the label-join the
+	// vec's own lookup would allocate.
+	reqMu  sync.RWMutex
+	reqHot map[[2]string]*obs.Histogram
+
+	accessLog io.Writer
+	logMu     sync.Mutex
+}
+
+// latencyBuckets spans ~8µs to ~3.4s in ×1.5 steps: fine enough for
+// interpolated p50/p99 on cache hits, wide enough for cold multi-chunk
+// anchor decodes.
+func latencyBuckets() []float64 { return obs.ExpBuckets(8e-6, 1.5, 32) }
+
+func (m *metricsState) init(traceSpans, traceRing int, accessLog io.Writer) {
+	m.reg = obs.NewRegistry()
+	b := latencyBuckets()
+	m.reqSeconds = m.reg.HistogramVec("cfserve_request_seconds",
+		"HTTP request latency by route pattern and status code.", b, "route", "code")
+	m.stageHist = m.reg.HistogramVec("cfserve_stage_seconds",
+		"Serve-path stage latency (leader-only for decode stages).", b, "stage")
+	m.stages.cacheLookup = m.stageHist.With("cache_lookup")
+	m.stages.payloadRead = m.stageHist.With("payload_read")
+	m.stages.anchorDecode = m.stageHist.With("anchor_decode")
+	m.stages.chunkDecode = m.stageHist.With("chunk_decode")
+	m.stages.fieldDecode = m.stageHist.With("field_decode")
+	m.traces = obs.NewTracePool(traceSpans)
+	if traceRing >= 0 {
+		m.ring = obs.NewTraceRing(traceRing)
+	}
+	m.reqHot = make(map[[2]string]*obs.Histogram)
+	m.accessLog = accessLog
+}
+
+// requestHistogram resolves the cfserve_request_seconds child for one
+// (route, code) pair without allocating on repeat visits.
+func (m *metricsState) requestHistogram(route, code string) *obs.Histogram {
+	k := [2]string{route, code}
+	m.reqMu.RLock()
+	h := m.reqHot[k]
+	m.reqMu.RUnlock()
+	if h != nil {
+		return h
+	}
+	h = m.reqSeconds.With(route, code)
+	m.reqMu.Lock()
+	m.reqHot[k] = h
+	m.reqMu.Unlock()
+	return h
+}
+
+// statusLabel formats the handful of status codes this server emits
+// without allocating.
+func statusLabel(code int) string {
+	switch code {
+	case http.StatusOK:
+		return "200"
+	case http.StatusPartialContent:
+		return "206"
+	case http.StatusNotModified:
+		return "304"
+	case http.StatusBadRequest:
+		return "400"
+	case http.StatusNotFound:
+		return "404"
+	case http.StatusRequestedRangeNotSatisfiable:
+		return "416"
+	case http.StatusUnprocessableEntity:
+		return "422"
+	case http.StatusInternalServerError:
+		return "500"
+	}
+	return strconv.Itoa(code)
 }
 
 func (m *metricsState) observeDecode(d time.Duration) {
@@ -23,27 +122,188 @@ func (m *metricsState) observeDecode(d time.Duration) {
 	m.decodeNanos.Add(int64(d))
 }
 
+// stage opens a span named like the stage and times it into the stage
+// histogram; the returned context parents nested stages and the closer
+// ends both. Decode-path callers invoke it inside cache compute closures,
+// so stage times are recorded by the singleflight leader only.
+func (m *metricsState) stage(ctx context.Context, name string, h *obs.Histogram) (context.Context, func()) {
+	sctx, end := obs.StartSpan(ctx, name)
+	start := time.Now()
+	return sctx, func() {
+		end()
+		h.Observe(time.Since(start).Seconds())
+	}
+}
+
 // BytesServed returns the total response bytes written so far.
 func (s *Server) BytesServed() int64 { return s.metrics.bytesServed.Load() }
 
-// countingWriter tallies response bytes for the bytes-served counter.
-type countingWriter struct {
-	http.ResponseWriter
-	n *atomic.Int64
+// StageLatency snapshots the per-stage latency histograms, keyed by stage
+// name ("cache_lookup", "payload_read", "anchor_decode", "chunk_decode",
+// "field_decode"). cfbench sources its per-stage percentile columns here.
+func (s *Server) StageLatency() map[string]obs.HistogramSnapshot {
+	m := &s.metrics
+	return map[string]obs.HistogramSnapshot{
+		"cache_lookup":  m.stages.cacheLookup.Snapshot(),
+		"payload_read":  m.stages.payloadRead.Snapshot(),
+		"anchor_decode": m.stages.anchorDecode.Snapshot(),
+		"chunk_decode":  m.stages.chunkDecode.Snapshot(),
+		"field_decode":  m.stages.fieldDecode.Snapshot(),
+	}
 }
 
-func (w *countingWriter) Write(p []byte) (int, error) {
+// RequestLatency snapshots the request-latency histogram for one route
+// pattern (as labeled in cfserve_request_seconds, e.g.
+// "/v1/archives/{a}/fields/{f}") and status code.
+func (s *Server) RequestLatency(route, code string) obs.HistogramSnapshot {
+	return s.metrics.reqSeconds.With(route, code).Snapshot()
+}
+
+// recorder wraps the ResponseWriter to tally bytes and capture the
+// status code, while keeping the underlying writer's optional interfaces
+// reachable: Flush delegates to an underlying http.Flusher (streaming
+// handlers keep working when instrumented), ReadFrom delegates to an
+// underlying io.ReaderFrom (sendfile-style copies stay on the fast
+// path), and Unwrap supports http.NewResponseController.
+type recorder struct {
+	http.ResponseWriter
+	total   *atomic.Int64
+	written int64
+	status  int
+}
+
+func (w *recorder) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *recorder) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
 	n, err := w.ResponseWriter.Write(p)
-	w.n.Add(int64(n))
+	w.written += int64(n)
+	w.total.Add(int64(n))
 	return n, err
 }
 
-// instrument counts every request and its response bytes.
+func (w *recorder) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// writerOnly hides ReadFrom on the fallback path so io.Copy below cannot
+// recurse back into recorder.ReadFrom.
+type writerOnly struct{ io.Writer }
+
+func (w *recorder) ReadFrom(r io.Reader) (int64, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	var (
+		n   int64
+		err error
+	)
+	if rf, ok := w.ResponseWriter.(io.ReaderFrom); ok {
+		n, err = rf.ReadFrom(r)
+	} else {
+		n, err = io.Copy(writerOnly{w.ResponseWriter}, r)
+	}
+	w.written += n
+	w.total.Add(n)
+	return n, err
+}
+
+func (w *recorder) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// routeLabel maps a matched mux pattern ("GET /v1/archives/{a}") to the
+// low-cardinality route label; unmatched requests collapse to "other" so
+// scanners cannot mint unbounded label values from 404 paths.
+func routeLabel(pattern string) string {
+	if pattern == "" {
+		return "other"
+	}
+	if _, after, ok := strings.Cut(pattern, " "); ok {
+		return after
+	}
+	return pattern
+}
+
+// instrument wraps the route mux with the request-level observability:
+// a pooled trace (id surfaced as X-CFC-Trace), the per-route/per-status
+// latency histogram, byte/request counters, the completed-trace ring,
+// and the optional JSON access log.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		s.metrics.requests.Add(1)
-		next.ServeHTTP(&countingWriter{ResponseWriter: w, n: &s.metrics.bytesServed}, r)
+		m := &s.metrics
+		m.requests.Add(1)
+		start := time.Now()
+		tr := m.traces.Get()
+		root := tr.Start(obs.NoSpan, "request")
+		w.Header().Set("X-CFC-Trace", tr.IDString())
+		rec := &recorder{ResponseWriter: w, total: &m.bytesServed}
+		// Keep the derived request: ServeMux writes the matched pattern
+		// into the request it is handed, so the label is known after next
+		// returns without wrapping every handler.
+		r2 := r.WithContext(obs.ContextWithSpan(r.Context(), tr, root))
+		next.ServeHTTP(rec, r2)
+		tr.End(root)
+		dur := time.Since(start)
+		code := rec.status
+		if code == 0 {
+			code = http.StatusOK
+		}
+		route := routeLabel(r2.Pattern)
+		status := statusLabel(code)
+		m.requestHistogram(route, status).Observe(dur.Seconds())
+		if m.ring != nil {
+			m.ring.Push(r.Method+" "+r.URL.Path+" "+status, dur.Nanoseconds(), tr)
+		}
+		if m.accessLog != nil {
+			m.writeAccessLog(r, tr.IDString(), route, code, rec.written, dur)
+		}
+		m.traces.Put(tr)
 	})
+}
+
+// accessRecord is one structured access-log line.
+type accessRecord struct {
+	Time    string  `json:"time"`
+	Trace   string  `json:"trace"`
+	Method  string  `json:"method"`
+	Path    string  `json:"path"`
+	Route   string  `json:"route"`
+	Status  int     `json:"status"`
+	Bytes   int64   `json:"bytes"`
+	DurMs   float64 `json:"dur_ms"`
+	Remote  string  `json:"remote,omitempty"`
+	TraceIn string  `json:"parent_trace,omitempty"` // inbound X-CFC-Trace, if a client propagated one
+}
+
+func (m *metricsState) writeAccessLog(r *http.Request, traceID, route string, code int, bytes int64, dur time.Duration) {
+	rec := accessRecord{
+		Time:    time.Now().UTC().Format(time.RFC3339Nano),
+		Trace:   traceID,
+		Method:  r.Method,
+		Path:    r.URL.Path,
+		Route:   route,
+		Status:  code,
+		Bytes:   bytes,
+		DurMs:   float64(dur.Nanoseconds()) / 1e6,
+		Remote:  r.RemoteAddr,
+		TraceIn: r.Header.Get("X-CFC-Trace"),
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	m.logMu.Lock()
+	m.accessLog.Write(line)
+	m.logMu.Unlock()
 }
 
 func (m *metricsState) write(w io.Writer, fields, chunks, payloads CacheStats) {
@@ -78,4 +338,7 @@ func (m *metricsState) write(w io.Writer, fields, chunks, payloads CacheStats) {
 		func(s CacheStats) int64 { return s.Bytes })
 	labeled("cfserve_cache_capacity_bytes", "Cache byte budget.", "gauge",
 		func(s CacheStats) int64 { return s.Capacity })
+	// The histogram families (cfserve_request_seconds, cfserve_stage_seconds)
+	// follow from the registry.
+	m.reg.WritePrometheus(w)
 }

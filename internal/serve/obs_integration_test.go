@@ -1,0 +1,288 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// traceNode mirrors the /debug/trace span-tree shape.
+type traceNode struct {
+	Name     string       `json:"name"`
+	StartNs  int64        `json:"start_ns"`
+	DurNs    int64        `json:"duration_ns"`
+	Children []*traceNode `json:"children"`
+}
+
+type traceEntry struct {
+	TraceID string       `json:"trace_id"`
+	Label   string       `json:"label"`
+	DurNs   int64        `json:"duration_ns"`
+	Spans   []*traceNode `json:"spans"`
+}
+
+// findSpans collects every span named name anywhere in the forest.
+func findSpans(nodes []*traceNode, name string) []*traceNode {
+	var out []*traceNode
+	for _, n := range nodes {
+		if n.Name == name {
+			out = append(out, n)
+		}
+		out = append(out, findSpans(n.Children, name)...)
+	}
+	return out
+}
+
+// TestDebugTraceDependentChunkSpanTree pins the tracing acceptance
+// criterion: a cold dependent-chunk request must leave a span tree in
+// GET /debug/trace with distinct payload-read, anchor-decode, and
+// chunk-decode stages, each with a non-zero duration.
+func TestDebugTraceDependentChunkSpanTree(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	resp, body := get(t, ts, "/v1/archives/ds/fields/W/chunks/1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("chunk GET = %d: %s", resp.StatusCode, body)
+	}
+	traceID := resp.Header.Get("X-CFC-Trace")
+	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(traceID) {
+		t.Fatalf("X-CFC-Trace = %q, want 16 hex digits", traceID)
+	}
+
+	var traces []traceEntry
+	getJSON(t, ts, "/debug/trace", &traces)
+	var entry *traceEntry
+	for i := range traces {
+		if traces[i].TraceID == traceID {
+			entry = &traces[i]
+		}
+	}
+	if entry == nil {
+		t.Fatalf("trace %s not retained by /debug/trace (have %d traces)", traceID, len(traces))
+	}
+	if !strings.Contains(entry.Label, "GET /v1/archives/ds/fields/W/chunks/1") {
+		t.Errorf("trace label = %q", entry.Label)
+	}
+	if entry.DurNs <= 0 {
+		t.Errorf("trace duration = %d, want > 0", entry.DurNs)
+	}
+	if len(entry.Spans) != 1 || entry.Spans[0].Name != "request" {
+		t.Fatalf("want a single request root span, got %+v", entry.Spans)
+	}
+	// W depends on U, V, PRES: the leader request decodes the W chunk plus
+	// three anchor chunks, reading four payloads. All of that must appear
+	// as distinct, closed, non-zero spans under the request root.
+	for name, wantAtLeast := range map[string]int{
+		"cache_lookup":  1,
+		"payload_read":  4,
+		"anchor_decode": 1,
+		"chunk_decode":  4,
+	} {
+		spans := findSpans(entry.Spans, name)
+		if len(spans) < wantAtLeast {
+			t.Errorf("span %q: got %d, want >= %d", name, len(spans), wantAtLeast)
+		}
+		for _, sp := range spans {
+			if sp.DurNs <= 0 {
+				t.Errorf("span %q has non-positive duration %d", name, sp.DurNs)
+			}
+		}
+	}
+	// The anchor chunks decode under the anchor_decode stage, not beside it.
+	anchor := findSpans(entry.Spans, "anchor_decode")[0]
+	if got := len(findSpans(anchor.Children, "chunk_decode")); got != 3 {
+		t.Errorf("chunk_decode spans under anchor_decode = %d, want 3", got)
+	}
+
+	// A warm repeat is served from cache: no new decode stages, but it
+	// still traces its cache lookup. Unmarshal into a fresh slice —
+	// reusing the old one would merge stale children into entries whose
+	// children key was omitted as empty.
+	resp2, _ := get(t, ts, "/v1/archives/ds/fields/W/chunks/1")
+	var after []traceEntry
+	getJSON(t, ts, "/debug/trace", &after)
+	var warm *traceEntry
+	for i := range after {
+		if after[i].TraceID == resp2.Header.Get("X-CFC-Trace") {
+			warm = &after[i]
+		}
+	}
+	if warm == nil {
+		t.Fatal("warm request trace not retained")
+	}
+	if got := len(findSpans(warm.Spans, "chunk_decode")); got != 0 {
+		t.Errorf("warm request recorded %d chunk_decode spans, want 0", got)
+	}
+	if got := len(findSpans(warm.Spans, "cache_lookup")); got != 1 {
+		t.Errorf("warm request recorded %d cache_lookup spans, want 1", got)
+	}
+}
+
+// TestMetricsExpositionValid pins the /metrics acceptance criterion at
+// the parser level: the whole payload must lint clean (one HELP/TYPE per
+// family, cumulative buckets ending in +Inf, valid sample names), and the
+// request/stage histogram families must carry the expected series.
+func TestMetricsExpositionValid(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	get(t, ts, "/v1/archives/ds/fields/W/chunks/1")
+	get(t, ts, "/v1/archives/ds/fields/U")
+	get(t, ts, "/no/such/route")
+	resp, body := get(t, ts, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if err := obs.LintExposition(body); err != nil {
+		t.Fatalf("/metrics exposition invalid: %v\n%s", err, body)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`cfserve_request_seconds_bucket{route="/v1/archives/{a}/fields/{f}/chunks/{i}",code="200",le="+Inf"} 1`,
+		`cfserve_request_seconds_bucket{route="/v1/archives/{a}/fields/{f}",code="200",le="+Inf"} 1`,
+		`cfserve_request_seconds_bucket{route="other",code="404",le="+Inf"} 1`,
+		`cfserve_request_seconds_count{route="/v1/archives/{a}/fields/{f}",code="200"} 1`,
+		`cfserve_stage_seconds_bucket{stage="chunk_decode",le="+Inf"}`,
+		`cfserve_stage_seconds_bucket{stage="payload_read",le="+Inf"}`,
+		`cfserve_stage_seconds_bucket{stage="anchor_decode",le="+Inf"}`,
+		`cfserve_stage_seconds_sum{stage="chunk_decode"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestDecodeRecordedOnceUnderCoalescing pins the singleflight accounting:
+// many concurrent requests for one cold dependent chunk must record the
+// decode work exactly once per decoded chunk — on the leader — never per
+// waiter. W/chunks/0 decodes 4 chunks total (itself plus 3 anchor
+// chunks), so 32 clients must still yield exactly 4 decode observations.
+func TestDecodeRecordedOnceUnderCoalescing(t *testing.T) {
+	s, ts := newTestServer(t, serve.Config{})
+	const clients = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/v1/archives/ds/fields/W/chunks/0")
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	stages := s.StageLatency()
+	if got := stages["chunk_decode"].Count; got != 4 {
+		t.Errorf("chunk_decode observations = %d, want 4 (leader-only)", got)
+	}
+	if got := stages["payload_read"].Count; got != 4 {
+		t.Errorf("payload_read observations = %d, want 4 (leader-only)", got)
+	}
+	if got := stages["anchor_decode"].Count; got != 1 {
+		t.Errorf("anchor_decode observations = %d, want 1 (leader-only)", got)
+	}
+	// Every client performed a chunk-cache lookup; only leaders ran decodes.
+	if got := stages["cache_lookup"].Count; got < clients {
+		t.Errorf("cache_lookup observations = %d, want >= %d", got, clients)
+	}
+	_, body := get(t, ts, "/metrics")
+	if !strings.Contains(string(body), "cfserve_decodes_total 4\n") {
+		t.Errorf("cfserve_decodes_total != 4 after %d coalesced clients:\n%s",
+			clients, grepLines(string(body), "cfserve_decodes_total"))
+	}
+}
+
+func grepLines(text, substr string) string {
+	var out []string
+	for _, l := range strings.Split(text, "\n") {
+		if strings.Contains(l, substr) {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// syncBuffer is a goroutine-safe writer for access-log capture.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestAccessLogJSON checks the structured access log: one JSON line per
+// request carrying the trace id that was also returned to the client.
+func TestAccessLogJSON(t *testing.T) {
+	var logBuf syncBuffer
+	s := serve.New(serve.Config{AccessLog: &logBuf})
+	if err := s.Mount("ds", sharedArchiveBlob(t)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	resp, _ := get(t, ts, "/v1/archives/ds/fields/U")
+	// The log line is written after the response commits; poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	var line string
+	for time.Now().Before(deadline) {
+		if line = strings.TrimSpace(logBuf.String()); line != "" {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if line == "" {
+		t.Fatal("no access log line written")
+	}
+	var rec struct {
+		Trace  string  `json:"trace"`
+		Method string  `json:"method"`
+		Path   string  `json:"path"`
+		Route  string  `json:"route"`
+		Status int     `json:"status"`
+		Bytes  int64   `json:"bytes"`
+		DurMs  float64 `json:"dur_ms"`
+	}
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("access log line not JSON: %v\n%s", err, line)
+	}
+	if rec.Trace != resp.Header.Get("X-CFC-Trace") {
+		t.Errorf("log trace %q != header trace %q", rec.Trace, resp.Header.Get("X-CFC-Trace"))
+	}
+	if rec.Method != "GET" || rec.Path != "/v1/archives/ds/fields/U" ||
+		rec.Route != "/v1/archives/{a}/fields/{f}" || rec.Status != 200 {
+		t.Errorf("unexpected access record: %+v", rec)
+	}
+	if rec.Bytes <= 0 || rec.DurMs <= 0 {
+		t.Errorf("access record missing bytes/duration: %+v", rec)
+	}
+}

@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+)
+
+// flushReadFromWriter records which optional interfaces were exercised.
+type flushReadFromWriter struct {
+	hdr       http.Header
+	status    int
+	written   []byte
+	flushed   int
+	readFroms int
+}
+
+func (w *flushReadFromWriter) Header() http.Header { return w.hdr }
+func (w *flushReadFromWriter) WriteHeader(c int)   { w.status = c }
+func (w *flushReadFromWriter) Write(p []byte) (int, error) {
+	w.written = append(w.written, p...)
+	return len(p), nil
+}
+func (w *flushReadFromWriter) Flush() { w.flushed++ }
+func (w *flushReadFromWriter) ReadFrom(r io.Reader) (int64, error) {
+	w.readFroms++
+	n, err := io.Copy(struct{ io.Writer }{w}, r)
+	return n, err
+}
+
+// plainWriter implements only the core interface — no Flusher, no
+// ReaderFrom.
+type plainWriter struct {
+	hdr     http.Header
+	written []byte
+}
+
+func (w *plainWriter) Header() http.Header { return w.hdr }
+func (w *plainWriter) WriteHeader(int)     {}
+func (w *plainWriter) Write(p []byte) (int, error) {
+	w.written = append(w.written, p...)
+	return len(p), nil
+}
+
+// TestRecorderPassesThroughOptionalInterfaces pins the countingWriter
+// regression: the instrumented writer must forward Flush to an underlying
+// http.Flusher and ReadFrom to an underlying io.ReaderFrom, while still
+// counting bytes and capturing the status code.
+func TestRecorderPassesThroughOptionalInterfaces(t *testing.T) {
+	var s Server
+	s.metrics.init(0, 0, nil)
+	under := &flushReadFromWriter{hdr: make(http.Header)}
+	rec := &recorder{ResponseWriter: under, total: &s.metrics.bytesServed}
+
+	var rw http.ResponseWriter = rec
+	if f, ok := rw.(http.Flusher); !ok {
+		t.Fatal("recorder does not implement http.Flusher")
+	} else {
+		f.Flush()
+	}
+	if under.flushed != 1 {
+		t.Errorf("underlying Flush called %d times, want 1", under.flushed)
+	}
+
+	n, err := rw.(io.ReaderFrom).ReadFrom(strings.NewReader("payload-bytes"))
+	if err != nil || n != int64(len("payload-bytes")) {
+		t.Fatalf("ReadFrom = (%d, %v)", n, err)
+	}
+	if under.readFroms != 1 {
+		t.Errorf("underlying ReadFrom called %d times, want 1", under.readFroms)
+	}
+	if got := s.metrics.bytesServed.Load(); got != int64(len("payload-bytes")) {
+		t.Errorf("bytesServed = %d, want %d", got, len("payload-bytes"))
+	}
+	if rec.status != http.StatusOK {
+		t.Errorf("implicit status = %d, want 200", rec.status)
+	}
+	if rec.Unwrap() != http.ResponseWriter(under) {
+		t.Error("Unwrap does not return the underlying writer")
+	}
+
+	// Explicit status sticks; later writes don't overwrite it.
+	rec2 := &recorder{ResponseWriter: under, total: &s.metrics.bytesServed}
+	rec2.WriteHeader(http.StatusNotFound)
+	rec2.Write([]byte("x"))
+	rec2.WriteHeader(http.StatusOK)
+	if rec2.status != http.StatusNotFound {
+		t.Errorf("status = %d, want first WriteHeader to win (404)", rec2.status)
+	}
+}
+
+// TestRecorderReadFromFallback covers the underlying writer without
+// ReaderFrom: the copy must not recurse back into recorder.ReadFrom and
+// must still count bytes.
+func TestRecorderReadFromFallback(t *testing.T) {
+	var s Server
+	s.metrics.init(0, 0, nil)
+	under := &plainWriter{hdr: make(http.Header)}
+	rec := &recorder{ResponseWriter: under, total: &s.metrics.bytesServed}
+	n, err := rec.ReadFrom(strings.NewReader("fallback"))
+	if err != nil || n != int64(len("fallback")) {
+		t.Fatalf("ReadFrom = (%d, %v)", n, err)
+	}
+	if string(under.written) != "fallback" {
+		t.Errorf("underlying got %q", under.written)
+	}
+	if rec.written != int64(len("fallback")) {
+		t.Errorf("per-request byte count = %d", rec.written)
+	}
+}
+
+func TestRouteLabel(t *testing.T) {
+	for pattern, want := range map[string]string{
+		"":                     "other",
+		"GET /v1/archives/{a}": "/v1/archives/{a}",
+		"/metrics":             "/metrics",
+		"GET /v1/archives/{a}/fields/{f}/chunks/{i}": "/v1/archives/{a}/fields/{f}/chunks/{i}",
+	} {
+		if got := routeLabel(pattern); got != want {
+			t.Errorf("routeLabel(%q) = %q, want %q", pattern, got, want)
+		}
+	}
+}
+
+// goldenServer mounts the committed CFC3 fixture for benchmarks.
+func goldenServer(b *testing.B) *Server {
+	b.Helper()
+	const golden = "../../testdata/golden/archive_cfc3.cfc"
+	if _, err := os.Stat(golden); err != nil {
+		b.Skipf("golden fixture missing: %v", err)
+	}
+	s := New(Config{})
+	if err := s.MountFile("g", golden); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkHotChunkGet measures the cache-hit chunk GET with and without
+// the observability middleware. The "loopback" pair drives a real HTTP
+// server over localhost — the serve path as clients experience it, and
+// the surface the within-3% acceptance bound applies to. The "inproc"
+// pair calls the handler directly, exposing the middleware's absolute
+// cost without connection overhead masking it:
+//
+//	go test ./internal/serve/ -run '^$' -bench BenchmarkHotChunkGet -benchtime 2s
+func BenchmarkHotChunkGet(b *testing.B) {
+	const path = "/v1/archives/g/fields/W/chunks/1"
+	s := goldenServer(b)
+	defer s.Close()
+
+	inproc := func(b *testing.B, h http.Handler) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest("GET", path, nil)
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				b.Fatal(w.Code)
+			}
+		}
+	}
+	loopback := func(b *testing.B, h http.Handler) {
+		ts := httptest.NewServer(h)
+		defer ts.Close()
+		client := ts.Client()
+		do := func() {
+			resp, err := client.Get(ts.URL + path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatal(resp.StatusCode)
+			}
+		}
+		do() // warm the caches and the keep-alive connection
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			do()
+		}
+	}
+	b.Run("loopback-instrumented", func(b *testing.B) { loopback(b, s.Handler()) })
+	b.Run("loopback-bare", func(b *testing.B) { loopback(b, s.routes()) })
+	b.Run("inproc-instrumented", func(b *testing.B) { inproc(b, s.Handler()) })
+	b.Run("inproc-bare", func(b *testing.B) { inproc(b, s.routes()) })
+}

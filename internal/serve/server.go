@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"compress/gzip"
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -21,6 +22,7 @@ import (
 	crossfield "repro"
 	"repro/internal/chunk"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/quant"
 )
 
@@ -38,6 +40,16 @@ type Config struct {
 	// on-demand payload reads from file-backed mounts; 0 selects 128 MiB.
 	// Negative disables retention.
 	PayloadCacheBytes int64
+	// TraceSpans bounds the spans recorded per request; 0 selects 64.
+	// Overflowing spans are counted and dropped, never grown.
+	TraceSpans int
+	// TraceRing bounds how many completed request traces GET /debug/trace
+	// retains; 0 selects 64, negative disables the ring.
+	TraceRing int
+	// AccessLog, when non-nil, receives one structured JSON line per
+	// request (trace id, route, status, bytes, duration). Writes are
+	// serialized; pass os.Stderr or a log file directly.
+	AccessLog io.Writer
 }
 
 const (
@@ -115,12 +127,14 @@ func New(cfg Config) *Server {
 	if cfg.PayloadCacheBytes == 0 {
 		cfg.PayloadCacheBytes = defaultPayloadCacheBytes
 	}
-	return &Server{
+	s := &Server{
 		mounts:   make(map[string]*mount),
 		fields:   NewCache(cfg.FieldCacheBytes),
 		chunks:   NewCache(cfg.ChunkCacheBytes),
 		payloads: NewCache(cfg.PayloadCacheBytes),
 	}
+	s.metrics.init(cfg.TraceSpans, cfg.TraceRing, cfg.AccessLog)
+	return s
 }
 
 // Mount registers an in-memory blob under name. CFC3 archives expose
@@ -483,13 +497,17 @@ func (v *fieldVal) size() int64 { return int64(4*v.f.Len() + len(v.raw)) }
 // payloadBytes returns field i's compressed payload bytes through the
 // shared payload LRU: file-backed mounts read them on demand (one pread
 // or page-cache copy per cold entry) and verify the manifest checksum per
-// read, so hot chunk requests never touch the backing file.
-func (s *Server) payloadBytes(m *mount, i int) ([]byte, error) {
+// read, so hot chunk requests never touch the backing file. The
+// payload_read stage is recorded inside the compute closure, so only the
+// singleflight leader that actually touches the backing observes it.
+func (s *Server) payloadBytes(ctx context.Context, m *mount, i int) ([]byte, error) {
 	fv := &m.fieldList[i]
 	if m.blobPayload != nil {
 		return m.blobPayload, nil
 	}
 	v, err := s.payloads.GetOrCompute(fv.key+"/payload", func() (any, int64, error) {
+		_, end := s.metrics.stage(ctx, "payload_read", s.metrics.stages.payloadRead)
+		defer end()
 		var (
 			p   []byte
 			err error
@@ -516,34 +534,50 @@ func (s *Server) payloadBytes(m *mount, i int) ([]byte, error) {
 // singleflight coalescing. Anchors are resolved recursively through the
 // same cache, so one request for a dependent field warms every anchor on
 // its chain — the manifest graph is a validated DAG, so the recursion
-// terminates and cannot self-wait.
-func (s *Server) fieldData(m *mount, i int) (*fieldVal, error) {
+// terminates and cannot self-wait. Stage spans and decode timings are
+// recorded inside the compute closure: the singleflight leader that runs
+// the decode observes them exactly once, coalesced waiters never do.
+func (s *Server) fieldData(ctx context.Context, m *mount, i int) (*fieldVal, error) {
 	fv := &m.fieldList[i]
+	tr, parent := obs.FromContext(ctx)
+	lid := tr.Start(parent, "cache_lookup")
+	lstart := time.Now()
 	v, err := s.fields.GetOrCompute(fv.key, func() (any, int64, error) {
-		anchors := make([]*crossfield.Field, len(fv.deps))
-		for k, d := range fv.deps {
-			af, err := s.fieldData(m, d)
-			if err != nil {
-				return nil, 0, fmt.Errorf("anchor %q: %w", m.fieldList[d].info.Name, err)
+		cctx := obs.ContextWithSpan(ctx, tr, lid)
+		var anchors []*crossfield.Field
+		if len(fv.deps) > 0 {
+			actx, endAnchors := s.metrics.stage(cctx, "anchor_decode", s.metrics.stages.anchorDecode)
+			anchors = make([]*crossfield.Field, len(fv.deps))
+			for k, d := range fv.deps {
+				af, err := s.fieldData(actx, m, d)
+				if err != nil {
+					endAnchors()
+					return nil, 0, fmt.Errorf("anchor %q: %w", m.fieldList[d].info.Name, err)
+				}
+				anchors[k] = af.f
 			}
-			anchors[k] = af.f
+			endAnchors()
 		}
 		var (
 			f   *crossfield.Field
 			err error
 		)
 		if m.ar != nil {
+			_, endDecode := s.metrics.stage(cctx, "field_decode", s.metrics.stages.fieldDecode)
 			start := time.Now()
 			f, err = m.ar.DecodeField(fv.info.Name, anchors)
 			s.metrics.observeDecode(time.Since(start))
+			endDecode()
 		} else {
-			payload, perr := s.payloadBytes(m, i)
+			payload, perr := s.payloadBytes(cctx, m, i)
 			if perr != nil {
 				return nil, 0, perr
 			}
+			_, endDecode := s.metrics.stage(cctx, "field_decode", s.metrics.stages.fieldDecode)
 			start := time.Now()
 			f, err = crossfield.Decompress(fv.info.Name, payload, anchors)
 			s.metrics.observeDecode(time.Since(start))
+			endDecode()
 		}
 		if err != nil {
 			return nil, 0, err
@@ -551,6 +585,8 @@ func (s *Server) fieldData(m *mount, i int) (*fieldVal, error) {
 		val := &fieldVal{f: f, raw: floatBytes(f.Data())}
 		return val, val.size(), nil
 	})
+	tr.End(lid)
+	s.metrics.stages.cacheLookup.Observe(time.Since(lstart).Seconds())
 	if err != nil {
 		return nil, err
 	}
@@ -568,32 +604,50 @@ type chunkVal struct {
 // whose slab ranges intersect the requested chunk are decoded (through
 // the same chunk LRU, recursively for anchor chains), never whole anchor
 // fields — the anchor-slab slicing the ROADMAP scale-out item asks for.
-func (s *Server) chunkData(m *mount, i, ci int) (*chunkVal, error) {
+func (s *Server) chunkData(ctx context.Context, m *mount, i, ci int) (*chunkVal, error) {
 	fv := &m.fieldList[i]
 	key := fv.key + "#" + strconv.Itoa(ci)
+	tr, parent := obs.FromContext(ctx)
+	lid := tr.Start(parent, "cache_lookup")
+	lstart := time.Now()
 	v, err := s.chunks.GetOrCompute(key, func() (any, int64, error) {
+		// Deriving a child context allocates, but only here on the cold
+		// path; cache hits never reach this closure. Recording stages
+		// inside it also makes them leader-only — coalesced waiters get
+		// the value without double-counting decode time.
+		cctx := obs.ContextWithSpan(ctx, tr, lid)
 		c := fv.chunks[ci]
-		slabs := make([]*crossfield.Field, len(fv.deps))
-		for k, d := range fv.deps {
-			af, err := s.anchorSlab(m, d, c.Start, c.Slabs)
-			if err != nil {
-				return nil, 0, fmt.Errorf("anchor %q: %w", m.fieldList[d].info.Name, err)
+		var slabs []*crossfield.Field
+		if len(fv.deps) > 0 {
+			actx, endAnchors := s.metrics.stage(cctx, "anchor_decode", s.metrics.stages.anchorDecode)
+			slabs = make([]*crossfield.Field, len(fv.deps))
+			for k, d := range fv.deps {
+				af, err := s.anchorSlab(actx, m, d, c.Start, c.Slabs)
+				if err != nil {
+					endAnchors()
+					return nil, 0, fmt.Errorf("anchor %q: %w", m.fieldList[d].info.Name, err)
+				}
+				slabs[k] = af
 			}
-			slabs[k] = af
+			endAnchors()
 		}
-		payload, err := s.payloadBytes(m, i)
+		payload, err := s.payloadBytes(cctx, m, i)
 		if err != nil {
 			return nil, 0, err
 		}
+		_, endDecode := s.metrics.stage(cctx, "chunk_decode", s.metrics.stages.chunkDecode)
 		start := time.Now()
 		f, slab, err := crossfield.DecompressChunkSlab(fv.info.Name, payload, ci, slabs)
 		s.metrics.observeDecode(time.Since(start))
+		endDecode()
 		if err != nil {
 			return nil, 0, err
 		}
 		val := &chunkVal{fieldVal: fieldVal{f: f, raw: floatBytes(f.Data())}, start: slab}
 		return val, val.size(), nil
 	})
+	tr.End(lid)
+	s.metrics.stages.cacheLookup.Observe(time.Since(lstart).Seconds())
 	if err != nil {
 		return nil, err
 	}
@@ -607,7 +661,7 @@ func (s *Server) chunkData(m *mount, i, ci int) (*chunkVal, error) {
 // resolved chunk-wise. When one chunk covers the range exactly (aligned
 // grids, the common case for archives compressed with one chunk size) its
 // cached tensor is returned without copying.
-func (s *Server) anchorSlab(m *mount, d int, start, count int) (*crossfield.Field, error) {
+func (s *Server) anchorSlab(ctx context.Context, m *mount, d int, start, count int) (*crossfield.Field, error) {
 	fv := &m.fieldList[d]
 	dims := fv.info.Dims
 	if len(dims) == 0 || start < 0 || start+count > dims[0] {
@@ -616,7 +670,7 @@ func (s *Server) anchorSlab(m *mount, d int, start, count int) (*crossfield.Fiel
 	}
 	for ci, c := range fv.chunks {
 		if c.Start == start && c.Slabs == count {
-			cv, err := s.chunkData(m, d, ci)
+			cv, err := s.chunkData(ctx, m, d, ci)
 			if err != nil {
 				return nil, err
 			}
@@ -632,7 +686,7 @@ func (s *Server) anchorSlab(m *mount, d int, start, count int) (*crossfield.Fiel
 		if c.Start+c.Slabs <= start || c.Start >= start+count {
 			continue
 		}
-		cv, err := s.chunkData(m, d, ci)
+		cv, err := s.chunkData(ctx, m, d, ci)
 		if err != nil {
 			return nil, err
 		}
@@ -655,8 +709,19 @@ func (s *Server) anchorSlab(m *mount, d int, start, count int) (*crossfield.Fiel
 //	GET /v1/archives/{a}/fields/{f}/stats
 //	GET /v1/archives/{a}/fields/{f}/chunks/{i}
 //	GET /metrics
+//	GET /debug/trace
 //	GET /healthz
+//
+// Every route is wrapped by the instrument middleware: requests get a
+// pooled trace (id in X-CFC-Trace), a per-route/per-status latency
+// observation, and a slot in the /debug/trace ring.
 func (s *Server) Handler() http.Handler {
+	return s.instrument(s.routes())
+}
+
+// routes returns the bare mux without instrumentation; the overhead
+// benchmark serves it directly to measure the middleware's cost.
+func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/archives", s.handleArchives)
 	mux.HandleFunc("GET /v1/archives/{a}/stats", s.handleArchiveStats)
@@ -665,11 +730,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/archives/{a}/fields/{f}/stats", s.handleFieldStats)
 	mux.HandleFunc("GET /v1/archives/{a}/fields/{f}/chunks/{i}", s.handleChunk)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/trace", s.handleTrace)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
-	return s.instrument(mux)
+	return mux
 }
 
 // archiveJSON is one mount's listing entry.
@@ -822,7 +888,7 @@ func (s *Server) handleField(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "unknown archive %q or field %q", r.PathValue("a"), r.PathValue("f"))
 		return
 	}
-	v, err := s.fieldData(m, i)
+	v, err := s.fieldData(r.Context(), m, i)
 	if err != nil {
 		decodeError(w, err)
 		return
@@ -854,7 +920,7 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "chunk %d out of [0,%d)", ci, len(fv.chunks))
 		return
 	}
-	cv, err := s.chunkData(m, i, ci)
+	cv, err := s.chunkData(r.Context(), m, i, ci)
 	if err != nil {
 		decodeError(w, err)
 		return
@@ -872,6 +938,70 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.write(w, s.fields.Stats(), s.chunks.Stats(), s.payloads.Stats())
+}
+
+// traceNodeJSON is one span rendered as a tree node; children are the
+// spans whose parent index pointed at it.
+type traceNodeJSON struct {
+	Name     string           `json:"name"`
+	StartNs  int64            `json:"start_ns"`
+	DurNs    int64            `json:"duration_ns"`
+	Children []*traceNodeJSON `json:"children,omitempty"`
+}
+
+// traceJSON is one completed request in the /debug/trace body.
+type traceJSON struct {
+	TraceID string           `json:"trace_id"`
+	Label   string           `json:"label"`
+	Start   time.Time        `json:"start"`
+	DurNs   int64            `json:"duration_ns"`
+	Dropped int              `json:"dropped_spans,omitempty"`
+	Spans   []*traceNodeJSON `json:"spans"`
+}
+
+// spanTree folds the flat parent-indexed span array into nested trees.
+// Start claims span slots in call order, so a parent's index is always
+// below its children's and one forward pass links everything.
+func spanTree(spans []obs.Span) []*traceNodeJSON {
+	nodes := make([]*traceNodeJSON, len(spans))
+	var roots []*traceNodeJSON
+	for i, sp := range spans {
+		dur := sp.EndNs - sp.StartNs
+		if sp.EndNs == 0 || dur < 0 {
+			dur = 0 // span abandoned on an error path
+		}
+		nodes[i] = &traceNodeJSON{Name: sp.Name, StartNs: sp.StartNs, DurNs: dur}
+		if p := int(sp.Parent); p >= 0 && p < i {
+			nodes[p].Children = append(nodes[p].Children, nodes[i])
+		} else {
+			roots = append(roots, nodes[i])
+		}
+	}
+	return roots
+}
+
+// handleTrace serves the last completed request traces, newest first,
+// each as a nested span tree. ?n= caps the count.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	snaps := s.metrics.ring.Snapshots()
+	if q := r.URL.Query().Get("n"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "malformed n %q", q)
+			return
+		}
+		if n < len(snaps) {
+			snaps = snaps[:n]
+		}
+	}
+	out := make([]traceJSON, len(snaps))
+	for i, sn := range snaps {
+		out[i] = traceJSON{
+			TraceID: sn.ID, Label: sn.Label, Start: sn.Start,
+			DurNs: sn.DurNs, Dropped: sn.Dropped, Spans: spanTree(sn.Spans),
+		}
+	}
+	writeJSON(w, out)
 }
 
 // serveRaw writes a pre-serialized little-endian float32 body with

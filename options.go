@@ -17,6 +17,7 @@ type compressConfig struct {
 	chunkVoxels int
 	workers     int
 	fieldBounds map[string]ErrorBound
+	timings     *DatasetTimings
 }
 
 // optionFunc adapts a closure to the Option interface.
@@ -69,6 +70,20 @@ func WithFieldBound(name string, bound ErrorBound) Option {
 	})
 }
 
+// WithStageTimings records each field's per-stage compression wall time
+// (inference, quantize, predict, huffman, flate) into t. Like
+// WithFieldBound it applies only to CompressDataset; the single-field
+// entry points reject it. Recording never changes output bytes.
+func WithStageTimings(t *DatasetTimings) Option {
+	return optionFunc(func(c *compressConfig) error {
+		if t == nil {
+			return fmt.Errorf("crossfield: WithStageTimings: nil DatasetTimings")
+		}
+		c.timings = t
+		return nil
+	})
+}
+
 // ChunkOptions selects the chunked parallel engine when passed to Compress
 // or CompressBaseline. The zero value means "chunked with defaults".
 //
@@ -115,6 +130,9 @@ func resolveOptions(caller string, opts []Option, dataset bool) (*compressConfig
 	}
 	if !dataset && len(c.fieldBounds) > 0 {
 		return nil, fmt.Errorf("crossfield: %s: WithFieldBound applies only to CompressDataset", caller)
+	}
+	if !dataset && c.timings != nil {
+		return nil, fmt.Errorf("crossfield: %s: WithStageTimings applies only to CompressDataset", caller)
 	}
 	return c, nil
 }

@@ -1,0 +1,54 @@
+package crossfield
+
+import "repro/internal/obs"
+
+// StageTiming is one pipeline stage's aggregate wall time within a single
+// field's compression: how many times the stage ran (chunked payloads run
+// each stage once per chunk) and the total nanoseconds it consumed. The
+// stage names are the pipeline's own: "inference" (CFNN forward pass over
+// the anchors), "quantize" (dual-quantization prequantize), "predict"
+// (Lorenzo/hybrid prediction and residual coding), "huffman" (code tree
+// build and entropy coding), and "flate" (the lossless backend).
+type StageTiming = obs.StageTiming
+
+// FieldTimings is the per-stage breakdown of one field's compression.
+type FieldTimings struct {
+	Name string `json:"name"`
+	// Stages lists the stages that ran, ordered by descending total time
+	// (chunked payloads make first-execution order nondeterministic).
+	// Stage times are summed wall time and can exceed elapsed time when
+	// chunk workers run stages concurrently.
+	Stages []StageTiming `json:"stages"`
+}
+
+// Seconds returns the summed wall time of every stage.
+func (f FieldTimings) Seconds() float64 {
+	var total float64
+	for _, s := range f.Stages {
+		total += s.Seconds()
+	}
+	return total
+}
+
+// DatasetTimings collects each field's compression stage breakdown for
+// one CompressDataset call, in the archive's write (dependency) order.
+// Populate it by passing WithStageTimings:
+//
+//	var tm crossfield.DatasetTimings
+//	res, err := crossfield.CompressDataset(specs, bound, crossfield.WithStageTimings(&tm))
+type DatasetTimings struct {
+	Fields []FieldTimings `json:"fields"`
+}
+
+// For returns the named field's timings, or nil.
+func (d *DatasetTimings) For(name string) *FieldTimings {
+	if d == nil {
+		return nil
+	}
+	for i := range d.Fields {
+		if d.Fields[i].Name == name {
+			return &d.Fields[i]
+		}
+	}
+	return nil
+}
