@@ -27,11 +27,23 @@
 //	GET /metrics                                 Prometheus exposition
 //	GET /debug/trace                             recent request span trees
 //	GET /healthz                                 liveness
+//	GET /readyz                                  readiness (503 until all mounts registered)
 //
 // Field and chunk bodies honor Accept-Encoding: gzip and Range requests,
 // and carry X-CFC-Dims / X-CFC-Abs-EB / X-CFC-Max-Err headers plus a
 // content-addressed ETag; every response carries its trace ID in
-// X-CFC-Trace.
+// X-CFC-Trace. The listener binds before mounting, so /healthz answers
+// immediately while /readyz stays 503 until every archive is registered.
+//
+// Cluster mode (see docs/CLUSTER.md): -router turns the binary into a
+// consistent-hash reverse proxy over -peers, health-checking each peer's
+// /healthz and failing requests over to the key's replica:
+//
+//	cfserve -router -listen :9090 -peers http://n0:8080,http://n1:8080,http://n2:8080
+//
+// A serving node given -peers and -self joins the same ring for
+// node-to-node anchor fetch: chunks another peer has already decoded are
+// fetched (and ETag-verified) instead of re-decoded locally.
 //
 // Observability extras: -access-log writes one JSON line per request
 // (trace ID included) to a file or "-" for stderr; -debug-addr starts a
@@ -57,6 +69,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/serve"
 )
 
@@ -86,9 +99,20 @@ func main() {
 		accessLog  = flag.String("access-log", "", `JSON access log destination: a file path (appended) or "-" for stderr`)
 		debugAddr  = flag.String("debug-addr", "", "address for a second listener exposing net/http/pprof (off by default; keep it private)")
 		traceRing  = flag.Int("trace-ring", 64, "recent request traces kept for GET /debug/trace (negative disables tracing)")
+
+		routerMode  = flag.Bool("router", false, "run as a cluster router over -peers instead of serving archives")
+		peerList    = flag.String("peers", "", "comma-separated peer base URLs (router: backends to shard over; node: ring members for peer anchor fetch)")
+		selfURL     = flag.String("self", "", "this node's own base URL within -peers (node mode; enables peer-aware anchor fetch)")
+		replication = flag.Int("replication", 2, "router: distinct owners per key (primary plus failover replicas)")
+		healthEvery = flag.Duration("health-interval", 2*time.Second, "router: interval between peer health sweeps")
 	)
 	flag.Var(&mounts, "mount", "name=path of a .cfc archive or blob to mount (repeatable)")
 	flag.Parse()
+
+	if *routerMode {
+		runRouter(*listen, *peerList, *replication, *healthEvery, *timeoutSec)
+		return
+	}
 
 	for _, p := range flag.Args() {
 		name := strings.TrimSuffix(filepath.Base(p), filepath.Ext(p))
@@ -120,28 +144,23 @@ func main() {
 		AccessLog:         accessW,
 	})
 	defer srv.Close()
-	for _, m := range mounts {
-		if *inMem {
-			blob, err := os.ReadFile(m.path)
-			if err != nil {
-				fatal(err)
-			}
-			if err := srv.Mount(m.name, blob); err != nil {
-				fatal(err)
-			}
-			log.Printf("mounted %s as %q (%d bytes, in-memory)", m.path, m.name, len(blob))
-			continue
+	// /readyz stays 503 until every mount below is registered; /healthz
+	// answers as soon as the listener binds.
+	srv.SetReady(false)
+
+	if *peerList != "" {
+		if *selfURL == "" {
+			fatal(fmt.Errorf("-peers on a serving node also needs -self (this node's base URL)"))
 		}
-		// Default: file-backed (mmap on Linux) — the blob is never copied
-		// into the process, so archives larger than RAM mount fine.
-		if err := srv.MountFile(m.name, m.path); err != nil {
-			fatal(err)
-		}
-		st, err := os.Stat(m.path)
+		ac, err := cluster.NewAnchorClient(cluster.AnchorClientConfig{
+			Self:  *selfURL,
+			Peers: splitPeers(*peerList),
+		})
 		if err != nil {
 			fatal(err)
 		}
-		log.Printf("mounted %s as %q (%d bytes, file-backed)", m.path, m.name, st.Size())
+		srv.SetRemote(ac)
+		log.Printf("peer anchor fetch enabled (self %s, %d peers)", *selfURL, len(splitPeers(*peerList)))
 	}
 
 	// pprof lives on its own listener so profiling never shares a port
@@ -185,6 +204,35 @@ func main() {
 	log.Printf("cfserve listening on %s (%d mounts, field cache %d MiB, chunk cache %d MiB, payload cache %d MiB)",
 		ln.Addr(), len(mounts), *cacheMB, *chunkMB, *payloadMB)
 
+	// Mount after the listener binds: /healthz is already answering, and
+	// /readyz flips to 200 only once every archive is registered — load
+	// balancers won't route data requests at a node mid-mount.
+	for _, m := range mounts {
+		if *inMem {
+			blob, err := os.ReadFile(m.path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := srv.Mount(m.name, blob); err != nil {
+				fatal(err)
+			}
+			log.Printf("mounted %s as %q (%d bytes, in-memory)", m.path, m.name, len(blob))
+			continue
+		}
+		// Default: file-backed (mmap on Linux) — the blob is never copied
+		// into the process, so archives larger than RAM mount fine.
+		if err := srv.MountFile(m.name, m.path); err != nil {
+			fatal(err)
+		}
+		st, err := os.Stat(m.path)
+		if err != nil {
+			fatal(err)
+		}
+		log.Printf("mounted %s as %q (%d bytes, file-backed)", m.path, m.name, st.Size())
+	}
+	srv.SetReady(true)
+	log.Printf("cfserve ready (%d mounts registered)", len(mounts))
+
 	select {
 	case err := <-errc:
 		fatal(err)
@@ -193,6 +241,64 @@ func main() {
 	log.Printf("shutting down: field cache [%v], chunk cache [%v]",
 		srv.FieldCacheStats(), srv.ChunkCacheStats())
 	sctx, cancel := context.WithTimeout(context.Background(), time.Duration(*timeoutSec)*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+}
+
+// splitPeers parses a comma-separated peer list, dropping empty entries.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// runRouter is the -router entrypoint: a consistent-hash reverse proxy
+// over the peer set, with health-checked eject/readmit. It serves the
+// same /v1 surface as a node plus its own /healthz, /readyz, /metrics,
+// and /debug/trace.
+func runRouter(listen, peerList string, replication int, healthEvery time.Duration, timeoutSec int) {
+	peers := splitPeers(peerList)
+	if len(peers) == 0 {
+		fatal(fmt.Errorf("-router needs -peers url,url,..."))
+	}
+	rt, err := cluster.NewRouter(cluster.Config{
+		Peers:          peers,
+		Replication:    replication,
+		HealthInterval: healthEvery,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer rt.Close()
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		fatal(err)
+	}
+	hs := &http.Server{
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	log.Printf("cfserve router listening on %s (%d peers, replication %d)",
+		ln.Addr(), len(peers), replication)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("router shutting down: healthy peers %v", rt.HealthyPeers())
+	sctx, cancel := context.WithTimeout(context.Background(), time.Duration(timeoutSec)*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)

@@ -2,8 +2,11 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"os/exec"
@@ -13,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/obs"
 )
 
@@ -90,6 +94,16 @@ func TestServeSmoke(t *testing.T) {
 		t.Fatal("cfserve never logged its listen address")
 	}
 
+	// Liveness answers as soon as the listener binds; readiness flips to
+	// 200 only once the mount is registered, so poll it before data
+	// requests (the binary now mounts after binding).
+	if resp, err := http.Get(base + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz not live immediately after bind: %v %v", resp, err)
+	} else {
+		resp.Body.Close()
+	}
+	waitReady(t, base, 20*time.Second)
+
 	get := func(path string) []byte {
 		t.Helper()
 		resp, err := http.Get(base + path)
@@ -165,5 +179,218 @@ func TestServeSmoke(t *testing.T) {
 	if !foundDependent {
 		t.Fatalf("no trace with child spans for the dependent chunk request; labels: %s",
 			strings.Join(labels, "; "))
+	}
+}
+
+// waitReady polls base/readyz until it answers 200 (mounts registered for
+// a node, ring non-empty for a router).
+func waitReady(t *testing.T, base string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s/readyz never reached 200: last err %v", base, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// buildCfserve compiles the binary once per test into a temp dir.
+func buildCfserve(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "cfserve")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startCfserve launches the binary, scans its log for the bound address,
+// and registers a graceful-shutdown cleanup. It returns the process (so
+// tests can kill it) and its base URL.
+func startCfserve(t *testing.T, bin string, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan struct{})
+		go func() { cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			cmd.Process.Kill()
+			<-done
+		}
+	})
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			t.Logf("%s: %s", filepath.Base(bin), line)
+			if _, rest, ok := strings.Cut(line, "listening on "); ok {
+				if addr, _, ok := strings.Cut(rest, " "); ok {
+					select {
+					case addrc <- addr:
+					default:
+					}
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrc:
+		return cmd, "http://" + addr
+	case <-time.After(20 * time.Second):
+		t.Fatal("cfserve never logged its listen address")
+		return nil, ""
+	}
+}
+
+// reserveAddrs grabs n ephemeral loopback ports and releases them, so a
+// cluster's peer list can be fixed before any node binds. The tiny window
+// between release and rebind is acceptable for a smoke test.
+func reserveAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	out := make([]string, n)
+	for i := range out {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return out
+}
+
+// TestClusterSmoke is the end-to-end cluster check CI runs: three cfserve
+// nodes (peer-aware) behind a -router process, all mounting the golden
+// CFC3 fixture. Every routed response must be byte-identical to a solo
+// node's — including after one node is killed mid-run — and the router's
+// /metrics must lint. Gated behind CFSERVE_SMOKE=1 like TestServeSmoke.
+func TestClusterSmoke(t *testing.T) {
+	if os.Getenv("CFSERVE_SMOKE") != "1" {
+		t.Skip("set CFSERVE_SMOKE=1 to run the cfserve cluster smoke test")
+	}
+	golden, err := filepath.Abs("../../testdata/golden/archive_cfc3.cfc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(golden); err != nil {
+		t.Fatalf("golden fixture missing: %v", err)
+	}
+	bin := buildCfserve(t)
+
+	addrs := reserveAddrs(t, 3)
+	urls := make([]string, len(addrs))
+	for i, a := range addrs {
+		urls[i] = "http://" + a
+	}
+	peers := strings.Join(urls, ",")
+	nodes := make(map[string]*exec.Cmd, len(urls))
+	for i, a := range addrs {
+		cmd, _ := startCfserve(t, bin,
+			"-listen", a,
+			"-mount", "golden="+golden,
+			"-peers", peers,
+			"-self", urls[i],
+		)
+		nodes[urls[i]] = cmd
+	}
+	for _, u := range urls {
+		waitReady(t, u, 30*time.Second)
+	}
+	_, solo := startCfserve(t, bin, "-listen", "127.0.0.1:0", "-mount", "golden="+golden)
+	waitReady(t, solo, 30*time.Second)
+	_, router := startCfserve(t, bin,
+		"-router",
+		"-listen", "127.0.0.1:0",
+		"-peers", peers,
+		"-health-interval", "250ms",
+	)
+	waitReady(t, router, 30*time.Second)
+
+	rawGet := func(base, path string) (*http.Response, []byte) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, base+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Accept-Encoding", "identity")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("GET %s%s: %v", base, path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("GET %s%s: read: %v", base, path, err)
+		}
+		return resp, body
+	}
+
+	// Field, chunk, and dependent-chunk routes — W rides on U/V/PRES in
+	// the golden fixture.
+	var paths []string
+	for _, f := range []string{"U", "V", "PRES", "W"} {
+		paths = append(paths, "/v1/archives/golden/fields/"+f)
+		for ci := 0; ci < 2; ci++ {
+			paths = append(paths, fmt.Sprintf("/v1/archives/golden/fields/%s/chunks/%d", f, ci))
+		}
+	}
+	checkIdentical := func(stage string) {
+		t.Helper()
+		for _, path := range paths {
+			want, wantBody := rawGet(solo, path)
+			got, gotBody := rawGet(router, path)
+			if want.StatusCode != http.StatusOK || got.StatusCode != http.StatusOK {
+				t.Fatalf("%s: GET %s: solo=%d routed=%d", stage, path, want.StatusCode, got.StatusCode)
+			}
+			if !bytes.Equal(wantBody, gotBody) {
+				t.Fatalf("%s: GET %s: routed bytes differ from solo (%d vs %d bytes)",
+					stage, path, len(gotBody), len(wantBody))
+			}
+		}
+	}
+	checkIdentical("full cluster")
+
+	// Kill the node owning U#0 outright (no graceful shutdown) and verify
+	// the router fails its keys over with bytes unchanged. The ring here
+	// mirrors the router's placement, so the victim is guaranteed to own
+	// requested keys.
+	ring := cluster.NewRing(0)
+	for _, u := range urls {
+		ring.Add(u)
+	}
+	victim := ring.Owner("golden/U#0")
+	nodes[victim].Process.Kill()
+	checkIdentical("one node down")
+
+	resp, metrics := rawGet(router, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("router /metrics = %d", resp.StatusCode)
+	}
+	if err := obs.LintExposition(metrics); err != nil {
+		t.Fatalf("router exposition invalid: %v", err)
+	}
+	for _, want := range []string{"cfrouter_requests_total", "cfrouter_peer_request_seconds_bucket", "cfrouter_peer_healthy"} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("router /metrics missing %s", want)
+		}
 	}
 }

@@ -1,0 +1,38 @@
+// Package cluster shards cfserve across N nodes behind a thin router.
+//
+// Three pieces compose the cluster mode:
+//
+//   - Ring: a consistent-hash ring with virtual nodes and a configurable
+//     replication factor. Keys are placed on the node whose virtual point
+//     follows the key's hash clockwise; removing a node moves only that
+//     node's keys to their successors, so ejecting one peer of N
+//     invalidates ~1/N of the placement, not all of it.
+//
+//   - Router: an HTTP reverse proxy that maps each /v1/... request to a
+//     placement key (archive, field, or field#chunk), proxies it to the
+//     owning node, and retries once on the replica with capped
+//     exponential backoff when the owner is down or answers 5xx. A
+//     periodic health checker GETs each peer's /healthz, ejects peers
+//     from the ring after consecutive failures, and readmits them after
+//     consecutive successes. Every hop propagates X-CFC-Trace, so one id
+//     correlates the router's /debug/trace entry with the node's.
+//
+//   - AnchorClient: per-node peer awareness. Serving nodes place each
+//     chunk's Merkle content key on the same ring; when a dependent-chunk
+//     decode needs an anchor chunk another node owns, the node fetches
+//     the decoded bytes from that peer (verified against the
+//     content-addressed ETag) instead of re-decoding locally — one decode
+//     warms the whole cluster's content-addressed LRUs. Internal fetches
+//     carry X-CFC-Internal, which pins the serving peer to a local
+//     decode and bounds every request at one hop.
+//
+// The router shards by resource key (it never mounts archives), while
+// node-to-node anchor fetch shards by Merkle content key (so archives
+// sharing identical anchor payloads dedupe cluster-wide regardless of
+// mount names). Both placements use the same Ring. Every node mounts the
+// same archive set: the cluster shards decoded-cache residency and decode
+// work, not the compressed bytes on disk.
+//
+// See docs/CLUSTER.md for the operational story (failure semantics,
+// metrics, PromQL).
+package cluster

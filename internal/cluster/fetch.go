@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// AnchorClient gives a cfserve node cluster peer awareness: it implements
+// the serve.RemoteChunks contract, placing each chunk's Merkle content
+// key on the cluster ring and fetching already-decoded bytes from the
+// owning peer instead of re-decoding locally. Install it with
+// Server.SetRemote. Self-owned keys (and keys owned by a peer in its
+// failure cooldown) report false, which keeps the local decode path in
+// charge.
+//
+// Placement uses content keys, not URLs — two archives whose anchor
+// payload chains are byte-identical resolve to the same owner, so the
+// cluster-wide cache dedupes across mounts and timestep archives exactly
+// like the in-process LRU does.
+type AnchorClient struct {
+	ring   *Ring
+	self   string
+	client *http.Client
+
+	// cooldown suppresses fetch attempts against a peer that just failed,
+	// so a dead peer costs one dial timeout per window, not one per chunk.
+	cooldown time.Duration
+	mu       sync.Mutex
+	downAt   map[string]time.Time
+}
+
+// AnchorClientConfig parameterizes NewAnchorClient.
+type AnchorClientConfig struct {
+	// Self is this node's own base URL as it appears in Peers.
+	Self string
+	// Peers is the full cluster member list, self included.
+	Peers []string
+	// VirtualNodes per peer; 0 selects DefaultVirtualNodes. Must match
+	// the other nodes' setting or placements disagree.
+	VirtualNodes int
+	// Timeout per fetch; 0 selects 2s.
+	Timeout time.Duration
+	// Cooldown after a failed fetch before the peer is tried again;
+	// 0 selects 1s.
+	Cooldown time.Duration
+	// Transport overrides the outbound round tripper (tests inject the
+	// httptest client's); nil uses a DefaultTransport clone.
+	Transport http.RoundTripper
+}
+
+// NewAnchorClient builds the peer-fetch hook for one node.
+func NewAnchorClient(cfg AnchorClientConfig) (*AnchorClient, error) {
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: anchor client needs Self")
+	}
+	cfg.Self = strings.TrimRight(cfg.Self, "/")
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = time.Second
+	}
+	if cfg.Transport == nil {
+		t := http.DefaultTransport.(*http.Transport).Clone()
+		t.MaxIdleConnsPerHost = 16
+		cfg.Transport = t
+	}
+	ring := NewRing(cfg.VirtualNodes)
+	selfSeen := false
+	for _, p := range cfg.Peers {
+		p = strings.TrimRight(p, "/")
+		u, err := url.Parse(p)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("cluster: peer %q is not a base URL", p)
+		}
+		if p == cfg.Self {
+			selfSeen = true
+		}
+		ring.Add(p)
+	}
+	if !selfSeen {
+		return nil, fmt.Errorf("cluster: Self %q must appear in Peers", cfg.Self)
+	}
+	return &AnchorClient{
+		ring:     ring,
+		self:     cfg.Self,
+		client:   &http.Client{Transport: cfg.Transport, Timeout: cfg.Timeout},
+		cooldown: cfg.Cooldown,
+		downAt:   make(map[string]time.Time),
+	}, nil
+}
+
+// Owner exposes the content-key placement (tests and debugging).
+func (c *AnchorClient) Owner(key string) string { return c.ring.Owner(key) }
+
+// coolingDown reports whether peer failed within the cooldown window.
+func (c *AnchorClient) coolingDown(peer string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return time.Since(c.downAt[peer]) < c.cooldown
+}
+
+func (c *AnchorClient) markDown(peer string) {
+	c.mu.Lock()
+	c.downAt[peer] = time.Now()
+	c.mu.Unlock()
+}
+
+// FetchChunk implements serve.RemoteChunks: it asks the content key's
+// owning peer for the decoded chunk bytes and verifies the response
+// against the content-addressed ETag and expected size. Any mismatch or
+// failure returns false — the caller decodes locally, so a wrong or dead
+// peer costs latency, never correctness.
+func (c *AnchorClient) FetchChunk(ctx context.Context, key, archive, field string, chunk, size int) ([]byte, bool) {
+	owner := c.ring.Owner(key)
+	if owner == "" || owner == c.self || c.coolingDown(owner) {
+		return nil, false
+	}
+	u := fmt.Sprintf("%s/v1/archives/%s/fields/%s/chunks/%d",
+		owner, url.PathEscape(archive), url.PathEscape(field), chunk)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, false
+	}
+	// Identity encoding: the LRU wants the raw little-endian body, and
+	// setting the header explicitly also disables the transport's
+	// transparent gzip. X-CFC-Internal pins the peer to a local decode
+	// (one hop, no fetch cycles); the trace id carries the requesting
+	// node's span context across the hop.
+	req.Header.Set("Accept-Encoding", "identity")
+	req.Header.Set("X-CFC-Internal", "1")
+	if tr, _ := obs.FromContext(ctx); tr != nil {
+		req.Header.Set("X-CFC-Trace", tr.IDString())
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.markDown(owner)
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, false
+	}
+	// The ETag is the chunk's content address; anything else means the
+	// peer's mount differs from ours and its bytes must not be cached
+	// under our key.
+	if et := strings.Trim(resp.Header.Get("ETag"), `"`); et != key {
+		io.Copy(io.Discard, resp.Body)
+		return nil, false
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, int64(size)+1))
+	if err != nil || len(body) != size {
+		return nil, false
+	}
+	return body, true
+}

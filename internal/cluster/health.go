@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// peerState tracks one backend's health-transition counters. A peer must
+// fail EjectAfter consecutive probes (or proxy attempts) to leave the
+// ring, and pass ReadmitAfter consecutive probes to rejoin — hysteresis,
+// so one dropped packet doesn't reshuffle placement.
+type peerState struct {
+	healthy bool
+	fails   int
+	oks     int
+}
+
+// healthLoop probes every peer each interval until Close.
+func (rt *Router) healthLoop() {
+	defer rt.wg.Done()
+	t := time.NewTicker(rt.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stopc:
+			return
+		case <-t.C:
+			rt.CheckNow()
+		}
+	}
+}
+
+// CheckNow runs one synchronous health sweep over all peers (probes run
+// concurrently, so one dead peer's timeout doesn't delay the others).
+// The periodic loop calls it; tests and the smoke harness call it
+// directly for deterministic transitions.
+func (rt *Router) CheckNow() {
+	var wg sync.WaitGroup
+	for _, peer := range rt.cfg.Peers {
+		wg.Add(1)
+		go func(peer string) {
+			defer wg.Done()
+			rt.notePeer(peer, rt.probe(peer))
+		}(peer)
+	}
+	wg.Wait()
+}
+
+// probe GETs the peer's health route within the health timeout.
+func (rt *Router) probe(peer string) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.HealthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+rt.cfg.HealthPath, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// notePeer feeds one observation (a health probe or a proxy attempt's
+// network failure) into the peer's state machine, mutating the ring on
+// eject/readmit transitions and keeping the health gauge current.
+func (rt *Router) notePeer(peer string, ok bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	st := rt.peers[peer]
+	if st == nil {
+		return
+	}
+	if ok {
+		st.oks++
+		st.fails = 0
+	} else {
+		st.fails++
+		st.oks = 0
+	}
+	switch {
+	case st.healthy && st.fails >= rt.cfg.EjectAfter:
+		st.healthy = false
+		rt.ring.Remove(peer)
+		rt.rebalances.With("eject").Inc()
+		rt.healthyGauge.With(peer).Set(0)
+	case !st.healthy && st.oks >= rt.cfg.ReadmitAfter:
+		st.healthy = true
+		rt.ring.Add(peer)
+		rt.rebalances.With("readmit").Inc()
+		rt.healthyGauge.With(peer).Set(1)
+	}
+}
+
+// noteProxyFailure counts a failed proxy attempt against the peer — the
+// data path notices a dead node faster than the probe cadence, so
+// ejection doesn't wait for the next tick.
+func (rt *Router) noteProxyFailure(peer string) { rt.notePeer(peer, false) }
+
+// HealthyPeers returns the peers currently in the ring, sorted.
+func (rt *Router) HealthyPeers() []string { return rt.ring.Nodes() }

@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// DefaultVirtualNodes is the per-node virtual point count used when a
+// Ring is built with vnodes <= 0. 128 points keep the expected worst
+// node's share within ~20% of fair for small clusters, which is the
+// regime cfserve runs in.
+const DefaultVirtualNodes = 128
+
+// point is one virtual node on the ring.
+type point struct {
+	hash uint64
+	node string
+}
+
+// Ring is a consistent-hash ring with virtual nodes. Add and Remove
+// mutate membership (the router's health checker calls them on eject and
+// readmit), Owners answers placement; all methods are safe for concurrent
+// use. Placement is deterministic in the member set: two rings holding
+// the same nodes agree on every key, which is what lets the router and
+// every serving node compute ownership independently.
+type Ring struct {
+	mu     sync.RWMutex
+	vnodes int
+	points []point // sorted by hash, ties broken by node name
+	nodes  map[string]bool
+}
+
+// NewRing returns an empty ring with the given virtual-node count per
+// member (<= 0 selects DefaultVirtualNodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	return &Ring{vnodes: vnodes, nodes: make(map[string]bool)}
+}
+
+// hashKey maps a key to its ring position: FNV-1a finished with a
+// splitmix64 mix, which spreads the structured keys this package hashes
+// (URLs, "archive/field#chunk" strings) far better than raw FNV.
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	z := h.Sum64()
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Add inserts a node (idempotent); it reports whether membership changed.
+func (r *Ring) Add(node string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.nodes[node] {
+		return false
+	}
+	r.nodes[node] = true
+	r.rebuild()
+	return true
+}
+
+// Remove ejects a node (idempotent); it reports whether membership
+// changed. Keys owned by the removed node move to their clockwise
+// successors; every other key keeps its owner.
+func (r *Ring) Remove(node string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.nodes[node] {
+		return false
+	}
+	delete(r.nodes, node)
+	r.rebuild()
+	return true
+}
+
+// rebuild regenerates the sorted point slice under the write lock.
+// Membership changes are rare (health transitions), so regenerating all
+// points is simpler and safer than incremental splicing.
+func (r *Ring) rebuild() {
+	r.points = r.points[:0]
+	var buf [8]byte
+	for node := range r.nodes {
+		for i := 0; i < r.vnodes; i++ {
+			v := i
+			for b := range buf {
+				buf[b] = byte(v)
+				v >>= 8
+			}
+			h := fnv.New64a()
+			h.Write([]byte(node))
+			h.Write(buf[:])
+			z := h.Sum64()
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			r.points = append(r.points, point{hash: z ^ (z >> 31), node: node})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node // deterministic on hash ties
+	})
+}
+
+// Owners returns up to n distinct nodes responsible for key, primary
+// first, walking clockwise from the key's hash. Fewer than n members
+// returns them all; an empty ring returns nil.
+func (r *Ring) Owners(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	for k := 0; k < len(r.points) && len(out) < n; k++ {
+		node := r.points[(i+k)%len(r.points)].node
+		seen := false
+		for _, o := range out {
+			if o == node {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
+// Owner returns the primary owner of key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	owners := r.Owners(key, 1)
+	if len(owners) == 0 {
+		return ""
+	}
+	return owners[0]
+}
+
+// Nodes returns the current members in sorted order.
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}

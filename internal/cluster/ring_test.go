@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func threeNodeRing() *Ring {
+	r := NewRing(0)
+	r.Add("http://n0:8080")
+	r.Add("http://n1:8080")
+	r.Add("http://n2:8080")
+	return r
+}
+
+// TestRingDeterministic: two rings with the same membership agree on every
+// key — the property that lets the router and every node place
+// independently.
+func TestRingDeterministic(t *testing.T) {
+	a, b := threeNodeRing(), threeNodeRing()
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("archive-%d/field-%d#%d", i%7, i%5, i)
+		if ao, bo := a.Owner(key), b.Owner(key); ao != bo {
+			t.Fatalf("rings disagree on %q: %q vs %q", key, ao, bo)
+		}
+	}
+}
+
+// TestRingDistribution: with 128 virtual nodes each of three members owns
+// a non-degenerate share of a structured key population.
+func TestRingDistribution(t *testing.T) {
+	r := threeNodeRing()
+	const keys = 9000
+	counts := make(map[string]int)
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("ds/U#%d", i))]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d nodes received keys: %v", len(counts), counts)
+	}
+	for node, n := range counts {
+		share := float64(n) / keys
+		if share < 0.15 || share > 0.55 {
+			t.Errorf("node %s owns %.1f%% of keys, outside [15%%, 55%%]: %v",
+				node, 100*share, counts)
+		}
+	}
+}
+
+// TestRingMinimalMovement: removing one member reassigns only that
+// member's keys; everything else keeps its owner.
+func TestRingMinimalMovement(t *testing.T) {
+	r := threeNodeRing()
+	const keys = 5000
+	before := make([]string, keys)
+	for i := range before {
+		before[i] = r.Owner(fmt.Sprintf("ds/W#%d", i))
+	}
+	const victim = "http://n1:8080"
+	if !r.Remove(victim) {
+		t.Fatal("Remove reported no change for a member")
+	}
+	moved := 0
+	for i := range before {
+		after := r.Owner(fmt.Sprintf("ds/W#%d", i))
+		if after == victim {
+			t.Fatalf("key %d still owned by removed node", i)
+		}
+		if before[i] != victim && after != before[i] {
+			t.Errorf("key %d moved %q -> %q though its owner stayed", i, before[i], after)
+		}
+		if before[i] == victim {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("victim owned zero keys; distribution is broken")
+	}
+}
+
+// TestRingOwnersReplication: Owners returns distinct nodes, primary
+// first, and clips to the member count.
+func TestRingOwnersReplication(t *testing.T) {
+	r := threeNodeRing()
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("ds/V#%d", i)
+		owners := r.Owners(key, 2)
+		if len(owners) != 2 {
+			t.Fatalf("Owners(%q, 2) = %v", key, owners)
+		}
+		if owners[0] == owners[1] {
+			t.Fatalf("Owners(%q, 2) repeated %q", key, owners[0])
+		}
+		if owners[0] != r.Owner(key) {
+			t.Fatalf("Owners primary %q != Owner %q", owners[0], r.Owner(key))
+		}
+		if all := r.Owners(key, 99); len(all) != 3 {
+			t.Fatalf("Owners(%q, 99) = %v, want all 3 members", key, all)
+		}
+	}
+}
+
+// TestRingEdgeCases: empty ring, idempotent Add/Remove, Len/Nodes
+// bookkeeping.
+func TestRingEdgeCases(t *testing.T) {
+	r := NewRing(0)
+	if got := r.Owner("anything"); got != "" {
+		t.Fatalf("empty ring Owner = %q", got)
+	}
+	if got := r.Owners("anything", 2); got != nil {
+		t.Fatalf("empty ring Owners = %v", got)
+	}
+	if !r.Add("http://n0:1") || r.Add("http://n0:1") {
+		t.Fatal("Add idempotency broken")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if got := r.Owners("k", 0); got != nil {
+		t.Fatalf("Owners(k, 0) = %v", got)
+	}
+	if !r.Remove("http://n0:1") || r.Remove("http://n0:1") {
+		t.Fatal("Remove idempotency broken")
+	}
+	if r.Len() != 0 || len(r.Nodes()) != 0 {
+		t.Fatalf("ring not empty after removal: %v", r.Nodes())
+	}
+}
+
+// TestRingConcurrentMutation hammers membership churn (the health
+// checker's eject/readmit path) against concurrent placement reads. Run
+// under -race this pins the ring's locking.
+func TestRingConcurrentMutation(t *testing.T) {
+	r := threeNodeRing()
+	flappy := []string{"http://f0:1", "http://f1:1"}
+	var wg sync.WaitGroup
+	for _, node := range flappy {
+		wg.Add(1)
+		go func(node string) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Add(node)
+				r.Remove(node)
+			}
+		}(node)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				key := fmt.Sprintf("ds/U#%d", i)
+				if owners := r.Owners(key, 2); len(owners) == 0 {
+					t.Errorf("goroutine %d: no owners for %q", g, key)
+					return
+				}
+				r.Owner(key)
+				r.Nodes()
+				r.Len()
+			}
+		}(g)
+	}
+	wg.Wait()
+	// The three stable members must have survived the churn.
+	if r.Len() < 3 {
+		t.Fatalf("stable members lost: %v", r.Nodes())
+	}
+}
+
+// TestPlacementKey pins the path -> ring-key mapping the router shards by.
+func TestPlacementKey(t *testing.T) {
+	cases := []struct{ path, want string }{
+		{"/v1/archives", ""},
+		{"/v1/archives/", ""},
+		{"/v1/archives/ds", "ds"},
+		{"/v1/archives/ds/stats", "ds"},
+		{"/v1/archives/ds/fields", "ds"},
+		{"/v1/archives/ds/fields/W", "ds/W"},
+		{"/v1/archives/ds/fields/W/stats", "ds/W"},
+		{"/v1/archives/ds/fields/W/chunks/3", "ds/W#3"},
+		{"/v1/archives/ds/fields/W/chunks/3/extra", "/v1/archives/ds/fields/W/chunks/3/extra"},
+		{"/v1/other", "/v1/other"},
+	}
+	for _, c := range cases {
+		if got := placementKey(c.path); got != c.want {
+			t.Errorf("placementKey(%q) = %q, want %q", c.path, got, c.want)
+		}
+	}
+}

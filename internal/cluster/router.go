@@ -1,0 +1,398 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Config parameterizes a Router. Peers is required; every other field has
+// a serviceable default.
+type Config struct {
+	// Peers are the backend base URLs ("http://host:port"), trailing
+	// slashes stripped. All start healthy (optimistic admission); the
+	// health checker corrects within EjectAfter probes.
+	Peers []string
+	// Replication is how many distinct owners each key has (primary plus
+	// failover replicas); 0 selects 2. The router retries a failed proxy
+	// on the next replica, so replication 2 survives one node death.
+	Replication int
+	// VirtualNodes per peer on the ring; 0 selects DefaultVirtualNodes.
+	VirtualNodes int
+	// HealthPath is probed on each peer; "" selects "/healthz". Point it
+	// at "/readyz" to also hold traffic away from peers still mounting.
+	HealthPath string
+	// HealthInterval between probe sweeps; 0 selects 2s.
+	HealthInterval time.Duration
+	// HealthTimeout per probe; 0 selects 1s.
+	HealthTimeout time.Duration
+	// EjectAfter consecutive failures removes a peer from the ring;
+	// ReadmitAfter consecutive successes restores it. 0 selects 2 each.
+	EjectAfter   int
+	ReadmitAfter int
+	// RetryBackoff is the base delay before a failover attempt, doubled
+	// per further attempt and capped at RetryBackoffCap. 0 selects
+	// 25ms / 250ms.
+	RetryBackoff    time.Duration
+	RetryBackoffCap time.Duration
+	// Transport overrides the outbound round tripper. The default clones
+	// http.DefaultTransport with compression disabled — a proxy must
+	// stream the node's bytes (and Content-Encoding) through untouched.
+	Transport http.RoundTripper
+	// TraceSpans / TraceRing size the router's own /debug/trace surface;
+	// 0 selects the obs defaults.
+	TraceSpans int
+	TraceRing  int
+}
+
+func (c *Config) applyDefaults() {
+	if c.Replication <= 0 {
+		c.Replication = 2
+	}
+	if c.HealthPath == "" {
+		c.HealthPath = "/healthz"
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 2 * time.Second
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = time.Second
+	}
+	if c.EjectAfter <= 0 {
+		c.EjectAfter = 2
+	}
+	if c.ReadmitAfter <= 0 {
+		c.ReadmitAfter = 2
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 25 * time.Millisecond
+	}
+	if c.RetryBackoffCap <= 0 {
+		c.RetryBackoffCap = 250 * time.Millisecond
+	}
+	if c.Transport == nil {
+		t := http.DefaultTransport.(*http.Transport).Clone()
+		// The router is a byte pipe: transparent gzip would decompress
+		// node responses and break Content-Encoding passthrough.
+		t.DisableCompression = true
+		t.MaxIdleConnsPerHost = 64
+		c.Transport = t
+	}
+}
+
+// Router proxies the cfserve /v1/... route surface across a ring of
+// backends: each request's placement key is hashed to its owning node,
+// proxied there, and retried once on the replica (capped exponential
+// backoff) when the owner is unreachable or answers 502/503/504. A
+// health loop ejects and readmits peers. The router holds no archive
+// state of its own — it can sit in front of any node set that mounts the
+// same archives.
+type Router struct {
+	cfg    Config
+	ring   *Ring
+	client *http.Client
+
+	mu    sync.Mutex
+	peers map[string]*peerState
+	rr    atomic.Uint64 // rotates key-less routes across healthy peers
+
+	reg          *obs.Registry
+	peerSeconds  *obs.HistogramVec // peer, code
+	healthyGauge *obs.GaugeVec     // peer
+	rebalances   *obs.CounterVec   // event
+	requests     *obs.Counter
+	retries      *obs.Counter
+	noPeer       *obs.Counter
+	proxyErrors  *obs.Counter
+	traces       *obs.TracePool
+	traceRing    *obs.TraceRing
+
+	stopc    chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewRouter validates cfg, builds the ring with every peer admitted, and
+// starts the health loop. Call Close to stop it.
+func NewRouter(cfg Config) (*Router, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("cluster: router needs at least one peer")
+	}
+	cfg.applyDefaults()
+	seen := make(map[string]bool, len(cfg.Peers))
+	for i, p := range cfg.Peers {
+		p = strings.TrimRight(p, "/")
+		u, err := url.Parse(p)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("cluster: peer %q is not a base URL", cfg.Peers[i])
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("cluster: duplicate peer %q", p)
+		}
+		seen[p] = true
+		cfg.Peers[i] = p
+	}
+	rt := &Router{
+		cfg:    cfg,
+		ring:   NewRing(cfg.VirtualNodes),
+		client: &http.Client{Transport: cfg.Transport},
+		peers:  make(map[string]*peerState, len(cfg.Peers)),
+		reg:    obs.NewRegistry(),
+		stopc:  make(chan struct{}),
+	}
+	rt.peerSeconds = rt.reg.HistogramVec("cfrouter_peer_request_seconds",
+		"Proxied request latency by peer and status code (code=error for network failures).",
+		obs.ExpBuckets(8e-6, 1.5, 32), "peer", "code")
+	rt.healthyGauge = rt.reg.GaugeVec("cfrouter_peer_healthy",
+		"1 while the peer is admitted to the ring, 0 while ejected.", "peer")
+	rt.rebalances = rt.reg.CounterVec("cfrouter_ring_rebalances_total",
+		"Ring membership changes by event (eject, readmit).", "event")
+	rt.requests = rt.reg.Counter("cfrouter_requests_total", "Requests routed.")
+	rt.retries = rt.reg.Counter("cfrouter_retries_total", "Failover attempts on a replica.")
+	rt.noPeer = rt.reg.Counter("cfrouter_no_peer_total", "Requests refused because no healthy peer remained.")
+	rt.proxyErrors = rt.reg.Counter("cfrouter_proxy_errors_total", "Requests that failed on every replica.")
+	for _, p := range cfg.Peers {
+		rt.peers[p] = &peerState{healthy: true}
+		rt.ring.Add(p)
+		rt.healthyGauge.With(p).Set(1)
+	}
+	rt.traces = obs.NewTracePool(cfg.TraceSpans)
+	rt.traceRing = obs.NewTraceRing(cfg.TraceRing)
+	rt.wg.Add(1)
+	go rt.healthLoop()
+	return rt, nil
+}
+
+// Close stops the health loop. In-flight proxies finish on their own.
+func (rt *Router) Close() {
+	rt.stopOnce.Do(func() { close(rt.stopc) })
+	rt.wg.Wait()
+}
+
+// Handler returns the router's full route surface: /v1/... proxied to the
+// owning node, plus the router's own /healthz, /readyz, /metrics, and
+// /debug/trace.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/", rt.serveProxy)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if rt.ring.Len() == 0 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "no healthy peers")
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		rt.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /debug/trace", rt.serveTrace)
+	return mux
+}
+
+// placementKey maps a /v1 path to its consistent-hash key: chunks hash as
+// "archive/field#i", fields as "archive/field", archive-level routes as
+// "archive". The empty key means "any peer" (the mount listing, which
+// every node answers identically). Unrecognized deeper paths fall back to
+// the whole path — still deterministic, just unshared with other routes.
+func placementKey(path string) string {
+	rest, ok := strings.CutPrefix(path, "/v1/archives")
+	if !ok {
+		return path
+	}
+	rest = strings.Trim(rest, "/")
+	if rest == "" {
+		return ""
+	}
+	seg := strings.Split(rest, "/")
+	switch {
+	case len(seg) <= 2: // {a} | {a}/stats | {a}/fields
+		return seg[0]
+	case len(seg) <= 4: // {a}/fields/{f} | {a}/fields/{f}/stats
+		return seg[0] + "/" + seg[2]
+	case len(seg) == 5 && seg[3] == "chunks": // {a}/fields/{f}/chunks/{i}
+		return seg[0] + "/" + seg[2] + "#" + seg[4]
+	}
+	return path
+}
+
+// targets resolves the ordered attempt list for a key: the key's owners,
+// or (for key-less routes) every healthy peer starting from a rotating
+// offset so listing traffic spreads too.
+func (rt *Router) targets(key string) []string {
+	if key != "" {
+		return rt.ring.Owners(key, rt.cfg.Replication)
+	}
+	peers := rt.ring.Nodes()
+	if len(peers) == 0 {
+		return nil
+	}
+	off := int(rt.rr.Add(1)-1) % len(peers)
+	rotated := make([]string, 0, len(peers))
+	rotated = append(rotated, peers[off:]...)
+	rotated = append(rotated, peers[:off]...)
+	if len(rotated) > rt.cfg.Replication {
+		rotated = rotated[:rt.cfg.Replication]
+	}
+	return rotated
+}
+
+// retryableStatus reports codes that mean "the peer cannot serve this
+// right now" — worth a replica attempt, unlike 404/422 which would fail
+// identically everywhere.
+func retryableStatus(code int) bool {
+	return code == http.StatusBadGateway || code == http.StatusServiceUnavailable ||
+		code == http.StatusGatewayTimeout
+}
+
+// serveProxy routes one data-plane request: resolve owners, attempt each
+// with backoff, stream the first viable response through untouched.
+func (rt *Router) serveProxy(w http.ResponseWriter, r *http.Request) {
+	rt.requests.Inc()
+	start := time.Now()
+	tr := rt.traces.Get()
+	defer rt.traces.Put(tr)
+	if id, ok := obs.ParseTraceID(r.Header.Get("X-CFC-Trace")); ok {
+		tr.SetID(id)
+	}
+	root := tr.Start(obs.NoSpan, "route")
+	w.Header().Set("X-CFC-Trace", tr.IDString())
+
+	key := placementKey(r.URL.Path)
+	owners := rt.targets(key)
+	status := http.StatusServiceUnavailable
+	if len(owners) == 0 {
+		rt.noPeer.Inc()
+		writeError(w, status, "no healthy peer for %q", r.URL.Path)
+	} else {
+		status = rt.proxyAttempts(w, r, tr, root, owners)
+	}
+	tr.End(root)
+	rt.traceRing.Push(r.Method+" "+r.URL.Path+" "+strconv.Itoa(status),
+		time.Since(start).Nanoseconds(), tr)
+}
+
+// proxyAttempts tries each owner in order and returns the status written.
+func (rt *Router) proxyAttempts(w http.ResponseWriter, r *http.Request, tr *obs.Trace, root obs.SpanID, owners []string) int {
+	var lastErr error
+	for i, peer := range owners {
+		if i > 0 {
+			rt.retries.Inc()
+			backoff := rt.cfg.RetryBackoff << (i - 1)
+			if backoff > rt.cfg.RetryBackoffCap {
+				backoff = rt.cfg.RetryBackoffCap
+			}
+			select {
+			case <-time.After(backoff):
+			case <-r.Context().Done():
+				writeError(w, http.StatusBadGateway, "%v", r.Context().Err())
+				return http.StatusBadGateway
+			}
+		}
+		span := tr.Start(root, "proxy "+peer)
+		attempt := time.Now()
+		resp, err := rt.forward(peer, r, tr.IDString())
+		tr.End(span)
+		if err != nil {
+			rt.peerSeconds.With(peer, "error").Observe(time.Since(attempt).Seconds())
+			rt.noteProxyFailure(peer)
+			lastErr = err
+			continue
+		}
+		rt.peerSeconds.With(peer, strconv.Itoa(resp.StatusCode)).Observe(time.Since(attempt).Seconds())
+		if retryableStatus(resp.StatusCode) && i+1 < len(owners) {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			lastErr = fmt.Errorf("%s answered %d", peer, resp.StatusCode)
+			continue
+		}
+		defer resp.Body.Close()
+		h := w.Header()
+		for k, vs := range resp.Header {
+			if k == "Connection" || k == "Keep-Alive" || k == "Transfer-Encoding" {
+				continue
+			}
+			h[k] = vs
+		}
+		// The adopted trace id, not the node's echo, is authoritative for
+		// the client; X-CFC-Peer says who actually served the bytes.
+		h.Set("X-CFC-Trace", tr.IDString())
+		h.Set("X-CFC-Peer", peer)
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+		return resp.StatusCode
+	}
+	rt.proxyErrors.Inc()
+	writeError(w, http.StatusBadGateway, "all replicas failed: %v", lastErr)
+	return http.StatusBadGateway
+}
+
+// forward issues the upstream request: same method, path, query, and
+// headers, with the router's trace id stamped on.
+func (rt *Router) forward(peer string, r *http.Request, traceID string) (*http.Response, error) {
+	u := peer + r.URL.Path
+	if r.URL.RawQuery != "" {
+		u += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	for k, vs := range r.Header {
+		if k == "Connection" || k == "Keep-Alive" || k == "Host" {
+			continue
+		}
+		req.Header[k] = vs
+	}
+	req.Header.Set("X-CFC-Trace", traceID)
+	return rt.client.Do(req)
+}
+
+// Metrics writes the router's Prometheus exposition (for tests; the
+// /metrics route serves the same bytes).
+func (rt *Router) Metrics(w io.Writer) { rt.reg.WritePrometheus(w) }
+
+// routerTraceJSON mirrors cfserve's /debug/trace shape: flat spans with
+// parent indices are enough here — the router's trees are one root plus
+// per-attempt children.
+type routerTraceJSON struct {
+	TraceID string     `json:"trace_id"`
+	Label   string     `json:"label"`
+	DurNs   int64      `json:"duration_ns"`
+	Spans   []obs.Span `json:"spans"`
+}
+
+func (rt *Router) serveTrace(w http.ResponseWriter, r *http.Request) {
+	snaps := rt.traceRing.Snapshots()
+	out := make([]routerTraceJSON, len(snaps))
+	for i, sn := range snaps {
+		out[i] = routerTraceJSON{TraceID: sn.ID, Label: sn.Label, DurNs: sn.DurNs, Spans: sn.Spans}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{Error: fmt.Sprintf(format, args...)})
+}

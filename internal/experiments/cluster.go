@@ -1,0 +1,382 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	crossfield "repro"
+	"repro/internal/cluster"
+	"repro/internal/serve"
+)
+
+// ClusterBenchReport is the machine-readable output of ClusterBench,
+// written as BENCH_cluster.json so the router's scaling trajectory is
+// tracked across PRs.
+type ClusterBenchReport struct {
+	Dataset     string  `json:"dataset"`
+	Paths       int     `json:"paths"`
+	Concurrency int     `json:"concurrency"`
+	DurationS   float64 `json:"duration_s_per_scale"`
+	// Each node's /v1 handler is capacity-modeled: a per-node
+	// semaphore(1) plus this minimum service time. Aggregate QPS then
+	// measures how well the router spreads load across nodes — the same
+	// number on a 1-core CI box and a 64-core workstation — instead of
+	// accidentally measuring host parallelism.
+	ServiceFloorMs float64        `json:"service_floor_ms"`
+	Scales         []ClusterScale `json:"scales"`
+	// ScalingX is hot-path QPS at the largest scale over QPS at one node.
+	ScalingX float64 `json:"scaling_x"`
+	// ByteIdentical reports that every routed response body matched the
+	// single-node golden response at every scale, including after the
+	// mid-bench node kill.
+	ByteIdentical bool `json:"byte_identical"`
+}
+
+// ClusterScale is one node-count's measurement.
+type ClusterScale struct {
+	Nodes      int     `json:"nodes"`
+	RequestsOK int64   `json:"requests_ok"`
+	Errors     int64   `json:"errors"`
+	QPS        float64 `json:"qps"`
+	P50Ms      float64 `json:"p50_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	// PeerShare is the fraction of OK responses each peer served
+	// (n0..nN-1 in mount order) — flat shares mean the ring is spreading.
+	PeerShare []float64 `json:"peer_share"`
+	// KilledNode is the index of the peer killed partway through the
+	// window, -1 when none was.
+	KilledNode int `json:"killed_node"`
+}
+
+const (
+	clusterFloor       = 5 * time.Millisecond
+	clusterConcurrency = 12
+	clusterWindow      = 1500 * time.Millisecond
+	// The kill lands at 60% of the window: late enough that the healthy
+	// steady state dominates the measurement, early enough that a solid
+	// 40% of the window runs degraded and the failover path is truly
+	// load-bearing.
+	clusterKillAt = 0.6
+)
+
+// capacityHandler models a fixed-capacity node: one /v1 request at a time,
+// each taking at least floor. Decodes are cached after warmup (real work
+// per request is far below the floor), so the model dominates and the
+// measured ceiling is requests-per-floor per live node.
+type capacityHandler struct {
+	inner http.Handler
+	sem   chan struct{}
+	floor time.Duration
+}
+
+func (h *capacityHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if !strings.HasPrefix(r.URL.Path, "/v1/") {
+		h.inner.ServeHTTP(w, r) // health probes bypass the capacity model
+		return
+	}
+	h.sem <- struct{}{}
+	start := time.Now()
+	h.inner.ServeHTTP(w, r)
+	if d := h.floor - time.Since(start); d > 0 {
+		time.Sleep(d)
+	}
+	<-h.sem
+}
+
+// ClusterBench packs the Hurricane snapshot into a chunked CFC3 archive,
+// serves it from 1 and then 3 capacity-modeled cfserve nodes behind the
+// consistent-hash router, and measures aggregate hot-path QPS under a
+// fixed closed-loop load. During the 3-node window one node is killed
+// outright at half time; the router must fail its keys over to replicas
+// with every response still byte-identical to a single node's.
+func ClusterBench(w io.Writer, s Sizes, jsonPath string) error {
+	section(w, "Cluster: consistent-hash router scaling, 1 -> 3 capacity-modeled nodes")
+	plan := PaperPlansByPreset("hurricane-wf")
+	p, err := s.prepare(plan)
+	if err != nil {
+		return err
+	}
+	var specs []crossfield.FieldSpec
+	var fields []string
+	for _, a := range p.anchors {
+		specs = append(specs, crossfield.FieldSpec{Field: a})
+		fields = append(fields, a.Name)
+	}
+	specs = append(specs, crossfield.FieldSpec{Field: p.target, Codec: p.codec})
+	fields = append(fields, p.target.Name)
+	chunkVoxels := (s.HurNZ/4 + 1) * s.HurNY * s.HurNX
+	res, err := crossfield.CompressDataset(specs, crossfield.Rel(1e-3),
+		crossfield.WithChunks(chunkVoxels))
+	if err != nil {
+		return err
+	}
+	chunks, err := crossfield.ChunkCount(mustPayload(res.Blob, plan.Target))
+	if err != nil {
+		return err
+	}
+
+	// The request population: every field and chunk of the archive,
+	// mounted under several timestep names (t0..t5). Consistent hashing
+	// balances in the number of distinct keys — a single small archive's
+	// dozen keys land lumpily on 3 nodes, while a timestep series (the
+	// workload cfserve actually fronts) gives the ring enough keys to
+	// spread. The mounts share one blob, and since decode-cache keys are
+	// content-addressed the decoded bytes are shared too.
+	mountNames := []string{"t0", "t1", "t2", "t3", "t4", "t5"}
+	var paths []string
+	for _, mnt := range mountNames {
+		for _, f := range fields {
+			paths = append(paths, fmt.Sprintf("/v1/archives/%s/fields/%s", mnt, f))
+			for ci := 0; ci < chunks; ci++ {
+				paths = append(paths, fmt.Sprintf("/v1/archives/%s/fields/%s/chunks/%d", mnt, f, ci))
+			}
+		}
+	}
+	mountAll := func(srv *serve.Server) error {
+		for _, mnt := range mountNames {
+			if err := srv.Mount(mnt, res.Blob); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Golden bodies from an unthrottled solo node — the byte-identity
+	// reference for every routed response.
+	solo := serve.New(serve.Config{})
+	if err := mountAll(solo); err != nil {
+		return err
+	}
+	soloTS := httptest.NewServer(solo.Handler())
+	defer soloTS.Close()
+	golden := make(map[string][]byte, len(paths))
+	for _, path := range paths {
+		body, err := identityGet(soloTS.Client(), soloTS.URL+path)
+		if err != nil {
+			return err
+		}
+		golden[path] = body
+	}
+
+	identical := true
+	runScale := func(nodes int, killMidRun bool) (ClusterScale, error) {
+		sc := ClusterScale{Nodes: nodes, KilledNode: -1}
+		backends := make([]*httptest.Server, nodes)
+		urls := make([]string, nodes)
+		for i := range backends {
+			srv := serve.New(serve.Config{})
+			if err := mountAll(srv); err != nil {
+				return sc, err
+			}
+			defer srv.Close()
+			backends[i] = httptest.NewServer(&capacityHandler{
+				inner: srv.Handler(),
+				sem:   make(chan struct{}, 1),
+				floor: clusterFloor,
+			})
+			defer backends[i].Close()
+			urls[i] = backends[i].URL
+		}
+		rt, err := cluster.NewRouter(cluster.Config{
+			Peers:          urls,
+			HealthInterval: 250 * time.Millisecond,
+			// 512 virtual nodes flatten the per-node key share (~±5%)
+			// so the hot node caps aggregate throughput later.
+			VirtualNodes: 512,
+		})
+		if err != nil {
+			return sc, err
+		}
+		defer rt.Close()
+		front := httptest.NewServer(rt.Handler())
+		defer front.Close()
+
+		// Warmup: one pass fills every node's decode caches, so the bench
+		// window measures routing + the capacity model, not cold decodes.
+		client := front.Client()
+		for _, path := range paths {
+			if _, err := identityGet(client, front.URL+path); err != nil {
+				return sc, err
+			}
+		}
+
+		var ok, errs atomic.Int64
+		peerOf := make(map[string]int, nodes)
+		for i, u := range urls {
+			peerOf[u] = i
+		}
+		peerCounts := make([]atomic.Int64, nodes)
+		latencies := make([][]float64, clusterConcurrency)
+		stopc := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < clusterConcurrency; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				// Each client draws paths from its own deterministic PRNG:
+				// a shared sweep order makes the clients convoy on one
+				// node's keys at a time, idling the others.
+				rnd := rand.New(rand.NewSource(int64(g)*2654435761 + 1))
+				for {
+					select {
+					case <-stopc:
+						return
+					default:
+					}
+					path := paths[rnd.Intn(len(paths))]
+					start := time.Now()
+					req, err := http.NewRequest(http.MethodGet, front.URL+path, nil)
+					if err != nil {
+						errs.Add(1)
+						continue
+					}
+					req.Header.Set("Accept-Encoding", "identity")
+					resp, err := client.Do(req)
+					if err != nil {
+						errs.Add(1)
+						continue
+					}
+					_, cpErr := io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if cpErr != nil || resp.StatusCode != http.StatusOK {
+						errs.Add(1)
+						continue
+					}
+					ok.Add(1)
+					latencies[g] = append(latencies[g], float64(time.Since(start).Nanoseconds())/1e6)
+					if idx, found := peerOf[resp.Header.Get("X-CFC-Peer")]; found {
+						peerCounts[idx].Add(1)
+					}
+				}
+			}(g)
+		}
+		benchStart := time.Now()
+		if killMidRun && nodes > 1 {
+			kill := time.Duration(float64(clusterWindow) * clusterKillAt)
+			time.Sleep(kill)
+			sc.KilledNode = 0
+			// CloseClientConnections then Close: in-flight requests abort and
+			// new dials are refused — an outright crash, not a drain.
+			backends[0].CloseClientConnections()
+			go backends[0].Close()
+			time.Sleep(clusterWindow - kill)
+		} else {
+			time.Sleep(clusterWindow)
+		}
+		close(stopc)
+		wg.Wait()
+		elapsed := time.Since(benchStart).Seconds()
+
+		sc.RequestsOK = ok.Load()
+		sc.Errors = errs.Load()
+		sc.QPS = float64(sc.RequestsOK) / elapsed
+		var all []float64
+		for _, l := range latencies {
+			all = append(all, l...)
+		}
+		sc.P50Ms = percentile(all, 50)
+		sc.P99Ms = percentile(all, 99)
+		sc.PeerShare = make([]float64, nodes)
+		for i := range peerCounts {
+			sc.PeerShare[i] = float64(peerCounts[i].Load()) / float64(sc.RequestsOK)
+		}
+
+		// Byte identity after the window — with the killed node still dead,
+		// every path must come back 200 and byte-equal to the solo golden.
+		for _, path := range paths {
+			body, err := identityGet(client, front.URL+path)
+			if err != nil {
+				return sc, fmt.Errorf("post-bench GET %s: %w", path, err)
+			}
+			if !bytes.Equal(body, golden[path]) {
+				identical = false
+				return sc, fmt.Errorf("GET %s: routed body differs from single-node golden", path)
+			}
+		}
+		return sc, nil
+	}
+
+	report := &ClusterBenchReport{
+		Dataset: plan.Dataset, Paths: len(paths),
+		Concurrency:    clusterConcurrency,
+		DurationS:      clusterWindow.Seconds(),
+		ServiceFloorMs: float64(clusterFloor.Nanoseconds()) / 1e6,
+	}
+	for _, cfg := range []struct {
+		nodes int
+		kill  bool
+	}{{1, false}, {3, true}} {
+		sc, err := runScale(cfg.nodes, cfg.kill)
+		if err != nil {
+			return err
+		}
+		report.Scales = append(report.Scales, sc)
+	}
+	report.ScalingX = report.Scales[len(report.Scales)-1].QPS / report.Scales[0].QPS
+	report.ByteIdentical = identical
+
+	fmt.Fprintf(w, "%d paths, %d closed-loop clients, %.1fms service floor per node (capacity model):\n",
+		report.Paths, report.Concurrency, report.ServiceFloorMs)
+	fmt.Fprintf(w, "  %-22s %8s %8s %9s %9s %s\n", "", "ok", "errors", "p50", "p99", "peer share")
+	for _, sc := range report.Scales {
+		label := fmt.Sprintf("%d node(s)", sc.Nodes)
+		if sc.KilledNode >= 0 {
+			label += " -1 mid-run"
+		}
+		shares := make([]string, len(sc.PeerShare))
+		for i, s := range sc.PeerShare {
+			shares[i] = fmt.Sprintf("%.2f", s)
+		}
+		fmt.Fprintf(w, "  %-22s %8d %8d %7.2fms %7.2fms [%s]  %.0f QPS\n",
+			label, sc.RequestsOK, sc.Errors, sc.P50Ms, sc.P99Ms, strings.Join(shares, " "), sc.QPS)
+	}
+	fmt.Fprintf(w, "  aggregate hot-path scaling at %d nodes: %.2fx  byte-identical: %v\n",
+		report.Scales[len(report.Scales)-1].Nodes, report.ScalingX, report.ByteIdentical)
+	fmt.Fprintf(w, "  (the floor makes QPS measure router load-spreading, not host core count)\n")
+	if report.ScalingX < 2 {
+		return fmt.Errorf("cluster scaling %.2fx at 3 nodes, want >= 2x", report.ScalingX)
+	}
+	if jsonPath != "" {
+		enc, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// identityGet fetches url with identity encoding and returns the body.
+func identityGet(client *http.Client, url string) ([]byte, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept-Encoding", "identity")
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	return body, nil
+}

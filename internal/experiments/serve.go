@@ -64,7 +64,7 @@ type StageLatency struct {
 // report rows, in pipeline order, dropping stages that never ran.
 func stageLatencyRows(snaps map[string]obs.HistogramSnapshot) []StageLatency {
 	var rows []StageLatency
-	for _, stage := range []string{"cache_lookup", "payload_read", "anchor_decode", "chunk_decode", "field_decode"} {
+	for _, stage := range []string{"cache_lookup", "payload_read", "remote_fetch", "anchor_decode", "chunk_decode", "field_decode"} {
 		s, ok := snaps[stage]
 		if !ok || s.Count == 0 {
 			continue

@@ -353,6 +353,52 @@ func (v *CounterVec) With(values ...string) *Counter {
 	return c
 }
 
+// GaugeVec is a family of gauges keyed by label values.
+type GaugeVec struct {
+	state *vecState
+	mu    sync.RWMutex
+	m     map[string]*Gauge
+}
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	v := &GaugeVec{state: newVecState(labels), m: make(map[string]*Gauge)}
+	r.register(name, help, "gauge", func(w io.Writer, n string) {
+		v.state.mu.RLock()
+		defer v.state.mu.RUnlock()
+		for _, key := range v.state.order {
+			v.mu.RLock()
+			g := v.m[key]
+			v.mu.RUnlock()
+			fmt.Fprintf(w, "%s%s %d\n", n, v.state.text[key], g.Value())
+		}
+	})
+	return v
+}
+
+// With returns the child gauge for the given label values, creating it on
+// first use.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	key := v.state.key(values)
+	v.mu.RLock()
+	g, ok := v.m[key]
+	v.mu.RUnlock()
+	if ok {
+		return g
+	}
+	v.state.mu.Lock()
+	v.mu.Lock()
+	if g, ok = v.m[key]; !ok {
+		g = &Gauge{}
+		v.m[key] = g
+		v.state.order = append(v.state.order, key)
+		v.state.text[key] = v.state.render(values)
+	}
+	v.mu.Unlock()
+	v.state.mu.Unlock()
+	return g
+}
+
 // HistogramVec is a family of histograms keyed by label values; all
 // children share one bucket layout.
 type HistogramVec struct {

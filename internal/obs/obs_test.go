@@ -337,3 +337,58 @@ func TestStages(t *testing.T) {
 		t.Fatalf("sorted = %+v", sorted)
 	}
 }
+
+func TestGaugeVecExposition(t *testing.T) {
+	r := NewRegistry()
+	gv := r.GaugeVec("obs_test_peer_up", "Peer health.", "peer")
+	gv.With("http://a:1").Set(1)
+	gv.With("http://b:2").Set(0)
+	gv.With("http://a:1").Set(1) // same child, no duplicate series
+	if gv.With("http://a:1") != gv.With("http://a:1") {
+		t.Fatal("With returned distinct children for equal labels")
+	}
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	if err := LintExposition(buf.Bytes()); err != nil {
+		t.Fatalf("lint: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"# TYPE obs_test_peer_up gauge",
+		`obs_test_peer_up{peer="http://a:1"} 1`,
+		`obs_test_peer_up{peer="http://b:2"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, `peer="http://a:1"`); n != 1 {
+		t.Fatalf("peer a rendered %d times, want 1:\n%s", n, out)
+	}
+}
+
+func TestParseTraceIDRoundTrip(t *testing.T) {
+	tr := &Trace{spans: make([]Span, 4)}
+	tr.SetID(0xdeadbeefcafe0123)
+	id, ok := ParseTraceID(tr.IDString())
+	if !ok || id != 0xdeadbeefcafe0123 {
+		t.Fatalf("round trip = %x, %v", id, ok)
+	}
+	if _, ok := ParseTraceID("DEADBEEFCAFE0123"); !ok {
+		t.Fatal("uppercase hex rejected")
+	}
+	for _, bad := range []string{"", "1234", "deadbeefcafe012g", "0000000000000000",
+		"deadbeefcafe01234", " eadbeefcafe0123"} {
+		if _, ok := ParseTraceID(bad); ok {
+			t.Fatalf("ParseTraceID(%q) accepted", bad)
+		}
+	}
+	// Adopting an id must not disturb span recording.
+	tr.begin = time.Now()
+	id1 := tr.Start(NoSpan, "root")
+	tr.End(id1)
+	if got := tr.Spans(); len(got) != 1 || got[0].Name != "root" {
+		t.Fatalf("spans after SetID = %+v", got)
+	}
+}

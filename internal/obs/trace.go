@@ -63,6 +63,43 @@ func (t *Trace) IDString() string {
 	return string(b[:])
 }
 
+// SetID overrides the trace's id. Cluster hops use it to adopt an inbound
+// X-CFC-Trace value, so one logical request keeps a single id across the
+// router and every node it touches. Call it before recording spans; a nil
+// trace ignores it.
+func (t *Trace) SetID(id uint64) {
+	if t != nil {
+		t.id = id
+	}
+}
+
+// ParseTraceID parses the 16-hex-digit wire form produced by IDString.
+// It returns false for anything else (wrong length, non-hex, empty), so
+// callers can feed it untrusted headers directly. A zero id is rejected:
+// it is IDString's nil-trace rendering, not a real trace.
+func ParseTraceID(s string) (uint64, bool) {
+	if len(s) != 16 {
+		return 0, false
+	}
+	var v uint64
+	for i := 0; i < 16; i++ {
+		c := s[i]
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint64(c-'A') + 10
+		default:
+			return 0, false
+		}
+		v = v<<4 | d
+	}
+	return v, v != 0
+}
+
 // Begin returns the trace's start time.
 func (t *Trace) Begin() time.Time {
 	if t == nil {

@@ -37,9 +37,14 @@ type metricsState struct {
 		anchorDecode *obs.Histogram
 		chunkDecode  *obs.Histogram
 		fieldDecode  *obs.Histogram
+		remoteFetch  *obs.Histogram
 	}
-	traces *obs.TracePool
-	ring   *obs.TraceRing
+	// remoteHits/remoteMisses are the pre-resolved children of
+	// cfserve_remote_fetch_total: outcomes of the cluster peer-fetch path.
+	remoteHits   *obs.Counter
+	remoteMisses *obs.Counter
+	traces       *obs.TracePool
+	ring         *obs.TraceRing
 
 	// reqHot caches resolved (route, code) histogram children behind an
 	// array-valued key, so steady-state requests skip the label-join the
@@ -68,6 +73,11 @@ func (m *metricsState) init(traceSpans, traceRing int, accessLog io.Writer) {
 	m.stages.anchorDecode = m.stageHist.With("anchor_decode")
 	m.stages.chunkDecode = m.stageHist.With("chunk_decode")
 	m.stages.fieldDecode = m.stageHist.With("field_decode")
+	m.stages.remoteFetch = m.stageHist.With("remote_fetch")
+	rf := m.reg.CounterVec("cfserve_remote_fetch_total",
+		"Cluster peer chunk fetches by outcome (hit = decoded bytes came from the owning peer).", "outcome")
+	m.remoteHits = rf.With("hit")
+	m.remoteMisses = rf.With("miss")
 	m.traces = obs.NewTracePool(traceSpans)
 	if traceRing >= 0 {
 		m.ring = obs.NewTraceRing(traceRing)
@@ -149,7 +159,15 @@ func (s *Server) StageLatency() map[string]obs.HistogramSnapshot {
 		"anchor_decode": m.stages.anchorDecode.Snapshot(),
 		"chunk_decode":  m.stages.chunkDecode.Snapshot(),
 		"field_decode":  m.stages.fieldDecode.Snapshot(),
+		"remote_fetch":  m.stages.remoteFetch.Snapshot(),
 	}
+}
+
+// RemoteFetches returns the cluster peer-fetch outcome counters: hits
+// served decoded bytes from the owning peer, misses fell back to a local
+// decode.
+func (s *Server) RemoteFetches() (hits, misses int64) {
+	return s.metrics.remoteHits.Value(), s.metrics.remoteMisses.Value()
 }
 
 // RequestLatency snapshots the request-latency histogram for one route
@@ -242,13 +260,26 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		m.requests.Add(1)
 		start := time.Now()
 		tr := m.traces.Get()
+		// A valid inbound X-CFC-Trace is adopted, not replaced: the router
+		// (or any upstream hop) mints one id and every node on the request's
+		// path records under it, so /debug/trace entries across the cluster
+		// correlate by id.
+		if id, ok := obs.ParseTraceID(r.Header.Get("X-CFC-Trace")); ok {
+			tr.SetID(id)
+		}
 		root := tr.Start(obs.NoSpan, "request")
 		w.Header().Set("X-CFC-Trace", tr.IDString())
 		rec := &recorder{ResponseWriter: w, total: &m.bytesServed}
 		// Keep the derived request: ServeMux writes the matched pattern
 		// into the request it is handed, so the label is known after next
 		// returns without wrapping every handler.
-		r2 := r.WithContext(obs.ContextWithSpan(r.Context(), tr, root))
+		ctx := obs.ContextWithSpan(r.Context(), tr, root)
+		if r.Header.Get("X-CFC-Internal") != "" {
+			// A cluster-internal fetch: this node must decode locally, never
+			// hop to another peer (bounds every request at one hop).
+			ctx = suppressRemote(ctx)
+		}
+		r2 := r.WithContext(ctx)
 		next.ServeHTTP(rec, r2)
 		tr.End(root)
 		dur := time.Since(start)

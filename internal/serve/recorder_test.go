@@ -112,6 +112,49 @@ func TestRecorderReadFromFallback(t *testing.T) {
 	}
 }
 
+// TestInboundTraceIDAdopted pins the cross-hop propagation contract: a
+// request carrying a valid X-CFC-Trace keeps that id (the response echoes
+// it, and the /debug/trace ring records under it), so router-originated
+// trace ids survive the router→node hop. Invalid values fall back to a
+// freshly minted id.
+func TestInboundTraceIDAdopted(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const inbound = "00c0ffee00c0ffee"
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/archives", nil)
+	req.Header.Set("X-CFC-Trace", inbound)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-CFC-Trace"); got != inbound {
+		t.Fatalf("response X-CFC-Trace = %q, want the inbound id %q", got, inbound)
+	}
+	snaps := s.metrics.ring.Snapshots()
+	if len(snaps) == 0 || snaps[0].ID != inbound {
+		t.Fatalf("trace ring did not record under the inbound id: %+v", snaps)
+	}
+
+	// Malformed ids (wrong length, non-hex, all-zero) must not be adopted.
+	for _, bad := range []string{"xyz", "0000000000000000", "00c0ffee00c0ffee0"} {
+		req, _ := http.NewRequest("GET", ts.URL+"/v1/archives", nil)
+		req.Header.Set("X-CFC-Trace", bad)
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if got := resp.Header.Get("X-CFC-Trace"); got == bad || len(got) != 16 {
+			t.Fatalf("malformed inbound id %q: response trace = %q, want a fresh 16-hex id", bad, got)
+		}
+	}
+}
+
 func TestRouteLabel(t *testing.T) {
 	for pattern, want := range map[string]string{
 		"":                     "other",

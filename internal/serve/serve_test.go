@@ -661,6 +661,26 @@ func TestHealthz(t *testing.T) {
 	}
 }
 
+// TestReadyzDistinctFromHealthz pins readiness vs liveness: /healthz is
+// 200 from the first request, /readyz flips 503↔200 with SetReady — the
+// window cfserve holds open while mounts are still mmapping.
+func TestReadyzDistinctFromHealthz(t *testing.T) {
+	srv, ts := newTestServer(t, serve.Config{})
+	srv.SetReady(false)
+	if resp, _ := get(t, ts, "/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while not ready = %d, want 200 (liveness)", resp.StatusCode)
+	}
+	resp, body := get(t, ts, "/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable || strings.TrimSpace(string(body)) != "mounting" {
+		t.Fatalf("readyz while mounting = %d %q, want 503 \"mounting\"", resp.StatusCode, body)
+	}
+	srv.SetReady(true)
+	resp, body = get(t, ts, "/readyz")
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ready" {
+		t.Fatalf("readyz when ready = %d %q", resp.StatusCode, body)
+	}
+}
+
 func TestFieldCacheEviction(t *testing.T) {
 	// A field cache big enough for one field only: U then V evicts U.
 	// Entries charge the decoded values plus the serialized body (8 B per

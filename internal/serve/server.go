@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	crossfield "repro"
@@ -81,6 +82,56 @@ type Server struct {
 	chunks   *Cache
 	payloads *Cache
 	metrics  metricsState
+
+	// ready gates GET /readyz: liveness (/healthz) answers as soon as the
+	// process serves HTTP, readiness flips false while mounts are still
+	// being registered (cfserve mounts in the background so multi-GB mmap
+	// passes don't block the listener). New starts ready; callers that
+	// mount asynchronously call SetReady(false) first.
+	ready atomic.Bool
+
+	// remote, when non-nil, is consulted before a local chunk decode: a
+	// cluster node fetches already-decoded chunk bytes from the peer that
+	// owns the chunk's content key, so one decode warms the whole
+	// cluster's LRUs. Set it before serving traffic.
+	remote RemoteChunks
+}
+
+// RemoteChunks supplies decoded chunk bytes from a cluster peer, keyed by
+// the chunk's Merkle content address (the same string served as the
+// chunk's ETag). FetchChunk returns the little-endian float32 body and
+// true, or false when the caller should decode locally (self-owned key,
+// peer down, undersized response). Implementations must not call back
+// into the same Server without suppressing remote fetch (cluster clients
+// mark their requests with X-CFC-Internal), or two nodes could wait on
+// each other forever.
+type RemoteChunks interface {
+	FetchChunk(ctx context.Context, key, archive, field string, chunk, size int) ([]byte, bool)
+}
+
+// SetRemote installs the cluster peer-fetch hook. Call it after New and
+// before the handler serves traffic; passing nil disables peer fetch.
+func (s *Server) SetRemote(rc RemoteChunks) { s.remote = rc }
+
+// SetReady flips the /readyz state. cfserve sets false before mounting in
+// the background and true once every mount is registered.
+func (s *Server) SetReady(v bool) { s.ready.Store(v) }
+
+// Ready reports the current /readyz state.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// noRemoteKey marks a request context as cluster-internal: the serving
+// node must decode locally rather than fetch from a peer, which bounds
+// every cluster request at one hop and prevents fetch cycles.
+type noRemoteKey struct{}
+
+func suppressRemote(ctx context.Context) context.Context {
+	return context.WithValue(ctx, noRemoteKey{}, true)
+}
+
+func remoteSuppressed(ctx context.Context) bool {
+	v, _ := ctx.Value(noRemoteKey{}).(bool)
+	return v
 }
 
 // mount is one named container exposed under /v1/archives/{name}.
@@ -134,6 +185,7 @@ func New(cfg Config) *Server {
 		payloads: NewCache(cfg.PayloadCacheBytes),
 	}
 	s.metrics.init(cfg.TraceSpans, cfg.TraceRing, cfg.AccessLog)
+	s.ready.Store(true)
 	return s
 }
 
@@ -617,6 +669,23 @@ func (s *Server) chunkData(ctx context.Context, m *mount, i, ci int) (*chunkVal,
 		// the value without double-counting decode time.
 		cctx := obs.ContextWithSpan(ctx, tr, lid)
 		c := fv.chunks[ci]
+		// Cluster peer fetch: if another node owns this content key, its
+		// cache already holds (or will decode once) these bytes — fetching
+		// them is what makes the cluster-wide dedupe real. Runs inside the
+		// singleflight closure, so concurrent local requests coalesce onto
+		// one fetch; any failure falls through to the local decode.
+		if rc := s.remote; rc != nil && !remoteSuppressed(ctx) {
+			_, endFetch := s.metrics.stage(cctx, "remote_fetch", s.metrics.stages.remoteFetch)
+			raw, ok := rc.FetchChunk(cctx, key, m.name, fv.info.Name, ci, c.Voxels*4)
+			endFetch()
+			if ok {
+				if val, err := chunkValFromRaw(fv, c, raw); err == nil {
+					s.metrics.remoteHits.Inc()
+					return val, val.size(), nil
+				}
+			}
+			s.metrics.remoteMisses.Inc()
+		}
 		var slabs []*crossfield.Field
 		if len(fv.deps) > 0 {
 			actx, endAnchors := s.metrics.stage(cctx, "anchor_decode", s.metrics.stages.anchorDecode)
@@ -652,6 +721,26 @@ func (s *Server) chunkData(ctx context.Context, m *mount, i, ci int) (*chunkVal,
 		return nil, err
 	}
 	return v.(*chunkVal), nil
+}
+
+// chunkValFromRaw rebuilds a cacheable chunk value from peer-fetched
+// little-endian bytes. The fetched slice doubles as the pre-serialized
+// response body, so a remote hit allocates only the decoded floats.
+func chunkValFromRaw(fv *fieldView, c core.ChunkInfo, raw []byte) (*chunkVal, error) {
+	if len(raw) != c.Voxels*4 {
+		return nil, fmt.Errorf("remote chunk: got %d bytes, want %d", len(raw), c.Voxels*4)
+	}
+	vals := make([]float32, c.Voxels)
+	for i := range vals {
+		vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:]))
+	}
+	dims := append([]int(nil), fv.info.Dims...)
+	dims[0] = c.Slabs
+	f, err := crossfield.NewField(fv.info.Name, vals, dims...)
+	if err != nil {
+		return nil, err
+	}
+	return &chunkVal{fieldVal: fieldVal{f: f, raw: raw}, start: c.Start}, nil
 }
 
 // anchorSlab returns field d's reconstruction covering slabs
@@ -711,6 +800,7 @@ func (s *Server) anchorSlab(ctx context.Context, m *mount, d int, start, count i
 //	GET /metrics
 //	GET /debug/trace
 //	GET /healthz
+//	GET /readyz
 //
 // Every route is wrapped by the instrument middleware: requests get a
 // pooled trace (id in X-CFC-Trace), a per-route/per-status latency
@@ -732,8 +822,23 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/trace", s.handleTrace)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Liveness: answers as soon as the process serves HTTP, even while
+		// mounts are still mmapping. The cluster router's health checker
+		// polls this route to eject and readmit peers.
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		// Readiness: distinct from liveness — stays 503 until every mount
+		// is registered, so load balancers don't route data requests at a
+		// node that would 404 them mid-mount.
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !s.ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "mounting")
+			return
+		}
+		fmt.Fprintln(w, "ready")
 	})
 	return mux
 }
