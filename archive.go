@@ -154,7 +154,7 @@ func CompressDatasetTo(w io.Writer, specs []FieldSpec, bound ErrorBound, opts ..
 			if s.Codec == nil {
 				if cfg.chunked {
 					cst, err := core.CompressChunkedTo(pw, s.Field.t, nil, nil, core.ChunkedOptions{
-						Options:     core.Options{Bound: b, Stages: fieldStages},
+						Options:     core.Options{Bound: b, Stages: fieldStages, Blocks: cfg.blockSpec()},
 						ChunkVoxels: cfg.chunkVoxels,
 						Workers:     cfg.workers,
 					})
@@ -163,7 +163,7 @@ func CompressDatasetTo(w io.Writer, specs []FieldSpec, bound ErrorBound, opts ..
 					}
 					st = *cst
 				} else {
-					res, err := core.CompressBaseline(s.Field.t, core.Options{Bound: b, Stages: fieldStages})
+					res, err := core.CompressBaseline(s.Field.t, core.Options{Bound: b, Stages: fieldStages, Blocks: cfg.blockSpec()})
 					if err != nil {
 						return err
 					}
@@ -181,7 +181,7 @@ func CompressDatasetTo(w io.Writer, specs []FieldSpec, bound ErrorBound, opts ..
 					}
 					anchors[k] = t
 				}
-				o := core.Options{Bound: b, AnchorNames: s.Codec.names, Arena: arena, Stages: fieldStages}
+				o := core.Options{Bound: b, AnchorNames: s.Codec.names, Arena: arena, Stages: fieldStages, Blocks: cfg.blockSpec()}
 				if cfg.chunked {
 					cst, err := core.CompressChunkedTo(pw, s.Field.t, s.Codec.model, anchors, core.ChunkedOptions{
 						Options:     o,

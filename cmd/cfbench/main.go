@@ -14,7 +14,9 @@
 //	cfbench -exp serve           # cfserve cold/hot latency + cache hit
 //	                             # ratio, writes BENCH_serve.json
 //	cfbench -exp inference       # CFNN full-field forward pass (ms, MB/s,
-//	                             # allocs), writes BENCH_inference.json
+//	                             # allocs) + single-chunk decode-latency
+//	                             # ladder at 1/2/4 workers, writes
+//	                             # BENCH_inference.json
 //	cfbench -exp cluster         # consistent-hash router QPS scaling,
 //	                             # 1 -> 3 nodes, writes BENCH_cluster.json
 //	cfbench -cpuprofile cpu.out  # pprof profiles of the selected

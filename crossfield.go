@@ -168,7 +168,7 @@ func CompressBaseline(f *Field, bound ErrorBound, opts ...Option) (*Compressed, 
 	}
 	if cfg.chunked {
 		res, err := core.CompressChunked(f.t, nil, nil, core.ChunkedOptions{
-			Options:     core.Options{Bound: bound},
+			Options:     core.Options{Bound: bound, Blocks: cfg.blockSpec()},
 			ChunkVoxels: cfg.chunkVoxels,
 			Workers:     cfg.workers,
 		})
@@ -177,7 +177,7 @@ func CompressBaseline(f *Field, bound ErrorBound, opts ...Option) (*Compressed, 
 		}
 		return &Compressed{Blob: res.Blob, Stats: res.Stats}, nil
 	}
-	res, err := core.CompressBaseline(f.t, core.Options{Bound: bound})
+	res, err := core.CompressBaseline(f.t, core.Options{Bound: bound, Blocks: cfg.blockSpec()})
 	if err != nil {
 		return nil, err
 	}
@@ -220,6 +220,20 @@ func DecompressChunked(name string, blob []byte, anchors []*Field, workers int) 
 // used at compression time; only the chunk's region of them is consulted.
 func DecompressChunk(name string, blob []byte, i int, anchors []*Field) (*Field, int, error) {
 	t, start, err := core.DecompressChunk(blob, i, fieldTensors(anchors))
+	if err != nil {
+		return nil, 0, err
+	}
+	return &Field{Name: name, t: t}, start, nil
+}
+
+// DecompressChunkWith is DecompressChunk with an explicit bound on the
+// worker pool used to decode block-coded (CFC2 v3 / CFC1 v2) payloads;
+// workers <= 0 means GOMAXPROCS. Payloads without block coding decode
+// sequentially regardless. This is the single-chunk decode-latency knob:
+// block-coded chunks reconstruct wavefront- or block-parallel, and the
+// result is byte-identical at any worker count.
+func DecompressChunkWith(name string, blob []byte, i int, anchors []*Field, workers int) (*Field, int, error) {
+	t, start, err := core.DecompressChunkWith(blob, i, fieldTensors(anchors), workers)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -325,7 +339,7 @@ func (c *Codec) Compress(target *Field, anchors []*Field, bound ErrorBound, opts
 	}
 	if cfg.chunked {
 		res, err := core.CompressChunked(target.t, c.model, fieldTensors(anchors), core.ChunkedOptions{
-			Options:     core.Options{Bound: bound, AnchorNames: c.names},
+			Options:     core.Options{Bound: bound, AnchorNames: c.names, Blocks: cfg.blockSpec()},
 			ChunkVoxels: cfg.chunkVoxels,
 			Workers:     cfg.workers,
 		})
@@ -337,6 +351,7 @@ func (c *Codec) Compress(target *Field, anchors []*Field, bound ErrorBound, opts
 	res, err := core.CompressHybrid(target.t, c.model, fieldTensors(anchors), core.Options{
 		Bound:       bound,
 		AnchorNames: c.names,
+		Blocks:      cfg.blockSpec(),
 	})
 	if err != nil {
 		return nil, err

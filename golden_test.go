@@ -208,6 +208,26 @@ func regenGoldenChunked(t *testing.T) {
 	writeGolden(t, "chunked_cfc2.f32", floatsToBytes(back.Data()))
 }
 
+// Block-coded fixtures. Dual quantization fixes every quantized integer
+// before prediction runs, so the block-local payloads decode to exactly
+// the same floats as the sequential ones — the v2/v3 fixtures share the
+// v1/v2 .f32 expectations instead of adding new ones.
+func regenGoldenBlocks(t *testing.T) {
+	f := goldenField()
+	res, err := crossfield.CompressBaseline(f, crossfield.Abs(0.05),
+		crossfield.WithDecodeBlocks(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeGolden(t, "baseline_cfc1v2.cfc", res.Blob)
+	resC, err := crossfield.CompressBaseline(f, crossfield.Abs(0.05),
+		crossfield.WithChunks(2*10*12), crossfield.WithDecodeBlocks(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeGolden(t, "chunked_cfc2v3.cfc", resC.Blob)
+}
+
 func regenGoldenArchive(t *testing.T) {
 	target, anchors := goldenDataset()
 	codec, err := crossfield.Train(target, anchors, crossfield.Training{
@@ -302,6 +322,55 @@ func TestGoldenCFC2V1(t *testing.T) {
 	requireExact(t, "CFC2v1", back, "chunked_cfc2.f32")
 }
 
+func TestGoldenCFC1V2Blocks(t *testing.T) {
+	if *update {
+		regenGoldenBlocks(t)
+	}
+	blob := readGolden(t, "baseline_cfc1v2.cfc")
+	if blob[4] != 2 {
+		t.Fatalf("fixture version byte = %d, want 2", blob[4])
+	}
+	back, err := crossfield.Decompress("W", blob, nil)
+	if err != nil {
+		t.Fatalf("CFC1 v2 golden blob no longer decodes: %v", err)
+	}
+	// Block-local payloads reconstruct the identical quantized integers,
+	// so the expectation is the sequential fixture's.
+	requireExact(t, "CFC1v2", back, "baseline_cfc1.f32")
+}
+
+func TestGoldenCFC2V3Blocks(t *testing.T) {
+	if *update {
+		regenGoldenBlocks(t)
+	}
+	blob := readGolden(t, "chunked_cfc2v3.cfc")
+	if blob[4] != 3 {
+		t.Fatalf("fixture version byte = %d, want 3", blob[4])
+	}
+	back, err := crossfield.Decompress("W", blob, nil)
+	if err != nil {
+		t.Fatalf("CFC2 v3 golden blob no longer decodes: %v", err)
+	}
+	requireExact(t, "CFC2v3", back, "chunked_cfc2.f32")
+	// Parallel single-chunk random access must agree with the full
+	// reconstruction at every worker count the server uses.
+	for _, workers := range []int{1, 2, 4} {
+		part, start, err := crossfield.DecompressChunkWith("W", blob, 1, nil, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if start != 2 {
+			t.Fatalf("chunk 1 start = %d, want 2", start)
+		}
+		slab := 10 * 12
+		for i, v := range part.Data() {
+			if v != back.Data()[start*slab+i] {
+				t.Fatalf("workers=%d: chunk decode differs from full decode at %d", workers, i)
+			}
+		}
+	}
+}
+
 func TestGoldenCFC3Archive(t *testing.T) {
 	if *update {
 		regenGoldenArchive(t)
@@ -345,8 +414,10 @@ func TestFormatsSpecAgainstGoldenFixtures(t *testing.T) {
 		version byte
 	}{
 		{"baseline_cfc1.cfc", "CFC1", 1},
+		{"baseline_cfc1v2.cfc", "CFC1", 2},
 		{"chunked_cfc2v1.cfc", "CFC2", 1},
 		{"chunked_cfc2v2.cfc", "CFC2", 2},
+		{"chunked_cfc2v3.cfc", "CFC2", 3},
 		{"archive_cfc3.cfc", "CFC3", 1},
 	} {
 		b := readGolden(t, tc.file)
@@ -394,8 +465,8 @@ func TestGoldenFixturesCommitted(t *testing.T) {
 		names = append(names, e.Name())
 	}
 	for _, want := range []string{
-		"baseline_cfc1.cfc", "baseline_cfc1.f32",
-		"chunked_cfc2v1.cfc", "chunked_cfc2v2.cfc", "chunked_cfc2.f32",
+		"baseline_cfc1.cfc", "baseline_cfc1v2.cfc", "baseline_cfc1.f32",
+		"chunked_cfc2v1.cfc", "chunked_cfc2v2.cfc", "chunked_cfc2v3.cfc", "chunked_cfc2.f32",
 		"archive_cfc3.cfc",
 		"archive_cfc3_U.f32", "archive_cfc3_V.f32", "archive_cfc3_PRES.f32", "archive_cfc3_W.f32",
 	} {

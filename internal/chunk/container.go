@@ -16,6 +16,10 @@
 // absolute reconstruction error, measured at compression time, so tools can
 // report actual vs bound without decompressing. Version 1 containers are
 // still decoded; their per-chunk errors read back as NaN ("unknown").
+// Version 3 reuses the version-2 layout byte for byte but marks that chunk
+// payloads may be block-coded (CFC1 version-2 payloads carrying a block
+// table for parallel decode — see internal/container); the header version
+// bump makes older readers reject the container up front.
 //
 // Each payload is a self-contained single-chunk CFC1 blob with its model
 // section stripped (the model lives once in this header), so a chunk can
@@ -42,9 +46,14 @@ var magic = [4]byte{'C', 'F', 'C', '2'}
 const (
 	// versionV1 lacks per-chunk achieved errors; still accepted on decode.
 	versionV1 = 1
-	// versionV2 is what Encode writes: index entries carry the achieved
-	// max error.
+	// versionV2 adds the achieved max error to each index entry; what
+	// Encode writes for sequential-payload containers.
 	versionV2 = 2
+	// versionV3 has the identical header and index layout as v2 but
+	// permits block-coded chunk payloads (CFC1 version-2 payloads, see
+	// internal/container). The version bump makes pre-v3 readers fail
+	// fast at the header instead of deep inside a chunk decode.
+	versionV3 = 3
 )
 
 // maxChunks bounds the index size a decoder will accept.
@@ -71,6 +80,10 @@ type Header struct {
 	Dims       []int
 	Anchors    []string
 	Model      []byte // CFNN weights, stored once; empty for baseline
+	// Blocks marks a container whose chunk payloads may be block-coded
+	// for parallel decode. Encoders set it when any payload is; it selects
+	// the version-3 header byte.
+	Blocks bool
 }
 
 // NumPoints returns the product of the dims.
@@ -147,8 +160,12 @@ func appendHeader(out []byte, h *Header, g *Grid, payloads [][]byte, maxErrs []f
 	if g.NumChunks() > maxChunks {
 		return nil, fmt.Errorf("chunk: %d chunks exceeds the format limit %d", g.NumChunks(), maxChunks)
 	}
+	ver := byte(versionV2)
+	if h.Blocks {
+		ver = versionV3
+	}
 	out = append(out, magic[:]...)
-	out = append(out, versionV2, byte(h.Method), h.BoundMode)
+	out = append(out, ver, byte(h.Method), h.BoundMode)
 	var f8 [8]byte
 	binary.LittleEndian.PutUint64(f8[:], math.Float64bits(h.BoundValue))
 	out = append(out, f8[:]...)
@@ -296,10 +313,10 @@ func decodeHeader(r fields) (*Header, *indexData, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	if ver != versionV1 && ver != versionV2 {
+	if ver != versionV1 && ver != versionV2 && ver != versionV3 {
 		return nil, nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, ver)
 	}
-	h := &Header{}
+	h := &Header{Blocks: ver == versionV3}
 	mb, err := r.Byte()
 	if err != nil {
 		return nil, nil, err

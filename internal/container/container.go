@@ -10,7 +10,19 @@
 //	uvarint numAnchors | (uvarint len + name bytes)...
 //	uvarint modelLen   | model blob (CFNN; 0 for baseline)
 //	uvarint tableLen   | Huffman table
+//	block section (version 2 payloads only):
+//	  byte blockMode | uvarint edge per axis | uvarint numBlocks
+//	  | uvarint segLen per block (raw Huffman bytes, block-raster order)
 //	uvarint payloadRaw | uvarint payloadLen | lossless-compressed payload
+//
+// Version 1 payloads carry one sequential Huffman stream. Version 2
+// payloads are block-coded for parallel decode: the raw (pre-lossless)
+// payload is the concatenation of one byte-aligned Huffman segment per
+// decode block, and the block section records the geometry and segment
+// lengths so each block can be entropy-decoded independently. blockMode
+// distinguishes wavefront coding (predictions cross block seams; blocks
+// decode along anti-diagonal fronts) from block-independent coding
+// (predictions reset at block borders; blocks decode in any order).
 //
 // Everything needed to decompress — except the decompressed anchor fields
 // themselves — lives in the blob, and every byte of it (including the CFNN
@@ -58,7 +70,53 @@ func (m Method) String() string {
 
 var magic = [4]byte{'C', 'F', 'C', '1'}
 
-const version = 1
+const (
+	// version is the classic sequential-payload layout.
+	version = 1
+	// versionBlocks adds the block section (see package comment); written
+	// only when a blob is block-coded, so v1 readers keep decoding every
+	// sequential blob.
+	versionBlocks = 2
+)
+
+// Block coding modes stored in the block section's mode byte.
+const (
+	// BlockWavefront: residuals are the sequential (seam-crossing)
+	// predictions reordered block-major; blocks decode along anti-diagonal
+	// fronts, reading already-reconstructed seam planes of causal
+	// neighbor blocks.
+	BlockWavefront byte = 1
+	// BlockIndependent: predictions reset at block borders, so every
+	// block decodes with zero dependencies.
+	BlockIndependent byte = 2
+)
+
+// maxDecodeBlocks bounds the block table a decoder will accept.
+const maxDecodeBlocks = 1 << 22
+
+// BlockSection describes the decode-block partitioning of a version-2
+// (block-coded) payload.
+type BlockSection struct {
+	Mode    byte  // BlockWavefront or BlockIndependent
+	Edges   []int // block edge per axis (len == rank)
+	SegLens []int // raw Huffman segment bytes per block, block-raster order
+}
+
+// NumBlocks returns the block count implied by dims and the per-axis
+// edges: the product of ceil(dim/edge).
+func (s *BlockSection) NumBlocks(dims []int) (int, error) {
+	if len(s.Edges) != len(dims) {
+		return 0, fmt.Errorf("container: %d block edges for rank %d", len(s.Edges), len(dims))
+	}
+	n := 1
+	for a, e := range s.Edges {
+		if e <= 0 {
+			return 0, fmt.Errorf("container: block edge %d", e)
+		}
+		n *= (dims[a] + e - 1) / e
+	}
+	return n, nil
+}
 
 // ErrCorrupt reports a malformed blob.
 var ErrCorrupt = errors.New("container: corrupt blob")
@@ -80,7 +138,8 @@ type Blob struct {
 	Header
 	Model      []byte
 	Table      []byte
-	PayloadRaw int // uncompressed payload length
+	Blocks     *BlockSection // nil for sequential (version 1) payloads
+	PayloadRaw int           // uncompressed payload length
 	Payload    []byte
 }
 
@@ -98,9 +157,23 @@ func Encode(b *Blob) ([]byte, error) {
 	if len(b.Dims) < 1 || len(b.Dims) > 3 {
 		return nil, fmt.Errorf("container: rank %d unsupported", len(b.Dims))
 	}
+	ver := byte(version)
+	if b.Blocks != nil {
+		ver = versionBlocks
+		nb, err := b.Blocks.NumBlocks(b.Dims)
+		if err != nil {
+			return nil, err
+		}
+		if nb != len(b.Blocks.SegLens) {
+			return nil, fmt.Errorf("container: %d block segments for %d blocks", len(b.Blocks.SegLens), nb)
+		}
+		if m := b.Blocks.Mode; m != BlockWavefront && m != BlockIndependent {
+			return nil, fmt.Errorf("container: block mode %d", m)
+		}
+	}
 	out := make([]byte, 0, 64+len(b.Model)+len(b.Table)+len(b.Payload))
 	out = append(out, magic[:]...)
-	out = append(out, version, byte(b.Method), b.BoundMode)
+	out = append(out, ver, byte(b.Method), b.BoundMode)
 	var f8 [8]byte
 	binary.LittleEndian.PutUint64(f8[:], math.Float64bits(b.BoundValue))
 	out = append(out, f8[:]...)
@@ -128,6 +201,19 @@ func Encode(b *Blob) ([]byte, error) {
 	out = append(out, b.Model...)
 	out = binary.AppendUvarint(out, uint64(len(b.Table)))
 	out = append(out, b.Table...)
+	if b.Blocks != nil {
+		out = append(out, b.Blocks.Mode)
+		for _, e := range b.Blocks.Edges {
+			out = binary.AppendUvarint(out, uint64(e))
+		}
+		out = binary.AppendUvarint(out, uint64(len(b.Blocks.SegLens)))
+		for _, l := range b.Blocks.SegLens {
+			if l < 0 {
+				return nil, fmt.Errorf("container: negative segment length %d", l)
+			}
+			out = binary.AppendUvarint(out, uint64(l))
+		}
+	}
 	out = binary.AppendUvarint(out, uint64(b.PayloadRaw))
 	out = binary.AppendUvarint(out, uint64(len(b.Payload)))
 	out = append(out, b.Payload...)
@@ -297,7 +383,7 @@ func Decode(data []byte) (*Blob, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ver != version {
+	if ver != version && ver != versionBlocks {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, ver)
 	}
 	b := &Blob{}
@@ -388,11 +474,25 @@ func Decode(data []byte) (*Blob, error) {
 	if b.Table, err = r.Bytes(int(tl)); err != nil {
 		return nil, err
 	}
+	if ver == versionBlocks {
+		if b.Blocks, err = decodeBlockSection(r, b.Dims); err != nil {
+			return nil, err
+		}
+	}
 	praw, err := r.Uvarint()
 	if err != nil {
 		return nil, err
 	}
 	b.PayloadRaw = int(praw)
+	if b.Blocks != nil {
+		sum := 0
+		for _, l := range b.Blocks.SegLens {
+			sum += l
+		}
+		if sum != b.PayloadRaw {
+			return nil, fmt.Errorf("%w: block segments sum to %d bytes, payload is %d", ErrCorrupt, sum, b.PayloadRaw)
+		}
+	}
 	pl, err := r.Uvarint()
 	if err != nil {
 		return nil, err
@@ -404,4 +504,53 @@ func Decode(data []byte) (*Blob, error) {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-r.Off())
 	}
 	return b, nil
+}
+
+// decodeBlockSection parses and validates the block table of a version-2
+// payload. Geometry is cross-checked against dims: the recorded segment
+// count must equal the block count the edges imply.
+func decodeBlockSection(r *Cursor, dims []int) (*BlockSection, error) {
+	s := &BlockSection{}
+	mode, err := r.Byte()
+	if err != nil {
+		return nil, err
+	}
+	if mode != BlockWavefront && mode != BlockIndependent {
+		return nil, fmt.Errorf("%w: block mode %d", ErrCorrupt, mode)
+	}
+	s.Mode = mode
+	s.Edges = make([]int, len(dims))
+	for a := range s.Edges {
+		e, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if e == 0 || e > 1<<32 {
+			return nil, fmt.Errorf("%w: block edge %d", ErrCorrupt, e)
+		}
+		s.Edges[a] = int(e)
+	}
+	want, err := s.NumBlocks(dims)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	nb, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nb > maxDecodeBlocks || int(nb) != want {
+		return nil, fmt.Errorf("%w: %d block segments, geometry implies %d", ErrCorrupt, nb, want)
+	}
+	s.SegLens = make([]int, nb)
+	for i := range s.SegLens {
+		l, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if l > math.MaxInt32 {
+			return nil, fmt.Errorf("%w: block segment length %d", ErrCorrupt, l)
+		}
+		s.SegLens[i] = int(l)
+	}
+	return s, nil
 }

@@ -1,0 +1,618 @@
+// Block-coded payloads: the wavefront/block-local decompression engine.
+//
+// The sequential decoder is bound by the Lorenzo dependency chain — every
+// point waits on its causal neighbors, so a chunk decodes on one core.
+// Dual quantization already guarantees the compressor sees exactly the
+// integers the decompressor will reconstruct, which is the property that
+// lets the chain be cut at block boundaries without touching the error
+// bound: the compressor partitions the prequant grid into fixed decode
+// blocks and entropy-codes each block's residuals into its own
+// byte-aligned Huffman segment (the block table in the payload records the
+// segment lengths), in one of two modes:
+//
+//   - Wavefront (container.BlockWavefront): residuals are the ordinary
+//     seam-crossing predictions, merely reordered block-major — the ratio
+//     is untouched. A block depends only on the already-reconstructed seam
+//     planes of its causal neighbor blocks, so blocks on the same
+//     anti-diagonal front are independent and decode in parallel; fronts
+//     run in sequence. Per-point predictions are pure functions of causal
+//     prequant values (no floating-point state accumulates across points),
+//     so the output is bit-identical to the sequential decoder.
+//   - Block-independent (container.BlockIndependent): predictions reset at
+//     block borders (zeros outside the block, exactly the grid-border
+//     convention), so every block decodes with zero dependencies — the
+//     fast path when seam residuals cost little ratio. Reconstruction is
+//     still exact: codes are exact integer residuals against the reset
+//     predictions.
+//
+// Compression encodes both candidates and chooses per chunk by measured
+// payload size, preferring independence within a small tolerance.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/bitstream"
+	"repro/internal/container"
+	"repro/internal/huffman"
+	"repro/internal/parallel"
+	"repro/internal/predictor"
+	"repro/internal/quant"
+)
+
+// BlockSpec configures block-coded payloads (see Options.Blocks).
+type BlockSpec struct {
+	// Enable selects block coding. Payloads become CFC1 version 2 (and
+	// chunked containers CFC2 version 3), decodable block-parallel.
+	Enable bool
+	// Edge is the decode-block edge applied to every axis; 0 picks the
+	// rank default (64 for 3D, 256 for 2D, 4096 for 1D — ~256K-point
+	// blocks either way).
+	Edge int
+}
+
+// DefaultBlockEdge returns the default decode-block edge for a rank.
+func DefaultBlockEdge(rank int) int {
+	switch rank {
+	case 3:
+		return 64
+	case 2:
+		return 256
+	default:
+		return 4096
+	}
+}
+
+// blockGeom is the decode-block partitioning of one field or chunk.
+type blockGeom struct {
+	dims  []int // field dims, rank 1-3
+	edges []int // block edge per axis (clamped to the dim)
+	nb    []int // blocks per axis
+	total int
+}
+
+func geomFor(dims, edges []int) (*blockGeom, error) {
+	if len(edges) != len(dims) {
+		return nil, fmt.Errorf("core: %d block edges for rank %d", len(edges), len(dims))
+	}
+	g := &blockGeom{dims: dims, edges: make([]int, len(dims)), nb: make([]int, len(dims)), total: 1}
+	for a, d := range dims {
+		e := edges[a]
+		if e <= 0 {
+			return nil, fmt.Errorf("core: block edge %d", e)
+		}
+		if e > d {
+			e = d
+		}
+		g.edges[a] = e
+		g.nb[a] = (d + e - 1) / e
+		g.total *= g.nb[a]
+	}
+	return g, nil
+}
+
+// blockGeomFor resolves the Options into a geometry, or nil when block
+// coding is disabled or degenerate (a single block decodes sequentially
+// anyway, so the plain payload is strictly better).
+func blockGeomFor(opts Options, dims []int) *blockGeom {
+	if !opts.Blocks.Enable {
+		return nil
+	}
+	edge := opts.Blocks.Edge
+	if edge <= 0 {
+		edge = DefaultBlockEdge(len(dims))
+	}
+	edges := make([]int, len(dims))
+	for a := range edges {
+		edges[a] = edge
+	}
+	g, err := geomFor(dims, edges)
+	if err != nil || g.total <= 1 {
+		return nil
+	}
+	return g
+}
+
+// bounds returns block b's half-open coordinate box in block-raster order
+// (slowest axis first, matching the grid's raster order).
+func (g *blockGeom) bounds(b int) (lo, hi []int) {
+	rank := len(g.nb)
+	lo = make([]int, rank)
+	hi = make([]int, rank)
+	for a := rank - 1; a >= 0; a-- {
+		c := b % g.nb[a]
+		b /= g.nb[a]
+		lo[a] = c * g.edges[a]
+		hi[a] = lo[a] + g.edges[a]
+		if hi[a] > g.dims[a] {
+			hi[a] = g.dims[a]
+		}
+	}
+	return lo, hi
+}
+
+// maxBlockVoxels bounds any single block's point count.
+func (g *blockGeom) maxBlockVoxels() int {
+	n := 1
+	for _, e := range g.edges {
+		n *= e
+	}
+	return n
+}
+
+// fronts groups block ids by anti-diagonal front (the sum of their block
+// coordinates). A block's causal neighbor blocks all live on strictly
+// earlier fronts, so blocks within one front decode concurrently and
+// fronts run with a barrier between them.
+func (g *blockGeom) fronts() [][]int {
+	maxd := 0
+	for _, n := range g.nb {
+		maxd += n - 1
+	}
+	fronts := make([][]int, maxd+1)
+	for b := 0; b < g.total; b++ {
+		d, rem := 0, b
+		for a := len(g.nb) - 1; a >= 0; a-- {
+			d += rem % g.nb[a]
+			rem /= g.nb[a]
+		}
+		fronts[d] = append(fronts[d], b)
+	}
+	return fronts
+}
+
+func boxVoxels(lo, hi []int) int {
+	n := 1
+	for a := range lo {
+		n *= hi[a] - lo[a]
+	}
+	return n
+}
+
+// gatherBlock copies the codes of one block out of the raster-order array
+// into dst in block-raster order (row spans are contiguous).
+func gatherBlock(dst, src []int32, dims, lo, hi []int) []int32 {
+	switch len(dims) {
+	case 1:
+		return append(dst[:0], src[lo[0]:hi[0]]...)
+	case 2:
+		nx := dims[1]
+		out := dst[:0]
+		for i := lo[0]; i < hi[0]; i++ {
+			out = append(out, src[i*nx+lo[1]:i*nx+hi[1]]...)
+		}
+		return out
+	default:
+		ny, nx := dims[1], dims[2]
+		out := dst[:0]
+		for k := lo[0]; k < hi[0]; k++ {
+			for i := lo[1]; i < hi[1]; i++ {
+				base := (k*ny + i) * nx
+				out = append(out, src[base+lo[2]:base+hi[2]]...)
+			}
+		}
+		return out
+	}
+}
+
+// blockAlt carries the block-coding candidate data into assemble: the
+// geometry and the block-independent (seam-reset) residuals. The
+// wavefront candidate is the ordinary codes array itself.
+type blockAlt struct {
+	geom  *blockGeom
+	indep []int32
+}
+
+// hybridPredAt2D evaluates the hybrid (or cross-only, hasLor=false)
+// prediction at (i,j) with the causal horizon at org — org zero is the
+// seam-crossing prediction, org at a block origin the seam-reset one. The
+// accumulation order matches predictor.Hybrid.Apply exactly, which is
+// what keeps block decode bit-identical to the sequential reference.
+func hybridPredAt2D(q []int32, nx int, dq0, dq1 []float64, w []float64, bias float64, hasLor bool, i, j, p int, org []int) int32 {
+	acc := bias
+	f := 0
+	if hasLor {
+		acc += w[0] * float64(predictor.LorenzoPred2DFrom(q, nx, i, j, org[0], org[1]))
+		f = 1
+	}
+	acc += w[f] * predictor.CrossFieldPredFrom(q, p, nx, i, org[0], dq0[p])
+	acc += w[f+1] * predictor.CrossFieldPredFrom(q, p, 1, j, org[1], dq1[p])
+	return int32(roundHalfAway(clampPred(acc)))
+}
+
+// hybridPredAt3D is hybridPredAt2D for rank 3.
+func hybridPredAt3D(q []int32, ny, nx int, dq0, dq1, dq2 []float64, w []float64, bias float64, hasLor bool, k, i, j, p int, org []int) int32 {
+	acc := bias
+	f := 0
+	if hasLor {
+		acc += w[0] * float64(predictor.LorenzoPred3DFrom(q, ny, nx, k, i, j, org[0], org[1], org[2]))
+		f = 1
+	}
+	acc += w[f] * predictor.CrossFieldPredFrom(q, p, ny*nx, k, org[0], dq0[p])
+	acc += w[f+1] * predictor.CrossFieldPredFrom(q, p, nx, i, org[1], dq1[p])
+	acc += w[f+2] * predictor.CrossFieldPredFrom(q, p, 1, j, org[2], dq2[p])
+	return int32(roundHalfAway(clampPred(acc)))
+}
+
+// blockLocalCodes computes the block-independent residuals: for every
+// point, code = q − pred with the prediction's causal horizon reset to the
+// point's block origin. Interior points (all neighbors in-block) get
+// exactly the sequential codes; only seam planes differ. Blocks write
+// disjoint regions, so the loop is block-parallel.
+func blockLocalCodes(q []int32, dims []int, g *blockGeom, dq [][]float64, w []float64, bias float64, method container.Method) []int32 {
+	out := make([]int32, len(q))
+	hasLor := method == container.MethodHybrid
+	parallel.For(g.total, func(b int) {
+		lo, hi := g.bounds(b)
+		switch len(dims) {
+		case 1:
+			for i := lo[0]; i < hi[0]; i++ {
+				out[i] = q[i] - int32(predictor.LorenzoPred1DFrom(q, i, lo[0]))
+			}
+		case 2:
+			nx := dims[1]
+			for i := lo[0]; i < hi[0]; i++ {
+				for j := lo[1]; j < hi[1]; j++ {
+					p := i*nx + j
+					if method == container.MethodBaseline {
+						out[p] = q[p] - int32(predictor.LorenzoPred2DFrom(q, nx, i, j, lo[0], lo[1]))
+					} else {
+						out[p] = q[p] - hybridPredAt2D(q, nx, dq[0], dq[1], w, bias, hasLor, i, j, p, lo)
+					}
+				}
+			}
+		default:
+			ny, nx := dims[1], dims[2]
+			for k := lo[0]; k < hi[0]; k++ {
+				for i := lo[1]; i < hi[1]; i++ {
+					for j := lo[2]; j < hi[2]; j++ {
+						p := (k*ny+i)*nx + j
+						if method == container.MethodBaseline {
+							out[p] = q[p] - int32(predictor.LorenzoPred3DFrom(q, ny, nx, k, i, j, lo[0], lo[1], lo[2]))
+						} else {
+							out[p] = q[p] - hybridPredAt3D(q, ny, nx, dq[0], dq[1], dq[2], w, bias, hasLor, k, i, j, p, lo)
+						}
+					}
+				}
+			}
+		}
+	})
+	return out
+}
+
+// encodeBlockStreams Huffman-codes one candidate's residuals into
+// per-block byte-aligned segments (block-raster order), returning the
+// codec, the concatenated raw payload, and the segment lengths.
+func encodeBlockStreams(codes []int32, dims []int, g *blockGeom, maxSymbols int) (*huffman.Codec, []byte, []int, error) {
+	codec, err := huffman.Build(codes, maxSymbols)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var w bitstream.Writer
+	scratch := make([]int32, 0, g.maxBlockVoxels())
+	payload := make([]byte, 0, len(codes)/4)
+	segLens := make([]int, g.total)
+	for b := 0; b < g.total; b++ {
+		lo, hi := g.bounds(b)
+		s := gatherBlock(scratch, codes, dims, lo, hi)
+		w.Reset()
+		if err := codec.Encode(&w, s); err != nil {
+			return nil, nil, nil, err
+		}
+		seg := w.Bytes()
+		payload = append(payload, seg...)
+		segLens[b] = len(seg)
+	}
+	return codec, payload, segLens, nil
+}
+
+// chooseBlockCoding encodes both candidates and picks by measured raw
+// payload size: block-independent wins unless it costs more than ~1.6%
+// (1/64) over wavefront, because zero-dependency decode is worth a small
+// ratio delta but not a material one.
+func chooseBlockCoding(codes []int32, alt *blockAlt, dims []int, maxSymbols int) (*huffman.Codec, []byte, *container.BlockSection, []int32, error) {
+	cw, rawW, segW, err := encodeBlockStreams(codes, dims, alt.geom, maxSymbols)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	ci, rawI, segI, err := encodeBlockStreams(alt.indep, dims, alt.geom, maxSymbols)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	edges := append([]int(nil), alt.geom.edges...)
+	if len(rawI) <= len(rawW)+len(rawW)/64 {
+		sec := &container.BlockSection{Mode: container.BlockIndependent, Edges: edges, SegLens: segI}
+		return ci, rawI, sec, alt.indep, nil
+	}
+	sec := &container.BlockSection{Mode: container.BlockWavefront, Edges: edges, SegLens: segW}
+	return cw, rawW, sec, codes, nil
+}
+
+// zeroOrigin is the causal horizon of wavefront blocks: the grid origin.
+var zeroOrigin = []int{0, 0, 0}
+
+// reconstructBlocks decodes a block-coded payload into q and dequantizes
+// into vals, scheduling blocks by mode: all at once for block-independent
+// payloads, front by front for wavefront ones (the barrier between fronts
+// is what publishes a front's seam planes to the next). workers <= 0
+// means GOMAXPROCS.
+func reconstructBlocks(q []int32, vals []float32, raw []byte, codec *huffman.Codec, b *container.Blob, dq [][]float64, workers int, times []float64) error {
+	bs := b.Blocks
+	g, err := geomFor(b.Dims, bs.Edges)
+	if err != nil {
+		return err
+	}
+	if g.total != len(bs.SegLens) {
+		return fmt.Errorf("%w: %d block segments, geometry implies %d", container.ErrCorrupt, len(bs.SegLens), g.total)
+	}
+	rank := len(b.Dims)
+	var weights []float64
+	hasLor := false
+	switch b.Method {
+	case container.MethodBaseline:
+	case container.MethodHybrid, container.MethodCrossOnly:
+		if rank != 2 && rank != 3 {
+			return fmt.Errorf("core: cross-field rank %d unsupported", rank)
+		}
+		if len(dq) != rank {
+			return fmt.Errorf("core: %d dq fields for rank %d", len(dq), rank)
+		}
+		numFeats := rank
+		if b.Method == container.MethodHybrid {
+			numFeats++
+			hasLor = true
+		}
+		if len(b.Hybrid) != numFeats+1 {
+			return fmt.Errorf("core: %d hybrid params, want %d", len(b.Hybrid), numFeats+1)
+		}
+		weights = b.Hybrid
+	default:
+		return fmt.Errorf("core: unknown method %v", b.Method)
+	}
+	offs := make([]int, g.total+1)
+	for i, l := range bs.SegLens {
+		offs[i+1] = offs[i] + l
+	}
+	if offs[g.total] != len(raw) {
+		return fmt.Errorf("%w: block segments sum to %d bytes, payload is %d", container.ErrCorrupt, offs[g.total], len(raw))
+	}
+	if workers <= 0 {
+		workers = parallel.Workers()
+	}
+	scratch := sync.Pool{New: func() any {
+		s := make([]int32, g.maxBlockVoxels())
+		return &s
+	}}
+	independent := bs.Mode == container.BlockIndependent
+	decodeBlock := func(bi int) error {
+		var start time.Time
+		if times != nil {
+			start = time.Now()
+		}
+		lo, hi := g.bounds(bi)
+		sp := scratch.Get().(*[]int32)
+		defer scratch.Put(sp)
+		codes := (*sp)[:boxVoxels(lo, hi)]
+		if err := codec.DecodeInto(bitstream.NewReader(raw[offs[bi]:offs[bi+1]]), codes); err != nil {
+			return fmt.Errorf("block %d: %w", bi, err)
+		}
+		org := zeroOrigin[:rank]
+		if independent {
+			org = lo
+		}
+		if b.Method == container.MethodBaseline {
+			reconstructBaselineBlock(q, codes, b.Dims, lo, hi, org)
+		} else {
+			reconstructCrossBlock(q, codes, b.Dims, lo, hi, org, dq, weights, hasLor)
+		}
+		dequantizeBlock(vals, q, b.AbsEB, b.Dims, lo, hi)
+		if times != nil {
+			times[bi] = time.Since(start).Seconds()
+		}
+		return nil
+	}
+	if independent {
+		return parallel.ForErr(workers, g.total, decodeBlock)
+	}
+	for _, front := range g.fronts() {
+		if err := parallel.ForErr(workers, len(front), func(x int) error {
+			return decodeBlock(front[x])
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dequantizeBlock dequantizes a block's row spans right after its
+// reconstruction, while the prequant values are cache-hot.
+func dequantizeBlock(vals []float32, q []int32, eb float64, dims, lo, hi []int) {
+	switch len(dims) {
+	case 1:
+		quant.DequantizeSpan(vals, q, eb, lo[0], hi[0])
+	case 2:
+		nx := dims[1]
+		for i := lo[0]; i < hi[0]; i++ {
+			quant.DequantizeSpan(vals, q, eb, i*nx+lo[1], i*nx+hi[1])
+		}
+	default:
+		ny, nx := dims[1], dims[2]
+		for k := lo[0]; k < hi[0]; k++ {
+			for i := lo[1]; i < hi[1]; i++ {
+				base := (k*ny + i) * nx
+				quant.DequantizeSpan(vals, q, eb, base+lo[2], base+hi[2])
+			}
+		}
+	}
+}
+
+// reconstructBaselineBlock reverses Lorenzo prediction over one block.
+// org is the causal horizon: the grid origin for wavefront payloads
+// (seam planes of neighbor blocks are already reconstructed), the block
+// origin for independent payloads. Integer arithmetic is exact, so both
+// match the sequential reference bit for bit.
+func reconstructBaselineBlock(q, codes []int32, dims, lo, hi, org []int) {
+	c := 0
+	switch len(dims) {
+	case 1:
+		for i := lo[0]; i < hi[0]; i++ {
+			q[i] = codes[c] + int32(predictor.LorenzoPred1DFrom(q, i, org[0]))
+			c++
+		}
+	case 2:
+		nx := dims[1]
+		for i := lo[0]; i < hi[0]; i++ {
+			base := i * nx
+			j := lo[1]
+			if i > org[0] {
+				if j == org[1] {
+					q[base+j] = codes[c] + int32(predictor.LorenzoPred2DFrom(q, nx, i, j, org[0], org[1]))
+					c++
+					j++
+				}
+				for ; j < hi[1]; j++ {
+					p := base + j
+					pred := int64(q[p-nx]) + int64(q[p-1]) - int64(q[p-nx-1])
+					q[p] = codes[c] + int32(pred)
+					c++
+				}
+			} else {
+				for ; j < hi[1]; j++ {
+					q[base+j] = codes[c] + int32(predictor.LorenzoPred2DFrom(q, nx, i, j, org[0], org[1]))
+					c++
+				}
+			}
+		}
+	default:
+		ny, nx := dims[1], dims[2]
+		snynx := ny * nx
+		for k := lo[0]; k < hi[0]; k++ {
+			for i := lo[1]; i < hi[1]; i++ {
+				base := (k*ny + i) * nx
+				j := lo[2]
+				if k > org[0] && i > org[1] {
+					if j == org[2] {
+						q[base+j] = codes[c] + int32(predictor.LorenzoPred3DFrom(q, ny, nx, k, i, j, org[0], org[1], org[2]))
+						c++
+						j++
+					}
+					for ; j < hi[2]; j++ {
+						p := base + j
+						pred := int64(q[p-snynx]) + int64(q[p-nx]) + int64(q[p-1]) -
+							int64(q[p-snynx-nx]) - int64(q[p-snynx-1]) - int64(q[p-nx-1]) +
+							int64(q[p-snynx-nx-1])
+						q[p] = codes[c] + int32(pred)
+						c++
+					}
+				} else {
+					for ; j < hi[2]; j++ {
+						q[base+j] = codes[c] + int32(predictor.LorenzoPred3DFrom(q, ny, nx, k, i, j, org[0], org[1], org[2]))
+						c++
+					}
+				}
+			}
+		}
+	}
+}
+
+// reconstructCrossBlock reverses the hybrid (or cross-only) prediction
+// over one block. The interior fast path hoists the hybrid weights out of
+// the loop and reads neighbors directly — no per-point feature row, no
+// Apply call — while keeping the exact floating-point accumulation order
+// of predictor.Hybrid.Apply, so the output stays bit-identical to the
+// sequential reference (and, for wavefront payloads, to pre-v3 decodes).
+func reconstructCrossBlock(q, codes []int32, dims, lo, hi, org []int, dq [][]float64, weights []float64, hasLor bool) {
+	numFeats := len(weights) - 1
+	w := weights[:numFeats]
+	bias := weights[numFeats]
+	c := 0
+	if len(dims) == 2 {
+		nx := dims[1]
+		dq0, dq1 := dq[0], dq[1]
+		var w0 float64
+		f := 0
+		if hasLor {
+			w0 = w[0]
+			f = 1
+		}
+		w1, w2 := w[f], w[f+1]
+		for i := lo[0]; i < hi[0]; i++ {
+			base := i * nx
+			j := lo[1]
+			if i > org[0] {
+				if j == org[1] {
+					p := base + j
+					q[p] = codes[c] + hybridPredAt2D(q, nx, dq0, dq1, w, bias, hasLor, i, j, p, org)
+					c++
+					j++
+				}
+				for ; j < hi[1]; j++ {
+					p := base + j
+					acc := bias
+					if hasLor {
+						lor := int64(q[p-nx]) + int64(q[p-1]) - int64(q[p-nx-1])
+						acc += w0 * float64(lor)
+					}
+					acc += w1 * (float64(q[p-nx]) + dq0[p])
+					acc += w2 * (float64(q[p-1]) + dq1[p])
+					q[p] = codes[c] + int32(roundHalfAway(clampPred(acc)))
+					c++
+				}
+			} else {
+				for ; j < hi[1]; j++ {
+					p := base + j
+					q[p] = codes[c] + hybridPredAt2D(q, nx, dq0, dq1, w, bias, hasLor, i, j, p, org)
+					c++
+				}
+			}
+		}
+		return
+	}
+	ny, nx := dims[1], dims[2]
+	snynx := ny * nx
+	dq0, dq1, dq2 := dq[0], dq[1], dq[2]
+	var w0 float64
+	f := 0
+	if hasLor {
+		w0 = w[0]
+		f = 1
+	}
+	w1, w2, w3 := w[f], w[f+1], w[f+2]
+	for k := lo[0]; k < hi[0]; k++ {
+		for i := lo[1]; i < hi[1]; i++ {
+			base := (k*ny + i) * nx
+			j := lo[2]
+			if k > org[0] && i > org[1] {
+				if j == org[2] {
+					p := base + j
+					q[p] = codes[c] + hybridPredAt3D(q, ny, nx, dq0, dq1, dq2, w, bias, hasLor, k, i, j, p, org)
+					c++
+					j++
+				}
+				for ; j < hi[2]; j++ {
+					p := base + j
+					acc := bias
+					if hasLor {
+						lor := int64(q[p-snynx]) + int64(q[p-nx]) + int64(q[p-1]) -
+							int64(q[p-snynx-nx]) - int64(q[p-snynx-1]) - int64(q[p-nx-1]) +
+							int64(q[p-snynx-nx-1])
+						acc += w0 * float64(lor)
+					}
+					acc += w1 * (float64(q[p-snynx]) + dq0[p])
+					acc += w2 * (float64(q[p-nx]) + dq1[p])
+					acc += w3 * (float64(q[p-1]) + dq2[p])
+					q[p] = codes[c] + int32(roundHalfAway(clampPred(acc)))
+					c++
+				}
+			} else {
+				for ; j < hi[2]; j++ {
+					p := base + j
+					q[p] = codes[c] + hybridPredAt3D(q, ny, nx, dq0, dq1, dq2, w, bias, hasLor, k, i, j, p, org)
+					c++
+				}
+			}
+		}
+	}
+}

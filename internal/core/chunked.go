@@ -161,6 +161,12 @@ func CompressChunkedTo(w io.Writer, field *tensor.Tensor, model *cfnn.Model, anc
 		Anchors:    append([]string(nil), opts.AnchorNames...),
 		Model:      modelBlob,
 	}
+	for _, cs := range chunkStats {
+		if cs.BlockMode != 0 {
+			hdr.Blocks = true
+			break
+		}
+	}
 	maxErrs := make([]float64, n)
 	for i, cs := range chunkStats {
 		maxErrs[i] = cs.MaxErr
@@ -212,7 +218,7 @@ func DecompressChunked(blob []byte, anchors []*tensor.Tensor) (*tensor.Tensor, e
 // single sequential chunk, so workers does not apply).
 func DecompressChunkedWith(blob []byte, anchors []*tensor.Tensor, workers int) (*tensor.Tensor, error) {
 	if !chunk.IsChunked(blob) {
-		return decompressMono(blob, anchors, nil, nil)
+		return decompressMono(blob, anchors, nil, nil, workers)
 	}
 	if workers <= 0 {
 		workers = parallel.Workers()
@@ -229,13 +235,19 @@ func DecompressChunkedWith(blob []byte, anchors []*tensor.Tensor, workers int) (
 	if err != nil {
 		return nil, err
 	}
+	// Chunk-level parallelism comes first; leftover workers go to
+	// block-parallel decode inside each chunk (v3 containers).
+	inner := workers / a.NumChunks()
+	if inner < 1 {
+		inner = 1
+	}
 	out := make([]float32, a.NumPoints())
 	err = parallel.ForErr(workers, a.NumChunks(), func(i int) error {
 		payload, err := a.Payload(i)
 		if err != nil {
 			return err
 		}
-		return decompressChunkInto(out, payload, g, i, inf)
+		return decompressChunkInto(out, payload, g, i, inf, inner)
 	})
 	if err != nil {
 		return nil, err
@@ -290,7 +302,7 @@ func DecompressChunkedFrom(r io.Reader, anchors []*tensor.Tensor) (*tensor.Tenso
 		sem <- struct{}{}
 		go func(i int, payload []byte) {
 			defer func() { <-sem }()
-			errs[i] = decompressChunkInto(out, payload, g, i, inf)
+			errs[i] = decompressChunkInto(out, payload, g, i, inf, 1)
 		}(i, payload)
 	}
 	for w := 0; w < workers; w++ {
@@ -312,13 +324,23 @@ func DecompressChunkedFrom(r io.Reader, anchors []*tensor.Tensor) (*tensor.Tenso
 // per-chunk-view inference path the shared-inference engine is
 // bit-identical to. A monolithic CFC1 blob is accepted as a single-chunk
 // container: chunk 0 is the whole field, consistent with ChunkCount and
-// ChunkIndex.
+// ChunkIndex. Block-coded payloads decode on a GOMAXPROCS-wide worker
+// pool; use DecompressChunkWith for an explicit bound.
 func DecompressChunk(blob []byte, i int, anchors []*tensor.Tensor) (*tensor.Tensor, int, error) {
+	return DecompressChunkWith(blob, i, anchors, 0)
+}
+
+// DecompressChunkWith is DecompressChunk with an explicit bound on the
+// block-decode worker pool used for block-coded (CFC2 v3) payloads;
+// workers <= 0 means parallel.Workers(). Plain payloads decode
+// sequentially regardless — the bound only governs intra-chunk
+// parallelism, which is the single-chunk decode-latency lever.
+func DecompressChunkWith(blob []byte, i int, anchors []*tensor.Tensor, workers int) (*tensor.Tensor, int, error) {
 	if !chunk.IsChunked(blob) {
 		if i != 0 {
 			return nil, 0, fmt.Errorf("core: chunk %d out of [0,1) (monolithic blob)", i)
 		}
-		t, err := decompressMono(blob, anchors, nil, nil)
+		t, err := decompressMono(blob, anchors, nil, nil, workers)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -348,7 +370,7 @@ func DecompressChunk(blob []byte, i int, anchors []*tensor.Tensor) (*tensor.Tens
 			return nil, 0, err
 		}
 	}
-	t, err := decompressChunkPayload(payload, g, i, subAnchors, model, nil)
+	t, err := decompressChunkPayload(payload, g, i, subAnchors, model, nil, workers)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -399,7 +421,9 @@ func DecompressChunkWithAnchorSlabs(blob []byte, i int, anchorSlabs []*tensor.Te
 	if err != nil {
 		return nil, 0, err
 	}
-	t, err := decompressChunkPayload(payload, g, i, anchorSlabs, model, nil)
+	// Serving decodes one chunk per request: give block-coded payloads the
+	// whole machine — intra-chunk parallelism is what moves cold p99.
+	t, err := decompressChunkPayload(payload, g, i, anchorSlabs, model, nil, parallel.Workers())
 	if err != nil {
 		return nil, 0, err
 	}
@@ -524,8 +548,8 @@ func prepareArchive(a *chunk.Archive, anchors []*tensor.Tensor) (*chunk.Grid, *c
 // exactly one prediction source is supplied: dq slab views from the
 // shared inference pass (full-container decodes), or the chunk's anchor
 // views plus the container model for per-chunk inference (random access).
-func decompressChunkPayload(payload []byte, g *chunk.Grid, i int, subAnchors []*tensor.Tensor, model *cfnn.Model, dq [][]float64) (*tensor.Tensor, error) {
-	t, err := decompressMono(payload, subAnchors, model, dq)
+func decompressChunkPayload(payload []byte, g *chunk.Grid, i int, subAnchors []*tensor.Tensor, model *cfnn.Model, dq [][]float64, workers int) (*tensor.Tensor, error) {
+	t, err := decompressMono(payload, subAnchors, model, dq, workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: chunk %d: %w", i, err)
 	}
@@ -539,12 +563,12 @@ func decompressChunkPayload(payload []byte, g *chunk.Grid, i int, subAnchors []*
 // full output array, reading predictions from the shared inference pass
 // (inf nil for baseline containers). The dq slabs are shared and
 // read-only, so concurrent chunk workers need no model state at all.
-func decompressChunkInto(out []float32, payload []byte, g *chunk.Grid, i int, inf *fieldInference) error {
+func decompressChunkInto(out []float32, payload []byte, g *chunk.Grid, i int, inf *fieldInference, workers int) error {
 	var dq [][]float64
 	if inf != nil {
 		dq = inf.chunkDQ(i)
 	}
-	t, err := decompressChunkPayload(payload, g, i, nil, nil, dq)
+	t, err := decompressChunkPayload(payload, g, i, nil, nil, dq, workers)
 	if err != nil {
 		return err
 	}

@@ -44,9 +44,13 @@ func compressBaselineWithEB(field *tensor.Tensor, eb float64, opts Options) (*Re
 		return nil, err
 	}
 	codes := predictor.ResidualCodesInt(q, lor)
+	var alt *blockAlt
+	if g := blockGeomFor(opts, field.Shape()); g != nil {
+		alt = &blockAlt{geom: g, indep: blockLocalCodes(q, field.Shape(), g, nil, nil, 0, container.MethodBaseline)}
+	}
 	endPredict()
 	maxErr := achievedMaxErr(field.Data(), q, eb)
-	return assemble(field, codes, nil, nil, nil, container.MethodBaseline, eb, maxErr, opts)
+	return assemble(field, codes, nil, nil, nil, container.MethodBaseline, eb, maxErr, opts, alt)
 }
 
 // CompressHybrid compresses a 2D/3D field with the paper's hybrid
@@ -136,10 +140,14 @@ func compressCrossFieldDQ(field *tensor.Tensor, dq [][]float64, stored *cfnn.Mod
 			codes[i] = q[i] - int32(pred)
 		}
 	})
+	var alt *blockAlt
+	if g := blockGeomFor(opts, field.Shape()); g != nil {
+		alt = &blockAlt{geom: g, indep: blockLocalCodes(q, field.Shape(), g, dq, hy.W, hy.Bias, method)}
+	}
 	endPredict()
 	weights := append(append([]float64(nil), hy.W...), hy.Bias)
 	maxErr := achievedMaxErr(field.Data(), q, eb)
-	return assemble(field, codes, stored, nil, weights, method, eb, maxErr, opts)
+	return assemble(field, codes, stored, nil, weights, method, eb, maxErr, opts, alt)
 }
 
 // candidateFeatures builds the per-point candidate predictions:
@@ -225,19 +233,36 @@ func fitHybrid(feats [][]float64, q []int32, opts Options) (*predictor.Hybrid, e
 }
 
 // assemble entropy-codes the quantization codes and builds the container.
-func assemble(field *tensor.Tensor, codes []int32, model *cfnn.Model, anchors []*tensor.Tensor, hybrid []float64, method container.Method, eb, maxErr float64, opts Options) (*Result, error) {
+// alt, when non-nil, switches the payload to block coding: both the
+// wavefront candidate (codes as-is, reordered block-major) and the
+// block-independent one (alt.indep) are encoded and the smaller wins.
+func assemble(field *tensor.Tensor, codes []int32, model *cfnn.Model, anchors []*tensor.Tensor, hybrid []float64, method container.Method, eb, maxErr float64, opts Options, alt *blockAlt) (*Result, error) {
 	endHuff := opts.Stages.Timer("huffman")
-	codec, err := huffman.Build(codes, opts.MaxSymbols)
-	if err != nil {
-		endHuff()
-		return nil, err
+	var (
+		codec      *huffman.Codec
+		payloadRaw []byte
+		blocks     *container.BlockSection
+		err        error
+	)
+	if alt != nil {
+		codec, payloadRaw, blocks, codes, err = chooseBlockCoding(codes, alt, field.Shape(), opts.MaxSymbols)
+		if err != nil {
+			endHuff()
+			return nil, err
+		}
+	} else {
+		codec, err = huffman.Build(codes, opts.MaxSymbols)
+		if err != nil {
+			endHuff()
+			return nil, err
+		}
+		var w bitstream.Writer
+		if err := codec.Encode(&w, codes); err != nil {
+			endHuff()
+			return nil, err
+		}
+		payloadRaw = w.Bytes()
 	}
-	var w bitstream.Writer
-	if err := codec.Encode(&w, codes); err != nil {
-		endHuff()
-		return nil, err
-	}
-	payloadRaw := w.Bytes()
 	endHuff()
 	endFlate := opts.Stages.Timer("flate")
 	payload, err := opts.Backend.Compress(payloadRaw)
@@ -270,6 +295,7 @@ func assemble(field *tensor.Tensor, codes []int32, model *cfnn.Model, anchors []
 		},
 		Model:      modelBlob,
 		Table:      table,
+		Blocks:     blocks,
 		PayloadRaw: len(payloadRaw),
 		Payload:    payload,
 	}
@@ -292,6 +318,9 @@ func assemble(field *tensor.Tensor, codes []int32, model *cfnn.Model, anchors []
 		BitRate:         metrics.BitRate(field.Len(), len(enc)),
 		CodeEntropy:     metrics.CodeEntropy(codes),
 		HybridWeights:   hybrid,
+	}
+	if blocks != nil {
+		st.BlockMode = blocks.Mode
 	}
 	return &Result{Blob: enc, Stats: st}, nil
 }

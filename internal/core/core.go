@@ -68,6 +68,9 @@ type Options struct {
 	// safe to share one Stages across the concurrent chunk workers of a
 	// chunked compression; it never affects output bytes.
 	Stages *obs.Stages
+	// Blocks enables block-coded payloads (wavefront / block-independent
+	// decode; see blocks.go). Containers become CFC1 v2 / CFC2 v3.
+	Blocks BlockSpec
 }
 
 func (o Options) withDefaults() Options {
@@ -98,6 +101,9 @@ type Stats struct {
 	BitRate       float64
 	CodeEntropy   float64 // Shannon entropy of the quantization codes
 	HybridWeights []float64
+	// BlockMode is the chosen block-coding mode (container.BlockWavefront
+	// or container.BlockIndependent), 0 for plain sequential payloads.
+	BlockMode byte
 }
 
 // Result is a compressed field.

@@ -29,7 +29,7 @@ func Decompress(blob []byte, anchors []*tensor.Tensor) (*tensor.Tensor, error) {
 	if chunk.IsChunked(blob) {
 		return DecompressChunked(blob, anchors)
 	}
-	return decompressMono(blob, anchors, nil, nil)
+	return decompressMono(blob, anchors, nil, nil, 0)
 }
 
 // decompressMono reverses one CFC1 blob. ext supplies the CFNN model for
@@ -38,8 +38,10 @@ func Decompress(blob []byte, anchors []*tensor.Tensor) (*tensor.Tensor, error) {
 // supplies the predicted-diff fields (prequant units) directly — the
 // shared-inference chunked path computes them once per field and hands
 // each chunk its slab views, skipping per-payload model loading and
-// inference entirely.
-func decompressMono(blob []byte, anchors []*tensor.Tensor, ext *cfnn.Model, dqExt [][]float64) (*tensor.Tensor, error) {
+// inference entirely. workers bounds the decode worker pool for
+// block-coded payloads (<= 0 means GOMAXPROCS); plain payloads decode
+// sequentially regardless.
+func decompressMono(blob []byte, anchors []*tensor.Tensor, ext *cfnn.Model, dqExt [][]float64, workers int) (*tensor.Tensor, error) {
 	b, err := container.Decode(blob)
 	if err != nil {
 		return nil, err
@@ -56,20 +58,11 @@ func decompressMono(blob []byte, anchors []*tensor.Tensor, ext *cfnn.Model, dqEx
 	if err != nil {
 		return nil, err
 	}
-	n := b.NumPoints()
-	codes, err := codec.Decode(bitstream.NewReader(payloadRaw), n)
-	if err != nil {
-		return nil, err
-	}
-
-	q := make([]int32, n)
+	var dq [][]float64
 	switch b.Method {
 	case container.MethodBaseline:
-		if err := reconstructBaseline(q, codes, b.Dims); err != nil {
-			return nil, err
-		}
 	case container.MethodHybrid, container.MethodCrossOnly:
-		dq := dqExt
+		dq = dqExt
 		if dq == nil {
 			if len(anchors) == 0 {
 				return nil, fmt.Errorf("%w: method %v, anchors %v", ErrNeedAnchors, b.Method, b.Anchors)
@@ -92,11 +85,29 @@ func decompressMono(blob []byte, anchors []*tensor.Tensor, ext *cfnn.Model, dqEx
 				return nil, err
 			}
 		}
-		if err := reconstructCrossField(q, codes, b.Dims, dq, b.Hybrid, b.Method); err != nil {
-			return nil, err
-		}
 	default:
 		return nil, fmt.Errorf("core: unknown method %v", b.Method)
+	}
+	n := b.NumPoints()
+	if b.Blocks != nil {
+		q := make([]int32, n)
+		vals := make([]float32, n)
+		if err := reconstructBlocks(q, vals, payloadRaw, codec, b, dq, workers, nil); err != nil {
+			return nil, err
+		}
+		return tensor.FromSlice(vals, b.Dims...)
+	}
+	codes, err := codec.Decode(bitstream.NewReader(payloadRaw), n)
+	if err != nil {
+		return nil, err
+	}
+	q := make([]int32, n)
+	if b.Method == container.MethodBaseline {
+		if err := reconstructBaseline(q, codes, b.Dims); err != nil {
+			return nil, err
+		}
+	} else if err := reconstructCrossField(q, codes, b.Dims, dq, b.Hybrid, b.Method); err != nil {
+		return nil, err
 	}
 	vals := quant.Dequantize(q, b.AbsEB)
 	return tensor.FromSlice(vals, b.Dims...)

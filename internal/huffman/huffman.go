@@ -388,22 +388,34 @@ func (c *Codec) Encode(w *bitstream.Writer, codes []int32) error {
 // Decode reads n codes from r.
 func (c *Codec) Decode(r *bitstream.Reader, n int) ([]int32, error) {
 	out := make([]int32, n)
+	if err := c.DecodeInto(r, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecodeInto reads len(out) codes from r into out, letting callers that
+// decode many segments (the block-parallel payload path) reuse one scratch
+// buffer per worker. A Codec is immutable after construction, so
+// concurrent DecodeInto calls with distinct readers and buffers are safe.
+func (c *Codec) DecodeInto(r *bitstream.Reader, out []int32) error {
+	n := len(out)
 	for i := 0; i < n; i++ {
 		sym, err := c.decodeOne(r)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if sym == escSym {
 			raw, err := r.ReadBits(32)
 			if err != nil {
-				return nil, fmt.Errorf("%w: truncated escape literal", ErrCorrupt)
+				return fmt.Errorf("%w: truncated escape literal", ErrCorrupt)
 			}
 			out[i] = int32(uint32(raw))
 			continue
 		}
 		out[i] = int32(sym)
 	}
-	return out, nil
+	return nil
 }
 
 func (c *Codec) decodeOne(r *bitstream.Reader) (int64, error) {

@@ -213,7 +213,11 @@ func tapRows(acc []float64, xd, wd []float64, wrowBase, xrowBase, rowStride, ki0
 		r0 := xrowBase + ki0*rowStride
 		r1 := r0 + rowStride
 		r2 := r1 + rowStride
-		if haveTap9 && hi-lo >= 4 {
+		if haveTap9Z && hi-lo >= 8 {
+			// AVX-512 fast path: identical tap order and rounding, eight
+			// output elements per vector (see tap_amd64.s).
+			tap9z(&acc[lo], &xd[r0+lo], &xd[r1+lo], &xd[r2+lo], &wr[0], hi-lo)
+		} else if haveTap9 && hi-lo >= 4 {
 			// AVX2 fast path: identical tap order and rounding, four
 			// output elements per vector (see tap_amd64.s).
 			tap9(&acc[lo], &xd[r0+lo], &xd[r1+lo], &xd[r2+lo], &wr[0], hi-lo)
@@ -270,6 +274,12 @@ func tapRows(acc []float64, xd, wd []float64, wrowBase, xrowBase, rowStride, ki0
 			xrow := xrowBase + ki*rowStride
 			switch K {
 			case 3:
+				// Clipped 3-tap row bundle (edge ki rows, 3D kz rows):
+				// vectorized with the same per-element tap order.
+				if haveTap9 && hi-lo >= 4 {
+					tap3(&acc[lo], &xd[xrow+lo], &wd[wrow], hi-lo)
+					continue
+				}
 				w0, w1, w2 := wd[wrow], wd[wrow+1], wd[wrow+2]
 				for j := lo; j < hi; j++ {
 					xb := xrow + j
@@ -280,6 +290,11 @@ func tapRows(acc []float64, xd, wd []float64, wrowBase, xrowBase, rowStride, ki0
 					acc[j] = a
 				}
 			case 1:
+				// Pointwise taps: a single broadcast multiply-accumulate.
+				if haveTap9 && hi-lo >= 4 {
+					tap1(&acc[lo], &xd[xrow+lo], &wd[wrow], hi-lo)
+					continue
+				}
 				w0 := wd[wrow]
 				for j := lo; j < hi; j++ {
 					acc[j] += w0 * xd[xrow+j]

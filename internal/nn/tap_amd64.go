@@ -2,6 +2,11 @@
 
 package nn
 
+import (
+	"os"
+	"strings"
+)
+
 // cpuid and xgetbv0 are implemented in tap_amd64.s.
 func cpuid(op, subop uint32) (eax, ebx, ecx, edx uint32)
 func xgetbv0() (eax, edx uint32)
@@ -15,8 +20,45 @@ func xgetbv0() (eax, edx uint32)
 //go:noescape
 func tap9(acc, x0, x1, x2, w *float64, n int)
 
-// haveTap9 reports whether the CPU and OS support the AVX2 kernel.
-var haveTap9 = detectAVX2()
+// tap9z is tap9 with 8-wide AVX-512 vectors. Same tap order, same
+// separate multiply/add roundings (VMULPD+VADDPD, never FMA); lanes are
+// independent accumulators, so width changes no result bits.
+//
+//go:noescape
+func tap9z(acc, x0, x1, x2, w *float64, n int)
+
+// tap3 is the AVX2 kernel for one 3-tap row bundle: for j in [0, n),
+// acc[j] += w[0]*x[j]; acc[j] += w[1]*x[j+1]; acc[j] += w[2]*x[j+2], in
+// that order — the per-ki K==3 path of tapRows (2D row taps whose
+// height-axis bundle is clipped, and 3D kz rows).
+//
+//go:noescape
+func tap3(acc, x, w *float64, n int)
+
+// tap1 is the AVX2 kernel for a 1-tap (pointwise) row:
+// acc[j] += w[0]*x[j] for j in [0, n) — the K==1 path of tapRows.
+//
+//go:noescape
+func tap1(acc, x, w *float64, n int)
+
+// haveTap9 gates the AVX2 kernels; haveTap9Z additionally gates the
+// AVX-512 ones. Both honor GODEBUG cpu flags (cpu.avx2=off,
+// cpu.avx512f=off, cpu.all=off) like the runtime's own cpu-feature
+// gating, so a pure-Go CI leg can force the fallback loops.
+var (
+	haveTap9  = detectAVX2() && !godebugCPUOff("cpu.avx2")
+	haveTap9Z = haveTap9 && detectAVX512F() && !godebugCPUOff("cpu.avx512f")
+)
+
+// godebugCPUOff reports whether GODEBUG disables a cpu feature flag.
+func godebugCPUOff(key string) bool {
+	for _, kv := range strings.Split(os.Getenv("GODEBUG"), ",") {
+		if kv == key+"=off" || kv == "cpu.all=off" {
+			return true
+		}
+	}
+	return false
+}
 
 func detectAVX2() bool {
 	maxID, _, _, _ := cpuid(0, 0)
@@ -34,4 +76,22 @@ func detectAVX2() bool {
 	}
 	_, b, _, _ := cpuid(7, 0)
 	return b&(1<<5) != 0 // AVX2
+}
+
+func detectAVX512F() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c, _ := cpuid(1, 0)
+	const osxsave = 1 << 27
+	if c&osxsave == 0 {
+		return false
+	}
+	// XMM, YMM, plus opmask/ZMM_Hi256/Hi16_ZMM state enabled by the OS.
+	if eax, _ := xgetbv0(); eax&0xE6 != 0xE6 {
+		return false
+	}
+	_, b, _, _ := cpuid(7, 0)
+	return b&(1<<16) != 0 // AVX512F
 }

@@ -1,13 +1,15 @@
-// AVX2 kernel for the 3×3 interior tap bundle (see tapRows in infer.go).
+// SIMD kernels for the convolution tap bundles (see tapRows in infer.go):
+// tap9 (AVX2) and tap9z (AVX-512) for the fused 3×3 interior bundle,
+// tap3/tap1 (AVX2) for clipped single-row bundles and pointwise taps.
 //
-// Bit-identity contract: every output element j computes
+// Bit-identity contract: every output element j computes its taps as
+// sequential multiply-then-add steps in ascending tap order —
 //     acc[j] += w[0]*x0[j] ; acc[j] += w[1]*x0[j+1] ; ... ; acc[j] += w[8]*x2[j+2]
-// as nine sequential multiply-then-add steps in exactly that order —
 // VMULPD followed by VADDPD per tap, never VFMADD (fused rounding would
 // change results). Vector lanes are distinct output elements, which are
-// independent accumulators, so 4-wide execution preserves per-element
-// semantics exactly; IEEE mul/add are bitwise commutative for the finite
-// operands this codec produces.
+// independent accumulators, so 4- or 8-wide execution preserves
+// per-element semantics exactly; IEEE mul/add are bitwise commutative for
+// the finite operands this codec produces.
 
 //go:build amd64
 
@@ -136,5 +138,214 @@ tail:
 	JMP    tail
 
 done:
+	VZEROUPPER
+	RET
+
+// func tap9z(acc, x0, x1, x2, w *float64, n int)
+// AVX-512 variant of tap9: identical tap order and rounding, eight output
+// elements per vector. Guarded by haveTap9Z (AVX512F + OS ZMM state).
+TEXT ·tap9z(SB), NOSPLIT, $0-48
+	MOVQ acc+0(FP), DI
+	MOVQ x0+8(FP), SI
+	MOVQ x1+16(FP), DX
+	MOVQ x2+24(FP), CX
+	MOVQ w+32(FP), R8
+	MOVQ n+40(FP), R9
+
+	// Broadcast the nine weights into ZMM.
+	VBROADCASTSD 0(R8), Z0
+	VBROADCASTSD 8(R8), Z1
+	VBROADCASTSD 16(R8), Z2
+	VBROADCASTSD 24(R8), Z3
+	VBROADCASTSD 32(R8), Z4
+	VBROADCASTSD 40(R8), Z5
+	VBROADCASTSD 48(R8), Z6
+	VBROADCASTSD 56(R8), Z7
+	VBROADCASTSD 64(R8), Z8
+
+	XORQ AX, AX
+
+zloop8:
+	LEAQ 8(AX), R10
+	CMPQ R10, R9
+	JGT  ztail
+
+	VMOVUPD (DI)(AX*8), Z9
+
+	VMOVUPD (SI)(AX*8), Z10
+	VMULPD  Z10, Z0, Z11
+	VADDPD  Z11, Z9, Z9
+	VMOVUPD 8(SI)(AX*8), Z10
+	VMULPD  Z10, Z1, Z11
+	VADDPD  Z11, Z9, Z9
+	VMOVUPD 16(SI)(AX*8), Z10
+	VMULPD  Z10, Z2, Z11
+	VADDPD  Z11, Z9, Z9
+
+	VMOVUPD (DX)(AX*8), Z10
+	VMULPD  Z10, Z3, Z11
+	VADDPD  Z11, Z9, Z9
+	VMOVUPD 8(DX)(AX*8), Z10
+	VMULPD  Z10, Z4, Z11
+	VADDPD  Z11, Z9, Z9
+	VMOVUPD 16(DX)(AX*8), Z10
+	VMULPD  Z10, Z5, Z11
+	VADDPD  Z11, Z9, Z9
+
+	VMOVUPD (CX)(AX*8), Z10
+	VMULPD  Z10, Z6, Z11
+	VADDPD  Z11, Z9, Z9
+	VMOVUPD 8(CX)(AX*8), Z10
+	VMULPD  Z10, Z7, Z11
+	VADDPD  Z11, Z9, Z9
+	VMOVUPD 16(CX)(AX*8), Z10
+	VMULPD  Z10, Z8, Z11
+	VADDPD  Z11, Z9, Z9
+
+	VMOVUPD Z9, (DI)(AX*8)
+	ADDQ    $8, AX
+	JMP     zloop8
+
+ztail:
+	CMPQ AX, R9
+	JGE  zdone
+
+	VMOVSD (DI)(AX*8), X9
+
+	VMOVSD (SI)(AX*8), X10
+	VMULSD X10, X0, X11
+	VADDSD X11, X9, X9
+	VMOVSD 8(SI)(AX*8), X10
+	VMULSD X10, X1, X11
+	VADDSD X11, X9, X9
+	VMOVSD 16(SI)(AX*8), X10
+	VMULSD X10, X2, X11
+	VADDSD X11, X9, X9
+
+	VMOVSD (DX)(AX*8), X10
+	VMULSD X10, X3, X11
+	VADDSD X11, X9, X9
+	VMOVSD 8(DX)(AX*8), X10
+	VMULSD X10, X4, X11
+	VADDSD X11, X9, X9
+	VMOVSD 16(DX)(AX*8), X10
+	VMULSD X10, X5, X11
+	VADDSD X11, X9, X9
+
+	VMOVSD (CX)(AX*8), X10
+	VMULSD X10, X6, X11
+	VADDSD X11, X9, X9
+	VMOVSD 8(CX)(AX*8), X10
+	VMULSD X10, X7, X11
+	VADDSD X11, X9, X9
+	VMOVSD 16(CX)(AX*8), X10
+	VMULSD X10, X8, X11
+	VADDSD X11, X9, X9
+
+	VMOVSD X9, (DI)(AX*8)
+	INCQ   AX
+	JMP    ztail
+
+zdone:
+	VZEROUPPER
+	RET
+
+// func tap3(acc, x, w *float64, n int)
+// One 3-tap row bundle: acc[j] += w[0]*x[j]; += w[1]*x[j+1]; += w[2]*x[j+2].
+TEXT ·tap3(SB), NOSPLIT, $0-32
+	MOVQ acc+0(FP), DI
+	MOVQ x+8(FP), SI
+	MOVQ w+16(FP), R8
+	MOVQ n+24(FP), R9
+
+	VBROADCASTSD 0(R8), Y0
+	VBROADCASTSD 8(R8), Y1
+	VBROADCASTSD 16(R8), Y2
+
+	XORQ AX, AX
+
+t3loop4:
+	LEAQ 4(AX), R10
+	CMPQ R10, R9
+	JGT  t3tail
+
+	VMOVUPD (DI)(AX*8), Y9
+
+	VMOVUPD (SI)(AX*8), Y10
+	VMULPD  Y10, Y0, Y11
+	VADDPD  Y11, Y9, Y9
+	VMOVUPD 8(SI)(AX*8), Y10
+	VMULPD  Y10, Y1, Y11
+	VADDPD  Y11, Y9, Y9
+	VMOVUPD 16(SI)(AX*8), Y10
+	VMULPD  Y10, Y2, Y11
+	VADDPD  Y11, Y9, Y9
+
+	VMOVUPD Y9, (DI)(AX*8)
+	ADDQ    $4, AX
+	JMP     t3loop4
+
+t3tail:
+	CMPQ AX, R9
+	JGE  t3done
+
+	VMOVSD (DI)(AX*8), X9
+
+	VMOVSD (SI)(AX*8), X10
+	VMULSD X10, X0, X11
+	VADDSD X11, X9, X9
+	VMOVSD 8(SI)(AX*8), X10
+	VMULSD X10, X1, X11
+	VADDSD X11, X9, X9
+	VMOVSD 16(SI)(AX*8), X10
+	VMULSD X10, X2, X11
+	VADDSD X11, X9, X9
+
+	VMOVSD X9, (DI)(AX*8)
+	INCQ   AX
+	JMP    t3tail
+
+t3done:
+	VZEROUPPER
+	RET
+
+// func tap1(acc, x, w *float64, n int)
+// Pointwise tap: acc[j] += w[0]*x[j].
+TEXT ·tap1(SB), NOSPLIT, $0-32
+	MOVQ acc+0(FP), DI
+	MOVQ x+8(FP), SI
+	MOVQ w+16(FP), R8
+	MOVQ n+24(FP), R9
+
+	VBROADCASTSD 0(R8), Y0
+
+	XORQ AX, AX
+
+t1loop4:
+	LEAQ 4(AX), R10
+	CMPQ R10, R9
+	JGT  t1tail
+
+	VMOVUPD (DI)(AX*8), Y9
+	VMOVUPD (SI)(AX*8), Y10
+	VMULPD  Y10, Y0, Y11
+	VADDPD  Y11, Y9, Y9
+	VMOVUPD Y9, (DI)(AX*8)
+	ADDQ    $4, AX
+	JMP     t1loop4
+
+t1tail:
+	CMPQ AX, R9
+	JGE  t1done
+
+	VMOVSD (DI)(AX*8), X9
+	VMOVSD (SI)(AX*8), X10
+	VMULSD X10, X0, X11
+	VADDSD X11, X9, X9
+	VMOVSD X9, (DI)(AX*8)
+	INCQ   AX
+	JMP    t1tail
+
+t1done:
 	VZEROUPPER
 	RET

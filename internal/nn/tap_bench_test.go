@@ -48,15 +48,120 @@ func TestTap9MatchesGo(t *testing.T) {
 	}
 }
 
-func benchTapRows(b *testing.B, asm bool) {
-	if asm && !haveTap9 {
-		b.Skip("no AVX2")
+func TestTap9ZMatchesGo(t *testing.T) {
+	if !haveTap9Z {
+		t.Skip("no AVX-512")
+	}
+	for _, w := range []int{8, 9, 11, 16, 46, 127} {
+		acc, xd, wr := tapData(w + 4)
+		ref := append([]float64(nil), acc...)
+		for j := 0; j < w; j++ {
+			a := ref[j]
+			for ki := 0; ki < 3; ki++ {
+				for kj := 0; kj < 3; kj++ {
+					a += wr[ki*3+kj] * xd[ki*(w+2)+j+kj]
+				}
+			}
+			ref[j] = a
+		}
+		tap9z(&acc[0], &xd[0], &xd[w+2], &xd[2*(w+2)], &wr[0], w)
+		for j := 0; j < w; j++ {
+			if acc[j] != ref[j] {
+				t.Fatalf("w=%d j=%d: asm %v != go %v", w, j, acc[j], ref[j])
+			}
+		}
+	}
+}
+
+func TestTap3Tap1MatchGo(t *testing.T) {
+	if !haveTap9 {
+		t.Skip("no AVX2")
+	}
+	for _, w := range []int{4, 5, 7, 16, 46, 127} {
+		acc, xd, wr := tapData(w + 4)
+		ref3 := append([]float64(nil), acc...)
+		for j := 0; j < w; j++ {
+			a := ref3[j]
+			a += wr[0] * xd[j]
+			a += wr[1] * xd[j+1]
+			a += wr[2] * xd[j+2]
+			ref3[j] = a
+		}
+		acc3 := append([]float64(nil), acc...)
+		tap3(&acc3[0], &xd[0], &wr[0], w)
+		for j := 0; j < w; j++ {
+			if acc3[j] != ref3[j] {
+				t.Fatalf("tap3 w=%d j=%d: asm %v != go %v", w, j, acc3[j], ref3[j])
+			}
+		}
+		ref1 := append([]float64(nil), acc...)
+		for j := 0; j < w; j++ {
+			ref1[j] += wr[0] * xd[j]
+		}
+		acc1 := append([]float64(nil), acc...)
+		tap1(&acc1[0], &xd[0], &wr[0], w)
+		for j := 0; j < w; j++ {
+			if acc1[j] != ref1[j] {
+				t.Fatalf("tap1 w=%d j=%d: asm %v != go %v", w, j, acc1[j], ref1[j])
+			}
+		}
+	}
+}
+
+// TestTapRowsKernelToggles runs the same tapRows call with every kernel
+// tier (pure Go, AVX2, AVX-512 when available) and demands bitwise equal
+// accumulators — the contract that lets compressed streams decode
+// identically on any hardware.
+func TestTapRowsKernelToggles(t *testing.T) {
+	const w = 53
+	savedZ, saved9 := haveTap9Z, haveTap9
+	defer func() { setTap9Z(savedZ); setTap9(saved9) }()
+	run := func(z, v2 bool) []float64 {
+		setTap9Z(z)
+		setTap9(v2)
+		acc, xd, wr := tapData(w + 4)
+		tapRows(acc, xd, wr, 0, -1, w+2, 0, 3, w, 3, 1)
+		// Clipped bundle (single ki) and K==1 paths too.
+		tapRows(acc, xd, wr, 0, -1, w+2, 0, 1, w, 3, 1)
+		tapRows(acc, xd, wr[:1], 0, 0, w, 0, 1, w, 1, 0)
+		return acc
+	}
+	ref := run(false, false)
+	if saved9 {
+		got := run(false, true)
+		for j := range ref {
+			if got[j] != ref[j] {
+				t.Fatalf("AVX2 j=%d: %v != %v", j, got[j], ref[j])
+			}
+		}
+	}
+	if savedZ {
+		got := run(true, true)
+		for j := range ref {
+			if got[j] != ref[j] {
+				t.Fatalf("AVX-512 j=%d: %v != %v", j, got[j], ref[j])
+			}
+		}
+	}
+}
+
+func benchTapRows(b *testing.B, mode string) {
+	switch mode {
+	case "avx512":
+		if !haveTap9Z {
+			b.Skip("no AVX-512")
+		}
+	case "avx2":
+		if !haveTap9 {
+			b.Skip("no AVX2")
+		}
 	}
 	const w = 48
 	acc, xd, wr := tapData(w + 4)
-	saved := haveTap9
-	setTap9(asm)
-	defer setTap9(saved)
+	savedZ, saved9 := haveTap9Z, haveTap9
+	setTap9Z(mode == "avx512")
+	setTap9(mode != "go")
+	defer func() { setTap9Z(savedZ); setTap9(saved9) }()
 	b.SetBytes(int64(w * 9 * 8))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -64,5 +169,6 @@ func benchTapRows(b *testing.B, asm bool) {
 	}
 }
 
-func BenchmarkTap9ASM(b *testing.B) { benchTapRows(b, true) }
-func BenchmarkTap9Go(b *testing.B)  { benchTapRows(b, false) }
+func BenchmarkTap9AVX512(b *testing.B) { benchTapRows(b, "avx512") }
+func BenchmarkTap9ASM(b *testing.B)    { benchTapRows(b, "avx2") }
+func BenchmarkTap9Go(b *testing.B)     { benchTapRows(b, "go") }

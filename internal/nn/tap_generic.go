@@ -2,11 +2,26 @@
 
 package nn
 
-// haveTap9 is false off amd64; tapRows uses its pure-Go interior loop,
-// which computes the identical result.
-const haveTap9 = false
+// Off amd64 the SIMD kernels are compiled out; tapRows uses its pure-Go
+// loops, which compute identical results.
+const (
+	haveTap9  = false
+	haveTap9Z = false
+)
 
-// tap9 is never called when haveTap9 is false.
+// None of these are ever called when the have* constants are false.
 func tap9(acc, x0, x1, x2, w *float64, n int) {
 	panic("nn: tap9 without AVX2 support")
+}
+
+func tap9z(acc, x0, x1, x2, w *float64, n int) {
+	panic("nn: tap9z without AVX-512 support")
+}
+
+func tap3(acc, x, w *float64, n int) {
+	panic("nn: tap3 without AVX2 support")
+}
+
+func tap1(acc, x, w *float64, n int) {
+	panic("nn: tap1 without AVX2 support")
 }

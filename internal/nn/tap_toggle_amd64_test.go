@@ -3,3 +3,5 @@
 package nn
 
 func setTap9(v bool) { haveTap9 = v }
+
+func setTap9Z(v bool) { haveTap9Z = v }

@@ -3,3 +3,5 @@
 package nn
 
 func setTap9(bool) {}
+
+func setTap9Z(bool) {}

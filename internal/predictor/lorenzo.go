@@ -98,6 +98,50 @@ func LorenzoAll(q []int32, dims []int) ([]int64, error) {
 	return out, nil
 }
 
+// LorenzoPred1DFrom is LorenzoPred1D with the causal horizon moved to i0:
+// the neighbor is zero when i <= i0. With i0 = 0 it equals LorenzoPred1D;
+// with i0 at a block origin it is the seam-reset prediction of the
+// block-independent decode mode, where each block pretends the grid starts
+// at its own corner.
+func LorenzoPred1DFrom(q []int32, i, i0 int) int64 {
+	if i <= i0 {
+		return 0
+	}
+	return int64(q[i-1])
+}
+
+// LorenzoPred2DFrom is LorenzoPred2D with zeros outside the box whose
+// origin is (i0,j0) instead of outside the grid — the seam-reset 2D
+// Lorenzo prediction for block-independent coding.
+func LorenzoPred2DFrom(q []int32, nx, i, j, i0, j0 int) int64 {
+	var up, left, diag int64
+	if i > i0 {
+		up = int64(q[(i-1)*nx+j])
+	}
+	if j > j0 {
+		left = int64(q[i*nx+j-1])
+	}
+	if i > i0 && j > j0 {
+		diag = int64(q[(i-1)*nx+j-1])
+	}
+	return up + left - diag
+}
+
+// LorenzoPred3DFrom is LorenzoPred3D with zeros outside the box whose
+// origin is (k0,i0,j0) — the seam-reset 3D Lorenzo prediction for
+// block-independent coding.
+func LorenzoPred3DFrom(q []int32, ny, nx, k, i, j, k0, i0, j0 int) int64 {
+	idx := func(k, i, j int) int64 {
+		if k < k0 || i < i0 || j < j0 {
+			return 0
+		}
+		return int64(q[(k*ny+i)*nx+j])
+	}
+	return idx(k-1, i, j) + idx(k, i-1, j) + idx(k, i, j-1) -
+		idx(k-1, i-1, j) - idx(k-1, i, j-1) - idx(k, i-1, j-1) +
+		idx(k-1, i-1, j-1)
+}
+
 // CrossFieldPred returns the cross-field value prediction along one axis at
 // flat index idx: the causal neighbor along that axis plus the CFNN's
 // predicted backward difference (in prequant units).
@@ -110,6 +154,18 @@ func LorenzoAll(q []int32, dims []int) ([]int64, error) {
 func CrossFieldPred(q []int32, idx, strideA, coordA int, dq float64) float64 {
 	var prev float64
 	if coordA > 0 {
+		prev = float64(q[idx-strideA])
+	}
+	return prev + dq
+}
+
+// CrossFieldPredFrom is CrossFieldPred with the axis origin moved to
+// originA: the causal neighbor is the implicit zero when coordA <= originA.
+// With originA = 0 it equals CrossFieldPred; with originA at a block origin
+// it is the seam-reset cross-field prediction of block-independent coding.
+func CrossFieldPredFrom(q []int32, idx, strideA, coordA, originA int, dq float64) float64 {
+	var prev float64
+	if coordA > originA {
 		prev = float64(q[idx-strideA])
 	}
 	return prev + dq

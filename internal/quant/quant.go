@@ -134,13 +134,22 @@ func Prequantize(data []float32, eb float64) ([]int32, error) {
 // Dequantize inverts prequantization: v = q·(2·eb).
 func Dequantize(q []int32, eb float64) []float32 {
 	out := make([]float32, len(q))
-	s := 2 * eb
 	parallel.ForRange(len(q), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			out[i] = float32(float64(q[i]) * s)
-		}
+		DequantizeSpan(out, q, eb, lo, hi)
 	})
 	return out
+}
+
+// DequantizeSpan dequantizes the flat index range [lo, hi) of q into the
+// same range of out. The block-parallel decoder walks a chunk decode block
+// by block, dequantizing each block's row spans right after reconstructing
+// them — the values are still cache-hot, and writes to disjoint spans need
+// no synchronization.
+func DequantizeSpan(out []float32, q []int32, eb float64, lo, hi int) {
+	s := 2 * eb
+	for i := lo; i < hi; i++ {
+		out[i] = float32(float64(q[i]) * s)
+	}
 }
 
 const grain = 1 << 15

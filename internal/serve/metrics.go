@@ -43,8 +43,11 @@ type metricsState struct {
 	// cfserve_remote_fetch_total: outcomes of the cluster peer-fetch path.
 	remoteHits   *obs.Counter
 	remoteMisses *obs.Counter
-	traces       *obs.TracePool
-	ring         *obs.TraceRing
+	// gzipErrors counts gzip response bodies that failed mid-write
+	// (client gone, or a compressor error) — previously discarded.
+	gzipErrors *obs.Counter
+	traces     *obs.TracePool
+	ring       *obs.TraceRing
 
 	// reqHot caches resolved (route, code) histogram children behind an
 	// array-valued key, so steady-state requests skip the label-join the
@@ -78,6 +81,8 @@ func (m *metricsState) init(traceSpans, traceRing int, accessLog io.Writer) {
 		"Cluster peer chunk fetches by outcome (hit = decoded bytes came from the owning peer).", "outcome")
 	m.remoteHits = rf.With("hit")
 	m.remoteMisses = rf.With("miss")
+	m.gzipErrors = m.reg.Counter("cfserve_gzip_write_errors_total",
+		"gzip response bodies that failed mid-write (client disconnect or compressor error).")
 	m.traces = obs.NewTracePool(traceSpans)
 	if traceRing >= 0 {
 		m.ring = obs.NewTraceRing(traceRing)

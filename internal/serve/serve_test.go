@@ -832,3 +832,147 @@ func TestMountFileBareBlob(t *testing.T) {
 		t.Fatalf("chunk body %d bytes, want %d", len(body), 4*want.Len())
 	}
 }
+
+// The gzip and identity representations of a resource must not share a
+// strong ETag (RFC 9110 §8.8.3): a cache that mixed them could answer an
+// If-Range resume with bytes from the wrong encoding. The gzip validator
+// carries a "-gzip" suffix, the identity one does not, and If-Range only
+// resumes against the identity tag.
+func TestETagsDistinctAcrossEncodings(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	const path = "/v1/archives/ds/fields/U"
+
+	// gzip GET: suffixed validator.
+	req, _ := http.NewRequest("GET", ts.URL+path, nil)
+	req.Header.Set("Accept-Encoding", "gzip")
+	resp, err := http.DefaultTransport.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	gzTag := resp.Header.Get("ETag")
+	if !strings.HasSuffix(gzTag, `-gzip"`) {
+		t.Fatalf("gzip ETag = %s, want -gzip suffix", gzTag)
+	}
+
+	// Identity GET: distinct, unsuffixed validator.
+	req2, _ := http.NewRequest("GET", ts.URL+path, nil)
+	req2.Header.Set("Accept-Encoding", "identity")
+	resp2, err := http.DefaultTransport.RoundTrip(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	idTag := resp2.Header.Get("ETag")
+	if idTag == "" || idTag == gzTag {
+		t.Fatalf("identity ETag %s must differ from gzip ETag %s", idTag, gzTag)
+	}
+
+	// Both validators name the same decoded content, so revalidation
+	// succeeds with either — including cross-encoding.
+	for _, tag := range []string{gzTag, idTag} {
+		req3, _ := http.NewRequest("GET", ts.URL+path, nil)
+		req3.Header.Set("Accept-Encoding", "gzip")
+		req3.Header.Set("If-None-Match", tag)
+		resp3, err := http.DefaultTransport.RoundTrip(req3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp3.Body)
+		resp3.Body.Close()
+		if resp3.StatusCode != http.StatusNotModified {
+			t.Fatalf("If-None-Match %s on gzip path = %d, want 304", tag, resp3.StatusCode)
+		}
+	}
+
+	// Regression for the shared-validator bug: a client that cached the
+	// identity body (after an earlier gzip GET of the same resource)
+	// resumes with If-Range + the identity ETag and must get a 206 whose
+	// bytes continue the identity stream.
+	req4, _ := http.NewRequest("GET", ts.URL+path, nil)
+	req4.Header.Set("Range", "bytes=16-31")
+	req4.Header.Set("If-Range", idTag)
+	resp4, err := http.DefaultClient.Do(req4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, _ := io.ReadAll(resp4.Body)
+	resp4.Body.Close()
+	if resp4.StatusCode != http.StatusPartialContent {
+		t.Fatalf("If-Range with identity ETag = %d, want 206", resp4.StatusCode)
+	}
+	if string(part) != string(full[16:32]) {
+		t.Fatal("If-Range resume bytes differ from the identity body")
+	}
+
+	// An If-Range carrying the gzip validator must NOT resume against the
+	// identity stream — full 200 instead of a spliced 206.
+	req5, _ := http.NewRequest("GET", ts.URL+path, nil)
+	req5.Header.Set("Range", "bytes=16-31")
+	req5.Header.Set("If-Range", gzTag)
+	resp5, err := http.DefaultClient.Do(req5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body5, _ := io.ReadAll(resp5.Body)
+	resp5.Body.Close()
+	if resp5.StatusCode != http.StatusOK {
+		t.Fatalf("If-Range with gzip ETag = %d, want full 200", resp5.StatusCode)
+	}
+	if len(body5) != len(full) {
+		t.Fatalf("If-Range mismatch body %d bytes, want full %d", len(body5), len(full))
+	}
+}
+
+// Accept-Encoding negotiation per RFC 9110 §12.5.3: "*" matches gzip
+// unless an explicit gzip (or x-gzip) entry overrides it, and q=0 in
+// either form is a refusal.
+func TestAcceptEncodingNegotiation(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	tr := &http.Transport{DisableCompression: true}
+	cases := []struct {
+		header   string
+		set      bool
+		wantGzip bool
+	}{
+		{header: "", set: false, wantGzip: false},
+		{header: "", set: true, wantGzip: false},
+		{header: "gzip", set: true, wantGzip: true},
+		{header: "GZIP", set: true, wantGzip: true},
+		{header: "x-gzip", set: true, wantGzip: true},
+		{header: "*", set: true, wantGzip: true},
+		{header: "*;q=0", set: true, wantGzip: false},
+		{header: "*;q=0.5", set: true, wantGzip: true},
+		{header: "identity, *;q=0.3", set: true, wantGzip: true},
+		{header: "br, zstd", set: true, wantGzip: false},
+		{header: "gzip;q=0, *", set: true, wantGzip: false},
+		{header: "*;q=0, gzip;q=0.2", set: true, wantGzip: true},
+		{header: "gzip;q=bogus", set: true, wantGzip: false},
+		{header: "gzip ; q=0.8", set: true, wantGzip: true},
+	}
+	for _, tc := range cases {
+		name := tc.header
+		if !tc.set {
+			name = "(absent)"
+		}
+		req, _ := http.NewRequest("GET", ts.URL+"/v1/archives/ds/fields/U", nil)
+		if tc.set {
+			req.Header.Set("Accept-Encoding", tc.header)
+		}
+		resp, err := tr.RoundTrip(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		gotGzip := resp.Header.Get("Content-Encoding") == "gzip"
+		if gotGzip != tc.wantGzip {
+			t.Errorf("Accept-Encoding %s: gzip=%v, want %v", name, gotGzip, tc.wantGzip)
+		}
+		if !gotGzip && len(body) != tnz*tny*tnx*4 {
+			t.Errorf("Accept-Encoding %s: identity body %d bytes, want %d", name, len(body), tnz*tny*tnx*4)
+		}
+	}
+}

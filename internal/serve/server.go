@@ -1006,7 +1006,7 @@ func (s *Server) handleField(w http.ResponseWriter, r *http.Request) {
 		h.Set("X-CFC-Max-Err", formatFloat(fv.info.MaxErr))
 	}
 	h.Set("X-CFC-Role", fv.info.Role)
-	serveRaw(w, r, v.raw, fv.key)
+	s.serveRaw(w, r, v.raw, fv.key)
 }
 
 func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
@@ -1037,7 +1037,7 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 	if me := fv.chunks[ci].MaxErr; !math.IsNaN(me) {
 		h.Set("X-CFC-Max-Err", formatFloat(me))
 	}
-	serveRaw(w, r, cv.raw, fv.key+"#"+strconv.Itoa(ci))
+	s.serveRaw(w, r, cv.raw, fv.key+"#"+strconv.Itoa(ci))
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -1109,50 +1109,97 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, out)
 }
 
+// gzipWriters pools gzip compressors across responses, mirroring the
+// pooled flate writers of the lossless backend: the ~1.4MB of encoder
+// state is reused instead of reallocated per response.
+var gzipWriters = sync.Pool{New: func() any { return gzip.NewWriter(io.Discard) }}
+
 // serveRaw writes a pre-serialized little-endian float32 body with
 // content negotiation: gzip when the client accepts it (and did not ask
 // for a byte range), otherwise http.ServeContent for Range and
-// conditional request support. The full cache key becomes a strong ETag
-// — every field and every chunk has a distinct one — so warm clients
-// revalidate with If-None-Match for free.
-func serveRaw(w http.ResponseWriter, r *http.Request, raw []byte, key string) {
+// conditional request support. The full cache key becomes a strong ETag,
+// with a distinct "-gzip"-suffixed validator for the gzip representation
+// (RFC 9110 §8.8.3: different representations of a resource must not
+// share a strong ETag, or a later If-Range against a cache holding the
+// other encoding could splice ranges of different byte streams).
+// If-None-Match accepts either validator — both name the same decoded
+// content, so revalidation succeeds regardless of which encoding the
+// client cached.
+func (s *Server) serveRaw(w http.ResponseWriter, r *http.Request, raw []byte, key string) {
 	etag := `"` + key + `"`
+	gzETag := `"` + key + `-gzip"`
 	h := w.Header()
-	h.Set("ETag", etag)
 	h.Set("Content-Type", "application/octet-stream")
 	h.Set("Vary", "Accept-Encoding")
 	if acceptsGzip(r) && r.Header.Get("Range") == "" {
-		if match := r.Header.Get("If-None-Match"); match != "" && strings.Contains(match, etag) {
+		h.Set("ETag", gzETag)
+		if match := r.Header.Get("If-None-Match"); match != "" &&
+			(strings.Contains(match, gzETag) || strings.Contains(match, etag)) {
 			w.WriteHeader(http.StatusNotModified)
 			return
 		}
 		h.Set("Content-Encoding", "gzip")
-		gz := gzip.NewWriter(w)
-		gz.Write(raw)
-		gz.Close()
+		gz := gzipWriters.Get().(*gzip.Writer)
+		gz.Reset(w)
+		_, werr := gz.Write(raw)
+		cerr := gz.Close()
+		gzipWriters.Put(gz)
+		if werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			// Headers are out, so the response cannot change; record the
+			// failure instead of discarding it.
+			s.metrics.gzipErrors.Inc()
+			tr, parent := obs.FromContext(r.Context())
+			tr.End(tr.Start(parent, "gzip_write_error"))
+		}
 		return
 	}
+	// Identity path (including all Range requests): the unsuffixed ETag,
+	// so ServeContent's If-Range comparison only resumes byte ranges
+	// against the identity representation — an If-Range carrying the gzip
+	// validator falls back to a full 200 instead of splicing mismatched
+	// bytes.
+	h.Set("ETag", etag)
 	h.Set("Accept-Ranges", "bytes")
 	http.ServeContent(w, r, "", time.Time{}, bytes.NewReader(raw))
 }
 
-// acceptsGzip reports whether the request's Accept-Encoding lists gzip
-// with a non-zero quality ("gzip;q=0" is an explicit refusal).
+// acceptsGzip reports whether the request's Accept-Encoding allows gzip
+// with a non-zero quality: an explicit gzip (or x-gzip) entry wins, else
+// a "*" wildcard speaks for it (RFC 9110 §12.5.3). "gzip;q=0" and
+// "*;q=0" are explicit refusals; a malformed q-value counts as refusal
+// rather than silently serving an encoding the client may not handle.
 func acceptsGzip(r *http.Request) bool {
+	gzipQ, gzipSet := 0.0, false
+	starQ, starSet := 0.0, false
 	for _, enc := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
 		parts := strings.Split(strings.TrimSpace(enc), ";")
-		if strings.TrimSpace(parts[0]) != "gzip" {
+		name := strings.ToLower(strings.TrimSpace(parts[0]))
+		if name != "gzip" && name != "x-gzip" && name != "*" {
 			continue
 		}
+		q := 1.0
 		for _, p := range parts[1:] {
-			if k, v, ok := strings.Cut(strings.TrimSpace(p), "="); ok && strings.TrimSpace(k) == "q" {
-				q, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
-				return err == nil && q > 0
+			if k, v, ok := strings.Cut(strings.TrimSpace(p), "="); ok && strings.EqualFold(strings.TrimSpace(k), "q") {
+				parsed, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+				if err != nil {
+					parsed = 0
+				}
+				q = parsed
 			}
 		}
-		return true
+		if name == "*" {
+			starQ, starSet = q, true
+		} else {
+			gzipQ, gzipSet = q, true
+		}
 	}
-	return false
+	if gzipSet {
+		return gzipQ > 0
+	}
+	return starSet && starQ > 0
 }
 
 func floatBytes(data []float32) []byte {

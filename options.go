@@ -1,6 +1,10 @@
 package crossfield
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
 
 // Option configures a compression call. Options are shared by the
 // single-field entry points (CompressBaseline, Codec.Compress) and the
@@ -16,8 +20,15 @@ type compressConfig struct {
 	chunked     bool
 	chunkVoxels int
 	workers     int
+	blocks      bool
+	blockEdge   int
 	fieldBounds map[string]ErrorBound
 	timings     *DatasetTimings
+}
+
+// blockSpec translates the resolved block options into the core spec.
+func (c *compressConfig) blockSpec() core.BlockSpec {
+	return core.BlockSpec{Enable: c.blocks, Edge: c.blockEdge}
 }
 
 // optionFunc adapts a closure to the Option interface.
@@ -49,6 +60,26 @@ func WithWorkers(n int) Option {
 		}
 		c.chunked = true
 		c.workers = n
+		return nil
+	})
+}
+
+// WithDecodeBlocks enables block-coded payloads: the prequant grid is
+// split into fixed decode blocks (edge per axis; 0 picks the rank default
+// of 64³/256²/4096¹) and each block's residuals are entropy-coded into
+// its own segment, so decompression reconstructs blocks in parallel —
+// wavefront-scheduled when seam-crossing prediction was kept, fully
+// independently when compression measured that resetting prediction at
+// block borders cost nothing. Reconstructed floats are byte-identical to
+// the sequential decoder either way; only decode latency changes.
+// Containers become CFC1 v2 / CFC2 v3 (older readers reject them).
+func WithDecodeBlocks(edge int) Option {
+	return optionFunc(func(c *compressConfig) error {
+		if edge < 0 {
+			return fmt.Errorf("crossfield: WithDecodeBlocks(%d): edge must be >= 0 (0 = default)", edge)
+		}
+		c.blocks = true
+		c.blockEdge = edge
 		return nil
 	})
 }
