@@ -373,10 +373,18 @@ func (a *Archive) TopoNames() []string {
 	return out
 }
 
+// ErrChecksum is returned (wrapped) by FieldPayload when a payload's
+// stored bytes no longer match the manifest CRC — bit rot, a truncated
+// copy, or a corrupted mmap page. Serving layers match it with
+// errors.Is to quarantine the payload instead of retrying the read
+// forever.
+var ErrChecksum = archive.ErrChecksum
+
 // FieldPayload reads the named field's raw compressed payload (a
 // self-contained CFC1 or CFC2 blob) after verifying its manifest checksum.
 // Serving layers use it to feed random-access chunk decoding
-// (DecompressChunk) without materializing the whole field.
+// (DecompressChunk) without materializing the whole field. A corrupted
+// payload surfaces as an ErrChecksum-wrapped error.
 func (a *Archive) FieldPayload(name string) ([]byte, error) {
 	i, ok := a.arc.Lookup(name)
 	if !ok {

@@ -19,12 +19,16 @@
 //	                             # BENCH_inference.json
 //	cfbench -exp cluster         # consistent-hash router QPS scaling,
 //	                             # 1 -> 3 nodes, writes BENCH_cluster.json
+//	cfbench -exp chaos           # fault-injected cluster: admission storm
+//	                             # sheds, 2xx byte-identity under faults,
+//	                             # corruption + peer repair, writes
+//	                             # BENCH_chaos.json
 //	cfbench -cpuprofile cpu.out  # pprof profiles of the selected
 //	cfbench -memprofile mem.out  # experiments, for perf work
 //
 // Experiments: tab1 tab2 tab3 fig1 fig5 fig6 fig8 fig9 ablation anchorsel
-// throughput chunked archive serve inference cluster (fig7 is produced by
-// fig6; both names are accepted).
+// throughput chunked archive serve inference cluster chaos (fig7 is
+// produced by fig6; both names are accepted).
 package main
 
 import (
@@ -41,7 +45,7 @@ import (
 
 func main() {
 	var (
-		expFlag    = flag.String("exp", "all", "comma-separated experiments (tab1,tab2,tab3,fig1,fig5,fig6,fig7,fig8,fig9,ablation,anchorsel,throughput,chunked,archive,serve,inference,cluster) or 'all'")
+		expFlag    = flag.String("exp", "all", "comma-separated experiments (tab1,tab2,tab3,fig1,fig5,fig6,fig7,fig8,fig9,ablation,anchorsel,throughput,chunked,archive,serve,inference,cluster,chaos) or 'all'")
 		small      = flag.Bool("small", false, "use reduced grid sizes (quick smoke run)")
 		outDir     = flag.String("out", "", "directory for PGM figure renderings (optional)")
 		seed       = flag.Int64("seed", 42, "dataset/training seed")
@@ -50,6 +54,7 @@ func main() {
 		srvJSON    = flag.String("servejson", "BENCH_serve.json", "path for the serve experiment's machine-readable report ('' disables)")
 		infJSON    = flag.String("inferencejson", "BENCH_inference.json", "path for the inference experiment's machine-readable report ('' disables)")
 		clusJSON   = flag.String("clusterjson", "BENCH_cluster.json", "path for the cluster experiment's machine-readable report ('' disables)")
+		chaosJSON  = flag.String("chaosjson", "BENCH_chaos.json", "path for the chaos experiment's machine-readable report ('' disables)")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile (taken after the experiments) to this file")
 	)
@@ -147,6 +152,7 @@ func main() {
 	run("serve", func() error { return experiments.ServeBench(w, sizes, *srvJSON) })
 	run("inference", func() error { return experiments.InferenceBench(w, sizes, *infJSON) })
 	run("cluster", func() error { return experiments.ClusterBench(w, sizes, *clusJSON) })
+	run("chaos", func() error { return experiments.ChaosBench(w, sizes, *chaosJSON) })
 }
 
 // flushProfiles holds the profile finalizers; they run on both the normal

@@ -45,6 +45,14 @@
 // node-to-node anchor fetch: chunks another peer has already decoded are
 // fetched (and ETag-verified) instead of re-decoded locally.
 //
+// Overload safety (see docs/RESILIENCE.md): cold decodes pass a weighted
+// admission controller budgeted in predicted output bytes
+// (-decode-budget-mb, -admission-queue); when the wait queue is full new
+// work is shed with 503 + Retry-After instead of piling onto memory.
+// -request-timeout arms an end-to-end deadline per data request that
+// cancellation propagates into the decode itself. -chaos enables the
+// deterministic fault injector for resilience testing.
+//
 // Observability extras: -access-log writes one JSON line per request
 // (trace ID included) to a file or "-" for stderr; -debug-addr starts a
 // second listener exposing net/http/pprof, kept off the serving port so
@@ -70,6 +78,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/faultinject"
 	"repro/internal/serve"
 )
 
@@ -105,12 +114,18 @@ func main() {
 		selfURL     = flag.String("self", "", "this node's own base URL within -peers (node mode; enables peer-aware anchor fetch)")
 		replication = flag.Int("replication", 2, "router: distinct owners per key (primary plus failover replicas)")
 		healthEvery = flag.Duration("health-interval", 2*time.Second, "router: interval between peer health sweeps")
+
+		decodeBudgetMB = flag.Int("decode-budget-mb", 512, "decode admission budget in MiB of predicted output (0 selects the default, negative disables admission control)")
+		admissionQueue = flag.Int("admission-queue", 64, "max requests waiting for admission before new arrivals are shed with 503")
+		requestTimeout = flag.Duration("request-timeout", 0, "end-to-end deadline per data request, decode and body write included (0 disables)")
+		chaosSpec      = flag.String("chaos", "", `deterministic fault injection spec, e.g. "seed=7,latency=0.2:30ms,error=0.05,reset=0.02,slow=0.1" (testing only)`)
+		jitterSeed     = flag.Int64("jitter-seed", 0, "router: seed for retry-backoff and health-probe jitter (0 derives from the clock)")
 	)
 	flag.Var(&mounts, "mount", "name=path of a .cfc archive or blob to mount (repeatable)")
 	flag.Parse()
 
 	if *routerMode {
-		runRouter(*listen, *peerList, *replication, *healthEvery, *timeoutSec)
+		runRouter(*listen, *peerList, *replication, *healthEvery, *timeoutSec, *jitterSeed)
 		return
 	}
 
@@ -140,6 +155,9 @@ func main() {
 		FieldCacheBytes:   int64(*cacheMB) << 20,
 		ChunkCacheBytes:   int64(*chunkMB) << 20,
 		PayloadCacheBytes: int64(*payloadMB) << 20,
+		DecodeBudgetBytes: int64(*decodeBudgetMB) << 20,
+		AdmissionQueue:    *admissionQueue,
+		RequestTimeout:    *requestTimeout,
 		TraceRing:         *traceRing,
 		AccessLog:         accessW,
 	})
@@ -193,9 +211,28 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	handler := srv.Handler()
+	if *chaosSpec != "" {
+		cfg, err := faultinject.ParseSpec(*chaosSpec)
+		if err != nil {
+			fatal(err)
+		}
+		inj := faultinject.New(cfg)
+		// Outermost: the injector plays the network between client and
+		// server, so injected faults never pollute the server's own
+		// request metrics or traces.
+		handler = inj.Middleware(handler)
+		log.Printf("chaos injection enabled: %s", *chaosSpec)
+	}
 	hs := &http.Server{
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		// WriteTimeout is intentionally absent: it is a whole-response
+		// deadline, and legitimate cold decodes of large fields can
+		// stream for longer than any bound tight enough to matter. The
+		// per-request -request-timeout covers slow writers instead, via
+		// a write deadline armed per request inside the server.
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -262,7 +299,7 @@ func splitPeers(s string) []string {
 // over the peer set, with health-checked eject/readmit. It serves the
 // same /v1 surface as a node plus its own /healthz, /readyz, /metrics,
 // and /debug/trace.
-func runRouter(listen, peerList string, replication int, healthEvery time.Duration, timeoutSec int) {
+func runRouter(listen, peerList string, replication int, healthEvery time.Duration, timeoutSec int, seed int64) {
 	peers := splitPeers(peerList)
 	if len(peers) == 0 {
 		fatal(fmt.Errorf("-router needs -peers url,url,..."))
@@ -271,6 +308,7 @@ func runRouter(listen, peerList string, replication int, healthEvery time.Durati
 		Peers:          peers,
 		Replication:    replication,
 		HealthInterval: healthEvery,
+		Seed:           seed,
 	})
 	if err != nil {
 		fatal(err)
@@ -282,8 +320,15 @@ func runRouter(listen, peerList string, replication int, healthEvery time.Durati
 		fatal(err)
 	}
 	hs := &http.Server{
-		Handler:           rt.Handler(),
+		Handler: rt.Handler(),
+		// The router buffers no bodies, so a slow or stalled client ties
+		// up a proxy goroutine: bound the request read outright and reap
+		// idle keep-alives. WriteTimeout stays absent for the same reason
+		// as on nodes — proxied large-field bodies stream legitimately
+		// for a long time.
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

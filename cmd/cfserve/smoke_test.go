@@ -394,3 +394,134 @@ func TestClusterSmoke(t *testing.T) {
 		}
 	}
 }
+
+// TestChaosSmoke is the end-to-end chaos check CI runs: three cfserve
+// nodes started with a seeded -chaos fault spec (injected latency,
+// errors, connection resets, slow-loris writes) behind a jitter-seeded
+// -router, plus one fault-free solo node as the byte-identity oracle.
+// Every 200 the router answers under faults must be byte-identical to the
+// solo node's body, failures must surface as 502/503/504 (never a hard
+// 500) at a bounded rate, and both router and node expositions must still
+// lint. Gated behind CFSERVE_CHAOS=1 — CI runs it as its own leg.
+func TestChaosSmoke(t *testing.T) {
+	if os.Getenv("CFSERVE_CHAOS") != "1" {
+		t.Skip("set CFSERVE_CHAOS=1 to run the cfserve chaos smoke test")
+	}
+	golden, err := filepath.Abs("../../testdata/golden/archive_cfc3.cfc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(golden); err != nil {
+		t.Fatalf("golden fixture missing: %v", err)
+	}
+	bin := buildCfserve(t)
+
+	addrs := reserveAddrs(t, 3)
+	urls := make([]string, len(addrs))
+	for i, a := range addrs {
+		urls[i] = "http://" + a
+	}
+	peers := strings.Join(urls, ",")
+	for i, a := range addrs {
+		startCfserve(t, bin,
+			"-listen", a,
+			"-mount", "golden="+golden,
+			"-peers", peers,
+			"-self", urls[i],
+			"-chaos", fmt.Sprintf("seed=%d,latency=0.15:3ms,error=0.05,reset=0.03,slow=0.05", 100+i),
+		)
+	}
+	for _, u := range urls {
+		waitReady(t, u, 30*time.Second)
+	}
+	_, solo := startCfserve(t, bin, "-listen", "127.0.0.1:0", "-mount", "golden="+golden)
+	waitReady(t, solo, 30*time.Second)
+	_, router := startCfserve(t, bin,
+		"-router",
+		"-listen", "127.0.0.1:0",
+		"-peers", peers,
+		"-health-interval", "250ms",
+		"-jitter-seed", "7",
+	)
+	waitReady(t, router, 30*time.Second)
+
+	rawGet := func(base, path string) (*http.Response, []byte, error) {
+		req, err := http.NewRequest(http.MethodGet, base+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Accept-Encoding", "identity")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return nil, nil, err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+		return resp, body, nil
+	}
+
+	var paths []string
+	for _, f := range []string{"U", "V", "PRES", "W"} {
+		paths = append(paths, "/v1/archives/golden/fields/"+f)
+		for ci := 0; ci < 2; ci++ {
+			paths = append(paths, fmt.Sprintf("/v1/archives/golden/fields/%s/chunks/%d", f, ci))
+		}
+	}
+	want := make(map[string][]byte, len(paths))
+	for _, path := range paths {
+		resp, body, err := rawGet(solo, path)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("solo GET %s: %v (%v)", path, resp, err)
+		}
+		want[path] = body
+	}
+
+	// Hammer the faulted cluster through the router. The router retries
+	// resets and injected 503s on replicas, so most requests still land;
+	// whatever fails must fail loudly and correctly.
+	const rounds = 25
+	var requests, ok, failed int
+	for round := 0; round < rounds; round++ {
+		for _, path := range paths {
+			requests++
+			resp, body, err := rawGet(router, path)
+			if err != nil {
+				failed++ // a reset escaped the router's retries
+				continue
+			}
+			switch resp.StatusCode {
+			case http.StatusOK:
+				if !bytes.Equal(body, want[path]) {
+					t.Fatalf("round %d: GET %s: 200 body differs from fault-free solo (%d vs %d bytes)",
+						round, path, len(body), len(want[path]))
+				}
+				ok++
+			case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+				failed++
+			default:
+				t.Fatalf("round %d: GET %s: status %d under faults (want 200 or 502/503/504): %s",
+					round, path, resp.StatusCode, body)
+			}
+		}
+	}
+	t.Logf("chaos smoke: %d requests, %d ok, %d failed", requests, ok, failed)
+	if ok == 0 {
+		t.Fatal("no request ever succeeded through the faulted cluster")
+	}
+	if rate := float64(failed) / float64(requests); rate > 0.15 {
+		t.Fatalf("client-visible error rate %.1f%% exceeds 15%% (%d/%d)", 100*rate, failed, requests)
+	}
+
+	for _, base := range []string{router, urls[0]} {
+		resp, metrics, err := rawGet(base, "/metrics")
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s/metrics: %v (%v)", base, resp, err)
+		}
+		if err := obs.LintExposition(metrics); err != nil {
+			t.Fatalf("%s exposition invalid under faults: %v", base, err)
+		}
+	}
+}

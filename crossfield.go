@@ -89,6 +89,7 @@
 package crossfield
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cfnn"
@@ -248,7 +249,15 @@ func DecompressChunkWith(name string, blob []byte, i int, anchors []*Field, work
 // region — which is what lets serving layers answer a dependent-chunk
 // request by decoding only the anchor chunks the request touches.
 func DecompressChunkSlab(name string, blob []byte, i int, anchorSlabs []*Field) (*Field, int, error) {
-	t, start, err := core.DecompressChunkWithAnchorSlabs(blob, i, fieldTensors(anchorSlabs))
+	return DecompressChunkSlabCtx(context.Background(), name, blob, i, anchorSlabs)
+}
+
+// DecompressChunkSlabCtx is DecompressChunkSlab with request-scoped
+// cancellation: block-coded payloads check ctx between decode blocks and
+// wavefront fronts, so a serving request whose client has gone away
+// stops decoding at the next boundary and returns ctx.Err().
+func DecompressChunkSlabCtx(ctx context.Context, name string, blob []byte, i int, anchorSlabs []*Field) (*Field, int, error) {
+	t, start, err := core.DecompressChunkWithAnchorSlabsCtx(ctx, blob, i, fieldTensors(anchorSlabs))
 	if err != nil {
 		return nil, 0, err
 	}

@@ -2,6 +2,7 @@ package cluster_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -550,5 +551,65 @@ func TestAnchorClientVerification(t *testing.T) {
 	}
 	if hits, _ := s.RemoteFetches(); hits != 0 {
 		t.Fatalf("unverifiable peer bytes were accepted: hits = %d", hits)
+	}
+}
+
+// TestAnchorClientRepairChunk: RepairChunk must walk the key's ring
+// owners and fetch from another replica even when the key is self-owned —
+// the repair caller's local bytes are the broken ones, so self-ownership
+// is exactly the case FetchChunk declines and RepairChunk must not.
+func TestAnchorClientRepairChunk(t *testing.T) {
+	var servers [2]*serve.Server
+	var backends [2]*httptest.Server
+	for i := range servers {
+		servers[i] = serve.New(serve.Config{})
+		if err := servers[i].Mount("ds", sharedBlob(t)); err != nil {
+			t.Fatal(err)
+		}
+		backends[i] = httptest.NewServer(servers[i].Handler())
+		defer backends[i].Close()
+	}
+	urls := []string{backends[0].URL, backends[1].URL}
+	ac, err := cluster.NewAnchorClient(cluster.AnchorClientConfig{
+		Self: urls[0], Peers: urls,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Find a chunk whose content key node 0 owns itself: FetchChunk
+	// declines it, RepairChunk must still source it from node 1.
+	var path, field, key string
+	var ci int
+	var want []byte
+	for _, f := range []string{"U", "V", "PRES"} {
+		for c := 0; c < 4 && path == ""; c++ {
+			p := fmt.Sprintf("/v1/archives/ds/fields/%s/chunks/%d", f, c)
+			resp, body := rawGet(t, urls[1], p, nil)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("GET %s = %d", p, resp.StatusCode)
+			}
+			k := strings.Trim(resp.Header.Get("ETag"), `"`)
+			if ac.Owner(k) == urls[0] {
+				path, field, key, ci, want = p, f, k, c, body
+			}
+		}
+		if path != "" {
+			break
+		}
+	}
+	if path == "" {
+		t.Fatal("no chunk key is self-owned by node 0; 12 keys all landed on node 1")
+	}
+
+	if _, ok := ac.FetchChunk(context.Background(), key, "ds", field, ci, len(want)); ok {
+		t.Fatal("FetchChunk fetched a self-owned key")
+	}
+	got, ok := ac.RepairChunk(context.Background(), key, "ds", field, ci, len(want))
+	if !ok {
+		t.Fatal("RepairChunk found no replica for a key node 1 serves")
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("repaired bytes differ from the replica's decode")
 	}
 }

@@ -26,9 +26,10 @@ import (
 // cluster-wide cache dedupes across mounts and timestep archives exactly
 // like the in-process LRU does.
 type AnchorClient struct {
-	ring   *Ring
-	self   string
-	client *http.Client
+	ring         *Ring
+	self         string
+	client       *http.Client
+	repairFanout int
 
 	// cooldown suppresses fetch attempts against a peer that just failed,
 	// so a dead peer costs one dial timeout per window, not one per chunk.
@@ -54,6 +55,9 @@ type AnchorClientConfig struct {
 	// Transport overrides the outbound round tripper (tests inject the
 	// httptest client's); nil uses a DefaultTransport clone.
 	Transport http.RoundTripper
+	// RepairFanout is how many ring owners RepairChunk walks looking for
+	// an intact copy of a quarantined payload's chunk; 0 selects 3.
+	RepairFanout int
 }
 
 // NewAnchorClient builds the peer-fetch hook for one node.
@@ -67,6 +71,9 @@ func NewAnchorClient(cfg AnchorClientConfig) (*AnchorClient, error) {
 	}
 	if cfg.Cooldown <= 0 {
 		cfg.Cooldown = time.Second
+	}
+	if cfg.RepairFanout <= 0 {
+		cfg.RepairFanout = 3
 	}
 	if cfg.Transport == nil {
 		t := http.DefaultTransport.(*http.Transport).Clone()
@@ -90,11 +97,12 @@ func NewAnchorClient(cfg AnchorClientConfig) (*AnchorClient, error) {
 		return nil, fmt.Errorf("cluster: Self %q must appear in Peers", cfg.Self)
 	}
 	return &AnchorClient{
-		ring:     ring,
-		self:     cfg.Self,
-		client:   &http.Client{Transport: cfg.Transport, Timeout: cfg.Timeout},
-		cooldown: cfg.Cooldown,
-		downAt:   make(map[string]time.Time),
+		ring:         ring,
+		self:         cfg.Self,
+		client:       &http.Client{Transport: cfg.Transport, Timeout: cfg.Timeout},
+		repairFanout: cfg.RepairFanout,
+		cooldown:     cfg.Cooldown,
+		downAt:       make(map[string]time.Time),
 	}, nil
 }
 
@@ -124,6 +132,31 @@ func (c *AnchorClient) FetchChunk(ctx context.Context, key, archive, field strin
 	if owner == "" || owner == c.self || c.coolingDown(owner) {
 		return nil, false
 	}
+	return c.fetchFrom(ctx, owner, key, archive, field, chunk, size)
+}
+
+// RepairChunk implements serve.RemoteRepair: after a local payload is
+// quarantined for a checksum mismatch, it walks the key's ring owners —
+// not just the primary — looking for any peer holding an intact copy.
+// Unlike FetchChunk it does not stop at self-ownership: the whole point
+// is that this node's local bytes are bad, so any *other* replica is a
+// better source. Each candidate gets one attempt; cooldown still applies
+// so a repair storm cannot hammer a dead peer.
+func (c *AnchorClient) RepairChunk(ctx context.Context, key, archive, field string, chunk, size int) ([]byte, bool) {
+	for _, peer := range c.ring.Owners(key, c.repairFanout) {
+		if peer == c.self || c.coolingDown(peer) {
+			continue
+		}
+		if body, ok := c.fetchFrom(ctx, peer, key, archive, field, chunk, size); ok {
+			return body, true
+		}
+	}
+	return nil, false
+}
+
+// fetchFrom performs one verified chunk GET against one peer. Any
+// network failure marks the peer down for the cooldown window.
+func (c *AnchorClient) fetchFrom(ctx context.Context, owner, key, archive, field string, chunk, size int) ([]byte, bool) {
 	u := fmt.Sprintf("%s/v1/archives/%s/fields/%s/chunks/%d",
 		owner, url.PathEscape(archive), url.PathEscape(field), chunk)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)

@@ -18,10 +18,12 @@ type peerState struct {
 	oks     int
 }
 
-// healthLoop probes every peer each interval until Close.
+// healthLoop probes every peer roughly each interval until Close. The
+// cadence is jittered ±15% per round so multiple routers fronting the
+// same nodes don't probe (and eject, and readmit) in phase.
 func (rt *Router) healthLoop() {
 	defer rt.wg.Done()
-	t := time.NewTicker(rt.cfg.HealthInterval)
+	t := time.NewTimer(rt.jitter.Interval(rt.cfg.HealthInterval))
 	defer t.Stop()
 	for {
 		select {
@@ -29,6 +31,7 @@ func (rt *Router) healthLoop() {
 			return
 		case <-t.C:
 			rt.CheckNow()
+			t.Reset(rt.jitter.Interval(rt.cfg.HealthInterval))
 		}
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/resilience"
 )
 
 // Config parameterizes a Router. Peers is required; every other field has
@@ -52,6 +53,11 @@ type Config struct {
 	// 0 selects the obs defaults.
 	TraceSpans int
 	TraceRing  int
+	// Seed makes the router's jitter deterministic (tests, the chaos
+	// harness); 0 derives a seed from the clock. Jitter desynchronizes
+	// the retry backoff and the health-probe cadence so N routers (or N
+	// concurrent failovers) don't stampede a recovering peer in lockstep.
+	Seed int64
 }
 
 func (c *Config) applyDefaults() {
@@ -100,6 +106,7 @@ type Router struct {
 	cfg    Config
 	ring   *Ring
 	client *http.Client
+	jitter *resilience.Jitter
 
 	mu    sync.Mutex
 	peers map[string]*peerState
@@ -145,6 +152,7 @@ func NewRouter(cfg Config) (*Router, error) {
 		cfg:    cfg,
 		ring:   NewRing(cfg.VirtualNodes),
 		client: &http.Client{Transport: cfg.Transport},
+		jitter: resilience.NewJitter(cfg.Seed),
 		peers:  make(map[string]*peerState, len(cfg.Peers)),
 		reg:    obs.NewRegistry(),
 		stopc:  make(chan struct{}),
@@ -297,8 +305,11 @@ func (rt *Router) proxyAttempts(w http.ResponseWriter, r *http.Request, tr *obs.
 			if backoff > rt.cfg.RetryBackoffCap {
 				backoff = rt.cfg.RetryBackoffCap
 			}
+			// Jittered to ±50%: when a peer dies, every in-flight request
+			// fails over at once, and un-jittered backoff would re-land
+			// them on the replica as one synchronized wave.
 			select {
-			case <-time.After(backoff):
+			case <-time.After(rt.jitter.Around(backoff)):
 			case <-r.Context().Done():
 				writeError(w, http.StatusBadGateway, "%v", r.Context().Err())
 				return http.StatusBadGateway

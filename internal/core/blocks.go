@@ -30,6 +30,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -338,7 +339,11 @@ var zeroOrigin = []int{0, 0, 0}
 // payloads, front by front for wavefront ones (the barrier between fronts
 // is what publishes a front's seam planes to the next). workers <= 0
 // means GOMAXPROCS.
-func reconstructBlocks(q []int32, vals []float32, raw []byte, codec *huffman.Codec, b *container.Blob, dq [][]float64, workers int, times []float64) error {
+//
+// ctx is checked per block and between wavefront fronts: a canceled
+// serving request stops a multi-front decode at the next boundary
+// instead of completing work nobody will read.
+func reconstructBlocks(ctx context.Context, q []int32, vals []float32, raw []byte, codec *huffman.Codec, b *container.Blob, dq [][]float64, workers int, times []float64) error {
 	bs := b.Blocks
 	g, err := geomFor(b.Dims, bs.Edges)
 	if err != nil {
@@ -387,6 +392,9 @@ func reconstructBlocks(q []int32, vals []float32, raw []byte, codec *huffman.Cod
 	}}
 	independent := bs.Mode == container.BlockIndependent
 	decodeBlock := func(bi int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		var start time.Time
 		if times != nil {
 			start = time.Now()
@@ -417,6 +425,9 @@ func reconstructBlocks(q []int32, vals []float32, raw []byte, codec *huffman.Cod
 		return parallel.ForErr(workers, g.total, decodeBlock)
 	}
 	for _, front := range g.fronts() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if err := parallel.ForErr(workers, len(front), func(x int) error {
 			return decodeBlock(front[x])
 		}); err != nil {

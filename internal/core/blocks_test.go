@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -138,7 +140,7 @@ func TestBlockDecodeParityProperty(t *testing.T) {
 			workers := 1 + rng.Intn(4)
 			q2 := make([]int32, n)
 			vals := make([]float32, n)
-			if err := reconstructBlocks(q2, vals, raw, codec, blob, dq, workers, nil); err != nil {
+			if err := reconstructBlocks(context.Background(), q2, vals, raw, codec, blob, dq, workers, nil); err != nil {
 				t.Fatalf("iter %d dims %v edges %v mode %d: reconstruct: %v", iter, dims, edges, mode.mode, err)
 			}
 			for i := range q2 {
@@ -200,6 +202,23 @@ func referenceCodes(t *testing.T, q []int32, dims []int, dq [][]float64, weights
 	return codes
 }
 
+// TestBlockDecodeHonorsCancellation: a canceled context must abort a
+// block-coded decode between fronts instead of reconstructing them all.
+func TestBlockDecodeHonorsCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	field := smoothField(t, rng, []int{13, 21, 37})
+	opts := Options{Bound: quant.RelBound(1e-3), Blocks: BlockSpec{Enable: true, Edge: 8}}
+	blocked, err := CompressBaseline(field, opts)
+	if err != nil {
+		t.Fatalf("block compress: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := decompressMono(ctx, blocked.Blob, nil, nil, nil, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("decode under canceled ctx = %v, want context.Canceled", err)
+	}
+}
+
 // TestBlockCompressDecompressEndToEnd exercises the full public path:
 // compression with Blocks enabled must produce block-coded containers that
 // decompress byte-identically to the plain sequential ones at any worker
@@ -233,7 +252,7 @@ func TestBlockCompressDecompressEndToEnd(t *testing.T) {
 			t.Fatalf("plain decompress: %v", err)
 		}
 		for _, workers := range []int{0, 1, 2, 4} {
-			got, err := decompressMono(blocked.Blob, nil, nil, nil, workers)
+			got, err := decompressMono(context.Background(), blocked.Blob, nil, nil, nil, workers)
 			if err != nil {
 				t.Fatalf("block decompress (workers=%d): %v", workers, err)
 			}

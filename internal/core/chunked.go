@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -218,7 +219,7 @@ func DecompressChunked(blob []byte, anchors []*tensor.Tensor) (*tensor.Tensor, e
 // single sequential chunk, so workers does not apply).
 func DecompressChunkedWith(blob []byte, anchors []*tensor.Tensor, workers int) (*tensor.Tensor, error) {
 	if !chunk.IsChunked(blob) {
-		return decompressMono(blob, anchors, nil, nil, workers)
+		return decompressMono(context.Background(), blob, anchors, nil, nil, workers)
 	}
 	if workers <= 0 {
 		workers = parallel.Workers()
@@ -340,7 +341,7 @@ func DecompressChunkWith(blob []byte, i int, anchors []*tensor.Tensor, workers i
 		if i != 0 {
 			return nil, 0, fmt.Errorf("core: chunk %d out of [0,1) (monolithic blob)", i)
 		}
-		t, err := decompressMono(blob, anchors, nil, nil, workers)
+		t, err := decompressMono(context.Background(), blob, anchors, nil, nil, workers)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -370,7 +371,7 @@ func DecompressChunkWith(blob []byte, i int, anchors []*tensor.Tensor, workers i
 			return nil, 0, err
 		}
 	}
-	t, err := decompressChunkPayload(payload, g, i, subAnchors, model, nil, workers)
+	t, err := decompressChunkPayload(context.Background(), payload, g, i, subAnchors, model, nil, workers)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -386,6 +387,15 @@ func DecompressChunkWith(blob []byte, i int, anchors []*tensor.Tensor, workers i
 // fields. Predictions are bit-identical to DecompressChunk with full
 // anchors, which runs inference over exactly the same chunk views.
 func DecompressChunkWithAnchorSlabs(blob []byte, i int, anchorSlabs []*tensor.Tensor) (*tensor.Tensor, int, error) {
+	return DecompressChunkWithAnchorSlabsCtx(context.Background(), blob, i, anchorSlabs)
+}
+
+// DecompressChunkWithAnchorSlabsCtx is DecompressChunkWithAnchorSlabs
+// with request-scoped cancellation: block-coded payloads check ctx at
+// block and wavefront-front boundaries, so a canceled serving request
+// releases its workers at the next barrier instead of decoding bytes
+// nobody will read.
+func DecompressChunkWithAnchorSlabsCtx(ctx context.Context, blob []byte, i int, anchorSlabs []*tensor.Tensor) (*tensor.Tensor, int, error) {
 	if !chunk.IsChunked(blob) {
 		// A monolithic blob is a single chunk spanning every slab, so the
 		// "slabs" are the full anchor fields.
@@ -423,7 +433,7 @@ func DecompressChunkWithAnchorSlabs(blob []byte, i int, anchorSlabs []*tensor.Te
 	}
 	// Serving decodes one chunk per request: give block-coded payloads the
 	// whole machine — intra-chunk parallelism is what moves cold p99.
-	t, err := decompressChunkPayload(payload, g, i, anchorSlabs, model, nil, parallel.Workers())
+	t, err := decompressChunkPayload(ctx, payload, g, i, anchorSlabs, model, nil, parallel.Workers())
 	if err != nil {
 		return nil, 0, err
 	}
@@ -548,8 +558,8 @@ func prepareArchive(a *chunk.Archive, anchors []*tensor.Tensor) (*chunk.Grid, *c
 // exactly one prediction source is supplied: dq slab views from the
 // shared inference pass (full-container decodes), or the chunk's anchor
 // views plus the container model for per-chunk inference (random access).
-func decompressChunkPayload(payload []byte, g *chunk.Grid, i int, subAnchors []*tensor.Tensor, model *cfnn.Model, dq [][]float64, workers int) (*tensor.Tensor, error) {
-	t, err := decompressMono(payload, subAnchors, model, dq, workers)
+func decompressChunkPayload(ctx context.Context, payload []byte, g *chunk.Grid, i int, subAnchors []*tensor.Tensor, model *cfnn.Model, dq [][]float64, workers int) (*tensor.Tensor, error) {
+	t, err := decompressMono(ctx, payload, subAnchors, model, dq, workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: chunk %d: %w", i, err)
 	}
@@ -568,7 +578,7 @@ func decompressChunkInto(out []float32, payload []byte, g *chunk.Grid, i int, in
 	if inf != nil {
 		dq = inf.chunkDQ(i)
 	}
-	t, err := decompressChunkPayload(payload, g, i, nil, nil, dq, workers)
+	t, err := decompressChunkPayload(context.Background(), payload, g, i, nil, nil, dq, workers)
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 
 	"repro/internal/bitstream"
@@ -29,7 +30,7 @@ func Decompress(blob []byte, anchors []*tensor.Tensor) (*tensor.Tensor, error) {
 	if chunk.IsChunked(blob) {
 		return DecompressChunked(blob, anchors)
 	}
-	return decompressMono(blob, anchors, nil, nil, 0)
+	return decompressMono(context.Background(), blob, anchors, nil, nil, 0)
 }
 
 // decompressMono reverses one CFC1 blob. ext supplies the CFNN model for
@@ -40,8 +41,10 @@ func Decompress(blob []byte, anchors []*tensor.Tensor) (*tensor.Tensor, error) {
 // each chunk its slab views, skipping per-payload model loading and
 // inference entirely. workers bounds the decode worker pool for
 // block-coded payloads (<= 0 means GOMAXPROCS); plain payloads decode
-// sequentially regardless.
-func decompressMono(blob []byte, anchors []*tensor.Tensor, ext *cfnn.Model, dqExt [][]float64, workers int) (*tensor.Tensor, error) {
+// sequentially regardless. ctx cancels block-coded payload decodes at
+// block/front boundaries; plain sequential payloads run to completion
+// (they are single-threaded and comparatively short).
+func decompressMono(ctx context.Context, blob []byte, anchors []*tensor.Tensor, ext *cfnn.Model, dqExt [][]float64, workers int) (*tensor.Tensor, error) {
 	b, err := container.Decode(blob)
 	if err != nil {
 		return nil, err
@@ -92,7 +95,7 @@ func decompressMono(blob []byte, anchors []*tensor.Tensor, ext *cfnn.Model, dqEx
 	if b.Blocks != nil {
 		q := make([]int32, n)
 		vals := make([]float32, n)
-		if err := reconstructBlocks(q, vals, payloadRaw, codec, b, dq, workers, nil); err != nil {
+		if err := reconstructBlocks(ctx, q, vals, payloadRaw, codec, b, dq, workers, nil); err != nil {
 			return nil, err
 		}
 		return tensor.FromSlice(vals, b.Dims...)

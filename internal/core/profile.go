@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"time"
 
@@ -180,7 +181,7 @@ func profileMonoBlocks(blob []byte, anchors []*tensor.Tensor, ext *cfnn.Model) (
 	times := make([]float64, g.total)
 	best := make([]float64, g.total)
 	for pass := 0; pass < 3; pass++ {
-		if err := reconstructBlocks(q, vals, payloadRaw, codec, b, dq, 1, times); err != nil {
+		if err := reconstructBlocks(context.Background(), q, vals, payloadRaw, codec, b, dq, 1, times); err != nil {
 			return nil, err
 		}
 		for bi, s := range times {

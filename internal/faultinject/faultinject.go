@@ -1,0 +1,322 @@
+// Package faultinject is a deterministic fault-injection harness for
+// the serving stack. An Injector draws every fault decision from one
+// seeded PRNG, so a chaos run is reproducible: same seed, same archive,
+// same request schedule → same faults.
+//
+// Faults are infrastructure-shaped, not data-shaped: injected latency,
+// 5xx responses, connection resets, and slow-loris bodies corrupt the
+// *transport*, never the payload bytes of a successful response. That
+// invariant is what the chaos suite asserts — every 2xx body under
+// faults must be byte-identical to the fault-free run. Data corruption
+// is exercised separately via FlipBits, which damages stored payloads
+// so the server's CRC quarantine path (not the client) detects it.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config selects fault classes and their probabilities. All
+// probabilities are per-request and independent; at most one fault
+// fires per request, tried in order: reset, error, slow, latency
+// (latency composes with nothing because the others already dominate a
+// request's fate).
+type Config struct {
+	Seed int64 // PRNG seed; 0 means 1 (a zero seed would silently disable determinism checks)
+
+	LatencyP float64       // probability of added latency
+	Latency  time.Duration // how much (default 30ms)
+
+	ErrorP float64 // probability of an injected 503
+
+	ResetP float64 // probability of aborting the connection mid-request
+
+	SlowP     float64       // probability of a slow-loris body
+	SlowChunk int           // bytes per dribble (default 512)
+	SlowDelay time.Duration // pause between dribbles (default 2ms)
+	SlowMax   int           // max dribbles before writing the rest at full speed (default 8)
+}
+
+func (c *Config) fillDefaults() {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Latency == 0 {
+		c.Latency = 30 * time.Millisecond
+	}
+	if c.SlowChunk == 0 {
+		c.SlowChunk = 512
+	}
+	if c.SlowDelay == 0 {
+		c.SlowDelay = 2 * time.Millisecond
+	}
+	if c.SlowMax == 0 {
+		c.SlowMax = 8
+	}
+}
+
+// ParseSpec parses the -chaos flag syntax: comma-separated fields
+//
+//	seed=N                 PRNG seed
+//	latency=P[:DUR]        added latency with probability P (e.g. latency=0.2:30ms)
+//	error=P                injected 503 with probability P
+//	reset=P                connection abort with probability P
+//	slow=P[:CHUNK:DELAY]   slow-loris body with probability P (e.g. slow=0.1:256:5ms)
+//
+// Example: "seed=42,latency=0.2:20ms,error=0.1,reset=0.05,slow=0.05".
+func ParseSpec(spec string) (Config, error) {
+	var cfg Config
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return cfg, fmt.Errorf("faultinject: bad field %q (want key=value)", field)
+		}
+		parts := strings.Split(val, ":")
+		prob := func() (float64, error) {
+			p, err := strconv.ParseFloat(parts[0], 64)
+			if err != nil || p < 0 || p > 1 {
+				return 0, fmt.Errorf("faultinject: %s: bad probability %q", key, parts[0])
+			}
+			return p, nil
+		}
+		var err error
+		switch key {
+		case "seed":
+			cfg.Seed, err = strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return cfg, fmt.Errorf("faultinject: bad seed %q", val)
+			}
+		case "latency":
+			if cfg.LatencyP, err = prob(); err != nil {
+				return cfg, err
+			}
+			if len(parts) > 1 {
+				if cfg.Latency, err = time.ParseDuration(parts[1]); err != nil {
+					return cfg, fmt.Errorf("faultinject: latency: bad duration %q", parts[1])
+				}
+			}
+		case "error":
+			if cfg.ErrorP, err = prob(); err != nil {
+				return cfg, err
+			}
+		case "reset":
+			if cfg.ResetP, err = prob(); err != nil {
+				return cfg, err
+			}
+		case "slow":
+			if cfg.SlowP, err = prob(); err != nil {
+				return cfg, err
+			}
+			if len(parts) > 1 {
+				if cfg.SlowChunk, err = strconv.Atoi(parts[1]); err != nil || cfg.SlowChunk <= 0 {
+					return cfg, fmt.Errorf("faultinject: slow: bad chunk %q", parts[1])
+				}
+			}
+			if len(parts) > 2 {
+				if cfg.SlowDelay, err = time.ParseDuration(parts[2]); err != nil {
+					return cfg, fmt.Errorf("faultinject: slow: bad delay %q", parts[2])
+				}
+			}
+		default:
+			return cfg, fmt.Errorf("faultinject: unknown fault %q", key)
+		}
+	}
+	cfg.fillDefaults()
+	return cfg, nil
+}
+
+// Counts tallies the faults an Injector has fired, for reports and
+// determinism assertions.
+type Counts struct {
+	Requests int64 // fault decisions made
+	Latency  int64
+	Errors   int64
+	Resets   int64
+	Slow     int64
+}
+
+// Injector draws fault decisions from one seeded PRNG shared by its
+// Middleware and RoundTripper. Safe for concurrent use; note that with
+// concurrent requests the *assignment* of faults to requests depends on
+// arrival order, while the fault sequence itself is fixed by the seed.
+type Injector struct {
+	cfg Config
+
+	mu     sync.Mutex
+	rnd    *rand.Rand
+	counts Counts
+}
+
+// New returns an Injector for cfg (defaults filled in).
+func New(cfg Config) *Injector {
+	cfg.fillDefaults()
+	return &Injector{cfg: cfg, rnd: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// faultKind is one decision drawn from the PRNG.
+type faultKind int
+
+const (
+	faultNone faultKind = iota
+	faultReset
+	faultError
+	faultSlow
+	faultLatency
+)
+
+// decide draws the fault for one request. One uniform draw is compared
+// against cumulative probability bands so at most one fault fires.
+func (in *Injector) decide() faultKind {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.counts.Requests++
+	u := in.rnd.Float64()
+	switch {
+	case u < in.cfg.ResetP:
+		in.counts.Resets++
+		return faultReset
+	case u < in.cfg.ResetP+in.cfg.ErrorP:
+		in.counts.Errors++
+		return faultError
+	case u < in.cfg.ResetP+in.cfg.ErrorP+in.cfg.SlowP:
+		in.counts.Slow++
+		return faultSlow
+	case u < in.cfg.ResetP+in.cfg.ErrorP+in.cfg.SlowP+in.cfg.LatencyP:
+		in.counts.Latency++
+		return faultLatency
+	}
+	return faultNone
+}
+
+// Counts returns the faults fired so far.
+func (in *Injector) Counts() Counts {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts
+}
+
+// Middleware wraps an http.Handler with fault injection. Only the data
+// plane (/v1/...) is faulted: health, readiness, metrics, and debug
+// endpoints stay clean so orchestration and the chaos harness itself
+// can still observe the server.
+func (in *Injector) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/v1/") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		switch in.decide() {
+		case faultReset:
+			// net/http recovers this sentinel and severs the connection
+			// without a response — the client sees a mid-request reset.
+			panic(http.ErrAbortHandler)
+		case faultError:
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "faultinject: injected 503", http.StatusServiceUnavailable)
+			return
+		case faultSlow:
+			w = &slowWriter{ResponseWriter: w, chunk: in.cfg.SlowChunk,
+				delay: in.cfg.SlowDelay, budget: in.cfg.SlowMax}
+		case faultLatency:
+			time.Sleep(in.cfg.Latency)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// slowWriter dribbles the response body in small chunks with pauses — a
+// bounded slow-loris. The dribble budget caps added latency so a chaos
+// run terminates; after budget pauses the rest flows at full speed.
+type slowWriter struct {
+	http.ResponseWriter
+	chunk  int
+	delay  time.Duration
+	budget int
+}
+
+func (w *slowWriter) Write(p []byte) (int, error) {
+	var n int
+	for len(p) > 0 && w.budget > 0 {
+		w.budget--
+		c := w.chunk
+		if c > len(p) {
+			c = len(p)
+		}
+		m, err := w.ResponseWriter.Write(p[:c])
+		n += m
+		if err != nil {
+			return n, err
+		}
+		if f, ok := w.ResponseWriter.(http.Flusher); ok {
+			f.Flush()
+		}
+		time.Sleep(w.delay)
+		p = p[c:]
+	}
+	if len(p) > 0 {
+		m, err := w.ResponseWriter.Write(p)
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+func (w *slowWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// resetError is the transport-level fault returned by the RoundTripper.
+type resetError struct{}
+
+func (resetError) Error() string   { return "faultinject: injected connection reset" }
+func (resetError) Timeout() bool   { return false }
+func (resetError) Temporary() bool { return true }
+
+// RoundTripper wraps a transport with client-side fault injection:
+// added latency and synthetic connection resets. Unlike Middleware it
+// never fabricates HTTP responses — a transport either delivers the
+// origin's bytes or fails — so response bodies stay trustworthy.
+func (in *Injector) RoundTripper(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return roundTripFunc(func(r *http.Request) (*http.Response, error) {
+		switch in.decide() {
+		case faultReset, faultError:
+			// Both map to a transport failure at this layer.
+			return nil, resetError{}
+		case faultLatency, faultSlow:
+			time.Sleep(in.cfg.Latency)
+		}
+		return base.RoundTrip(r)
+	})
+}
+
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
+
+// FlipBits deterministically flips n single bits in p, drawn from seed.
+// Chaos runs use it to corrupt a stored payload region so the serving
+// path's CRC check — not the client — must catch the damage.
+func FlipBits(p []byte, seed int64, n int) {
+	if len(p) == 0 {
+		return
+	}
+	rnd := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		off := rnd.Intn(len(p))
+		bit := uint(rnd.Intn(8))
+		p[off] ^= 1 << bit
+	}
+}

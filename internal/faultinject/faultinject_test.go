@@ -1,0 +1,140 @@
+package faultinject
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("seed=42,latency=0.2:20ms,error=0.1,reset=0.05,slow=0.05:256:5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 42 || cfg.LatencyP != 0.2 || cfg.Latency != 20*time.Millisecond ||
+		cfg.ErrorP != 0.1 || cfg.ResetP != 0.05 || cfg.SlowP != 0.05 ||
+		cfg.SlowChunk != 256 || cfg.SlowDelay != 5*time.Millisecond {
+		t.Fatalf("parsed %+v", cfg)
+	}
+	if _, err := ParseSpec("bogus=1"); err == nil {
+		t.Fatal("want error for unknown fault")
+	}
+	if _, err := ParseSpec("error=1.5"); err == nil {
+		t.Fatal("want error for probability > 1")
+	}
+	cfg, err = ParseSpec("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 1 || cfg.SlowChunk != 512 {
+		t.Fatalf("defaults not filled: %+v", cfg)
+	}
+}
+
+func TestDeterministicDecisions(t *testing.T) {
+	cfg := Config{Seed: 7, ErrorP: 0.3, ResetP: 0.1, SlowP: 0.1, LatencyP: 0.2}
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 200; i++ {
+		if a.decide() != b.decide() {
+			t.Fatalf("decision %d diverged", i)
+		}
+	}
+	if a.Counts() != b.Counts() {
+		t.Fatalf("counts diverged: %+v vs %+v", a.Counts(), b.Counts())
+	}
+}
+
+func TestMiddlewareFaultsOnlyDataPlane(t *testing.T) {
+	in := New(Config{Seed: 1, ErrorP: 1}) // every data-plane request 503s
+	h := in.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
+	if rr.Code != 200 || rr.Body.String() != "ok" {
+		t.Fatalf("healthz faulted: %d %q", rr.Code, rr.Body.String())
+	}
+
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/v1/archives/a/fields/f", nil))
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("data plane not faulted: %d", rr.Code)
+	}
+	if rr.Header().Get("Retry-After") == "" {
+		t.Fatal("injected 503 missing Retry-After")
+	}
+}
+
+func TestSlowWriterPreservesBytes(t *testing.T) {
+	in := New(Config{Seed: 1, SlowP: 1, SlowChunk: 3, SlowDelay: time.Microsecond})
+	body := strings.Repeat("abcdefgh", 64)
+	h := in.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	}))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/v1/x", nil))
+	if rr.Body.String() != body {
+		t.Fatalf("slow-loris corrupted body: got %d bytes want %d", rr.Body.Len(), len(body))
+	}
+}
+
+func TestMiddlewareReset(t *testing.T) {
+	in := New(Config{Seed: 1, ResetP: 1})
+	srv := httptest.NewServer(in.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	})))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/x")
+	if err == nil {
+		resp.Body.Close()
+		t.Fatal("want transport error from injected reset")
+	}
+}
+
+func TestRoundTripper(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "origin")
+	}))
+	defer srv.Close()
+
+	in := New(Config{Seed: 1, ResetP: 1})
+	client := &http.Client{Transport: in.RoundTripper(nil)}
+	if _, err := client.Get(srv.URL); err == nil {
+		t.Fatal("want injected transport error")
+	}
+
+	clean := New(Config{Seed: 1})
+	client = &http.Client{Transport: clean.RoundTripper(nil)}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(b) != "origin" {
+		t.Fatalf("body = %q", b)
+	}
+}
+
+func TestFlipBitsDeterministic(t *testing.T) {
+	a := make([]byte, 256)
+	b := make([]byte, 256)
+	FlipBits(a, 9, 4)
+	FlipBits(b, 9, 4)
+	if string(a) != string(b) {
+		t.Fatal("FlipBits not deterministic")
+	}
+	var flipped int
+	for _, v := range a {
+		if v != 0 {
+			flipped++
+		}
+	}
+	if flipped == 0 {
+		t.Fatal("FlipBits flipped nothing")
+	}
+}

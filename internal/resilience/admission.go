@@ -1,0 +1,225 @@
+// Package resilience holds the overload-safety primitives for the
+// serving path: a weighted admission controller that bounds concurrent
+// decode memory, and seeded jitter for retry/probe scheduling.
+//
+// The admission controller is a weighted semaphore denominated in
+// predicted output bytes. Each request estimates how much decoded data
+// its decode will materialize (from manifest dims — the cheap
+// compression-ratio-prediction idea from the ROADMAP applied to
+// serving) and must acquire that weight before decoding. When the
+// budget is exhausted, requests wait in a bounded FIFO queue; when the
+// queue is full, they are shed immediately so the caller can answer
+// 503 + Retry-After instead of piling up goroutines until the process
+// OOMs.
+package resilience
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrShed is returned by Acquire when the wait queue is full. Callers
+// should translate it into load-shedding (HTTP 503 + Retry-After).
+var ErrShed = errors.New("resilience: admission queue full")
+
+// Stats is a point-in-time snapshot of a Controller's counters. The
+// gauges (InFlightBytes, QueueDepth) describe the instant of the call;
+// the counters are cumulative.
+type Stats struct {
+	CapacityBytes  int64 // configured budget
+	InFlightBytes  int64 // admitted weight currently held
+	HighWaterBytes int64 // max InFlightBytes ever observed (never exceeds CapacityBytes)
+	QueueDepth     int   // waiters currently queued
+	Admitted       int64 // acquisitions granted (immediate or after queueing)
+	Waited         int64 // acquisitions that had to queue first
+	Shed           int64 // acquisitions rejected because the queue was full
+	Canceled       int64 // queued waiters abandoned (ctx canceled / deadline)
+}
+
+// waiter is one queued Acquire call.
+type waiter struct {
+	weight int64
+	ready  chan struct{} // closed when admitted
+}
+
+// Controller is a weighted semaphore with a bounded FIFO wait queue.
+// Weights are bytes of predicted decode output. The zero value is not
+// usable; use NewController.
+//
+// FIFO admission is strict: a small request queued behind a large one
+// waits for it, which trades a little latency for starvation-freedom —
+// under a storm the large decodes still make progress.
+type Controller struct {
+	capacity int64
+	maxQueue int
+
+	mu       sync.Mutex
+	inflight int64
+	high     int64
+	queue    *list.List // of *waiter
+
+	admitted, waited, shed, canceled int64
+}
+
+// NewController returns a controller with the given byte budget and
+// maximum queue length. capacity <= 0 or maxQueue < 0 panics: an
+// unbounded controller is a configuration bug, not a mode.
+func NewController(capacityBytes int64, maxQueue int) *Controller {
+	if capacityBytes <= 0 {
+		panic("resilience: capacity must be positive")
+	}
+	if maxQueue < 0 {
+		panic("resilience: maxQueue must be >= 0")
+	}
+	return &Controller{
+		capacity: capacityBytes,
+		maxQueue: maxQueue,
+		queue:    list.New(),
+	}
+}
+
+// CapacityBytes returns the configured budget.
+func (c *Controller) CapacityBytes() int64 { return c.capacity }
+
+// Acquire reserves weight bytes of the decode budget, waiting in FIFO
+// order when the budget is exhausted. It returns a release function
+// that must be called exactly once when the decoded bytes are no longer
+// pinned by the request (typically deferred for the handler's
+// lifetime).
+//
+// Weights larger than the whole budget are clamped to it: an oversized
+// request runs alone rather than deadlocking. Weights <= 0 count as 1
+// so every admission is observable.
+//
+// Errors: ErrShed when the wait queue is full; the ctx error when the
+// caller's deadline or cancellation fires while queued.
+func (c *Controller) Acquire(ctx context.Context, weight int64) (release func(), err error) {
+	if weight <= 0 {
+		weight = 1
+	}
+	if weight > c.capacity {
+		weight = c.capacity
+	}
+	c.mu.Lock()
+	// Admit immediately only when no one is queued ahead (FIFO).
+	if c.queue.Len() == 0 && c.inflight+weight <= c.capacity {
+		c.admit(weight)
+		c.mu.Unlock()
+		return c.releaseFunc(weight), nil
+	}
+	if c.queue.Len() >= c.maxQueue {
+		c.shed++
+		c.mu.Unlock()
+		return nil, ErrShed
+	}
+	w := &waiter{weight: weight, ready: make(chan struct{})}
+	elem := c.queue.PushBack(w)
+	c.waited++
+	c.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return c.releaseFunc(weight), nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		select {
+		case <-w.ready:
+			// Admission raced the cancellation; the weight is already
+			// held, so hand it back rather than leak it.
+			c.releaseLocked(weight)
+			c.mu.Unlock()
+			return nil, ctx.Err()
+		default:
+		}
+		c.queue.Remove(elem)
+		c.canceled++
+		// Removing a waiter can unblock the ones behind it.
+		c.pumpLocked()
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// TryAcquire is Acquire without queueing: it either admits immediately
+// or returns false. Used on paths that prefer to degrade (e.g. skip an
+// optional prefetch) instead of waiting.
+func (c *Controller) TryAcquire(weight int64) (release func(), ok bool) {
+	if weight <= 0 {
+		weight = 1
+	}
+	if weight > c.capacity {
+		weight = c.capacity
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.queue.Len() > 0 || c.inflight+weight > c.capacity {
+		return nil, false
+	}
+	c.admit(weight)
+	return c.releaseFunc(weight), true
+}
+
+// admit records weight as held. Caller holds c.mu.
+func (c *Controller) admit(weight int64) {
+	c.inflight += weight
+	c.admitted++
+	if c.inflight > c.high {
+		c.high = c.inflight
+	}
+}
+
+// releaseFunc returns the idempotent release closure for one admitted
+// weight.
+func (c *Controller) releaseFunc(weight int64) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			c.mu.Lock()
+			c.releaseLocked(weight)
+			c.mu.Unlock()
+		})
+	}
+}
+
+// releaseLocked returns weight to the budget and admits queued waiters
+// that now fit. Caller holds c.mu.
+func (c *Controller) releaseLocked(weight int64) {
+	c.inflight -= weight
+	if c.inflight < 0 { // defensive; cannot happen with once-guarded releases
+		c.inflight = 0
+	}
+	c.pumpLocked()
+}
+
+// pumpLocked admits waiters from the queue head while they fit. Caller
+// holds c.mu.
+func (c *Controller) pumpLocked() {
+	for c.queue.Len() > 0 {
+		head := c.queue.Front()
+		w := head.Value.(*waiter)
+		if c.inflight+w.weight > c.capacity {
+			return
+		}
+		c.queue.Remove(head)
+		c.admit(w.weight)
+		close(w.ready)
+	}
+}
+
+// Stats returns a snapshot of the controller's gauges and counters.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		CapacityBytes:  c.capacity,
+		InFlightBytes:  c.inflight,
+		HighWaterBytes: c.high,
+		QueueDepth:     c.queue.Len(),
+		Admitted:       c.admitted,
+		Waited:         c.waited,
+		Shed:           c.shed,
+		Canceled:       c.canceled,
+	}
+}

@@ -1,0 +1,56 @@
+package resilience
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Jitter produces seeded, concurrency-safe schedule jitter. Routers use
+// it to de-synchronize retry backoff and health-probe ticks across
+// clients: without jitter, every client that saw a peer die retries on
+// the same 25ms→250ms ladder and probes on the same tick, so the
+// recovering peer takes a synchronized thundering herd exactly when it
+// is weakest.
+//
+// A zero seed derives one from the wall clock (the production default:
+// distinct processes must jitter differently); a fixed seed makes
+// schedules reproducible in tests and in the chaos harness.
+type Jitter struct {
+	mu  sync.Mutex
+	rnd *rand.Rand
+}
+
+// NewJitter returns a jitter source. seed == 0 picks a time-derived
+// seed.
+func NewJitter(seed int64) *Jitter {
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &Jitter{rnd: rand.New(rand.NewSource(seed))}
+}
+
+// Around returns a duration uniformly drawn from [d/2, 3d/2): full ±50%
+// spread, mean d. Suitable for retry backoff steps.
+func (j *Jitter) Around(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	j.mu.Lock()
+	f := 0.5 + j.rnd.Float64()
+	j.mu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// Interval returns a duration uniformly drawn from [0.85d, 1.15d):
+// ±15% spread, mean d. Suitable for periodic probe ticks, where the
+// average cadence should stay close to the configured interval.
+func (j *Jitter) Interval(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	j.mu.Lock()
+	f := 0.85 + 0.3*j.rnd.Float64()
+	j.mu.Unlock()
+	return time.Duration(float64(d) * f)
+}

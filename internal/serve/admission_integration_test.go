@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	crossfield "repro"
+)
+
+// With the admission controller saturated and no wait queue, a cold
+// decode must shed with 503 + Retry-After; once the budget frees it must
+// serve; and a hot cache hit must bypass admission even while the
+// controller stays saturated. White-box: the test occupies the controller
+// directly, which makes the sequencing deterministic where a request
+// storm would race the (fast) decodes.
+func TestAdmissionShedServeAndHotBypass(t *testing.T) {
+	data := make([]float32, 8*8*8)
+	for i := range data {
+		data[i] = float32(i % 17)
+	}
+	f := crossfield.MustNewField("a", data, 8, 8, 8)
+	comp, err := crossfield.CompressBaseline(f, crossfield.Rel(1e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{
+		DecodeBudgetBytes: 1,  // weights clamp to capacity: one cold decode at a time
+		AdmissionQueue:    -1, // no queue: not-now means shed
+	})
+	t.Cleanup(func() { s.Close() })
+	if err := s.Mount("a", comp.Blob); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	fetch := func() (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/archives/a/fields/a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, string(body)
+	}
+
+	// Saturate the controller: a cold request must shed, not wait.
+	release, err := s.admission.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := fetch()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated cold GET = %d, want 503: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed 503 carries no Retry-After")
+	}
+	st := s.AdmissionStats()
+	if st.Shed != 1 {
+		t.Fatalf("shed count = %d, want 1 (%+v)", st.Shed, st)
+	}
+
+	// Budget freed: the same request decodes and serves.
+	release()
+	resp, body = fetch()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-release GET = %d: %s", resp.StatusCode, body)
+	}
+
+	// Saturate again: the now-hot field must still serve — cache hits
+	// materialize nothing new and bypass admission entirely.
+	release, err = s.admission.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	resp, body = fetch()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("saturated hot GET = %d, want 200 (admission bypass): %s", resp.StatusCode, body)
+	}
+
+	if st := s.AdmissionStats(); st.HighWaterBytes > st.CapacityBytes {
+		t.Fatalf("high water %d exceeded capacity %d", st.HighWaterBytes, st.CapacityBytes)
+	}
+	mresp, merr := http.Get(ts.URL + "/metrics")
+	if merr != nil {
+		t.Fatal(merr)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		`cfserve_shed_total{reason="queue_full"} 1`,
+		`cfserve_admission_bypass_total 1`,
+	} {
+		if !strings.Contains(string(mbody), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, mbody)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"sync"
 )
@@ -12,6 +13,7 @@ type CacheStats struct {
 	Misses    int64 // entry was absent; this request ran the decode
 	Coalesced int64 // entry was in flight; this request waited on it
 	Evictions int64 // entries dropped to respect the byte budget
+	Abandoned int64 // in-flight computes canceled because every waiter left
 	Entries   int   // resident entries
 	Bytes     int64 // resident value bytes
 	Capacity  int64 // byte budget
@@ -27,25 +29,42 @@ func (s CacheStats) HitRatio() float64 {
 	return float64(s.Hits+s.Coalesced) / float64(total)
 }
 
-// cacheEntry is one cached value. Until ready is closed the entry is in
-// flight: it lives in the map (so followers coalesce onto it) but not in
-// the LRU list (so eviction never sees a half-built entry).
+// cacheEntry is one cached value. Until done is set (and ready closed)
+// the entry is in flight: it lives in the map (so followers coalesce
+// onto it) but not in the LRU list (so eviction never sees a half-built
+// entry). interested counts the leader plus every follower still
+// waiting; when it hits zero before the compute finishes, cancel fires
+// and the compute's context is canceled.
 type cacheEntry struct {
 	key   string
 	val   any
 	size  int64
 	err   error
 	ready chan struct{}
+	done  bool          // set under Cache.mu before ready is closed
 	elem  *list.Element // non-nil once resident in the LRU list
+
+	interested int
+	cancel     context.CancelFunc
 }
 
 // Cache is a size-bounded LRU keyed by string with singleflight request
-// coalescing: GetOrCompute runs the compute function at most once per key
-// at a time, and concurrent callers for the same key block on the single
-// in-flight computation instead of duplicating it. Failed computations
-// are not cached; every waiter receives the error and the next request
-// retries. Values larger than the whole budget are returned to callers
-// but not retained. The zero value is not usable; use NewCache.
+// coalescing: GetOrCompute runs the compute function at most once per
+// key at a time, and concurrent callers for the same key block on the
+// single in-flight computation instead of duplicating it.
+//
+// Cancellation is reference-counted: the compute closure receives a
+// context that is detached from any single caller's lifetime (its
+// values — trace spans — flow through, its cancellation does not) and
+// is canceled only when every interested caller has gone away. One
+// canceled leader therefore never poisons its coalesced followers; a
+// decode nobody is waiting for anymore stops at its next cancellation
+// check instead of burning CPU into a dead socket.
+//
+// Failed computations are not cached; every waiter receives the error
+// and the next request retries. Values larger than the whole budget are
+// returned to callers but not retained. The zero value is not usable;
+// use NewCache.
 type Cache struct {
 	mu       sync.Mutex
 	capacity int64
@@ -53,7 +72,7 @@ type Cache struct {
 	ll       *list.List // front = most recently used; holds *cacheEntry
 	items    map[string]*cacheEntry
 
-	hits, misses, coalesced, evictions int64
+	hits, misses, coalesced, evictions, abandoned int64
 }
 
 // NewCache returns a cache bounded to capacity bytes of values.
@@ -70,11 +89,21 @@ func NewCache(capacity int64) *Cache {
 // GetOrCompute returns the cached value for key, or runs compute to
 // produce it. compute returns the value and its retained size in bytes.
 // Concurrent calls for the same key share one compute invocation.
-func (c *Cache) GetOrCompute(key string, compute func() (any, int64, error)) (any, error) {
+//
+// The context passed to compute carries ctx's values but not its
+// cancellation: it is canceled only when every caller coalesced onto
+// this computation has abandoned it (canceled their own ctx). A
+// follower whose ctx is canceled returns ctx.Err() immediately without
+// waiting for the leader.
+//
+// One narrow race is accepted by design: a follower that joins in the
+// same instant the last previous waiter cancels may receive the
+// canceled compute's error. Errors are never cached, so its retry
+// recomputes cleanly.
+func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func(ctx context.Context) (any, int64, error)) (any, error) {
 	c.mu.Lock()
 	if e, ok := c.items[key]; ok {
-		select {
-		case <-e.ready:
+		if e.done {
 			// Resident: bump recency and serve.
 			c.hits++
 			if e.elem != nil {
@@ -82,22 +111,35 @@ func (c *Cache) GetOrCompute(key string, compute func() (any, int64, error)) (an
 			}
 			c.mu.Unlock()
 			return e.val, e.err
-		default:
-			// In flight: wait for the leader.
-			c.coalesced++
-			c.mu.Unlock()
-			<-e.ready
+		}
+		// In flight: register interest and wait for the leader.
+		e.interested++
+		c.coalesced++
+		c.mu.Unlock()
+		select {
+		case <-e.ready:
 			return e.val, e.err
+		case <-ctx.Done():
+			c.drop(e)
+			return nil, ctx.Err()
 		}
 	}
-	e := &cacheEntry{key: key, ready: make(chan struct{})}
+	// Leader: compute on a context detached from this caller's
+	// cancellation. WithoutCancel keeps ctx's values (trace spans, the
+	// cluster-internal marker) flowing into the decode path.
+	cctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	e := &cacheEntry{key: key, ready: make(chan struct{}), interested: 1, cancel: cancel}
 	c.items[key] = e
 	c.misses++
 	c.mu.Unlock()
+	// If the leader's own client goes away, it only drops its interest;
+	// the compute keeps running for any coalesced followers.
+	stop := context.AfterFunc(ctx, func() { c.drop(e) })
 
-	e.val, e.size, e.err = compute()
+	e.val, e.size, e.err = compute(cctx)
 
 	c.mu.Lock()
+	e.done = true
 	if e.err != nil || c.capacity <= 0 || e.size > c.capacity {
 		// Not retained: errors must be retried, oversized values would
 		// evict everything else for one resident entry.
@@ -119,7 +161,53 @@ func (c *Cache) GetOrCompute(key string, compute func() (any, int64, error)) (an
 	}
 	c.mu.Unlock()
 	close(e.ready)
+	stop()
+	cancel() // compute returned; release the context's resources
 	return e.val, e.err
+}
+
+// drop removes one waiter's interest in an in-flight entry, canceling
+// the compute when it was the last.
+func (c *Cache) drop(e *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e.done {
+		return
+	}
+	e.interested--
+	if e.interested <= 0 {
+		c.abandoned++
+		e.cancel()
+	}
+}
+
+// Peek returns the resident value for key without computing: a hit
+// bumps recency and the hit counter, a miss or in-flight entry returns
+// false. The admission controller uses it so hot cache hits bypass
+// admission entirely.
+func (c *Cache) Peek(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[key]
+	if !ok || !e.done {
+		return nil, false
+	}
+	c.hits++
+	if e.elem != nil {
+		c.ll.MoveToFront(e.elem)
+	}
+	return e.val, true
+}
+
+// Contains reports whether key is resident, without touching recency or
+// the counters. Admission-weight prediction probes anchor residency
+// with it; a prediction probe must not perturb the LRU or inflate the
+// hit ratio.
+func (c *Cache) Contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[key]
+	return ok && e.done
 }
 
 // Stats returns a snapshot of the cache counters.
@@ -131,6 +219,7 @@ func (c *Cache) Stats() CacheStats {
 		Misses:    c.misses,
 		Coalesced: c.coalesced,
 		Evictions: c.evictions,
+		Abandoned: c.abandoned,
 		Entries:   c.ll.Len(),
 		Bytes:     c.bytes,
 		Capacity:  c.capacity,

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -11,7 +12,7 @@ import (
 
 func mustGet(t *testing.T, c *Cache, key string, val any, size int64) any {
 	t.Helper()
-	v, err := c.GetOrCompute(key, func() (any, int64, error) { return val, size, nil })
+	v, err := c.GetOrCompute(context.Background(), key, func(_ context.Context) (any, int64, error) { return val, size, nil })
 	if err != nil {
 		t.Fatalf("GetOrCompute(%q): %v", key, err)
 	}
@@ -24,7 +25,7 @@ func TestCacheHitAndMiss(t *testing.T) {
 		t.Fatalf("got %v, want 1", v)
 	}
 	// Second lookup must not run compute.
-	v, err := c.GetOrCompute("a", func() (any, int64, error) {
+	v, err := c.GetOrCompute(context.Background(), "a", func(_ context.Context) (any, int64, error) {
 		t.Fatal("compute ran on a resident entry")
 		return nil, 0, nil
 	})
@@ -49,12 +50,12 @@ func TestCacheLRUEviction(t *testing.T) {
 	}
 	// a (recently used) survived; b (LRU) did not. Check a first: a
 	// reinsertion of b would itself evict the survivor.
-	c.GetOrCompute("a", func() (any, int64, error) {
+	c.GetOrCompute(context.Background(), "a", func(_ context.Context) (any, int64, error) {
 		t.Fatal("a was evicted; want b evicted (LRU)")
 		return nil, 0, nil
 	})
 	recomputed := false
-	c.GetOrCompute("b", func() (any, int64, error) { recomputed = true; return "b", 4, nil })
+	c.GetOrCompute(context.Background(), "b", func(_ context.Context) (any, int64, error) { recomputed = true; return "b", 4, nil })
 	if !recomputed {
 		t.Fatal("evicted entry still resident")
 	}
@@ -63,7 +64,7 @@ func TestCacheLRUEviction(t *testing.T) {
 func TestCacheErrorNotRetained(t *testing.T) {
 	c := NewCache(1 << 10)
 	boom := errors.New("boom")
-	if _, err := c.GetOrCompute("k", func() (any, int64, error) { return nil, 0, boom }); !errors.Is(err, boom) {
+	if _, err := c.GetOrCompute(context.Background(), "k", func(_ context.Context) (any, int64, error) { return nil, 0, boom }); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
 	}
 	// The failure must not be cached: the next call retries and succeeds.
@@ -84,7 +85,7 @@ func TestCacheOversizedValueNotRetained(t *testing.T) {
 	}
 	// Still served to the caller; next lookup recomputes.
 	ran := false
-	c.GetOrCompute("big", func() (any, int64, error) { ran = true; return "big", 100, nil })
+	c.GetOrCompute(context.Background(), "big", func(_ context.Context) (any, int64, error) { ran = true; return "big", 100, nil })
 	if !ran {
 		t.Fatal("oversized entry was cached")
 	}
@@ -101,7 +102,7 @@ func TestCacheZeroCapacityStillCoalesces(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], _ = c.GetOrCompute("k", func() (any, int64, error) {
+			results[i], _ = c.GetOrCompute(context.Background(), "k", func(_ context.Context) (any, int64, error) {
 				computes.Add(1)
 				<-release
 				return "v", 4, nil
@@ -125,6 +126,106 @@ func TestCacheZeroCapacityStillCoalesces(t *testing.T) {
 	}
 }
 
+// A canceled singleflight leader must not poison coalesced followers:
+// the compute runs on a context detached from any one caller, so it is
+// canceled only when *every* waiter has gone away.
+func TestLeaderCancelDoesNotPoisonFollowers(t *testing.T) {
+	c := NewCache(1 << 10)
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	release := make(chan struct{})
+	followerDone := make(chan struct{})
+	var followerV any
+	var followerErr error
+	go func() {
+		defer close(followerDone)
+		<-started
+		followerV, followerErr = c.GetOrCompute(context.Background(), "k", func(_ context.Context) (any, int64, error) {
+			t.Error("follower ran compute despite an in-flight leader")
+			return nil, 0, nil
+		})
+	}()
+	go func() {
+		<-started
+		// Give the follower a beat to join the in-flight entry, then
+		// abandon the leader. The follower's interest must keep the
+		// compute context alive.
+		time.Sleep(30 * time.Millisecond)
+		cancelLeader()
+		time.Sleep(10 * time.Millisecond)
+		close(release)
+	}()
+	v, err := c.GetOrCompute(leaderCtx, "k", func(cctx context.Context) (any, int64, error) {
+		close(started)
+		<-release
+		if cctx.Err() != nil {
+			return nil, 0, cctx.Err()
+		}
+		return "v", 4, nil
+	})
+	if err != nil || v != "v" {
+		t.Fatalf("leader got %v, %v (compute context canceled while a follower waited?)", v, err)
+	}
+	<-followerDone
+	if followerErr != nil || followerV != "v" {
+		t.Fatalf("follower got %v, %v", followerV, followerErr)
+	}
+}
+
+// When every waiter abandons an in-flight compute, its context is
+// canceled and the abandonment is counted.
+func TestAbandonedComputeContextCanceled(t *testing.T) {
+	c := NewCache(1 << 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	_, err := c.GetOrCompute(ctx, "k", func(cctx context.Context) (any, int64, error) {
+		select {
+		case <-cctx.Done():
+			return nil, 0, cctx.Err()
+		case <-time.After(5 * time.Second):
+			return nil, 0, errors.New("compute context never canceled")
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st := c.Stats(); st.Abandoned != 1 {
+		t.Fatalf("abandoned = %d, want 1 (%+v)", st.Abandoned, st)
+	}
+}
+
+// Peek returns only resident values (counting a hit and refreshing
+// recency); Contains observes without side effects.
+func TestPeekAndContains(t *testing.T) {
+	c := NewCache(10)
+	if _, ok := c.Peek("a"); ok {
+		t.Fatal("Peek hit on an empty cache")
+	}
+	if c.Contains("a") {
+		t.Fatal("Contains true on an empty cache")
+	}
+	mustGet(t, c, "a", 1, 4)
+	mustGet(t, c, "b", 2, 4)
+	if !c.Contains("a") || !c.Contains("b") {
+		t.Fatal("Contains false for resident entries")
+	}
+	if v, ok := c.Peek("a"); !ok || v != 1 {
+		t.Fatalf("Peek(a) = %v, %v", v, ok)
+	}
+	// The Peek refreshed a's recency: inserting c evicts b, not a.
+	mustGet(t, c, "c", 3, 4)
+	if !c.Contains("a") || c.Contains("b") {
+		t.Fatalf("eviction ignored Peek recency: a=%v b=%v", c.Contains("a"), c.Contains("b"))
+	}
+	st := c.Stats()
+	if st.Hits != 1 {
+		t.Fatalf("hits = %d, want 1 (Peek counts, Contains does not)", st.Hits)
+	}
+}
+
 func TestCacheConcurrentStress(t *testing.T) {
 	c := NewCache(256) // small enough to force constant eviction
 	var wg sync.WaitGroup
@@ -134,7 +235,7 @@ func TestCacheConcurrentStress(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				key := fmt.Sprintf("k%d", (g+i)%16)
-				v, err := c.GetOrCompute(key, func() (any, int64, error) { return key, 32, nil })
+				v, err := c.GetOrCompute(context.Background(), key, func(_ context.Context) (any, int64, error) { return key, 32, nil })
 				if err != nil || v != key {
 					t.Errorf("got %v, %v for %s", v, err, key)
 					return

@@ -46,8 +46,21 @@ type metricsState struct {
 	// gzipErrors counts gzip response bodies that failed mid-write
 	// (client gone, or a compressor error) — previously discarded.
 	gzipErrors *obs.Counter
-	traces     *obs.TracePool
-	ring       *obs.TraceRing
+	// Admission-control surface: gauges snapshotted from the controller
+	// at scrape time, plus the bypass/shed counters.
+	admissionInflight   *obs.Gauge
+	admissionCapacity   *obs.Gauge
+	admissionQueueDepth *obs.Gauge
+	admissionWaits      *obs.Gauge
+	admissionBypass     *obs.Counter
+	shedTotal           *obs.CounterVec // reason: queue_full | deadline
+	// corruptPayloads counts payloads quarantined by a CRC mismatch;
+	// repairHits/repairFailures are the outcomes of peer repair attempts.
+	corruptPayloads *obs.Counter
+	repairHits      *obs.Counter
+	repairFailures  *obs.Counter
+	traces          *obs.TracePool
+	ring            *obs.TraceRing
 
 	// reqHot caches resolved (route, code) histogram children behind an
 	// array-valued key, so steady-state requests skip the label-join the
@@ -83,6 +96,24 @@ func (m *metricsState) init(traceSpans, traceRing int, accessLog io.Writer) {
 	m.remoteMisses = rf.With("miss")
 	m.gzipErrors = m.reg.Counter("cfserve_gzip_write_errors_total",
 		"gzip response bodies that failed mid-write (client disconnect or compressor error).")
+	m.admissionInflight = m.reg.Gauge("cfserve_admission_inflight_bytes",
+		"Predicted decode output bytes currently admitted (never exceeds the budget).")
+	m.admissionCapacity = m.reg.Gauge("cfserve_admission_capacity_bytes",
+		"Configured decode budget (-decode-budget-mb).")
+	m.admissionQueueDepth = m.reg.Gauge("cfserve_admission_queue_depth",
+		"Cold requests waiting for decode budget.")
+	m.admissionWaits = m.reg.Gauge("cfserve_admission_waits",
+		"Cumulative requests that queued for decode budget before admission.")
+	m.admissionBypass = m.reg.Counter("cfserve_admission_bypass_total",
+		"Hot cache hits served without consulting the admission controller.")
+	m.shedTotal = m.reg.CounterVec("cfserve_shed_total",
+		"Requests shed with 503 + Retry-After, by reason.", "reason")
+	m.corruptPayloads = m.reg.Counter("cfserve_corrupt_payload_total",
+		"Payloads quarantined after a CRC mismatch (served as 502 until remounted).")
+	repairs := m.reg.CounterVec("cfserve_repair_total",
+		"Peer repair attempts for quarantined payloads, by outcome.", "outcome")
+	m.repairHits = repairs.With("hit")
+	m.repairFailures = repairs.With("miss")
 	m.traces = obs.NewTracePool(traceSpans)
 	if traceRing >= 0 {
 		m.ring = obs.NewTraceRing(traceRing)
@@ -128,6 +159,10 @@ func statusLabel(code int) string {
 		return "422"
 	case http.StatusInternalServerError:
 		return "500"
+	case http.StatusBadGateway:
+		return "502"
+	case http.StatusServiceUnavailable:
+		return "503"
 	}
 	return strconv.Itoa(code)
 }
@@ -283,6 +318,19 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 			// A cluster-internal fetch: this node must decode locally, never
 			// hop to another peer (bounds every request at one hop).
 			ctx = suppressRemote(ctx)
+		}
+		if s.requestTimeout > 0 {
+			// End-to-end deadline: the context reaches queued admission
+			// waits and cancellation-checked decodes; the connection write
+			// deadline is what unsticks a handler mid-body when the client
+			// stops reading (a hung write fails, the handler returns, and
+			// its deferred admission release runs). Listeners that cannot
+			// set deadlines (httptest recorders) just skip that half.
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.requestTimeout)
+			defer cancel()
+			rc := http.NewResponseController(w)
+			_ = rc.SetWriteDeadline(time.Now().Add(s.requestTimeout))
 		}
 		r2 := r.WithContext(ctx)
 		next.ServeHTTP(rec, r2)

@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/quant"
+	"repro/internal/resilience"
 )
 
 // Config sizes the shared decode caches. Each cached entry holds the
@@ -51,12 +52,33 @@ type Config struct {
 	// request (trace id, route, status, bytes, duration). Writes are
 	// serialized; pass os.Stderr or a log file directly.
 	AccessLog io.Writer
+	// DecodeBudgetBytes bounds the predicted decode output bytes in
+	// flight at once: cold field/chunk requests acquire their predicted
+	// weight from the admission controller before decoding, wait in a
+	// bounded FIFO queue when the budget is spent, and are shed with
+	// 503 + Retry-After when the queue is also full. Hot cache hits
+	// bypass admission entirely. 0 selects 512 MiB; negative disables
+	// admission control.
+	DecodeBudgetBytes int64
+	// AdmissionQueue bounds how many cold requests may wait for decode
+	// budget before newcomers are shed; 0 selects 64, negative selects
+	// no queue at all (anything that cannot be admitted immediately is
+	// shed — useful in tests and latency-critical deployments).
+	AdmissionQueue int
+	// RequestTimeout, when positive, caps each request end to end: the
+	// request context (which cancellation-checked decodes and queued
+	// admission waits observe) expires, and the connection's write
+	// deadline is set so a stalled client cannot pin response bytes —
+	// and the admission weight they account for — forever.
+	RequestTimeout time.Duration
 }
 
 const (
 	defaultFieldCacheBytes   = 256 << 20
 	defaultChunkCacheBytes   = 64 << 20
 	defaultPayloadCacheBytes = 128 << 20
+	defaultDecodeBudgetBytes = 512 << 20
+	defaultAdmissionQueue    = 64
 )
 
 // Server mounts compressed containers — CFC3 dataset archives or bare
@@ -83,6 +105,20 @@ type Server struct {
 	payloads *Cache
 	metrics  metricsState
 
+	// admission bounds predicted decode bytes in flight (nil when
+	// disabled); requestTimeout is the per-request end-to-end deadline
+	// (0 when disabled).
+	admission      *resilience.Controller
+	requestTimeout time.Duration
+
+	// quarantined marks payload cache keys whose stored bytes failed
+	// their CRC: map[pkey]struct{}. A quarantined payload fails fast
+	// with a distinct 502 instead of re-reading and re-hashing the same
+	// corrupt bytes on every request; chunk requests may still be
+	// repaired from a cluster peer (decoded bytes travel, the local
+	// payload stays bad until remounted).
+	quarantined sync.Map
+
 	// ready gates GET /readyz: liveness (/healthz) answers as soon as the
 	// process serves HTTP, readiness flips false while mounts are still
 	// being registered (cfserve mounts in the background so multi-GB mmap
@@ -107,6 +143,16 @@ type Server struct {
 // each other forever.
 type RemoteChunks interface {
 	FetchChunk(ctx context.Context, key, archive, field string, chunk, size int) ([]byte, bool)
+}
+
+// RemoteRepair is optionally implemented by RemoteChunks installations
+// that can refetch a chunk from any ring replica (not just when the key
+// is remote-owned): after a local payload fails its CRC, the server
+// attempts a one-shot RepairChunk so reads keep flowing from healthy
+// copies while the operator remounts the damaged archive. Same contract
+// as FetchChunk; implementations must skip the calling node itself.
+type RemoteRepair interface {
+	RepairChunk(ctx context.Context, key, archive, field string, chunk, size int) ([]byte, bool)
 }
 
 // SetRemote installs the cluster peer-fetch hook. Call it after New and
@@ -167,6 +213,12 @@ type fieldView struct {
 	key string
 }
 
+// ErrCorruptPayload marks a payload quarantined by a CRC mismatch. It
+// maps to a distinct 502: the stored bytes are damaged, which is not
+// the client's fault (4xx) and not a transient server overload (503) —
+// the mount is acting as a bad gateway to the archive's true content.
+var ErrCorruptPayload = errors.New("serve: payload quarantined (checksum mismatch)")
+
 // New returns a Server with the given cache budgets and no mounts.
 func New(cfg Config) *Server {
 	if cfg.FieldCacheBytes == 0 {
@@ -178,15 +230,37 @@ func New(cfg Config) *Server {
 	if cfg.PayloadCacheBytes == 0 {
 		cfg.PayloadCacheBytes = defaultPayloadCacheBytes
 	}
+	if cfg.DecodeBudgetBytes == 0 {
+		cfg.DecodeBudgetBytes = defaultDecodeBudgetBytes
+	}
+	if cfg.AdmissionQueue == 0 {
+		cfg.AdmissionQueue = defaultAdmissionQueue
+	} else if cfg.AdmissionQueue < 0 {
+		cfg.AdmissionQueue = 0
+	}
 	s := &Server{
-		mounts:   make(map[string]*mount),
-		fields:   NewCache(cfg.FieldCacheBytes),
-		chunks:   NewCache(cfg.ChunkCacheBytes),
-		payloads: NewCache(cfg.PayloadCacheBytes),
+		mounts:         make(map[string]*mount),
+		fields:         NewCache(cfg.FieldCacheBytes),
+		chunks:         NewCache(cfg.ChunkCacheBytes),
+		payloads:       NewCache(cfg.PayloadCacheBytes),
+		requestTimeout: cfg.RequestTimeout,
+	}
+	if cfg.DecodeBudgetBytes > 0 {
+		s.admission = resilience.NewController(cfg.DecodeBudgetBytes, cfg.AdmissionQueue)
 	}
 	s.metrics.init(cfg.TraceSpans, cfg.TraceRing, cfg.AccessLog)
 	s.ready.Store(true)
 	return s
+}
+
+// AdmissionStats snapshots the decode admission controller (zero when
+// admission is disabled). The chaos suite asserts HighWaterBytes never
+// exceeds CapacityBytes under a request storm.
+func (s *Server) AdmissionStats() resilience.Stats {
+	if s.admission == nil {
+		return resilience.Stats{}
+	}
+	return s.admission.Stats()
 }
 
 // Mount registers an in-memory blob under name. CFC3 archives expose
@@ -552,13 +626,23 @@ func (v *fieldVal) size() int64 { return int64(4*v.f.Len() + len(v.raw)) }
 // read, so hot chunk requests never touch the backing file. The
 // payload_read stage is recorded inside the compute closure, so only the
 // singleflight leader that actually touches the backing observes it.
+//
+// A CRC mismatch quarantines the payload: the error is not cached by the
+// LRU (errors never are), so without the quarantine mark every request
+// would re-read and re-hash the same corrupt bytes forever. Quarantined
+// payloads fail fast with ErrCorruptPayload until the mount is replaced
+// (remounting installs fresh fieldViews, whose reads re-verify).
 func (s *Server) payloadBytes(ctx context.Context, m *mount, i int) ([]byte, error) {
 	fv := &m.fieldList[i]
 	if m.blobPayload != nil {
 		return m.blobPayload, nil
 	}
-	v, err := s.payloads.GetOrCompute(fv.key+"/payload", func() (any, int64, error) {
-		_, end := s.metrics.stage(ctx, "payload_read", s.metrics.stages.payloadRead)
+	pkey := fv.key + "/payload"
+	if _, bad := s.quarantined.Load(pkey); bad {
+		return nil, fmt.Errorf("%w: mount %q field %q", ErrCorruptPayload, m.name, fv.info.Name)
+	}
+	v, err := s.payloads.GetOrCompute(ctx, pkey, func(cctx context.Context) (any, int64, error) {
+		_, end := s.metrics.stage(cctx, "payload_read", s.metrics.stages.payloadRead)
 		defer end()
 		var (
 			p   []byte
@@ -568,10 +652,14 @@ func (s *Server) payloadBytes(ctx context.Context, m *mount, i int) ([]byte, err
 			p, err = m.ar.FieldPayload(fv.info.Name)
 		} else {
 			if p, err = readAllAt(m.src, m.size); err == nil && crc32.ChecksumIEEE(p) != fv.info.Checksum {
-				err = fmt.Errorf("serve: mount %q payload checksum mismatch", m.name)
+				err = fmt.Errorf("serve: mount %q payload: %w", m.name, crossfield.ErrChecksum)
 			}
 		}
 		if err != nil {
+			if errors.Is(err, crossfield.ErrChecksum) {
+				s.quarantinePayload(pkey)
+				err = fmt.Errorf("%w: mount %q field %q: %v", ErrCorruptPayload, m.name, fv.info.Name, err)
+			}
 			return nil, 0, err
 		}
 		return p, int64(len(p)), nil
@@ -580,6 +668,14 @@ func (s *Server) payloadBytes(ctx context.Context, m *mount, i int) ([]byte, err
 		return nil, err
 	}
 	return v.([]byte), nil
+}
+
+// quarantinePayload marks one payload key corrupt, counting each
+// distinct payload once.
+func (s *Server) quarantinePayload(pkey string) {
+	if _, loaded := s.quarantined.LoadOrStore(pkey, struct{}{}); !loaded {
+		s.metrics.corruptPayloads.Inc()
+	}
 }
 
 // fieldData returns field i of m decoded, through the shared LRU with
@@ -594,13 +690,22 @@ func (s *Server) fieldData(ctx context.Context, m *mount, i int) (*fieldVal, err
 	tr, parent := obs.FromContext(ctx)
 	lid := tr.Start(parent, "cache_lookup")
 	lstart := time.Now()
-	v, err := s.fields.GetOrCompute(fv.key, func() (any, int64, error) {
-		cctx := obs.ContextWithSpan(ctx, tr, lid)
+	v, err := s.fields.GetOrCompute(ctx, fv.key, func(dctx context.Context) (any, int64, error) {
+		// dctx is detached from any one caller: it carries the leader's
+		// trace values but is canceled only when every coalesced waiter
+		// has abandoned the computation.
+		cctx := obs.ContextWithSpan(dctx, tr, lid)
 		var anchors []*crossfield.Field
 		if len(fv.deps) > 0 {
 			actx, endAnchors := s.metrics.stage(cctx, "anchor_decode", s.metrics.stages.anchorDecode)
 			anchors = make([]*crossfield.Field, len(fv.deps))
 			for k, d := range fv.deps {
+				// Anchor recursion is the long pole of a cold dependent
+				// decode; stop between anchors once nobody is waiting.
+				if err := cctx.Err(); err != nil {
+					endAnchors()
+					return nil, 0, err
+				}
 				af, err := s.fieldData(actx, m, d)
 				if err != nil {
 					endAnchors()
@@ -620,6 +725,12 @@ func (s *Server) fieldData(ctx context.Context, m *mount, i int) (*fieldVal, err
 			f, err = m.ar.DecodeField(fv.info.Name, anchors)
 			s.metrics.observeDecode(time.Since(start))
 			endDecode()
+			if err != nil && errors.Is(err, crossfield.ErrChecksum) {
+				// The archive read path verifies payload CRCs internally;
+				// quarantine here too so later chunk requests fail fast.
+				s.quarantinePayload(fv.key + "/payload")
+				err = fmt.Errorf("%w: mount %q field %q: %v", ErrCorruptPayload, m.name, fv.info.Name, err)
+			}
 		} else {
 			payload, perr := s.payloadBytes(cctx, m, i)
 			if perr != nil {
@@ -662,19 +773,21 @@ func (s *Server) chunkData(ctx context.Context, m *mount, i, ci int) (*chunkVal,
 	tr, parent := obs.FromContext(ctx)
 	lid := tr.Start(parent, "cache_lookup")
 	lstart := time.Now()
-	v, err := s.chunks.GetOrCompute(key, func() (any, int64, error) {
+	v, err := s.chunks.GetOrCompute(ctx, key, func(dctx context.Context) (any, int64, error) {
 		// Deriving a child context allocates, but only here on the cold
 		// path; cache hits never reach this closure. Recording stages
 		// inside it also makes them leader-only — coalesced waiters get
-		// the value without double-counting decode time.
-		cctx := obs.ContextWithSpan(ctx, tr, lid)
+		// the value without double-counting decode time. dctx carries
+		// the leader's trace values but is canceled only when every
+		// coalesced waiter has abandoned the computation.
+		cctx := obs.ContextWithSpan(dctx, tr, lid)
 		c := fv.chunks[ci]
 		// Cluster peer fetch: if another node owns this content key, its
 		// cache already holds (or will decode once) these bytes — fetching
 		// them is what makes the cluster-wide dedupe real. Runs inside the
 		// singleflight closure, so concurrent local requests coalesce onto
 		// one fetch; any failure falls through to the local decode.
-		if rc := s.remote; rc != nil && !remoteSuppressed(ctx) {
+		if rc := s.remote; rc != nil && !remoteSuppressed(cctx) {
 			_, endFetch := s.metrics.stage(cctx, "remote_fetch", s.metrics.stages.remoteFetch)
 			raw, ok := rc.FetchChunk(cctx, key, m.name, fv.info.Name, ci, c.Voxels*4)
 			endFetch()
@@ -691,6 +804,12 @@ func (s *Server) chunkData(ctx context.Context, m *mount, i, ci int) (*chunkVal,
 			actx, endAnchors := s.metrics.stage(cctx, "anchor_decode", s.metrics.stages.anchorDecode)
 			slabs = make([]*crossfield.Field, len(fv.deps))
 			for k, d := range fv.deps {
+				// Anchor recursion: stop between anchor decodes once every
+				// waiter has gone away.
+				if err := cctx.Err(); err != nil {
+					endAnchors()
+					return nil, 0, err
+				}
 				af, err := s.anchorSlab(actx, m, d, c.Start, c.Slabs)
 				if err != nil {
 					endAnchors()
@@ -702,11 +821,18 @@ func (s *Server) chunkData(ctx context.Context, m *mount, i, ci int) (*chunkVal,
 		}
 		payload, err := s.payloadBytes(cctx, m, i)
 		if err != nil {
+			if errors.Is(err, ErrCorruptPayload) {
+				// One-shot peer repair: the local payload is damaged, but a
+				// ring replica may hold (or can decode) these chunk bytes.
+				if val, ok := s.repairChunk(cctx, key, m, fv, ci, c); ok {
+					return val, val.size(), nil
+				}
+			}
 			return nil, 0, err
 		}
 		_, endDecode := s.metrics.stage(cctx, "chunk_decode", s.metrics.stages.chunkDecode)
 		start := time.Now()
-		f, slab, err := crossfield.DecompressChunkSlab(fv.info.Name, payload, ci, slabs)
+		f, slab, err := crossfield.DecompressChunkSlabCtx(cctx, fv.info.Name, payload, ci, slabs)
 		s.metrics.observeDecode(time.Since(start))
 		endDecode()
 		if err != nil {
@@ -743,6 +869,34 @@ func chunkValFromRaw(fv *fieldView, c core.ChunkInfo, raw []byte) (*chunkVal, er
 	return &chunkVal{fieldVal: fieldVal{f: f, raw: raw}, start: c.Start}, nil
 }
 
+// repairChunk attempts the one-shot corruption repair: after a local
+// payload fails its CRC, decoded chunk bytes are refetched from a ring
+// replica (never this node). At most one attempt per request — the
+// AnchorClient's cooldown bounds traffic at dead peers — and the result
+// is cached like any decode, so a repaired hot chunk costs one fetch.
+// Cluster-internal requests never repair: the fetching peer handles its
+// own failover, and a second hop would break the one-hop bound.
+func (s *Server) repairChunk(ctx context.Context, key string, m *mount, fv *fieldView, ci int, c core.ChunkInfo) (*chunkVal, bool) {
+	rr, ok := s.remote.(RemoteRepair)
+	if !ok || remoteSuppressed(ctx) {
+		return nil, false
+	}
+	_, endFetch := s.metrics.stage(ctx, "remote_fetch", s.metrics.stages.remoteFetch)
+	raw, ok := rr.RepairChunk(ctx, key, m.name, fv.info.Name, ci, c.Voxels*4)
+	endFetch()
+	if !ok {
+		s.metrics.repairFailures.Inc()
+		return nil, false
+	}
+	val, err := chunkValFromRaw(fv, c, raw)
+	if err != nil {
+		s.metrics.repairFailures.Inc()
+		return nil, false
+	}
+	s.metrics.repairHits.Inc()
+	return val, true
+}
+
 // anchorSlab returns field d's reconstruction covering slabs
 // [start, start+count) along axis 0, decoding only the chunks of d that
 // intersect the range. Each needed chunk comes from the chunk LRU —
@@ -775,6 +929,11 @@ func (s *Server) anchorSlab(ctx context.Context, m *mount, d int, start, count i
 		if c.Start+c.Slabs <= start || c.Start >= start+count {
 			continue
 		}
+		// Multi-chunk anchor assembly: check between chunk decodes so an
+		// abandoned request stops mid-slab instead of decoding the rest.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cv, err := s.chunkData(ctx, m, d, ci)
 		if err != nil {
 			return nil, err
@@ -787,6 +946,91 @@ func (s *Server) anchorSlab(ctx context.Context, m *mount, d int, start, count i
 	slabDims := append([]int(nil), dims...)
 	slabDims[0] = count
 	return crossfield.NewField(fv.info.Name, out, slabDims...)
+}
+
+// admissionWeight constants: a cached decode costs ~8 bytes per voxel
+// (4 for the float32 values, 4 for the pre-serialized body).
+const bytesPerVoxel = 8
+
+// predictFieldBytes estimates the decode output a cold field request
+// will materialize: the field itself plus every transitive anchor field
+// that is not already resident. This is the manifest-dims cost
+// prediction the admission controller is sized in — no payload bytes
+// are read to compute it.
+func (s *Server) predictFieldBytes(m *mount, i int) int64 {
+	fv := &m.fieldList[i]
+	points := 1
+	for _, d := range fv.info.Dims {
+		points *= d
+	}
+	w := int64(bytesPerVoxel) * int64(points)
+	for _, d := range fv.deps {
+		if s.fields.Contains(m.fieldList[d].key) {
+			continue
+		}
+		w += s.predictFieldBytes(m, d)
+	}
+	return w
+}
+
+// predictChunkBytes estimates a cold chunk request's decode output: the
+// chunk plus the non-resident anchor chunks intersecting its slab
+// range, transitively.
+func (s *Server) predictChunkBytes(m *mount, i, ci int) int64 {
+	fv := &m.fieldList[i]
+	c := fv.chunks[ci]
+	w := int64(bytesPerVoxel) * int64(c.Voxels)
+	for _, d := range fv.deps {
+		w += s.predictSlabBytes(m, d, c.Start, c.Slabs)
+	}
+	return w
+}
+
+// predictSlabBytes estimates the cost of materializing field d's chunks
+// intersecting [start, start+count), skipping resident ones. Residency
+// probes use Contains, which leaves the LRU order and hit counters
+// untouched.
+func (s *Server) predictSlabBytes(m *mount, d, start, count int) int64 {
+	fv := &m.fieldList[d]
+	var w int64
+	for ci, c := range fv.chunks {
+		if c.Start+c.Slabs <= start || c.Start >= start+count {
+			continue
+		}
+		if s.chunks.Contains(fv.key + "#" + strconv.Itoa(ci)) {
+			continue
+		}
+		w += int64(bytesPerVoxel) * int64(c.Voxels)
+		for _, dd := range fv.deps {
+			w += s.predictSlabBytes(m, dd, c.Start, c.Slabs)
+		}
+	}
+	return w
+}
+
+// admit acquires weight bytes of decode budget for a cold request,
+// waiting in the FIFO queue if needed. On failure it writes the shed
+// response — 503 with Retry-After, the contract load balancers and the
+// cluster router understand — and returns false. The returned release
+// must be deferred for the handler's remaining lifetime: the weight
+// models decoded bytes pinned by the response, so it is held until the
+// body write finishes (or the client goes away and the write fails).
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, weight int64) (func(), bool) {
+	if s.admission == nil {
+		return func() {}, true
+	}
+	release, err := s.admission.Acquire(r.Context(), weight)
+	if err != nil {
+		reason := "queue_full"
+		if !errors.Is(err, resilience.ErrShed) {
+			reason = "deadline"
+		}
+		s.metrics.shedTotal.With(reason).Inc()
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "decode admission: %v", err)
+		return nil, false
+	}
+	return release, true
 }
 
 // Handler returns the HTTP handler for the whole route surface:
@@ -993,12 +1237,44 @@ func (s *Server) handleField(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "unknown archive %q or field %q", r.PathValue("a"), r.PathValue("f"))
 		return
 	}
+	fv := &m.fieldList[i]
+	// Hot cache hits bypass admission: they materialize nothing new, so
+	// shedding or queueing them would only turn graceful degradation
+	// into an outage for the traffic the cache exists to make cheap.
+	if v, ok := s.fields.Peek(fv.key); ok {
+		s.metrics.admissionBypass.Inc()
+		s.observeBypassLookup(r.Context())
+		s.writeField(w, r, fv, v.(*fieldVal))
+		return
+	}
+	release, ok := s.admit(w, r, s.predictFieldBytes(m, i))
+	if !ok {
+		return
+	}
+	defer release()
 	v, err := s.fieldData(r.Context(), m, i)
 	if err != nil {
 		decodeError(w, err)
 		return
 	}
-	fv := &m.fieldList[i]
+	s.writeField(w, r, fv, v)
+}
+
+// observeBypassLookup records the cache_lookup span and stage sample for
+// a Peek hit on the admission-bypass fast path, so warm requests keep the
+// same trace shape whether they went through admission or around it. Only
+// hits record: a Peek miss falls through to fieldData/chunkData, which
+// records its own lookup — a miss span here would double-count cold loads.
+func (s *Server) observeBypassLookup(ctx context.Context) {
+	tr, parent := obs.FromContext(ctx)
+	start := time.Now()
+	lid := tr.Start(parent, "cache_lookup")
+	tr.End(lid)
+	s.metrics.stages.cacheLookup.Observe(time.Since(start).Seconds())
+}
+
+// writeField writes a decoded field response (headers + body).
+func (s *Server) writeField(w http.ResponseWriter, r *http.Request, fv *fieldView, v *fieldVal) {
 	h := w.Header()
 	h.Set("X-CFC-Dims", dimsString(v.f.Dims()))
 	h.Set("X-CFC-Abs-EB", formatFloat(fv.info.AbsEB))
@@ -1025,11 +1301,28 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "chunk %d out of [0,%d)", ci, len(fv.chunks))
 		return
 	}
+	// Hot chunk hits bypass admission, exactly like hot fields.
+	if v, ok := s.chunks.Peek(fv.key + "#" + strconv.Itoa(ci)); ok {
+		s.metrics.admissionBypass.Inc()
+		s.observeBypassLookup(r.Context())
+		s.writeChunk(w, r, fv, ci, v.(*chunkVal))
+		return
+	}
+	release, ok := s.admit(w, r, s.predictChunkBytes(m, i, ci))
+	if !ok {
+		return
+	}
+	defer release()
 	cv, err := s.chunkData(r.Context(), m, i, ci)
 	if err != nil {
 		decodeError(w, err)
 		return
 	}
+	s.writeChunk(w, r, fv, ci, cv)
+}
+
+// writeChunk writes a decoded chunk response (headers + body).
+func (s *Server) writeChunk(w http.ResponseWriter, r *http.Request, fv *fieldView, ci int, cv *chunkVal) {
 	h := w.Header()
 	h.Set("X-CFC-Dims", dimsString(cv.f.Dims()))
 	h.Set("X-CFC-Chunk-Start", strconv.Itoa(cv.start))
@@ -1042,6 +1335,15 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	// Admission gauges are snapshotted at scrape time: the controller is
+	// the source of truth, the registry only renders it.
+	if s.admission != nil {
+		st := s.admission.Stats()
+		s.metrics.admissionInflight.Set(st.InFlightBytes)
+		s.metrics.admissionCapacity.Set(st.CapacityBytes)
+		s.metrics.admissionQueueDepth.Set(int64(st.QueueDepth))
+		s.metrics.admissionWaits.Set(st.Waited)
+	}
 	s.metrics.write(w, s.fields.Stats(), s.chunks.Stats(), s.payloads.Stats())
 }
 
@@ -1233,12 +1535,22 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	json.NewEncoder(w).Encode(errorJSON{Error: fmt.Sprintf(format, args...)})
 }
 
-// decodeError maps decode failures: blobs whose anchors live outside the
-// server are unprocessable rather than server faults.
+// decodeError maps decode failures: blobs whose anchors live outside
+// the server are unprocessable rather than server faults; quarantined
+// (CRC-mismatched) payloads are a distinct 502 — the mount is a bad
+// gateway to the archive's true bytes, not an overloaded server; a
+// request whose deadline or client expired mid-decode answers 503 with
+// Retry-After (the bytes are fine, the attempt simply ran out of time).
 func decodeError(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
-	if errors.Is(err, core.ErrNeedAnchors) {
+	switch {
+	case errors.Is(err, core.ErrNeedAnchors):
 		code = http.StatusUnprocessableEntity
+	case errors.Is(err, ErrCorruptPayload) || errors.Is(err, crossfield.ErrChecksum):
+		code = http.StatusBadGateway
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
 	}
 	httpError(w, code, "%v", err)
 }
