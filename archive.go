@@ -115,6 +115,11 @@ func CompressDatasetTo(w io.Writer, specs []FieldSpec, bound ErrorBound, opts ..
 	}
 
 	aw := archive.NewWriter(w)
+	if cfg.progressive != nil {
+		if err := aw.SetLayered(); err != nil {
+			return nil, fmt.Errorf("crossfield: CompressDataset: %w", err)
+		}
+	}
 	recon := make(map[string]*tensor.Tensor, len(depended))
 	stats := make(map[string]Stats, len(specs))
 	// One inference arena serves every dependent in the dataset: fields
@@ -154,7 +159,7 @@ func CompressDatasetTo(w io.Writer, specs []FieldSpec, bound ErrorBound, opts ..
 			if s.Codec == nil {
 				if cfg.chunked {
 					cst, err := core.CompressChunkedTo(pw, s.Field.t, nil, nil, core.ChunkedOptions{
-						Options:     core.Options{Bound: b, Stages: fieldStages, Blocks: cfg.blockSpec()},
+						Options:     core.Options{Bound: b, Stages: fieldStages, Blocks: cfg.blockSpec(), Progressive: cfg.progSpec()},
 						ChunkVoxels: cfg.chunkVoxels,
 						Workers:     cfg.workers,
 					})
@@ -163,7 +168,7 @@ func CompressDatasetTo(w io.Writer, specs []FieldSpec, bound ErrorBound, opts ..
 					}
 					st = *cst
 				} else {
-					res, err := core.CompressBaseline(s.Field.t, core.Options{Bound: b, Stages: fieldStages, Blocks: cfg.blockSpec()})
+					res, err := core.CompressBaseline(s.Field.t, core.Options{Bound: b, Stages: fieldStages, Blocks: cfg.blockSpec(), Progressive: cfg.progSpec()})
 					if err != nil {
 						return err
 					}
@@ -181,7 +186,7 @@ func CompressDatasetTo(w io.Writer, specs []FieldSpec, bound ErrorBound, opts ..
 					}
 					anchors[k] = t
 				}
-				o := core.Options{Bound: b, AnchorNames: s.Codec.names, Arena: arena, Stages: fieldStages, Blocks: cfg.blockSpec()}
+				o := core.Options{Bound: b, AnchorNames: s.Codec.names, Arena: arena, Stages: fieldStages, Blocks: cfg.blockSpec(), Progressive: cfg.progSpec()}
 				if cfg.chunked {
 					cst, err := core.CompressChunkedTo(pw, s.Field.t, s.Codec.model, anchors, core.ChunkedOptions{
 						Options:     o,
@@ -433,6 +438,63 @@ func (a *Archive) DecodeField(name string, anchors []*Field) (*Field, error) {
 		return nil, fmt.Errorf("crossfield: field %q payload dims %v, manifest says %v", name, t.Shape(), e.Dims)
 	}
 	return &Field{Name: e.Name, t: t}, nil
+}
+
+// FieldLevels reports the named field's progressive layering by parsing
+// only its payload header and layer table — no payload data is read.
+// Non-progressive fields report a single level.
+func (a *Archive) FieldLevels(name string) (*LevelSpec, error) {
+	i, ok := a.arc.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("crossfield: archive has no field %q (have %v)", name, a.Fields())
+	}
+	sec, err := a.arc.PayloadSection(i)
+	if err != nil {
+		return nil, err
+	}
+	return core.PayloadLevelSpecReader(sec, sec.Size())
+}
+
+// DecodeFieldAtLevel decompresses the named field at a progressive level
+// (0 = coarsest preview, LevelFull = bit-exact), reading only the payload
+// prefix that level needs out of the archive — for a file-backed mount,
+// the bytes of deeper refinement layers are never touched. Integrity of
+// the consumed prefix comes from the per-layer CRCs rather than the
+// manifest's whole-payload checksum. Anchors are materialized (at full
+// fidelity, as compression saw them) and cached exactly as Field does.
+// The achieved max error the compressor recorded for the level is
+// returned alongside (NaN for non-progressive fields, which accept only
+// level 0).
+func (a *Archive) DecodeFieldAtLevel(name string, level int) (*Field, float64, error) {
+	i, ok := a.arc.Lookup(name)
+	if !ok {
+		return nil, 0, fmt.Errorf("crossfield: archive has no field %q (have %v)", name, a.Fields())
+	}
+	e := a.arc.Entries[i]
+	anchors := make([]*tensor.Tensor, len(e.Deps))
+	for k, dep := range e.Deps {
+		j, ok := a.arc.Lookup(dep)
+		if !ok {
+			return nil, 0, fmt.Errorf("crossfield: field %q anchor %q missing from manifest", name, dep)
+		}
+		af, err := a.materialize(j)
+		if err != nil {
+			return nil, 0, fmt.Errorf("crossfield: field %q anchor: %w", name, err)
+		}
+		anchors[k] = af.t
+	}
+	sec, err := a.arc.PayloadSection(i)
+	if err != nil {
+		return nil, 0, err
+	}
+	t, achieved, err := core.DecompressAtLevelReader(sec, sec.Size(), anchors, level, 0)
+	if err != nil {
+		return nil, 0, fmt.Errorf("crossfield: field %q: %w", name, err)
+	}
+	if !slices.Equal(t.Shape(), e.Dims) {
+		return nil, 0, fmt.Errorf("crossfield: field %q payload dims %v, manifest says %v", name, t.Shape(), e.Dims)
+	}
+	return &Field{Name: e.Name, t: t}, achieved, nil
 }
 
 // Field decompresses the named field. Anchors are materialized first, in

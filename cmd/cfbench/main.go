@@ -23,12 +23,15 @@
 //	                             # sheds, 2xx byte-identity under faults,
 //	                             # corruption + peer repair, writes
 //	                             # BENCH_chaos.json
+//	cfbench -exp progressive     # layered-payload preview bytes vs full
+//	                             # and per-level serve latency, writes
+//	                             # BENCH_progressive.json
 //	cfbench -cpuprofile cpu.out  # pprof profiles of the selected
 //	cfbench -memprofile mem.out  # experiments, for perf work
 //
 // Experiments: tab1 tab2 tab3 fig1 fig5 fig6 fig8 fig9 ablation anchorsel
-// throughput chunked archive serve inference cluster chaos (fig7 is
-// produced by fig6; both names are accepted).
+// throughput chunked archive serve inference cluster chaos progressive
+// (fig7 is produced by fig6; both names are accepted).
 package main
 
 import (
@@ -45,7 +48,7 @@ import (
 
 func main() {
 	var (
-		expFlag    = flag.String("exp", "all", "comma-separated experiments (tab1,tab2,tab3,fig1,fig5,fig6,fig7,fig8,fig9,ablation,anchorsel,throughput,chunked,archive,serve,inference,cluster,chaos) or 'all'")
+		expFlag    = flag.String("exp", "all", "comma-separated experiments (tab1,tab2,tab3,fig1,fig5,fig6,fig7,fig8,fig9,ablation,anchorsel,throughput,chunked,archive,serve,inference,cluster,chaos,progressive) or 'all'")
 		small      = flag.Bool("small", false, "use reduced grid sizes (quick smoke run)")
 		outDir     = flag.String("out", "", "directory for PGM figure renderings (optional)")
 		seed       = flag.Int64("seed", 42, "dataset/training seed")
@@ -55,6 +58,7 @@ func main() {
 		infJSON    = flag.String("inferencejson", "BENCH_inference.json", "path for the inference experiment's machine-readable report ('' disables)")
 		clusJSON   = flag.String("clusterjson", "BENCH_cluster.json", "path for the cluster experiment's machine-readable report ('' disables)")
 		chaosJSON  = flag.String("chaosjson", "BENCH_chaos.json", "path for the chaos experiment's machine-readable report ('' disables)")
+		progJSON   = flag.String("progressivejson", "BENCH_progressive.json", "path for the progressive experiment's machine-readable report ('' disables)")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile (taken after the experiments) to this file")
 	)
@@ -153,6 +157,7 @@ func main() {
 	run("inference", func() error { return experiments.InferenceBench(w, sizes, *infJSON) })
 	run("cluster", func() error { return experiments.ClusterBench(w, sizes, *clusJSON) })
 	run("chaos", func() error { return experiments.ChaosBench(w, sizes, *chaosJSON) })
+	run("progressive", func() error { return experiments.ProgressiveBench(w, sizes, *progJSON) })
 }
 
 // flushProfiles holds the profile finalizers; they run on both the normal

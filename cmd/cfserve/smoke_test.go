@@ -37,6 +37,13 @@ func TestServeSmoke(t *testing.T) {
 	if _, err := os.Stat(golden); err != nil {
 		t.Fatalf("golden fixture missing: %v", err)
 	}
+	layered, err := filepath.Abs("../../testdata/golden/archive_cfc3v3.cfc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(layered); err != nil {
+		t.Fatalf("layered golden fixture missing: %v", err)
+	}
 
 	bin := filepath.Join(t.TempDir(), "cfserve")
 	build := exec.Command("go", "build", "-o", bin, ".")
@@ -47,6 +54,7 @@ func TestServeSmoke(t *testing.T) {
 	cmd := exec.Command(bin,
 		"-listen", "127.0.0.1:0",
 		"-mount", "golden="+golden,
+		"-mount", "prog="+layered,
 		"-access-log", "-",
 	)
 	stderr, err := cmd.StderrPipe()
@@ -137,12 +145,56 @@ func TestServeSmoke(t *testing.T) {
 		t.Fatal("empty dependent-chunk body")
 	}
 
+	// Progressive retrieval against the layered mount: fetch a base-level
+	// preview and the refinement delta BEFORE anything decodes the full
+	// body (a resident full entry would serve the preview request as an
+	// upgraded "full"), then verify preview XOR delta reproduces the
+	// full-bound response byte for byte — the client-side upgrade path.
+	geth := func(path string) ([]byte, http.Header) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, body)
+		}
+		return body, resp.Header
+	}
+	preview, ph := geth("/v1/archives/prog/fields/W?level=0")
+	if lv := ph.Get("X-CFC-Level"); lv != "0" {
+		t.Fatalf("preview resolved to level %q, want 0", lv)
+	}
+	delta, dh := geth("/v1/archives/prog/fields/W/delta?from=0")
+	if from, to := dh.Get("X-CFC-Delta-From"), dh.Get("X-CFC-Delta-To"); from != "0" || to != "2" {
+		t.Fatalf("delta endpoints %s->%s, want 0->2", from, to)
+	}
+	full, fh := geth("/v1/archives/prog/fields/W")
+	if lv := fh.Get("X-CFC-Level"); lv != "full" {
+		t.Fatalf("full-bound response level %q, want full", lv)
+	}
+	if len(preview) != len(full) || len(delta) != len(full) {
+		t.Fatalf("body sizes differ: preview %d, delta %d, full %d", len(preview), len(delta), len(full))
+	}
+	upgraded := make([]byte, len(full))
+	for i := range upgraded {
+		upgraded[i] = preview[i] ^ delta[i]
+	}
+	if !bytes.Equal(upgraded, full) {
+		t.Fatal("preview upgraded with the streamed refinement differs from the full-bound response")
+	}
+
 	// /metrics must be parseable Prometheus text exposition.
 	metrics := get("/metrics")
 	if err := obs.LintExposition(metrics); err != nil {
 		t.Fatalf("/metrics exposition invalid: %v", err)
 	}
-	for _, want := range []string{"cfserve_request_seconds_bucket", "cfserve_stage_seconds_bucket"} {
+	for _, want := range []string{"cfserve_request_seconds_bucket", "cfserve_stage_seconds_bucket", `cfserve_level_requests_total{level="0"}`} {
 		if !strings.Contains(string(metrics), want) {
 			t.Errorf("/metrics missing %s", want)
 		}

@@ -169,7 +169,7 @@ func CompressBaseline(f *Field, bound ErrorBound, opts ...Option) (*Compressed, 
 	}
 	if cfg.chunked {
 		res, err := core.CompressChunked(f.t, nil, nil, core.ChunkedOptions{
-			Options:     core.Options{Bound: bound, Blocks: cfg.blockSpec()},
+			Options:     core.Options{Bound: bound, Blocks: cfg.blockSpec(), Progressive: cfg.progSpec()},
 			ChunkVoxels: cfg.chunkVoxels,
 			Workers:     cfg.workers,
 		})
@@ -178,7 +178,7 @@ func CompressBaseline(f *Field, bound ErrorBound, opts ...Option) (*Compressed, 
 		}
 		return &Compressed{Blob: res.Blob, Stats: res.Stats}, nil
 	}
-	res, err := core.CompressBaseline(f.t, core.Options{Bound: bound, Blocks: cfg.blockSpec()})
+	res, err := core.CompressBaseline(f.t, core.Options{Bound: bound, Blocks: cfg.blockSpec(), Progressive: cfg.progSpec()})
 	if err != nil {
 		return nil, err
 	}
@@ -200,6 +200,70 @@ func Decompress(name string, blob []byte, anchors []*Field) (*Field, error) {
 // ChunkCount returns how many independently decodable chunks a blob holds
 // (1 for a monolithic CFC1 blob).
 func ChunkCount(blob []byte) (int, error) { return core.ChunkCount(blob) }
+
+// LevelSpec describes the progressive layering of a compressed payload:
+// level count, total refinement bits, and per-plane widths. Use Bound for
+// each level's provable error bound and ResolveLevel to pick the cheapest
+// level meeting a requested bound. Non-progressive payloads report one
+// level.
+type LevelSpec = core.LevelSpec
+
+// LevelFull selects the deepest (bit-exact) level in the *AtLevel APIs.
+const LevelFull = core.LevelFull
+
+// ErrLayerChecksum reports a progressive layer whose payload bytes fail
+// their recorded CRC. Layers verify independently: a corrupt refinement
+// plane still leaves every level below it decodable.
+var ErrLayerChecksum = core.ErrLayerChecksum
+
+// PayloadLevels inspects a compressed blob's progressive layering without
+// decoding any payload data. Non-progressive blobs report Levels == 1.
+func PayloadLevels(blob []byte) (*LevelSpec, error) { return core.PayloadLevelSpec(blob) }
+
+// PayloadLevelBytes reports, per level, how many compressed bytes a
+// prefix reader must fetch to reconstruct levels 0..l of a layered blob
+// (summed over chunks for chunked payloads, headers included). The last
+// entry equals len(blob); non-layered blobs report that single entry.
+func PayloadLevelBytes(blob []byte) ([]int64, error) { return core.PayloadLevelBytes(blob) }
+
+// DecompressAtLevel reconstructs a field from a layered blob at the given
+// level — 0 is the base (coarsest) layer, LevelFull the deepest — reading
+// the same blob a plain Decompress would but consuming only the layers the
+// level needs. It returns the reconstruction and the achieved max error
+// the compressor recorded for that level (NaN for non-layered blobs, which
+// accept only level 0 and decode in full). The full level is bit-identical
+// to Decompress of the same blob.
+func DecompressAtLevel(name string, blob []byte, anchors []*Field, level int) (*Field, float64, error) {
+	t, achieved, err := core.DecompressAtLevel(blob, fieldTensors(anchors), level)
+	if err != nil {
+		return nil, 0, err
+	}
+	return &Field{Name: name, t: t}, achieved, nil
+}
+
+// DecompressChunkAtLevel is DecompressChunk at a progressive level: only
+// chunk i's layers 0..level are consumed. Returns the chunk field, its
+// starting slab along axis 0, and the chunk's recorded achieved max error
+// at that level.
+func DecompressChunkAtLevel(name string, blob []byte, i, level int, anchors []*Field) (*Field, int, float64, error) {
+	t, start, achieved, err := core.DecompressChunkAtLevel(blob, i, level, fieldTensors(anchors))
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return &Field{Name: name, t: t}, start, achieved, nil
+}
+
+// DecompressChunkSlabAtLevelCtx is DecompressChunkSlabCtx at a progressive
+// level — the serving layer's preview decode: anchor data covers only
+// chunk i's slab range, and only the layers the level needs are consumed
+// and CRC-verified.
+func DecompressChunkSlabAtLevelCtx(ctx context.Context, name string, blob []byte, i, level int, anchorSlabs []*Field) (*Field, int, float64, error) {
+	t, start, achieved, err := core.DecompressChunkAtLevelWithAnchorSlabsCtx(ctx, blob, i, level, fieldTensors(anchorSlabs))
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return &Field{Name: name, t: t}, start, achieved, nil
+}
 
 // DecompressChunked is Decompress with an explicit bound on how many
 // chunks decompress concurrently (workers <= 0 means GOMAXPROCS). Plain
@@ -348,7 +412,7 @@ func (c *Codec) Compress(target *Field, anchors []*Field, bound ErrorBound, opts
 	}
 	if cfg.chunked {
 		res, err := core.CompressChunked(target.t, c.model, fieldTensors(anchors), core.ChunkedOptions{
-			Options:     core.Options{Bound: bound, AnchorNames: c.names, Blocks: cfg.blockSpec()},
+			Options:     core.Options{Bound: bound, AnchorNames: c.names, Blocks: cfg.blockSpec(), Progressive: cfg.progSpec()},
 			ChunkVoxels: cfg.chunkVoxels,
 			Workers:     cfg.workers,
 		})
@@ -361,6 +425,7 @@ func (c *Codec) Compress(target *Field, anchors []*Field, bound ErrorBound, opts
 		Bound:       bound,
 		AnchorNames: c.names,
 		Blocks:      cfg.blockSpec(),
+		Progressive: cfg.progSpec(),
 	})
 	if err != nil {
 		return nil, err

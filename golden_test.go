@@ -228,6 +228,47 @@ func regenGoldenBlocks(t *testing.T) {
 	writeGolden(t, "chunked_cfc2v3.cfc", resC.Blob)
 }
 
+// Layered (progressive) fixtures. Consuming every layer recovers exactly
+// the quantized integers the sequential payloads store, so the
+// full-prefix decodes share the existing .f32 expectations; the preview
+// levels are checked against their advertised bounds instead of adding
+// new expectation files.
+func regenGoldenLayered(t *testing.T) {
+	f := goldenField()
+	res, err := crossfield.CompressBaseline(f, crossfield.Abs(0.05),
+		crossfield.WithProgressive(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeGolden(t, "baseline_cfc1v3.cfc", res.Blob)
+	resC, err := crossfield.CompressBaseline(f, crossfield.Abs(0.05),
+		crossfield.WithChunks(2*10*12), crossfield.WithProgressive(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeGolden(t, "chunked_cfc2v4.cfc", resC.Blob)
+}
+
+func regenGoldenLayeredArchive(t *testing.T) {
+	target, anchors := goldenDataset()
+	codec, err := crossfield.Train(target, anchors, crossfield.Training{
+		Features: 6, Epochs: 4, StepsPerEpoch: 8, Batch: 1, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []crossfield.FieldSpec{
+		{Field: anchors[0]}, {Field: anchors[1]}, {Field: anchors[2]},
+		{Field: target, Codec: codec},
+	}
+	res, err := crossfield.CompressDataset(specs, crossfield.Rel(1e-3),
+		crossfield.WithChunks(2*10*12), crossfield.WithProgressive(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeGolden(t, "archive_cfc3v3.cfc", res.Blob)
+}
+
 func regenGoldenArchive(t *testing.T) {
 	target, anchors := goldenDataset()
 	codec, err := crossfield.Train(target, anchors, crossfield.Training{
@@ -398,6 +439,156 @@ func TestGoldenCFC3Archive(t *testing.T) {
 	}
 }
 
+func TestGoldenCFC1V3Layered(t *testing.T) {
+	if *update {
+		regenGoldenLayered(t)
+	}
+	blob := readGolden(t, "baseline_cfc1v3.cfc")
+	if blob[4] != 3 {
+		t.Fatalf("fixture version byte = %d, want 3", blob[4])
+	}
+	back, err := crossfield.Decompress("W", blob, nil)
+	if err != nil {
+		t.Fatalf("CFC1 v3 golden blob no longer decodes: %v", err)
+	}
+	// Full-prefix decode recovers the quantized integers exactly, so the
+	// expectation is the sequential fixture's.
+	requireExact(t, "CFC1v3", back, "baseline_cfc1.f32")
+	spec, err := crossfield.PayloadLevels(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Levels != 3 {
+		t.Fatalf("layer table reports %d levels, want 3", spec.Levels)
+	}
+	full, _, err := crossfield.DecompressAtLevel("W", blob, nil, crossfield.LevelFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range full.Data() {
+		if v != back.Data()[i] {
+			t.Fatalf("full-level decode differs from Decompress at %d", i)
+		}
+	}
+	// Every preview level must honor the bound its layer table advertises
+	// against the deterministic source field (absolute bound 0.05).
+	src := goldenField()
+	for l := 0; l < spec.Levels; l++ {
+		part, achieved, err := crossfield.DecompressAtLevel("W", blob, nil, l)
+		if err != nil {
+			t.Fatalf("level %d no longer decodes: %v", l, err)
+		}
+		bound := spec.Bound(l, 0.05)
+		if achieved > bound {
+			t.Fatalf("level %d: recorded max error %g over advertised bound %g", l, achieved, bound)
+		}
+		if maxErr, ok, err := crossfield.Verify(src, part, bound); err != nil || !ok {
+			t.Fatalf("level %d: maxErr=%g over advertised bound %g (ok=%v err=%v)", l, maxErr, bound, ok, err)
+		}
+	}
+}
+
+func TestGoldenCFC2V4Layered(t *testing.T) {
+	if *update {
+		regenGoldenLayered(t)
+	}
+	blob := readGolden(t, "chunked_cfc2v4.cfc")
+	if blob[4] != 4 {
+		t.Fatalf("fixture version byte = %d, want 4", blob[4])
+	}
+	if n, err := crossfield.ChunkCount(blob); err != nil || n != 3 {
+		t.Fatalf("ChunkCount = %d, %v; want 3", n, err)
+	}
+	back, err := crossfield.Decompress("W", blob, nil)
+	if err != nil {
+		t.Fatalf("CFC2 v4 golden blob no longer decodes: %v", err)
+	}
+	requireExact(t, "CFC2v4", back, "chunked_cfc2.f32")
+	spec, err := crossfield.PayloadLevels(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Levels != 3 {
+		t.Fatalf("layer table reports %d levels, want 3", spec.Levels)
+	}
+	// Base-level random access stays within the base layer's advertised
+	// bound over the chunk's slab range of the source field.
+	part, start, achieved, err := crossfield.DecompressChunkAtLevel("W", blob, 1, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 2 {
+		t.Fatalf("chunk 1 start = %d, want 2", start)
+	}
+	const slab = 10 * 12
+	srcChunk := crossfield.MustNewField("W",
+		goldenField().Data()[start*slab:(start+2)*slab], 2, 10, 12)
+	bound := spec.Bound(0, 0.05)
+	if achieved > bound {
+		t.Fatalf("chunk base level: recorded max error %g over advertised bound %g", achieved, bound)
+	}
+	if maxErr, ok, err := crossfield.Verify(srcChunk, part, bound); err != nil || !ok {
+		t.Fatalf("chunk base level: maxErr=%g over bound %g (ok=%v err=%v)", maxErr, bound, ok, err)
+	}
+	// The deepest chunk level agrees with the full reconstruction.
+	deep, start2, _, err := crossfield.DecompressChunkAtLevel("W", blob, 1, crossfield.LevelFull, nil)
+	if err != nil || start2 != start {
+		t.Fatalf("full-level chunk decode: start=%d err=%v", start2, err)
+	}
+	for i, v := range deep.Data() {
+		if v != back.Data()[start*slab+i] {
+			t.Fatalf("full-level chunk decode differs from full decode at %d", i)
+		}
+	}
+}
+
+func TestGoldenCFC3V3LayeredArchive(t *testing.T) {
+	if *update {
+		regenGoldenLayeredArchive(t)
+	}
+	blob := readGolden(t, "archive_cfc3v3.cfc")
+	if string(blob[:4]) != "CFC3" || blob[4] != 3 {
+		t.Fatalf("fixture header = %q v%d, want CFC3 v3", blob[:4], blob[4])
+	}
+	ar, err := crossfield.OpenArchive(blob)
+	if err != nil {
+		t.Fatalf("CFC3 v3 golden archive no longer opens: %v", err)
+	}
+	// Full-fidelity decodes share the non-layered archive's expectations.
+	for _, name := range ar.Fields() {
+		f, err := ar.Field(name)
+		if err != nil {
+			t.Fatalf("field %s no longer decodes: %v", name, err)
+		}
+		requireExact(t, "CFC3v3/"+name, f, fmt.Sprintf("archive_cfc3_%s.f32", name))
+	}
+	// The dependent field's base level stays within its advertised bound
+	// against the deterministic source dataset.
+	spec, err := ar.FieldLevels("W")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Levels != 3 {
+		t.Fatalf("W layer table reports %d levels, want 3", spec.Levels)
+	}
+	fi, ok := ar.FieldInfoFor("W")
+	if !ok {
+		t.Fatal("W missing from manifest")
+	}
+	f0, achieved, err := ar.DecodeFieldAtLevel("W", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, _ := goldenDataset()
+	bound := spec.Bound(0, fi.AbsEB)
+	if achieved > bound {
+		t.Fatalf("W base level: recorded max error %g over advertised bound %g", achieved, bound)
+	}
+	if maxErr, ok, err := crossfield.Verify(target, f0, bound); err != nil || !ok {
+		t.Fatalf("W base level: maxErr=%g over bound %g (ok=%v err=%v)", maxErr, bound, ok, err)
+	}
+}
+
 // TestFormatsSpecAgainstGoldenFixtures cross-checks docs/FORMATS.md's
 // byte-level claims against the committed fixtures and a freshly written
 // streaming archive: magic strings, version bytes, and the CFC3 v2
@@ -415,14 +606,56 @@ func TestFormatsSpecAgainstGoldenFixtures(t *testing.T) {
 	}{
 		{"baseline_cfc1.cfc", "CFC1", 1},
 		{"baseline_cfc1v2.cfc", "CFC1", 2},
+		{"baseline_cfc1v3.cfc", "CFC1", 3},
 		{"chunked_cfc2v1.cfc", "CFC2", 1},
 		{"chunked_cfc2v2.cfc", "CFC2", 2},
 		{"chunked_cfc2v3.cfc", "CFC2", 3},
+		{"chunked_cfc2v4.cfc", "CFC2", 4},
 		{"archive_cfc3.cfc", "CFC3", 1},
+		{"archive_cfc3v3.cfc", "CFC3", 3},
 	} {
 		b := readGolden(t, tc.file)
 		if string(b[:4]) != tc.magic || b[4] != tc.version {
 			t.Errorf("%s: header %q v%d, spec says %q v%d", tc.file, b[:4], b[4], tc.magic, tc.version)
+		}
+	}
+	// Layer-table claims: version-3 CFC1 (and the chunked v4 carrying it)
+	// holds a base layer plus refinement planes whose byte prefixes grow
+	// strictly and end at the whole blob — "consume any prefix, stop at any
+	// layer" only works if the table's lengths describe the payload bytes
+	// exactly.
+	for _, file := range []string{"baseline_cfc1v3.cfc", "chunked_cfc2v4.cfc"} {
+		b := readGolden(t, file)
+		spec, err := crossfield.PayloadLevels(b)
+		if err != nil {
+			t.Errorf("%s: layer table unreadable: %v", file, err)
+			continue
+		}
+		if spec.Levels < 2 {
+			t.Errorf("%s: %d levels, spec requires a base layer plus refinement planes", file, spec.Levels)
+		}
+		prefixes, err := crossfield.PayloadLevelBytes(b)
+		if err != nil {
+			t.Errorf("%s: %v", file, err)
+			continue
+		}
+		for l := 1; l < len(prefixes); l++ {
+			if prefixes[l] <= prefixes[l-1] {
+				t.Errorf("%s: level %d prefix %d not past level %d's %d", file, l, prefixes[l], l-1, prefixes[l-1])
+			}
+		}
+		if got := prefixes[len(prefixes)-1]; got != int64(len(b)) {
+			t.Errorf("%s: deepest prefix %d != blob size %d", file, got, len(b))
+		}
+		// Advertised bounds tighten monotonically to the full bound.
+		for l := 1; l < spec.Levels; l++ {
+			if spec.Bound(l, 0.05) >= spec.Bound(l-1, 0.05) {
+				t.Errorf("%s: bound(%d)=%g not tighter than bound(%d)=%g",
+					file, l, spec.Bound(l, 0.05), l-1, spec.Bound(l-1, 0.05))
+			}
+		}
+		if spec.Bound(spec.Levels-1, 0.05) != 0.05 {
+			t.Errorf("%s: deepest bound %g, spec says it collapses to the full bound", file, spec.Bound(spec.Levels-1, 0.05))
 		}
 	}
 	// A freshly written archive is version 2: payloads at offset 5, then
@@ -465,9 +698,9 @@ func TestGoldenFixturesCommitted(t *testing.T) {
 		names = append(names, e.Name())
 	}
 	for _, want := range []string{
-		"baseline_cfc1.cfc", "baseline_cfc1v2.cfc", "baseline_cfc1.f32",
-		"chunked_cfc2v1.cfc", "chunked_cfc2v2.cfc", "chunked_cfc2v3.cfc", "chunked_cfc2.f32",
-		"archive_cfc3.cfc",
+		"baseline_cfc1.cfc", "baseline_cfc1v2.cfc", "baseline_cfc1v3.cfc", "baseline_cfc1.f32",
+		"chunked_cfc2v1.cfc", "chunked_cfc2v2.cfc", "chunked_cfc2v3.cfc", "chunked_cfc2v4.cfc", "chunked_cfc2.f32",
+		"archive_cfc3.cfc", "archive_cfc3v3.cfc",
 		"archive_cfc3_U.f32", "archive_cfc3_V.f32", "archive_cfc3_PRES.f32", "archive_cfc3_W.f32",
 	} {
 		found := false

@@ -65,8 +65,13 @@ const (
 	// version2 is what Writer (and therefore Encode) emits: payloads
 	// first, manifest and trailer last, so encoding can stream.
 	version2 = 2
+	// version3 is byte-for-byte the version-2 layout but marks that field
+	// payloads may be layered (CFC1 v3 / CFC2 v4) for progressive
+	// multi-resolution retrieval; written when the Writer is marked layered
+	// so pre-progressive readers reject the archive up front.
+	version3 = 3
 
-	// headerLen is the fixed prefix both versions share: magic + version.
+	// headerLen is the fixed prefix all versions share: magic + version.
 	headerLen = 5
 )
 
@@ -144,6 +149,9 @@ type Entry struct {
 // through an io.ReaderAt — nothing beyond the manifest is resident.
 type Archive struct {
 	Entries []Entry
+	// Layered marks a version-3 archive: field payloads may carry layer
+	// tables for progressive multi-resolution retrieval.
+	Layered bool
 
 	src    io.ReaderAt
 	size   int64

@@ -43,6 +43,7 @@ type Writer struct {
 	entries []Entry
 	started bool
 	closed  bool
+	layered bool
 	err     error // sticky
 }
 
@@ -50,6 +51,17 @@ type Writer struct {
 // lazily by the first Append, so constructing a Writer performs no I/O.
 func NewWriter(w io.Writer) *Writer {
 	return &Writer{w: w}
+}
+
+// SetLayered marks the archive as carrying layered (progressive) field
+// payloads, selecting the version-3 header byte. The version byte goes out
+// with the first Append, so SetLayered must be called before it.
+func (aw *Writer) SetLayered() error {
+	if aw.started {
+		return fmt.Errorf("archive: SetLayered after the header was written")
+	}
+	aw.layered = true
+	return nil
 }
 
 // write counts and sticks errors.
@@ -101,7 +113,11 @@ func (aw *Writer) Append(e *Entry, fn func(w io.Writer) error) error {
 	}
 	if !aw.started {
 		aw.started = true
-		if err := aw.write(append(append([]byte(nil), magic[:]...), version2)); err != nil {
+		ver := byte(version2)
+		if aw.layered {
+			ver = version3
+		}
+		if err := aw.write(append(append([]byte(nil), magic[:]...), ver)); err != nil {
 			return err
 		}
 	}
@@ -218,8 +234,12 @@ func NewReader(r io.ReaderAt, size int64) (*Archive, error) {
 	switch hdr[4] {
 	case version1:
 		return readV1(r, size)
-	case version2:
-		return readV2(r, size)
+	case version2, version3:
+		a, err := readV2(r, size)
+		if err == nil {
+			a.Layered = hdr[4] == version3
+		}
+		return a, err
 	default:
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, hdr[4])
 	}

@@ -19,7 +19,9 @@
 // Version 3 reuses the version-2 layout byte for byte but marks that chunk
 // payloads may be block-coded (CFC1 version-2 payloads carrying a block
 // table for parallel decode — see internal/container); the header version
-// bump makes older readers reject the container up front.
+// bump makes older readers reject the container up front. Version 4 (again
+// layout-identical) marks layered chunk payloads (CFC1 version 3) for
+// progressive multi-resolution prefix decode.
 //
 // Each payload is a self-contained single-chunk CFC1 blob with its model
 // section stripped (the model lives once in this header), so a chunk can
@@ -54,6 +56,11 @@ const (
 	// internal/container). The version bump makes pre-v3 readers fail
 	// fast at the header instead of deep inside a chunk decode.
 	versionV3 = 3
+	// versionV4, again layout-identical, marks layered (progressive) chunk
+	// payloads: CFC1 version-3 payloads carrying a layer table for
+	// multi-resolution prefix decode (see internal/container). Mutually
+	// exclusive with version 3's block coding.
+	versionV4 = 4
 )
 
 // maxChunks bounds the index size a decoder will accept.
@@ -84,6 +91,10 @@ type Header struct {
 	// for parallel decode. Encoders set it when any payload is; it selects
 	// the version-3 header byte.
 	Blocks bool
+	// Layered marks a container whose chunk payloads are layered (CFC1
+	// version 3) for progressive multi-resolution retrieval; it selects
+	// the version-4 header byte. Mutually exclusive with Blocks.
+	Layered bool
 }
 
 // NumPoints returns the product of the dims.
@@ -160,9 +171,15 @@ func appendHeader(out []byte, h *Header, g *Grid, payloads [][]byte, maxErrs []f
 	if g.NumChunks() > maxChunks {
 		return nil, fmt.Errorf("chunk: %d chunks exceeds the format limit %d", g.NumChunks(), maxChunks)
 	}
+	if h.Blocks && h.Layered {
+		return nil, fmt.Errorf("chunk: block-coded and layered payloads are mutually exclusive")
+	}
 	ver := byte(versionV2)
 	if h.Blocks {
 		ver = versionV3
+	}
+	if h.Layered {
+		ver = versionV4
 	}
 	out = append(out, magic[:]...)
 	out = append(out, ver, byte(h.Method), h.BoundMode)
@@ -313,10 +330,10 @@ func decodeHeader(r fields) (*Header, *indexData, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	if ver != versionV1 && ver != versionV2 && ver != versionV3 {
+	if ver < versionV1 || ver > versionV4 {
 		return nil, nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, ver)
 	}
-	h := &Header{Blocks: ver == versionV3}
+	h := &Header{Blocks: ver == versionV3, Layered: ver == versionV4}
 	mb, err := r.Byte()
 	if err != nil {
 		return nil, nil, err

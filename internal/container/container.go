@@ -13,6 +13,12 @@
 //	block section (version 2 payloads only):
 //	  byte blockMode | uvarint edge per axis | uvarint numBlocks
 //	  | uvarint segLen per block (raw Huffman bytes, block-raster order)
+//	layer section (version 3 payloads only; replaces the two payload
+//	uvarints below):
+//	  byte numLayers | uvarint shift
+//	  | per layer: byte bits | float64 maxErr | uvarint tableLen + table
+//	    | uvarint rawLen | uvarint encLen | uint32 CRC32 of the encoded bytes
+//	  | encoded layer payloads, concatenated in layer order
 //	uvarint payloadRaw | uvarint payloadLen | lossless-compressed payload
 //
 // Version 1 payloads carry one sequential Huffman stream. Version 2
@@ -23,6 +29,14 @@
 // distinguishes wavefront coding (predictions cross block seams; blocks
 // decode along anti-diagonal fronts) from block-independent coding
 // (predictions reset at block borders; blocks decode in any order).
+//
+// Version 3 payloads are layered for progressive retrieval (see layers.go):
+// the prequant integers split into a base layer at a relaxed bound plus
+// refinement bit planes, each independently entropy-coded and CRC'd, so a
+// reader holding any prefix of the layer payloads reconstructs the field
+// within that layer's recorded bound. The blob-level Table section is the
+// base layer's Huffman table; refinement layers carry their own tables in
+// the layer section.
 //
 // Everything needed to decompress — except the decompressed anchor fields
 // themselves — lives in the blob, and every byte of it (including the CFNN
@@ -70,6 +84,13 @@ func (m Method) String() string {
 
 var magic = [4]byte{'C', 'F', 'C', '1'}
 
+// IsLayered reports whether data begins with a layered (version 3) CFC1
+// header — a cheap sniff for callers deciding whether a payload supports
+// progressive prefix decoding.
+func IsLayered(data []byte) bool {
+	return len(data) >= 5 && [4]byte(data[:4]) == magic && data[4] == versionLayered
+}
+
 const (
 	// version is the classic sequential-payload layout.
 	version = 1
@@ -77,6 +98,10 @@ const (
 	// only when a blob is block-coded, so v1 readers keep decoding every
 	// sequential blob.
 	versionBlocks = 2
+	// versionLayered replaces the single payload with the layer section:
+	// a base layer plus refinement bit planes, each independently coded and
+	// CRC'd, enabling prefix (progressive) decoding. See layers.go.
+	versionLayered = 3
 )
 
 // Block coding modes stored in the block section's mode byte.
@@ -137,10 +162,19 @@ type Header struct {
 type Blob struct {
 	Header
 	Model      []byte
-	Table      []byte
+	Table      []byte        // base-layer Huffman table for layered blobs
 	Blocks     *BlockSection // nil for sequential (version 1) payloads
 	PayloadRaw int           // uncompressed payload length
 	Payload    []byte
+	// Layers is non-nil for version-3 (layered) payloads; LayerData holds
+	// the encoded bytes of each layer present in the input — strict Decode
+	// requires all of them, DecodePrefix tolerates a truncated tail.
+	Layers    *LayerSection
+	LayerData [][]byte
+	// layerOff is the byte offset of the first layer payload within the
+	// encoded blob, recorded at decode time so LayerPrefixLen can report
+	// how many blob bytes a prefix reader needs for a given level.
+	layerOff int
 }
 
 // NumPoints returns the product of the dims.
@@ -160,6 +194,9 @@ func Encode(b *Blob) ([]byte, error) {
 	ver := byte(version)
 	if b.Blocks != nil {
 		ver = versionBlocks
+		if b.Layers != nil {
+			return nil, fmt.Errorf("container: blob cannot be both block-coded and layered")
+		}
 		nb, err := b.Blocks.NumBlocks(b.Dims)
 		if err != nil {
 			return nil, err
@@ -169,6 +206,17 @@ func Encode(b *Blob) ([]byte, error) {
 		}
 		if m := b.Blocks.Mode; m != BlockWavefront && m != BlockIndependent {
 			return nil, fmt.Errorf("container: block mode %d", m)
+		}
+	}
+	if b.Layers != nil {
+		ver = versionLayered
+		if err := b.Layers.validate(len(b.LayerData)); err != nil {
+			return nil, err
+		}
+		for l, d := range b.LayerData {
+			if len(d) != b.Layers.Layers[l].EncLen {
+				return nil, fmt.Errorf("container: layer %d data %d bytes, table says %d", l, len(d), b.Layers.Layers[l].EncLen)
+			}
 		}
 	}
 	out := make([]byte, 0, 64+len(b.Model)+len(b.Table)+len(b.Payload))
@@ -213,6 +261,13 @@ func Encode(b *Blob) ([]byte, error) {
 			}
 			out = binary.AppendUvarint(out, uint64(l))
 		}
+	}
+	if b.Layers != nil {
+		out = appendLayerSection(out, b.Layers)
+		for _, d := range b.LayerData {
+			out = append(out, d...)
+		}
+		return out, nil
 	}
 	out = binary.AppendUvarint(out, uint64(b.PayloadRaw))
 	out = binary.AppendUvarint(out, uint64(len(b.Payload)))
@@ -371,117 +426,143 @@ func CheckVolume(dims []int) (int, error) {
 // Decode parses a blob (sections reference the input slice; callers must
 // not mutate it).
 func Decode(data []byte) (*Blob, error) {
+	b, _, err := decodeBlob(data, false)
+	return b, err
+}
+
+// DecodePrefix parses a possibly-truncated layered blob: the header and
+// layer table must be complete, but the layer payloads may be cut anywhere
+// — every fully-present layer is returned, and the count of complete
+// layers comes back as avail. A partial trailing layer is ignored. At
+// least the base layer must be present. Non-layered blobs must be complete
+// and report avail == 1.
+func DecodePrefix(data []byte) (*Blob, int, error) {
+	return decodeBlob(data, true)
+}
+
+// decodeBlob is the shared parse behind Decode (strict: every section
+// present, no trailing bytes) and DecodePrefix (tolerant of a truncated
+// layer-payload tail). avail counts the complete layers of a layered blob,
+// and is 1 for non-layered blobs.
+func decodeBlob(data []byte, prefix bool) (*Blob, int, error) {
 	r := NewCursor(data, ErrCorrupt)
 	m, err := r.Bytes(4)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if [4]byte(m) != magic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, m)
+		return nil, 0, fmt.Errorf("%w: bad magic %q", ErrCorrupt, m)
 	}
 	ver, err := r.Byte()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	if ver != version && ver != versionBlocks {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, ver)
+	if ver != version && ver != versionBlocks && ver != versionLayered {
+		return nil, 0, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, ver)
 	}
 	b := &Blob{}
 	mb, err := r.Byte()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	b.Method = Method(mb)
 	if b.BoundMode, err = r.Byte(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if b.BoundValue, err = r.Float64(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if b.AbsEB, err = r.Float64(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	rank, err := r.Uvarint()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if rank < 1 || rank > 3 {
-		return nil, fmt.Errorf("%w: rank %d", ErrCorrupt, rank)
+		return nil, 0, fmt.Errorf("%w: rank %d", ErrCorrupt, rank)
 	}
 	b.Dims = make([]int, rank)
 	for i := range b.Dims {
 		d, err := r.Uvarint()
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		if d == 0 || d > 1<<32 {
-			return nil, fmt.Errorf("%w: dim %d", ErrCorrupt, d)
+			return nil, 0, fmt.Errorf("%w: dim %d", ErrCorrupt, d)
 		}
 		b.Dims[i] = int(d)
 	}
 	if _, err := CheckVolume(b.Dims); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	if b.BackendID, err = r.Byte(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	nh, err := r.Uvarint()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if nh > 64 {
-		return nil, fmt.Errorf("%w: %d hybrid params", ErrCorrupt, nh)
+		return nil, 0, fmt.Errorf("%w: %d hybrid params", ErrCorrupt, nh)
 	}
 	b.Hybrid = make([]float64, nh)
 	for i := range b.Hybrid {
 		if b.Hybrid[i], err = r.Float64(); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 	}
 	na, err := r.Uvarint()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if na > 256 {
-		return nil, fmt.Errorf("%w: %d anchors", ErrCorrupt, na)
+		return nil, 0, fmt.Errorf("%w: %d anchors", ErrCorrupt, na)
 	}
 	b.Anchors = make([]string, na)
 	for i := range b.Anchors {
 		l, err := r.Uvarint()
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		if l > 4096 {
-			return nil, fmt.Errorf("%w: anchor name length %d", ErrCorrupt, l)
+			return nil, 0, fmt.Errorf("%w: anchor name length %d", ErrCorrupt, l)
 		}
 		nb, err := r.Bytes(int(l))
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		b.Anchors[i] = string(nb)
 	}
 	ml, err := r.Uvarint()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if b.Model, err = r.Bytes(int(ml)); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	tl, err := r.Uvarint()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if b.Table, err = r.Bytes(int(tl)); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if ver == versionBlocks {
 		if b.Blocks, err = decodeBlockSection(r, b.Dims); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
+	}
+	if ver == versionLayered {
+		avail, err := decodeLayered(r, b, prefix)
+		if err != nil {
+			return nil, 0, err
+		}
+		return b, avail, nil
 	}
 	praw, err := r.Uvarint()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	b.PayloadRaw = int(praw)
 	if b.Blocks != nil {
@@ -490,20 +571,20 @@ func Decode(data []byte) (*Blob, error) {
 			sum += l
 		}
 		if sum != b.PayloadRaw {
-			return nil, fmt.Errorf("%w: block segments sum to %d bytes, payload is %d", ErrCorrupt, sum, b.PayloadRaw)
+			return nil, 0, fmt.Errorf("%w: block segments sum to %d bytes, payload is %d", ErrCorrupt, sum, b.PayloadRaw)
 		}
 	}
 	pl, err := r.Uvarint()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if b.Payload, err = r.Bytes(int(pl)); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if r.Off() != len(data) {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-r.Off())
+		return nil, 0, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-r.Off())
 	}
-	return b, nil
+	return b, 1, nil
 }
 
 // decodeBlockSection parses and validates the block table of a version-2

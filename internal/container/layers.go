@@ -1,0 +1,266 @@
+// Layered (version 3) payloads: progressive multi-resolution retrieval.
+//
+// A layered blob splits the prequant integers q into a base layer qb =
+// q >> shift — run through the normal prediction + entropy pipeline at an
+// effectively relaxed bound — plus refinement bit planes of the dropped
+// low bits, most-significant plane first. Each layer is entropy-coded and
+// lossless-compressed independently and carries its own CRC32, so a reader
+// holding only a prefix of the layer payloads can (a) verify exactly the
+// layers it consumed and (b) reconstruct the field with max error provably
+// within the deepest consumed layer's recorded bound. Consuming every
+// layer recovers q exactly, making the full-prefix decode bit-identical to
+// a non-progressive decode of the same field.
+//
+// With r refinement bits still unknown, the reconstruction uses the
+// midpoint of the remaining interval, so |q − q̂| ≤ 2^(r−1) and the
+// absolute error is bounded by eb·(1 + 2^r); r = 0 gives back the full
+// bound eb. Bound reports exactly that.
+package container
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+const (
+	// maxLayerCount bounds the layer table a decoder will accept: a base
+	// layer plus at most 15 refinement planes.
+	maxLayerCount = 16
+	// MaxLayerShift bounds the total refinement bits. Prequant values fit
+	// 26 bits plus sign, so deeper shifts would leave no base signal.
+	MaxLayerShift = 24
+)
+
+// ErrLayerChecksum reports a layer whose payload bytes do not match the
+// CRC32 recorded in the layer table. Layers verify independently: a
+// corrupt refinement plane does not poison the layers below it.
+var ErrLayerChecksum = errors.New("container: layer checksum mismatch")
+
+// Layer describes one entry of the layer table.
+type Layer struct {
+	// Bits is the refinement-plane width; 0 for the base layer.
+	Bits int
+	// MaxErr is the achieved maximum absolute reconstruction error after
+	// consuming layers 0..this one, measured at compression time.
+	MaxErr float64
+	// Table is the layer's Huffman table; empty for the base layer, which
+	// uses the blob-level Table section.
+	Table []byte
+	// RawLen is the pre-lossless (entropy-coded) payload length.
+	RawLen int
+	// EncLen is the encoded (lossless-compressed) payload length.
+	EncLen int
+	// CRC is the CRC32 (IEEE) of the encoded payload bytes.
+	CRC uint32
+}
+
+// LayerSection is the parsed layer table of a version-3 payload.
+type LayerSection struct {
+	// Shift is the total refinement bit count: the base layer carries
+	// q >> Shift, and the refinement layers' Bits sum to Shift.
+	Shift  int
+	Layers []Layer
+}
+
+// NumLevels returns the number of decodable levels (== layer count).
+func (s *LayerSection) NumLevels() int { return len(s.Layers) }
+
+// Remaining returns how many refinement bits are still unknown after
+// consuming layers 0..level.
+func (s *LayerSection) Remaining(level int) int {
+	r := s.Shift
+	for l := 1; l <= level && l < len(s.Layers); l++ {
+		r -= s.Layers[l].Bits
+	}
+	return r
+}
+
+// Bound returns the provable absolute error bound after consuming layers
+// 0..level, given the blob's full absolute bound: eb·(1 + 2^remaining),
+// collapsing to eb at the final level.
+func (s *LayerSection) Bound(level int, absEB float64) float64 {
+	r := s.Remaining(level)
+	if r <= 0 {
+		return absEB
+	}
+	return absEB * (1 + float64(int64(1)<<r))
+}
+
+// validate checks the structural invariants shared by Encode and the
+// decoder: layer count, per-plane widths summing to the shift, and a
+// table-less base layer.
+func (s *LayerSection) validate(numData int) error {
+	if len(s.Layers) < 2 || len(s.Layers) > maxLayerCount {
+		return fmt.Errorf("%w: %d layers", ErrCorrupt, len(s.Layers))
+	}
+	if s.Shift < 1 || s.Shift > MaxLayerShift {
+		return fmt.Errorf("%w: layer shift %d", ErrCorrupt, s.Shift)
+	}
+	if numData >= 0 && numData != len(s.Layers) {
+		return fmt.Errorf("%w: %d layer payloads for %d layers", ErrCorrupt, numData, len(s.Layers))
+	}
+	sum := 0
+	for l, ly := range s.Layers {
+		if l == 0 {
+			if ly.Bits != 0 || len(ly.Table) != 0 {
+				return fmt.Errorf("%w: base layer bits %d, table %d bytes", ErrCorrupt, ly.Bits, len(ly.Table))
+			}
+		} else {
+			if ly.Bits < 1 || ly.Bits > MaxLayerShift {
+				return fmt.Errorf("%w: layer %d bits %d", ErrCorrupt, l, ly.Bits)
+			}
+			sum += ly.Bits
+		}
+		if ly.RawLen < 0 || ly.RawLen > math.MaxInt32 || ly.EncLen < 0 || ly.EncLen > math.MaxInt32 {
+			return fmt.Errorf("%w: layer %d lengths raw=%d enc=%d", ErrCorrupt, l, ly.RawLen, ly.EncLen)
+		}
+		if math.IsNaN(ly.MaxErr) || ly.MaxErr < 0 {
+			return fmt.Errorf("%w: layer %d max error %v", ErrCorrupt, l, ly.MaxErr)
+		}
+	}
+	if sum != s.Shift {
+		return fmt.Errorf("%w: refinement bits sum to %d, shift is %d", ErrCorrupt, sum, s.Shift)
+	}
+	return nil
+}
+
+// appendLayerSection serializes the layer table.
+func appendLayerSection(out []byte, s *LayerSection) []byte {
+	out = append(out, byte(len(s.Layers)))
+	out = binary.AppendUvarint(out, uint64(s.Shift))
+	var f8 [8]byte
+	var c4 [4]byte
+	for _, ly := range s.Layers {
+		out = append(out, byte(ly.Bits))
+		binary.LittleEndian.PutUint64(f8[:], math.Float64bits(ly.MaxErr))
+		out = append(out, f8[:]...)
+		out = binary.AppendUvarint(out, uint64(len(ly.Table)))
+		out = append(out, ly.Table...)
+		out = binary.AppendUvarint(out, uint64(ly.RawLen))
+		out = binary.AppendUvarint(out, uint64(ly.EncLen))
+		binary.LittleEndian.PutUint32(c4[:], ly.CRC)
+		out = append(out, c4[:]...)
+	}
+	return out
+}
+
+// decodeLayered parses the layer table and payloads of a version-3 blob.
+// In strict mode every layer must be present with no trailing bytes; in
+// prefix mode the payload region may be cut anywhere (a partial trailing
+// layer is discarded), but the table itself must be complete and at least
+// the base layer present. Returns the number of complete layers.
+func decodeLayered(r *Cursor, b *Blob, prefix bool) (int, error) {
+	nl, err := r.Byte()
+	if err != nil {
+		return 0, err
+	}
+	if nl < 2 || nl > maxLayerCount {
+		return 0, fmt.Errorf("%w: %d layers", ErrCorrupt, nl)
+	}
+	shift, err := r.Uvarint()
+	if err != nil {
+		return 0, err
+	}
+	s := &LayerSection{Shift: int(shift), Layers: make([]Layer, nl)}
+	for l := range s.Layers {
+		ly := &s.Layers[l]
+		bits, err := r.Byte()
+		if err != nil {
+			return 0, err
+		}
+		ly.Bits = int(bits)
+		if ly.MaxErr, err = r.Float64(); err != nil {
+			return 0, err
+		}
+		tl, err := r.Uvarint()
+		if err != nil {
+			return 0, err
+		}
+		if ly.Table, err = r.Bytes(int(tl)); err != nil {
+			return 0, err
+		}
+		raw, err := r.Uvarint()
+		if err != nil {
+			return 0, err
+		}
+		ly.RawLen = int(raw)
+		enc, err := r.Uvarint()
+		if err != nil {
+			return 0, err
+		}
+		ly.EncLen = int(enc)
+		c4, err := r.Bytes(4)
+		if err != nil {
+			return 0, err
+		}
+		ly.CRC = binary.LittleEndian.Uint32(c4)
+	}
+	if err := s.validate(-1); err != nil {
+		return 0, err
+	}
+	b.Layers = s
+	b.layerOff = r.Off()
+	b.LayerData = make([][]byte, 0, nl)
+	for l := range s.Layers {
+		want := s.Layers[l].EncLen
+		if prefix && want > r.Len()-r.Off() {
+			break
+		}
+		d, err := r.Bytes(want)
+		if err != nil {
+			return 0, err
+		}
+		b.LayerData = append(b.LayerData, d)
+	}
+	avail := len(b.LayerData)
+	if avail == 0 {
+		return 0, fmt.Errorf("%w: no complete base layer in %d payload bytes", ErrCorrupt, r.Len()-b.layerOff)
+	}
+	if !prefix {
+		if avail != int(nl) {
+			return 0, fmt.Errorf("%w: %d of %d layers present", ErrCorrupt, avail, nl)
+		}
+		if r.Off() != r.Len() {
+			return 0, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, r.Len()-r.Off())
+		}
+	}
+	return avail, nil
+}
+
+// LayerPayload verifies layer l's CRC and returns its encoded bytes.
+// Verification is per layer: a flipped bit in one plane fails only that
+// plane and the levels above it.
+func (b *Blob) LayerPayload(l int) ([]byte, error) {
+	if b.Layers == nil {
+		return nil, fmt.Errorf("%w: blob is not layered", ErrCorrupt)
+	}
+	if l < 0 || l >= len(b.LayerData) {
+		return nil, fmt.Errorf("%w: layer %d of %d present", ErrCorrupt, l, len(b.LayerData))
+	}
+	d := b.LayerData[l]
+	if crc32.ChecksumIEEE(d) != b.Layers.Layers[l].CRC {
+		return nil, fmt.Errorf("%w: layer %d", ErrLayerChecksum, l)
+	}
+	return d, nil
+}
+
+// LayerPrefixLen returns how many bytes of the encoded blob a reader needs
+// to decode levels 0..level: the header and layer table plus the first
+// level+1 layer payloads. Only meaningful on decoded layered blobs.
+func (b *Blob) LayerPrefixLen(level int) int {
+	if b.Layers == nil || b.layerOff == 0 {
+		return 0
+	}
+	n := b.layerOff
+	for l := 0; l <= level && l < len(b.Layers.Layers); l++ {
+		n += b.Layers.Layers[l].EncLen
+	}
+	return n
+}
+
+// LayersAvail returns how many layers' payloads are present (equals the
+// table's layer count for strictly-decoded blobs).
+func (b *Blob) LayersAvail() int { return len(b.LayerData) }

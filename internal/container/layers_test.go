@@ -1,0 +1,326 @@
+package container
+
+import (
+	"bytes"
+	"errors"
+	"hash/crc32"
+	"testing"
+)
+
+// layeredSample builds a structurally valid layered blob: a base layer
+// plus two 2-bit refinement planes with distinct payload bytes, so tests
+// can tell exactly which layer a decoder consumed.
+func layeredSample() *Blob {
+	l0 := bytes.Repeat([]byte{0xA0, 0xA1, 0xA2}, 5)
+	l1 := bytes.Repeat([]byte{0xB0, 0xB1}, 4)
+	l2 := bytes.Repeat([]byte{0xC0, 0xC1, 0xC2, 0xC3}, 3)
+	return &Blob{
+		Header: Header{
+			Method: MethodBaseline,
+			AbsEB:  0.05,
+			Dims:   []int{4, 6},
+		},
+		Table: []byte{9, 8, 7},
+		Layers: &LayerSection{Shift: 4, Layers: []Layer{
+			{Bits: 0, MaxErr: 0.8, RawLen: 24, EncLen: len(l0), CRC: crc32.ChecksumIEEE(l0)},
+			{Bits: 2, MaxErr: 0.2, Table: []byte{5}, RawLen: 6, EncLen: len(l1), CRC: crc32.ChecksumIEEE(l1)},
+			{Bits: 2, MaxErr: 0.05, Table: []byte{6}, RawLen: 9, EncLen: len(l2), CRC: crc32.ChecksumIEEE(l2)},
+		}},
+		LayerData: [][]byte{l0, l1, l2},
+	}
+}
+
+// layerSectionOffsets returns the byte offsets where the encoded blob's
+// layer section and layer payloads begin, derived from the section's own
+// serialized length so tests can perform byte surgery on the table.
+func layerSectionOffsets(enc []byte, b *Blob) (sectOff, payloadOff int) {
+	sect := appendLayerSection(nil, b.Layers)
+	var payloadLen int
+	for _, d := range b.LayerData {
+		payloadLen += len(d)
+	}
+	payloadOff = len(enc) - payloadLen
+	return payloadOff - len(sect), payloadOff
+}
+
+// retable re-encodes the sample with a tampered layer section (and
+// optionally tampered payload bytes), bypassing Encode's validation — the
+// way a corrupted or malicious blob would arrive off the wire.
+func retable(t *testing.T, s *LayerSection, payloads [][]byte) []byte {
+	t.Helper()
+	b := layeredSample()
+	enc, err := Encode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sectOff, _ := layerSectionOffsets(enc, b)
+	out := append([]byte(nil), enc[:sectOff]...)
+	out = appendLayerSection(out, s)
+	for _, d := range payloads {
+		out = append(out, d...)
+	}
+	return out
+}
+
+func TestLayeredRoundTrip(t *testing.T) {
+	b := layeredSample()
+	enc, err := Encode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc[4] != versionLayered {
+		t.Fatalf("version byte = %d, want %d", enc[4], versionLayered)
+	}
+	back, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Layers == nil || back.Layers.NumLevels() != 3 || back.Layers.Shift != 4 {
+		t.Fatalf("layer section = %+v", back.Layers)
+	}
+	if back.LayersAvail() != 3 {
+		t.Fatalf("LayersAvail = %d", back.LayersAvail())
+	}
+	for l := range b.LayerData {
+		d, err := back.LayerPayload(l)
+		if err != nil {
+			t.Fatalf("layer %d: %v", l, err)
+		}
+		if !bytes.Equal(d, b.LayerData[l]) {
+			t.Fatalf("layer %d payload bytes differ", l)
+		}
+	}
+	// Prefix lengths grow by exactly each layer's EncLen and end at the
+	// whole blob.
+	_, payloadOff := layerSectionOffsets(enc, b)
+	want := payloadOff
+	for l, ly := range b.Layers.Layers {
+		want += ly.EncLen
+		if got := back.LayerPrefixLen(l); got != want {
+			t.Fatalf("LayerPrefixLen(%d) = %d, want %d", l, got, want)
+		}
+	}
+	if back.LayerPrefixLen(2) != len(enc) {
+		t.Fatalf("deepest prefix %d != blob size %d", back.LayerPrefixLen(2), len(enc))
+	}
+	// Bound collapses to the full bound at the deepest level and loosens
+	// monotonically above it.
+	s := back.Layers
+	if s.Bound(2, 0.05) != 0.05 {
+		t.Fatalf("deepest bound = %g", s.Bound(2, 0.05))
+	}
+	if !(s.Bound(0, 0.05) > s.Bound(1, 0.05) && s.Bound(1, 0.05) > s.Bound(2, 0.05)) {
+		t.Fatalf("bounds not monotone: %g %g %g", s.Bound(0, 0.05), s.Bound(1, 0.05), s.Bound(2, 0.05))
+	}
+}
+
+// Truncating anywhere in the payload region leaves DecodePrefix with
+// exactly the complete layers; truncating into the table (or the base
+// layer) is an error. Strict Decode rejects every truncation.
+func TestLayeredTruncatedPrefix(t *testing.T) {
+	b := layeredSample()
+	enc, err := Encode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sectOff, payloadOff := layerSectionOffsets(enc, b)
+	bounds := []int{payloadOff}
+	for _, ly := range b.Layers.Layers {
+		bounds = append(bounds, bounds[len(bounds)-1]+ly.EncLen)
+	}
+	for cut := sectOff; cut <= len(enc); cut++ {
+		blob, avail, err := DecodePrefix(enc[:cut])
+		wantAvail := 0
+		for l := 1; l < len(bounds); l++ {
+			if cut >= bounds[l] {
+				wantAvail = l
+			}
+		}
+		if wantAvail == 0 {
+			if err == nil {
+				t.Fatalf("cut %d (incomplete base layer) decoded with avail=%d", cut, avail)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if avail != wantAvail || blob.LayersAvail() != wantAvail {
+			t.Fatalf("cut %d: avail=%d/%d, want %d", cut, avail, blob.LayersAvail(), wantAvail)
+		}
+		// Every complete layer still verifies: a truncated tail never
+		// corrupts the layers before it.
+		for l := 0; l < avail; l++ {
+			if _, err := blob.LayerPayload(l); err != nil {
+				t.Fatalf("cut %d: complete layer %d fails: %v", cut, l, err)
+			}
+		}
+		if cut < len(enc) {
+			if _, err := Decode(enc[:cut]); err == nil {
+				t.Fatalf("strict Decode accepted truncation at %d", cut)
+			}
+		}
+	}
+}
+
+// A flipped bit in one layer's payload must fail exactly that layer's CRC
+// and leave every other layer decodable — the isolation the progressive
+// serving path relies on to keep serving lower levels.
+func TestLayeredCRCFlipIsolation(t *testing.T) {
+	b := layeredSample()
+	for victim := range b.LayerData {
+		enc, err := Encode(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, payloadOff := layerSectionOffsets(enc, b)
+		off := payloadOff
+		for l := 0; l < victim; l++ {
+			off += b.Layers.Layers[l].EncLen
+		}
+		enc[off] ^= 0xFF
+		back, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("victim %d: structural decode failed: %v", victim, err)
+		}
+		for l := range b.LayerData {
+			_, err := back.LayerPayload(l)
+			if l == victim {
+				if !errors.Is(err, ErrLayerChecksum) {
+					t.Fatalf("victim %d: LayerPayload(%d) = %v, want ErrLayerChecksum", victim, l, err)
+				}
+			} else if err != nil {
+				t.Fatalf("victim %d poisoned layer %d: %v", victim, l, err)
+			}
+		}
+	}
+}
+
+// Lying layer sizes must surface as corruption or checksum errors, never
+// as silently misread payloads.
+func TestLayeredLyingSizes(t *testing.T) {
+	b := layeredSample()
+	payloads := b.LayerData
+
+	// EncLen inflated past the available bytes: strict decode cannot read
+	// the layer, prefix decode must not count it as complete.
+	s := *b.Layers
+	s.Layers = append([]Layer(nil), b.Layers.Layers...)
+	s.Layers[2].EncLen += 1000
+	enc := retable(t, &s, payloads)
+	if _, err := Decode(enc); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("inflated EncLen: Decode = %v, want ErrCorrupt", err)
+	}
+	if blob, avail, err := DecodePrefix(enc); err != nil || avail != 2 {
+		t.Fatalf("inflated EncLen: DecodePrefix avail=%d err=%v, want 2 complete layers", avail, err)
+	} else {
+		for l := 0; l < 2; l++ {
+			if _, err := blob.LayerPayload(l); err != nil {
+				t.Fatalf("inflated EncLen: lower layer %d fails: %v", l, err)
+			}
+		}
+	}
+
+	// EncLen shrunk: the layer boundaries shift, so the CRCs catch the
+	// misread on the shrunk layer (strict mode first rejects the trailing
+	// bytes outright).
+	s = *b.Layers
+	s.Layers = append([]Layer(nil), b.Layers.Layers...)
+	s.Layers[0].EncLen -= 3
+	enc = retable(t, &s, payloads)
+	if _, err := Decode(enc); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("shrunk EncLen: Decode = %v, want ErrCorrupt", err)
+	}
+	blob, _, err := DecodePrefix(enc)
+	if err != nil {
+		t.Fatalf("shrunk EncLen: %v", err)
+	}
+	if _, err := blob.LayerPayload(0); !errors.Is(err, ErrLayerChecksum) {
+		t.Fatalf("shrunk EncLen: LayerPayload(0) = %v, want ErrLayerChecksum", err)
+	}
+
+	// RawLen beyond int32 is rejected structurally.
+	s = *b.Layers
+	s.Layers = append([]Layer(nil), b.Layers.Layers...)
+	s.Layers[1].RawLen = 1 << 40
+	if _, err := Decode(retable(t, &s, payloads)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("huge RawLen: Decode = %v, want ErrCorrupt", err)
+	}
+
+	// Refinement bits not summing to the shift.
+	s = *b.Layers
+	s.Layers = append([]Layer(nil), b.Layers.Layers...)
+	s.Layers[1].Bits = 3
+	if _, err := Decode(retable(t, &s, payloads)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bits/shift mismatch: Decode = %v, want ErrCorrupt", err)
+	}
+
+	// A base layer claiming refinement bits.
+	s = *b.Layers
+	s.Layers = append([]Layer(nil), b.Layers.Layers...)
+	s.Layers[0].Bits = 4
+	s.Layers[1].Bits = 0
+	s.Layers[2].Bits = 0
+	if _, err := Decode(retable(t, &s, payloads)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("base layer with bits: Decode = %v, want ErrCorrupt", err)
+	}
+}
+
+// FuzzLayerTable hammers the layered decoder with mutated blobs: no
+// panics, and any blob that decodes structurally must keep the layer
+// invariants (prefix lengths monotone and within the input, per-layer CRC
+// checks that either verify or fail with ErrLayerChecksum).
+func FuzzLayerTable(f *testing.F) {
+	b := layeredSample()
+	enc, err := Encode(b)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(enc)
+	sectOff, payloadOff := layerSectionOffsets(enc, b)
+	f.Add(enc[:payloadOff+2])
+	f.Add(enc[:sectOff+3])
+	flipped := append([]byte(nil), enc...)
+	flipped[len(flipped)-1] ^= 0xFF
+	f.Add(flipped)
+	s := *b.Layers
+	s.Layers = append([]Layer(nil), b.Layers.Layers...)
+	s.Layers[2].EncLen++
+	tampered := append([]byte(nil), enc[:sectOff]...)
+	tampered = appendLayerSection(tampered, &s)
+	for _, d := range b.LayerData {
+		tampered = append(tampered, d...)
+	}
+	f.Add(tampered)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, decode := range []func() (*Blob, error){
+			func() (*Blob, error) { return Decode(data) },
+			func() (*Blob, error) { blob, _, err := DecodePrefix(data); return blob, err },
+		} {
+			blob, err := decode()
+			if err != nil || blob.Layers == nil {
+				continue
+			}
+			if n := blob.LayersAvail(); n < 1 || n > blob.Layers.NumLevels() {
+				t.Fatalf("LayersAvail = %d of %d levels", n, blob.Layers.NumLevels())
+			}
+			// Prefix lengths are monotone; for the layers actually present
+			// they must fit the input. (Beyond LayersAvail the table may
+			// claim more bytes than a truncated or lying input holds.)
+			prev := 0
+			for l := 0; l < blob.Layers.NumLevels(); l++ {
+				n := blob.LayerPrefixLen(l)
+				if n < prev || (l < blob.LayersAvail() && n > len(data)) {
+					t.Fatalf("LayerPrefixLen(%d) = %d (prev %d, avail %d, input %d)", l, n, prev, blob.LayersAvail(), len(data))
+				}
+				prev = n
+			}
+			for l := 0; l < blob.LayersAvail(); l++ {
+				if _, err := blob.LayerPayload(l); err != nil && !errors.Is(err, ErrLayerChecksum) && !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("LayerPayload(%d) = %v", l, err)
+				}
+			}
+		}
+	})
+}

@@ -79,6 +79,11 @@ func CompressChunkedTo(w io.Writer, field *tensor.Tensor, model *cfnn.Model, anc
 		return nil, err
 	}
 	opts.Options = opts.Options.withDefaults()
+	// Resolve the layer plan once so every chunk worker shares identical
+	// layer geometry (and bad progressive options fail before any work).
+	if err := opts.Options.resolveProg(); err != nil {
+		return nil, err
+	}
 	method := container.MethodBaseline
 	if model != nil {
 		method = container.MethodHybrid
@@ -161,6 +166,7 @@ func CompressChunkedTo(w io.Writer, field *tensor.Tensor, model *cfnn.Model, anc
 		Dims:       append([]int(nil), field.Shape()...),
 		Anchors:    append([]string(nil), opts.AnchorNames...),
 		Model:      modelBlob,
+		Layered:    opts.Options.prog != nil,
 	}
 	for _, cs := range chunkStats {
 		if cs.BlockMode != 0 {

@@ -31,6 +31,12 @@ func CompressBaseline(field *tensor.Tensor, opts Options) (*Result, error) {
 // field and reuses it for every chunk.
 func compressBaselineWithEB(field *tensor.Tensor, eb float64, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
+	if err := opts.resolveProg(); err != nil {
+		return nil, err
+	}
+	if opts.prog != nil {
+		return compressProgressive(field, nil, nil, opts, container.MethodBaseline, eb)
+	}
 	endQuant := opts.Stages.Timer("quantize")
 	q, err := quant.Prequantize(field.Data(), eb)
 	endQuant()
@@ -110,6 +116,12 @@ func compressCrossFieldWithEB(field *tensor.Tensor, model *cfnn.Model, anchors [
 // blob.
 func compressCrossFieldDQ(field *tensor.Tensor, dq [][]float64, stored *cfnn.Model, opts Options, method container.Method, eb float64) (*Result, error) {
 	opts = opts.withDefaults()
+	if err := opts.resolveProg(); err != nil {
+		return nil, err
+	}
+	if opts.prog != nil {
+		return compressProgressive(field, dq, stored, opts, method, eb)
+	}
 	endQuant := opts.Stages.Timer("quantize")
 	q, err := quant.Prequantize(field.Data(), eb)
 	endQuant()
@@ -195,6 +207,15 @@ func candidateFeatures(q []int32, dims []int, dq [][]float64, method container.M
 	return feats, nil
 }
 
+// marshalModel serializes CFNN weights for embedding in a container.
+func marshalModel(model *cfnn.Model) ([]byte, error) {
+	var mb bytes.Buffer
+	if err := model.Save(&mb); err != nil {
+		return nil, err
+	}
+	return mb.Bytes(), nil
+}
+
 func stridesOf(dims []int) []int {
 	s := make([]int, len(dims))
 	acc := 1
@@ -276,11 +297,9 @@ func assemble(field *tensor.Tensor, codes []int32, model *cfnn.Model, anchors []
 	}
 	var modelBlob []byte
 	if model != nil {
-		var mb bytes.Buffer
-		if err := model.Save(&mb); err != nil {
+		if modelBlob, err = marshalModel(model); err != nil {
 			return nil, err
 		}
-		modelBlob = mb.Bytes()
 	}
 	blob := &container.Blob{
 		Header: container.Header{

@@ -71,6 +71,15 @@ type Options struct {
 	// Blocks enables block-coded payloads (wavefront / block-independent
 	// decode; see blocks.go). Containers become CFC1 v2 / CFC2 v3.
 	Blocks BlockSpec
+	// Progressive, when non-nil, writes layered payloads for progressive
+	// multi-resolution retrieval (see progressive.go). Containers become
+	// CFC1 v3 / CFC2 v4. Mutually exclusive with Blocks.
+	Progressive *ProgressiveSpec
+
+	// prog is the resolved layering plan, derived once per field from
+	// Progressive and the resolved error bound so every chunk of a chunked
+	// compression shares identical layer geometry.
+	prog *progPlan
 }
 
 func (o Options) withDefaults() Options {

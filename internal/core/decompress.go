@@ -49,6 +49,10 @@ func decompressMono(ctx context.Context, blob []byte, anchors []*tensor.Tensor, 
 	if err != nil {
 		return nil, err
 	}
+	if b.Layers != nil {
+		t, _, err := reconstructLayered(b, anchors, ext, dqExt, b.Layers.NumLevels()-1)
+		return t, err
+	}
 	backend, err := lossless.ByID(b.BackendID)
 	if err != nil {
 		return nil, err
@@ -61,35 +65,9 @@ func decompressMono(ctx context.Context, blob []byte, anchors []*tensor.Tensor, 
 	if err != nil {
 		return nil, err
 	}
-	var dq [][]float64
-	switch b.Method {
-	case container.MethodBaseline:
-	case container.MethodHybrid, container.MethodCrossOnly:
-		dq = dqExt
-		if dq == nil {
-			if len(anchors) == 0 {
-				return nil, fmt.Errorf("%w: method %v, anchors %v", ErrNeedAnchors, b.Method, b.Anchors)
-			}
-			model := ext
-			if len(b.Model) > 0 {
-				if model, err = cfnn.Load(bytes.NewReader(b.Model)); err != nil {
-					return nil, err
-				}
-			}
-			if model == nil {
-				return nil, fmt.Errorf("core: blob method %v has no embedded model and none was supplied", b.Method)
-			}
-			for i, a := range anchors {
-				if !sameDims(a.Shape(), b.Dims) {
-					return nil, fmt.Errorf("core: anchor %d shape %v != field dims %v", i, a.Shape(), b.Dims)
-				}
-			}
-			if dq, err = predictedDQ(model, anchors, b.AbsEB); err != nil {
-				return nil, err
-			}
-		}
-	default:
-		return nil, fmt.Errorf("core: unknown method %v", b.Method)
+	dq, err := resolveDQ(b, anchors, ext, dqExt)
+	if err != nil {
+		return nil, err
 	}
 	n := b.NumPoints()
 	if b.Blocks != nil {
@@ -114,6 +92,43 @@ func decompressMono(ctx context.Context, blob []byte, anchors []*tensor.Tensor, 
 	}
 	vals := quant.Dequantize(q, b.AbsEB)
 	return tensor.FromSlice(vals, b.Dims...)
+}
+
+// resolveDQ produces the cross-field difference predictions (prequant
+// units) a blob's reconstruction needs: the externally-supplied slabs when
+// the shared-inference pass computed them, otherwise a fresh CFNN
+// inference over the supplied anchors using the blob's embedded model or
+// the container-level ext model. Baseline blobs return nil.
+func resolveDQ(b *container.Blob, anchors []*tensor.Tensor, ext *cfnn.Model, dqExt [][]float64) ([][]float64, error) {
+	switch b.Method {
+	case container.MethodBaseline:
+		return nil, nil
+	case container.MethodHybrid, container.MethodCrossOnly:
+		if dqExt != nil {
+			return dqExt, nil
+		}
+		if len(anchors) == 0 {
+			return nil, fmt.Errorf("%w: method %v, anchors %v", ErrNeedAnchors, b.Method, b.Anchors)
+		}
+		model := ext
+		if len(b.Model) > 0 {
+			var err error
+			if model, err = cfnn.Load(bytes.NewReader(b.Model)); err != nil {
+				return nil, err
+			}
+		}
+		if model == nil {
+			return nil, fmt.Errorf("core: blob method %v has no embedded model and none was supplied", b.Method)
+		}
+		for i, a := range anchors {
+			if !sameDims(a.Shape(), b.Dims) {
+				return nil, fmt.Errorf("core: anchor %d shape %v != field dims %v", i, a.Shape(), b.Dims)
+			}
+		}
+		return predictedDQ(model, anchors, b.AbsEB)
+	default:
+		return nil, fmt.Errorf("core: unknown method %v", b.Method)
+	}
 }
 
 // reconstructBaseline reverses Lorenzo prediction sequentially.

@@ -1,0 +1,349 @@
+// Progressive (layered) compression: the encode half of the CFC1 v3
+// layered-payload mode.
+//
+// The prequant integers q split into a base layer qb = q >> shift — run
+// through the ordinary prediction pipeline (Lorenzo or hybrid), so the
+// base layer is simply the existing codec operating at an effectively
+// relaxed bound — plus refinement bit planes of the dropped low bits,
+// most-significant plane first. Every layer is Huffman-coded and
+// lossless-compressed independently with its own CRC, so any payload
+// prefix decodes to a field whose max error is provably within the deepest
+// consumed layer's recorded bound, and the full prefix recovers q exactly:
+// bit-identical floats to the non-progressive pipeline.
+//
+// For hybrid payloads the CFNN difference predictions (prequant units)
+// scale by exactly 2^-shift — a power-of-two float64 scaling, so the
+// decoder reproduces the compressor's base-layer predictions bit for bit
+// from the same full-fidelity anchors.
+package core
+
+import (
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/bitstream"
+	"repro/internal/cfnn"
+	"repro/internal/container"
+	"repro/internal/huffman"
+	"repro/internal/metrics"
+	"repro/internal/parallel"
+	"repro/internal/predictor"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// ProgressiveSpec configures layered compression.
+type ProgressiveSpec struct {
+	// Levels is the total level count including the base layer; 0 means 2
+	// when PreviewBound is set, otherwise Levels is required (>= 2).
+	// Each refinement level adds bit planes, so deeper levels cost more
+	// refinement bits; at most 8 levels.
+	Levels int
+	// PreviewBound, when > 0, is the target error bound of the base layer,
+	// expressed in the same mode as Options.Bound (absolute or
+	// range-relative). The layering drops the largest bit count whose
+	// provable base bound eb·(1+2^shift) still meets it; PreviewBound must
+	// exceed 3× the full bound for at least one droppable bit.
+	PreviewBound float64
+}
+
+// progPlan is the resolved layer geometry: how many low bits the base
+// layer drops and how they split across refinement planes (MSB first).
+type progPlan struct {
+	shift int
+	bits  []int // per refinement layer, most-significant plane first
+}
+
+// levels returns the total level count including the base layer.
+func (p *progPlan) levels() int { return len(p.bits) + 1 }
+
+// remaining returns the refinement bits still unknown after level.
+func (p *progPlan) remaining(level int) int {
+	r := p.shift
+	for l := 0; l < level && l < len(p.bits); l++ {
+		r -= p.bits[l]
+	}
+	return r
+}
+
+// defaultPlaneBits is how many refinement bits each extra level adds when
+// no PreviewBound pins the shift: each level quarters the error interval.
+const defaultPlaneBits = 2
+
+// resolveProg derives the layer plan from opts.Progressive, once per
+// field. It is how every chunk of a chunked compression shares identical
+// layer geometry: the chunk workers receive the already-resolved plan.
+func (o *Options) resolveProg() error {
+	if o.prog != nil || o.Progressive == nil {
+		return nil
+	}
+	if o.Blocks.Enable {
+		return fmt.Errorf("core: progressive layering and block-coded payloads are mutually exclusive")
+	}
+	p := o.Progressive
+	levels := p.Levels
+	if levels == 0 && p.PreviewBound > 0 {
+		levels = 2
+	}
+	if levels < 2 || levels > 8 {
+		return fmt.Errorf("core: progressive levels %d out of [2,8]", levels)
+	}
+	shift := defaultPlaneBits * (levels - 1)
+	if p.PreviewBound > 0 {
+		// PreviewBound and Bound.Value share a mode, so their ratio equals
+		// the ratio of resolved absolute bounds — no field statistics
+		// needed. The provable base bound is eb·(1+2^shift) ≤ preview.
+		ratio := p.PreviewBound / o.Bound.Value
+		if !(ratio > 3) || math.IsInf(ratio, 0) || math.IsNaN(ratio) {
+			return fmt.Errorf("core: preview bound %g must exceed 3x the full bound %g", p.PreviewBound, o.Bound.Value)
+		}
+		shift = int(math.Floor(math.Log2(ratio - 1)))
+	}
+	if shift > container.MaxLayerShift {
+		shift = container.MaxLayerShift
+	}
+	if shift < levels-1 {
+		return fmt.Errorf("core: %d refinement bits cannot fill %d levels (preview bound too tight for Levels)", shift, levels-1)
+	}
+	// Split the shift across the refinement planes, extras to the
+	// most-significant planes (decoded first, so early refinements shrink
+	// the bound fastest).
+	bits := make([]int, levels-1)
+	base, extra := shift/(levels-1), shift%(levels-1)
+	for i := range bits {
+		bits[i] = base
+		if i < extra {
+			bits[i]++
+		}
+	}
+	o.prog = &progPlan{shift: shift, bits: bits}
+	return nil
+}
+
+// achievedMaxErrAtLevel is achievedMaxErr for a partial reconstruction
+// with r refinement bits still unknown: the decoder holds q with its low r
+// bits dropped and fills the gap with the interval midpoint.
+func achievedMaxErrAtLevel(data []float32, q []int32, eb float64, r int) float64 {
+	if r <= 0 {
+		return achievedMaxErr(data, q, eb)
+	}
+	const grain = 1 << 15
+	s := 2 * eb
+	mid := int32(1) << (r - 1)
+	n := (len(data) + grain - 1) / grain
+	return parallel.MapReduce(n, 0.0,
+		func(c int, acc float64) float64 {
+			lo, hi := c*grain, (c+1)*grain
+			if hi > len(data) {
+				hi = len(data)
+			}
+			for i := lo; i < hi; i++ {
+				qh := (q[i]>>r)<<r + mid
+				e := math.Abs(float64(data[i]) - float64(float32(float64(qh)*s)))
+				if e > acc {
+					acc = e
+				}
+			}
+			return acc
+		},
+		math.Max)
+}
+
+// encodeLayerCodes entropy-codes one layer's symbol stream and runs the
+// lossless backend, returning the marshaled Huffman table, the encoded
+// payload, and the raw (pre-lossless) length.
+func encodeLayerCodes(codes []int32, opts Options) (table, enc []byte, rawLen int, err error) {
+	codec, err := huffman.Build(codes, opts.MaxSymbols)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	var w bitstream.Writer
+	if err := codec.Encode(&w, codes); err != nil {
+		return nil, nil, 0, err
+	}
+	raw := w.Bytes()
+	enc, err = opts.Backend.Compress(raw)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	table, err = codec.MarshalBinary()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return table, enc, len(raw), nil
+}
+
+// scaleDQ returns dq scaled by 2^-shift — the prequant-unit difference
+// predictions seen by the base layer, whose integers are q >> shift. The
+// scale is an exact power of two, so compressor and decompressor agree bit
+// for bit.
+func scaleDQ(dq [][]float64, shift int) [][]float64 {
+	if dq == nil {
+		return nil
+	}
+	s := math.Ldexp(1, -shift)
+	out := make([][]float64, len(dq))
+	for a := range dq {
+		sc := make([]float64, len(dq[a]))
+		src := dq[a]
+		parallel.ForRange(len(src), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				sc[i] = src[i] * s
+			}
+		})
+		out[a] = sc
+	}
+	return out
+}
+
+// compressProgressive is the layered pipeline shared by the baseline and
+// cross-field paths: split q, run the normal prediction stack on the base,
+// bit-plane the remainder, and assemble a CFC1 v3 blob. dq (non-nil only
+// for cross-field methods) arrives in full-scale prequant units.
+func compressProgressive(field *tensor.Tensor, dq [][]float64, stored *cfnn.Model, opts Options, method container.Method, eb float64) (*Result, error) {
+	plan := opts.prog
+	endQuant := opts.Stages.Timer("quantize")
+	q, err := quant.Prequantize(field.Data(), eb)
+	endQuant()
+	if err != nil {
+		return nil, err
+	}
+	shift := plan.shift
+	n := len(q)
+	qb := make([]int32, n)
+	rem := make([]int32, n)
+	parallel.ForRange(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			// Arithmetic shift floors toward -inf, so rem is always in
+			// [0, 2^shift) regardless of sign.
+			qb[i] = q[i] >> shift
+			rem[i] = q[i] - qb[i]<<shift
+		}
+	})
+
+	// Base layer: the ordinary prediction pipeline over qb.
+	endPredict := opts.Stages.Timer("predict")
+	var (
+		codes   []int32
+		weights []float64
+	)
+	if method == container.MethodBaseline {
+		lor, err := predictor.LorenzoAll(qb, field.Shape())
+		if err != nil {
+			endPredict()
+			return nil, err
+		}
+		codes = predictor.ResidualCodesInt(qb, lor)
+	} else {
+		dqb := scaleDQ(dq, shift)
+		feats, err := candidateFeatures(qb, field.Shape(), dqb, method)
+		if err != nil {
+			endPredict()
+			return nil, err
+		}
+		hy, err := fitHybrid(feats, qb, opts)
+		if err != nil {
+			endPredict()
+			return nil, err
+		}
+		codes = make([]int32, n)
+		parallel.ForRange(n, func(lo, hi int) {
+			row := make([]float64, len(feats))
+			for i := lo; i < hi; i++ {
+				for k := range feats {
+					row[k] = feats[k][i]
+				}
+				pred := roundHalfAway(clampPred(hy.Apply(row)))
+				codes[i] = qb[i] - int32(pred)
+			}
+		})
+		weights = append(append([]float64(nil), hy.W...), hy.Bias)
+	}
+	endPredict()
+
+	// Entropy-code the base and each refinement plane independently.
+	endHuff := opts.Stages.Timer("huffman")
+	layers := make([]container.Layer, plan.levels())
+	data := make([][]byte, plan.levels())
+	baseTable, baseEnc, baseRaw, err := encodeLayerCodes(codes, opts)
+	if err != nil {
+		endHuff()
+		return nil, err
+	}
+	layers[0] = container.Layer{RawLen: baseRaw, EncLen: len(baseEnc), CRC: crc32.ChecksumIEEE(baseEnc)}
+	data[0] = baseEnc
+	plane := make([]int32, n)
+	for l, b := range plan.bits {
+		r := plan.remaining(l + 1)
+		mask := int32(1)<<b - 1
+		parallel.ForRange(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				plane[i] = (rem[i] >> r) & mask
+			}
+		})
+		table, enc, raw, err := encodeLayerCodes(plane, opts)
+		if err != nil {
+			endHuff()
+			return nil, err
+		}
+		layers[l+1] = container.Layer{Bits: b, Table: table, RawLen: raw, EncLen: len(enc), CRC: crc32.ChecksumIEEE(enc)}
+		data[l+1] = enc
+	}
+	endHuff()
+
+	// Per-level achieved errors, recorded in the layer table so serving
+	// can advertise measured (not just provable) bounds per level.
+	for l := range layers {
+		layers[l].MaxErr = achievedMaxErrAtLevel(field.Data(), q, eb, plan.remaining(l))
+	}
+
+	blob := &container.Blob{
+		Header: container.Header{
+			Method:     method,
+			BoundMode:  byte(opts.Bound.Mode),
+			BoundValue: opts.Bound.Value,
+			AbsEB:      eb,
+			Dims:       append([]int(nil), field.Shape()...),
+			BackendID:  opts.Backend.ID(),
+			Hybrid:     weights,
+			Anchors:    append([]string(nil), opts.AnchorNames...),
+		},
+		Table:     baseTable,
+		Layers:    &container.LayerSection{Shift: shift, Layers: layers},
+		LayerData: data,
+	}
+	if stored != nil {
+		mb, err := marshalModel(stored)
+		if err != nil {
+			return nil, err
+		}
+		blob.Model = mb
+	}
+	enc, err := container.Encode(blob)
+	if err != nil {
+		return nil, err
+	}
+	origBytes := field.Len() * 4
+	tableBytes := len(baseTable)
+	payloadBytes := 0
+	for l := range layers {
+		tableBytes += len(layers[l].Table)
+		payloadBytes += layers[l].EncLen
+	}
+	st := Stats{
+		Method:          method,
+		OriginalBytes:   origBytes,
+		CompressedBytes: len(enc),
+		ModelBytes:      len(blob.Model),
+		TableBytes:      tableBytes,
+		PayloadBytes:    payloadBytes,
+		AbsEB:           eb,
+		MaxErr:          layers[len(layers)-1].MaxErr,
+		Ratio:           metrics.CompressionRatio(origBytes, len(enc)),
+		BitRate:         metrics.BitRate(field.Len(), len(enc)),
+		CodeEntropy:     metrics.CodeEntropy(codes),
+		HybridWeights:   weights,
+	}
+	return &Result{Blob: enc, Stats: st}, nil
+}

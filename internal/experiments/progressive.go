@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"time"
+
+	crossfield "repro"
+	"repro/internal/serve"
+)
+
+// baseLayerRatioMax is the acceptance ceiling for the base layer: the
+// compressed bytes a preview reader fetches (level-0 prefix, summed over
+// chunks) must stay at or below this fraction of the full-bound payload.
+const baseLayerRatioMax = 0.25
+
+const progressiveLevels = 4
+
+const progressiveHotRequests = 100
+
+// ProgressiveBenchReport is the machine-readable output of
+// ProgressiveBench, written as BENCH_progressive.json so the
+// preview-vs-full byte and latency trade-off is tracked across PRs.
+type ProgressiveBenchReport struct {
+	Dataset string `json:"dataset"`
+	Field   string `json:"field"`
+	Levels  int    `json:"levels"`
+	// Compressed payload bytes of the full-bound (all layers) payload and
+	// the fraction of it the base-layer prefix needs. BaseRatio must stay
+	// <= BaseRatioMax or the bench fails.
+	FullPayloadBytes int64   `json:"full_payload_bytes"`
+	BaseRatio        float64 `json:"base_prefix_ratio"`
+	BaseRatioMax     float64 `json:"base_prefix_ratio_max"`
+	// BudgetEnforced is false on reduced (-small) grids, where the fixed
+	// per-chunk model and table overhead dominates the layer bytes and the
+	// ratio stops measuring the layering itself.
+	BudgetEnforced bool                  `json:"base_budget_enforced"`
+	PerLevel       []ProgressiveLevelRow `json:"per_level"`
+}
+
+// ProgressiveLevelRow is one resolution level's bytes and serve latency.
+type ProgressiveLevelRow struct {
+	Level string `json:"level"` // "0".."n-2" previews, "full" deepest
+	// Bound is the error bound this level guarantees (the compressor's
+	// advertised bound; the deepest level's equals the request bound).
+	Bound float64 `json:"bound"`
+	// PrefixBytes is how many compressed payload bytes a prefix reader
+	// fetches to reconstruct this level, chunk headers included.
+	PrefixBytes int64   `json:"prefix_bytes"`
+	FracOfFull  float64 `json:"frac_of_full"`
+	ColdMs      float64 `json:"cold_ms"`
+	HotP50      float64 `json:"hot_ms_p50"`
+	HotP99      float64 `json:"hot_ms_p99"`
+}
+
+// ProgressiveBench compresses the Hurricane Wf target into a layered
+// chunked payload (WithProgressive), verifies the base layer honors the
+// <= 25% byte budget against the full-bound payload, then mounts the
+// archive and measures cold/hot serve latency at every resolution level
+// through the real ?level= negotiation path. Previews are requested
+// before the full-bound body is ever decoded: a resident full entry
+// upgrades preview requests for free, which would hide the preview
+// decode cost this bench exists to measure.
+func ProgressiveBench(w io.Writer, s Sizes, jsonPath string) error {
+	section(w, "Progressive retrieval: layered payload bytes and per-level serve latency")
+	plan := PaperPlansByPreset("hurricane-wf")
+	p, err := s.prepare(plan)
+	if err != nil {
+		return err
+	}
+	var specs []crossfield.FieldSpec
+	for _, a := range p.anchors {
+		specs = append(specs, crossfield.FieldSpec{Field: a})
+	}
+	specs = append(specs, crossfield.FieldSpec{Field: p.target, Codec: p.codec})
+	chunkVoxels := (s.HurNZ/4 + 1) * s.HurNY * s.HurNX
+	res, err := crossfield.CompressDataset(specs, crossfield.Rel(1e-3),
+		crossfield.WithChunks(chunkVoxels),
+		crossfield.WithProgressive(progressiveLevels))
+	if err != nil {
+		return err
+	}
+
+	ar, err := crossfield.OpenArchive(res.Blob)
+	if err != nil {
+		return err
+	}
+	info, ok := ar.FieldInfoFor(plan.Target)
+	if !ok {
+		return fmt.Errorf("progressive: field %q missing from archive", plan.Target)
+	}
+	payload := mustPayload(res.Blob, plan.Target)
+	spec, err := crossfield.PayloadLevels(payload)
+	if err != nil {
+		return err
+	}
+	if spec.Levels != progressiveLevels {
+		return fmt.Errorf("progressive: payload has %d levels, want %d", spec.Levels, progressiveLevels)
+	}
+	prefixBytes, err := crossfield.PayloadLevelBytes(payload)
+	if err != nil {
+		return err
+	}
+	full := prefixBytes[len(prefixBytes)-1]
+	baseRatio := float64(prefixBytes[0]) / float64(full)
+	// The byte budget is an acceptance bar for the full-size hurricane
+	// grid. Reduced grids still print the ratio but don't fail on it: a
+	// few-KB embedded model per chunk swamps a toy grid's layer bytes.
+	d := Default()
+	enforceBudget := s.HurNZ*s.HurNY*s.HurNX >= d.HurNZ*d.HurNY*d.HurNX
+
+	srv := serve.New(serve.Config{})
+	if err := srv.Mount("hurricane", res.Blob); err != nil {
+		return err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	get := func(path, wantLevel string) (time.Duration, error) {
+		start := time.Now()
+		resp, err := client.Get(ts.URL + path)
+		if err != nil {
+			return 0, err
+		}
+		_, err = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return 0, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("X-CFC-Level"); got != wantLevel {
+			return 0, fmt.Errorf("GET %s: resolved level %q, want %q", path, got, wantLevel)
+		}
+		return time.Since(start), nil
+	}
+	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+	fieldPath := "/v1/archives/hurricane/fields/" + plan.Target
+	rows := make([]ProgressiveLevelRow, 0, spec.Levels)
+	// Shallowest first, full-bound last — each level is its own cache
+	// entry, so the first request per level is the cold decode. The
+	// level-0 cold request also pays the anchors' (always full-fidelity)
+	// decodes; deeper levels reuse them.
+	for l := 0; l < spec.Levels; l++ {
+		label := strconv.Itoa(l)
+		path := fieldPath + "?level=" + strconv.Itoa(l)
+		if l == spec.Levels-1 {
+			label, path = "full", fieldPath
+			// One negotiated request while full is still cold: a bound at
+			// level 1's guarantee must resolve to level 1, not decode deeper
+			// than it needs. (Once the full body is resident it would serve
+			// the request as an upgraded "full" instead.)
+			ebPath := fmt.Sprintf("%s?eb=%g", fieldPath, spec.Bound(1, info.AbsEB))
+			if _, err := get(ebPath, "1"); err != nil {
+				return err
+			}
+		}
+		cold, err := get(path, label)
+		if err != nil {
+			return err
+		}
+		hot := make([]float64, 0, progressiveHotRequests)
+		for i := 0; i < progressiveHotRequests; i++ {
+			d, err := get(path, label)
+			if err != nil {
+				return err
+			}
+			hot = append(hot, ms(d))
+		}
+		rows = append(rows, ProgressiveLevelRow{
+			Level:       label,
+			Bound:       spec.Bound(l, info.AbsEB),
+			PrefixBytes: prefixBytes[l],
+			FracOfFull:  float64(prefixBytes[l]) / float64(full),
+			ColdMs:      ms(cold),
+			HotP50:      percentile(hot, 50),
+			HotP99:      percentile(hot, 99),
+		})
+	}
+	report := &ProgressiveBenchReport{
+		Dataset: plan.Dataset, Field: plan.Target, Levels: spec.Levels,
+		FullPayloadBytes: full,
+		BaseRatio:        baseRatio,
+		BaseRatioMax:     baseLayerRatioMax,
+		BudgetEnforced:   enforceBudget,
+		PerLevel:         rows,
+	}
+	fmt.Fprintf(w, "field %s: %d levels, full payload %.1f KB, %d hot requests/level:\n",
+		plan.Target, spec.Levels, float64(full)/1024, progressiveHotRequests)
+	fmt.Fprintf(w, "  %-6s %12s %11s %8s %10s %10s %10s\n",
+		"level", "bound", "prefix", "of full", "cold", "hot p50", "hot p99")
+	for _, row := range rows {
+		fmt.Fprintf(w, "  %-6s %12.3g %9.1fKB %7.1f%% %8.2fms %8.2fms %8.2fms\n",
+			row.Level, row.Bound, float64(row.PrefixBytes)/1024,
+			100*row.FracOfFull, row.ColdMs, row.HotP50, row.HotP99)
+	}
+	note := ""
+	if !enforceBudget {
+		note = ", not enforced at reduced sizes"
+	}
+	fmt.Fprintf(w, "  base layer: %.1f%% of full-bound payload bytes (budget %.0f%%%s)\n",
+		100*baseRatio, 100*baseLayerRatioMax, note)
+	if jsonPath != "" {
+		enc, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  wrote %s\n", jsonPath)
+	}
+	if enforceBudget && baseRatio > baseLayerRatioMax {
+		return fmt.Errorf("progressive: base layer is %.1f%% of the full payload, budget is %.0f%%",
+			100*baseRatio, 100*baseLayerRatioMax)
+	}
+	return nil
+}

@@ -54,6 +54,11 @@ type metricsState struct {
 	admissionWaits      *obs.Gauge
 	admissionBypass     *obs.Counter
 	shedTotal           *obs.CounterVec // reason: queue_full | deadline
+	// levelRequests counts field/chunk data requests by the progressive
+	// level they resolved to; levelFull is its pre-resolved "full" child
+	// (the deepest level, and the only level of non-layered payloads).
+	levelRequests *obs.CounterVec // level: full | 0 | 1 | ...
+	levelFull     *obs.Counter
 	// corruptPayloads counts payloads quarantined by a CRC mismatch;
 	// repairHits/repairFailures are the outcomes of peer repair attempts.
 	corruptPayloads *obs.Counter
@@ -108,6 +113,9 @@ func (m *metricsState) init(traceSpans, traceRing int, accessLog io.Writer) {
 		"Hot cache hits served without consulting the admission controller.")
 	m.shedTotal = m.reg.CounterVec("cfserve_shed_total",
 		"Requests shed with 503 + Retry-After, by reason.", "reason")
+	m.levelRequests = m.reg.CounterVec("cfserve_level_requests_total",
+		"Field and chunk data requests by resolved progressive level (full = deepest, or non-layered).", "level")
+	m.levelFull = m.levelRequests.With("full")
 	m.corruptPayloads = m.reg.Counter("cfserve_corrupt_payload_total",
 		"Payloads quarantined after a CRC mismatch (served as 502 until remounted).")
 	repairs := m.reg.CounterVec("cfserve_repair_total",
@@ -208,6 +216,13 @@ func (s *Server) StageLatency() map[string]obs.HistogramSnapshot {
 // decode.
 func (s *Server) RemoteFetches() (hits, misses int64) {
 	return s.metrics.remoteHits.Value(), s.metrics.remoteMisses.Value()
+}
+
+// LevelRequests returns the cfserve_level_requests_total child for one
+// level label ("full", "0", "1", ...). Progressive serving tests pin
+// level resolution and cache-key separation through it.
+func (s *Server) LevelRequests(label string) int64 {
+	return s.metrics.levelRequests.With(label).Value()
 }
 
 // RequestLatency snapshots the request-latency histogram for one route

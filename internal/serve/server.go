@@ -205,6 +205,11 @@ type fieldView struct {
 	info   crossfield.FieldInfo
 	deps   []int
 	chunks []core.ChunkInfo
+	// levels describes the payload's progressive layering, parsed from
+	// the layer table at mount time (no payload data read). Non-layered
+	// payloads report one level; every mount gets a spec so request-time
+	// level resolution never re-parses the container.
+	levels *core.LevelSpec
 	// key is a Merkle-style content hash: sha256 over the field's
 	// compressed payload and the keys of its anchors. Two mounts whose
 	// field (and transitive anchor) payloads are byte-identical share
@@ -395,7 +400,11 @@ func mountArchive(name string, src io.ReaderAt, size int64) (*mount, error) {
 		if err != nil {
 			return nil, fmt.Errorf("serve: mount %q field %q: %w", name, fi.Name, err)
 		}
-		m.fieldList[i] = fieldView{info: fi, deps: deps, chunks: chunks}
+		levels, err := ar.FieldLevels(fi.Name)
+		if err != nil {
+			return nil, fmt.Errorf("serve: mount %q field %q: %w", name, fi.Name, err)
+		}
+		m.fieldList[i] = fieldView{info: fi, deps: deps, chunks: chunks, levels: levels}
 	}
 	// Keys must be computed anchors-first; TopoNames gives that order. The
 	// payload hash streams through the reader — one sequential pass over
@@ -525,6 +534,10 @@ func mountBlob(name string, src io.ReaderAt, size int64) (*mount, error) {
 		return nil, fmt.Errorf("serve: mount %q: %w", name, err)
 	}
 	fi.Checksum = crc
+	levels, err := core.PayloadLevelSpecReader(src, size)
+	if err != nil {
+		return nil, fmt.Errorf("serve: mount %q: %w", name, err)
+	}
 	// A bare hybrid blob records anchors the server cannot reconstruct
 	// (they live outside the blob); it still mounts for metadata, and
 	// data requests report the missing anchors.
@@ -536,7 +549,7 @@ func mountBlob(name string, src io.ReaderAt, size int64) (*mount, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: mount %q: %w", name, err)
 	}
-	m.fieldList = []fieldView{{info: fi, chunks: chunks, key: key}}
+	m.fieldList = []fieldView{{info: fi, chunks: chunks, levels: levels, key: key}}
 	return m, nil
 }
 
@@ -612,10 +625,13 @@ func (s *Server) lookup(archiveName, fieldName string) (*mount, int, bool) {
 // fieldVal is a cached decoded field: the Field for anchor use plus its
 // serialized little-endian body, built once at decode time so hot
 // requests never re-serialize. Both copies are charged to the cache
-// budget.
+// budget. achieved is the compressor-recorded max error of the served
+// progressive level; NaN for full-fidelity decodes, whose max error comes
+// from the manifest instead.
 type fieldVal struct {
-	f   *crossfield.Field
-	raw []byte
+	f        *crossfield.Field
+	raw      []byte
+	achieved float64
 }
 
 func (v *fieldVal) size() int64 { return int64(4*v.f.Len() + len(v.raw)) }
@@ -695,30 +711,11 @@ func (s *Server) fieldData(ctx context.Context, m *mount, i int) (*fieldVal, err
 		// trace values but is canceled only when every coalesced waiter
 		// has abandoned the computation.
 		cctx := obs.ContextWithSpan(dctx, tr, lid)
-		var anchors []*crossfield.Field
-		if len(fv.deps) > 0 {
-			actx, endAnchors := s.metrics.stage(cctx, "anchor_decode", s.metrics.stages.anchorDecode)
-			anchors = make([]*crossfield.Field, len(fv.deps))
-			for k, d := range fv.deps {
-				// Anchor recursion is the long pole of a cold dependent
-				// decode; stop between anchors once nobody is waiting.
-				if err := cctx.Err(); err != nil {
-					endAnchors()
-					return nil, 0, err
-				}
-				af, err := s.fieldData(actx, m, d)
-				if err != nil {
-					endAnchors()
-					return nil, 0, fmt.Errorf("anchor %q: %w", m.fieldList[d].info.Name, err)
-				}
-				anchors[k] = af.f
-			}
-			endAnchors()
+		anchors, err := s.anchorFields(cctx, m, fv)
+		if err != nil {
+			return nil, 0, err
 		}
-		var (
-			f   *crossfield.Field
-			err error
-		)
+		var f *crossfield.Field
 		if m.ar != nil {
 			_, endDecode := s.metrics.stage(cctx, "field_decode", s.metrics.stages.fieldDecode)
 			start := time.Now()
@@ -745,7 +742,79 @@ func (s *Server) fieldData(ctx context.Context, m *mount, i int) (*fieldVal, err
 		if err != nil {
 			return nil, 0, err
 		}
-		val := &fieldVal{f: f, raw: floatBytes(f.Data())}
+		val := &fieldVal{f: f, raw: floatBytes(f.Data()), achieved: math.NaN()}
+		return val, val.size(), nil
+	})
+	tr.End(lid)
+	s.metrics.stages.cacheLookup.Observe(time.Since(lstart).Seconds())
+	if err != nil {
+		return nil, err
+	}
+	return v.(*fieldVal), nil
+}
+
+// anchorFields resolves fv's anchors at full fidelity through the field
+// cache. Progressive preview decodes use it unchanged: the compressor
+// built every base layer against full-fidelity anchors, so previews must
+// predict from the same reconstructions. The manifest graph is a
+// validated DAG, so the recursion terminates and cannot self-wait.
+func (s *Server) anchorFields(cctx context.Context, m *mount, fv *fieldView) ([]*crossfield.Field, error) {
+	if len(fv.deps) == 0 {
+		return nil, nil
+	}
+	actx, endAnchors := s.metrics.stage(cctx, "anchor_decode", s.metrics.stages.anchorDecode)
+	defer endAnchors()
+	anchors := make([]*crossfield.Field, len(fv.deps))
+	for k, d := range fv.deps {
+		// Anchor recursion is the long pole of a cold dependent decode;
+		// stop between anchors once nobody is waiting.
+		if err := cctx.Err(); err != nil {
+			return nil, err
+		}
+		af, err := s.fieldData(actx, m, d)
+		if err != nil {
+			return nil, fmt.Errorf("anchor %q: %w", m.fieldList[d].info.Name, err)
+		}
+		anchors[k] = af.f
+	}
+	return anchors, nil
+}
+
+// levelKey derives the cache key of a progressive preview: the content
+// key (or chunk key) suffixed with the level, so previews and the
+// full-fidelity entry coexist in the same LRU without colliding.
+func levelKey(key string, level int) string {
+	return key + "@L" + strconv.Itoa(level)
+}
+
+// fieldLevelData decodes field i at a progressive preview level through
+// the field LRU, keyed separately from the full-fidelity entry. Anchors
+// resolve at full fidelity; only the requested field's payload is read
+// partially (layers 0..level consumed and CRC-verified).
+func (s *Server) fieldLevelData(ctx context.Context, m *mount, i, level int) (*fieldVal, error) {
+	fv := &m.fieldList[i]
+	tr, parent := obs.FromContext(ctx)
+	lid := tr.Start(parent, "cache_lookup")
+	lstart := time.Now()
+	v, err := s.fields.GetOrCompute(ctx, levelKey(fv.key, level), func(dctx context.Context) (any, int64, error) {
+		cctx := obs.ContextWithSpan(dctx, tr, lid)
+		anchors, err := s.anchorFields(cctx, m, fv)
+		if err != nil {
+			return nil, 0, err
+		}
+		payload, err := s.payloadBytes(cctx, m, i)
+		if err != nil {
+			return nil, 0, err
+		}
+		_, endDecode := s.metrics.stage(cctx, "field_decode", s.metrics.stages.fieldDecode)
+		start := time.Now()
+		f, achieved, err := crossfield.DecompressAtLevel(fv.info.Name, payload, anchors, level)
+		s.metrics.observeDecode(time.Since(start))
+		endDecode()
+		if err != nil {
+			return nil, 0, err
+		}
+		val := &fieldVal{f: f, raw: floatBytes(f.Data()), achieved: achieved}
 		return val, val.size(), nil
 	})
 	tr.End(lid)
@@ -799,25 +868,9 @@ func (s *Server) chunkData(ctx context.Context, m *mount, i, ci int) (*chunkVal,
 			}
 			s.metrics.remoteMisses.Inc()
 		}
-		var slabs []*crossfield.Field
-		if len(fv.deps) > 0 {
-			actx, endAnchors := s.metrics.stage(cctx, "anchor_decode", s.metrics.stages.anchorDecode)
-			slabs = make([]*crossfield.Field, len(fv.deps))
-			for k, d := range fv.deps {
-				// Anchor recursion: stop between anchor decodes once every
-				// waiter has gone away.
-				if err := cctx.Err(); err != nil {
-					endAnchors()
-					return nil, 0, err
-				}
-				af, err := s.anchorSlab(actx, m, d, c.Start, c.Slabs)
-				if err != nil {
-					endAnchors()
-					return nil, 0, fmt.Errorf("anchor %q: %w", m.fieldList[d].info.Name, err)
-				}
-				slabs[k] = af
-			}
-			endAnchors()
+		slabs, err := s.anchorSlabs(cctx, m, fv, c)
+		if err != nil {
+			return nil, 0, err
 		}
 		payload, err := s.payloadBytes(cctx, m, i)
 		if err != nil {
@@ -838,7 +891,72 @@ func (s *Server) chunkData(ctx context.Context, m *mount, i, ci int) (*chunkVal,
 		if err != nil {
 			return nil, 0, err
 		}
-		val := &chunkVal{fieldVal: fieldVal{f: f, raw: floatBytes(f.Data())}, start: slab}
+		val := &chunkVal{fieldVal: fieldVal{f: f, raw: floatBytes(f.Data()), achieved: math.NaN()}, start: slab}
+		return val, val.size(), nil
+	})
+	tr.End(lid)
+	s.metrics.stages.cacheLookup.Observe(time.Since(lstart).Seconds())
+	if err != nil {
+		return nil, err
+	}
+	return v.(*chunkVal), nil
+}
+
+// anchorSlabs resolves fv's anchors covering chunk c's slab range, each
+// through the chunk LRU at full fidelity (see anchorFields for why
+// previews never relax anchor decodes).
+func (s *Server) anchorSlabs(cctx context.Context, m *mount, fv *fieldView, c core.ChunkInfo) ([]*crossfield.Field, error) {
+	if len(fv.deps) == 0 {
+		return nil, nil
+	}
+	actx, endAnchors := s.metrics.stage(cctx, "anchor_decode", s.metrics.stages.anchorDecode)
+	defer endAnchors()
+	slabs := make([]*crossfield.Field, len(fv.deps))
+	for k, d := range fv.deps {
+		// Anchor recursion: stop between anchor decodes once every
+		// waiter has gone away.
+		if err := cctx.Err(); err != nil {
+			return nil, err
+		}
+		af, err := s.anchorSlab(actx, m, d, c.Start, c.Slabs)
+		if err != nil {
+			return nil, fmt.Errorf("anchor %q: %w", m.fieldList[d].info.Name, err)
+		}
+		slabs[k] = af
+	}
+	return slabs, nil
+}
+
+// chunkLevelData decodes chunk ci of field i at a progressive preview
+// level through the chunk LRU. Previews never consult cluster peers: the
+// remote protocol carries full-fidelity bytes keyed by the full content
+// address, and a preview decode is already cheaper than a round trip.
+func (s *Server) chunkLevelData(ctx context.Context, m *mount, i, ci, level int) (*chunkVal, error) {
+	fv := &m.fieldList[i]
+	key := levelKey(fv.key+"#"+strconv.Itoa(ci), level)
+	tr, parent := obs.FromContext(ctx)
+	lid := tr.Start(parent, "cache_lookup")
+	lstart := time.Now()
+	v, err := s.chunks.GetOrCompute(ctx, key, func(dctx context.Context) (any, int64, error) {
+		cctx := obs.ContextWithSpan(dctx, tr, lid)
+		c := fv.chunks[ci]
+		slabs, err := s.anchorSlabs(cctx, m, fv, c)
+		if err != nil {
+			return nil, 0, err
+		}
+		payload, err := s.payloadBytes(cctx, m, i)
+		if err != nil {
+			return nil, 0, err
+		}
+		_, endDecode := s.metrics.stage(cctx, "chunk_decode", s.metrics.stages.chunkDecode)
+		start := time.Now()
+		f, slab, achieved, err := crossfield.DecompressChunkSlabAtLevelCtx(cctx, fv.info.Name, payload, ci, level, slabs)
+		s.metrics.observeDecode(time.Since(start))
+		endDecode()
+		if err != nil {
+			return nil, 0, err
+		}
+		val := &chunkVal{fieldVal: fieldVal{f: f, raw: floatBytes(f.Data()), achieved: achieved}, start: slab}
 		return val, val.size(), nil
 	})
 	tr.End(lid)
@@ -866,7 +984,7 @@ func chunkValFromRaw(fv *fieldView, c core.ChunkInfo, raw []byte) (*chunkVal, er
 	if err != nil {
 		return nil, err
 	}
-	return &chunkVal{fieldVal: fieldVal{f: f, raw: raw}, start: c.Start}, nil
+	return &chunkVal{fieldVal: fieldVal{f: f, raw: raw, achieved: math.NaN()}, start: c.Start}, nil
 }
 
 // repairChunk attempts the one-shot corruption repair: after a local
@@ -1040,8 +1158,17 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, weight int64) (fu
 //	GET /v1/archives/{a}/fields
 //	GET /v1/archives/{a}/fields/{f}
 //	GET /v1/archives/{a}/fields/{f}/stats
+//	GET /v1/archives/{a}/fields/{f}/delta
 //	GET /v1/archives/{a}/fields/{f}/chunks/{i}
+//	GET /v1/archives/{a}/fields/{f}/chunks/{i}/delta
 //	GET /metrics
+//
+// Field and chunk data routes accept ?eb= (an absolute error bound,
+// resolved to the cheapest sufficient progressive level) or ?level= (an
+// explicit level index); the delta routes stream the XOR refinement
+// between two levels (?from=, optional ?to=, default full), so a client
+// holding a preview upgrades it without re-fetching the base bytes.
+//
 //	GET /debug/trace
 //	GET /healthz
 //	GET /readyz
@@ -1062,7 +1189,9 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/archives/{a}/fields", s.handleFields)
 	mux.HandleFunc("GET /v1/archives/{a}/fields/{f}", s.handleField)
 	mux.HandleFunc("GET /v1/archives/{a}/fields/{f}/stats", s.handleFieldStats)
+	mux.HandleFunc("GET /v1/archives/{a}/fields/{f}/delta", s.handleFieldDelta)
 	mux.HandleFunc("GET /v1/archives/{a}/fields/{f}/chunks/{i}", s.handleChunk)
+	mux.HandleFunc("GET /v1/archives/{a}/fields/{f}/chunks/{i}/delta", s.handleChunkDelta)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/trace", s.handleTrace)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -1098,19 +1227,25 @@ type archiveJSON struct {
 // fieldJSON is one field's manifest record; max_err is null when the
 // container predates per-chunk error recording.
 type fieldJSON struct {
-	Name         string    `json:"name"`
-	Dims         []int     `json:"dims"`
-	Points       int       `json:"points"`
-	Role         string    `json:"role"`
-	Anchors      []string  `json:"anchors,omitempty"`
-	Bound        string    `json:"bound"`
-	AbsEB        float64   `json:"abs_eb"`
-	MaxErr       *float64  `json:"max_err"`
-	Container    string    `json:"container"`
-	PayloadBytes int       `json:"payload_bytes"`
-	ChecksumCRC  string    `json:"checksum_crc32"`
-	Chunks       int       `json:"chunks"`
-	ChunkIndex   []chunkJS `json:"chunk_index,omitempty"`
+	Name         string   `json:"name"`
+	Dims         []int    `json:"dims"`
+	Points       int      `json:"points"`
+	Role         string   `json:"role"`
+	Anchors      []string `json:"anchors,omitempty"`
+	Bound        string   `json:"bound"`
+	AbsEB        float64  `json:"abs_eb"`
+	MaxErr       *float64 `json:"max_err"`
+	Container    string   `json:"container"`
+	PayloadBytes int      `json:"payload_bytes"`
+	ChecksumCRC  string   `json:"checksum_crc32"`
+	Chunks       int      `json:"chunks"`
+	// Levels counts the payload's decodable progressive levels (1 when
+	// not layered); LevelBounds lists each level's provable absolute
+	// error bound, deepest last — the values a client compares its ?eb=
+	// against.
+	Levels      int       `json:"levels"`
+	LevelBounds []float64 `json:"level_bounds,omitempty"`
+	ChunkIndex  []chunkJS `json:"chunk_index,omitempty"`
 }
 
 // chunkJS is one chunk-index row.
@@ -1161,6 +1296,16 @@ func fieldToJSON(fv *fieldView, withChunks bool) fieldJSON {
 		PayloadBytes: fi.Bytes,
 		ChecksumCRC:  fmt.Sprintf("%08x", fi.Checksum),
 		Chunks:       len(fv.chunks),
+		Levels:       1,
+	}
+	if fv.levels != nil {
+		out.Levels = fv.levels.Levels
+		if fv.levels.Progressive() {
+			out.LevelBounds = make([]float64, fv.levels.Levels)
+			for l := range out.LevelBounds {
+				out.LevelBounds[l] = fv.levels.Bound(l, fi.AbsEB)
+			}
+		}
 	}
 	if withChunks {
 		out.ChunkIndex = make([]chunkJS, len(fv.chunks))
@@ -1231,6 +1376,67 @@ func (s *Server) handleFieldStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, fieldToJSON(&m.fieldList[i], true))
 }
 
+// fullLevel marks a request resolved to the full-fidelity representation
+// (the deepest progressive level, or any level of a non-layered payload):
+// it is served from the unsuffixed content key with X-CFC-Level "full".
+const fullLevel = -1
+
+// resolveLevelQuery maps a request's ?eb= / ?level= parameters onto a
+// progressive level. ?eb= names an absolute error bound and resolves to
+// the cheapest level whose provable bound meets it; a bound tighter than
+// every preview — including tighter than the payload's own full bound —
+// resolves to full, the best the payload can do. ?level= names a level
+// index directly. Non-progressive payloads accept any ?eb= (full is the
+// only representation) and only ?level=0. No parameters means full.
+func resolveLevelQuery(r *http.Request, fv *fieldView) (int, error) {
+	q := r.URL.Query()
+	ebs, lvs := q.Get("eb"), q.Get("level")
+	if ebs == "" && lvs == "" {
+		return fullLevel, nil
+	}
+	if ebs != "" && lvs != "" {
+		return 0, fmt.Errorf("eb and level are mutually exclusive")
+	}
+	spec := fv.levels
+	if lvs != "" {
+		n, err := strconv.Atoi(lvs)
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("malformed level %q", lvs)
+		}
+		levels := 1
+		if spec != nil {
+			levels = spec.Levels
+		}
+		if n >= levels {
+			return 0, fmt.Errorf("level %d out of [0,%d)", n, levels)
+		}
+		if n == levels-1 {
+			return fullLevel, nil
+		}
+		return n, nil
+	}
+	eb, err := strconv.ParseFloat(ebs, 64)
+	if err != nil || !(eb > 0) {
+		return 0, fmt.Errorf("malformed eb %q (want a bound > 0)", ebs)
+	}
+	if !spec.Progressive() {
+		return fullLevel, nil
+	}
+	if n := spec.ResolveLevel(eb, fv.info.AbsEB); n < spec.Levels-1 {
+		return n, nil
+	}
+	return fullLevel, nil
+}
+
+// countLevel records one data request against its served level.
+func (s *Server) countLevel(level int) {
+	if level == fullLevel {
+		s.metrics.levelFull.Inc()
+		return
+	}
+	s.metrics.levelRequests.With(strconv.Itoa(level)).Inc()
+}
+
 func (s *Server) handleField(w http.ResponseWriter, r *http.Request) {
 	m, i, ok := s.lookup(r.PathValue("a"), r.PathValue("f"))
 	if !ok {
@@ -1238,26 +1444,48 @@ func (s *Server) handleField(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fv := &m.fieldList[i]
+	level, err := resolveLevelQuery(r, fv)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.countLevel(level)
 	// Hot cache hits bypass admission: they materialize nothing new, so
 	// shedding or queueing them would only turn graceful degradation
-	// into an outage for the traffic the cache exists to make cheap.
+	// into an outage for the traffic the cache exists to make cheap. A
+	// resident full-fidelity entry also satisfies any preview request —
+	// its error is within every relaxed bound — so it is probed first
+	// and served (as level "full") without decoding a preview.
 	if v, ok := s.fields.Peek(fv.key); ok {
 		s.metrics.admissionBypass.Inc()
 		s.observeBypassLookup(r.Context())
-		s.writeField(w, r, fv, v.(*fieldVal))
+		s.writeField(w, r, fv, v.(*fieldVal), fullLevel)
 		return
+	}
+	if level != fullLevel {
+		if v, ok := s.fields.Peek(levelKey(fv.key, level)); ok {
+			s.metrics.admissionBypass.Inc()
+			s.observeBypassLookup(r.Context())
+			s.writeField(w, r, fv, v.(*fieldVal), level)
+			return
+		}
 	}
 	release, ok := s.admit(w, r, s.predictFieldBytes(m, i))
 	if !ok {
 		return
 	}
 	defer release()
-	v, err := s.fieldData(r.Context(), m, i)
+	var v *fieldVal
+	if level == fullLevel {
+		v, err = s.fieldData(r.Context(), m, i)
+	} else {
+		v, err = s.fieldLevelData(r.Context(), m, i, level)
+	}
 	if err != nil {
 		decodeError(w, err)
 		return
 	}
-	s.writeField(w, r, fv, v)
+	s.writeField(w, r, fv, v, level)
 }
 
 // observeBypassLookup records the cache_lookup span and stage sample for
@@ -1273,8 +1501,11 @@ func (s *Server) observeBypassLookup(ctx context.Context) {
 	s.metrics.stages.cacheLookup.Observe(time.Since(start).Seconds())
 }
 
-// writeField writes a decoded field response (headers + body).
-func (s *Server) writeField(w http.ResponseWriter, r *http.Request, fv *fieldView, v *fieldVal) {
+// writeField writes a decoded field response (headers + body). level is
+// the served representation: fullLevel keys and validates against the
+// unsuffixed content key, previews against the level-suffixed one, so
+// the two representations never share an ETag.
+func (s *Server) writeField(w http.ResponseWriter, r *http.Request, fv *fieldView, v *fieldVal, level int) {
 	h := w.Header()
 	h.Set("X-CFC-Dims", dimsString(v.f.Dims()))
 	h.Set("X-CFC-Abs-EB", formatFloat(fv.info.AbsEB))
@@ -1282,7 +1513,19 @@ func (s *Server) writeField(w http.ResponseWriter, r *http.Request, fv *fieldVie
 		h.Set("X-CFC-Max-Err", formatFloat(fv.info.MaxErr))
 	}
 	h.Set("X-CFC-Role", fv.info.Role)
-	s.serveRaw(w, r, v.raw, fv.key)
+	key := fv.key
+	if level == fullLevel {
+		h.Set("X-CFC-Level", "full")
+		if !math.IsNaN(fv.info.MaxErr) {
+			h.Set("X-CFC-Achieved-EB", formatFloat(fv.info.MaxErr))
+		}
+	} else {
+		key = levelKey(key, level)
+		h.Set("X-CFC-Level", strconv.Itoa(level))
+		h.Set("X-CFC-Achieved-EB", formatFloat(v.achieved))
+		h.Set("X-CFC-Level-Bound", formatFloat(fv.levels.Bound(level, fv.info.AbsEB)))
+	}
+	s.serveRaw(w, r, v.raw, key)
 }
 
 func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
@@ -1301,28 +1544,48 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "chunk %d out of [0,%d)", ci, len(fv.chunks))
 		return
 	}
-	// Hot chunk hits bypass admission, exactly like hot fields.
+	level, err := resolveLevelQuery(r, fv)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.countLevel(level)
+	// Hot chunk hits bypass admission, exactly like hot fields; a
+	// resident full-fidelity chunk satisfies any preview request.
 	if v, ok := s.chunks.Peek(fv.key + "#" + strconv.Itoa(ci)); ok {
 		s.metrics.admissionBypass.Inc()
 		s.observeBypassLookup(r.Context())
-		s.writeChunk(w, r, fv, ci, v.(*chunkVal))
+		s.writeChunk(w, r, fv, ci, v.(*chunkVal), fullLevel)
 		return
+	}
+	if level != fullLevel {
+		if v, ok := s.chunks.Peek(levelKey(fv.key+"#"+strconv.Itoa(ci), level)); ok {
+			s.metrics.admissionBypass.Inc()
+			s.observeBypassLookup(r.Context())
+			s.writeChunk(w, r, fv, ci, v.(*chunkVal), level)
+			return
+		}
 	}
 	release, ok := s.admit(w, r, s.predictChunkBytes(m, i, ci))
 	if !ok {
 		return
 	}
 	defer release()
-	cv, err := s.chunkData(r.Context(), m, i, ci)
+	var cv *chunkVal
+	if level == fullLevel {
+		cv, err = s.chunkData(r.Context(), m, i, ci)
+	} else {
+		cv, err = s.chunkLevelData(r.Context(), m, i, ci, level)
+	}
 	if err != nil {
 		decodeError(w, err)
 		return
 	}
-	s.writeChunk(w, r, fv, ci, cv)
+	s.writeChunk(w, r, fv, ci, cv, level)
 }
 
 // writeChunk writes a decoded chunk response (headers + body).
-func (s *Server) writeChunk(w http.ResponseWriter, r *http.Request, fv *fieldView, ci int, cv *chunkVal) {
+func (s *Server) writeChunk(w http.ResponseWriter, r *http.Request, fv *fieldView, ci int, cv *chunkVal, level int) {
 	h := w.Header()
 	h.Set("X-CFC-Dims", dimsString(cv.f.Dims()))
 	h.Set("X-CFC-Chunk-Start", strconv.Itoa(cv.start))
@@ -1330,7 +1593,177 @@ func (s *Server) writeChunk(w http.ResponseWriter, r *http.Request, fv *fieldVie
 	if me := fv.chunks[ci].MaxErr; !math.IsNaN(me) {
 		h.Set("X-CFC-Max-Err", formatFloat(me))
 	}
-	s.serveRaw(w, r, cv.raw, fv.key+"#"+strconv.Itoa(ci))
+	key := fv.key + "#" + strconv.Itoa(ci)
+	if level == fullLevel {
+		h.Set("X-CFC-Level", "full")
+		if me := fv.chunks[ci].MaxErr; !math.IsNaN(me) {
+			h.Set("X-CFC-Achieved-EB", formatFloat(me))
+		}
+	} else {
+		key = levelKey(key, level)
+		h.Set("X-CFC-Level", strconv.Itoa(level))
+		h.Set("X-CFC-Achieved-EB", formatFloat(cv.achieved))
+		h.Set("X-CFC-Level-Bound", formatFloat(fv.levels.Bound(level, fv.info.AbsEB)))
+	}
+	s.serveRaw(w, r, cv.raw, key)
+}
+
+// parseDeltaQuery validates a refinement-delta request: the field must be
+// progressive, ?from= names the level the client already holds, and the
+// optional ?to= (default: the deepest level) names the level to upgrade
+// to. Both are level indices with from < to.
+func parseDeltaQuery(r *http.Request, fv *fieldView) (from, to int, err error) {
+	spec := fv.levels
+	if !spec.Progressive() {
+		return 0, 0, fmt.Errorf("field %q has no progressive layers", fv.info.Name)
+	}
+	q := r.URL.Query()
+	fs := q.Get("from")
+	if fs == "" {
+		return 0, 0, fmt.Errorf("missing from level")
+	}
+	from, aerr := strconv.Atoi(fs)
+	if aerr != nil || from < 0 || from >= spec.Levels-1 {
+		return 0, 0, fmt.Errorf("malformed from level %q (want [0,%d))", fs, spec.Levels-1)
+	}
+	to = spec.Levels - 1
+	if ts := q.Get("to"); ts != "" {
+		if to, aerr = strconv.Atoi(ts); aerr != nil || to <= from || to >= spec.Levels {
+			return 0, 0, fmt.Errorf("malformed to level %q (want (%d,%d))", ts, from, spec.Levels)
+		}
+	}
+	return from, to, nil
+}
+
+// xorBody returns to XOR from byte-wise: the refinement delta. XOR is its
+// own inverse, so a client holding the from-level body recovers the
+// to-level body exactly by XORing the delta over it — and the delta of
+// two similar reconstructions is long runs of zero bytes, which the gzip
+// content coding then collapses.
+func xorBody(to, from []byte) ([]byte, error) {
+	if len(to) != len(from) {
+		return nil, fmt.Errorf("serve: delta bodies disagree: %d vs %d bytes", len(to), len(from))
+	}
+	out := make([]byte, len(to))
+	for i := range to {
+		out[i] = to[i] ^ from[i]
+	}
+	return out, nil
+}
+
+// fieldBodyAtLevel fetches field i's cached decode at a level, routing
+// the deepest level through the full-fidelity path (unsuffixed key).
+func (s *Server) fieldBodyAtLevel(ctx context.Context, m *mount, i, level int) (*fieldVal, error) {
+	if level == m.fieldList[i].levels.Levels-1 {
+		return s.fieldData(ctx, m, i)
+	}
+	return s.fieldLevelData(ctx, m, i, level)
+}
+
+// chunkBodyAtLevel is fieldBodyAtLevel for one chunk.
+func (s *Server) chunkBodyAtLevel(ctx context.Context, m *mount, i, ci, level int) (*chunkVal, error) {
+	if level == m.fieldList[i].levels.Levels-1 {
+		return s.chunkData(ctx, m, i, ci)
+	}
+	return s.chunkLevelData(ctx, m, i, ci, level)
+}
+
+func (s *Server) handleFieldDelta(w http.ResponseWriter, r *http.Request) {
+	m, i, ok := s.lookup(r.PathValue("a"), r.PathValue("f"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown archive %q or field %q", r.PathValue("a"), r.PathValue("f"))
+		return
+	}
+	fv := &m.fieldList[i]
+	from, to, err := parseDeltaQuery(r, fv)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Both endpoints may decode cold; the extra field's worth covers the
+	// second representation next to predictFieldBytes' anchors+field.
+	points := 1
+	for _, d := range fv.info.Dims {
+		points *= d
+	}
+	release, ok := s.admit(w, r, s.predictFieldBytes(m, i)+int64(bytesPerVoxel)*int64(points))
+	if !ok {
+		return
+	}
+	defer release()
+	fromV, err := s.fieldBodyAtLevel(r.Context(), m, i, from)
+	if err != nil {
+		decodeError(w, err)
+		return
+	}
+	toV, err := s.fieldBodyAtLevel(r.Context(), m, i, to)
+	if err != nil {
+		decodeError(w, err)
+		return
+	}
+	body, err := xorBody(toV.raw, fromV.raw)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.writeDelta(w, r, fv, toV.f.Dims(), body, fv.key, from, to)
+}
+
+func (s *Server) handleChunkDelta(w http.ResponseWriter, r *http.Request) {
+	m, i, ok := s.lookup(r.PathValue("a"), r.PathValue("f"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown archive %q or field %q", r.PathValue("a"), r.PathValue("f"))
+		return
+	}
+	ci, err := strconv.Atoi(r.PathValue("i"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "malformed chunk index %q", r.PathValue("i"))
+		return
+	}
+	fv := &m.fieldList[i]
+	if ci < 0 || ci >= len(fv.chunks) {
+		httpError(w, http.StatusNotFound, "chunk %d out of [0,%d)", ci, len(fv.chunks))
+		return
+	}
+	from, to, err := parseDeltaQuery(r, fv)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	c := fv.chunks[ci]
+	release, ok := s.admit(w, r, s.predictChunkBytes(m, i, ci)+int64(bytesPerVoxel)*int64(c.Voxels))
+	if !ok {
+		return
+	}
+	defer release()
+	fromV, err := s.chunkBodyAtLevel(r.Context(), m, i, ci, from)
+	if err != nil {
+		decodeError(w, err)
+		return
+	}
+	toV, err := s.chunkBodyAtLevel(r.Context(), m, i, ci, to)
+	if err != nil {
+		decodeError(w, err)
+		return
+	}
+	body, err := xorBody(toV.raw, fromV.raw)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("X-CFC-Chunk-Start", strconv.Itoa(toV.start))
+	s.writeDelta(w, r, fv, toV.f.Dims(), body, fv.key+"#"+strconv.Itoa(ci), from, to)
+}
+
+// writeDelta writes a refinement-delta response. The ETag key derives
+// from the content key plus both endpoints, so deltas, previews, and
+// full bodies never share a validator.
+func (s *Server) writeDelta(w http.ResponseWriter, r *http.Request, fv *fieldView, dims []int, body []byte, key string, from, to int) {
+	h := w.Header()
+	h.Set("X-CFC-Dims", dimsString(dims))
+	h.Set("X-CFC-Delta-From", strconv.Itoa(from))
+	h.Set("X-CFC-Delta-To", strconv.Itoa(to))
+	s.serveRaw(w, r, body, key+"@D"+strconv.Itoa(from)+"-"+strconv.Itoa(to))
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -1546,7 +1979,11 @@ func decodeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, core.ErrNeedAnchors):
 		code = http.StatusUnprocessableEntity
-	case errors.Is(err, ErrCorruptPayload) || errors.Is(err, crossfield.ErrChecksum):
+	case errors.Is(err, ErrCorruptPayload) || errors.Is(err, crossfield.ErrChecksum),
+		errors.Is(err, crossfield.ErrLayerChecksum):
+		// A progressive layer failing its own CRC is the same bad-gateway
+		// story: layers verify independently, so every level below the
+		// damaged one keeps serving.
 		code = http.StatusBadGateway
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
 		code = http.StatusServiceUnavailable

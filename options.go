@@ -22,6 +22,7 @@ type compressConfig struct {
 	workers     int
 	blocks      bool
 	blockEdge   int
+	progressive *core.ProgressiveSpec
 	fieldBounds map[string]ErrorBound
 	timings     *DatasetTimings
 }
@@ -30,6 +31,9 @@ type compressConfig struct {
 func (c *compressConfig) blockSpec() core.BlockSpec {
 	return core.BlockSpec{Enable: c.blocks, Edge: c.blockEdge}
 }
+
+// progSpec returns the resolved progressive spec (nil when not layered).
+func (c *compressConfig) progSpec() *core.ProgressiveSpec { return c.progressive }
 
 // optionFunc adapts a closure to the Option interface.
 type optionFunc func(*compressConfig) error
@@ -80,6 +84,49 @@ func WithDecodeBlocks(edge int) Option {
 		}
 		c.blocks = true
 		c.blockEdge = edge
+		return nil
+	})
+}
+
+// WithProgressive writes layered payloads for progressive multi-resolution
+// retrieval: the quantized integers split into a base layer at a relaxed
+// bound plus levels-1 refinement bit-plane layers, each independently
+// entropy-coded and CRC'd, so a reader can stop after any payload prefix
+// and reconstruct with a provable error bound — and consuming every layer
+// is bit-identical to a non-progressive decode. levels counts the base
+// layer and must be in [2,8]; each extra level adds two refinement bits
+// (quartering the preview bound). Containers become CFC1 v3 / CFC2 v4 /
+// CFC3 v3 (older readers reject them up front). Decode any level with
+// DecompressAtLevel or Archive.DecodeFieldAtLevel. Mutually exclusive with
+// WithDecodeBlocks.
+func WithProgressive(levels int) Option {
+	return optionFunc(func(c *compressConfig) error {
+		if levels < 2 || levels > 8 {
+			return fmt.Errorf("crossfield: WithProgressive(%d): levels out of [2,8]", levels)
+		}
+		if c.progressive == nil {
+			c.progressive = &core.ProgressiveSpec{}
+		}
+		c.progressive.Levels = levels
+		return nil
+	})
+}
+
+// WithPreviewBound sets the target error bound of the progressive base
+// layer, in the same mode (absolute or range-relative) as the compression
+// bound, and implies WithProgressive(2) when no level count was chosen.
+// The layering drops the largest bit count whose provable base bound still
+// meets the preview; the preview must exceed 3× the full bound. Combine
+// with WithProgressive(n) to spread the refinement across more levels.
+func WithPreviewBound(b float64) Option {
+	return optionFunc(func(c *compressConfig) error {
+		if !(b > 0) {
+			return fmt.Errorf("crossfield: WithPreviewBound(%g): bound must be > 0", b)
+		}
+		if c.progressive == nil {
+			c.progressive = &core.ProgressiveSpec{}
+		}
+		c.progressive.PreviewBound = b
 		return nil
 	})
 }
